@@ -1,0 +1,144 @@
+/// Experiment P2: granule generation combinatorics.
+///
+/// The paper observes that a k-column, n-row target view admits on the
+/// order of 2^k * 2^n suspicion notions; individual notions still have
+/// granule sets of size sum_s C(n_s, k). This bench measures (a) lazy
+/// enumeration cost vs |U| and THRESHOLD, (b) materialization
+/// (RenderDistinct) vs lazy iteration — the ablation DESIGN.md calls
+/// out — and (c) the count-only fast path the suspicion checker uses.
+///
+/// Run: build/bench/bench_granule
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/audit/granule.h"
+
+namespace {
+
+using namespace auditdb;
+
+struct ViewWorld {
+  std::unique_ptr<bench::World> world;
+  audit::AuditExpression expr;
+  audit::TargetView view;
+  std::vector<audit::GranuleScheme> schemes;
+};
+
+ViewWorld MakeViewWorld(size_t patients, const std::string& audit_text) {
+  ViewWorld vw;
+  vw.world = bench::MakeWorld(patients, /*queries=*/1);
+  auto expr = audit::ParseAudit(audit_text, bench::Ts(1000000));
+  if (!expr.ok() || !expr->Qualify(vw.world->db.catalog()).ok()) {
+    std::abort();
+  }
+  vw.expr = std::move(*expr);
+  auto view = audit::ComputeTargetView(vw.expr, vw.world->db.View(),
+                                       bench::Ts(1));
+  if (!view.ok()) std::abort();
+  vw.view = std::move(*view);
+  vw.schemes = audit::BuildSchemes(vw.expr);
+  return vw;
+}
+
+/// Lazy enumeration of every granule, |U| sweep at THRESHOLD 1.
+void BM_EnumerateThreshold1(benchmark::State& state) {
+  const size_t patients = static_cast<size_t>(state.range(0));
+  auto vw = MakeViewWorld(patients,
+                          "AUDIT [name,disease] FROM P-Personal, P-Health "
+                          "WHERE P-Personal.pid = P-Health.pid");
+  audit::GranuleEnumerator g(vw.view, vw.schemes, vw.expr.threshold);
+  for (auto _ : state) {
+    uint64_t n = g.ForEach([](const audit::Granule&) { return true; });
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["granules"] = g.CountGranules();
+}
+BENCHMARK(BM_EnumerateThreshold1)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// THRESHOLD-k sweep on a fixed 30-row view: C(30,k) blowup.
+void BM_EnumerateThresholdK(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  auto vw = MakeViewWorld(30, "THRESHOLD " + std::to_string(k) +
+                                  " AUDIT (name) FROM P-Personal");
+  audit::GranuleEnumerator g(vw.view, vw.schemes, vw.expr.threshold);
+  for (auto _ : state) {
+    uint64_t n = g.ForEach([](const audit::Granule&) { return true; });
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["granules"] = g.CountGranules();
+}
+BENCHMARK(BM_EnumerateThresholdK)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Count-only fast path (what the suspicion checker needs) vs the full
+/// enumeration above: the checker never pays C(n,k).
+void BM_CountOnly(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  auto vw = MakeViewWorld(30, "THRESHOLD " + std::to_string(k) +
+                                  " AUDIT (name) FROM P-Personal");
+  for (auto _ : state) {
+    audit::GranuleEnumerator g(vw.view, vw.schemes, vw.expr.threshold);
+    double count = g.CountGranules();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_CountOnly)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+/// Materialized (rendered + deduplicated) vs lazy: the ablation.
+void BM_MaterializeRendered(benchmark::State& state) {
+  const size_t patients = static_cast<size_t>(state.range(0));
+  auto vw = MakeViewWorld(patients,
+                          "AUDIT [name,disease] FROM P-Personal, P-Health "
+                          "WHERE P-Personal.pid = P-Health.pid");
+  audit::GranuleEnumerator g(vw.view, vw.schemes, vw.expr.threshold);
+  for (auto _ : state) {
+    auto rendered = g.RenderDistinct(SIZE_MAX);
+    benchmark::DoNotOptimize(rendered);
+  }
+}
+BENCHMARK(BM_MaterializeRendered)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Scheme-count sweep: optional groups multiply schemes.
+void BM_SchemeEnumeration(benchmark::State& state) {
+  const int64_t attrs = state.range(0);
+  // [a1..ak][b1..bk] style: schemes = k * k.
+  std::string audit_list = "[name,age";
+  if (attrs >= 3) audit_list += ",zipcode";
+  if (attrs >= 4) audit_list += ",address";
+  audit_list += "],[disease,ward";
+  if (attrs >= 3) audit_list += ",pres-drugs";
+  if (attrs >= 4) audit_list += ",doc-name";
+  audit_list += "]";
+  auto vw = MakeViewWorld(200, "AUDIT " + audit_list +
+                                   " FROM P-Personal, P-Health "
+                                   "WHERE P-Personal.pid = P-Health.pid");
+  for (auto _ : state) {
+    auto schemes = audit::BuildSchemes(vw.expr);
+    audit::GranuleEnumerator g(vw.view, schemes, vw.expr.threshold);
+    uint64_t n = g.ForEach([](const audit::Granule&) { return true; });
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["schemes"] = static_cast<double>(vw.schemes.size());
+}
+BENCHMARK(BM_SchemeEnumeration)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/// Experiment P3: suspicion-notion comparison.
+///
+/// The same target data audited under the four canonical notions the
+/// unified model expresses (perfect privacy, weak syntactic, semantic,
+/// threshold-N), sweeping log size. Reports wall time and the number of
+/// flagged queries per notion — the qualitative expectation (perfect ⊇
+/// weak ⊇ semantic ⊇ threshold-N in flagged count, with cost dominated by
+/// the candidate count each notion admits) is recorded in EXPERIMENTS.md.
+///
+/// Run: build/bench/bench_notions
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace auditdb;
+
+enum class Notion { kPerfect, kWeak, kSemantic, kThreshold10 };
+
+const char* NotionName(Notion n) {
+  switch (n) {
+    case Notion::kPerfect:
+      return "perfect";
+    case Notion::kWeak:
+      return "weak";
+    case Notion::kSemantic:
+      return "semantic";
+    case Notion::kThreshold10:
+      return "threshold10";
+  }
+  return "?";
+}
+
+void BM_Notion(benchmark::State& state) {
+  const size_t log_size = static_cast<size_t>(state.range(0));
+  const Notion notion = static_cast<Notion>(state.range(1));
+
+  auto world = bench::MakeWorld(/*patients=*/300, log_size);
+  auto base = audit::ParseAudit(bench::CanonicalAudit(), bench::Ts(1000000));
+  if (!base.ok() || !base->Qualify(world->db.catalog()).ok()) std::abort();
+
+  audit::AuditExpression expr;
+  switch (notion) {
+    case Notion::kPerfect:
+      expr = audit::MakePerfectPrivacy(*base);
+      break;
+    case Notion::kWeak:
+      expr = audit::MakeWeakSyntactic(*base);
+      break;
+    case Notion::kSemantic:
+      expr = audit::MakeSemantic(*base);
+      break;
+    case Notion::kThreshold10:
+      expr = audit::MakeThresholdNotion(*base, audit::Threshold::N(10));
+      break;
+  }
+
+  audit::Auditor auditor(&world->db, &world->backlog, &world->log);
+  audit::AuditOptions options;
+  options.minimize_batch = false;
+
+  size_t flagged = 0;
+  size_t candidates = 0;
+  for (auto _ : state) {
+    auto report = auditor.Audit(expr, options);
+    if (!report.ok()) std::abort();
+    flagged = report->SuspiciousQueryIds().size();
+    candidates = report->num_candidates;
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel(NotionName(notion));
+  state.counters["flagged"] = static_cast<double>(flagged);
+  state.counters["candidates"] = static_cast<double>(candidates);
+}
+
+// Args: {log size, notion}.
+BENCHMARK(BM_Notion)
+    ->Args({500, 0})
+    ->Args({500, 1})
+    ->Args({500, 2})
+    ->Args({500, 3})
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({2000, 3})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+/// Experiment P9 (extension — the paper's future work): online auditing.
+///
+/// Cost of screening one incoming query against a growing set of
+/// standing audit expressions, and of the target-view rebuild triggered
+/// by data changes; plus offline-equivalent throughput (screen a whole
+/// log online vs audit it offline).
+///
+/// Run: build/bench/bench_online
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/audit/online.h"
+
+namespace {
+
+using namespace auditdb;
+using bench::Ts;
+
+std::string StandingExpr(size_t i) {
+  switch (i % 4) {
+    case 0:
+      return "AUDIT (name,disease) FROM P-Personal, P-Health "
+             "WHERE P-Personal.pid = P-Health.pid AND disease='diabetic'";
+    case 1:
+      return "AUDIT (salary) FROM P-Employ WHERE salary > 30000";
+    case 2:
+      return "AUDIT [name,zipcode] FROM P-Personal WHERE age < 40";
+    default:
+      return "THRESHOLD 5 AUDIT (name,disease) FROM P-Personal, P-Health "
+             "WHERE P-Personal.pid = P-Health.pid";
+  }
+}
+
+/// Screening latency vs number of standing expressions.
+void BM_ObserveLatency(benchmark::State& state) {
+  const size_t expressions = static_cast<size_t>(state.range(0));
+  auto world = bench::MakeWorld(/*patients=*/300, /*queries=*/64);
+  audit::OnlineAuditor online(&world->db);
+  for (size_t i = 0; i < expressions; ++i) {
+    auto expr = audit::ParseAudit(
+        "DURING 1/1/1970 to 2/1/1970 " + StandingExpr(i), Ts(1000000));
+    if (!expr.ok()) std::abort();
+    if (!online.AddExpression(*expr).ok()) std::abort();
+  }
+  size_t next = 0;
+  const auto& entries = world->log.entries();
+  for (auto _ : state) {
+    auto screenings = online.Observe(entries[next % entries.size()]);
+    if (!screenings.ok()) std::abort();
+    benchmark::DoNotOptimize(screenings);
+    ++next;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObserveLatency)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Rebuild cost when the data changes between observations.
+void BM_ObserveWithChurn(benchmark::State& state) {
+  const bool churn = state.range(0) != 0;
+  auto world = bench::MakeWorld(/*patients=*/300, /*queries=*/64);
+  audit::OnlineAuditor online(&world->db);
+  auto expr = audit::ParseAudit(
+      "DURING 1/1/1970 to 2/1/1970 " + StandingExpr(0), Ts(1000000));
+  if (!expr.ok() || !online.AddExpression(*expr).ok()) std::abort();
+  size_t next = 0;
+  int64_t t = 100000;
+  const auto& entries = world->log.entries();
+  for (auto _ : state) {
+    if (churn) {
+      auto status = world->db.UpdateColumn(
+          "P-Health", static_cast<Tid>(1 + next % 300), "ward",
+          Value::String("W1"), Ts(t++));
+      if (!status.ok()) std::abort();
+    }
+    auto screenings = online.Observe(entries[next % entries.size()]);
+    if (!screenings.ok()) std::abort();
+    ++next;
+  }
+  state.SetLabel(churn ? "update-before-every-query" : "static-data");
+}
+BENCHMARK(BM_ObserveWithChurn)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Whole-log comparison: online screening vs offline batch audit.
+void BM_OnlineWholeLog(benchmark::State& state) {
+  const size_t log_size = static_cast<size_t>(state.range(0));
+  auto world = bench::MakeWorld(/*patients=*/300, log_size);
+  auto expr = audit::ParseAudit(bench::CanonicalAudit(), Ts(1000000));
+  if (!expr.ok()) std::abort();
+  for (auto _ : state) {
+    audit::OnlineAuditor online(&world->db);
+    if (!online.AddExpression(*expr).ok()) std::abort();
+    for (const auto& entry : world->log.entries()) {
+      auto screenings = online.Observe(entry);
+      if (!screenings.ok()) std::abort();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log_size));
+}
+BENCHMARK(BM_OnlineWholeLog)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OfflineWholeLog(benchmark::State& state) {
+  const size_t log_size = static_cast<size_t>(state.range(0));
+  auto world = bench::MakeWorld(/*patients=*/300, log_size);
+  audit::Auditor auditor(&world->db, &world->backlog, &world->log);
+  audit::AuditOptions options;
+  options.per_query_verdicts = false;
+  options.minimize_batch = false;
+  for (auto _ : state) {
+    auto report = auditor.Audit(bench::CanonicalAudit(), Ts(1000000),
+                                options);
+    if (!report.ok()) std::abort();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log_size));
+}
+BENCHMARK(BM_OfflineWholeLog)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/// Experiment P8: parser throughput for the SQL subset and the unified
+/// audit grammar, by expression complexity.
+///
+/// Run: build/bench/bench_parser
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/audit/audit_parser.h"
+#include "src/sql/parser.h"
+
+namespace {
+
+using namespace auditdb;
+
+std::string SqlWithConjuncts(int n) {
+  std::string text =
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid";
+  for (int i = 0; i < n; ++i) {
+    text += " AND age > " + std::to_string(i);
+  }
+  return text;
+}
+
+void BM_ParseSelect(benchmark::State& state) {
+  std::string text = SqlWithConjuncts(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto stmt = sql::ParseSelect(text);
+    if (!stmt.ok()) std::abort();
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseSelect)->Arg(0)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_LexOnly(benchmark::State& state) {
+  std::string text = SqlWithConjuncts(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto tokens = sql::Lex(text);
+    if (!tokens.ok()) std::abort();
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_LexOnly)->Arg(0)->Arg(64)->Arg(256);
+
+void BM_ParseAuditExpression(benchmark::State& state) {
+  const int64_t complexity = state.range(0);
+  std::string text;
+  if (complexity == 0) {
+    text = "AUDIT disease FROM Patients WHERE zipcode='118701'";
+  } else {
+    text =
+        "Neg-Role-Purpose (doctor,treatment) (-,billing) "
+        "Pos-User-Identity alice bob carol "
+        "DURING 1/5/2004:13-00-00 to 2/5/2004:13-00-00 "
+        "DATA-INTERVAL 1/5/2004:13-00-00 to now() "
+        "THRESHOLD 5 INDISPENSABLE true "
+        "AUDIT (name,disease),[address,zipcode,salary] "
+        "FROM P-Personal, P-Health, P-Employ "
+        "WHERE P-Personal.pid=P-Health.pid AND "
+        "P-Health.pid=P-Employ.pid AND P-Health.disease='diabetic'";
+    for (int64_t i = 1; i < complexity; ++i) {
+      text += " AND P-Employ.salary > " + std::to_string(1000 * i);
+    }
+  }
+  Timestamp now = bench::Ts(1000);
+  for (auto _ : state) {
+    auto expr = audit::ParseAudit(text, now);
+    if (!expr.ok()) std::abort();
+    benchmark::DoNotOptimize(expr);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseAuditExpression)->Arg(0)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ParseGeneratedWorkload(benchmark::State& state) {
+  workload::HospitalConfig hospital;
+  workload::WorkloadConfig config;
+  config.num_queries = 1000;
+  config.start = bench::Ts(100);
+  QueryLog log;
+  if (!workload::GenerateWorkload(&log, config, hospital).ok()) {
+    std::abort();
+  }
+  for (auto _ : state) {
+    for (const auto& entry : log.entries()) {
+      auto stmt = sql::ParseSelect(entry.sql);
+      if (!stmt.ok()) std::abort();
+      benchmark::DoNotOptimize(stmt);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_ParseGeneratedWorkload)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

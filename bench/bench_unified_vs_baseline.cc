@@ -1,0 +1,116 @@
+/// Experiment P4: generality overhead of the unified model.
+///
+/// The unified granule model subsumes the specialized notions; this bench
+/// quantifies what that generality costs by running the *same* semantic
+/// audit through (a) the unified pipeline (joint indispensability mode,
+/// where it coincides with the Agrawal definition), (b) the specialized
+/// Agrawal reimplementation, and (c) the specialized Motwani batch
+/// auditor. It also includes the re-execution ablation: per-query
+/// verdicts recomputed from scratch vs the shared lineage profiles.
+///
+/// Run: build/bench/bench_unified_vs_baseline
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/audit/baseline_agrawal.h"
+#include "src/audit/baseline_motwani.h"
+
+namespace {
+
+using namespace auditdb;
+
+struct Setup {
+  std::unique_ptr<bench::World> world;
+  audit::AuditExpression expr;
+};
+
+Setup MakeSetup(size_t log_size) {
+  Setup s;
+  s.world = bench::MakeWorld(/*patients=*/300, log_size);
+  auto expr = audit::ParseAudit(bench::CanonicalAudit(), bench::Ts(1000000));
+  if (!expr.ok() || !expr->Qualify(s.world->db.catalog()).ok()) std::abort();
+  s.expr = std::move(*expr);
+  return s;
+}
+
+void BM_UnifiedJointMode(benchmark::State& state) {
+  auto s = MakeSetup(static_cast<size_t>(state.range(0)));
+  audit::Auditor auditor(&s.world->db, &s.world->backlog, &s.world->log);
+  audit::AuditOptions options;
+  options.suspicion.mode = audit::IndispensabilityMode::kJointPerQuery;
+  options.minimize_batch = false;
+  size_t flagged = 0;
+  for (auto _ : state) {
+    auto report = auditor.Audit(s.expr, options);
+    if (!report.ok()) std::abort();
+    flagged = report->SuspiciousQueryIds().size();
+  }
+  state.counters["flagged"] = static_cast<double>(flagged);
+}
+BENCHMARK(BM_UnifiedJointMode)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AgrawalBaseline(benchmark::State& state) {
+  auto s = MakeSetup(static_cast<size_t>(state.range(0)));
+  audit::AgrawalAuditor auditor(&s.world->db, &s.world->backlog,
+                                &s.world->log);
+  size_t flagged = 0;
+  for (auto _ : state) {
+    auto result = auditor.Audit(s.expr);
+    if (!result.ok()) std::abort();
+    flagged = result->suspicious_ids.size();
+  }
+  state.counters["flagged"] = static_cast<double>(flagged);
+}
+BENCHMARK(BM_AgrawalBaseline)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MotwaniBaseline(benchmark::State& state) {
+  auto s = MakeSetup(static_cast<size_t>(state.range(0)));
+  audit::MotwaniAuditor auditor(&s.world->db, &s.world->backlog,
+                                &s.world->log);
+  size_t sharing = 0;
+  for (auto _ : state) {
+    auto result = auditor.Audit(s.expr);
+    if (!result.ok()) std::abort();
+    sharing = result->sharing_ids.size();
+  }
+  state.counters["sharing"] = static_cast<double>(sharing);
+}
+BENCHMARK(BM_MotwaniBaseline)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Ablation: batch-only verdict (shared profiles, one suspicion check)
+/// vs per-query verdicts (one check per candidate). The gap is the cost
+/// of single-query attribution.
+void BM_UnifiedBatchOnly(benchmark::State& state) {
+  auto s = MakeSetup(static_cast<size_t>(state.range(0)));
+  audit::Auditor auditor(&s.world->db, &s.world->backlog, &s.world->log);
+  audit::AuditOptions options;
+  options.per_query_verdicts = false;
+  options.minimize_batch = false;
+  for (auto _ : state) {
+    auto report = auditor.Audit(s.expr, options);
+    if (!report.ok()) std::abort();
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_UnifiedBatchOnly)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

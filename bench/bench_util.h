@@ -1,0 +1,62 @@
+#ifndef AUDITDB_BENCH_BENCH_UTIL_H_
+#define AUDITDB_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/audit/auditor.h"
+#include "src/workload/generator.h"
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace bench {
+
+inline Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+/// A ready-to-audit world: populated hospital, attached backlog, and a
+/// generated query log.
+struct World {
+  Database db;
+  Backlog backlog;
+  QueryLog log;
+  workload::HospitalConfig hospital;
+  workload::WorkloadConfig workload;
+};
+
+/// Builds a world with `patients` rows per table and `queries` logged
+/// queries. `sensitive_fraction` controls how many queries touch the
+/// audit-relevant columns (the candidate-phase selectivity knob).
+inline std::unique_ptr<World> MakeWorld(size_t patients, size_t queries,
+                                        double sensitive_fraction = 0.4,
+                                        uint64_t seed = 42) {
+  auto world = std::make_unique<World>();
+  world->backlog.Attach(&world->db);
+  world->hospital.num_patients = patients;
+  world->hospital.seed = seed;
+  auto populated =
+      workload::PopulateHospital(&world->db, world->hospital, Ts(1));
+  if (!populated.ok()) std::abort();
+  world->workload.num_queries = queries;
+  world->workload.seed = seed * 7919;
+  world->workload.start = Ts(100);
+  world->workload.sensitive_fraction = sensitive_fraction;
+  auto generated =
+      workload::GenerateWorkload(&world->log, world->workload,
+                                 world->hospital);
+  if (!generated.ok()) std::abort();
+  return world;
+}
+
+/// The canonical audit expression used across benches: diabetic patients'
+/// identity+diagnosis, full-span intervals.
+inline std::string CanonicalAudit() {
+  return "DURING 1/1/1970 to 2/1/1970 "
+         "DATA-INTERVAL 1/1/1970 to 2/1/1970 "
+         "AUDIT (name,disease) FROM P-Personal, P-Health "
+         "WHERE P-Personal.pid = P-Health.pid AND disease='diabetic'";
+}
+
+}  // namespace bench
+}  // namespace auditdb
+
+#endif  // AUDITDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,100 @@
+/// Batch disclosure: no single query is suspicious, the batch is.
+///
+/// A snooping user splits a disclosure across innocuous-looking queries:
+/// one reads names and addresses of a zip code, another reads diagnoses
+/// of the same population. Under the single-query notion (Agrawal et
+/// al.) each query is clean — neither accesses all audited columns. The
+/// unified model's batch check (the Motwani et al. notion, expressed as
+/// granules) catches the combination and reports the minimal suspicious
+/// batch.
+
+#include <cstdio>
+
+#include "src/audit/auditor.h"
+#include "src/audit/baseline_agrawal.h"
+#include "src/workload/hospital.h"
+
+using namespace auditdb;
+
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+}  // namespace
+
+int main() {
+  Database db;
+  Backlog backlog;
+  backlog.Attach(&db);
+  Status status = workload::BuildPaperDatabase(&db, Ts(1));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  QueryLog log;
+  // The attack: three queries, none individually covering the audit list.
+  log.Append(
+      "SELECT name, address FROM P-Personal WHERE zipcode = '145568'",
+      Ts(100), "mallory", "clerk", "billing");
+  log.Append("SELECT ward FROM P-Health WHERE ward = 'W14'", Ts(150),
+             "mallory", "clerk", "billing");
+  log.Append(
+      "SELECT pid, disease FROM P-Health WHERE disease = 'diabetic'",
+      Ts(200), "mallory", "clerk", "billing");
+
+  const std::string audit_text =
+      "DURING 1/1/1970 to 2/1/1970 "
+      "DATA-INTERVAL 1/1/1970 to 2/1/1970 "
+      "AUDIT (name,disease,address) "
+      "FROM P-Personal, P-Health, P-Employ "
+      "WHERE P-Personal.pid=P-Health.pid AND P-Health.pid=P-Employ.pid "
+      "AND P-Personal.zipcode='145568' AND P-Employ.salary > 10000 "
+      "AND P-Health.disease='diabetic'";
+
+  std::printf("audit expression:\n%s\n\n", audit_text.c_str());
+
+  // Single-query audit (the Agrawal et al. baseline): all clean.
+  auto expr = audit::ParseAudit(audit_text, Ts(1000));
+  if (!expr.ok()) return 1;
+  audit::AgrawalAuditor single(&db, &backlog, &log);
+  auto single_result = single.Audit(*expr);
+  if (!single_result.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 single_result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("single-query (Agrawal) audit: %zu suspicious, "
+              "%zu candidates\n",
+              single_result->suspicious_ids.size(),
+              single_result->num_candidates);
+
+  // Batch audit via the unified granule model: the combination fires.
+  audit::Auditor batch(&db, &backlog, &log);
+  auto report = batch.Audit(audit_text, Ts(1000));
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("batch (unified) audit:        batch_suspicious=%s\n",
+              report->batch_suspicious ? "true" : "false");
+  std::printf("minimal suspicious batch:     [");
+  for (size_t i = 0; i < report->minimal_batch.size(); ++i) {
+    std::printf("%s#%lld", i ? ", " : "",
+                static_cast<long long>(report->minimal_batch[i]));
+  }
+  std::printf("]\n\nevidence:\n%s", report->evidence.c_str());
+
+  std::printf("\nqueries in the minimal batch:\n");
+  for (int64_t id : report->minimal_batch) {
+    auto entry = log.Get(id);
+    if (entry.ok()) std::printf("  %s\n", (*entry)->ToString().c_str());
+  }
+
+  // Expected: no single query suspicious, batch {1,3} suspicious (the
+  // ward query #2 contributes nothing).
+  bool ok = single_result->suspicious_ids.empty() &&
+            report->batch_suspicious &&
+            report->minimal_batch == std::vector<int64_t>{1, 3};
+  return ok ? 0 : 2;
+}

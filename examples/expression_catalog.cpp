@@ -1,0 +1,114 @@
+/// Managing a catalog of standing audit expressions.
+///
+/// Over time an organization accumulates audit expressions — one per
+/// complaint, per policy review, per regulator request. Many are
+/// redundant: anything a narrow expression would flag, a broader
+/// existing one already flags. This example feeds a stream of audit
+/// expressions into the subsumption-deduplicating ExpressionLibrary and
+/// registers only the surviving antichain with the online monitor.
+
+#include <cstdio>
+
+#include "src/audit/audit_parser.h"
+#include "src/audit/expression_library.h"
+#include "src/audit/online.h"
+#include "src/workload/hospital.h"
+
+using namespace auditdb;
+
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+}  // namespace
+
+int main() {
+  Database db;
+  Status status = workload::BuildPaperDatabase(&db, Ts(1));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // The expressions arriving over time (all with full-span windows).
+  const char* kIncoming[] = {
+      // A narrow complaint: ward-W14 diabetics.
+      "AUDIT (disease) FROM P-Health "
+      "WHERE disease = 'diabetic' AND ward = 'W14'",
+      // Another narrow one: ward-W12 diabetics.
+      "AUDIT (disease) FROM P-Health "
+      "WHERE disease = 'diabetic' AND ward = 'W12'",
+      // A policy review broadens the scope: ALL diabetics. Subsumes both.
+      "AUDIT (disease) FROM P-Health WHERE disease = 'diabetic'",
+      // A later complaint about ward W14 again: redundant now.
+      "AUDIT (disease) FROM P-Health "
+      "WHERE disease = 'diabetic' AND ward = 'W14'",
+      // An unrelated salary audit: kept alongside.
+      "AUDIT (salary) FROM P-Employ WHERE salary > 15000",
+  };
+
+  audit::ExpressionLibrary library(&db.catalog());
+  const std::string span =
+      "DURING 1/1/1970 to 1/1/1980 DATA-INTERVAL 1/1/1970 to 1/1/1980 ";
+  for (const char* text : kIncoming) {
+    auto expr = audit::ParseAudit(span + text, Ts(1000));
+    if (!expr.ok()) {
+      std::fprintf(stderr, "%s\n", expr.status().ToString().c_str());
+      return 1;
+    }
+    auto outcome = library.Add(*expr);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+      return 1;
+    }
+    if (outcome->added) {
+      std::printf("added   #%d  %s", outcome->id, text);
+      if (!outcome->evicted.empty()) {
+        std::printf("  (evicts");
+        for (int id : outcome->evicted) std::printf(" #%d", id);
+        std::printf(")");
+      }
+      std::printf("\n");
+    } else {
+      std::printf("skipped     %s  (subsumed by #%d)\n", text,
+                  outcome->id);
+    }
+  }
+
+  std::printf("\nlibrary holds %zu expression(s): ", library.size());
+  for (int id : library.ids()) std::printf("#%d ", id);
+  std::printf("\n\n");
+
+  // Register the surviving antichain with the online monitor.
+  audit::OnlineAuditor monitor(&db);
+  for (int id : library.ids()) {
+    auto registered = monitor.AddExpression(*library.Get(id));
+    if (!registered.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   registered.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("online monitor screening with %zu standing expression(s)\n",
+              monitor.size());
+
+  // One query that fires the broad diabetics expression.
+  LoggedQuery q;
+  q.id = 1;
+  q.sql =
+      "SELECT disease FROM P-Health WHERE disease = 'diabetic'";
+  q.timestamp = Ts(100);
+  q.user = "eve";
+  q.role = "clerk";
+  q.purpose = "billing";
+  auto screenings = monitor.Observe(q);
+  if (!screenings.ok()) return 1;
+  for (const auto& s : *screenings) {
+    std::printf("  expression #%d rank=%.2f%s\n", s.expression_id, s.rank,
+                s.fired ? "  *** FIRED ***" : "");
+  }
+
+  // Expected: 2 expressions survive (broad diabetics + salary) and the
+  // disease query fires exactly the first.
+  return library.size() == 2 ? 0 : 2;
+}

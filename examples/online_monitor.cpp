@@ -1,0 +1,97 @@
+/// Online auditing (the paper's future work, Section 4).
+///
+/// Standing audit expressions screen queries as they arrive; after every
+/// query each expression reports a suspicion rank (closeness value) in
+/// [0,1] and fires the moment the accumulated batch fully accesses a
+/// granule. Shows a slow-burn attack whose rank creeps up query by query
+/// until the monitor fires — before any offline audit would have run.
+
+#include <cstdio>
+
+#include "src/audit/audit_parser.h"
+#include "src/audit/online.h"
+#include "src/workload/hospital.h"
+
+using namespace auditdb;
+
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+LoggedQuery Q(int64_t id, const std::string& sql, int64_t at) {
+  LoggedQuery q;
+  q.id = id;
+  q.sql = sql;
+  q.timestamp = Ts(at);
+  q.user = "mallory";
+  q.role = "clerk";
+  q.purpose = "billing";
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  Status status = workload::BuildPaperDatabase(&db, Ts(1));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  audit::OnlineAuditor monitor(&db);
+  auto expr = audit::ParseAudit(
+      "DURING 1/1/1970 to 2/1/1970 "
+      "AUDIT (name,disease,address) "
+      "FROM P-Personal, P-Health, P-Employ "
+      "WHERE P-Personal.pid=P-Health.pid AND P-Health.pid=P-Employ.pid "
+      "AND P-Personal.zipcode='145568' AND P-Employ.salary > 10000 "
+      "AND P-Health.disease='diabetic'",
+      Ts(1000));
+  if (!expr.ok()) {
+    std::fprintf(stderr, "%s\n", expr.status().ToString().c_str());
+    return 1;
+  }
+  auto id = monitor.AddExpression(*expr);
+  if (!id.ok()) {
+    std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("standing audit expression #%d registered\n\n", *id);
+
+  // The slow-burn attack: each query looks harmless on its own.
+  const struct {
+    const char* description;
+    const char* sql;
+  } steps[] = {
+      {"scout the ward layout (irrelevant)",
+       "SELECT ward FROM P-Health WHERE ward = 'W14'"},
+      {"names of the zip-code population",
+       "SELECT name, pid FROM P-Personal WHERE zipcode = '145568'"},
+      {"addresses of the same population",
+       "SELECT address FROM P-Personal WHERE zipcode = '145568'"},
+      {"diagnoses, joined to complete the disclosure",
+       "SELECT disease FROM P-Personal, P-Health "
+       "WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'"},
+  };
+
+  int64_t at = 100;
+  int64_t qid = 1;
+  for (const auto& step : steps) {
+    auto screenings = monitor.Observe(Q(qid, step.sql, at));
+    if (!screenings.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   screenings.status().ToString().c_str());
+      return 1;
+    }
+    const auto& s = (*screenings)[0];
+    std::printf("q%lld %-45s rank=%.2f%s\n",
+                static_cast<long long>(qid), step.description, s.rank,
+                s.fired ? "  *** FIRED ***" : "");
+    ++qid;
+    at += 10;
+  }
+
+  auto final_state = monitor.Current();
+  return final_state[0].fired ? 0 : 2;
+}

@@ -1,0 +1,196 @@
+#include "src/audit/attr_structure.h"
+
+#include <algorithm>
+
+namespace auditdb {
+namespace audit {
+
+namespace {
+
+bool IsStar(const ColumnRef& ref) {
+  return ref.table.empty() && ref.column == "*";
+}
+
+}  // namespace
+
+std::string AttrGroup::ToString() const {
+  std::string out = mandatory ? "(" : "[";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += attrs[i].ToString();
+  }
+  out += mandatory ? ")" : "]";
+  return out;
+}
+
+std::string AttrStructure::ToString() const {
+  std::string out;
+  for (const auto& group : groups) out += group.ToString();
+  return out;
+}
+
+Status AttrStructure::Qualify(const Catalog& catalog,
+                              const std::vector<std::string>& scope) {
+  for (auto& group : groups) {
+    std::vector<ColumnRef> expanded;
+    for (auto& attr : group.attrs) {
+      if (IsStar(attr)) {
+        for (const auto& table_name : scope) {
+          auto table = catalog.GetTable(table_name);
+          if (!table.ok()) return table.status();
+          for (const auto& col : (*table)->columns()) {
+            expanded.push_back(ColumnRef{table_name, col.name});
+          }
+        }
+        continue;
+      }
+      // Table-qualified star: T.*
+      if (!attr.table.empty() && attr.column == "*") {
+        auto table = catalog.GetTable(attr.table);
+        if (!table.ok()) return table.status();
+        for (const auto& col : (*table)->columns()) {
+          expanded.push_back(ColumnRef{attr.table, col.name});
+        }
+        continue;
+      }
+      auto resolved = catalog.Resolve(attr, scope);
+      if (!resolved.ok()) return resolved.status();
+      expanded.push_back(*resolved);
+    }
+    group.attrs = std::move(expanded);
+  }
+  return Status::Ok();
+}
+
+AttrStructure AttrStructure::Normalized() const {
+  AttrGroup mandatory_merged;
+  mandatory_merged.mandatory = true;
+  std::vector<AttrGroup> optional_groups;
+
+  for (const auto& group : groups) {
+    if (group.mandatory || group.attrs.size() == 1) {
+      // Rule 1/7: a singleton optional set equals a mandatory set;
+      // rule 2: mandatory sets merge.
+      for (const auto& a : group.attrs) {
+        mandatory_merged.attrs.push_back(a);
+      }
+    } else {
+      AttrGroup g = group;
+      std::sort(g.attrs.begin(), g.attrs.end());
+      g.attrs.erase(std::unique(g.attrs.begin(), g.attrs.end()),
+                    g.attrs.end());
+      // An optional group that collapses to a singleton after dedup is
+      // also mandatory (rule 1 after rule 3).
+      if (g.attrs.size() == 1) {
+        mandatory_merged.attrs.push_back(g.attrs[0]);
+      } else {
+        optional_groups.push_back(std::move(g));
+      }
+    }
+  }
+
+  std::sort(mandatory_merged.attrs.begin(), mandatory_merged.attrs.end());
+  mandatory_merged.attrs.erase(std::unique(mandatory_merged.attrs.begin(),
+                                           mandatory_merged.attrs.end()),
+                               mandatory_merged.attrs.end());
+  std::sort(optional_groups.begin(), optional_groups.end());
+  optional_groups.erase(
+      std::unique(optional_groups.begin(), optional_groups.end()),
+      optional_groups.end());
+
+  AttrStructure out;
+  if (!mandatory_merged.attrs.empty()) {
+    out.groups.push_back(std::move(mandatory_merged));
+  }
+  for (auto& g : optional_groups) out.groups.push_back(std::move(g));
+  return out;
+}
+
+std::vector<std::set<ColumnRef>> AttrStructure::EnumerateSchemes() const {
+  // Cartesian product over groups: a mandatory group contributes its whole
+  // set; an optional group contributes one chosen member.
+  std::vector<std::set<ColumnRef>> schemes;
+  schemes.emplace_back();  // start from the empty scheme
+
+  for (const auto& group : groups) {
+    if (group.attrs.empty()) continue;
+    if (group.mandatory) {
+      for (auto& scheme : schemes) {
+        scheme.insert(group.attrs.begin(), group.attrs.end());
+      }
+    } else {
+      std::vector<std::set<ColumnRef>> next;
+      next.reserve(schemes.size() * group.attrs.size());
+      for (const auto& scheme : schemes) {
+        for (const auto& choice : group.attrs) {
+          std::set<ColumnRef> s = scheme;
+          s.insert(choice);
+          next.push_back(std::move(s));
+        }
+      }
+      schemes = std::move(next);
+    }
+  }
+
+  // Drop empty schemes (structure with no attributes at all).
+  schemes.erase(std::remove_if(schemes.begin(), schemes.end(),
+                               [](const std::set<ColumnRef>& s) {
+                                 return s.empty();
+                               }),
+                schemes.end());
+
+  // Dedup, then keep only minimal schemes: granule access is monotone in
+  // the attribute set, so a scheme containing another is redundant.
+  std::sort(schemes.begin(), schemes.end());
+  schemes.erase(std::unique(schemes.begin(), schemes.end()), schemes.end());
+  std::vector<std::set<ColumnRef>> minimal;
+  for (const auto& s : schemes) {
+    bool dominated = false;
+    for (const auto& t : schemes) {
+      if (&s == &t) continue;
+      if (t.size() < s.size() &&
+          std::includes(s.begin(), s.end(), t.begin(), t.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(s);
+  }
+  return minimal;
+}
+
+bool AttrStructure::EquivalentTo(const AttrStructure& other) const {
+  return EnumerateSchemes() == other.EnumerateSchemes();
+}
+
+std::set<ColumnRef> AttrStructure::AllAttributes() const {
+  std::set<ColumnRef> out;
+  for (const auto& group : groups) {
+    out.insert(group.attrs.begin(), group.attrs.end());
+  }
+  return out;
+}
+
+bool AttrStructure::HasStar() const {
+  for (const auto& group : groups) {
+    for (const auto& attr : group.attrs) {
+      if (attr.column == "*") return true;
+    }
+  }
+  return false;
+}
+
+AttrStructure AttrStructure::Mandatory(std::vector<ColumnRef> attrs) {
+  AttrStructure out;
+  out.groups.push_back(AttrGroup{true, std::move(attrs)});
+  return out;
+}
+
+AttrStructure AttrStructure::Optional(std::vector<ColumnRef> attrs) {
+  AttrStructure out;
+  out.groups.push_back(AttrGroup{false, std::move(attrs)});
+  return out;
+}
+
+}  // namespace audit
+}  // namespace auditdb

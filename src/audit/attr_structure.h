@@ -1,0 +1,84 @@
+#ifndef AUDITDB_AUDIT_ATTR_STRUCTURE_H_
+#define AUDITDB_AUDIT_ATTR_STRUCTURE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/status.h"
+
+namespace auditdb {
+namespace audit {
+
+/// One group of the AUDIT clause: `(a,b)` is a mandatory set (all members
+/// must be accessed), `[a,b]` an optional set (at least one member must be
+/// accessed). An attribute may be the star `*`, which expands to every
+/// column of every FROM-clause table when the structure is qualified.
+struct AttrGroup {
+  bool mandatory = true;
+  std::vector<ColumnRef> attrs;
+
+  bool operator==(const AttrGroup& other) const {
+    return mandatory == other.mandatory && attrs == other.attrs;
+  }
+  bool operator<(const AttrGroup& other) const {
+    if (mandatory != other.mandatory) return mandatory && !other.mandatory;
+    return attrs < other.attrs;
+  }
+
+  std::string ToString() const;
+};
+
+/// The audit-attribute structure of Section 3.2: a sequence of mandatory
+/// and optional groups. A batch of queries satisfies the structure when it
+/// accesses every member of every mandatory group and at least one member
+/// of each optional group.
+///
+/// The *schemes* of the structure are the minimal attribute sets whose
+/// access satisfies it — the granule schemes of the suspicion model. For
+/// `(a,b)[c,d]` the schemes are {a,b,c} and {a,b,d}; for `[a,b,c,d]` they
+/// are {a}..{d}; for `(a,b,c,d)` the single scheme {a,b,c,d}.
+struct AttrStructure {
+  std::vector<AttrGroup> groups;
+
+  /// Renders as written, e.g. "(a,b)[c,d]".
+  std::string ToString() const;
+
+  /// Resolves every attribute against `catalog` within `scope` and expands
+  /// stars (`*` becomes one attribute per column per scope table, within
+  /// its group).
+  Status Qualify(const Catalog& catalog,
+                 const std::vector<std::string>& scope);
+
+  /// Structural normal form implementing Table 6:
+  ///   rule 1/7: singleton optional groups become mandatory;
+  ///   rule 2/5: all mandatory groups merge into one, placed first;
+  ///   rule 3:   members sorted and deduplicated within groups;
+  ///   rule 5:   optional groups sorted among themselves.
+  /// (Rule 6, nesting, is resolved at parse time; rule 4 follows from
+  /// rules 1 and 2.)
+  AttrStructure Normalized() const;
+
+  /// Semantic equivalence: identical minimal scheme sets. Implies (and is
+  /// implied by, for Table 6 rewrites) equality of normal forms.
+  bool EquivalentTo(const AttrStructure& other) const;
+
+  /// Minimal schemes (antichain: no scheme contains another), sorted.
+  std::vector<std::set<ColumnRef>> EnumerateSchemes() const;
+
+  /// Every attribute mentioned anywhere in the structure.
+  std::set<ColumnRef> AllAttributes() const;
+
+  /// True if any group contains a bare `*`.
+  bool HasStar() const;
+
+  /// Convenience constructors.
+  static AttrStructure Mandatory(std::vector<ColumnRef> attrs);
+  static AttrStructure Optional(std::vector<ColumnRef> attrs);
+};
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_ATTR_STRUCTURE_H_

@@ -1,0 +1,68 @@
+#include "src/audit/audit_expression.h"
+
+#include "src/common/string_util.h"
+#include "src/expr/analysis.h"
+
+namespace auditdb {
+namespace audit {
+
+AuditExpression AuditExpression::Clone() const {
+  AuditExpression out;
+  out.attrs = attrs;
+  out.from = from;
+  out.where = where ? where->Clone() : nullptr;
+  out.filter = filter;
+  out.data_interval = data_interval;
+  out.threshold = threshold;
+  out.indispensable = indispensable;
+  return out;
+}
+
+std::string AuditExpression::ToString() const {
+  std::string out;
+  auto rp_list = [](const std::vector<RolePurposePattern>& patterns) {
+    std::string s;
+    for (const auto& p : patterns) s += " " + p.ToString();
+    return s;
+  };
+  if (!filter.neg_role_purpose.empty()) {
+    out += "Neg-Role-Purpose" + rp_list(filter.neg_role_purpose) + "\n";
+  }
+  if (!filter.pos_role_purpose.empty()) {
+    out += "Pos-Role-Purpose" + rp_list(filter.pos_role_purpose) + "\n";
+  }
+  if (!filter.neg_users.empty()) {
+    out += "Neg-User-Identity " + Join(filter.neg_users, " ") + "\n";
+  }
+  if (!filter.pos_users.empty()) {
+    out += "Pos-User-Identity " + Join(filter.pos_users, " ") + "\n";
+  }
+  if (filter.during.has_value()) {
+    out += "DURING " + filter.during->ToString() + "\n";
+  }
+  out += "DATA-INTERVAL " + data_interval.ToString() + "\n";
+  out += "THRESHOLD " + threshold.ToString() + "\n";
+  out += std::string("INDISPENSABLE ") +
+         (indispensable ? "true" : "false") + "\n";
+  out += "AUDIT " + attrs.ToString() + "\n";
+  out += "FROM " + Join(from, ", ") + "\n";
+  if (where) {
+    out += "WHERE " + where->ToString() + "\n";
+  }
+  return out;
+}
+
+Status AuditExpression::Qualify(const Catalog& catalog) {
+  for (const auto& table : from) {
+    auto t = catalog.GetTable(table);
+    if (!t.ok()) return t.status();
+  }
+  AUDITDB_RETURN_IF_ERROR(attrs.Qualify(catalog, from));
+  if (where) {
+    AUDITDB_RETURN_IF_ERROR(QualifyColumns(where.get(), catalog, from));
+  }
+  return Status::Ok();
+}
+
+}  // namespace audit
+}  // namespace auditdb

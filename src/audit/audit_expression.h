@@ -1,0 +1,85 @@
+#ifndef AUDITDB_AUDIT_AUDIT_EXPRESSION_H_
+#define AUDITDB_AUDIT_AUDIT_EXPRESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/audit/attr_structure.h"
+#include "src/common/timestamp.h"
+#include "src/expr/expression.h"
+#include "src/policy/access_filter.h"
+
+namespace auditdb {
+namespace audit {
+
+/// The THRESHOLD clause: a count N, or ALL (every tuple of the target
+/// data view must be accessed).
+struct Threshold {
+  int64_t n = 1;
+  bool all = false;
+
+  static Threshold N(int64_t n) { return Threshold{n, false}; }
+  static Threshold All() { return Threshold{0, true}; }
+
+  std::string ToString() const {
+    return all ? "ALL" : std::to_string(n);
+  }
+  bool operator==(const Threshold& other) const {
+    return all == other.all && (all || n == other.n);
+  }
+};
+
+/// A fully parsed audit expression in the paper's unified model (Fig. 7):
+///
+///   Neg-Role-Purpose {(r,pr)|(r,-)|(-,pr)}*      (default: all accesses)
+///   Pos-Role-Purpose {(r,pr)|(r,-)|(-,pr)}*      (default: all accesses)
+///   Neg-User-Identity {u-id}*                    (default: all accesses)
+///   Pos-User-Identity {u-id}*                    (default: all accesses)
+///   DURING ts1 to ts2                            (default: current day)
+///   DATA-INTERVAL ts1 to ts2                     (default: current day)
+///   THRESHOLD N | ALL                            (default: 1)
+///   INDISPENSABLE true | false                   (default: true)
+///   AUDIT <attribute structure>
+///   FROM <tables>
+///   WHERE <predicate>
+///
+/// The legacy Agrawal et al. syntax (Fig. 1) parses into the same object:
+/// OTHERTHAN PURPOSE p1,p2 becomes Neg-Role-Purpose (-,p1)(-,p2), and a
+/// plain attribute list becomes a single mandatory group.
+struct AuditExpression {
+  /// AUDIT clause.
+  AttrStructure attrs;
+  /// FROM clause.
+  std::vector<std::string> from;
+  /// WHERE clause; nullptr = TRUE.
+  ExprPtr where;
+
+  /// Limiting parameters (Pos/Neg clauses + DURING).
+  AccessFilter filter;
+  /// Data versions the target view ranges over.
+  TimeInterval data_interval;
+  /// Suspicion parameters.
+  Threshold threshold;
+  bool indispensable = true;
+
+  AuditExpression() = default;
+  AuditExpression(AuditExpression&&) = default;
+  AuditExpression& operator=(AuditExpression&&) = default;
+
+  /// Deep copy.
+  AuditExpression Clone() const;
+
+  /// Canonical text form (parse → ToString → parse round-trips).
+  std::string ToString() const;
+
+  /// Qualifies the attribute structure and WHERE columns against a
+  /// catalog (must run before computing target views).
+  Status Qualify(const Catalog& catalog);
+};
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_AUDIT_EXPRESSION_H_

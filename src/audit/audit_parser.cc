@@ -1,0 +1,312 @@
+#include "src/audit/audit_parser.h"
+
+#include "src/sql/parser.h"
+
+namespace auditdb {
+namespace audit {
+
+namespace {
+
+using sql::Token;
+using sql::TokenKind;
+
+/// The clause keywords that terminate free-form lists (user identities).
+bool IsClauseKeyword(const Token& t) {
+  return t.IsKeyword("Neg-Role-Purpose") || t.IsKeyword("Pos-Role-Purpose") ||
+         t.IsKeyword("Neg-User-Identity") || t.IsKeyword("Pos-User-Identity") ||
+         t.IsKeyword("DURING") || t.IsKeyword("DATA-INTERVAL") ||
+         t.IsKeyword("THRESHOLD") || t.IsKeyword("INDISPENSABLE") ||
+         t.IsKeyword("OTHERTHAN") || t.IsKeyword("AUDIT");
+}
+
+class AuditParser : public sql::ParserBase {
+ public:
+  AuditParser(std::vector<Token> tokens, Timestamp now)
+      : ParserBase(std::move(tokens)), now_(now) {}
+
+  Result<AuditExpression> Parse() {
+    AuditExpression expr;
+    // Defaults per Fig. 7: current day for both intervals.
+    TimeInterval today{now_.StartOfDay(), now_};
+    expr.data_interval = today;
+    bool during_set = false;
+
+    while (!AtEnd() && !Peek().IsKeyword("AUDIT")) {
+      if (MatchKeyword("Neg-Role-Purpose")) {
+        auto patterns = ParseRolePurposeList();
+        if (!patterns.ok()) return patterns.status();
+        auto& dst = expr.filter.neg_role_purpose;
+        dst.insert(dst.end(), patterns->begin(), patterns->end());
+      } else if (MatchKeyword("Pos-Role-Purpose")) {
+        auto patterns = ParseRolePurposeList();
+        if (!patterns.ok()) return patterns.status();
+        auto& dst = expr.filter.pos_role_purpose;
+        dst.insert(dst.end(), patterns->begin(), patterns->end());
+      } else if (MatchKeyword("Neg-User-Identity")) {
+        auto users = ParseUserList();
+        if (!users.ok()) return users.status();
+        auto& dst = expr.filter.neg_users;
+        dst.insert(dst.end(), users->begin(), users->end());
+      } else if (MatchKeyword("Pos-User-Identity")) {
+        auto users = ParseUserList();
+        if (!users.ok()) return users.status();
+        auto& dst = expr.filter.pos_users;
+        dst.insert(dst.end(), users->begin(), users->end());
+      } else if (MatchKeyword("OTHERTHAN")) {
+        // Legacy Agrawal clause: OTHERTHAN PURPOSE p1, p2 filters out
+        // accesses made for the listed purposes.
+        AUDITDB_RETURN_IF_ERROR(ExpectKeyword("PURPOSE"));
+        auto purposes = ParseUserList();
+        if (!purposes.ok()) return purposes.status();
+        for (auto& p : *purposes) {
+          expr.filter.neg_role_purpose.push_back(
+              RolePurposePattern{"-", std::move(p)});
+        }
+      } else if (MatchKeyword("DURING")) {
+        auto interval = ParseInterval();
+        if (!interval.ok()) return interval.status();
+        expr.filter.during = *interval;
+        during_set = true;
+      } else if (MatchKeyword("DATA-INTERVAL")) {
+        auto interval = ParseInterval();
+        if (!interval.ok()) return interval.status();
+        expr.data_interval = *interval;
+      } else if (MatchKeyword("THRESHOLD")) {
+        if (MatchKeyword("ALL")) {
+          expr.threshold = Threshold::All();
+        } else if (Peek().kind == TokenKind::kInt) {
+          int64_t n = Advance().int_value;
+          if (n < 1) return ErrorHere("THRESHOLD must be >= 1");
+          expr.threshold = Threshold::N(n);
+        } else {
+          return ErrorHere("expected integer or ALL after THRESHOLD");
+        }
+      } else if (MatchKeyword("INDISPENSABLE")) {
+        Match(TokenKind::kEq);  // the paper writes INDISPENSABLE = true
+        if (MatchKeyword("true")) {
+          expr.indispensable = true;
+        } else if (MatchKeyword("false")) {
+          expr.indispensable = false;
+        } else {
+          return ErrorHere("expected true or false after INDISPENSABLE");
+        }
+      } else {
+        return ErrorHere("expected an audit clause, found '" + Peek().text +
+                         "'");
+      }
+    }
+
+    if (!during_set) expr.filter.during = today;
+
+    AUDITDB_RETURN_IF_ERROR(ExpectKeyword("AUDIT"));
+    auto attrs = ParseAttrStructure();
+    if (!attrs.ok()) return attrs.status();
+    expr.attrs = std::move(*attrs);
+
+    AUDITDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    auto tables = ParseTableList();
+    if (!tables.ok()) return tables.status();
+    expr.from = std::move(*tables);
+
+    if (MatchKeyword("WHERE")) {
+      auto where = ParseExpr();
+      if (!where.ok()) return where.status();
+      expr.where = std::move(*where);
+    }
+    Match(TokenKind::kSemicolon);
+    if (!AtEnd()) return ErrorHere("trailing input after audit expression");
+    return expr;
+  }
+
+ private:
+  /// { (r,pr) | (r,-) | (-,pr) }* — pairs, optionally comma-separated.
+  Result<std::vector<RolePurposePattern>> ParseRolePurposeList() {
+    std::vector<RolePurposePattern> out;
+    while (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      auto role = ParseNameOrDash();
+      if (!role.ok()) return role.status();
+      AUDITDB_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+      auto purpose = ParseNameOrDash();
+      if (!purpose.ok()) return purpose.status();
+      AUDITDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      out.push_back(RolePurposePattern{std::move(*role), std::move(*purpose)});
+      Match(TokenKind::kComma);
+    }
+    if (out.empty()) {
+      return ErrorHere("expected at least one (role,purpose) pair");
+    }
+    return out;
+  }
+
+  Result<std::string> ParseNameOrDash() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kMinus) {
+      Advance();
+      return std::string("-");
+    }
+    if (t.kind == TokenKind::kIdentifier || t.kind == TokenKind::kString) {
+      Advance();
+      return t.text;
+    }
+    if (t.kind == TokenKind::kInt) {
+      Advance();
+      return std::to_string(t.int_value);
+    }
+    return ErrorHere("expected role/purpose name or '-'");
+  }
+
+  /// Free-form list of names terminated by the next clause keyword.
+  Result<std::vector<std::string>> ParseUserList() {
+    std::vector<std::string> out;
+    while (!AtEnd() && !IsClauseKeyword(Peek())) {
+      const Token& t = Peek();
+      if (t.kind == TokenKind::kIdentifier || t.kind == TokenKind::kString) {
+        out.push_back(t.text);
+        Advance();
+      } else if (t.kind == TokenKind::kInt) {
+        out.push_back(std::to_string(t.int_value));
+        Advance();
+      } else if (t.kind == TokenKind::kComma) {
+        Advance();
+      } else {
+        break;
+      }
+    }
+    if (out.empty()) return ErrorHere("expected at least one name");
+    return out;
+  }
+
+  Result<Timestamp> ParseTimestampToken() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kTimestamp) {
+      Advance();
+      return t.time_value;
+    }
+    if (t.IsKeyword("now") && Peek(1).kind == TokenKind::kLParen &&
+        Peek(2).kind == TokenKind::kRParen) {
+      Advance();
+      Advance();
+      Advance();
+      return now_;
+    }
+    return ErrorHere("expected timestamp (d/m/yyyy:hh-mm-ss) or now()");
+  }
+
+  Result<TimeInterval> ParseInterval() {
+    auto start = ParseTimestampToken();
+    if (!start.ok()) return start.status();
+    AUDITDB_RETURN_IF_ERROR(ExpectKeyword("to"));
+    auto end = ParseTimestampToken();
+    if (!end.ok()) return end.status();
+    if (*end < *start) {
+      return ErrorHere("interval end precedes start");
+    }
+    return TimeInterval{*start, *end};
+  }
+
+  /// Either a sequence of ()/[] groups (the unified syntax) or a plain
+  /// attribute list (the legacy syntax, one mandatory group). Nested
+  /// groups collapse per rule 6 of Table 6: the innermost bracket kind
+  /// closest to the attributes wins.
+  Result<AttrStructure> ParseAttrStructure() {
+    AttrStructure out;
+    if (Peek().kind == TokenKind::kLParen ||
+        Peek().kind == TokenKind::kLBracket) {
+      while (true) {
+        if (Peek().kind == TokenKind::kLParen ||
+            Peek().kind == TokenKind::kLBracket) {
+          auto group = ParseGroup();
+          if (!group.ok()) return group.status();
+          out.groups.push_back(std::move(*group));
+          Match(TokenKind::kComma);
+        } else {
+          break;
+        }
+      }
+      if (out.groups.empty()) {
+        return ErrorHere("expected at least one audit attribute group");
+      }
+      return out;
+    }
+    // Legacy plain list → one mandatory group.
+    AttrGroup group;
+    group.mandatory = true;
+    while (true) {
+      auto attr = ParseAttr();
+      if (!attr.ok()) return attr.status();
+      group.attrs.push_back(std::move(*attr));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    out.groups.push_back(std::move(group));
+    return out;
+  }
+
+  /// One ( ... ) or [ ... ] group; handles rule-6 nesting like [(a,b)]
+  /// by taking the innermost bracket kind.
+  Result<AttrGroup> ParseGroup() {
+    bool opened_mandatory = Peek().kind == TokenKind::kLParen;
+    Advance();
+    // Nested group: [(a,b)] == (a,b), ([a,b]) == [a,b].
+    if (Peek().kind == TokenKind::kLParen ||
+        Peek().kind == TokenKind::kLBracket) {
+      auto inner = ParseGroup();
+      if (!inner.ok()) return inner.status();
+      AUDITDB_RETURN_IF_ERROR(
+          Expect(opened_mandatory ? TokenKind::kRParen : TokenKind::kRBracket,
+                 opened_mandatory ? "')'" : "']'"));
+      return inner;
+    }
+    AttrGroup group;
+    group.mandatory = opened_mandatory;
+    while (true) {
+      auto attr = ParseAttr();
+      if (!attr.ok()) return attr.status();
+      group.attrs.push_back(std::move(*attr));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    AUDITDB_RETURN_IF_ERROR(
+        Expect(opened_mandatory ? TokenKind::kRParen : TokenKind::kRBracket,
+               opened_mandatory ? "')'" : "']'"));
+    return group;
+  }
+
+  /// Column reference, `*`, or `Table.*`.
+  Result<ColumnRef> ParseAttr() {
+    if (Match(TokenKind::kStar)) {
+      return ColumnRef{"", "*"};
+    }
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected audit attribute");
+    }
+    std::string first = Advance().text;
+    if (Match(TokenKind::kDot)) {
+      if (Match(TokenKind::kStar)) {
+        return ColumnRef{std::move(first), "*"};
+      }
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorHere("expected column name after '.'");
+      }
+      return ColumnRef{std::move(first), Advance().text};
+    }
+    return ColumnRef{"", std::move(first)};
+  }
+
+  Timestamp now_;
+};
+
+}  // namespace
+
+Result<AuditExpression> ParseAudit(const std::string& text, Timestamp now) {
+  auto tokens = sql::Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  AuditParser parser(std::move(*tokens), now);
+  return parser.Parse();
+}
+
+Result<AuditExpression> ParseAudit(const std::string& text) {
+  return ParseAudit(text, Timestamp::Now());
+}
+
+}  // namespace audit
+}  // namespace auditdb

@@ -1,0 +1,28 @@
+#ifndef AUDITDB_AUDIT_AUDIT_PARSER_H_
+#define AUDITDB_AUDIT_AUDIT_PARSER_H_
+
+#include <string>
+
+#include "src/audit/audit_expression.h"
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+
+namespace auditdb {
+namespace audit {
+
+/// Parses the unified audit-expression grammar (Fig. 7 of the paper) and
+/// the legacy Agrawal syntax (Fig. 1). Clauses may appear in any order
+/// before the AUDIT clause; unspecified clauses take their defaults:
+/// DURING and DATA-INTERVAL default to the current day
+/// [StartOfDay(now), now], THRESHOLD to 1, INDISPENSABLE to true.
+///
+/// `now` anchors the defaults and the `now()` literal, so parses are
+/// reproducible in tests; it defaults to the wall clock.
+Result<AuditExpression> ParseAudit(const std::string& text, Timestamp now);
+
+Result<AuditExpression> ParseAudit(const std::string& text);
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_AUDIT_PARSER_H_

@@ -1,0 +1,294 @@
+#include "src/audit/auditor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+namespace auditdb {
+namespace audit {
+
+std::vector<int64_t> AuditReport::SuspiciousQueryIds() const {
+  std::vector<int64_t> out;
+  for (const auto& v : verdicts) {
+    if (v.suspicious_alone) out.push_back(v.query_id);
+  }
+  return out;
+}
+
+std::string AuditReport::Summary() const {
+  std::string out;
+  out += "logged=" + std::to_string(num_logged);
+  out += " admitted=" + std::to_string(num_admitted);
+  out += " candidates=" + std::to_string(num_candidates);
+  out += " executed=" + std::to_string(num_executed);
+  out += " |U|=" + std::to_string(target_view_size);
+  out += " schemes=" + std::to_string(num_schemes);
+  out += std::string(" batch_suspicious=") +
+         (batch_suspicious ? "true" : "false");
+  auto ids = SuspiciousQueryIds();
+  out += " suspicious_queries=[";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string AuditReport::DetailedReport(const QueryLog& log) const {
+  std::string out;
+  out += "=== AUDIT REPORT ===\n";
+  out += expression;
+  out += "\npipeline: " + std::to_string(num_logged) + " logged -> " +
+         std::to_string(num_admitted) + " admitted -> " +
+         std::to_string(num_candidates) + " candidates -> " +
+         std::to_string(num_executed) + " executed; |U| = " +
+         std::to_string(target_view_size) + ", " +
+         std::to_string(num_schemes) + " scheme(s)\n";
+  {
+    char timing[160];
+    std::snprintf(timing, sizeof(timing),
+                  "phases: static %.1f ms, view %.1f ms, exec %.1f ms, "
+                  "check %.1f ms\n",
+                  static_seconds * 1e3, view_seconds * 1e3,
+                  exec_seconds * 1e3, check_seconds * 1e3);
+    out += timing;
+  }
+  out += std::string("batch verdict: ") +
+         (batch_suspicious ? "SUSPICIOUS" : "not suspicious") + "\n";
+  if (!minimal_batch.empty()) {
+    out += "minimal suspicious batch:";
+    for (int64_t id : minimal_batch) out += " #" + std::to_string(id);
+    out += "\n";
+  }
+  out += "\nper-query verdicts:\n";
+  for (const auto& verdict : verdicts) {
+    std::string flag;
+    if (!verdict.admitted) {
+      flag = "filtered ";
+    } else if (verdict.parse_failed) {
+      flag = "unparsed ";
+    } else if (!verdict.candidate) {
+      flag = "cleared  ";  // statically
+    } else if (verdict.suspicious_alone) {
+      flag = "SUSPECT  ";
+    } else {
+      flag = "candidate";
+    }
+    auto entry = log.Get(verdict.query_id);
+    out += "  [" + flag + "] " +
+           (entry.ok() ? (*entry)->ToString()
+                       : "#" + std::to_string(verdict.query_id)) +
+           "\n";
+  }
+  if (!evidence.empty()) {
+    out += "\nevidence:\n" + evidence;
+  }
+  return out;
+}
+
+Result<AuditReport> Auditor::Audit(const std::string& audit_text,
+                                   Timestamp now,
+                                   const AuditOptions& options) const {
+  auto expr = ParseAudit(audit_text, now);
+  if (!expr.ok()) return expr.status();
+  return Audit(*expr, options);
+}
+
+Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
+                                   const AuditOptions& options) const {
+  AuditExpression expr = parsed.Clone();
+  AUDITDB_RETURN_IF_ERROR(expr.Qualify(db_->catalog()));
+
+  AuditReport report;
+  report.expression = expr.ToString();
+  report.num_logged = log_->size();
+
+  using Clock = std::chrono::steady_clock;
+  auto seconds_since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  auto phase_start = Clock::now();
+
+  // Phase 1+2: limiting parameters, then static candidacy.
+  struct Candidate {
+    const LoggedQuery* logged;
+    sql::SelectStatement stmt;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& logged : log_->entries()) {
+    QueryVerdict verdict;
+    verdict.query_id = logged.id;
+    verdict.admitted = expr.filter.Admits(logged);
+    if (verdict.admitted) {
+      ++report.num_admitted;
+      auto stmt = sql::ParseSelect(logged.sql);
+      if (!stmt.ok()) {
+        verdict.parse_failed = true;
+      } else {
+        auto candidate = IsBatchCandidate(*stmt, expr, db_->catalog(),
+                                          options.candidate);
+        if (!candidate.ok()) {
+          // Unresolvable columns / unknown tables: not auditable against
+          // this schema, treat as non-candidate.
+          verdict.candidate = false;
+        } else if (*candidate) {
+          verdict.candidate = true;
+          ++report.num_candidates;
+          candidates.push_back(Candidate{&logged, std::move(*stmt)});
+        }
+      }
+    }
+    report.verdicts.push_back(verdict);
+  }
+
+  report.static_seconds = seconds_since(phase_start);
+
+  // Data-independent mode: decide from the static phase alone.
+  if (options.static_only) {
+    std::set<ColumnRef> covered;
+    for (const auto& candidate : candidates) {
+      auto cols = StaticAccessedColumns(candidate.stmt, db_->catalog(),
+                                        /*outputs_only=*/!expr.indispensable);
+      if (!cols.ok()) continue;
+      covered.insert(cols->begin(), cols->end());
+    }
+    auto schemes_static = expr.attrs.EnumerateSchemes();
+    report.num_schemes = schemes_static.size();
+    for (const auto& scheme : schemes_static) {
+      bool all = true;
+      for (const auto& attr : scheme) {
+        if (covered.count(attr) == 0) {
+          all = false;
+          break;
+        }
+      }
+      if (all && !scheme.empty()) {
+        report.batch_suspicious = true;
+        report.evidence +=
+            "static: candidates cover scheme {" + [&scheme] {
+              std::string s;
+              for (const auto& a : scheme) {
+                if (!s.empty()) s += ",";
+                s += a.ToString();
+              }
+              return s;
+            }() + "}\n";
+      }
+    }
+    if (options.per_query_verdicts) {
+      for (auto& verdict : report.verdicts) {
+        if (!verdict.candidate) continue;
+        for (const auto& candidate : candidates) {
+          if (candidate.logged->id != verdict.query_id) continue;
+          auto single = IsSingleCandidate(candidate.stmt, expr,
+                                          db_->catalog(), options.candidate);
+          verdict.suspicious_alone = single.ok() && *single;
+          break;
+        }
+      }
+    }
+    return report;
+  }
+
+  // Phase 3: target data view across DATA-INTERVAL versions.
+  phase_start = Clock::now();
+  auto view = ComputeTargetViewOverVersions(expr, *backlog_, options.exec);
+  if (!view.ok()) return view.status();
+  report.target_view_size = view->size();
+
+  auto schemes = BuildSchemes(expr);
+  report.num_schemes = schemes.size();
+  report.view_seconds = seconds_since(phase_start);
+  phase_start = Clock::now();
+
+  // Phase 4: execute candidates against their own historical states.
+  // Queries between the same two changes share a state; cache snapshots
+  // by event count.
+  std::map<size_t, std::unique_ptr<Snapshot>> snapshot_cache;
+  std::vector<AccessProfile> profiles;
+  std::vector<int64_t> profile_ids;
+  for (const auto& candidate : candidates) {
+    size_t key = backlog_->EventCountAt(candidate.logged->timestamp);
+    auto it = snapshot_cache.find(key);
+    if (it == snapshot_cache.end()) {
+      auto snapshot = backlog_->SnapshotAt(candidate.logged->timestamp);
+      if (!snapshot.ok()) return snapshot.status();
+      it = snapshot_cache
+               .emplace(key,
+                        std::make_unique<Snapshot>(std::move(*snapshot)))
+               .first;
+    }
+    auto profile = ComputeAccessProfile(candidate.stmt, it->second->View(),
+                                        options.exec);
+    if (!profile.ok()) {
+      // Execution-time failure (e.g. type error): skip this query but
+      // keep auditing the rest.
+      continue;
+    }
+    profiles.push_back(std::move(*profile));
+    profile_ids.push_back(candidate.logged->id);
+    ++report.num_executed;
+  }
+
+  report.exec_seconds = seconds_since(phase_start);
+  phase_start = Clock::now();
+
+  // Phase 5: granule-access suspicion.
+  std::vector<const AccessProfile*> batch;
+  batch.reserve(profiles.size());
+  for (const auto& p : profiles) batch.push_back(&p);
+
+  auto batch_result = CheckBatchSuspicion(*view, schemes, expr.threshold,
+                                          expr.indispensable, batch,
+                                          options.suspicion);
+  report.batch_suspicious = batch_result.suspicious;
+  report.evidence = batch_result.Describe(*view, schemes);
+
+  if (options.per_query_verdicts) {
+    std::map<int64_t, size_t> profile_by_id;
+    for (size_t i = 0; i < profile_ids.size(); ++i) {
+      profile_by_id[profile_ids[i]] = i;
+    }
+    for (auto& verdict : report.verdicts) {
+      auto it = profile_by_id.find(verdict.query_id);
+      if (it == profile_by_id.end()) continue;
+      std::vector<const AccessProfile*> single{&profiles[it->second]};
+      auto single_result = CheckBatchSuspicion(*view, schemes,
+                                               expr.threshold,
+                                               expr.indispensable, single,
+                                               options.suspicion);
+      verdict.suspicious_alone = single_result.suspicious;
+    }
+  }
+
+  if (options.minimize_batch && report.batch_suspicious) {
+    // Greedy minimization: drop each query if the batch stays suspicious
+    // without it.
+    std::vector<size_t> kept;
+    for (size_t i = 0; i < profiles.size(); ++i) kept.push_back(i);
+    for (size_t i = 0; i < profiles.size(); ++i) {
+      std::vector<const AccessProfile*> reduced;
+      for (size_t j : kept) {
+        if (j != i) reduced.push_back(&profiles[j]);
+      }
+      if (reduced.size() == kept.size()) continue;  // i already dropped
+      auto reduced_result = CheckBatchSuspicion(*view, schemes,
+                                                expr.threshold,
+                                                expr.indispensable, reduced,
+                                                options.suspicion);
+      if (reduced_result.suspicious) {
+        kept.erase(std::remove(kept.begin(), kept.end(), i), kept.end());
+      }
+    }
+    for (size_t j : kept) report.minimal_batch.push_back(profile_ids[j]);
+  }
+  report.check_seconds = seconds_since(phase_start);
+
+  return report;
+}
+
+}  // namespace audit
+}  // namespace auditdb

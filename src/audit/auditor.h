@@ -1,0 +1,122 @@
+#ifndef AUDITDB_AUDIT_AUDITOR_H_
+#define AUDITDB_AUDIT_AUDITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/audit/audit_parser.h"
+#include "src/audit/candidate.h"
+#include "src/audit/suspicion.h"
+#include "src/backlog/backlog.h"
+#include "src/querylog/query_log.h"
+
+namespace auditdb {
+namespace audit {
+
+struct AuditOptions {
+  ExecOptions exec;
+  CandidateOptions candidate;
+  SuspicionOptions suspicion;
+  /// Also audit each admitted query as a singleton batch (per-query
+  /// verdicts, the Agrawal-style report). Costs one suspicion check per
+  /// candidate.
+  bool per_query_verdicts = true;
+  /// Greedily minimize the suspicious batch to a minimal subset.
+  bool minimize_batch = true;
+  /// Data-independent auditing (Section 2.2 of the paper): stop after the
+  /// static phase, never touching the database. The batch verdict is then
+  /// the weak-syntactic-style over-approximation — suspicious iff the
+  /// candidates together cover some granule scheme — and per-query
+  /// verdicts use the single-query static check. Sound (no flagged-by-
+  /// dynamic query is missed) but not exact; orders of magnitude cheaper.
+  bool static_only = false;
+};
+
+/// Outcome for one logged query.
+struct QueryVerdict {
+  int64_t query_id = 0;
+  /// Rejected by the limiting parameters (never considered).
+  bool admitted = false;
+  /// Survived the data-independent (static) phase.
+  bool candidate = false;
+  /// Suspicious as a singleton batch (only set when per_query_verdicts).
+  bool suspicious_alone = false;
+  /// Parse failure (logged text is not auditable SQL).
+  bool parse_failed = false;
+};
+
+/// Full audit outcome.
+struct AuditReport {
+  /// The audited expression, canonical form.
+  std::string expression;
+
+  std::vector<QueryVerdict> verdicts;
+  /// Whether the admitted candidate set, as a batch, is suspicious.
+  bool batch_suspicious = false;
+  /// A minimal suspicious subset of query ids (empty if not suspicious or
+  /// minimization disabled).
+  std::vector<int64_t> minimal_batch;
+  /// Paper-style evidence (accessed granule facts per fired scheme).
+  std::string evidence;
+
+  /// Pipeline statistics.
+  size_t num_logged = 0;
+  size_t num_admitted = 0;
+  size_t num_candidates = 0;
+  size_t num_executed = 0;
+  size_t target_view_size = 0;
+  size_t num_schemes = 0;
+
+  /// Wall-clock time per pipeline phase, in seconds (filter+static,
+  /// target-view computation, candidate re-execution, suspicion checks).
+  double static_seconds = 0;
+  double view_seconds = 0;
+  double exec_seconds = 0;
+  double check_seconds = 0;
+
+  /// Ids of queries suspicious on their own.
+  std::vector<int64_t> SuspiciousQueryIds() const;
+
+  /// One-line pipeline summary (counts + verdict).
+  std::string Summary() const;
+
+  /// Multi-line investigator-facing report: the audited expression, the
+  /// phase funnel (logged → admitted → candidates → executed), per-query
+  /// verdicts with the original log lines, the minimal suspicious batch,
+  /// and the granule evidence. `log` must be the log that was audited.
+  std::string DetailedReport(const QueryLog& log) const;
+};
+
+/// The audit pipeline (Section 3 end to end):
+///   1. limiting parameters (Pos/Neg clauses, DURING) filter the log;
+///   2. the data-independent phase discards non-candidates statically;
+///   3. the target data view U is computed over the DATA-INTERVAL versions;
+///   4. each candidate is re-executed (with lineage) against the backlog
+///      state at its own original execution time;
+///   5. granule access decides batch and per-query suspicion.
+class Auditor {
+ public:
+  /// All three stores must outlive the auditor.
+  Auditor(const Database* db, const Backlog* backlog, const QueryLog* log)
+      : db_(db), backlog_(backlog), log_(log) {}
+
+  /// Parses (anchored at `now`) and audits.
+  Result<AuditReport> Audit(const std::string& audit_text, Timestamp now,
+                            const AuditOptions& options = AuditOptions{})
+      const;
+
+  /// Audits a parsed (not yet qualified) expression.
+  Result<AuditReport> Audit(const AuditExpression& expr,
+                            const AuditOptions& options = AuditOptions{})
+      const;
+
+ private:
+  const Database* db_;
+  const Backlog* backlog_;
+  const QueryLog* log_;
+};
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_AUDITOR_H_

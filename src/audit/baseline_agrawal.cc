@@ -1,0 +1,103 @@
+#include "src/audit/baseline_agrawal.h"
+
+#include <algorithm>
+
+#include "src/audit/candidate.h"
+#include "src/expr/analysis.h"
+#include "src/expr/satisfiability.h"
+
+namespace auditdb {
+namespace audit {
+
+namespace {
+
+/// Tables common to the query's and the audit expression's FROM clauses,
+/// in the audit expression's order.
+std::vector<std::string> CommonTables(const sql::SelectStatement& query,
+                                      const AuditExpression& expr) {
+  std::vector<std::string> out;
+  for (const auto& table : expr.from) {
+    if (std::find(query.from.begin(), query.from.end(), table) !=
+        query.from.end()) {
+      out.push_back(table);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<bool> AgrawalAuditor::IsSuspicious(const sql::SelectStatement& query,
+                                          const AuditExpression& expr,
+                                          const DatabaseView& state,
+                                          const ExecOptions& exec) {
+  // Candidate test: C_Q must contain every audited attribute, and the
+  // predicates must be mutually satisfiable.
+  auto accessed = StaticAccessedColumns(query, state.catalog(),
+                                        /*outputs_only=*/false);
+  if (!accessed.ok()) return accessed.status();
+  for (const auto& attr : expr.attrs.AllAttributes()) {
+    if (accessed->count(attr) == 0) return false;
+  }
+  if (query.where && expr.where) {
+    auto where = query.where->Clone();
+    AUDITDB_RETURN_IF_ERROR(
+        QualifyColumns(where.get(), state.catalog(), query.from));
+    if (!MaybeSatisfiable(where.get(), expr.where.get())) return false;
+  }
+
+  std::vector<std::string> common = CommonTables(query, expr);
+  if (common.empty()) return false;
+
+  // Shared indispensable tuple over the common tables: intersect the
+  // lineage of the query's result with the lineage of the audit
+  // expression's target view, both projected onto the common tables.
+  auto query_result = Execute(query, state, exec);
+  if (!query_result.ok()) return query_result.status();
+  auto query_tuples = query_result->ProjectLineage(common);
+  if (!query_tuples.ok()) return query_tuples.status();
+  if (query_tuples->empty()) return false;
+
+  sql::SelectStatement audit_query;
+  audit_query.select_star = true;
+  audit_query.from = expr.from;
+  audit_query.where = expr.where ? expr.where->Clone() : nullptr;
+  auto audit_result = Execute(audit_query, state, exec);
+  if (!audit_result.ok()) return audit_result.status();
+  auto audit_tuples = audit_result->ProjectLineage(common);
+  if (!audit_tuples.ok()) return audit_tuples.status();
+
+  for (const auto& tuple : *query_tuples) {
+    if (audit_tuples->count(tuple) > 0) return true;
+  }
+  return false;
+}
+
+Result<AgrawalAuditor::Result_> AgrawalAuditor::Audit(
+    const AuditExpression& parsed, const ExecOptions& exec) const {
+  AuditExpression expr = parsed.Clone();
+  AUDITDB_RETURN_IF_ERROR(expr.Qualify(db_->catalog()));
+
+  Result_ result;
+  for (const auto& logged : log_->entries()) {
+    if (!expr.filter.Admits(logged)) continue;
+    auto stmt = sql::ParseSelect(logged.sql);
+    if (!stmt.ok()) continue;
+
+    // Cheap static phase first (mirrors the audit query generator's
+    // static analysis over the logged queries).
+    auto candidate = IsSingleCandidate(*stmt, expr, db_->catalog());
+    if (!candidate.ok() || !*candidate) continue;
+    ++result.num_candidates;
+
+    auto snapshot = backlog_->SnapshotAt(logged.timestamp);
+    if (!snapshot.ok()) return snapshot.status();
+    auto suspicious = IsSuspicious(*stmt, expr, snapshot->View(), exec);
+    if (!suspicious.ok()) continue;
+    if (*suspicious) result.suspicious_ids.push_back(logged.id);
+  }
+  return result;
+}
+
+}  // namespace audit
+}  // namespace auditdb

@@ -1,0 +1,105 @@
+#include "src/audit/candidate.h"
+
+#include "src/expr/analysis.h"
+#include "src/expr/satisfiability.h"
+
+namespace auditdb {
+namespace audit {
+
+Result<std::set<ColumnRef>> StaticAccessedColumns(
+    const sql::SelectStatement& query, const Catalog& catalog,
+    bool outputs_only) {
+  std::set<ColumnRef> out;
+  if (query.select_star) {
+    for (const auto& table_name : query.from) {
+      auto table = catalog.GetTable(table_name);
+      if (!table.ok()) return table.status();
+      for (const auto& col : (*table)->columns()) {
+        out.insert(ColumnRef{table_name, col.name});
+      }
+    }
+  } else {
+    for (const auto& ref : query.select_list) {
+      auto resolved = catalog.Resolve(ref, query.from);
+      if (!resolved.ok()) return resolved.status();
+      out.insert(*resolved);
+    }
+  }
+  if (!outputs_only && query.where) {
+    auto where = query.where->Clone();
+    AUDITDB_RETURN_IF_ERROR(QualifyColumns(where.get(), catalog, query.from));
+    for (const auto& col : CollectColumns(where.get())) out.insert(col);
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared consistency check: the conjunction of the query's and the audit
+/// expression's WHERE clauses must not be provably empty.
+Result<bool> PredicatesConsistent(const sql::SelectStatement& query,
+                                  const AuditExpression& expr,
+                                  const Catalog& catalog) {
+  if (!query.where || !expr.where) return true;
+  auto where = query.where->Clone();
+  AUDITDB_RETURN_IF_ERROR(QualifyColumns(where.get(), catalog, query.from));
+  return MaybeSatisfiable(where.get(), expr.where.get());
+}
+
+}  // namespace
+
+Result<bool> IsBatchCandidate(const sql::SelectStatement& query,
+                              const AuditExpression& expr,
+                              const Catalog& catalog,
+                              const CandidateOptions& options) {
+  auto accessed = StaticAccessedColumns(query, catalog,
+                                        /*outputs_only=*/!expr.indispensable);
+  if (!accessed.ok()) return accessed.status();
+
+  bool touches = false;
+  for (const auto& attr : expr.attrs.AllAttributes()) {
+    if (accessed->count(attr) > 0) {
+      touches = true;
+      break;
+    }
+  }
+  if (!touches) return false;
+
+  if (options.use_satisfiability) {
+    return PredicatesConsistent(query, expr, catalog);
+  }
+  return true;
+}
+
+Result<bool> IsSingleCandidate(const sql::SelectStatement& query,
+                               const AuditExpression& expr,
+                               const Catalog& catalog,
+                               const CandidateOptions& options) {
+  auto accessed = StaticAccessedColumns(query, catalog,
+                                        /*outputs_only=*/!expr.indispensable);
+  if (!accessed.ok()) return accessed.status();
+
+  bool covers_scheme = false;
+  for (const auto& scheme : expr.attrs.EnumerateSchemes()) {
+    bool covered = true;
+    for (const auto& attr : scheme) {
+      if (accessed->count(attr) == 0) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) {
+      covers_scheme = true;
+      break;
+    }
+  }
+  if (!covers_scheme) return false;
+
+  if (options.use_satisfiability) {
+    return PredicatesConsistent(query, expr, catalog);
+  }
+  return true;
+}
+
+}  // namespace audit
+}  // namespace auditdb

@@ -1,0 +1,50 @@
+#ifndef AUDITDB_AUDIT_CANDIDATE_H_
+#define AUDITDB_AUDIT_CANDIDATE_H_
+
+#include <set>
+
+#include "src/audit/audit_expression.h"
+#include "src/catalog/catalog.h"
+#include "src/sql/parser.h"
+
+namespace auditdb {
+namespace audit {
+
+struct CandidateOptions {
+  /// Prune queries whose WHERE clause provably conflicts with the audit
+  /// WHERE clause (data-independent satisfiability check). Disabling this
+  /// keeps the attribute-only filter (the ablation mode).
+  bool use_satisfiability = true;
+};
+
+/// The columns a query accesses, determined statically: projection list
+/// (star-expanded) plus WHERE columns, fully qualified. With
+/// `outputs_only`, just the projection (the C_OQ set used when
+/// INDISPENSABLE = false).
+Result<std::set<ColumnRef>> StaticAccessedColumns(
+    const sql::SelectStatement& query, const Catalog& catalog,
+    bool outputs_only);
+
+/// Data-independent candidacy for *batch* auditing (Definition 1): the
+/// query cannot be ruled out syntactically — it references at least one
+/// attribute of some granule scheme and its predicate does not provably
+/// conflict with the audit predicate. `expr` must be qualified.
+Result<bool> IsBatchCandidate(const sql::SelectStatement& query,
+                              const AuditExpression& expr,
+                              const Catalog& catalog,
+                              const CandidateOptions& options =
+                                  CandidateOptions{});
+
+/// Data-independent candidacy for *single-query* auditing: the query by
+/// itself covers every attribute of at least one granule scheme (so it
+/// could be suspicious alone), and is predicate-consistent.
+Result<bool> IsSingleCandidate(const sql::SelectStatement& query,
+                               const AuditExpression& expr,
+                               const Catalog& catalog,
+                               const CandidateOptions& options =
+                                   CandidateOptions{});
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_CANDIDATE_H_

@@ -1,0 +1,48 @@
+#include "src/audit/expression_library.h"
+
+namespace auditdb {
+namespace audit {
+
+Result<ExpressionLibrary::AddOutcome> ExpressionLibrary::Add(
+    const AuditExpression& expr) {
+  auto candidate = std::make_unique<AuditExpression>(expr.Clone());
+  AUDITDB_RETURN_IF_ERROR(candidate->Qualify(*catalog_));
+
+  AddOutcome outcome;
+  // Covered by an existing member? Then it adds nothing.
+  for (const auto& [id, member] : members_) {
+    if (Subsumes(*member, *candidate)) {
+      outcome.added = false;
+      outcome.id = id;
+      return outcome;
+    }
+  }
+  // Evict members the newcomer covers.
+  for (auto it = members_.begin(); it != members_.end();) {
+    if (Subsumes(*candidate, *it->second)) {
+      outcome.evicted.push_back(it->first);
+      it = members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  outcome.added = true;
+  outcome.id = next_id_++;
+  members_.emplace(outcome.id, std::move(candidate));
+  return outcome;
+}
+
+const AuditExpression* ExpressionLibrary::Get(int id) const {
+  auto it = members_.find(id);
+  return it == members_.end() ? nullptr : it->second.get();
+}
+
+std::vector<int> ExpressionLibrary::ids() const {
+  std::vector<int> out;
+  out.reserve(members_.size());
+  for (const auto& [id, member] : members_) out.push_back(id);
+  return out;
+}
+
+}  // namespace audit
+}  // namespace auditdb

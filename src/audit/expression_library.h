@@ -1,0 +1,54 @@
+#ifndef AUDITDB_AUDIT_EXPRESSION_LIBRARY_H_
+#define AUDITDB_AUDIT_EXPRESSION_LIBRARY_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/audit/subsumption.h"
+
+namespace auditdb {
+namespace audit {
+
+/// A deduplicating catalog of standing audit expressions. Organizations
+/// accumulate audit expressions (per complaint, per policy review); many
+/// end up redundant. Add() uses the conservative subsumption test to
+/// (a) reject an expression already covered by a member — any batch it
+/// would flag, the member flags — and (b) evict members the newcomer
+/// covers. The library therefore stays an antichain under Subsumes.
+class ExpressionLibrary {
+ public:
+  /// `catalog` is used to qualify added expressions; must outlive the
+  /// library.
+  explicit ExpressionLibrary(const Catalog* catalog) : catalog_(catalog) {}
+
+  struct AddOutcome {
+    /// True if the expression entered the library; false if an existing
+    /// member subsumes it (id then names that member).
+    bool added = false;
+    int id = 0;
+    /// Members removed because the new expression subsumes them.
+    std::vector<int> evicted;
+  };
+
+  /// Qualifies and inserts `expr`, maintaining the antichain property.
+  Result<AddOutcome> Add(const AuditExpression& expr);
+
+  /// Member by id, or nullptr.
+  const AuditExpression* Get(int id) const;
+
+  /// Current member ids, ascending.
+  std::vector<int> ids() const;
+
+  size_t size() const { return members_.size(); }
+
+ private:
+  const Catalog* catalog_;
+  std::map<int, std::unique_ptr<AuditExpression>> members_;
+  int next_id_ = 1;
+};
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_EXPRESSION_LIBRARY_H_

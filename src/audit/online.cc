@@ -1,0 +1,200 @@
+#include "src/audit/online.h"
+
+#include <algorithm>
+
+#include "src/audit/candidate.h"
+#include "src/sql/parser.h"
+
+namespace auditdb {
+namespace audit {
+
+OnlineAuditor::OnlineAuditor(Database* db)
+    : db_(db), change_counter_(std::make_shared<uint64_t>(0)) {
+  db_->AddChangeListener(
+      [counter = change_counter_](const ChangeEvent&) { ++*counter; });
+}
+
+Result<int> OnlineAuditor::AddExpression(const AuditExpression& expr) {
+  auto entry = std::make_unique<Entry>();
+  entry->id = next_id_++;
+  entry->expr = expr.Clone();
+  AUDITDB_RETURN_IF_ERROR(entry->expr.Qualify(db_->catalog()));
+  if (!entry->expr.indispensable) {
+    return Status::Unimplemented(
+        "online auditing supports INDISPENSABLE = true expressions only "
+        "(value-containment screening requires per-value state)");
+  }
+  AUDITDB_RETURN_IF_ERROR(RebuildEntryView(entry.get()));
+  entries_.push_back(std::move(entry));
+  return entries_.back()->id;
+}
+
+Status OnlineAuditor::RebuildEntryView(Entry* entry) {
+  // The standing expression watches the *current* data: the target view
+  // is rebuilt from the live state whenever the database has changed.
+  auto view = ComputeTargetView(entry->expr, db_->View(), Timestamp::Now());
+  if (!view.ok()) return view.status();
+  entry->view = std::move(*view);
+  entry->built_at_change = *change_counter_;
+
+  std::vector<SchemeState> states;
+  for (auto& scheme : BuildSchemes(entry->expr)) {
+    SchemeState state;
+    // Preserve accumulated attribute coverage across rebuilds.
+    for (const auto& old : entry->schemes) {
+      if (old.scheme.attrs == scheme.attrs) {
+        state.covered_attrs = old.covered_attrs;
+        break;
+      }
+    }
+    for (const auto& attr : scheme.attrs) {
+      auto idx = entry->view.ColumnIndex(attr);
+      if (idx.ok()) state.attr_columns.push_back(*idx);
+    }
+    std::sort(state.attr_columns.begin(), state.attr_columns.end());
+    for (const auto& table : scheme.tid_tables) {
+      auto idx = entry->view.TableIndex(table);
+      if (idx.ok()) state.tid_positions.push_back(*idx);
+    }
+    state.valid_facts = 0;
+    for (const auto& fact : entry->view.facts) {
+      bool valid = true;
+      for (size_t c : state.attr_columns) {
+        if (fact.values[c].is_null()) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) ++state.valid_facts;
+    }
+    state.effective_k =
+        entry->expr.threshold.all
+            ? state.valid_facts
+            : static_cast<size_t>(entry->expr.threshold.n);
+    state.scheme = std::move(scheme);
+    states.push_back(std::move(state));
+  }
+  entry->schemes = std::move(states);
+  RecomputeAccessCounts(entry);
+  return Status::Ok();
+}
+
+void OnlineAuditor::RecomputeAccessCounts(Entry* entry) {
+  for (auto& state : entry->schemes) {
+    state.accessed_facts = 0;
+    for (const auto& fact : entry->view.facts) {
+      bool valid = true;
+      for (size_t c : state.attr_columns) {
+        if (fact.values[c].is_null()) {
+          valid = false;
+          break;
+        }
+      }
+      if (!valid) continue;
+      bool accessed = true;
+      for (size_t i = 0; i < state.tid_positions.size(); ++i) {
+        auto it = entry->batch_tids.find(state.scheme.tid_tables[i]);
+        if (it == entry->batch_tids.end() ||
+            it->second.count(fact.tids[state.tid_positions[i]]) == 0) {
+          accessed = false;
+          break;
+        }
+      }
+      if (accessed) ++state.accessed_facts;
+    }
+  }
+  // Fired state: any scheme fully covered with enough accessed facts.
+  for (const auto& state : entry->schemes) {
+    if (state.effective_k == 0) continue;
+    if (state.covered_attrs.size() == state.scheme.attrs.size() &&
+        state.accessed_facts >= state.effective_k) {
+      entry->fired = true;
+    }
+  }
+}
+
+OnlineAuditor::Screening OnlineAuditor::ScreeningOf(const Entry& entry) {
+  Screening screening;
+  screening.expression_id = entry.id;
+  screening.fired = entry.fired;
+  for (size_t s = 0; s < entry.schemes.size(); ++s) {
+    const SchemeState& state = entry.schemes[s];
+    if (state.effective_k == 0 || state.scheme.attrs.empty()) continue;
+    double covered = static_cast<double>(state.covered_attrs.size());
+    double fact_credit = static_cast<double>(
+        std::min(state.accessed_facts, state.effective_k));
+    double rank =
+        (covered + fact_credit) /
+        (static_cast<double>(state.scheme.attrs.size()) +
+         static_cast<double>(state.effective_k));
+    if (rank > screening.rank) {
+      screening.rank = rank;
+      screening.best_scheme = s;
+    }
+  }
+  if (entry.fired) screening.rank = 1.0;
+  return screening;
+}
+
+Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::Observe(
+    const LoggedQuery& query) {
+  // Parse and execute once against the current state; reuse the profile
+  // for every standing expression.
+  auto stmt = sql::ParseSelect(query.sql);
+  std::optional<AccessProfile> profile;
+  if (stmt.ok()) {
+    auto computed = ComputeAccessProfile(*stmt, db_->View());
+    if (computed.ok()) profile = std::move(*computed);
+  }
+
+  std::vector<Screening> out;
+  for (auto& entry : entries_) {
+    // Mirror the offline pipeline: only *candidate* queries contribute
+    // (a query that touches no audited attribute, or whose predicate
+    // provably conflicts with the audit predicate, is statically
+    // non-suspicious and must not help complete a granule — Definition 1).
+    bool contributes = false;
+    if (profile.has_value() && entry->expr.filter.Admits(query)) {
+      auto candidate =
+          IsBatchCandidate(*stmt, entry->expr, db_->catalog());
+      contributes = candidate.ok() && *candidate;
+    }
+    if (contributes) {
+      if (entry->built_at_change != *change_counter_) {
+        AUDITDB_RETURN_IF_ERROR(RebuildEntryView(entry.get()));
+      }
+      // Accumulate attribute coverage and indispensable tids.
+      for (auto& state : entry->schemes) {
+        for (const auto& attr : state.scheme.attrs) {
+          if (profile->Accesses(attr)) state.covered_attrs.insert(attr);
+        }
+      }
+      for (const auto& table : entry->expr.from) {
+        auto tids = profile->result.IndispensableTids(table);
+        entry->batch_tids[table].insert(tids.begin(), tids.end());
+      }
+      RecomputeAccessCounts(entry.get());
+    }
+    out.push_back(ScreeningOf(*entry));
+  }
+  return out;
+}
+
+std::vector<OnlineAuditor::Screening> OnlineAuditor::Current() const {
+  std::vector<Screening> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(ScreeningOf(*entry));
+  return out;
+}
+
+void OnlineAuditor::ResetBatches() {
+  for (auto& entry : entries_) {
+    entry->batch_tids.clear();
+    entry->fired = false;
+    for (auto& state : entry->schemes) state.covered_attrs.clear();
+    RecomputeAccessCounts(entry.get());
+  }
+}
+
+}  // namespace audit
+}  // namespace auditdb

@@ -1,0 +1,119 @@
+#ifndef AUDITDB_AUDIT_ONLINE_H_
+#define AUDITDB_AUDIT_ONLINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/audit/granule.h"
+#include "src/audit/suspicion.h"
+#include "src/engine/lineage.h"
+#include "src/querylog/query_log.h"
+#include "src/storage/database.h"
+
+namespace auditdb {
+namespace audit {
+
+/// Online auditing — the paper's future work (Section 4): instead of
+/// combing a historical log, queries are screened *as they arrive*
+/// against a set of standing audit expressions, and each expression
+/// reports a running **suspicion rank** (the paper's "closeness value")
+/// for the batch of accesses seen so far, firing the moment the batch
+/// fully accesses a granule.
+///
+/// The rank instantiates the paper's open notion as coverage progress:
+/// for each granule scheme S with effective threshold k,
+///
+///     rank(S) = (|covered attrs of S| + min(accessed facts, k))
+///               / (|S| + k)
+///
+/// and the expression's rank is the max over its schemes. rank = 1 iff
+/// some scheme's attributes are fully covered and at least k facts are
+/// accessed — exactly the offline suspicion condition, so the online
+/// monitor fires on the same batches the offline Auditor flags (for the
+/// same database states).
+class OnlineAuditor {
+ public:
+  /// `db` is the live database; queries are screened against its state at
+  /// observation time. The auditor registers a change listener to detect
+  /// staleness of its target views. Must outlive the auditor.
+  explicit OnlineAuditor(Database* db);
+
+  OnlineAuditor(const OnlineAuditor&) = delete;
+  OnlineAuditor& operator=(const OnlineAuditor&) = delete;
+
+  /// Registers a standing audit expression (not yet qualified is fine).
+  /// The target view U is computed against the current database state at
+  /// registration time and is re-derived automatically whenever the
+  /// database changes underneath (cheap staleness check via the change
+  /// counter). Returns the expression's id.
+  Result<int> AddExpression(const AuditExpression& expr);
+
+  /// Number of registered expressions.
+  size_t size() const { return entries_.size(); }
+
+  /// Screening outcome for one expression after one observation.
+  struct Screening {
+    int expression_id = 0;
+    /// Whether the accumulated batch now accesses a full granule.
+    bool fired = false;
+    /// Closeness in [0,1]; 1 iff fired (for THRESHOLD N; ALL behaves
+    /// the same with k = |U|).
+    double rank = 0.0;
+    /// The scheme achieving the rank.
+    size_t best_scheme = 0;
+  };
+
+  /// Feeds one query. The query is parsed and executed against the
+  /// current database state; expressions whose limiting parameters
+  /// reject the access are skipped (their previous state is reported
+  /// unchanged). Returns one Screening per registered expression.
+  Result<std::vector<Screening>> Observe(const LoggedQuery& query);
+
+  /// Current screening state of every expression (without observing).
+  std::vector<Screening> Current() const;
+
+  /// Drops the accumulated batch state of every expression (e.g. at the
+  /// start of a new monitoring window).
+  void ResetBatches();
+
+ private:
+  struct SchemeState {
+    GranuleScheme scheme;
+    std::vector<size_t> attr_columns;    // indices into view columns
+    std::vector<size_t> tid_positions;   // indices into view tables
+    std::set<ColumnRef> covered_attrs;   // by the batch so far
+    size_t effective_k = 1;
+    size_t valid_facts = 0;
+    size_t accessed_facts = 0;
+  };
+
+  struct Entry {
+    int id = 0;
+    AuditExpression expr;
+    TargetView view;
+    std::vector<SchemeState> schemes;
+    /// Batch-accumulated indispensable tids per table.
+    std::map<std::string, std::set<Tid>> batch_tids;
+    bool fired = false;
+    /// Database change-counter value the view was built at.
+    uint64_t built_at_change = 0;
+  };
+
+  Status RebuildEntryView(Entry* entry);
+  void RecomputeAccessCounts(Entry* entry);
+  static Screening ScreeningOf(const Entry& entry);
+
+  Database* db_;
+  /// Bumped by the database trigger on every mutation; shared so the
+  /// listener stays valid even if the auditor is destroyed first.
+  std::shared_ptr<uint64_t> change_counter_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  int next_id_ = 1;
+};
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_ONLINE_H_

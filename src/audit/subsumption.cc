@@ -1,0 +1,135 @@
+#include "src/audit/subsumption.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/expr/implication.h"
+
+namespace auditdb {
+namespace audit {
+
+namespace {
+
+/// Whether p's match set is contained in q's ("-" is the wildcard).
+bool PatternCoveredBy(const RolePurposePattern& p,
+                      const RolePurposePattern& q) {
+  bool role_ok = q.role == "-" || q.role == p.role;
+  bool purpose_ok = q.purpose == "-" || q.purpose == p.purpose;
+  return role_ok && purpose_ok;
+}
+
+bool IntervalContains(const TimeInterval& outer, const TimeInterval& inner) {
+  return outer.start <= inner.start && inner.end <= outer.end;
+}
+
+}  // namespace
+
+bool FilterAdmitsAtLeast(const AccessFilter& outer,
+                         const AccessFilter& inner) {
+  // DURING: outer must cover inner's window (an unset window means
+  // unrestricted).
+  if (outer.during.has_value()) {
+    if (!inner.during.has_value() ||
+        !IntervalContains(*outer.during, *inner.during)) {
+      return false;
+    }
+  }
+  // Negative users: everything outer rejects, inner must reject too.
+  for (const auto& user : outer.neg_users) {
+    if (std::find(inner.neg_users.begin(), inner.neg_users.end(), user) ==
+        inner.neg_users.end()) {
+      return false;
+    }
+  }
+  // Negative role/purpose: each outer rejection must be covered by some
+  // inner rejection.
+  for (const auto& pattern : outer.neg_role_purpose) {
+    bool covered = false;
+    for (const auto& inner_pattern : inner.neg_role_purpose) {
+      if (PatternCoveredBy(pattern, inner_pattern)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  // Positive users: outer unrestricted, or inner restricted to a subset.
+  if (!outer.pos_users.empty()) {
+    if (inner.pos_users.empty()) return false;
+    for (const auto& user : inner.pos_users) {
+      if (std::find(outer.pos_users.begin(), outer.pos_users.end(), user) ==
+          outer.pos_users.end()) {
+        return false;
+      }
+    }
+  }
+  // Positive role/purpose: outer unrestricted, or every inner-admitted
+  // pattern covered by some outer pattern.
+  if (!outer.pos_role_purpose.empty()) {
+    if (inner.pos_role_purpose.empty()) return false;
+    for (const auto& inner_pattern : inner.pos_role_purpose) {
+      bool covered = false;
+      for (const auto& pattern : outer.pos_role_purpose) {
+        if (PatternCoveredBy(inner_pattern, pattern)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    }
+  }
+  return true;
+}
+
+bool Subsumes(const AuditExpression& stronger,
+              const AuditExpression& weaker) {
+  // 1. Same FROM set.
+  std::set<std::string> from_s(stronger.from.begin(), stronger.from.end());
+  std::set<std::string> from_w(weaker.from.begin(), weaker.from.end());
+  if (from_s != from_w) return false;
+
+  // 2. U containment, version by version.
+  if (!ProvablyImplies(weaker.where.get(), stronger.where.get())) {
+    return false;
+  }
+
+  // 3. Interval containment.
+  if (!IntervalContains(stronger.data_interval, weaker.data_interval)) {
+    return false;
+  }
+
+  // 4. Limiting parameters.
+  if (!FilterAdmitsAtLeast(stronger.filter, weaker.filter)) return false;
+
+  // 5. Suspicion parameters.
+  if (stronger.indispensable != weaker.indispensable) return false;
+  if (stronger.threshold.all || weaker.threshold.all) {
+    // ALL over a strictly larger U is a stronger demand; only provable
+    // when both are ALL over provably equal targets.
+    if (!(stronger.threshold.all && weaker.threshold.all &&
+          ProvablyImplies(stronger.where.get(), weaker.where.get()))) {
+      return false;
+    }
+  } else if (stronger.threshold.n > weaker.threshold.n) {
+    return false;
+  }
+
+  // 6. Scheme covering: accessing any weaker scheme must force some
+  // stronger scheme.
+  auto strong_schemes = stronger.attrs.EnumerateSchemes();
+  for (const auto& weak_scheme : weaker.attrs.EnumerateSchemes()) {
+    bool forced = false;
+    for (const auto& strong_scheme : strong_schemes) {
+      if (std::includes(weak_scheme.begin(), weak_scheme.end(),
+                        strong_scheme.begin(), strong_scheme.end())) {
+        forced = true;
+        break;
+      }
+    }
+    if (!forced) return false;
+  }
+  return true;
+}
+
+}  // namespace audit
+}  // namespace auditdb

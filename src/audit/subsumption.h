@@ -1,0 +1,40 @@
+#ifndef AUDITDB_AUDIT_SUBSUMPTION_H_
+#define AUDITDB_AUDIT_SUBSUMPTION_H_
+
+#include "src/audit/audit_expression.h"
+
+namespace auditdb {
+namespace audit {
+
+/// Conservative subsumption test between audit expressions: true only
+/// when every batch suspicious under `weaker` is provably suspicious
+/// under `stronger` — so `weaker` is redundant when `stronger` is
+/// already a standing expression (useful for deduplicating online
+/// monitors and audit-expression libraries).
+///
+/// The proof obligations, each checked conservatively:
+///   1. identical FROM table sets;
+///   2. weaker.WHERE provably implies stronger.WHERE (U_weak ⊆ U_strong,
+///      version by version);
+///   3. stronger's DURING and DATA-INTERVAL contain weaker's;
+///   4. the limiting parameters of `stronger` admit every access that
+///      `weaker` admits (pattern-coverage reasoning over the Pos/Neg
+///      clauses);
+///   5. equal INDISPENSABLE flags and THRESHOLD k_strong <= k_weak
+///      (ALL only subsumes ALL with equal WHERE);
+///   6. every granule scheme of `weaker` contains some scheme of
+///      `stronger` (covering the weaker scheme forces the stronger one).
+///
+/// Both expressions must be qualified. Returns false whenever a proof
+/// step fails — never a false positive.
+bool Subsumes(const AuditExpression& stronger, const AuditExpression& weaker);
+
+/// Whether `outer` admits every logged access `inner` admits
+/// (conservative; exposed for tests and expression-library tooling).
+bool FilterAdmitsAtLeast(const AccessFilter& outer,
+                         const AccessFilter& inner);
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_SUBSUMPTION_H_

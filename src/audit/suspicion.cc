@@ -1,0 +1,263 @@
+#include "src/audit/suspicion.h"
+
+#include <map>
+
+#include "src/expr/analysis.h"
+
+namespace auditdb {
+namespace audit {
+
+std::string SuspicionResult::Describe(
+    const TargetView& view, const std::vector<GranuleScheme>& schemes) const {
+  std::string out;
+  for (const auto& access : per_scheme) {
+    if (!access.suspicious) continue;
+    out += "scheme " + schemes[access.scheme_index].ToString() +
+           " accessed facts:";
+    for (size_t f : access.accessed_facts) {
+      const auto& fact = view.facts[f];
+      out += " (";
+      bool first = true;
+      for (size_t i = 0; i < fact.tids.size(); ++i) {
+        if (!first) out += ",";
+        out += TidToString(fact.tids[i]);
+        first = false;
+      }
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Precomputed batch-level access state.
+class BatchIndex {
+ public:
+  explicit BatchIndex(const std::vector<const AccessProfile*>& batch)
+      : batch_(batch) {}
+
+  /// Whether any query in the batch references `col`.
+  bool Accesses(const ColumnRef& col) const {
+    for (const auto* profile : batch_) {
+      if (profile->Accesses(col)) return true;
+    }
+    return false;
+  }
+
+  /// Union of per-query indispensable tids for `table` (cached).
+  const std::set<Tid>& IndispensableTids(const std::string& table) {
+    auto it = tid_union_.find(table);
+    if (it != tid_union_.end()) return it->second;
+    std::set<Tid> tids;
+    for (const auto* profile : batch_) {
+      auto per_query = profile->result.IndispensableTids(table);
+      tids.insert(per_query.begin(), per_query.end());
+    }
+    return tid_union_.emplace(table, std::move(tids)).first->second;
+  }
+
+  /// Whether some single query's lineage contains the tid tuple `tids`
+  /// over `tables` (joint witness).
+  bool JointlyWitnessed(const std::vector<std::string>& tables,
+                        const std::vector<Tid>& tids) {
+    for (size_t q = 0; q < batch_.size(); ++q) {
+      auto key = std::make_pair(q, tables);
+      auto it = joint_.find(key);
+      if (it == joint_.end()) {
+        auto projected = batch_[q]->result.ProjectLineage(tables);
+        // A query not covering all tables has no joint witness.
+        std::set<std::vector<Tid>> tuples;
+        if (projected.ok()) tuples = std::move(*projected);
+        it = joint_.emplace(std::move(key), std::move(tuples)).first;
+      }
+      if (it->second.count(tids) > 0) return true;
+    }
+    return false;
+  }
+
+  /// Whether some query outputs `col` with `value` among its results.
+  bool OutputsValue(const ColumnRef& col, const Value& value) {
+    for (size_t q = 0; q < batch_.size(); ++q) {
+      if (!batch_[q]->Outputs(col)) continue;
+      auto key = std::make_pair(q, col);
+      auto it = values_.find(key);
+      if (it == values_.end()) {
+        it = values_.emplace(key, batch_[q]->result.ColumnValues(col)).first;
+      }
+      if (it->second.count(value) > 0) return true;
+    }
+    return false;
+  }
+
+  bool OutputsColumn(const ColumnRef& col) const {
+    for (const auto* profile : batch_) {
+      if (profile->Outputs(col)) return true;
+    }
+    return false;
+  }
+
+ private:
+  const std::vector<const AccessProfile*>& batch_;
+  std::map<std::string, std::set<Tid>> tid_union_;
+  std::map<std::pair<size_t, std::vector<std::string>>,
+           std::set<std::vector<Tid>>>
+      joint_;
+  std::map<std::pair<size_t, ColumnRef>, std::set<Value>> values_;
+};
+
+}  // namespace
+
+SuspicionResult CheckBatchSuspicion(
+    const TargetView& view, const std::vector<GranuleScheme>& schemes,
+    Threshold threshold, bool indispensable,
+    const std::vector<const AccessProfile*>& batch,
+    const SuspicionOptions& options) {
+  SuspicionResult result;
+  BatchIndex index(batch);
+
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    const GranuleScheme& scheme = schemes[s];
+    SchemeAccess access;
+    access.scheme_index = s;
+
+    // Attribute coverage by the batch.
+    access.attrs_covered = true;
+    for (const auto& attr : scheme.attrs) {
+      bool covered = indispensable ? index.Accesses(attr)
+                                   : index.OutputsColumn(attr);
+      if (!covered) {
+        access.attrs_covered = false;
+        break;
+      }
+    }
+
+    size_t valid_count = 0;
+    if (access.attrs_covered) {
+      // Resolve scheme attrs / tables to view positions once.
+      std::vector<size_t> attr_cols;
+      for (const auto& attr : scheme.attrs) {
+        auto idx = view.ColumnIndex(attr);
+        if (idx.ok()) attr_cols.push_back(*idx);
+      }
+      std::vector<size_t> tid_positions;
+      for (const auto& table : scheme.tid_tables) {
+        auto idx = view.TableIndex(table);
+        if (idx.ok()) tid_positions.push_back(*idx);
+      }
+
+      for (size_t f = 0; f < view.facts.size(); ++f) {
+        const TargetView::Fact& fact = view.facts[f];
+        // NULL cells disclose nothing: the fact is outside this scheme.
+        bool valid = true;
+        for (size_t c : attr_cols) {
+          if (fact.values[c].is_null()) {
+            valid = false;
+            break;
+          }
+        }
+        if (!valid) continue;
+        ++valid_count;
+
+        bool accessed = true;
+        if (indispensable) {
+          if (options.mode == IndispensabilityMode::kPerTable) {
+            for (size_t i = 0; i < tid_positions.size(); ++i) {
+              const std::set<Tid>& tids =
+                  index.IndispensableTids(scheme.tid_tables[i]);
+              if (tids.count(fact.tids[tid_positions[i]]) == 0) {
+                accessed = false;
+                break;
+              }
+            }
+          } else {
+            std::vector<Tid> tuple;
+            tuple.reserve(tid_positions.size());
+            for (size_t p : tid_positions) tuple.push_back(fact.tids[p]);
+            accessed = index.JointlyWitnessed(scheme.tid_tables, tuple);
+          }
+        } else {
+          for (const auto& attr : scheme.attrs) {
+            auto idx = view.ColumnIndex(attr);
+            if (!idx.ok() ||
+                !index.OutputsValue(attr, fact.values[*idx])) {
+              accessed = false;
+              break;
+            }
+          }
+        }
+        if (accessed) access.accessed_facts.push_back(f);
+      }
+    }
+
+    size_t k = threshold.all ? valid_count
+                             : static_cast<size_t>(threshold.n);
+    access.suspicious = access.attrs_covered && k > 0 &&
+                        access.accessed_facts.size() >= k;
+    if (access.suspicious) result.suspicious = true;
+    result.per_scheme.push_back(std::move(access));
+  }
+  return result;
+}
+
+namespace {
+
+/// Strips suspicion clauses off `base`, keeping target data + filters.
+AuditExpression CloneBase(const AuditExpression& base) {
+  AuditExpression out = base.Clone();
+  out.threshold = Threshold::N(1);
+  out.indispensable = true;
+  return out;
+}
+
+}  // namespace
+
+AuditExpression MakePerfectPrivacy(const AuditExpression& base) {
+  AuditExpression out = CloneBase(base);
+  out.attrs = AttrStructure::Optional({ColumnRef{"", "*"}});
+  return out;
+}
+
+AuditExpression MakeWeakSyntactic(const AuditExpression& base) {
+  AuditExpression out = CloneBase(base);
+  std::set<ColumnRef> attrs = base.attrs.AllAttributes();
+  for (const auto& col : CollectColumns(base.where.get())) {
+    attrs.insert(col);
+  }
+  out.attrs = AttrStructure::Optional(
+      std::vector<ColumnRef>(attrs.begin(), attrs.end()));
+  return out;
+}
+
+AuditExpression MakeSemantic(const AuditExpression& base) {
+  AuditExpression out = CloneBase(base);
+  std::set<ColumnRef> attrs = base.attrs.AllAttributes();
+  out.attrs = AttrStructure::Mandatory(
+      std::vector<ColumnRef>(attrs.begin(), attrs.end()));
+  return out;
+}
+
+AuditExpression MakeThresholdNotion(const AuditExpression& base,
+                                    Threshold threshold) {
+  AuditExpression out = MakeSemantic(base);
+  out.threshold = threshold;
+  return out;
+}
+
+AuditExpression MakeMandatoryOptional(const AuditExpression& base,
+                                      std::vector<ColumnRef> identifiers,
+                                      std::vector<ColumnRef> sensitive) {
+  AuditExpression out = CloneBase(base);
+  out.attrs.groups.clear();
+  if (!identifiers.empty()) {
+    out.attrs.groups.push_back(AttrGroup{true, std::move(identifiers)});
+  }
+  if (!sensitive.empty()) {
+    out.attrs.groups.push_back(AttrGroup{false, std::move(sensitive)});
+  }
+  return out;
+}
+
+}  // namespace audit
+}  // namespace auditdb

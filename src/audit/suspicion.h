@@ -1,0 +1,109 @@
+#ifndef AUDITDB_AUDIT_SUSPICION_H_
+#define AUDITDB_AUDIT_SUSPICION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/audit/granule.h"
+#include "src/engine/lineage.h"
+
+namespace auditdb {
+namespace audit {
+
+/// How tuple-id indispensability is checked when INDISPENSABLE = true.
+enum class IndispensabilityMode {
+  /// The paper's granule-access wording: every tid of the granule must be
+  /// indispensable to the *batch* — i.e. to at least one query in it,
+  /// checked per table.
+  kPerTable,
+  /// Stricter: a single query must witness the granule's tid tuple
+  /// jointly (the tuple appears in that query's lineage projected onto
+  /// the granule's tables). Matches Agrawal-style shared-indispensable-
+  /// tuple checks exactly; used for baseline cross-validation.
+  kJointPerQuery,
+};
+
+struct SuspicionOptions {
+  IndispensabilityMode mode = IndispensabilityMode::kPerTable;
+};
+
+/// Access outcome for one granule scheme.
+struct SchemeAccess {
+  size_t scheme_index = 0;
+  /// Whether the batch covers every attribute of the scheme.
+  bool attrs_covered = false;
+  /// Facts of U accessed by the batch w.r.t. this scheme.
+  std::vector<size_t> accessed_facts;
+  /// Whether enough facts were accessed (>= k; for ALL, every valid fact).
+  bool suspicious = false;
+};
+
+/// Result of checking one batch of queries against one audit expression's
+/// granule model.
+struct SuspicionResult {
+  bool suspicious = false;
+  std::vector<SchemeAccess> per_scheme;
+
+  /// Human-readable evidence: for each suspicious scheme, the scheme and
+  /// the accessed facts rendered paper-style.
+  std::string Describe(const TargetView& view,
+                       const std::vector<GranuleScheme>& schemes) const;
+};
+
+/// Decides whether the batch of queries (given by their access profiles,
+/// each computed on the database state that query actually ran against)
+/// accesses any granule of the audit expression's granule set.
+///
+/// A fact u of U is accessed w.r.t. scheme S when
+///   - INDISPENSABLE = true: the batch covers every attribute of S
+///     (some query references it), and every tid of u for S's tables is
+///     indispensable to the batch (mode kPerTable) or some single query
+///     witnesses the whole tid tuple (mode kJointPerQuery);
+///   - INDISPENSABLE = false: for every attribute of S, some query
+///     *outputs* that attribute with u's value among its results
+///     (value containment — predicates alone do not count).
+/// The scheme fires when at least `threshold` facts (ALL: every valid
+/// fact, and at least one) are accessed; the batch is suspicious when any
+/// scheme fires.
+SuspicionResult CheckBatchSuspicion(const TargetView& view,
+                                    const std::vector<GranuleScheme>& schemes,
+                                    Threshold threshold, bool indispensable,
+                                    const std::vector<const AccessProfile*>&
+                                        batch,
+                                    const SuspicionOptions& options =
+                                        SuspicionOptions{});
+
+/// --- Canonical suspicion notions expressed in the unified model ---
+/// Each takes a base audit expression (target data + limiting clauses)
+/// and returns a copy whose AUDIT/THRESHOLD/INDISPENSABLE clauses encode
+/// the notion, demonstrating Section 3.2's unification claims.
+
+/// Perfect privacy (Miklau–Suciu): any single cell of any table in scope
+/// discloses. AUDIT [*], THRESHOLD 1, INDISPENSABLE true.
+AuditExpression MakePerfectPrivacy(const AuditExpression& base);
+
+/// Weak syntactic suspicion (Motwani et al.): access to any one column of
+/// the audit scope. AUDIT [audit attrs ∪ WHERE attrs], THRESHOLD 1,
+/// INDISPENSABLE true. `base` must be qualified (WHERE columns resolved).
+AuditExpression MakeWeakSyntactic(const AuditExpression& base);
+
+/// Indispensable-tuple / strong semantic suspicion (Agrawal et al.,
+/// Motwani et al.): all audited columns plus a shared indispensable
+/// tuple. AUDIT (all audit attrs), THRESHOLD 1, INDISPENSABLE true.
+AuditExpression MakeSemantic(const AuditExpression& base);
+
+/// "More than N individuals" notions: semantic scheme with THRESHOLD N.
+AuditExpression MakeThresholdNotion(const AuditExpression& base,
+                                    Threshold threshold);
+
+/// The Section 3.2 identifier/sensitive pattern: every identifier
+/// attribute is mandatory and at least one of the (mutually derivable)
+/// sensitive attributes must be accessed — AUDIT (ids...),[sensitive...].
+AuditExpression MakeMandatoryOptional(const AuditExpression& base,
+                                      std::vector<ColumnRef> identifiers,
+                                      std::vector<ColumnRef> sensitive);
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_SUSPICION_H_

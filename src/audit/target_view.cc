@@ -1,0 +1,117 @@
+#include "src/audit/target_view.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/expr/analysis.h"
+
+namespace auditdb {
+namespace audit {
+
+Result<size_t> TargetView::ColumnIndex(const ColumnRef& col) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == col) return i;
+  }
+  return Status::NotFound("no column " + col.ToString() +
+                          " in target view");
+}
+
+Result<size_t> TargetView::TableIndex(const std::string& table) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i] == table) return i;
+  }
+  return Status::NotFound("no table " + table + " in target view");
+}
+
+std::string TargetView::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += "tid_" + tables[i];
+  }
+  for (const auto& col : columns) {
+    out += " | " + col.ToString();
+  }
+  out += "\n";
+  for (const auto& fact : facts) {
+    for (size_t i = 0; i < fact.tids.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += TidToString(fact.tids[i]);
+    }
+    for (const auto& v : fact.values) {
+      out += " | " + v.ToDisplayString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// The value columns of U: audit attributes in first-appearance order,
+/// then WHERE-only columns in sorted order.
+std::vector<ColumnRef> ViewColumns(const AuditExpression& expr) {
+  std::vector<ColumnRef> columns;
+  std::set<ColumnRef> seen;
+  for (const auto& group : expr.attrs.groups) {
+    for (const auto& attr : group.attrs) {
+      if (seen.insert(attr).second) columns.push_back(attr);
+    }
+  }
+  for (const auto& col : CollectColumns(expr.where.get())) {
+    if (seen.insert(col).second) columns.push_back(col);
+  }
+  return columns;
+}
+
+}  // namespace
+
+Result<TargetView> ComputeTargetView(const AuditExpression& expr,
+                                     const DatabaseView& db,
+                                     Timestamp version,
+                                     const ExecOptions& options) {
+  TargetView view;
+  view.tables = expr.from;
+  view.columns = ViewColumns(expr);
+
+  sql::SelectStatement stmt;
+  stmt.from = expr.from;
+  stmt.select_list = view.columns;
+  stmt.where = expr.where ? expr.where->Clone() : nullptr;
+
+  auto result = Execute(stmt, db, options);
+  if (!result.ok()) return result.status();
+
+  std::set<std::pair<std::vector<Tid>, std::vector<Value>>> seen;
+  for (size_t i = 0; i < result->rows.size(); ++i) {
+    if (!seen.emplace(result->lineage[i], result->rows[i]).second) continue;
+    view.facts.push_back(TargetView::Fact{result->lineage[i],
+                                          result->rows[i], version});
+  }
+  return view;
+}
+
+Result<TargetView> ComputeTargetViewOverVersions(const AuditExpression& expr,
+                                                 const Backlog& backlog,
+                                                 const ExecOptions& options) {
+  TargetView merged;
+  merged.tables = expr.from;
+  merged.columns = ViewColumns(expr);
+
+  std::set<std::pair<std::vector<Tid>, std::vector<Value>>> seen;
+  for (Timestamp version : backlog.VersionTimestamps(expr.data_interval)) {
+    auto snapshot = backlog.SnapshotAt(version);
+    if (!snapshot.ok()) return snapshot.status();
+    auto view = ComputeTargetView(expr, snapshot->View(), version, options);
+    if (!view.ok()) return view.status();
+    for (auto& fact : view->facts) {
+      if (!seen.emplace(fact.tids, fact.values).second) continue;
+      merged.facts.push_back(std::move(fact));
+    }
+  }
+  return merged;
+}
+
+}  // namespace audit
+}  // namespace auditdb

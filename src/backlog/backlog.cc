@@ -1,0 +1,121 @@
+#include "src/backlog/backlog.h"
+
+#include <algorithm>
+
+namespace auditdb {
+
+void Backlog::Attach(Database* db) {
+  db_ = db;
+  db->AddChangeListener(
+      [this](const ChangeEvent& event) { events_.push_back(event); });
+}
+
+std::vector<ChangeEvent> Backlog::EventsForTable(
+    const std::string& table) const {
+  std::vector<ChangeEvent> out;
+  for (const auto& e : events_) {
+    if (e.table == table) out.push_back(e);
+  }
+  return out;
+}
+
+Result<Snapshot> Backlog::SnapshotAt(Timestamp t) const {
+  if (db_ == nullptr) {
+    return Status::Internal("backlog not attached to a database");
+  }
+  Snapshot snapshot(t);
+  // Create every table the live database knows about (schemas are
+  // immutable once created, so the live catalog is authoritative).
+  for (const auto& name : db_->TableNames()) {
+    auto table = db_->GetTable(name);
+    if (!table.ok()) return table.status();
+    auto added = snapshot.AddTable((*table)->schema());
+    if (!added.ok()) return added.status();
+  }
+  for (const auto& event : events_) {
+    if (event.timestamp > t) continue;
+    auto table = snapshot.GetTable(event.table);
+    if (!table.ok()) return table.status();
+    switch (event.op) {
+      case ChangeEvent::Op::kInsert:
+        AUDITDB_RETURN_IF_ERROR(
+            (*table)->InsertWithTid(event.row.tid, event.row.values));
+        break;
+      case ChangeEvent::Op::kUpdate:
+        AUDITDB_RETURN_IF_ERROR(
+            (*table)->Update(event.row.tid, event.row.values));
+        break;
+      case ChangeEvent::Op::kDelete: {
+        auto removed = (*table)->Delete(event.row.tid);
+        if (!removed.ok()) return removed.status();
+        break;
+      }
+    }
+  }
+  // Mirror the live tables' secondary indexes (built in bulk after
+  // replay), so historical audits get the same access paths.
+  for (const auto& name : db_->TableNames()) {
+    auto live = db_->GetTable(name);
+    if (!live.ok()) return live.status();
+    auto table = snapshot.GetTable(name);
+    if (!table.ok()) return table.status();
+    for (const auto& column : (*live)->IndexedColumns()) {
+      AUDITDB_RETURN_IF_ERROR((*table)->CreateIndex(column));
+    }
+  }
+  return snapshot;
+}
+
+Result<Table> Backlog::MaterializeBacklogTable(
+    const std::string& table_name) const {
+  if (db_ == nullptr) {
+    return Status::Internal("backlog not attached to a database");
+  }
+  auto base = db_->GetTable(table_name);
+  if (!base.ok()) return base.status();
+
+  std::vector<Column> columns = {{"op", ValueType::kString},
+                                 {"ts", ValueType::kTimestamp},
+                                 {"tid", ValueType::kInt}};
+  for (const auto& col : (*base)->schema().columns()) {
+    columns.push_back(col);
+  }
+  Table backlog_table(TableSchema("b-" + table_name, std::move(columns)));
+  for (const auto& event : events_) {
+    if (event.table != table_name) continue;
+    const char* op = event.op == ChangeEvent::Op::kInsert   ? "insert"
+                     : event.op == ChangeEvent::Op::kUpdate ? "update"
+                                                            : "delete";
+    std::vector<Value> row = {Value::String(op), Value::Time(event.timestamp),
+                              Value::Int(event.row.tid)};
+    row.insert(row.end(), event.row.values.begin(), event.row.values.end());
+    auto inserted = backlog_table.Insert(std::move(row));
+    if (!inserted.ok()) return inserted.status();
+  }
+  return backlog_table;
+}
+
+size_t Backlog::EventCountAt(Timestamp t) const {
+  size_t count = 0;
+  for (const auto& event : events_) {
+    if (event.timestamp <= t) ++count;
+  }
+  return count;
+}
+
+std::vector<Timestamp> Backlog::VersionTimestamps(
+    const TimeInterval& interval) const {
+  std::vector<Timestamp> stamps;
+  stamps.push_back(interval.start);
+  for (const auto& event : events_) {
+    if (event.timestamp > interval.start &&
+        event.timestamp <= interval.end) {
+      stamps.push_back(event.timestamp);
+    }
+  }
+  std::sort(stamps.begin(), stamps.end());
+  stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
+  return stamps;
+}
+
+}  // namespace auditdb

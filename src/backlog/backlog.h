@@ -1,0 +1,68 @@
+#ifndef AUDITDB_BACKLOG_BACKLOG_H_
+#define AUDITDB_BACKLOG_BACKLOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/backlog/snapshot.h"
+#include "src/common/timestamp.h"
+#include "src/storage/database.h"
+
+namespace auditdb {
+
+/// The paper's backlog mechanism: database triggers record every insert,
+/// update and delete into per-table backlog relations (b-<table>), from
+/// which the state of the database at any past point in time can be
+/// recovered. Attach() must run before data is loaded so the event stream
+/// is complete.
+class Backlog {
+ public:
+  Backlog() = default;
+  Backlog(const Backlog&) = delete;
+  Backlog& operator=(const Backlog&) = delete;
+
+  /// Hooks this backlog into `db`'s trigger stream and remembers `db` for
+  /// schema lookup. `db` must outlive the backlog.
+  void Attach(Database* db);
+
+  /// All captured events, in capture order (timestamps are monotone
+  /// per well-behaved callers, but replay uses capture order so equal
+  /// timestamps are handled deterministically).
+  const std::vector<ChangeEvent>& events() const { return events_; }
+
+  /// Events for one table, in capture order — the contents of the paper's
+  /// b-<table> backlog relation.
+  std::vector<ChangeEvent> EventsForTable(const std::string& table) const;
+
+  /// Materializes the paper's b-<table> backlog relation as an ordinary
+  /// queryable table named `b-<table>`, with schema
+  ///   (op STRING, ts TIMESTAMP, tid INT, <original columns>)
+  /// and one row per captured event (the after-image for inserts and
+  /// updates, the before-image for deletes). The auditor's queries like
+  /// `SELECT zipcode FROM b-Patients` run on it through the normal
+  /// executor via View()/DatabaseView.
+  Result<Table> MaterializeBacklogTable(const std::string& table) const;
+
+  /// Reconstructs the state of every table at time `t` (all events with
+  /// timestamp <= t applied, in capture order).
+  Result<Snapshot> SnapshotAt(Timestamp t) const;
+
+  /// Number of captured events with timestamp <= t. Two timestamps with
+  /// equal counts see the identical database state, so this is a cheap
+  /// snapshot-cache key for the auditor.
+  size_t EventCountAt(Timestamp t) const;
+
+  /// The timestamps at which a distinct database version exists within the
+  /// closed interval: the state at `interval.start` plus the state after
+  /// each captured change in (start, end]. This is the version set the
+  /// audit DATA-INTERVAL clause ranges over.
+  std::vector<Timestamp> VersionTimestamps(const TimeInterval& interval) const;
+
+ private:
+  Database* db_ = nullptr;
+  std::vector<ChangeEvent> events_;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_BACKLOG_BACKLOG_H_

@@ -1,0 +1,83 @@
+#include "src/catalog/catalog.h"
+
+namespace auditdb {
+
+Status Catalog::AddTable(TableSchema schema) {
+  if (tables_.count(schema.name()) > 0) {
+    return Status::AlreadyExists("table already exists: " + schema.name());
+  }
+  std::string name = schema.name();
+  tables_.emplace(std::move(name), std::move(schema));
+  return Status::Ok();
+}
+
+Result<const TableSchema*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return &it->second;
+}
+
+Result<ColumnRef> Catalog::Resolve(const ColumnRef& ref,
+                                   const std::vector<std::string>& scope) const {
+  if (ref.qualified()) {
+    bool in_scope = false;
+    for (const auto& t : scope) {
+      if (t == ref.table) {
+        in_scope = true;
+        break;
+      }
+    }
+    if (!in_scope) {
+      return Status::NotFound("table '" + ref.table +
+                              "' not in FROM clause scope");
+    }
+    auto table = GetTable(ref.table);
+    if (!table.ok()) return table.status();
+    if (!(*table)->FindColumn(ref.column).has_value()) {
+      return Status::NotFound("no column '" + ref.column + "' in table '" +
+                              ref.table + "'");
+    }
+    return ref;
+  }
+  // Unqualified: must match exactly one table in scope.
+  std::string found_table;
+  for (const auto& t : scope) {
+    auto table = GetTable(t);
+    if (!table.ok()) return table.status();
+    if ((*table)->FindColumn(ref.column).has_value()) {
+      if (!found_table.empty()) {
+        return Status::InvalidArgument("ambiguous column '" + ref.column +
+                                       "' (in " + found_table + " and " + t +
+                                       ")");
+      }
+      found_table = t;
+    }
+  }
+  if (found_table.empty()) {
+    return Status::NotFound("no column '" + ref.column +
+                            "' in any table in scope");
+  }
+  return ColumnRef{found_table, ref.column};
+}
+
+Result<ValueType> Catalog::TypeOf(const ColumnRef& ref) const {
+  auto table = GetTable(ref.table);
+  if (!table.ok()) return table.status();
+  auto idx = (*table)->FindColumn(ref.column);
+  if (!idx.has_value()) {
+    return Status::NotFound("no column '" + ref.column + "' in table '" +
+                            ref.table + "'");
+  }
+  return (*table)->column(*idx).type;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace auditdb

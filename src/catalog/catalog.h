@@ -1,0 +1,48 @@
+#ifndef AUDITDB_CATALOG_CATALOG_H_
+#define AUDITDB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/common/status.h"
+
+namespace auditdb {
+
+/// The set of table schemas known to a database. Used to bind (resolve and
+/// type-check) column references in queries and audit expressions.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a schema; fails if a table with the same name exists.
+  Status AddTable(TableSchema schema);
+
+  /// Schema by name, or NotFound.
+  Result<const TableSchema*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Resolves `ref` against the listed tables (the FROM clause scope).
+  /// An unqualified column must match exactly one table in scope; a
+  /// qualified one must name a table in scope containing the column.
+  /// Returns the fully qualified reference.
+  Result<ColumnRef> Resolve(const ColumnRef& ref,
+                            const std::vector<std::string>& scope) const;
+
+  /// Type of a fully qualified column.
+  Result<ValueType> TypeOf(const ColumnRef& ref) const;
+
+  /// Names of all registered tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TableSchema> tables_;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_CATALOG_CATALOG_H_

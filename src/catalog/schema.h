@@ -1,0 +1,68 @@
+#ifndef AUDITDB_CATALOG_SCHEMA_H_
+#define AUDITDB_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/types/value.h"
+
+namespace auditdb {
+
+/// A fully or partially qualified column name. `table` may be empty in
+/// parsed ASTs before binding; after binding against a catalog every
+/// reference is fully qualified.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  bool qualified() const { return !table.empty(); }
+  /// "table.column" or bare "column".
+  std::string ToString() const {
+    return qualified() ? table + "." + column : column;
+  }
+
+  bool operator==(const ColumnRef& other) const {
+    return table == other.table && column == other.column;
+  }
+  bool operator<(const ColumnRef& other) const {
+    if (table != other.table) return table < other.table;
+    return column < other.column;
+  }
+};
+
+/// A column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Schema of one base table: an ordered list of named, typed columns.
+/// Column names are case-sensitive and unique within the table.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of `column_name`, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& column_name) const;
+
+  /// Column at index i.
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_CATALOG_SCHEMA_H_

@@ -1,0 +1,44 @@
+#ifndef AUDITDB_COMMON_RANDOM_H_
+#define AUDITDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace auditdb {
+
+/// Deterministic 64-bit PRNG (splitmix64). Used by workload generators and
+/// property tests so every run is reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool OneIn(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_COMMON_RANDOM_H_

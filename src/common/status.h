@@ -1,0 +1,130 @@
+#ifndef AUDITDB_COMMON_STATUS_H_
+#define AUDITDB_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace auditdb {
+
+/// Error taxonomy used across the library. The library never throws across
+/// public API boundaries; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kTypeError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no
+/// allocation); errors carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error. On error, value() must not be called.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return v;` from Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status; must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Propagates a non-OK Status from an expression.
+#define AUDITDB_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::auditdb::Status _auditdb_status = (expr);       \
+    if (!_auditdb_status.ok()) return _auditdb_status; \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define AUDITDB_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto AUDITDB_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!AUDITDB_CONCAT_(_res_, __LINE__).ok())        \
+    return AUDITDB_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(AUDITDB_CONCAT_(_res_, __LINE__)).value()
+
+#define AUDITDB_CONCAT_INNER_(a, b) a##b
+#define AUDITDB_CONCAT_(a, b) AUDITDB_CONCAT_INNER_(a, b)
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_COMMON_STATUS_H_

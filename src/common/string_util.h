@@ -1,0 +1,34 @@
+#ifndef AUDITDB_COMMON_STRING_UTIL_H_
+#define AUDITDB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace auditdb {
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Returns `text` with ASCII letters lowercased.
+std::string ToLower(std::string_view text);
+
+/// Returns `text` with ASCII letters uppercased.
+std::string ToUpper(std::string_view text);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Whether `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_COMMON_STRING_UTIL_H_

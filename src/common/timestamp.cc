@@ -1,0 +1,107 @@
+#include "src/common/timestamp.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace auditdb {
+
+namespace {
+
+// Days from the civil epoch 1970-01-01 to year/month/day (proleptic
+// Gregorian). Howard Hinnant's algorithm.
+int64_t DaysFromCivil(int64_t y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);  // [0, 399]
+  const unsigned doy =
+      (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;          // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int* y_out, int* m_out, int* d_out) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *y_out = static_cast<int>(y + (m <= 2));
+  *m_out = static_cast<int>(m);
+  *d_out = static_cast<int>(d);
+}
+
+}  // namespace
+
+Result<Timestamp> Timestamp::FromCivil(int year, int month, int day, int hour,
+                                       int minute, int second) {
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour < 0 ||
+      hour > 23 || minute < 0 || minute > 59 || second < 0 || second > 60) {
+    return Status::InvalidArgument("civil time field out of range");
+  }
+  int64_t days = DaysFromCivil(year, month, day);
+  int64_t secs = days * 86400 + hour * 3600 + minute * 60 + second;
+  return Timestamp(secs * 1000000);
+}
+
+Result<Timestamp> Timestamp::Parse(const std::string& text,
+                                   Timestamp now_value) {
+  if (text == "now()" || text == "NOW()") return now_value;
+  int d = 0, m = 0, y = 0, hh = 0, mm = 0, ss = 0;
+  int consumed = 0;
+  // Full form: d/m/yyyy:hh-mm-ss
+  if (std::sscanf(text.c_str(), "%d/%d/%d:%d-%d-%d%n", &d, &m, &y, &hh, &mm,
+                  &ss, &consumed) == 6 &&
+      consumed == static_cast<int>(text.size())) {
+    return FromCivil(y, m, d, hh, mm, ss);
+  }
+  // Date-only form: d/m/yyyy
+  if (std::sscanf(text.c_str(), "%d/%d/%d%n", &d, &m, &y, &consumed) == 3 &&
+      consumed == static_cast<int>(text.size())) {
+    return FromCivil(y, m, d, 0, 0, 0);
+  }
+  return Status::ParseError("unparseable timestamp: '" + text + "'");
+}
+
+Timestamp Timestamp::StartOfDay() const {
+  constexpr int64_t kDay = 86400LL * 1000000;
+  int64_t days = micros_ / kDay;
+  if (micros_ < 0 && micros_ % kDay != 0) --days;
+  return Timestamp(days * kDay);
+}
+
+Timestamp Timestamp::Now() {
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  return Timestamp(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+std::string Timestamp::ToString() const {
+  if (micros_ == INT64_MIN) return "-inf";
+  if (micros_ == INT64_MAX) return "+inf";
+  int64_t secs = micros_ / 1000000;
+  if (micros_ < 0 && micros_ % 1000000 != 0) --secs;
+  int64_t days = secs / 86400;
+  int64_t sod = secs % 86400;
+  if (sod < 0) {
+    sod += 86400;
+    --days;
+  }
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d/%d/%d:%02d-%02d-%02d", d, m, y,
+                static_cast<int>(sod / 3600), static_cast<int>(sod / 60 % 60),
+                static_cast<int>(sod % 60));
+  return buf;
+}
+
+std::string TimeInterval::ToString() const {
+  return start.ToString() + " to " + end.ToString();
+}
+
+}  // namespace auditdb

@@ -1,0 +1,90 @@
+#ifndef AUDITDB_COMMON_TIMESTAMP_H_
+#define AUDITDB_COMMON_TIMESTAMP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace auditdb {
+
+/// A point in time with microsecond precision, measured from the Unix epoch
+/// (UTC). The paper's audit grammar writes timestamps as
+/// `d/m/yyyy:hh-mm-ss` (e.g. `1/5/2004:13-00-00`); Parse accepts that format
+/// plus the special token `now()`.
+class Timestamp {
+ public:
+  /// The epoch (0 micros). Also used as "beginning of time" default.
+  constexpr Timestamp() : micros_(0) {}
+  constexpr explicit Timestamp(int64_t micros) : micros_(micros) {}
+
+  /// Smallest / largest representable instants.
+  static constexpr Timestamp Min() { return Timestamp(INT64_MIN); }
+  static constexpr Timestamp Max() { return Timestamp(INT64_MAX); }
+
+  /// Builds a timestamp from civil UTC fields. Fields are range-checked.
+  static Result<Timestamp> FromCivil(int year, int month, int day, int hour,
+                                     int minute, int second);
+
+  /// Parses `d/m/yyyy:hh-mm-ss`. The time-of-day part is optional
+  /// (`d/m/yyyy` means midnight). `now_value` substitutes for the literal
+  /// token `now()`.
+  static Result<Timestamp> Parse(const std::string& text, Timestamp now_value);
+
+  /// Current wall-clock time.
+  static Timestamp Now();
+
+  /// Midnight (00:00:00) of this timestamp's UTC day. Used for the audit
+  /// grammar's "current day" defaults.
+  Timestamp StartOfDay() const;
+
+  int64_t micros() const { return micros_; }
+
+  Timestamp AddMicros(int64_t delta) const {
+    return Timestamp(micros_ + delta);
+  }
+  Timestamp AddSeconds(int64_t s) const {
+    return Timestamp(micros_ + s * 1000000);
+  }
+
+  /// Formats as `d/m/yyyy:hh-mm-ss` (the paper's notation).
+  std::string ToString() const;
+
+  friend bool operator==(Timestamp a, Timestamp b) {
+    return a.micros_ == b.micros_;
+  }
+  friend bool operator!=(Timestamp a, Timestamp b) { return !(a == b); }
+  friend bool operator<(Timestamp a, Timestamp b) {
+    return a.micros_ < b.micros_;
+  }
+  friend bool operator<=(Timestamp a, Timestamp b) {
+    return a.micros_ <= b.micros_;
+  }
+  friend bool operator>(Timestamp a, Timestamp b) { return b < a; }
+  friend bool operator>=(Timestamp a, Timestamp b) { return b <= a; }
+
+ private:
+  int64_t micros_;
+};
+
+/// A closed time interval [start, end]; used for both DURING (query-log
+/// filtering) and DATA-INTERVAL (data version selection).
+struct TimeInterval {
+  Timestamp start;
+  Timestamp end;
+
+  /// Whether t falls within [start, end].
+  bool Contains(Timestamp t) const { return start <= t && t <= end; }
+  /// Whether the interval denotes a single instant (a specific version).
+  bool IsInstant() const { return start == end; }
+
+  bool operator==(const TimeInterval& other) const {
+    return start == other.start && end == other.end;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_COMMON_TIMESTAMP_H_

@@ -1,0 +1,490 @@
+#include "src/engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/expr/analysis.h"
+#include "src/expr/evaluator.h"
+
+namespace auditdb {
+
+namespace {
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// A conjunct scheduled for evaluation once all its tables are joined.
+struct ScheduledConjunct {
+  ExprPtr expr;       // bound
+  size_t ready_at;    // index of the last FROM table it references
+};
+
+/// Per-join-position hash acceleration: probe an earlier column's value
+/// against a hash of this table's rows keyed by one of its columns.
+struct HashJoinPlan {
+  bool enabled = false;
+  int probe_slot = -1;   // slot (filled earlier) whose value we look up
+  size_t build_column = 0;  // column index within this table's schema
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> build;
+};
+
+class ExecutionContext {
+ public:
+  ExecutionContext(const sql::SelectStatement& stmt, const DatabaseView& db,
+                   const ExecOptions& options)
+      : db_(db), options_(options), stmt_(stmt.Clone()) {}
+
+  Result<QueryResult> Run() {
+    AUDITDB_RETURN_IF_ERROR(Setup());
+    if (!tables_.empty()) {
+      combined_.assign(layout_.width(), Value());
+      tids_.assign(tables_.size(), 0);
+      AUDITDB_RETURN_IF_ERROR(Enumerate(0));
+    }
+    return std::move(result_);
+  }
+
+ private:
+  Status Setup() {
+    if (stmt_.from.empty()) {
+      return Status::InvalidArgument("query has no FROM clause");
+    }
+    // Reject duplicate FROM entries (no alias support).
+    for (size_t i = 0; i < stmt_.from.size(); ++i) {
+      for (size_t j = i + 1; j < stmt_.from.size(); ++j) {
+        if (stmt_.from[i] == stmt_.from[j]) {
+          return Status::InvalidArgument("duplicate table in FROM: " +
+                                         stmt_.from[i]);
+        }
+      }
+    }
+    original_from_ = stmt_.from;
+    if (options_.reorder_joins && stmt_.from.size() > 1) {
+      AUDITDB_RETURN_IF_ERROR(ReorderJoins());
+    }
+    // lineage_permutation_[i] = position in the (possibly reordered)
+    // execution order of the i-th ORIGINAL table.
+    lineage_permutation_.resize(original_from_.size());
+    for (size_t i = 0; i < original_from_.size(); ++i) {
+      for (size_t j = 0; j < stmt_.from.size(); ++j) {
+        if (stmt_.from[j] == original_from_[i]) {
+          lineage_permutation_[i] = j;
+        }
+      }
+    }
+    for (const auto& name : stmt_.from) {
+      auto table = db_.GetTable(name);
+      if (!table.ok()) return table.status();
+      tables_.push_back(*table);
+      layout_.AddTable(name, (*table)->schema());
+    }
+
+    // Resolve the projection.
+    if (stmt_.select_star) {
+      result_.columns = layout_.slot_columns();
+      projection_slots_.resize(layout_.width());
+      for (size_t i = 0; i < layout_.width(); ++i) {
+        projection_slots_[i] = static_cast<int>(i);
+      }
+    } else {
+      for (auto& ref : stmt_.select_list) {
+        auto resolved = db_.catalog().Resolve(ref, stmt_.from);
+        if (!resolved.ok()) return resolved.status();
+        auto slot = layout_.Slot(*resolved);
+        if (!slot.ok()) return slot.status();
+        result_.columns.push_back(*resolved);
+        projection_slots_.push_back(*slot);
+      }
+    }
+    result_.from = original_from_;
+
+    // Qualify, bind and schedule WHERE conjuncts.
+    if (stmt_.where) {
+      AUDITDB_RETURN_IF_ERROR(
+          QualifyColumns(stmt_.where.get(), db_.catalog(), stmt_.from));
+      AUDITDB_RETURN_IF_ERROR(BindExpression(stmt_.where.get(), layout_));
+      for (const Expression* conjunct : SplitConjuncts(stmt_.where.get())) {
+        ScheduledConjunct sc;
+        sc.expr = conjunct->Clone();
+        sc.ready_at = 0;
+        for (const ColumnRef& col : CollectColumns(conjunct)) {
+          for (size_t i = 0; i < stmt_.from.size(); ++i) {
+            if (stmt_.from[i] == col.table) {
+              sc.ready_at = std::max(sc.ready_at, i);
+            }
+          }
+        }
+        conjuncts_.push_back(std::move(sc));
+      }
+    }
+
+    // Plan hash joins: for each position > 0, find a bound equi-join
+    // conjunct `earlier.col = this.col` of matching column types.
+    hash_plans_.resize(tables_.size());
+    if (options_.hash_join) {
+      for (size_t i = 1; i < tables_.size(); ++i) {
+        AUDITDB_RETURN_IF_ERROR(PlanHashJoin(i));
+      }
+    }
+
+    // Plan index prefilters: positions not served by a hash join can
+    // restrict their scan through a secondary index when a same-typed
+    // `col op literal` conjunct exists. The conjunct is still evaluated
+    // (the prefilter may be a superset, e.g. around NULLs).
+    prefilters_.resize(tables_.size());
+    if (options_.use_index) {
+      for (size_t i = 0; i < tables_.size(); ++i) {
+        if (hash_plans_[i].enabled) continue;
+        AUDITDB_RETURN_IF_ERROR(PlanIndexPrefilter(i));
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Greedy selectivity-based ordering: cheapest filtered table first,
+  /// then repeatedly the cheapest table connected to the chosen set by an
+  /// equi-join conjunct (falling back to the cheapest remaining).
+  Status ReorderJoins() {
+    // Filtered-cardinality estimate per table: count rows passing the
+    // single-table conjuncts.
+    std::vector<const Expression*> conjuncts;
+    ExprPtr where;
+    if (stmt_.where) {
+      where = stmt_.where->Clone();
+      AUDITDB_RETURN_IF_ERROR(
+          QualifyColumns(where.get(), db_.catalog(), stmt_.from));
+      conjuncts = SplitConjuncts(where.get());
+    }
+
+    std::map<std::string, size_t> estimate;
+    for (const auto& name : stmt_.from) {
+      auto table = db_.GetTable(name);
+      if (!table.ok()) return table.status();
+      RowLayout single;
+      single.AddTable(name, (*table)->schema());
+      std::vector<ExprPtr> bound;
+      for (const Expression* conjunct : conjuncts) {
+        bool local = true;
+        for (const auto& col : CollectColumns(conjunct)) {
+          if (col.table != name) {
+            local = false;
+            break;
+          }
+        }
+        if (!local) continue;
+        ExprPtr clone = conjunct->Clone();
+        AUDITDB_RETURN_IF_ERROR(BindExpression(clone.get(), single));
+        bound.push_back(std::move(clone));
+      }
+      size_t count = 0;
+      for (const Row& row : (*table)->rows()) {
+        bool pass = true;
+        for (const auto& conjunct : bound) {
+          auto ok = EvaluatePredicate(conjunct.get(), row.values);
+          if (!ok.ok() || !*ok) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) ++count;
+      }
+      estimate[name] = count;
+    }
+
+    // Equi-join adjacency.
+    std::map<std::string, std::set<std::string>> adjacent;
+    for (const Expression* conjunct : conjuncts) {
+      ColumnRef lhs, rhs;
+      if (IsEquiJoin(*conjunct, &lhs, &rhs)) {
+        adjacent[lhs.table].insert(rhs.table);
+        adjacent[rhs.table].insert(lhs.table);
+      }
+    }
+
+    std::vector<std::string> remaining = stmt_.from;
+    std::vector<std::string> order;
+    std::set<std::string> chosen;
+    while (!remaining.empty()) {
+      size_t best = 0;
+      bool best_connected = false;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        bool connected = false;
+        for (const auto& t : chosen) {
+          if (adjacent[t].count(remaining[i]) > 0) connected = true;
+        }
+        if (order.empty()) connected = false;  // first pick: pure size
+        bool better;
+        if (connected != best_connected) {
+          better = connected;  // prefer connected tables
+        } else {
+          better = estimate[remaining[i]] < estimate[remaining[best]];
+        }
+        if (i == 0 || better) {
+          best = i;
+          best_connected = connected;
+        }
+      }
+      order.push_back(remaining[best]);
+      chosen.insert(remaining[best]);
+      remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+    }
+    stmt_.from = std::move(order);
+    return Status::Ok();
+  }
+
+  Status PlanIndexPrefilter(size_t position) {
+    const std::string& this_table = stmt_.from[position];
+    const Table& table = *tables_[position];
+    std::optional<std::vector<Tid>> best;
+    for (const auto& sc : conjuncts_) {
+      if (sc.ready_at != position) continue;
+      ColumnRef col;
+      BinaryOp op;
+      Value literal;
+      if (!IsColumnLiteralComparison(*sc.expr, &col, &op, &literal)) {
+        continue;
+      }
+      if (col.table != this_table || !table.HasIndex(col.column)) continue;
+      // Same-typed only: mixed-type comparisons coerce and must scan.
+      auto col_idx = table.schema().FindColumn(col.column);
+      if (!col_idx.has_value() ||
+          table.schema().column(*col_idx).type != literal.type()) {
+        continue;
+      }
+      Result<std::vector<Tid>> tids = std::vector<Tid>{};
+      switch (op) {
+        case BinaryOp::kEq:
+          tids = table.IndexLookupEq(col.column, literal);
+          break;
+        case BinaryOp::kLt:
+          tids = table.IndexLookupRange(
+              col.column, std::nullopt,
+              Table::IndexBound{literal, /*strict=*/true});
+          break;
+        case BinaryOp::kLe:
+          tids = table.IndexLookupRange(
+              col.column, std::nullopt,
+              Table::IndexBound{literal, /*strict=*/false});
+          break;
+        case BinaryOp::kGt:
+          tids = table.IndexLookupRange(
+              col.column, Table::IndexBound{literal, /*strict=*/true},
+              std::nullopt);
+          break;
+        case BinaryOp::kGe:
+          tids = table.IndexLookupRange(
+              col.column, Table::IndexBound{literal, /*strict=*/false},
+              std::nullopt);
+          break;
+        default:
+          continue;  // <> and LIKE don't index
+      }
+      if (!tids.ok()) return tids.status();
+      if (!best.has_value() || tids->size() < best->size()) {
+        best = std::move(*tids);
+      }
+    }
+    if (best.has_value()) {
+      std::vector<size_t> positions;
+      positions.reserve(best->size());
+      for (Tid tid : *best) {
+        auto row = table.Get(tid);
+        if (!row.ok()) continue;
+        positions.push_back(static_cast<size_t>(*row - table.rows().data()));
+      }
+      prefilters_[position] = std::move(positions);
+    }
+    return Status::Ok();
+  }
+
+  Status PlanHashJoin(size_t position) {
+    const std::string& this_table = stmt_.from[position];
+    for (const auto& sc : conjuncts_) {
+      if (sc.ready_at != position) continue;
+      ColumnRef lhs, rhs;
+      if (!IsEquiJoin(*sc.expr, &lhs, &rhs)) continue;
+      // Normalize so rhs belongs to this table.
+      if (lhs.table == this_table) std::swap(lhs, rhs);
+      if (rhs.table != this_table) continue;
+      // Probe side must be available earlier.
+      bool lhs_earlier = false;
+      for (size_t j = 0; j < position; ++j) {
+        if (stmt_.from[j] == lhs.table) lhs_earlier = true;
+      }
+      if (!lhs_earlier) continue;
+      // Only same-typed keys: hashing must agree with Compare()-equality,
+      // which coerces across types; restrict to identical column types.
+      auto lt = db_.catalog().TypeOf(lhs);
+      auto rt = db_.catalog().TypeOf(rhs);
+      if (!lt.ok() || !rt.ok() || *lt != *rt) continue;
+
+      HashJoinPlan& plan = hash_plans_[position];
+      auto probe_slot = layout_.Slot(lhs);
+      if (!probe_slot.ok()) return probe_slot.status();
+      plan.probe_slot = *probe_slot;
+      auto col_idx = tables_[position]->schema().FindColumn(rhs.column);
+      if (!col_idx.has_value()) {
+        return Status::Internal("hash join column vanished: " +
+                                rhs.ToString());
+      }
+      plan.build_column = *col_idx;
+      const auto& rows = tables_[position]->rows();
+      for (size_t r = 0; r < rows.size(); ++r) {
+        plan.build[rows[r].values[plan.build_column]].push_back(r);
+      }
+      plan.enabled = true;
+      return Status::Ok();
+    }
+    return Status::Ok();
+  }
+
+  /// Depth-first join enumeration over FROM positions.
+  Status Enumerate(size_t position) {
+    if (position == tables_.size()) {
+      std::vector<Value> out;
+      out.reserve(projection_slots_.size());
+      for (int slot : projection_slots_) {
+        out.push_back(combined_[static_cast<size_t>(slot)]);
+      }
+      result_.rows.push_back(std::move(out));
+      // Lineage in the query's original FROM order, independent of any
+      // join reordering.
+      std::vector<Tid> original_tids(tids_.size());
+      for (size_t i = 0; i < tids_.size(); ++i) {
+        original_tids[i] = tids_[lineage_permutation_[i]];
+      }
+      result_.lineage.push_back(std::move(original_tids));
+      return Status::Ok();
+    }
+
+    const Table& table = *tables_[position];
+    size_t offset = layout_.table_offsets()[position].second;
+
+    auto try_row = [&](const Row& row) -> Status {
+      for (size_t c = 0; c < row.values.size(); ++c) {
+        combined_[offset + c] = row.values[c];
+      }
+      tids_[position] = row.tid;
+      for (const auto& sc : conjuncts_) {
+        if (sc.ready_at != position) continue;
+        auto pass = EvaluatePredicate(sc.expr.get(), combined_);
+        if (!pass.ok()) return pass.status();
+        if (!*pass) return Status::Ok();  // prune this branch
+      }
+      return Enumerate(position + 1);
+    };
+
+    const HashJoinPlan& plan = hash_plans_[position];
+    if (plan.enabled) {
+      const Value& key = combined_[static_cast<size_t>(plan.probe_slot)];
+      auto it = plan.build.find(key);
+      if (it == plan.build.end()) return Status::Ok();
+      for (size_t r : it->second) {
+        AUDITDB_RETURN_IF_ERROR(try_row(table.rows()[r]));
+      }
+      return Status::Ok();
+    }
+    if (prefilters_[position].has_value()) {
+      for (size_t r : *prefilters_[position]) {
+        AUDITDB_RETURN_IF_ERROR(try_row(table.rows()[r]));
+      }
+      return Status::Ok();
+    }
+    for (const Row& row : table.rows()) {
+      AUDITDB_RETURN_IF_ERROR(try_row(row));
+    }
+    return Status::Ok();
+  }
+
+  const DatabaseView& db_;
+  ExecOptions options_;
+  sql::SelectStatement stmt_;
+
+  std::vector<const Table*> tables_;
+  std::vector<std::string> original_from_;
+  std::vector<size_t> lineage_permutation_;
+  RowLayout layout_;
+  std::vector<int> projection_slots_;
+  std::vector<ScheduledConjunct> conjuncts_;
+  std::vector<HashJoinPlan> hash_plans_;
+  std::vector<std::optional<std::vector<size_t>>> prefilters_;
+
+  std::vector<Value> combined_;
+  std::vector<Tid> tids_;
+  QueryResult result_;
+};
+
+}  // namespace
+
+std::set<Tid> QueryResult::IndispensableTids(const std::string& table) const {
+  std::set<Tid> out;
+  for (size_t j = 0; j < from.size(); ++j) {
+    if (from[j] != table) continue;
+    for (const auto& tuple : lineage) out.insert(tuple[j]);
+  }
+  return out;
+}
+
+Result<std::set<std::vector<Tid>>> QueryResult::ProjectLineage(
+    const std::vector<std::string>& tables) const {
+  std::vector<size_t> positions;
+  for (const auto& t : tables) {
+    auto it = std::find(from.begin(), from.end(), t);
+    if (it == from.end()) {
+      return Status::NotFound("table not in query lineage: " + t);
+    }
+    positions.push_back(static_cast<size_t>(it - from.begin()));
+  }
+  std::set<std::vector<Tid>> out;
+  for (const auto& tuple : lineage) {
+    std::vector<Tid> projected;
+    projected.reserve(positions.size());
+    for (size_t p : positions) projected.push_back(tuple[p]);
+    out.insert(std::move(projected));
+  }
+  return out;
+}
+
+std::set<Value> QueryResult::ColumnValues(const ColumnRef& col) const {
+  std::set<Value> out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (!(columns[i] == col)) continue;
+    for (const auto& row : rows) out.insert(row[i]);
+  }
+  return out;
+}
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns[i].ToString();
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToDisplayString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<QueryResult> Execute(const sql::SelectStatement& stmt,
+                            const DatabaseView& db,
+                            const ExecOptions& options) {
+  ExecutionContext ctx(stmt, db, options);
+  return ctx.Run();
+}
+
+Result<QueryResult> ExecuteSql(const std::string& sql_text,
+                               const DatabaseView& db,
+                               const ExecOptions& options) {
+  auto stmt = sql::ParseSelect(sql_text);
+  if (!stmt.ok()) return stmt.status();
+  return Execute(*stmt, db, options);
+}
+
+}  // namespace auditdb

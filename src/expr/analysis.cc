@@ -1,0 +1,110 @@
+#include "src/expr/analysis.h"
+
+namespace auditdb {
+
+namespace {
+
+void CollectColumnsInto(const Expression* expr, std::set<ColumnRef>* out) {
+  if (expr == nullptr) return;
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kColumn:
+      out->insert(expr->column);
+      return;
+    case ExprKind::kUnary:
+      CollectColumnsInto(expr->left.get(), out);
+      return;
+    case ExprKind::kBinary:
+      CollectColumnsInto(expr->left.get(), out);
+      CollectColumnsInto(expr->right.get(), out);
+      return;
+  }
+}
+
+void SplitConjunctsInto(const Expression* expr,
+                        std::vector<const Expression*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary && expr->bop == BinaryOp::kAnd) {
+    SplitConjunctsInto(expr->left.get(), out);
+    SplitConjunctsInto(expr->right.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+}  // namespace
+
+std::set<ColumnRef> CollectColumns(const Expression* expr) {
+  std::set<ColumnRef> out;
+  CollectColumnsInto(expr, &out);
+  return out;
+}
+
+std::vector<const Expression*> SplitConjuncts(const Expression* expr) {
+  std::vector<const Expression*> out;
+  SplitConjunctsInto(expr, &out);
+  return out;
+}
+
+Status QualifyColumns(Expression* expr, const Catalog& catalog,
+                      const std::vector<std::string>& scope) {
+  if (expr == nullptr) return Status::Ok();
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      return Status::Ok();
+    case ExprKind::kColumn: {
+      auto resolved = catalog.Resolve(expr->column, scope);
+      if (!resolved.ok()) return resolved.status();
+      expr->column = *resolved;
+      return Status::Ok();
+    }
+    case ExprKind::kUnary:
+      return QualifyColumns(expr->left.get(), catalog, scope);
+    case ExprKind::kBinary:
+      AUDITDB_RETURN_IF_ERROR(
+          QualifyColumns(expr->left.get(), catalog, scope));
+      return QualifyColumns(expr->right.get(), catalog, scope);
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+bool IsEquiJoin(const Expression& conjunct, ColumnRef* lhs, ColumnRef* rhs) {
+  if (conjunct.kind != ExprKind::kBinary || conjunct.bop != BinaryOp::kEq) {
+    return false;
+  }
+  if (conjunct.left->kind != ExprKind::kColumn ||
+      conjunct.right->kind != ExprKind::kColumn) {
+    return false;
+  }
+  if (conjunct.left->column.table == conjunct.right->column.table) {
+    return false;
+  }
+  *lhs = conjunct.left->column;
+  *rhs = conjunct.right->column;
+  return true;
+}
+
+bool IsColumnLiteralComparison(const Expression& conjunct, ColumnRef* col,
+                               BinaryOp* op, Value* literal) {
+  if (conjunct.kind != ExprKind::kBinary || !IsComparison(conjunct.bop)) {
+    return false;
+  }
+  const Expression* l = conjunct.left.get();
+  const Expression* r = conjunct.right.get();
+  if (l->kind == ExprKind::kColumn && r->kind == ExprKind::kLiteral) {
+    *col = l->column;
+    *op = conjunct.bop;
+    *literal = r->literal;
+    return true;
+  }
+  if (l->kind == ExprKind::kLiteral && r->kind == ExprKind::kColumn) {
+    *col = r->column;
+    *op = FlipComparison(conjunct.bop);
+    *literal = l->literal;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace auditdb

@@ -1,0 +1,37 @@
+#ifndef AUDITDB_EXPR_ANALYSIS_H_
+#define AUDITDB_EXPR_ANALYSIS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/expr/expression.h"
+
+namespace auditdb {
+
+/// All column references appearing in `expr` (nullptr → empty).
+std::set<ColumnRef> CollectColumns(const Expression* expr);
+
+/// Top-level AND-connected conjuncts of `expr`. A non-AND root is a single
+/// conjunct; nullptr yields an empty list.
+std::vector<const Expression*> SplitConjuncts(const Expression* expr);
+
+/// Resolves every column reference in `expr` to its fully qualified form
+/// against `catalog` limited to the FROM-clause `scope`, and checks that
+/// referenced tables/columns exist.
+Status QualifyColumns(Expression* expr, const Catalog& catalog,
+                      const std::vector<std::string>& scope);
+
+/// If `conjunct` is `col = col` across two different tables, fills the two
+/// sides and returns true.
+bool IsEquiJoin(const Expression& conjunct, ColumnRef* lhs, ColumnRef* rhs);
+
+/// If `conjunct` is `col op literal` (either orientation), returns true and
+/// fills the normalized column-on-the-left form.
+bool IsColumnLiteralComparison(const Expression& conjunct, ColumnRef* col,
+                               BinaryOp* op, Value* literal);
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_EXPR_ANALYSIS_H_

@@ -1,0 +1,283 @@
+#include "src/expr/constraints.h"
+
+#include "src/expr/analysis.h"
+#include "src/expr/evaluator.h"
+
+namespace auditdb {
+
+int ColumnUnionFind::Find(const ColumnRef& ref) {
+  auto it = ids_.find(ref);
+  if (it == ids_.end()) {
+    int id = static_cast<int>(parent_.size());
+    ids_.emplace(ref, id);
+    parent_.push_back(id);
+    return id;
+  }
+  return Root(it->second);
+}
+
+int ColumnUnionFind::FindIfKnown(const ColumnRef& ref) const {
+  auto it = ids_.find(ref);
+  if (it == ids_.end()) return -1;
+  return RootConst(it->second);
+}
+
+void ColumnUnionFind::Union(const ColumnRef& a, const ColumnRef& b) {
+  int ra = Find(a), rb = Find(b);
+  if (ra != rb) parent_[ra] = rb;
+}
+
+int ColumnUnionFind::Root(int id) {
+  while (parent_[id] != id) {
+    parent_[id] = parent_[parent_[id]];
+    id = parent_[id];
+  }
+  return id;
+}
+
+int ColumnUnionFind::RootConst(int id) const {
+  while (parent_[id] != id) id = parent_[id];
+  return id;
+}
+
+void ConstraintSet::AddLower(const Value& v, bool strict) {
+  if (!lower.has_value()) {
+    lower = Bound{v, strict};
+    return;
+  }
+  auto cmp = v.Compare(lower->value);
+  if (!cmp.ok()) return;  // incomparable types: stay conservative
+  if (*cmp > 0 || (*cmp == 0 && strict && !lower->strict)) {
+    lower = Bound{v, strict};
+  }
+}
+
+void ConstraintSet::AddUpper(const Value& v, bool strict) {
+  if (!upper.has_value()) {
+    upper = Bound{v, strict};
+    return;
+  }
+  auto cmp = v.Compare(upper->value);
+  if (!cmp.ok()) return;
+  if (*cmp < 0 || (*cmp == 0 && strict && !upper->strict)) {
+    upper = Bound{v, strict};
+  }
+}
+
+bool ConstraintSet::ProvablyEmpty() const {
+  if (!lower.has_value() || !upper.has_value()) return false;
+  auto cmp = lower->value.Compare(upper->value);
+  if (!cmp.ok()) return false;
+  if (*cmp > 0) return true;
+  if (*cmp == 0) {
+    if (lower->strict || upper->strict) return true;
+    // Pinned to a single value: check disequalities against it.
+    for (const auto& ne : not_equal) {
+      auto c2 = ne.Compare(lower->value);
+      if (c2.ok() && *c2 == 0) return true;
+    }
+  }
+  return false;
+}
+
+bool ConstraintSet::Implies(BinaryOp op, const Value& lit) const {
+  // Pinned value: evaluate the atom directly.
+  if (lower.has_value() && upper.has_value() && !lower->strict &&
+      !upper->strict) {
+    auto pin = lower->value.Compare(upper->value);
+    if (pin.ok() && *pin == 0) {
+      auto cmp = lower->value.Compare(lit);
+      if (cmp.ok()) {
+        switch (op) {
+          case BinaryOp::kEq:
+            return *cmp == 0;
+          case BinaryOp::kNe:
+            return *cmp != 0;
+          case BinaryOp::kLt:
+            return *cmp < 0;
+          case BinaryOp::kLe:
+            return *cmp <= 0;
+          case BinaryOp::kGt:
+            return *cmp > 0;
+          case BinaryOp::kGe:
+            return *cmp >= 0;
+          default:
+            return false;
+        }
+      }
+    }
+  }
+  switch (op) {
+    case BinaryOp::kLe:
+      // x <= lit follows from upper <= lit.
+      if (upper.has_value()) {
+        auto cmp = upper->value.Compare(lit);
+        return cmp.ok() && *cmp <= 0;
+      }
+      return false;
+    case BinaryOp::kLt:
+      // x < lit follows from a strict upper <= lit or any upper < lit.
+      if (upper.has_value()) {
+        auto cmp = upper->value.Compare(lit);
+        return cmp.ok() && (*cmp < 0 || (*cmp == 0 && upper->strict));
+      }
+      return false;
+    case BinaryOp::kGe:
+      if (lower.has_value()) {
+        auto cmp = lower->value.Compare(lit);
+        return cmp.ok() && *cmp >= 0;
+      }
+      return false;
+    case BinaryOp::kGt:
+      if (lower.has_value()) {
+        auto cmp = lower->value.Compare(lit);
+        return cmp.ok() && (*cmp > 0 || (*cmp == 0 && lower->strict));
+      }
+      return false;
+    case BinaryOp::kNe: {
+      // x <> lit follows when lit lies outside the range, or from a
+      // recorded disequality on exactly lit.
+      for (const auto& ne : not_equal) {
+        auto cmp = ne.Compare(lit);
+        if (cmp.ok() && *cmp == 0) return true;
+      }
+      if (upper.has_value()) {
+        auto cmp = upper->value.Compare(lit);
+        if (cmp.ok() && (*cmp < 0 || (*cmp == 0 && upper->strict))) {
+          return true;
+        }
+      }
+      if (lower.has_value()) {
+        auto cmp = lower->value.Compare(lit);
+        if (cmp.ok() && (*cmp > 0 || (*cmp == 0 && lower->strict))) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case BinaryOp::kEq:
+      return false;  // only a pinned value implies equality (handled above)
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+bool IsColEqCol(const Expression& e, ColumnRef* l, ColumnRef* r) {
+  if (e.kind != ExprKind::kBinary || e.bop != BinaryOp::kEq) return false;
+  if (e.left->kind != ExprKind::kColumn ||
+      e.right->kind != ExprKind::kColumn) {
+    return false;
+  }
+  *l = e.left->column;
+  *r = e.right->column;
+  return true;
+}
+
+}  // namespace
+
+PredicateAnalysis::PredicateAnalysis(
+    const std::vector<const Expression*>& predicates) {
+  std::vector<const Expression*> atoms;
+  for (const Expression* p : predicates) {
+    for (const Expression* c : SplitConjuncts(p)) atoms.push_back(c);
+  }
+  // Pass 1: equality classes.
+  for (const Expression* atom : atoms) {
+    ColumnRef l, r;
+    if (IsColEqCol(*atom, &l, &r)) uf_.Union(l, r);
+  }
+  // Pass 2: everything else.
+  for (const Expression* atom : atoms) {
+    ProcessAtom(*atom);
+    if (provably_empty_) return;
+  }
+  for (const auto& [cls, cs] : constraints_) {
+    if (cs.ProvablyEmpty()) {
+      provably_empty_ = true;
+      return;
+    }
+  }
+}
+
+void PredicateAnalysis::ProcessAtom(const Expression& atom) {
+  // Constant comparison: evaluate outright.
+  if (atom.kind == ExprKind::kBinary && IsComparison(atom.bop) &&
+      atom.left->kind == ExprKind::kLiteral &&
+      atom.right->kind == ExprKind::kLiteral) {
+    auto v = Evaluate(atom, {});
+    if (v.ok() && v->type() == ValueType::kBool && !v->bool_value()) {
+      provably_empty_ = true;
+    }
+    return;
+  }
+
+  // Column-column comparisons within one class: x <> x etc.
+  if (atom.kind == ExprKind::kBinary && IsComparison(atom.bop) &&
+      atom.left->kind == ExprKind::kColumn &&
+      atom.right->kind == ExprKind::kColumn) {
+    int l = uf_.Find(atom.left->column);
+    int r = uf_.Find(atom.right->column);
+    if (l == r &&
+        (atom.bop == BinaryOp::kNe || atom.bop == BinaryOp::kLt ||
+         atom.bop == BinaryOp::kGt)) {
+      provably_empty_ = true;
+    }
+    return;
+  }
+
+  // col op literal.
+  ColumnRef col;
+  BinaryOp op;
+  Value lit;
+  if (IsColumnLiteralComparison(atom, &col, &op, &lit)) {
+    ConstraintSet& cs = constraints_[uf_.Find(col)];
+    switch (op) {
+      case BinaryOp::kEq:
+        cs.AddLower(lit, false);
+        cs.AddUpper(lit, false);
+        break;
+      case BinaryOp::kNe:
+        cs.not_equal.push_back(lit);
+        break;
+      case BinaryOp::kLt:
+        cs.AddUpper(lit, true);
+        break;
+      case BinaryOp::kLe:
+        cs.AddUpper(lit, false);
+        break;
+      case BinaryOp::kGt:
+        cs.AddLower(lit, true);
+        break;
+      case BinaryOp::kGe:
+        cs.AddLower(lit, false);
+        break;
+      default:
+        break;
+    }
+    if (cs.ProvablyEmpty()) provably_empty_ = true;
+    return;
+  }
+  // Anything else (OR, NOT, arithmetic) is opaque: ignored, which only
+  // weakens the analyzed predicate — sound for both uses.
+}
+
+bool PredicateAnalysis::Implies(const ColumnRef& col, BinaryOp op,
+                                const Value& lit) const {
+  int cls = uf_.FindIfKnown(col);
+  if (cls < 0) return false;
+  auto it = constraints_.find(cls);
+  if (it == constraints_.end()) return false;
+  return it->second.Implies(op, lit);
+}
+
+bool PredicateAnalysis::SameClass(const ColumnRef& a,
+                                  const ColumnRef& b) const {
+  if (a == b) return true;
+  int ca = uf_.FindIfKnown(a);
+  int cb = uf_.FindIfKnown(b);
+  return ca >= 0 && ca == cb;
+}
+
+}  // namespace auditdb

@@ -1,0 +1,87 @@
+#ifndef AUDITDB_EXPR_CONSTRAINTS_H_
+#define AUDITDB_EXPR_CONSTRAINTS_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/expr/expression.h"
+
+namespace auditdb {
+
+/// Union-find over column references; equality conjuncts (`a = b`) merge
+/// classes so bounds propagate across joins.
+class ColumnUnionFind {
+ public:
+  /// Class id of `ref` (registering it if new).
+  int Find(const ColumnRef& ref);
+  /// Class id if `ref` is known, -1 otherwise (const lookup).
+  int FindIfKnown(const ColumnRef& ref) const;
+  void Union(const ColumnRef& a, const ColumnRef& b);
+
+ private:
+  int Root(int id);
+  int RootConst(int id) const;
+
+  std::map<ColumnRef, int> ids_;
+  std::vector<int> parent_;
+};
+
+/// One-sided range bound.
+struct Bound {
+  Value value;
+  bool strict = false;
+};
+
+/// Accumulated range / disequality constraints for one equality class.
+struct ConstraintSet {
+  std::optional<Bound> lower;
+  std::optional<Bound> upper;
+  std::vector<Value> not_equal;
+
+  /// Tightens a bound (keeps the stronger of old and new).
+  void AddLower(const Value& v, bool strict);
+  void AddUpper(const Value& v, bool strict);
+
+  /// Whether the accumulated constraints are provably unsatisfiable.
+  bool ProvablyEmpty() const;
+
+  /// Whether every value satisfying this set also satisfies `op lit`
+  /// (e.g. upper <= 5 implies `x < 6`). Conservative: false when the
+  /// types are incomparable or the bounds are insufficient.
+  bool Implies(BinaryOp op, const Value& lit) const;
+};
+
+/// Conjunctive constraint analysis over one or more predicates: column
+/// equality classes plus per-class range/disequality sets, the shared
+/// machinery behind satisfiability (pruning) and implication
+/// (subsumption) tests. Atoms it cannot analyze (ORs, arithmetic,
+/// cross-class inequalities) are recorded as `opaque` and ignored —
+/// which keeps emptiness *proofs* sound (ignoring a conjunct weakens the
+/// predicate) and implication *proofs* sound for the same reason.
+class PredicateAnalysis {
+ public:
+  /// Builds from the conjuncts of all predicates (nullptr entries = TRUE).
+  explicit PredicateAnalysis(const std::vector<const Expression*>& predicates);
+
+  /// A contradiction was found while building (x = 1 AND x = 2, constant
+  /// falsehoods, x < x, ...), or some class is empty.
+  bool ProvablyEmpty() const { return provably_empty_; }
+
+  /// Whether the predicates provably force `col op lit`.
+  bool Implies(const ColumnRef& col, BinaryOp op, const Value& lit) const;
+
+  /// Whether a and b are provably equal (same equality class).
+  bool SameClass(const ColumnRef& a, const ColumnRef& b) const;
+
+ private:
+  void ProcessAtom(const Expression& atom);
+
+  ColumnUnionFind uf_;
+  std::map<int, ConstraintSet> constraints_;
+  bool provably_empty_ = false;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_EXPR_CONSTRAINTS_H_

@@ -1,0 +1,194 @@
+#include "src/expr/expression.h"
+
+namespace auditdb {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+BinaryOp NegateComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return BinaryOp::kNe;
+    case BinaryOp::kNe:
+      return BinaryOp::kEq;
+    case BinaryOp::kLt:
+      return BinaryOp::kGe;
+    case BinaryOp::kLe:
+      return BinaryOp::kGt;
+    case BinaryOp::kGt:
+      return BinaryOp::kLe;
+    case BinaryOp::kGe:
+      return BinaryOp::kLt;
+    default:
+      return op;
+  }
+}
+
+ExprPtr Expression::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expression>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expression::MakeColumn(ColumnRef ref) {
+  auto e = std::make_unique<Expression>();
+  e->kind = ExprKind::kColumn;
+  e->column = std::move(ref);
+  return e;
+}
+
+ExprPtr Expression::MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expression>();
+  e->kind = ExprKind::kUnary;
+  e->uop = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr Expression::MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expression>();
+  e->kind = ExprKind::kBinary;
+  e->bop = op;
+  e->left = std::move(lhs);
+  e->right = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expression::MakeComparison(ColumnRef ref, BinaryOp op, Value v) {
+  return MakeBinary(op, MakeColumn(std::move(ref)),
+                    MakeLiteral(std::move(v)));
+}
+
+ExprPtr Expression::MakeColumnEq(ColumnRef a, ColumnRef b) {
+  return MakeBinary(BinaryOp::kEq, MakeColumn(std::move(a)),
+                    MakeColumn(std::move(b)));
+}
+
+ExprPtr Expression::MakeConjunction(std::vector<ExprPtr> conjuncts) {
+  ExprPtr out;
+  for (auto& c : conjuncts) {
+    if (!out) {
+      out = std::move(c);
+    } else {
+      out = MakeBinary(BinaryOp::kAnd, std::move(out), std::move(c));
+    }
+  }
+  return out;
+}
+
+ExprPtr Expression::Clone() const {
+  auto e = std::make_unique<Expression>();
+  e->kind = kind;
+  e->literal = literal;
+  e->column = column;
+  e->slot = slot;
+  e->uop = uop;
+  e->bop = bop;
+  if (left) e->left = left->Clone();
+  if (right) e->right = right->Clone();
+  return e;
+}
+
+bool Expression::Equals(const Expression& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal == other.literal;
+    case ExprKind::kColumn:
+      return column == other.column;
+    case ExprKind::kUnary:
+      return uop == other.uop && left->Equals(*other.left);
+    case ExprKind::kBinary:
+      return bop == other.bop && left->Equals(*other.left) &&
+             right->Equals(*other.right);
+  }
+  return false;
+}
+
+std::string Expression::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumn:
+      return column.ToString();
+    case ExprKind::kUnary:
+      if (uop == UnaryOp::kNot) return "NOT (" + left->ToString() + ")";
+      return "-(" + left->ToString() + ")";
+    case ExprKind::kBinary: {
+      auto wrap = [](const Expression& e) {
+        if (e.kind == ExprKind::kBinary &&
+            (e.bop == BinaryOp::kAnd || e.bop == BinaryOp::kOr)) {
+          return "(" + e.ToString() + ")";
+        }
+        return e.ToString();
+      };
+      if (bop == BinaryOp::kAnd || bop == BinaryOp::kOr) {
+        return wrap(*left) + " " + BinaryOpName(bop) + " " + wrap(*right);
+      }
+      return left->ToString() + " " + BinaryOpName(bop) + " " +
+             right->ToString();
+    }
+  }
+  return "?";
+}
+
+}  // namespace auditdb

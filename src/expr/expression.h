@@ -1,0 +1,104 @@
+#ifndef AUDITDB_EXPR_EXPRESSION_H_
+#define AUDITDB_EXPR_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/types/value.h"
+
+namespace auditdb {
+
+enum class ExprKind {
+  kLiteral,
+  kColumn,
+  kUnary,
+  kBinary,
+};
+
+enum class UnaryOp {
+  kNot,
+  kNeg,
+};
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  /// SQL LIKE with `%` (any run) and `_` (any one char) wildcards; the
+  /// pattern is the right operand. Not a comparison for the purposes of
+  /// IsComparison (static analyses treat it as opaque).
+  kLike,
+};
+
+/// SQL rendering of a binary operator ("=", "<=", "AND", ...).
+const char* BinaryOpName(BinaryOp op);
+
+/// True for =, <>, <, <=, >, >=.
+bool IsComparison(BinaryOp op);
+
+/// The comparison with swapped operands (a < b  ==  b > a).
+BinaryOp FlipComparison(BinaryOp op);
+
+/// The comparison negation (NOT a < b  ==  a >= b).
+BinaryOp NegateComparison(BinaryOp op);
+
+struct Expression;
+using ExprPtr = std::unique_ptr<Expression>;
+
+/// One node of a scalar / boolean expression tree. Shared by the SQL
+/// WHERE-clause grammar and the audit-expression grammar. A plain data
+/// node type: passes through parser → binder (fills `slot`) → evaluator.
+struct Expression {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumn
+  ColumnRef column;
+  /// Flat index into the executor's combined row, set by Bind(); -1 while
+  /// unbound.
+  int slot = -1;
+
+  // kUnary (operand in `left`) / kBinary
+  UnaryOp uop = UnaryOp::kNot;
+  BinaryOp bop = BinaryOp::kAnd;
+  ExprPtr left;
+  ExprPtr right;
+
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeColumn(ColumnRef ref);
+  static ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+  /// Convenience: column `ref` op literal `v`.
+  static ExprPtr MakeComparison(ColumnRef ref, BinaryOp op, Value v);
+  /// Convenience: column = column (equi-join predicate).
+  static ExprPtr MakeColumnEq(ColumnRef a, ColumnRef b);
+  /// AND of the given conjuncts; nullptr for an empty list (meaning TRUE).
+  static ExprPtr MakeConjunction(std::vector<ExprPtr> conjuncts);
+
+  /// Deep copy (slots included).
+  ExprPtr Clone() const;
+
+  /// Structural equality (ignores slots).
+  bool Equals(const Expression& other) const;
+
+  /// SQL-ish rendering, parenthesized where precedence requires.
+  std::string ToString() const;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_EXPR_EXPRESSION_H_

@@ -1,0 +1,73 @@
+#include "src/expr/implication.h"
+
+#include "src/expr/analysis.h"
+#include "src/expr/constraints.h"
+#include "src/expr/evaluator.h"
+
+namespace auditdb {
+
+namespace {
+
+/// Whether one conclusion conjunct is provably forced.
+bool ConjunctImplied(const PredicateAnalysis& analysis,
+                     const std::vector<const Expression*>& premise_atoms,
+                     const Expression& conjunct) {
+  // Structural identity with a premise conjunct.
+  for (const Expression* atom : premise_atoms) {
+    if (atom != nullptr && atom->Equals(conjunct)) return true;
+  }
+
+  // Constant truths.
+  if (conjunct.kind == ExprKind::kLiteral &&
+      conjunct.literal == Value::Bool(true)) {
+    return true;
+  }
+  if (conjunct.kind == ExprKind::kBinary && IsComparison(conjunct.bop) &&
+      conjunct.left->kind == ExprKind::kLiteral &&
+      conjunct.right->kind == ExprKind::kLiteral) {
+    auto v = Evaluate(conjunct, {});
+    return v.ok() && v->type() == ValueType::kBool && v->bool_value();
+  }
+
+  // A false premise implies anything.
+  if (analysis.ProvablyEmpty()) return true;
+
+  // col op literal forced by the premise's constraint sets.
+  ColumnRef col;
+  BinaryOp op;
+  Value lit;
+  if (IsColumnLiteralComparison(conjunct, &col, &op, &lit)) {
+    return analysis.Implies(col, op, lit);
+  }
+
+  // col = col forced by premise equality classes.
+  if (conjunct.kind == ExprKind::kBinary && conjunct.bop == BinaryOp::kEq &&
+      conjunct.left->kind == ExprKind::kColumn &&
+      conjunct.right->kind == ExprKind::kColumn) {
+    return analysis.SameClass(conjunct.left->column,
+                              conjunct.right->column);
+  }
+
+  // OR: proving any disjunct suffices.
+  if (conjunct.kind == ExprKind::kBinary && conjunct.bop == BinaryOp::kOr) {
+    return ConjunctImplied(analysis, premise_atoms, *conjunct.left) ||
+           ConjunctImplied(analysis, premise_atoms, *conjunct.right);
+  }
+
+  return false;  // cannot prove
+}
+
+}  // namespace
+
+bool ProvablyImplies(const Expression* premise,
+                     const Expression* conclusion) {
+  if (conclusion == nullptr) return true;  // anything implies TRUE
+  std::vector<const Expression*> premise_atoms = SplitConjuncts(premise);
+  PredicateAnalysis analysis({premise});
+  for (const Expression* conjunct : SplitConjuncts(conclusion)) {
+    if (!ConjunctImplied(analysis, premise_atoms, *conjunct)) return false;
+  }
+  return true;
+}
+
+}  // namespace auditdb

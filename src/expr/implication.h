@@ -1,0 +1,25 @@
+#ifndef AUDITDB_EXPR_IMPLICATION_H_
+#define AUDITDB_EXPR_IMPLICATION_H_
+
+#include "src/expr/expression.h"
+
+namespace auditdb {
+
+/// Conservative implication test: true only when `premise` provably
+/// implies `conclusion` (every tuple satisfying the premise satisfies the
+/// conclusion); false means "could not prove", not "does not imply".
+/// nullptr denotes TRUE on either side.
+///
+/// The proof engine handles conjunctions of atoms on both sides:
+/// premise atoms feed a PredicateAnalysis (equality classes + ranges);
+/// each conclusion conjunct must then be forced — a `col op literal`
+/// atom by the class constraints, a `col = col` atom by class equality,
+/// an OR by proving some disjunct, or any conjunct by being structurally
+/// identical to a premise conjunct. Used for audit-expression
+/// subsumption (one audit's target data provably contained in
+/// another's).
+bool ProvablyImplies(const Expression* premise, const Expression* conclusion);
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_EXPR_IMPLICATION_H_

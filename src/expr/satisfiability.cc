@@ -1,0 +1,16 @@
+#include "src/expr/satisfiability.h"
+
+#include "src/expr/constraints.h"
+
+namespace auditdb {
+
+bool MaybeSatisfiable(const std::vector<const Expression*>& predicates) {
+  PredicateAnalysis analysis(predicates);
+  return !analysis.ProvablyEmpty();
+}
+
+bool MaybeSatisfiable(const Expression* a, const Expression* b) {
+  return MaybeSatisfiable(std::vector<const Expression*>{a, b});
+}
+
+}  // namespace auditdb

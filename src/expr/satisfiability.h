@@ -1,0 +1,31 @@
+#ifndef AUDITDB_EXPR_SATISFIABILITY_H_
+#define AUDITDB_EXPR_SATISFIABILITY_H_
+
+#include <vector>
+
+#include "src/expr/expression.h"
+
+namespace auditdb {
+
+/// Conservative satisfiability test for the conjunction of the given
+/// predicates (each may itself be a conjunction; nullptr entries mean TRUE).
+///
+/// Used by the data-independent phase of auditing (Definition 1, candidate
+/// query): a logged query whose WHERE clause provably conflicts with the
+/// audit expression's WHERE clause cannot share an indispensable tuple with
+/// it and is discarded without touching the database.
+///
+/// The test reasons over atoms of the forms `col op literal` and
+/// `col = col` (equality classes via union-find, bounds/disequalities
+/// propagated per class) and constant comparisons. Anything it cannot
+/// analyze (ORs, arithmetic, cross-class inequalities) is treated as
+/// satisfiable, so `false` is a proof of emptiness while `true` is merely
+/// "not provably empty".
+bool MaybeSatisfiable(const std::vector<const Expression*>& predicates);
+
+/// Convenience overload for two predicates (query WHERE ∧ audit WHERE).
+bool MaybeSatisfiable(const Expression* a, const Expression* b);
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_EXPR_SATISFIABILITY_H_

@@ -1,0 +1,347 @@
+#include "src/io/dump.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace auditdb {
+namespace io {
+
+namespace {
+
+/// Escapes backslash, pipe and newline for the pipe-separated format.
+std::string Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '|':
+        out += "\\p";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    if (i + 1 >= text.size()) {
+      return Status::ParseError("dangling escape in dump field");
+    }
+    ++i;
+    switch (text[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'p':
+        out += '|';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        return Status::ParseError(std::string("unknown escape \\") +
+                                  text[i]);
+    }
+  }
+  return out;
+}
+
+/// Splits a line on unescaped pipes.
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      current += line[i];
+      current += line[i + 1];
+      ++i;
+      continue;
+    }
+    if (line[i] == '|') {
+      fields.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current += line[i];
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+
+/// Parses an entire string as a signed 64-bit integer (no exceptions).
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses an entire string as a double (no exceptions).
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+Result<ValueType> ParseTypeName(const std::string& name) {
+  if (name == "STRING") return ValueType::kString;
+  if (name == "INT") return ValueType::kInt;
+  if (name == "DOUBLE") return ValueType::kDouble;
+  if (name == "BOOL") return ValueType::kBool;
+  if (name == "TIMESTAMP") return ValueType::kTimestamp;
+  if (name == "NULL") return ValueType::kNull;
+  return Status::ParseError("unknown column type: " + name);
+}
+
+}  // namespace
+
+std::string EncodeValue(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "N";
+    case ValueType::kBool:
+      return value.bool_value() ? "B:1" : "B:0";
+    case ValueType::kInt:
+      return "I:" + std::to_string(value.int_value());
+    case ValueType::kDouble: {
+      std::ostringstream out;
+      out.precision(17);
+      out << "D:" << value.double_value();
+      return out.str();
+    }
+    case ValueType::kString:
+      return "S:" + Escape(value.string_value());
+    case ValueType::kTimestamp:
+      return "T:" + std::to_string(value.time_value().micros());
+  }
+  return "N";
+}
+
+Result<Value> DecodeValue(const std::string& text) {
+  if (text == "N") return Value::Null();
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::ParseError("malformed value encoding: " + text);
+  }
+  std::string payload = text.substr(2);
+  switch (text[0]) {
+    case 'B':
+      return Value::Bool(payload == "1");
+    case 'I': {
+      int64_t v;
+      if (!ParseInt64(payload, &v)) {
+        return Status::ParseError("bad INT payload: " + payload);
+      }
+      return Value::Int(v);
+    }
+    case 'D': {
+      double v;
+      if (!ParseDouble(payload, &v)) {
+        return Status::ParseError("bad DOUBLE payload: " + payload);
+      }
+      return Value::Double(v);
+    }
+    case 'S': {
+      auto raw = Unescape(payload);
+      if (!raw.ok()) return raw.status();
+      return Value::String(std::move(*raw));
+    }
+    case 'T': {
+      int64_t v;
+      if (!ParseInt64(payload, &v)) {
+        return Status::ParseError("bad TIMESTAMP payload: " + payload);
+      }
+      return Value::Time(Timestamp(v));
+    }
+    default:
+      return Status::ParseError("unknown value tag in: " + text);
+  }
+}
+
+Status WriteDatabaseDump(const Database& db, std::ostream& out) {
+  for (const auto& name : db.TableNames()) {
+    auto table = db.GetTable(name);
+    if (!table.ok()) return table.status();
+    out << "TABLE " << name << "\n";
+    out << "COLUMNS ";
+    const auto& schema = (*table)->schema();
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      if (i > 0) out << ",";
+      out << schema.column(i).name << ":"
+          << ValueTypeName(schema.column(i).type);
+    }
+    out << "\n";
+    for (const auto& row : (*table)->rows()) {
+      out << "ROW " << row.tid;
+      for (const auto& value : row.values) {
+        out << "|" << EncodeValue(value);
+      }
+      out << "\n";
+    }
+    out << "END\n";
+  }
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failure in database dump");
+}
+
+Status ReadDatabaseDump(std::istream& in, Database* db, Timestamp ts) {
+  std::string line;
+  std::string current_table;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (StartsWith(trimmed, "TABLE ")) {
+      current_table = std::string(trimmed.substr(6));
+      // COLUMNS line must follow.
+      if (!std::getline(in, line)) {
+        return Status::ParseError("dump truncated after TABLE");
+      }
+      std::string_view columns_line = Trim(line);
+      if (!StartsWith(columns_line, "COLUMNS ")) {
+        return Status::ParseError("expected COLUMNS after TABLE " +
+                                  current_table);
+      }
+      std::vector<Column> columns;
+      for (const auto& piece :
+           Split(std::string(columns_line.substr(8)), ',')) {
+        auto parts = Split(piece, ':');
+        if (parts.size() != 2) {
+          return Status::ParseError("malformed column spec: " + piece);
+        }
+        auto type = ParseTypeName(parts[1]);
+        if (!type.ok()) return type.status();
+        columns.push_back(Column{parts[0], *type});
+      }
+      AUDITDB_RETURN_IF_ERROR(
+          db->CreateTable(TableSchema(current_table, std::move(columns))));
+      continue;
+    }
+    if (StartsWith(trimmed, "ROW ")) {
+      if (current_table.empty()) {
+        return Status::ParseError("ROW outside of TABLE block");
+      }
+      auto fields = SplitFields(std::string(trimmed.substr(4)));
+      if (fields.empty()) {
+        return Status::ParseError("empty ROW line");
+      }
+      Tid tid;
+      if (!ParseInt64(fields[0], &tid)) {
+        return Status::ParseError("bad tid: " + fields[0]);
+      }
+      std::vector<Value> values;
+      for (size_t i = 1; i < fields.size(); ++i) {
+        auto value = DecodeValue(fields[i]);
+        if (!value.ok()) return value.status();
+        values.push_back(std::move(*value));
+      }
+      AUDITDB_RETURN_IF_ERROR(
+          db->InsertWithTid(current_table, tid, std::move(values), ts));
+      continue;
+    }
+    if (trimmed == "END") {
+      current_table.clear();
+      continue;
+    }
+    if (StartsWith(trimmed, "QUERY ")) {
+      return Status::ParseError(
+          "QUERY line in database dump (use ReadQueryLogDump)");
+    }
+    return Status::ParseError("unrecognized dump line: " +
+                              std::string(trimmed));
+  }
+  return Status::Ok();
+}
+
+Status WriteQueryLogDump(const QueryLog& log, std::ostream& out) {
+  for (const auto& entry : log.entries()) {
+    out << "QUERY " << entry.id << "|" << entry.timestamp.micros() << "|"
+        << Escape(entry.user) << "|" << Escape(entry.role) << "|"
+        << Escape(entry.purpose) << "|" << Escape(entry.sql) << "\n";
+  }
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failure in query-log dump");
+}
+
+Status ReadQueryLogDump(std::istream& in, QueryLog* log) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (!StartsWith(trimmed, "QUERY ")) {
+      return Status::ParseError("unrecognized query-log line: " +
+                                std::string(trimmed));
+    }
+    auto fields = SplitFields(std::string(trimmed.substr(6)));
+    if (fields.size() != 6) {
+      return Status::ParseError("QUERY line needs 6 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    int64_t micros;
+    if (!ParseInt64(fields[1], &micros)) {
+      return Status::ParseError("bad timestamp: " + fields[1]);
+    }
+    auto user = Unescape(fields[2]);
+    auto role = Unescape(fields[3]);
+    auto purpose = Unescape(fields[4]);
+    auto sql = Unescape(fields[5]);
+    if (!user.ok()) return user.status();
+    if (!role.ok()) return role.status();
+    if (!purpose.ok()) return purpose.status();
+    if (!sql.ok()) return sql.status();
+    log->Append(std::move(*sql), Timestamp(micros), std::move(*user),
+                std::move(*role), std::move(*purpose));
+  }
+  return Status::Ok();
+}
+
+Status SaveDatabase(const Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  return WriteDatabaseDump(db, out);
+}
+
+Status LoadDatabase(const std::string& path, Database* db, Timestamp ts) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  return ReadDatabaseDump(in, db, ts);
+}
+
+Status SaveQueryLog(const QueryLog& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  return WriteQueryLogDump(log, out);
+}
+
+Status LoadQueryLog(const std::string& path, QueryLog* log) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  return ReadQueryLogDump(in, log);
+}
+
+}  // namespace io
+}  // namespace auditdb

@@ -1,0 +1,38 @@
+#include "src/policy/access_filter.h"
+
+#include <algorithm>
+
+namespace auditdb {
+
+bool AccessFilter::Admits(const LoggedQuery& query) const {
+  if (during.has_value() && !during->Contains(query.timestamp)) {
+    return false;
+  }
+  // Negative clauses first: they win over positive ones on conflict.
+  if (std::find(neg_users.begin(), neg_users.end(), query.user) !=
+      neg_users.end()) {
+    return false;
+  }
+  for (const auto& pattern : neg_role_purpose) {
+    if (pattern.Matches(query.role, query.purpose)) return false;
+  }
+  // Positive clauses restrict to the listed parameters when present.
+  if (!pos_users.empty() &&
+      std::find(pos_users.begin(), pos_users.end(), query.user) ==
+          pos_users.end()) {
+    return false;
+  }
+  if (!pos_role_purpose.empty()) {
+    bool matched = false;
+    for (const auto& pattern : pos_role_purpose) {
+      if (pattern.Matches(query.role, query.purpose)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+}  // namespace auditdb

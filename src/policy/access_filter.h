@@ -1,0 +1,57 @@
+#ifndef AUDITDB_POLICY_ACCESS_FILTER_H_
+#define AUDITDB_POLICY_ACCESS_FILTER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/timestamp.h"
+#include "src/querylog/query_log.h"
+
+namespace auditdb {
+
+/// A (role, purpose) selector from the audit grammar's Pos-/Neg-Role-Purpose
+/// clauses. Either side may be the wildcard "-": (r,-) matches any purpose,
+/// (-,pr) any role.
+struct RolePurposePattern {
+  std::string role;     // "-" = any
+  std::string purpose;  // "-" = any
+
+  bool Matches(const std::string& r, const std::string& pr) const {
+    return (role == "-" || role == r) && (purpose == "-" || purpose == pr);
+  }
+
+  std::string ToString() const { return "(" + role + "," + purpose + ")"; }
+
+  bool operator==(const RolePurposePattern& other) const {
+    return role == other.role && purpose == other.purpose;
+  }
+};
+
+/// The limiting parameters of an audit expression (Section 3.3 of the
+/// paper): positive and negative role/purpose and user-identity selectors
+/// plus the DURING interval. Negative clauses take precedence over
+/// positive ones on conflict, exactly as the paper resolves it.
+struct AccessFilter {
+  std::vector<RolePurposePattern> neg_role_purpose;
+  std::vector<RolePurposePattern> pos_role_purpose;
+  std::vector<std::string> neg_users;
+  std::vector<std::string> pos_users;
+  /// DURING interval for the user accesses; unset = no time restriction
+  /// (the grammar's default is "current day", applied by the parser).
+  std::optional<TimeInterval> during;
+
+  /// Whether the logged query survives all limiting clauses and should be
+  /// considered for auditing.
+  bool Admits(const LoggedQuery& query) const;
+
+  /// Whether any clause is set at all.
+  bool IsTrivial() const {
+    return neg_role_purpose.empty() && pos_role_purpose.empty() &&
+           neg_users.empty() && pos_users.empty() && !during.has_value();
+  }
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_POLICY_ACCESS_FILTER_H_

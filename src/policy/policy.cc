@@ -1,0 +1,26 @@
+#include "src/policy/policy.h"
+
+namespace auditdb {
+
+bool PrivacyPolicy::Allows(const std::string& role, const std::string& purpose,
+                           const ColumnRef& col) const {
+  for (const auto& rule : rules_) {
+    if (rule.role != role || rule.purpose != purpose) continue;
+    if (rule.table != col.table) continue;
+    if (rule.columns.empty() || rule.columns.count(col.column) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PrivacyPolicy::AllowsAll(const std::string& role,
+                              const std::string& purpose,
+                              const std::set<ColumnRef>& cols) const {
+  for (const auto& col : cols) {
+    if (!Allows(role, purpose, col)) return false;
+  }
+  return true;
+}
+
+}  // namespace auditdb

@@ -1,0 +1,49 @@
+#ifndef AUDITDB_POLICY_POLICY_H_
+#define AUDITDB_POLICY_POLICY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+
+namespace auditdb {
+
+/// One rule of a Hippocratic privacy policy: a (role, purpose) pair is
+/// authorized to read the listed columns. Column sets are per-table;
+/// an empty column set means the whole table.
+struct PolicyRule {
+  std::string role;
+  std::string purpose;
+  std::string table;
+  std::set<std::string> columns;  // empty = all columns of the table
+};
+
+/// A permissive column-level privacy policy. Anything not covered by a
+/// rule is denied. Used by the workload generator and examples to produce
+/// realistic "authorized" query logs that the auditor then combs for
+/// disclosures that were technically authorized but violate a disclosure
+/// review (the paper's setting: audits run over policy-compliant logs).
+class PrivacyPolicy {
+ public:
+  PrivacyPolicy() = default;
+
+  void AddRule(PolicyRule rule) { rules_.push_back(std::move(rule)); }
+
+  const std::vector<PolicyRule>& rules() const { return rules_; }
+
+  /// Whether (role, purpose) may read column `col`.
+  bool Allows(const std::string& role, const std::string& purpose,
+              const ColumnRef& col) const;
+
+  /// Whether (role, purpose) may read every column in `cols`.
+  bool AllowsAll(const std::string& role, const std::string& purpose,
+                 const std::set<ColumnRef>& cols) const;
+
+ private:
+  std::vector<PolicyRule> rules_;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_POLICY_POLICY_H_

@@ -1,0 +1,39 @@
+#include "src/querylog/query_log.h"
+
+namespace auditdb {
+
+std::string LoggedQuery::ToString() const {
+  return "#" + std::to_string(id) + " [" + timestamp.ToString() + " user=" +
+         user + " role=" + role + " purpose=" + purpose + "] " + sql;
+}
+
+int64_t QueryLog::Append(std::string sql, Timestamp ts, std::string user,
+                         std::string role, std::string purpose) {
+  LoggedQuery entry;
+  entry.id = static_cast<int64_t>(entries_.size()) + 1;
+  entry.sql = std::move(sql);
+  entry.timestamp = ts;
+  entry.user = std::move(user);
+  entry.role = std::move(role);
+  entry.purpose = std::move(purpose);
+  entries_.push_back(std::move(entry));
+  return entries_.back().id;
+}
+
+Result<const LoggedQuery*> QueryLog::Get(int64_t id) const {
+  if (id < 1 || static_cast<size_t>(id) > entries_.size()) {
+    return Status::NotFound("no logged query with id " + std::to_string(id));
+  }
+  return &entries_[static_cast<size_t>(id - 1)];
+}
+
+std::vector<const LoggedQuery*> QueryLog::InInterval(
+    const TimeInterval& interval) const {
+  std::vector<const LoggedQuery*> out;
+  for (const auto& entry : entries_) {
+    if (interval.Contains(entry.timestamp)) out.push_back(&entry);
+  }
+  return out;
+}
+
+}  // namespace auditdb

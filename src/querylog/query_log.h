@@ -1,0 +1,55 @@
+#ifndef AUDITDB_QUERYLOG_QUERY_LOG_H_
+#define AUDITDB_QUERYLOG_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+
+namespace auditdb {
+
+/// One entry of the query log. During normal operation the text of every
+/// query processed by the database is logged with annotations: execution
+/// time, the submitting user, and the role and purpose under which the
+/// access was authorized (the Hippocratic-database access metadata the
+/// paper's limiting parameters filter on).
+struct LoggedQuery {
+  int64_t id = 0;
+  std::string sql;
+  Timestamp timestamp;
+  std::string user;
+  std::string role;
+  std::string purpose;
+
+  std::string ToString() const;
+};
+
+/// Append-only query log.
+class QueryLog {
+ public:
+  QueryLog() = default;
+
+  /// Appends and assigns a log id; returns the id.
+  int64_t Append(std::string sql, Timestamp ts, std::string user,
+                 std::string role, std::string purpose);
+
+  const std::vector<LoggedQuery>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Entry by id, or NotFound.
+  Result<const LoggedQuery*> Get(int64_t id) const;
+
+  /// Entries whose timestamps fall in the closed interval (the DURING
+  /// clause of an audit expression).
+  std::vector<const LoggedQuery*> InInterval(const TimeInterval& interval)
+      const;
+
+ private:
+  std::vector<LoggedQuery> entries_;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_QUERYLOG_QUERY_LOG_H_

@@ -1,0 +1,338 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "src/common/string_util.h"
+
+namespace auditdb {
+namespace sql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kDouble:
+      return "double";
+    case TokenKind::kTimestamp:
+      return "timestamp";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Attempts to lex a timestamp literal `d/m/yyyy[:hh-mm-ss]` starting at
+/// `pos`. On success fills `tok` and advances `pos`.
+bool TryLexTimestamp(const std::string& s, size_t* pos, Token* tok) {
+  size_t p = *pos;
+  auto read_int = [&](int max_digits, int* out) {
+    int n = 0;
+    int digits = 0;
+    while (p < s.size() && IsDigit(s[p]) && digits < max_digits) {
+      n = n * 10 + (s[p] - '0');
+      ++p;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    *out = n;
+    return true;
+  };
+  int d, m, y;
+  if (!read_int(2, &d)) return false;
+  if (p >= s.size() || s[p] != '/') return false;
+  ++p;
+  if (!read_int(2, &m)) return false;
+  if (p >= s.size() || s[p] != '/') return false;
+  ++p;
+  size_t year_start = p;
+  if (!read_int(4, &y)) return false;
+  if (p - year_start != 4) return false;  // require 4-digit year
+  int hh = 0, mm = 0, ss = 0;
+  if (p < s.size() && s[p] == ':') {
+    size_t save = p;
+    ++p;
+    if (!(read_int(2, &hh) && p < s.size() && s[p] == '-' &&
+          (++p, read_int(2, &mm)) && p < s.size() && s[p] == '-' &&
+          (++p, read_int(2, &ss)))) {
+      p = save;  // date-only; leave ':' for someone else (unlikely)
+      hh = mm = ss = 0;
+    }
+  }
+  auto ts = Timestamp::FromCivil(y, m, d, hh, mm, ss);
+  if (!ts.ok()) return false;
+  tok->kind = TokenKind::kTimestamp;
+  tok->time_value = *ts;
+  tok->text = s.substr(*pos, p - *pos);
+  *pos = p;
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  const size_t n = text.size();
+  while (pos < n) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    Token tok;
+    tok.offset = pos;
+
+    // Timestamp literal (before numbers, since both start with a digit).
+    if (IsDigit(c) && TryLexTimestamp(text, &pos, &tok)) {
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Number.
+    if (IsDigit(c) || (c == '.' && pos + 1 < n && IsDigit(text[pos + 1]))) {
+      size_t start = pos;
+      bool is_double = false;
+      while (pos < n && IsDigit(text[pos])) ++pos;
+      if (pos < n && text[pos] == '.' && pos + 1 < n && IsDigit(text[pos + 1])) {
+        is_double = true;
+        ++pos;
+        while (pos < n && IsDigit(text[pos])) ++pos;
+      }
+      if (pos < n && (text[pos] == 'e' || text[pos] == 'E')) {
+        size_t save = pos;
+        ++pos;
+        if (pos < n && (text[pos] == '+' || text[pos] == '-')) ++pos;
+        if (pos < n && IsDigit(text[pos])) {
+          is_double = true;
+          while (pos < n && IsDigit(text[pos])) ++pos;
+        } else {
+          pos = save;
+        }
+      }
+      std::string num = text.substr(start, pos - start);
+      errno = 0;
+      if (is_double) {
+        char* end = nullptr;
+        double v = std::strtod(num.c_str(), &end);
+        if (errno == ERANGE || end != num.c_str() + num.size()) {
+          return Status::ParseError("numeric literal out of range: " + num);
+        }
+        tok.kind = TokenKind::kDouble;
+        tok.double_value = v;
+      } else {
+        char* end = nullptr;
+        long long v = std::strtoll(num.c_str(), &end, 10);
+        if (errno == ERANGE || end != num.c_str() + num.size()) {
+          return Status::ParseError("integer literal out of range: " + num);
+        }
+        tok.kind = TokenKind::kInt;
+        tok.int_value = v;
+      }
+      tok.text = std::move(num);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // String literal: ' or " opens; a stray backquote right after the
+    // opening quote (the paper's '`value" quoting) is skipped.
+    if (c == '\'' || c == '"' || c == '`') {
+      ++pos;
+      if (pos < n && text[pos] == '`') ++pos;  // paper-style '`
+      std::string contents;
+      bool closed = false;
+      while (pos < n) {
+        char q = text[pos];
+        if (q == '\'' || q == '"') {
+          // Doubled quote = escaped quote (standard SQL).
+          if (q == '\'' && pos + 1 < n && text[pos + 1] == '\'') {
+            contents += '\'';
+            pos += 2;
+            continue;
+          }
+          ++pos;
+          closed = true;
+          break;
+        }
+        contents += q;
+        ++pos;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(contents);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Identifier (with hyphen folding: P-Personal, DATA-INTERVAL).
+    if (IsIdentStart(c)) {
+      size_t start = pos;
+      while (pos < n) {
+        if (IsIdentChar(text[pos])) {
+          ++pos;
+        } else if (text[pos] == '-' && pos + 1 < n &&
+                   (IsIdentStart(text[pos + 1]) || IsDigit(text[pos + 1])) &&
+                   pos > start && IsIdentChar(text[pos - 1])) {
+          ++pos;  // hyphen joined on both sides: part of the identifier
+        } else {
+          break;
+        }
+      }
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = text.substr(start, pos - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Punctuation / operators.
+    auto push1 = [&](TokenKind kind) {
+      tok.kind = kind;
+      tok.text = std::string(1, c);
+      ++pos;
+      tokens.push_back(tok);
+    };
+    switch (c) {
+      case ',':
+        push1(TokenKind::kComma);
+        continue;
+      case '.':
+        push1(TokenKind::kDot);
+        continue;
+      case '(':
+        push1(TokenKind::kLParen);
+        continue;
+      case ')':
+        push1(TokenKind::kRParen);
+        continue;
+      case '[':
+        push1(TokenKind::kLBracket);
+        continue;
+      case ']':
+        push1(TokenKind::kRBracket);
+        continue;
+      case '*':
+        push1(TokenKind::kStar);
+        continue;
+      case '+':
+        push1(TokenKind::kPlus);
+        continue;
+      case '-':
+        push1(TokenKind::kMinus);
+        continue;
+      case '/':
+        push1(TokenKind::kSlash);
+        continue;
+      case ';':
+        push1(TokenKind::kSemicolon);
+        continue;
+      case '=':
+        push1(TokenKind::kEq);
+        continue;
+      case '!':
+        if (pos + 1 < n && text[pos + 1] == '=') {
+          tok.kind = TokenKind::kNe;
+          tok.text = "!=";
+          pos += 2;
+          tokens.push_back(tok);
+          continue;
+        }
+        return Status::ParseError("unexpected '!' at offset " +
+                                  std::to_string(pos));
+      case '<':
+        if (pos + 1 < n && text[pos + 1] == '=') {
+          tok.kind = TokenKind::kLe;
+          tok.text = "<=";
+          pos += 2;
+        } else if (pos + 1 < n && text[pos + 1] == '>') {
+          tok.kind = TokenKind::kNe;
+          tok.text = "<>";
+          pos += 2;
+        } else {
+          tok.kind = TokenKind::kLt;
+          tok.text = "<";
+          ++pos;
+        }
+        tokens.push_back(tok);
+        continue;
+      case '>':
+        if (pos + 1 < n && text[pos + 1] == '=') {
+          tok.kind = TokenKind::kGe;
+          tok.text = ">=";
+          pos += 2;
+        } else {
+          tok.kind = TokenKind::kGt;
+          tok.text = ">";
+          ++pos;
+        }
+        tokens.push_back(tok);
+        continue;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(pos));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace auditdb

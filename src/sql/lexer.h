@@ -1,0 +1,75 @@
+#ifndef AUDITDB_SQL_LEXER_H_
+#define AUDITDB_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+
+namespace auditdb {
+namespace sql {
+
+enum class TokenKind {
+  kIdentifier,
+  kString,     // quoted literal
+  kInt,
+  kDouble,
+  kTimestamp,  // d/m/yyyy[:hh-mm-ss] literal
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kStar,  // '*' (projection star or multiplication)
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kSlash,
+  kSemicolon,
+  kEnd,
+};
+
+/// Name of a token kind for error messages.
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier name or string literal contents.
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  Timestamp time_value;
+  /// Byte offset in the source, for error messages.
+  size_t offset = 0;
+
+  /// Case-insensitive keyword match against an identifier token.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes the SQL / audit-expression dialect.
+///
+/// Dialect notes:
+///  - String literals accept single or double quotes, plus the paper's
+///    mixed quoting (a backquote after an opening quote is skipped).
+///  - Identifiers are [A-Za-z_][A-Za-z0-9_]* optionally extended with
+///    hyphenated segments (`P-Personal`, `DATA-INTERVAL`, `b-Patients`),
+///    because the paper's schema and grammar use hyphens. A `-` is folded
+///    into an identifier only when directly adjacent on both sides, so
+///    `salary - 100` (spaced) still lexes as a binary minus.
+///  - Timestamp literals `d/m/yyyy[:hh-mm-ss]` are recognized as single
+///    tokens (so `1/5/2004` is a date, not two divisions; spell division
+///    of literals with whitespace).
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace sql
+}  // namespace auditdb
+
+#endif  // AUDITDB_SQL_LEXER_H_

@@ -1,0 +1,392 @@
+#include "src/sql/parser.h"
+
+namespace auditdb {
+namespace sql {
+
+bool ParserBase::Match(TokenKind kind) {
+  if (Peek().kind == kind) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool ParserBase::MatchKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status ParserBase::Expect(TokenKind kind, const char* what) {
+  if (Peek().kind != kind) {
+    return ErrorHere(std::string("expected ") + what + ", found " +
+                     TokenKindName(Peek().kind) +
+                     (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+  }
+  Advance();
+  return Status::Ok();
+}
+
+Status ParserBase::ExpectKeyword(const char* kw) {
+  if (!Peek().IsKeyword(kw)) {
+    return ErrorHere(std::string("expected keyword ") + kw + ", found '" +
+                     Peek().text + "'");
+  }
+  Advance();
+  return Status::Ok();
+}
+
+Status ParserBase::ErrorHere(const std::string& message) const {
+  return Status::ParseError(message + " (at offset " +
+                            std::to_string(Peek().offset) + ")");
+}
+
+Result<ExprPtr> ParserBase::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> ParserBase::ParseOr() {
+  auto lhs = ParseAnd();
+  if (!lhs.ok()) return lhs.status();
+  ExprPtr out = std::move(*lhs);
+  while (MatchKeyword("OR")) {
+    auto rhs = ParseAnd();
+    if (!rhs.ok()) return rhs.status();
+    out = Expression::MakeBinary(BinaryOp::kOr, std::move(out),
+                                 std::move(*rhs));
+  }
+  return out;
+}
+
+Result<ExprPtr> ParserBase::ParseAnd() {
+  auto lhs = ParseNot();
+  if (!lhs.ok()) return lhs.status();
+  ExprPtr out = std::move(*lhs);
+  while (MatchKeyword("AND")) {
+    auto rhs = ParseNot();
+    if (!rhs.ok()) return rhs.status();
+    out = Expression::MakeBinary(BinaryOp::kAnd, std::move(out),
+                                 std::move(*rhs));
+  }
+  return out;
+}
+
+Result<ExprPtr> ParserBase::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    auto operand = ParseNot();
+    if (!operand.ok()) return operand.status();
+    return Expression::MakeUnary(UnaryOp::kNot, std::move(*operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> ParserBase::ParseComparison() {
+  auto lhs = ParseAdditive();
+  if (!lhs.ok()) return lhs.status();
+  ExprPtr out = std::move(*lhs);
+
+  // BETWEEN a AND b  →  out >= a AND out <= b.
+  bool negated = false;
+  if (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("BETWEEN")) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("BETWEEN")) {
+    auto lo = ParseAdditive();
+    if (!lo.ok()) return lo.status();
+    AUDITDB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    auto hi = ParseAdditive();
+    if (!hi.ok()) return hi.status();
+    ExprPtr lhs_copy = out->Clone();
+    ExprPtr range = Expression::MakeBinary(
+        BinaryOp::kAnd,
+        Expression::MakeBinary(BinaryOp::kGe, std::move(lhs_copy),
+                               std::move(*lo)),
+        Expression::MakeBinary(BinaryOp::kLe, std::move(out),
+                               std::move(*hi)));
+    if (negated) {
+      return Expression::MakeUnary(UnaryOp::kNot, std::move(range));
+    }
+    return range;
+  }
+
+  // IN (v, ...)  →  out = v1 OR out = v2 ...
+  if (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("IN")) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("IN")) {
+    AUDITDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    ExprPtr disjunction;
+    while (true) {
+      auto v = ParseAdditive();
+      if (!v.ok()) return v.status();
+      ExprPtr eq = Expression::MakeBinary(BinaryOp::kEq, out->Clone(),
+                                          std::move(*v));
+      disjunction = disjunction
+                        ? Expression::MakeBinary(BinaryOp::kOr,
+                                                 std::move(disjunction),
+                                                 std::move(eq))
+                        : std::move(eq);
+      if (!Match(TokenKind::kComma)) break;
+    }
+    AUDITDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    if (negated) {
+      return Expression::MakeUnary(UnaryOp::kNot, std::move(disjunction));
+    }
+    return disjunction;
+  }
+  // LIKE 'pattern'.
+  if (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("LIKE")) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("LIKE")) {
+    auto pattern = ParseAdditive();
+    if (!pattern.ok()) return pattern.status();
+    ExprPtr like = Expression::MakeBinary(BinaryOp::kLike, std::move(out),
+                                          std::move(*pattern));
+    if (negated) {
+      return Expression::MakeUnary(UnaryOp::kNot, std::move(like));
+    }
+    return like;
+  }
+  if (negated) return ErrorHere("expected BETWEEN, IN or LIKE after NOT");
+
+  BinaryOp op;
+  switch (Peek().kind) {
+    case TokenKind::kEq:
+      op = BinaryOp::kEq;
+      break;
+    case TokenKind::kNe:
+      op = BinaryOp::kNe;
+      break;
+    case TokenKind::kLt:
+      op = BinaryOp::kLt;
+      break;
+    case TokenKind::kLe:
+      op = BinaryOp::kLe;
+      break;
+    case TokenKind::kGt:
+      op = BinaryOp::kGt;
+      break;
+    case TokenKind::kGe:
+      op = BinaryOp::kGe;
+      break;
+    default:
+      return out;  // bare additive expression
+  }
+  Advance();
+  auto rhs = ParseAdditive();
+  if (!rhs.ok()) return rhs.status();
+  return Expression::MakeBinary(op, std::move(out), std::move(*rhs));
+}
+
+Result<ExprPtr> ParserBase::ParseAdditive() {
+  auto lhs = ParseMultiplicative();
+  if (!lhs.ok()) return lhs.status();
+  ExprPtr out = std::move(*lhs);
+  while (true) {
+    BinaryOp op;
+    if (Peek().kind == TokenKind::kPlus) {
+      op = BinaryOp::kAdd;
+    } else if (Peek().kind == TokenKind::kMinus) {
+      op = BinaryOp::kSub;
+    } else {
+      return out;
+    }
+    Advance();
+    auto rhs = ParseMultiplicative();
+    if (!rhs.ok()) return rhs.status();
+    out = Expression::MakeBinary(op, std::move(out), std::move(*rhs));
+  }
+}
+
+Result<ExprPtr> ParserBase::ParseMultiplicative() {
+  auto lhs = ParsePrimary();
+  if (!lhs.ok()) return lhs.status();
+  ExprPtr out = std::move(*lhs);
+  while (true) {
+    BinaryOp op;
+    if (Peek().kind == TokenKind::kStar) {
+      op = BinaryOp::kMul;
+    } else if (Peek().kind == TokenKind::kSlash) {
+      op = BinaryOp::kDiv;
+    } else {
+      return out;
+    }
+    Advance();
+    auto rhs = ParsePrimary();
+    if (!rhs.ok()) return rhs.status();
+    out = Expression::MakeBinary(op, std::move(out), std::move(*rhs));
+  }
+}
+
+Result<ExprPtr> ParserBase::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kInt: {
+      Advance();
+      return Expression::MakeLiteral(Value::Int(t.int_value));
+    }
+    case TokenKind::kDouble: {
+      Advance();
+      return Expression::MakeLiteral(Value::Double(t.double_value));
+    }
+    case TokenKind::kString: {
+      Advance();
+      return Expression::MakeLiteral(Value::String(t.text));
+    }
+    case TokenKind::kTimestamp: {
+      Advance();
+      return Expression::MakeLiteral(Value::Time(t.time_value));
+    }
+    case TokenKind::kMinus: {
+      Advance();
+      auto operand = ParsePrimary();
+      if (!operand.ok()) return operand.status();
+      return Expression::MakeUnary(UnaryOp::kNeg, std::move(*operand));
+    }
+    case TokenKind::kLParen: {
+      Advance();
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner.status();
+      AUDITDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return inner;
+    }
+    case TokenKind::kIdentifier: {
+      if (t.IsKeyword("TRUE")) {
+        Advance();
+        return Expression::MakeLiteral(Value::Bool(true));
+      }
+      if (t.IsKeyword("FALSE")) {
+        Advance();
+        return Expression::MakeLiteral(Value::Bool(false));
+      }
+      if (t.IsKeyword("now") && Peek(1).kind == TokenKind::kLParen &&
+          Peek(2).kind == TokenKind::kRParen) {
+        // now() becomes a timestamp literal bound at parse time by the
+        // audit parser; inside plain SQL it is not meaningful, so leave it
+        // to the audit parser, which rewrites before calling here. As a
+        // fallback, treat it as the current time.
+        Advance();
+        Advance();
+        Advance();
+        return Expression::MakeLiteral(Value::Time(Timestamp::Now()));
+      }
+      auto ref = ParseColumnRef();
+      if (!ref.ok()) return ref.status();
+      return Expression::MakeColumn(std::move(*ref));
+    }
+    default:
+      return ErrorHere(std::string("expected expression, found ") +
+                       TokenKindName(t.kind));
+  }
+}
+
+Result<ColumnRef> ParserBase::ParseColumnRef() {
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return ErrorHere("expected column name");
+  }
+  std::string first = Advance().text;
+  if (Match(TokenKind::kDot)) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected column name after '.'");
+    }
+    std::string second = Advance().text;
+    return ColumnRef{std::move(first), std::move(second)};
+  }
+  return ColumnRef{"", std::move(first)};
+}
+
+Result<std::vector<std::string>> ParserBase::ParseTableList() {
+  std::vector<std::string> tables;
+  while (true) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected table name");
+    }
+    tables.push_back(Advance().text);
+    if (!Match(TokenKind::kComma)) break;
+  }
+  return tables;
+}
+
+namespace {
+
+/// Parser for full SELECT statements.
+class SelectParser : public ParserBase {
+ public:
+  explicit SelectParser(std::vector<Token> tokens)
+      : ParserBase(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    AUDITDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (Match(TokenKind::kStar)) {
+      stmt.select_star = true;
+    } else {
+      while (true) {
+        auto ref = ParseColumnRef();
+        if (!ref.ok()) return ref.status();
+        stmt.select_list.push_back(std::move(*ref));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    AUDITDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    auto tables = ParseTableList();
+    if (!tables.ok()) return tables.status();
+    stmt.from = std::move(*tables);
+    if (MatchKeyword("WHERE")) {
+      auto where = ParseExpr();
+      if (!where.ok()) return where.status();
+      stmt.where = std::move(*where);
+    }
+    Match(TokenKind::kSemicolon);
+    if (!AtEnd()) {
+      return ErrorHere("trailing input after statement");
+    }
+    return stmt;
+  }
+};
+
+/// Parser for a bare expression.
+class ExpressionParser : public ParserBase {
+ public:
+  explicit ExpressionParser(std::vector<Token> tokens)
+      : ParserBase(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    if (!AtEnd()) return ErrorHere("trailing input after expression");
+    return e;
+  }
+};
+
+}  // namespace
+
+SelectStatement SelectStatement::Clone() const {
+  SelectStatement out;
+  out.select_star = select_star;
+  out.select_list = select_list;
+  out.from = from;
+  out.where = where ? where->Clone() : nullptr;
+  return out;
+}
+
+Result<SelectStatement> ParseSelect(const std::string& text) {
+  auto tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  SelectParser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  auto tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  ExpressionParser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+}  // namespace sql
+}  // namespace auditdb

@@ -1,0 +1,100 @@
+#ifndef AUDITDB_SQL_PARSER_H_
+#define AUDITDB_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/expr/expression.h"
+#include "src/sql/lexer.h"
+
+namespace auditdb {
+namespace sql {
+
+/// A parsed SPJ (select-project-join) statement:
+///   SELECT <cols | *> FROM <tables> [WHERE <predicate>] [;]
+struct SelectStatement {
+  /// SELECT * — project every column of every FROM table.
+  bool select_star = false;
+  /// Projected columns (possibly unqualified until bound).
+  std::vector<ColumnRef> select_list;
+  /// FROM-clause table names, in order.
+  std::vector<std::string> from;
+  /// WHERE predicate; nullptr means TRUE.
+  ExprPtr where;
+
+  SelectStatement() = default;
+  SelectStatement(SelectStatement&&) = default;
+  SelectStatement& operator=(SelectStatement&&) = default;
+
+  /// Deep copy.
+  SelectStatement Clone() const;
+
+  /// Canonical SQL rendering (see printer.cc).
+  std::string ToString() const;
+};
+
+/// Parses one SELECT statement from `text`.
+Result<SelectStatement> ParseSelect(const std::string& text);
+
+/// Parses a standalone boolean/scalar expression (used in tests and by the
+/// audit grammar's WHERE clause).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+/// Shared recursive-descent machinery over a token stream. The SELECT
+/// parser and the audit-expression parser both extend this.
+class ParserBase {
+ public:
+  explicit ParserBase(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+ protected:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  /// Consumes the next token if it matches `kind`.
+  bool Match(TokenKind kind);
+  /// Consumes the next token if it is the keyword `kw` (case-insensitive).
+  bool MatchKeyword(const char* kw);
+  /// Requires and consumes a token of `kind`.
+  Status Expect(TokenKind kind, const char* what);
+  /// Requires and consumes the keyword `kw`.
+  Status ExpectKeyword(const char* kw);
+
+  Status ErrorHere(const std::string& message) const;
+
+  /// expr := or ; standard precedence: OR < AND < NOT < cmp < add < mul.
+  /// Supports BETWEEN..AND and IN (v, ...), desugared to comparisons.
+  Result<ExprPtr> ParseExpr();
+
+  /// ident [ . ident ] — a possibly qualified column reference.
+  Result<ColumnRef> ParseColumnRef();
+
+  /// ident (, ident)* — table name list.
+  Result<std::vector<std::string>> ParseTableList();
+
+ private:
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sql
+}  // namespace auditdb
+
+#endif  // AUDITDB_SQL_PARSER_H_

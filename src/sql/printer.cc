@@ -1,0 +1,28 @@
+#include "src/sql/parser.h"
+
+#include "src/common/string_util.h"
+
+namespace auditdb {
+namespace sql {
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (select_star) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select_list.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += select_list[i].ToString();
+    }
+  }
+  out += " FROM ";
+  out += Join(from, ", ");
+  if (where) {
+    out += " WHERE ";
+    out += where->ToString();
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace auditdb

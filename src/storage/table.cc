@@ -1,0 +1,187 @@
+#include "src/storage/table.h"
+
+#include <algorithm>
+
+namespace auditdb {
+
+std::string TidToString(Tid tid) { return "t" + std::to_string(tid); }
+
+Status Table::CheckArity(const std::vector<Value>& values) const {
+  if (values.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " does not match " +
+        schema_.name() + " schema arity " +
+        std::to_string(schema_.num_columns()));
+  }
+  return Status::Ok();
+}
+
+Result<Tid> Table::Insert(std::vector<Value> values) {
+  AUDITDB_RETURN_IF_ERROR(CheckArity(values));
+  Tid tid = next_tid_++;
+  index_[tid] = rows_.size();
+  rows_.push_back(Row{tid, std::move(values)});
+  IndexInsert(rows_.back());
+  return tid;
+}
+
+Status Table::InsertWithTid(Tid tid, std::vector<Value> values) {
+  AUDITDB_RETURN_IF_ERROR(CheckArity(values));
+  if (index_.count(tid) > 0) {
+    return Status::AlreadyExists("tid " + TidToString(tid) +
+                                 " already present in " + schema_.name());
+  }
+  index_[tid] = rows_.size();
+  rows_.push_back(Row{tid, std::move(values)});
+  if (tid >= next_tid_) next_tid_ = tid + 1;
+  IndexInsert(rows_.back());
+  return Status::Ok();
+}
+
+Status Table::Update(Tid tid, std::vector<Value> values) {
+  AUDITDB_RETURN_IF_ERROR(CheckArity(values));
+  auto it = index_.find(tid);
+  if (it == index_.end()) {
+    return Status::NotFound("no tid " + TidToString(tid) + " in " +
+                            schema_.name());
+  }
+  IndexRemove(rows_[it->second]);
+  rows_[it->second].values = std::move(values);
+  IndexInsert(rows_[it->second]);
+  return Status::Ok();
+}
+
+Status Table::UpdateColumn(Tid tid, const std::string& column, Value value) {
+  auto col = schema_.FindColumn(column);
+  if (!col.has_value()) {
+    return Status::NotFound("no column '" + column + "' in " +
+                            schema_.name());
+  }
+  auto it = index_.find(tid);
+  if (it == index_.end()) {
+    return Status::NotFound("no tid " + TidToString(tid) + " in " +
+                            schema_.name());
+  }
+  IndexRemove(rows_[it->second]);
+  rows_[it->second].values[*col] = std::move(value);
+  IndexInsert(rows_[it->second]);
+  return Status::Ok();
+}
+
+Result<Row> Table::Delete(Tid tid) {
+  auto it = index_.find(tid);
+  if (it == index_.end()) {
+    return Status::NotFound("no tid " + TidToString(tid) + " in " +
+                            schema_.name());
+  }
+  size_t pos = it->second;
+  IndexRemove(rows_[pos]);
+  Row before = std::move(rows_[pos]);
+  // Stable removal: keeps insertion order deterministic (result sets and
+  // granule listings are order-sensitive in tests and paper artifacts).
+  rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(pos));
+  index_.erase(it);
+  for (auto& [t, p] : index_) {
+    if (p > pos) --p;
+  }
+  return before;
+}
+
+Result<const Row*> Table::Get(Tid tid) const {
+  auto it = index_.find(tid);
+  if (it == index_.end()) {
+    return Status::NotFound("no tid " + TidToString(tid) + " in " +
+                            schema_.name());
+  }
+  return &rows_[it->second];
+}
+
+void Table::ReserveTidsThrough(Tid tid) {
+  if (tid >= next_tid_) next_tid_ = tid + 1;
+}
+
+std::vector<std::string> Table::IndexedColumns() const {
+  std::vector<std::string> out;
+  out.reserve(secondary_.size());
+  for (const auto& [column, by_value] : secondary_) out.push_back(column);
+  return out;
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  auto col = schema_.FindColumn(column);
+  if (!col.has_value()) {
+    return Status::NotFound("no column '" + column + "' in " +
+                            schema_.name());
+  }
+  if (secondary_.count(column) > 0) return Status::Ok();
+  auto& by_value = secondary_[column];
+  for (const auto& row : rows_) {
+    by_value[row.values[*col]].push_back(row.tid);
+  }
+  return Status::Ok();
+}
+
+void Table::IndexInsert(const Row& row) {
+  for (auto& [column, by_value] : secondary_) {
+    auto col = schema_.FindColumn(column);
+    if (col.has_value()) by_value[row.values[*col]].push_back(row.tid);
+  }
+}
+
+void Table::IndexRemove(const Row& row) {
+  for (auto& [column, by_value] : secondary_) {
+    auto col = schema_.FindColumn(column);
+    if (!col.has_value()) continue;
+    auto it = by_value.find(row.values[*col]);
+    if (it == by_value.end()) continue;
+    auto& tids = it->second;
+    tids.erase(std::remove(tids.begin(), tids.end(), row.tid), tids.end());
+    if (tids.empty()) by_value.erase(it);
+  }
+}
+
+std::vector<Tid> Table::InRowOrder(std::vector<Tid> tids) const {
+  std::sort(tids.begin(), tids.end(), [this](Tid a, Tid b) {
+    return index_.at(a) < index_.at(b);
+  });
+  return tids;
+}
+
+Result<std::vector<Tid>> Table::IndexLookupEq(const std::string& column,
+                                              const Value& value) const {
+  auto it = secondary_.find(column);
+  if (it == secondary_.end()) {
+    return Status::NotFound("no index on " + schema_.name() + "." + column);
+  }
+  auto hit = it->second.find(value);
+  if (hit == it->second.end()) return std::vector<Tid>{};
+  return InRowOrder(hit->second);
+}
+
+Result<std::vector<Tid>> Table::IndexLookupRange(
+    const std::string& column, const std::optional<IndexBound>& lower,
+    const std::optional<IndexBound>& upper) const {
+  auto it = secondary_.find(column);
+  if (it == secondary_.end()) {
+    return Status::NotFound("no index on " + schema_.name() + "." + column);
+  }
+  const auto& by_value = it->second;
+  auto begin = by_value.begin();
+  auto end = by_value.end();
+  if (lower.has_value()) {
+    begin = lower->strict ? by_value.upper_bound(lower->value)
+                          : by_value.lower_bound(lower->value);
+  }
+  std::vector<Tid> tids;
+  for (auto cursor = begin; cursor != end; ++cursor) {
+    if (upper.has_value()) {
+      auto cmp = cursor->first.Compare(upper->value);
+      if (!cmp.ok()) break;  // heterogeneous tail: stop (same-typed only)
+      if (*cmp > 0 || (*cmp == 0 && upper->strict)) break;
+    }
+    tids.insert(tids.end(), cursor->second.begin(), cursor->second.end());
+  }
+  return InRowOrder(tids);
+}
+
+}  // namespace auditdb

@@ -1,0 +1,140 @@
+#ifndef AUDITDB_STORAGE_TABLE_H_
+#define AUDITDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+#include "src/types/value.h"
+
+namespace auditdb {
+
+/// System tuple identifier. Unique within a table for the table's lifetime:
+/// updates keep the tid (a new *version* of the same tuple), deletes retire
+/// it. Printed as `t<N>` to match the paper's notation (t11, t24, ...).
+using Tid = int64_t;
+
+/// Renders a tid the way the paper writes them ("t12").
+std::string TidToString(Tid tid);
+
+/// One stored tuple: system tid + column values in schema order.
+struct Row {
+  Tid tid = 0;
+  std::vector<Value> values;
+
+  bool operator==(const Row& other) const {
+    return tid == other.tid && values == other.values;
+  }
+};
+
+/// A change to a base table, as captured by the storage triggers that feed
+/// the backlog (the paper's b-<table> backlog tables).
+struct ChangeEvent {
+  enum class Op { kInsert, kUpdate, kDelete };
+
+  std::string table;
+  Op op = Op::kInsert;
+  Timestamp timestamp;
+  /// After-image for insert/update; before-image for delete.
+  Row row;
+};
+
+/// An in-memory heap table. Rows are kept in insertion order; lookups by
+/// tid go through a side index. Mutations produce ChangeEvents via the
+/// owning Database's trigger hook.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  /// Live rows in insertion order.
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Inserts with an auto-assigned tid; returns the tid.
+  Result<Tid> Insert(std::vector<Value> values);
+
+  /// Inserts with a caller-chosen tid (used to mirror the paper's t11..t34
+  /// numbering and to materialize snapshots). Fails if the tid is in use.
+  Status InsertWithTid(Tid tid, std::vector<Value> values);
+
+  /// Replaces the full row image of `tid` (a new version of the tuple).
+  Status Update(Tid tid, std::vector<Value> values);
+
+  /// Updates a single column of `tid`.
+  Status UpdateColumn(Tid tid, const std::string& column, Value value);
+
+  /// Removes the row; the before-image is returned for backlogging.
+  Result<Row> Delete(Tid tid);
+
+  /// Live row by tid, or NotFound.
+  Result<const Row*> Get(Tid tid) const;
+
+  bool Contains(Tid tid) const { return index_.count(tid) > 0; }
+
+  /// Next tid the auto-assigner would use.
+  Tid next_tid() const { return next_tid_; }
+  /// Raises the auto-assign floor (after explicit-tid inserts).
+  void ReserveTidsThrough(Tid tid);
+
+  /// --- Secondary indexes -------------------------------------------
+  /// An ordered value index over one column, maintained across
+  /// mutations. The executor uses it to prefilter scans for
+  /// `col = literal` and range predicates when the literal's type
+  /// matches the column's (mixed-type comparisons coerce and must go
+  /// through a scan).
+
+  /// Builds an index over `column` (idempotent).
+  Status CreateIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const {
+    return secondary_.count(column) > 0;
+  }
+  /// Names of indexed columns (snapshots mirror the live table's
+  /// indexes so audits of historical states get the same access paths).
+  std::vector<std::string> IndexedColumns() const;
+
+  /// Tids whose `column` equals `value` exactly (same type), in
+  /// insertion order.
+  Result<std::vector<Tid>> IndexLookupEq(const std::string& column,
+                                         const Value& value) const;
+
+  /// Tids whose `column` lies in the given range (either bound optional;
+  /// bounds must be same-typed with the column), in insertion order.
+  struct IndexBound {
+    Value value;
+    bool strict = false;
+  };
+  Result<std::vector<Tid>> IndexLookupRange(
+      const std::string& column, const std::optional<IndexBound>& lower,
+      const std::optional<IndexBound>& upper) const;
+
+ private:
+  Status CheckArity(const std::vector<Value>& values) const;
+  void IndexInsert(const Row& row);
+  void IndexRemove(const Row& row);
+  /// Sorts tids into row (insertion) order so index-driven scans emit
+  /// rows in the same order as full scans.
+  std::vector<Tid> InRowOrder(std::vector<Tid> tids) const;
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::map<Tid, size_t> index_;  // tid -> position in rows_
+  /// column name -> (value -> tids with that value).
+  std::map<std::string, std::map<Value, std::vector<Tid>>> secondary_;
+  Tid next_tid_ = 1;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_STORAGE_TABLE_H_

@@ -1,0 +1,182 @@
+#include "src/types/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace auditdb {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+int CompareInt64(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+// Parses a string that is entirely a decimal number; used for SQL-style
+// coercion when comparing a STRING with a numeric (the paper writes
+// zipcode both as '118701' and 145568).
+bool TryParseNumeric(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    // NULL equals NULL, otherwise incomparable-as-unequal: callers treat
+    // nonzero as "not equal"; ordering with NULL sorts NULL first.
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (type() == other.type()) {
+    switch (type()) {
+      case ValueType::kBool:
+        return CompareInt64(bool_value(), other.bool_value());
+      case ValueType::kInt:
+        return CompareInt64(int_value(), other.int_value());
+      case ValueType::kDouble:
+        return Sign(double_value() - other.double_value());
+      case ValueType::kString:
+        return string_value().compare(other.string_value()) < 0
+                   ? -1
+                   : (string_value() == other.string_value() ? 0 : 1);
+      case ValueType::kTimestamp:
+        return CompareInt64(time_value().micros(),
+                            other.time_value().micros());
+      default:
+        break;
+    }
+  }
+  if (IsNumeric() && other.IsNumeric()) {
+    return Sign(AsDouble() - other.AsDouble());
+  }
+  // STRING vs numeric: coerce the string if it is entirely numeric.
+  if (type() == ValueType::kString && other.IsNumeric()) {
+    double v;
+    if (TryParseNumeric(string_value(), &v)) {
+      return Sign(v - other.AsDouble());
+    }
+  }
+  if (IsNumeric() && other.type() == ValueType::kString) {
+    double v;
+    if (TryParseNumeric(other.string_value(), &v)) {
+      return Sign(AsDouble() - v);
+    }
+  }
+  return Status::TypeError(std::string("cannot compare ") +
+                           ValueTypeName(type()) + " with " +
+                           ValueTypeName(other.type()));
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type() != other.type()) {
+    if (IsNumeric() && other.IsNumeric()) {
+      double a = AsDouble(), b = other.AsDouble();
+      if (a != b) return a < b;
+    }
+    return static_cast<int>(type()) < static_cast<int>(other.type());
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return bool_value() < other.bool_value();
+    case ValueType::kInt:
+      return int_value() < other.int_value();
+    case ValueType::kDouble:
+      return double_value() < other.double_value();
+    case ValueType::kString:
+      return string_value() < other.string_value();
+    case ValueType::kTimestamp:
+      return time_value() < other.time_value();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  auto fnv = [](const void* data, size_t n, size_t seed) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    size_t h = seed;
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+    return h;
+  };
+  size_t seed = 1469598103934665603ULL + static_cast<size_t>(type());
+  switch (type()) {
+    case ValueType::kNull:
+      return seed;
+    case ValueType::kBool: {
+      bool b = bool_value();
+      return fnv(&b, sizeof(b), seed);
+    }
+    case ValueType::kInt: {
+      int64_t i = int_value();
+      return fnv(&i, sizeof(i), seed);
+    }
+    case ValueType::kDouble: {
+      double d = double_value();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      return fnv(&d, sizeof(d), seed);
+    }
+    case ValueType::kString:
+      return fnv(string_value().data(), string_value().size(), seed);
+    case ValueType::kTimestamp: {
+      int64_t m = time_value().micros();
+      return fnv(&m, sizeof(m), seed);
+    }
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return bool_value() ? "TRUE" : "FALSE";
+    case ValueType::kInt:
+      return std::to_string(int_value());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_value());
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + string_value() + "'";
+    case ValueType::kTimestamp:
+      return time_value().ToString();
+  }
+  return "?";
+}
+
+std::string Value::ToDisplayString() const {
+  if (type() == ValueType::kString) return string_value();
+  return ToString();
+}
+
+}  // namespace auditdb

@@ -1,0 +1,95 @@
+#ifndef AUDITDB_TYPES_VALUE_H_
+#define AUDITDB_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+
+namespace auditdb {
+
+/// Column / value type tags.
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kTimestamp,
+};
+
+/// Name of a ValueType ("INT", "STRING", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed SQL value. Numeric comparisons are cross-type
+/// (INT vs DOUBLE compare numerically); all other cross-type comparisons
+/// are a type error. NULL compares equal only to NULL (the audit engine
+/// uses two-valued logic over complete tuples; base data never stores NULL
+/// unless a column is explicitly nullable).
+class Value {
+ public:
+  /// NULL value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t i) { return Value(Rep(i)); }
+  static Value Double(double d) { return Value(Rep(d)); }
+  static Value String(std::string s) { return Value(Rep(std::move(s))); }
+  static Value Time(Timestamp t) { return Value(Rep(t)); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(rep_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+  Timestamp time_value() const { return std::get<Timestamp>(rep_); }
+
+  /// Numeric view of an INT or DOUBLE value.
+  double AsDouble() const {
+    return type() == ValueType::kInt ? static_cast<double>(int_value())
+                                     : double_value();
+  }
+  bool IsNumeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// Three-way comparison: negative / zero / positive. Type error for
+  /// incomparable types (e.g. STRING vs INT).
+  Result<int> Compare(const Value& other) const;
+
+  /// Strict equality used by containers: same type and same value
+  /// (INT 1 != DOUBLE 1.0 here, unlike SQL `=` which goes via Compare).
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order over all values (by type tag, then value); gives
+  /// containers a deterministic order even across types.
+  bool operator<(const Value& other) const;
+
+  /// Stable hash (FNV-1a based) consistent with operator==.
+  size_t Hash() const;
+
+  /// SQL-ish rendering: strings quoted ('abc'), timestamps in the paper's
+  /// notation, NULL as "NULL".
+  std::string ToString() const;
+  /// Raw rendering without quotes (used when printing result tables).
+  std::string ToDisplayString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string,
+                           Timestamp>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_TYPES_VALUE_H_

@@ -1,0 +1,170 @@
+#include "src/workload/generator.h"
+
+#include "src/common/random.h"
+
+namespace auditdb {
+namespace workload {
+
+namespace {
+
+std::string RandomZip(Random& rng, const HospitalConfig& hospital) {
+  return "1" + std::to_string(10000 + rng.Uniform(hospital.num_zipcodes));
+}
+
+std::string RandomDisease(Random& rng) {
+  static const char* kPool[] = {"diabetic", "flu",      "malaria", "asthma",
+                                "fracture", "anemia",   "migraine"};
+  return kPool[rng.Uniform(std::size(kPool))];
+}
+
+/// A predicate fragment for the chosen table(s).
+std::string RandomPredicate(Random& rng, const HospitalConfig& hospital,
+                            bool has_personal, bool has_health,
+                            bool has_employ) {
+  std::vector<std::string> options;
+  if (has_personal) {
+    options.push_back("zipcode='" + RandomZip(rng, hospital) + "'");
+    options.push_back("age " + std::string(rng.OneIn(0.5) ? "<" : ">") + " " +
+                      std::to_string(rng.UniformInt(20, 80)));
+    options.push_back(std::string("sex='") + (rng.OneIn(0.5) ? "F" : "M") +
+                      "'");
+  }
+  if (has_health) {
+    options.push_back("disease='" + RandomDisease(rng) + "'");
+    options.push_back("ward='W" +
+                      std::to_string(1 + rng.Uniform(hospital.num_wards)) +
+                      "'");
+  }
+  if (has_employ) {
+    options.push_back(
+        "salary " + std::string(rng.OneIn(0.5) ? ">" : "<") + " " +
+        std::to_string(rng.UniformInt(hospital.min_salary,
+                                      hospital.max_salary)));
+    options.push_back(
+        "employer='E" +
+        std::to_string(1 + rng.Uniform(hospital.num_employers)) + "'");
+  }
+  return options[rng.Uniform(options.size())];
+}
+
+std::string BuildQuery(Random& rng, const WorkloadConfig& config,
+                       const HospitalConfig& hospital) {
+  bool join = rng.OneIn(config.join_fraction);
+  bool sensitive = rng.OneIn(config.sensitive_fraction);
+
+  if (!join) {
+    // Single-table query.
+    int table = static_cast<int>(rng.Uniform(3));
+    if (sensitive && table == 0) table = 1 + static_cast<int>(rng.Uniform(2));
+    switch (table) {
+      case 0: {
+        static const char* kCols[] = {"name", "age", "zipcode", "address",
+                                      "pid"};
+        std::string col = kCols[rng.Uniform(std::size(kCols))];
+        return "SELECT " + col + ", pid FROM P-Personal WHERE " +
+               RandomPredicate(rng, hospital, true, false, false);
+      }
+      case 1: {
+        std::string col = sensitive ? "disease" : "ward";
+        return "SELECT pid, " + col + " FROM P-Health WHERE " +
+               RandomPredicate(rng, hospital, false, true, false);
+      }
+      default: {
+        std::string col = sensitive ? "salary" : "employer";
+        return "SELECT pid, " + col + " FROM P-Employ WHERE " +
+               RandomPredicate(rng, hospital, false, false, true);
+      }
+    }
+  }
+
+  // Join query: P-Personal ⋈ P-Health, optionally ⋈ P-Employ.
+  bool three_way = rng.OneIn(0.4);
+  std::string select_cols = sensitive ? "name, disease" : "name, ward";
+  std::string from = "P-Personal, P-Health";
+  std::string where = "P-Personal.pid=P-Health.pid";
+  if (three_way) {
+    from += ", P-Employ";
+    where += " AND P-Health.pid=P-Employ.pid";
+    if (sensitive) select_cols += ", salary";
+  }
+  where += " AND " + RandomPredicate(rng, hospital, true, true, three_way);
+  if (rng.OneIn(0.5)) {
+    where += " AND " + RandomPredicate(rng, hospital, true, true, three_way);
+  }
+  return "SELECT " + select_cols + " FROM " + from + " WHERE " + where;
+}
+
+}  // namespace
+
+std::string GenerateQueryText(uint64_t seed, const WorkloadConfig& config,
+                              const HospitalConfig& hospital) {
+  Random rng(seed);
+  return BuildQuery(rng, config, hospital);
+}
+
+Status GenerateChurn(Database* db, const ChurnConfig& config,
+                     const HospitalConfig& hospital) {
+  Random rng(config.seed);
+  Timestamp ts = config.start;
+
+  auto personal = db->GetTable("P-Personal");
+  auto health = db->GetTable("P-Health");
+  auto employ = db->GetTable("P-Employ");
+  if (!personal.ok()) return personal.status();
+  if (!health.ok()) return health.status();
+  if (!employ.ok()) return employ.status();
+
+  auto random_tid = [&](const Table& table) {
+    return table.rows()[rng.Uniform(table.rows().size())].tid;
+  };
+
+  for (size_t i = 0; i < config.num_updates; ++i) {
+    switch (rng.Uniform(4)) {
+      case 0:
+        AUDITDB_RETURN_IF_ERROR(db->UpdateColumn(
+            "P-Health", random_tid(**health), "disease",
+            Value::String(RandomDisease(rng)), ts));
+        break;
+      case 1:
+        AUDITDB_RETURN_IF_ERROR(db->UpdateColumn(
+            "P-Health", random_tid(**health), "ward",
+            Value::String(
+                "W" + std::to_string(1 + rng.Uniform(hospital.num_wards))),
+            ts));
+        break;
+      case 2:
+        AUDITDB_RETURN_IF_ERROR(db->UpdateColumn(
+            "P-Personal", random_tid(**personal), "zipcode",
+            Value::String(RandomZip(rng, hospital)), ts));
+        break;
+      default:
+        AUDITDB_RETURN_IF_ERROR(db->UpdateColumn(
+            "P-Employ", random_tid(**employ), "salary",
+            Value::Int(rng.UniformInt(hospital.min_salary,
+                                      hospital.max_salary)),
+            ts));
+        break;
+    }
+    ts = ts.AddMicros(config.spacing_micros);
+  }
+  return Status::Ok();
+}
+
+Status GenerateWorkload(QueryLog* log, const WorkloadConfig& config,
+                        const HospitalConfig& hospital) {
+  Random rng(config.seed);
+  Timestamp ts = config.start;
+  for (size_t i = 0; i < config.num_queries; ++i) {
+    std::string sql = BuildQuery(rng, config, hospital);
+    const std::string& user = config.users[rng.Uniform(config.users.size())];
+    const std::string& role = config.roles[rng.Uniform(config.roles.size())];
+    const std::string& purpose =
+        config.purposes[rng.Uniform(config.purposes.size())];
+    log->Append(std::move(sql), ts, user, role, purpose);
+    ts = ts.AddMicros(config.spacing_micros);
+  }
+  return Status::Ok();
+}
+
+}  // namespace workload
+}  // namespace auditdb

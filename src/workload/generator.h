@@ -1,0 +1,66 @@
+#ifndef AUDITDB_WORKLOAD_GENERATOR_H_
+#define AUDITDB_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+#include "src/querylog/query_log.h"
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace workload {
+
+/// Synthetic SPJ query workload over the hospital schema, annotated with
+/// users/roles/purposes, with a controllable fraction of queries touching
+/// the "sensitive" audit target (disease / salary of specific zip codes).
+struct WorkloadConfig {
+  size_t num_queries = 1000;
+  uint64_t seed = 7;
+  /// Timestamp of the first query; queries are spaced evenly after it.
+  Timestamp start;
+  int64_t spacing_micros = 1000000;
+  /// Fraction of queries that join two or three tables (rest single-table).
+  double join_fraction = 0.3;
+  /// Fraction of queries projecting a sensitive column (disease or
+  /// salary); these are the ones an audit for those columns can catch.
+  double sensitive_fraction = 0.4;
+  /// Annotation pools.
+  std::vector<std::string> users = {"alice", "bob", "carol", "dave", "eve"};
+  std::vector<std::string> roles = {"doctor", "nurse", "clerk", "analyst"};
+  std::vector<std::string> purposes = {"treatment", "billing", "research"};
+};
+
+/// Appends `config.num_queries` generated queries to `log`. The value
+/// pools (zip codes, diseases, salary ranges) match PopulateHospital's
+/// `hospital` config so a tunable share of queries overlaps the audit
+/// target data.
+Status GenerateWorkload(QueryLog* log, const WorkloadConfig& config,
+                        const HospitalConfig& hospital);
+
+/// One deterministic generated query (exposed for tests/benches that need
+/// standalone statements rather than a whole log).
+std::string GenerateQueryText(uint64_t seed, const WorkloadConfig& config,
+                              const HospitalConfig& hospital);
+
+/// Update churn for versioned-audit scenarios: random single-column
+/// updates against an already-populated hospital database.
+struct ChurnConfig {
+  size_t num_updates = 100;
+  uint64_t seed = 13;
+  Timestamp start;
+  int64_t spacing_micros = 1000000;
+};
+
+/// Applies `config.num_updates` updates (disease, ward, zipcode or salary
+/// of random tuples), timestamped from `config.start` onward, through the
+/// database's trigger-emitting mutation API so an attached backlog
+/// captures every version.
+Status GenerateChurn(Database* db, const ChurnConfig& config,
+                     const HospitalConfig& hospital);
+
+}  // namespace workload
+}  // namespace auditdb
+
+#endif  // AUDITDB_WORKLOAD_GENERATOR_H_

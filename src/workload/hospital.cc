@@ -1,0 +1,149 @@
+#include "src/workload/hospital.h"
+
+#include "src/common/random.h"
+
+namespace auditdb {
+namespace workload {
+
+TableSchema PPersonalSchema() {
+  return TableSchema("P-Personal", {
+                                       {"pid", ValueType::kString},
+                                       {"name", ValueType::kString},
+                                       {"age", ValueType::kInt},
+                                       {"sex", ValueType::kString},
+                                       {"zipcode", ValueType::kString},
+                                       {"address", ValueType::kString},
+                                   });
+}
+
+TableSchema PHealthSchema() {
+  return TableSchema("P-Health", {
+                                     {"pid", ValueType::kString},
+                                     {"ward", ValueType::kString},
+                                     {"doc-name", ValueType::kString},
+                                     {"disease", ValueType::kString},
+                                     {"pres-drugs", ValueType::kString},
+                                 });
+}
+
+TableSchema PEmploySchema() {
+  return TableSchema("P-Employ", {
+                                     {"pid", ValueType::kString},
+                                     {"employer", ValueType::kString},
+                                     {"salary", ValueType::kInt},
+                                 });
+}
+
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+
+}  // namespace
+
+Status BuildPaperDatabase(Database* db, Timestamp ts) {
+  AUDITDB_RETURN_IF_ERROR(db->CreateTable(PPersonalSchema()));
+  AUDITDB_RETURN_IF_ERROR(db->CreateTable(PHealthSchema()));
+  AUDITDB_RETURN_IF_ERROR(db->CreateTable(PEmploySchema()));
+
+  // Table 1: P-Personal (t11..t14). Reku's age is NULL; see header.
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Personal", 11,
+      {S("p1"), S("Jane"), Value::Int(25), S("F"), S("177893"), S("A1")},
+      ts));
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Personal", 12,
+      {S("p2"), S("Reku"), Value::Null(), S("M"), S("145568"), S("A2")},
+      ts));
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Personal", 13,
+      {S("p13"), S("Robert"), Value::Int(29), S("M"), S("188888"), S("A3")},
+      ts));
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Personal", 14,
+      {S("p28"), S("Lucy"), Value::Int(20), S("F"), S("145568"), S("A4")},
+      ts));
+
+  // Table 2: P-Health (t21..t24).
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Health", 21, {S("p1"), S("W11"), S("Hassan"), S("flu"), S("drug2")},
+      ts));
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Health", 22,
+      {S("p2"), S("W12"), S("Nicholas"), S("diabetic"), S("drug1")}, ts));
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Health", 23,
+      {S("p13"), S("W14"), S("Ramesh"), S("Malaria"), S("drug3")}, ts));
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Health", 24,
+      {S("p28"), S("W14"), S("King U"), S("diabetic"), S("drug1")}, ts));
+
+  // Table 3: P-Employ (t31..t34).
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Employ", 31, {S("p1"), S("E1"), Value::Int(12000)}, ts));
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Employ", 32, {S("p2"), S("E2"), Value::Int(20000)}, ts));
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Employ", 33, {S("p13"), S("E3"), Value::Int(9000)}, ts));
+  AUDITDB_RETURN_IF_ERROR(db->InsertWithTid(
+      "P-Employ", 34, {S("p28"), S("E4"), Value::Int(19000)}, ts));
+  return Status::Ok();
+}
+
+Status PopulateHospital(Database* db, const HospitalConfig& config,
+                        Timestamp ts) {
+  AUDITDB_RETURN_IF_ERROR(db->CreateTable(PPersonalSchema()));
+  AUDITDB_RETURN_IF_ERROR(db->CreateTable(PHealthSchema()));
+  AUDITDB_RETURN_IF_ERROR(db->CreateTable(PEmploySchema()));
+
+  static const char* kDiseases[] = {"flu",      "malaria", "asthma",
+                                    "fracture", "anemia",  "migraine"};
+  static const char* kDrugs[] = {"drug1", "drug2", "drug3", "drug4",
+                                 "drug5"};
+  static const char* kDoctors[] = {"Hassan", "Nicholas", "Ramesh", "King U",
+                                   "Mehta",  "Osei",     "Ivanova"};
+
+  Random rng(config.seed);
+  for (size_t i = 0; i < config.num_patients; ++i) {
+    std::string pid = "p" + std::to_string(i + 1);
+    std::string name = "name" + std::to_string(i + 1);
+    Value age = rng.OneIn(config.null_age_fraction)
+                    ? Value::Null()
+                    : Value::Int(rng.UniformInt(18, 90));
+    std::string sex = rng.OneIn(0.5) ? "F" : "M";
+    std::string zipcode =
+        "1" + std::to_string(10000 + rng.Uniform(config.num_zipcodes));
+    std::string address = "A" + std::to_string(i + 1);
+    auto r1 = db->Insert("P-Personal",
+                         {Value::String(pid), Value::String(name), age,
+                          Value::String(sex), Value::String(zipcode),
+                          Value::String(address)},
+                         ts);
+    if (!r1.ok()) return r1.status();
+
+    std::string ward = "W" + std::to_string(1 + rng.Uniform(config.num_wards));
+    std::string doctor = kDoctors[rng.Uniform(std::size(kDoctors))];
+    std::string disease = rng.OneIn(config.diabetic_fraction)
+                              ? "diabetic"
+                              : kDiseases[rng.Uniform(std::size(kDiseases))];
+    std::string drug = kDrugs[rng.Uniform(std::size(kDrugs))];
+    auto r2 = db->Insert("P-Health",
+                         {Value::String(pid), Value::String(ward),
+                          Value::String(doctor), Value::String(disease),
+                          Value::String(drug)},
+                         ts);
+    if (!r2.ok()) return r2.status();
+
+    std::string employer =
+        "E" + std::to_string(1 + rng.Uniform(config.num_employers));
+    int64_t salary = rng.UniformInt(config.min_salary, config.max_salary);
+    auto r3 = db->Insert("P-Employ",
+                         {Value::String(pid), Value::String(employer),
+                          Value::Int(salary)},
+                         ts);
+    if (!r3.ok()) return r3.status();
+  }
+  return Status::Ok();
+}
+
+}  // namespace workload
+}  // namespace auditdb

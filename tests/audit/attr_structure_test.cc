@@ -1,0 +1,263 @@
+#include "src/audit/attr_structure.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace auditdb {
+namespace audit {
+namespace {
+
+ColumnRef C(const char* name) { return ColumnRef{"", name}; }
+
+AttrGroup Mand(std::vector<const char*> names) {
+  AttrGroup g;
+  g.mandatory = true;
+  for (const char* n : names) g.attrs.push_back(C(n));
+  return g;
+}
+
+AttrGroup Opt(std::vector<const char*> names) {
+  AttrGroup g;
+  g.mandatory = false;
+  for (const char* n : names) g.attrs.push_back(C(n));
+  return g;
+}
+
+AttrStructure Structure(std::vector<AttrGroup> groups) {
+  AttrStructure s;
+  s.groups = std::move(groups);
+  return s;
+}
+
+std::set<ColumnRef> Scheme(std::vector<const char*> names) {
+  std::set<ColumnRef> s;
+  for (const char* n : names) s.insert(C(n));
+  return s;
+}
+
+TEST(AttrStructureTest, ToString) {
+  auto s = Structure({Mand({"a", "b"}), Opt({"c", "d"})});
+  EXPECT_EQ(s.ToString(), "(a,b)[c,d]");
+}
+
+TEST(AttrStructureTest, SchemesMandatoryOnly) {
+  auto s = Structure({Mand({"a", "b", "c", "d"})});
+  auto schemes = s.EnumerateSchemes();
+  ASSERT_EQ(schemes.size(), 1u);
+  EXPECT_EQ(schemes[0], Scheme({"a", "b", "c", "d"}));
+}
+
+TEST(AttrStructureTest, SchemesOptionalOnly) {
+  // [a,b,c,d]: access to any one attribute suffices.
+  auto s = Structure({Opt({"a", "b", "c", "d"})});
+  auto schemes = s.EnumerateSchemes();
+  ASSERT_EQ(schemes.size(), 4u);
+  EXPECT_EQ(schemes[0], Scheme({"a"}));
+  EXPECT_EQ(schemes[3], Scheme({"d"}));
+}
+
+TEST(AttrStructureTest, SchemesMandatoryPlusOptional) {
+  // (a,b),[c,d]: schemes {a,b,c} and {a,b,d} — the paper's example.
+  auto s = Structure({Mand({"a", "b"}), Opt({"c", "d"})});
+  auto schemes = s.EnumerateSchemes();
+  ASSERT_EQ(schemes.size(), 2u);
+  EXPECT_EQ(schemes[0], Scheme({"a", "b", "c"}));
+  EXPECT_EQ(schemes[1], Scheme({"a", "b", "d"}));
+}
+
+TEST(AttrStructureTest, SchemesTwoOptionalGroups) {
+  // [a,b][c,d]: one from each.
+  auto s = Structure({Opt({"a", "b"}), Opt({"c", "d"})});
+  auto schemes = s.EnumerateSchemes();
+  ASSERT_EQ(schemes.size(), 4u);
+  EXPECT_EQ(schemes[0], Scheme({"a", "c"}));
+  EXPECT_EQ(schemes[3], Scheme({"b", "d"}));
+}
+
+TEST(AttrStructureTest, MinimalSchemesPruneSupersets) {
+  // [a,b][a,b]: choices {a},{b} repeat; {a,b} is dominated by {a} and {b}.
+  auto s = Structure({Opt({"a", "b"}), Opt({"a", "b"})});
+  auto schemes = s.EnumerateSchemes();
+  ASSERT_EQ(schemes.size(), 2u);
+  EXPECT_EQ(schemes[0], Scheme({"a"}));
+  EXPECT_EQ(schemes[1], Scheme({"b"}));
+}
+
+// --- Table 6 structural rules ---------------------------------------
+
+TEST(Table6Rules, Rule1SingletonOptionalIsMandatory) {
+  auto lhs = Structure({Opt({"a"})});
+  auto rhs = Structure({Mand({"a"})});
+  EXPECT_TRUE(lhs.EquivalentTo(rhs));
+  EXPECT_EQ(lhs.Normalized().ToString(), rhs.Normalized().ToString());
+}
+
+TEST(Table6Rules, Rule2MandatorySequenceMerges) {
+  auto lhs = Structure({Mand({"a", "b"}), Mand({"c"})});
+  auto rhs = Structure({Mand({"a", "b", "c"})});
+  EXPECT_TRUE(lhs.EquivalentTo(rhs));
+  EXPECT_EQ(lhs.Normalized().ToString(), rhs.Normalized().ToString());
+}
+
+TEST(Table6Rules, Rule3SetCommutativity) {
+  EXPECT_TRUE(Structure({Mand({"a", "b"})})
+                  .EquivalentTo(Structure({Mand({"b", "a"})})));
+  EXPECT_TRUE(Structure({Opt({"a", "b"})})
+                  .EquivalentTo(Structure({Opt({"b", "a"})})));
+}
+
+TEST(Table6Rules, Rule4TwoSingletonOptionalsEqualMandatoryPair) {
+  auto lhs = Structure({Opt({"a"}), Opt({"b"})});
+  auto rhs = Structure({Mand({"a", "b"})});
+  EXPECT_TRUE(lhs.EquivalentTo(rhs));
+  EXPECT_EQ(lhs.Normalized().ToString(), rhs.Normalized().ToString());
+}
+
+TEST(Table6Rules, Rule5SequenceCommutativity) {
+  auto ab = Structure({Opt({"a", "x"}), Opt({"b", "y"})});
+  auto ba = Structure({Opt({"b", "y"}), Opt({"a", "x"})});
+  EXPECT_TRUE(ab.EquivalentTo(ba));
+  EXPECT_EQ(ab.Normalized().ToString(), ba.Normalized().ToString());
+
+  auto mand_opt = Structure({Mand({"m"}), Opt({"b", "y"})});
+  auto opt_mand = Structure({Opt({"b", "y"}), Mand({"m"})});
+  EXPECT_TRUE(mand_opt.EquivalentTo(opt_mand));
+}
+
+TEST(Table6Rules, Rule7CompositionSingletonOptionalIntoMandatory) {
+  auto lhs = Structure({Mand({"a", "b"}), Opt({"c"})});
+  auto rhs = Structure({Mand({"a", "b", "c"})});
+  EXPECT_TRUE(lhs.EquivalentTo(rhs));
+  EXPECT_EQ(lhs.Normalized().ToString(), rhs.Normalized().ToString());
+}
+
+TEST(Table6Rules, NormalFormShape) {
+  auto s = Structure({Opt({"z", "y"}), Mand({"b"}), Opt({"x"}), Mand({"a"})});
+  // Mandatory {a,b,x} first (x via rule 1), then the sorted optional group.
+  EXPECT_EQ(s.Normalized().ToString(), "(a,b,x)[y,z]");
+}
+
+TEST(Table6Rules, DuplicateAttrsDeduplicated) {
+  auto s = Structure({Mand({"a", "a", "b"})});
+  EXPECT_EQ(s.Normalized().ToString(), "(a,b)");
+  auto o = Structure({Opt({"a", "a"})});
+  // Optional {a,a} dedups to singleton {a} → mandatory by rule 1.
+  EXPECT_EQ(o.Normalized().ToString(), "(a)");
+}
+
+TEST(AttrStructureTest, NonEquivalentStructures) {
+  EXPECT_FALSE(Structure({Mand({"a", "b"})})
+                   .EquivalentTo(Structure({Opt({"a", "b"})})));
+  EXPECT_FALSE(Structure({Mand({"a"})})
+                   .EquivalentTo(Structure({Mand({"b"})})));
+  EXPECT_FALSE(Structure({Opt({"a", "b"})})
+                   .EquivalentTo(Structure({Opt({"a", "b", "c"})})));
+}
+
+TEST(AttrStructureTest, AllAttributes) {
+  auto s = Structure({Mand({"a", "b"}), Opt({"b", "c"})});
+  auto all = s.AllAttributes();
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(all.count(C("c")));
+}
+
+TEST(AttrStructureTest, StarDetection) {
+  auto s = Structure({Opt({"*"})});
+  EXPECT_TRUE(s.HasStar());
+  EXPECT_FALSE(Structure({Opt({"a"})}).HasStar());
+}
+
+TEST(AttrStructureTest, QualifyResolvesAndExpandsStar) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddTable(TableSchema("T", {{"a", ValueType::kInt},
+                                              {"b", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(
+      catalog.AddTable(TableSchema("U", {{"c", ValueType::kInt}})).ok());
+
+  auto star = Structure({Opt({"*"})});
+  ASSERT_TRUE(star.Qualify(catalog, {"T", "U"}).ok());
+  ASSERT_EQ(star.groups[0].attrs.size(), 3u);
+  EXPECT_EQ(star.groups[0].attrs[0].ToString(), "T.a");
+  EXPECT_EQ(star.groups[0].attrs[2].ToString(), "U.c");
+
+  AttrStructure table_star;
+  table_star.groups.push_back(
+      AttrGroup{false, {ColumnRef{"T", "*"}}});
+  ASSERT_TRUE(table_star.Qualify(catalog, {"T", "U"}).ok());
+  ASSERT_EQ(table_star.groups[0].attrs.size(), 2u);
+
+  auto named = Structure({Mand({"a", "c"})});
+  ASSERT_TRUE(named.Qualify(catalog, {"T", "U"}).ok());
+  EXPECT_EQ(named.groups[0].attrs[0].ToString(), "T.a");
+  EXPECT_EQ(named.groups[0].attrs[1].ToString(), "U.c");
+
+  auto missing = Structure({Mand({"zz"})});
+  EXPECT_FALSE(missing.Qualify(catalog, {"T", "U"}).ok());
+}
+
+/// Property sweep: random rewrites licensed by Table 6 must preserve both
+/// the normal form and the scheme set.
+class Table6Property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Table6Property, RandomPermutationsAreEquivalent) {
+  Random rng(GetParam());
+  const char* kNames[] = {"a", "b", "c", "d", "e"};
+
+  // Build a random structure.
+  AttrStructure original;
+  size_t ngroups = 1 + rng.Uniform(3);
+  for (size_t g = 0; g < ngroups; ++g) {
+    AttrGroup group;
+    group.mandatory = rng.OneIn(0.5);
+    size_t nattrs = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < nattrs; ++i) {
+      group.attrs.push_back(C(kNames[rng.Uniform(5)]));
+    }
+    original.groups.push_back(group);
+  }
+
+  // Rewrite 1: shuffle group order (rule 5).
+  AttrStructure shuffled = original;
+  for (size_t i = shuffled.groups.size(); i > 1; --i) {
+    std::swap(shuffled.groups[i - 1],
+              shuffled.groups[rng.Uniform(i)]);
+  }
+  EXPECT_TRUE(original.EquivalentTo(shuffled));
+  EXPECT_EQ(original.Normalized().ToString(),
+            shuffled.Normalized().ToString());
+
+  // Rewrite 2: shuffle attrs within each group (rule 3).
+  AttrStructure permuted = original;
+  for (auto& group : permuted.groups) {
+    for (size_t i = group.attrs.size(); i > 1; --i) {
+      std::swap(group.attrs[i - 1], group.attrs[rng.Uniform(i)]);
+    }
+  }
+  EXPECT_TRUE(original.EquivalentTo(permuted));
+
+  // Rewrite 3: split a mandatory group in two (rule 2, reversed).
+  AttrStructure split = original;
+  for (size_t g = 0; g < split.groups.size(); ++g) {
+    if (split.groups[g].mandatory && split.groups[g].attrs.size() >= 2) {
+      AttrGroup tail;
+      tail.mandatory = true;
+      tail.attrs.push_back(split.groups[g].attrs.back());
+      split.groups[g].attrs.pop_back();
+      split.groups.push_back(tail);
+      break;
+    }
+  }
+  EXPECT_TRUE(original.EquivalentTo(split));
+  EXPECT_EQ(original.Normalized().ToString(),
+            split.Normalized().ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Table6Property,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace audit
+}  // namespace auditdb

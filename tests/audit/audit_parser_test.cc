@@ -1,0 +1,198 @@
+#include "src/audit/audit_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace audit {
+namespace {
+
+Timestamp Civil(int y, int m, int d, int hh = 0, int mm = 0, int ss = 0) {
+  auto t = Timestamp::FromCivil(y, m, d, hh, mm, ss);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+const Timestamp kNow = Civil(2008, 3, 15, 14, 30, 0);
+
+AuditExpression MustParse(const std::string& text) {
+  auto expr = ParseAudit(text, kNow);
+  EXPECT_TRUE(expr.ok()) << text << " -> " << expr.status().ToString();
+  return std::move(*expr);
+}
+
+TEST(AuditParserTest, LegacyAgrawalSyntax) {
+  auto expr = MustParse(
+      "AUDIT disease FROM Patients WHERE zipcode='118701'");
+  ASSERT_EQ(expr.attrs.groups.size(), 1u);
+  EXPECT_TRUE(expr.attrs.groups[0].mandatory);
+  ASSERT_EQ(expr.attrs.groups[0].attrs.size(), 1u);
+  EXPECT_EQ(expr.attrs.groups[0].attrs[0].column, "disease");
+  EXPECT_EQ(expr.from, (std::vector<std::string>{"Patients"}));
+  ASSERT_NE(expr.where, nullptr);
+  EXPECT_EQ(expr.where->ToString(), "zipcode = '118701'");
+  // Defaults.
+  EXPECT_EQ(expr.threshold, Threshold::N(1));
+  EXPECT_TRUE(expr.indispensable);
+  ASSERT_TRUE(expr.filter.during.has_value());
+  EXPECT_EQ(expr.filter.during->start, kNow.StartOfDay());
+  EXPECT_EQ(expr.filter.during->end, kNow);
+  EXPECT_EQ(expr.data_interval.start, kNow.StartOfDay());
+  EXPECT_EQ(expr.data_interval.end, kNow);
+}
+
+TEST(AuditParserTest, LegacyOtherthanPurpose) {
+  auto expr = MustParse(
+      "OTHERTHAN PURPOSE treatment, billing "
+      "DURING 1/1/2008 to 1/2/2008 "
+      "AUDIT disease FROM Patients");
+  ASSERT_EQ(expr.filter.neg_role_purpose.size(), 2u);
+  EXPECT_EQ(expr.filter.neg_role_purpose[0],
+            (RolePurposePattern{"-", "treatment"}));
+  EXPECT_EQ(expr.filter.neg_role_purpose[1],
+            (RolePurposePattern{"-", "billing"}));
+  ASSERT_TRUE(expr.filter.during.has_value());
+  EXPECT_EQ(expr.filter.during->start, Civil(2008, 1, 1));
+  EXPECT_EQ(expr.filter.during->end, Civil(2008, 2, 1));
+}
+
+TEST(AuditParserTest, MultilineUnifiedExpression) {
+  auto expr = MustParse(
+      "Neg-Role-Purpose (doctor,treatment) (-,billing)\n"
+      "Pos-Role-Purpose (clerk,-)\n"
+      "Neg-User-Identity mallory trent\n"
+      "Pos-User-Identity alice bob\n"
+      "DURING 1/5/2004:13-00-00 to now()\n"
+      "DATA-INTERVAL 1/5/2004:13-00-00 to 2/5/2004:13-00-00\n"
+      "THRESHOLD 3\n"
+      "INDISPENSABLE false\n"
+      "AUDIT (name,disease),[address,zipcode]\n"
+      "FROM P-Personal, P-Health\n"
+      "WHERE P-Personal.pid = P-Health.pid");
+  EXPECT_EQ(expr.filter.neg_role_purpose.size(), 2u);
+  EXPECT_EQ(expr.filter.neg_role_purpose[1],
+            (RolePurposePattern{"-", "billing"}));
+  EXPECT_EQ(expr.filter.pos_role_purpose.size(), 1u);
+  EXPECT_EQ(expr.filter.neg_users,
+            (std::vector<std::string>{"mallory", "trent"}));
+  EXPECT_EQ(expr.filter.pos_users,
+            (std::vector<std::string>{"alice", "bob"}));
+  EXPECT_EQ(expr.filter.during->start, Civil(2004, 5, 1, 13, 0, 0));
+  EXPECT_EQ(expr.filter.during->end, kNow);
+  EXPECT_EQ(expr.data_interval.end, Civil(2004, 5, 2, 13, 0, 0));
+  EXPECT_EQ(expr.threshold, Threshold::N(3));
+  EXPECT_FALSE(expr.indispensable);
+  ASSERT_EQ(expr.attrs.groups.size(), 2u);
+  EXPECT_TRUE(expr.attrs.groups[0].mandatory);
+  EXPECT_FALSE(expr.attrs.groups[1].mandatory);
+  EXPECT_EQ(expr.from.size(), 2u);
+}
+
+TEST(AuditParserTest, ThresholdAll) {
+  auto expr = MustParse("THRESHOLD ALL AUDIT a FROM T");
+  EXPECT_TRUE(expr.threshold.all);
+}
+
+TEST(AuditParserTest, ThresholdMustBePositive) {
+  EXPECT_FALSE(ParseAudit("THRESHOLD 0 AUDIT a FROM T", kNow).ok());
+  EXPECT_FALSE(ParseAudit("THRESHOLD ALL 2 AUDIT a FROM T", kNow).ok());
+}
+
+TEST(AuditParserTest, IndispensableWithEqualsSign) {
+  auto expr = MustParse("INDISPENSABLE = true AUDIT [*] FROM T");
+  EXPECT_TRUE(expr.indispensable);
+  auto expr2 = MustParse("INDISPENSABLE false AUDIT a FROM T");
+  EXPECT_FALSE(expr2.indispensable);
+  EXPECT_FALSE(ParseAudit("INDISPENSABLE = maybe AUDIT a FROM T", kNow).ok());
+}
+
+TEST(AuditParserTest, StarForms) {
+  auto star = MustParse("AUDIT [*] FROM T");
+  EXPECT_TRUE(star.attrs.HasStar());
+  EXPECT_FALSE(star.attrs.groups[0].mandatory);
+  auto table_star = MustParse("AUDIT [T.*] FROM T");
+  EXPECT_EQ(table_star.attrs.groups[0].attrs[0].table, "T");
+  EXPECT_EQ(table_star.attrs.groups[0].attrs[0].column, "*");
+}
+
+TEST(AuditParserTest, NestedGroupsCollapse) {
+  // Rule 6: [(a,b)] == (a,b) and ([a,b]) == [a,b].
+  auto inner_mandatory = MustParse("AUDIT [(a,b)] FROM T");
+  ASSERT_EQ(inner_mandatory.attrs.groups.size(), 1u);
+  EXPECT_TRUE(inner_mandatory.attrs.groups[0].mandatory);
+  auto inner_optional = MustParse("AUDIT ([a,b]) FROM T");
+  ASSERT_EQ(inner_optional.attrs.groups.size(), 1u);
+  EXPECT_FALSE(inner_optional.attrs.groups[0].mandatory);
+}
+
+TEST(AuditParserTest, GroupsWithoutCommas) {
+  auto expr = MustParse("AUDIT (a,b)[c,d](e) FROM T");
+  ASSERT_EQ(expr.attrs.groups.size(), 3u);
+  EXPECT_TRUE(expr.attrs.groups[0].mandatory);
+  EXPECT_FALSE(expr.attrs.groups[1].mandatory);
+  EXPECT_TRUE(expr.attrs.groups[2].mandatory);
+}
+
+TEST(AuditParserTest, DataIntervalInstant) {
+  auto expr = MustParse(
+      "DATA-INTERVAL now() to now() AUDIT a FROM T");
+  EXPECT_TRUE(expr.data_interval.IsInstant());
+  EXPECT_EQ(expr.data_interval.start, kNow);
+}
+
+TEST(AuditParserTest, IntervalEndBeforeStartRejected) {
+  EXPECT_FALSE(
+      ParseAudit("DURING 2/5/2004 to 1/5/2004 AUDIT a FROM T", kNow).ok());
+}
+
+TEST(AuditParserTest, QualifiedAuditAttributes) {
+  auto expr = MustParse("AUDIT P-Health.disease, name FROM P-Personal, "
+                        "P-Health");
+  EXPECT_EQ(expr.attrs.groups[0].attrs[0].ToString(), "P-Health.disease");
+  EXPECT_EQ(expr.attrs.groups[0].attrs[1].ToString(), "name");
+}
+
+TEST(AuditParserTest, Errors) {
+  EXPECT_FALSE(ParseAudit("", kNow).ok());
+  EXPECT_FALSE(ParseAudit("AUDIT FROM T", kNow).ok());
+  EXPECT_FALSE(ParseAudit("AUDIT a", kNow).ok());
+  EXPECT_FALSE(ParseAudit("AUDIT a FROM", kNow).ok());
+  EXPECT_FALSE(ParseAudit("FROM T", kNow).ok());
+  EXPECT_FALSE(ParseAudit("BOGUS-CLAUSE x AUDIT a FROM T", kNow).ok());
+  EXPECT_FALSE(ParseAudit("AUDIT a FROM T WHERE", kNow).ok());
+  EXPECT_FALSE(ParseAudit("AUDIT a FROM T trailing", kNow).ok());
+  EXPECT_FALSE(ParseAudit("Neg-Role-Purpose AUDIT a FROM T", kNow).ok());
+  EXPECT_FALSE(ParseAudit("DURING 1/1/2008 AUDIT a FROM T", kNow).ok());
+}
+
+TEST(AuditParserTest, RoundTripThroughToString) {
+  const char* kExpressions[] = {
+      "AUDIT disease FROM Patients WHERE zipcode='118701'",
+      "Neg-Role-Purpose (doctor,treatment) DURING 1/1/2008 to 2/1/2008 "
+      "AUDIT (name,disease),[address] FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid",
+      "THRESHOLD ALL INDISPENSABLE false AUDIT [*] FROM T",
+      "Pos-User-Identity alice DATA-INTERVAL 1/1/2008 to 5/1/2008 "
+      "AUDIT a FROM T WHERE a > 3",
+  };
+  for (const char* text : kExpressions) {
+    auto first = MustParse(text);
+    auto second = MustParse(first.ToString());
+    EXPECT_EQ(first.ToString(), second.ToString()) << text;
+  }
+}
+
+TEST(AuditParserTest, PaperFig7DefaultsDocumented) {
+  // Everything omitted: the defaults of Fig. 7 apply.
+  auto expr = MustParse("AUDIT attribute FROM tab");
+  EXPECT_TRUE(expr.filter.neg_role_purpose.empty());
+  EXPECT_TRUE(expr.filter.pos_role_purpose.empty());
+  EXPECT_TRUE(expr.filter.neg_users.empty());
+  EXPECT_TRUE(expr.filter.pos_users.empty());
+  EXPECT_EQ(expr.threshold, Threshold::N(1));
+  EXPECT_TRUE(expr.indispensable);
+  EXPECT_EQ(expr.where, nullptr);
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace auditdb

@@ -1,0 +1,281 @@
+#include "src/audit/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace audit {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+class AuditorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    backlog_.Attach(&db_);
+    ASSERT_TRUE(workload::BuildPaperDatabase(&db_, Ts(1)).ok());
+  }
+
+  int64_t Log(const std::string& sql, int64_t at_seconds,
+              const std::string& user = "alice",
+              const std::string& role = "doctor",
+              const std::string& purpose = "treatment") {
+    return log_.Append(sql, Ts(at_seconds), user, role, purpose);
+  }
+
+  AuditReport MustAudit(const std::string& text,
+                        const AuditOptions& options = AuditOptions{}) {
+    Auditor auditor(&db_, &backlog_, &log_);
+    auto report = auditor.Audit(text, Ts(1000), options);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(*report);
+  }
+
+  // The DURING/DATA-INTERVAL clause covering the whole test timeline.
+  const std::string kSpan =
+      "DURING 1/1/1970 to 2/1/1970 DATA-INTERVAL 1/1/1970 to 2/1/1970 ";
+
+  Database db_;
+  Backlog backlog_;
+  QueryLog log_;
+};
+
+TEST_F(AuditorTest, FlagsDisclosingQuery) {
+  int64_t good = Log("SELECT ward FROM P-Health WHERE ward='W11'", 10);
+  int64_t bad = Log(
+      "SELECT name, disease, address FROM P-Personal, P-Health, P-Employ "
+      "WHERE P-Personal.pid=P-Health.pid AND P-Health.pid=P-Employ.pid "
+      "AND zipcode='145568' AND disease='diabetic' AND salary > 10000",
+      20);
+  auto report = MustAudit(
+      kSpan +
+      "AUDIT (name,disease,address) FROM P-Personal, P-Health, P-Employ "
+      "WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid "
+      "and P-Personal.zipcode='145568' and P-Employ.salary > 10000 "
+      "and P-Health.disease='diabetic'");
+  EXPECT_TRUE(report.batch_suspicious);
+  EXPECT_EQ(report.SuspiciousQueryIds(), (std::vector<int64_t>{bad}));
+  EXPECT_EQ(report.num_logged, 2u);
+  EXPECT_EQ(report.num_admitted, 2u);
+  EXPECT_EQ(report.num_candidates, 1u);  // the ward query is pruned
+  EXPECT_EQ(report.target_view_size, 2u);
+  EXPECT_EQ(report.minimal_batch, (std::vector<int64_t>{bad}));
+  // The good query's verdict survives with candidate=false.
+  EXPECT_FALSE(report.verdicts[static_cast<size_t>(good - 1)].candidate);
+  EXPECT_NE(report.Summary().find("batch_suspicious=true"),
+            std::string::npos);
+}
+
+TEST_F(AuditorTest, PaperIntroExample) {
+  // Section 2.1: "SELECT zipcode FROM Patients WHERE disease='cancer'" is
+  // suspicious for the disease audit iff a cancer patient lives in the
+  // audited zip code. Nobody has cancer, so it must not be flagged —
+  // static analysis alone (it touches `disease`) would have kept it.
+  Log("SELECT zipcode FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND disease='cancer'",
+      10);
+  auto report = MustAudit(
+      kSpan +
+      "AUDIT [zipcode,disease] FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND zipcode='145568'");
+  EXPECT_FALSE(report.batch_suspicious);
+  EXPECT_EQ(report.num_candidates, 1u);   // statically plausible
+  EXPECT_TRUE(report.SuspiciousQueryIds().empty());  // dynamically cleared
+}
+
+TEST_F(AuditorTest, BatchSuspicionWithoutSingleSuspicion) {
+  int64_t q1 =
+      Log("SELECT name, address FROM P-Personal WHERE zipcode='145568'", 10);
+  int64_t q2 =
+      Log("SELECT disease FROM P-Health WHERE disease='diabetic'", 20);
+  auto report = MustAudit(
+      kSpan +
+      "AUDIT (name,disease,address) FROM P-Personal, P-Health, P-Employ "
+      "WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid "
+      "and P-Personal.zipcode='145568' and P-Employ.salary > 10000 "
+      "and P-Health.disease='diabetic'");
+  EXPECT_TRUE(report.batch_suspicious);
+  EXPECT_TRUE(report.SuspiciousQueryIds().empty());
+  // Both queries are needed: the minimal batch is {q1, q2}.
+  EXPECT_EQ(report.minimal_batch, (std::vector<int64_t>{q1, q2}));
+}
+
+TEST_F(AuditorTest, LimitingParametersFilterQueries) {
+  Log("SELECT name, age, address FROM P-Personal WHERE age < 30", 10,
+      "mallory", "clerk", "billing");
+  Log("SELECT name, age, address FROM P-Personal WHERE age < 30", 20,
+      "alice", "doctor", "treatment");
+  // Exclude clerks: only alice's access is audited.
+  auto report = MustAudit(
+      "Neg-Role-Purpose (clerk,-) " + kSpan +
+      "AUDIT name, age, address FROM P-Personal WHERE age < 30");
+  EXPECT_EQ(report.num_admitted, 1u);
+  EXPECT_EQ(report.SuspiciousQueryIds(), (std::vector<int64_t>{2}));
+
+  // Positive user filter.
+  auto report2 = MustAudit(
+      "Pos-User-Identity mallory " + kSpan +
+      "AUDIT name, age, address FROM P-Personal WHERE age < 30");
+  EXPECT_EQ(report2.num_admitted, 1u);
+  EXPECT_EQ(report2.SuspiciousQueryIds(), (std::vector<int64_t>{1}));
+}
+
+TEST_F(AuditorTest, DuringClauseFiltersByTime) {
+  Log("SELECT name, age, address FROM P-Personal WHERE age < 30", 10);
+  Log("SELECT name, age, address FROM P-Personal WHERE age < 30", 500);
+  auto report = MustAudit(
+      "DURING 1/1/1970:00-00-00 to 1/1/1970:00-02-00 "
+      "DATA-INTERVAL 1/1/1970 to 2/1/1970 "
+      "AUDIT name, age, address FROM P-Personal WHERE age < 30");
+  EXPECT_EQ(report.num_admitted, 1u);
+  EXPECT_EQ(report.SuspiciousQueryIds(), (std::vector<int64_t>{1}));
+}
+
+TEST_F(AuditorTest, QueriesAuditedAgainstTheirOwnDbState) {
+  // Reku's zipcode changes at t=50. A query at t=10 saw the old value;
+  // a query at t=60 sees the new one.
+  Log("SELECT name, zipcode FROM P-Personal WHERE zipcode='145568'", 10);
+  ASSERT_TRUE(db_.UpdateColumn("P-Personal", 12, "zipcode",
+                               Value::String("999999"), Ts(50))
+                  .ok());
+  Log("SELECT name, zipcode FROM P-Personal WHERE zipcode='145568'", 60);
+
+  // Audit the *old* zipcode population, data version pinned before the
+  // update: only the first query disclosed Reku's row.
+  auto report = MustAudit(
+      "DURING 1/1/1970 to 2/1/1970 "
+      "DATA-INTERVAL 1/1/1970:00-00-10 to 1/1/1970:00-00-10 "
+      "AUDIT (name,zipcode) FROM P-Personal WHERE name='Reku'");
+  EXPECT_EQ(report.SuspiciousQueryIds(), (std::vector<int64_t>{1}));
+}
+
+TEST_F(AuditorTest, DataIntervalSpanningUpdateCatchesBothQueries) {
+  Log("SELECT name, zipcode FROM P-Personal WHERE zipcode='145568'", 10);
+  ASSERT_TRUE(db_.UpdateColumn("P-Personal", 12, "zipcode",
+                               Value::String("999999"), Ts(50))
+                  .ok());
+  Log("SELECT name, zipcode FROM P-Personal WHERE zipcode='999999'", 60);
+  auto report = MustAudit(
+      kSpan + "AUDIT (name,zipcode) FROM P-Personal WHERE name='Reku'");
+  EXPECT_EQ(report.SuspiciousQueryIds(), (std::vector<int64_t>{1, 2}));
+}
+
+TEST_F(AuditorTest, UnparseableLoggedQueriesAreSkipped) {
+  Log("DROP TABLE P-Personal", 10);
+  Log("SELECT name, age, address FROM P-Personal WHERE age < 30", 20);
+  auto report = MustAudit(
+      kSpan + "AUDIT name, age, address FROM P-Personal WHERE age < 30");
+  EXPECT_TRUE(report.verdicts[0].parse_failed);
+  EXPECT_EQ(report.SuspiciousQueryIds(), (std::vector<int64_t>{2}));
+}
+
+TEST_F(AuditorTest, ThresholdAuditExpression) {
+  // Disclosing one patient is tolerated; two or more is flagged.
+  Log("SELECT name FROM P-Personal WHERE name='Reku'", 10);
+  auto tolerant = MustAudit(
+      "THRESHOLD 2 " + kSpan +
+      "AUDIT (name) FROM P-Personal WHERE zipcode='145568'");
+  EXPECT_FALSE(tolerant.batch_suspicious);
+
+  Log("SELECT name FROM P-Personal WHERE name='Lucy'", 20);
+  auto fired = MustAudit(
+      "THRESHOLD 2 " + kSpan +
+      "AUDIT (name) FROM P-Personal WHERE zipcode='145568'");
+  EXPECT_TRUE(fired.batch_suspicious);
+}
+
+TEST_F(AuditorTest, PerQueryVerdictsCanBeDisabled) {
+  Log("SELECT name, age, address FROM P-Personal WHERE age < 30", 10);
+  AuditOptions options;
+  options.per_query_verdicts = false;
+  options.minimize_batch = false;
+  auto report = MustAudit(
+      kSpan + "AUDIT name, age, address FROM P-Personal WHERE age < 30",
+      options);
+  EXPECT_TRUE(report.batch_suspicious);
+  EXPECT_TRUE(report.SuspiciousQueryIds().empty());  // not computed
+  EXPECT_TRUE(report.minimal_batch.empty());
+}
+
+TEST_F(AuditorTest, EvidenceMentionsAccessedFacts) {
+  Log("SELECT name, age, address FROM P-Personal WHERE age < 30", 10);
+  auto report = MustAudit(
+      kSpan + "AUDIT name, age, address FROM P-Personal WHERE age < 30");
+  EXPECT_NE(report.evidence.find("t11"), std::string::npos);
+  EXPECT_NE(report.evidence.find("scheme"), std::string::npos);
+}
+
+TEST_F(AuditorTest, DetailedReportShowsFunnelAndVerdicts) {
+  Log("SELECT ward FROM P-Health WHERE ward='W11'", 10);
+  Log("SELECT name, age, address FROM P-Personal WHERE age < 30", 20,
+      "mallory");
+  auto report = MustAudit(
+      kSpan + "AUDIT name, age, address FROM P-Personal WHERE age < 30");
+  std::string text = report.DetailedReport(log_);
+  EXPECT_NE(text.find("AUDIT REPORT"), std::string::npos);
+  EXPECT_NE(text.find("2 logged"), std::string::npos);
+  EXPECT_NE(text.find("SUSPICIOUS"), std::string::npos);
+  EXPECT_NE(text.find("[SUSPECT  ]"), std::string::npos);
+  EXPECT_NE(text.find("[cleared  ]"), std::string::npos);
+  EXPECT_NE(text.find("mallory"), std::string::npos);
+  EXPECT_NE(text.find("evidence"), std::string::npos);
+  EXPECT_NE(text.find("phases:"), std::string::npos);
+  // Phase timings are populated for a dynamic audit.
+  EXPECT_GE(report.static_seconds, 0.0);
+  EXPECT_GT(report.static_seconds + report.view_seconds +
+                report.exec_seconds + report.check_seconds,
+            0.0);
+}
+
+TEST_F(AuditorTest, StaticOnlyModeOverApproximates) {
+  // The paper's §2.1 example again: statically the cancer query covers
+  // the audited columns, so data-independent auditing flags it; the
+  // data-dependent phase would clear it.
+  Log("SELECT zipcode FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND disease='cancer'",
+      10);
+  AuditOptions static_opts;
+  static_opts.static_only = true;
+  auto static_report = MustAudit(
+      kSpan +
+      "AUDIT (zipcode,disease) FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND zipcode='145568'",
+      static_opts);
+  EXPECT_TRUE(static_report.batch_suspicious);
+  EXPECT_EQ(static_report.SuspiciousQueryIds(), (std::vector<int64_t>{1}));
+  EXPECT_NE(static_report.evidence.find("static"), std::string::npos);
+
+  auto dynamic_report = MustAudit(
+      kSpan +
+      "AUDIT (zipcode,disease) FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND zipcode='145568'");
+  EXPECT_FALSE(dynamic_report.batch_suspicious);
+}
+
+TEST_F(AuditorTest, StaticOnlyRespectsPredicateConflicts) {
+  Log("SELECT zipcode, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND zipcode='999999'",
+      10);
+  AuditOptions static_opts;
+  static_opts.static_only = true;
+  auto report = MustAudit(
+      kSpan +
+      "AUDIT (zipcode,disease) FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND zipcode='145568'",
+      static_opts);
+  // The zip codes provably conflict: not even statically suspicious.
+  EXPECT_FALSE(report.batch_suspicious);
+  EXPECT_EQ(report.num_candidates, 0u);
+}
+
+TEST_F(AuditorTest, ParseErrorsSurface) {
+  Auditor auditor(&db_, &backlog_, &log_);
+  EXPECT_FALSE(auditor.Audit("AUDIT FROM nothing", Ts(1000)).ok());
+  EXPECT_FALSE(
+      auditor.Audit("AUDIT x FROM NoSuchTable", Ts(1000)).ok());
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace auditdb

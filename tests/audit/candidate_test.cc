@@ -1,0 +1,137 @@
+#include "src/audit/candidate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/audit/audit_parser.h"
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace audit {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+class CandidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildPaperDatabase(&db_, Ts(1)).ok());
+    auto parsed = ParseAudit(
+        "AUDIT (name,disease) FROM P-Personal, P-Health "
+        "WHERE P-Personal.pid = P-Health.pid "
+        "AND P-Health.disease = 'diabetic'",
+        Ts(1000));
+    ASSERT_TRUE(parsed.ok());
+    expr_ = std::move(*parsed);
+    ASSERT_TRUE(expr_.Qualify(db_.catalog()).ok());
+  }
+
+  sql::SelectStatement Q(const std::string& sql) {
+    auto stmt = sql::ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    return std::move(*stmt);
+  }
+
+  bool Batch(const std::string& sql,
+             const CandidateOptions& options = CandidateOptions{}) {
+    auto r = IsBatchCandidate(Q(sql), expr_, db_.catalog(), options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  bool Single(const std::string& sql,
+              const CandidateOptions& options = CandidateOptions{}) {
+    auto r = IsSingleCandidate(Q(sql), expr_, db_.catalog(), options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  Database db_;
+  AuditExpression expr_;
+};
+
+TEST_F(CandidateTest, StaticAccessedColumns) {
+  auto cols = StaticAccessedColumns(
+      Q("SELECT name FROM P-Personal WHERE age < 30"), db_.catalog(),
+      /*outputs_only=*/false);
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->size(), 2u);
+  EXPECT_TRUE(cols->count(ColumnRef{"P-Personal", "name"}));
+  EXPECT_TRUE(cols->count(ColumnRef{"P-Personal", "age"}));
+
+  auto outputs = StaticAccessedColumns(
+      Q("SELECT name FROM P-Personal WHERE age < 30"), db_.catalog(),
+      /*outputs_only=*/true);
+  ASSERT_TRUE(outputs.ok());
+  EXPECT_EQ(outputs->size(), 1u);
+
+  auto star = StaticAccessedColumns(Q("SELECT * FROM P-Employ"),
+                                    db_.catalog(), false);
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star->size(), 3u);
+}
+
+TEST_F(CandidateTest, BatchCandidateNeedsOneAuditedAttr) {
+  EXPECT_TRUE(Batch("SELECT name FROM P-Personal"));
+  EXPECT_TRUE(Batch("SELECT disease FROM P-Health"));
+  // pid / salary are not in the audit list.
+  EXPECT_FALSE(Batch("SELECT pid FROM P-Personal"));
+  EXPECT_FALSE(Batch("SELECT salary FROM P-Employ"));
+}
+
+TEST_F(CandidateTest, BatchCandidatePredicateConflictPruned) {
+  // Audit is about diabetics; a strictly-cancer query can't overlap.
+  EXPECT_FALSE(Batch(
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease = 'cancer'"));
+  EXPECT_TRUE(Batch(
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'"));
+}
+
+TEST_F(CandidateTest, SatisfiabilityCheckCanBeDisabled) {
+  CandidateOptions no_sat;
+  no_sat.use_satisfiability = false;
+  EXPECT_TRUE(Batch(
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease = 'cancer'",
+      no_sat));
+}
+
+TEST_F(CandidateTest, SingleCandidateNeedsFullScheme) {
+  // Scheme is {name, disease}: both required for single-query suspicion.
+  EXPECT_FALSE(Single("SELECT name FROM P-Personal"));
+  EXPECT_FALSE(Single("SELECT disease FROM P-Health"));
+  EXPECT_TRUE(Single(
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid"));
+  // Predicate columns count toward C_Q (the paper's example: a query
+  // selecting zipcode *where* disease='cancer' accesses disease).
+  EXPECT_TRUE(Single(
+      "SELECT name FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'"));
+}
+
+TEST_F(CandidateTest, OutputsOnlyModeWhenIndispensableFalse) {
+  AuditExpression value_expr = expr_.Clone();
+  value_expr.indispensable = false;
+  // Predicate-only access does not count in value-containment mode.
+  auto r = IsBatchCandidate(
+      Q("SELECT pid FROM P-Health WHERE disease = 'diabetic'"), value_expr,
+      db_.catalog());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  r = IsBatchCandidate(Q("SELECT disease FROM P-Health"), value_expr,
+                       db_.catalog());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(CandidateTest, UnknownColumnsError) {
+  auto r = IsBatchCandidate(Q("SELECT bogus FROM P-Personal"), expr_,
+                            db_.catalog());
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace auditdb

@@ -1,0 +1,186 @@
+#include "src/audit/granule.h"
+
+#include <gtest/gtest.h>
+
+#include "src/audit/audit_parser.h"
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace audit {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+class GranuleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildPaperDatabase(&db_, Ts(1)).ok());
+  }
+
+  AuditExpression Parse(const std::string& text) {
+    auto expr = ParseAudit(text, Ts(1000));
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    auto q = expr->Qualify(db_.catalog());
+    EXPECT_TRUE(q.ok()) << q.ToString();
+    return std::move(*expr);
+  }
+
+  TargetView View(const AuditExpression& expr) {
+    auto view = ComputeTargetView(expr, db_.View(), Ts(1));
+    EXPECT_TRUE(view.ok()) << view.status().ToString();
+    return std::move(*view);
+  }
+
+  Database db_;
+};
+
+TEST_F(GranuleTest, BuildSchemesMandatory) {
+  auto expr = Parse("AUDIT (name,disease) FROM P-Personal, P-Health "
+                    "WHERE P-Personal.pid = P-Health.pid");
+  auto schemes = BuildSchemes(expr);
+  ASSERT_EQ(schemes.size(), 1u);
+  EXPECT_EQ(schemes[0].attrs.size(), 2u);
+  // Both tables own an audited attribute → both tids in the scheme.
+  EXPECT_EQ(schemes[0].tid_tables,
+            (std::vector<std::string>{"P-Personal", "P-Health"}));
+}
+
+TEST_F(GranuleTest, BuildSchemesTidOnlyForOwningTables) {
+  auto expr = Parse("AUDIT (name) FROM P-Personal, P-Health "
+                    "WHERE P-Personal.pid = P-Health.pid");
+  auto schemes = BuildSchemes(expr);
+  ASSERT_EQ(schemes.size(), 1u);
+  // Only P-Personal owns `name`; P-Health contributes no tid.
+  EXPECT_EQ(schemes[0].tid_tables,
+            (std::vector<std::string>{"P-Personal"}));
+}
+
+TEST_F(GranuleTest, BuildSchemesNoTidsWhenIndispensableFalse) {
+  auto expr = Parse("INDISPENSABLE false AUDIT (name) FROM P-Personal");
+  auto schemes = BuildSchemes(expr);
+  ASSERT_EQ(schemes.size(), 1u);
+  EXPECT_TRUE(schemes[0].tid_tables.empty());
+}
+
+TEST_F(GranuleTest, ThresholdOneCountsFacts) {
+  auto expr = Parse("AUDIT (name) FROM P-Personal");
+  TargetView view = View(expr);  // 4 patients
+  GranuleEnumerator g(view, BuildSchemes(expr), Threshold::N(1));
+  EXPECT_DOUBLE_EQ(g.CountGranules(), 4.0);
+  EXPECT_EQ(g.EffectiveK(0), 1u);
+}
+
+TEST_F(GranuleTest, ThresholdKGivesBinomialCount) {
+  auto expr = Parse("THRESHOLD 2 AUDIT (name) FROM P-Personal");
+  TargetView view = View(expr);
+  GranuleEnumerator g(view, BuildSchemes(expr), expr.threshold);
+  // C(4,2) = 6 granules of two facts each.
+  EXPECT_DOUBLE_EQ(g.CountGranules(), 6.0);
+  size_t visited = g.ForEach([&](const Granule& granule) {
+    EXPECT_EQ(granule.fact_indices.size(), 2u);
+    return true;
+  });
+  EXPECT_EQ(visited, 6u);
+}
+
+TEST_F(GranuleTest, ThresholdAllIsSingleGranule) {
+  auto expr = Parse("THRESHOLD ALL AUDIT (name) FROM P-Personal");
+  TargetView view = View(expr);
+  GranuleEnumerator g(view, BuildSchemes(expr), expr.threshold);
+  EXPECT_DOUBLE_EQ(g.CountGranules(), 1.0);  // C(4,4)
+  EXPECT_EQ(g.EffectiveK(0), 4u);
+}
+
+TEST_F(GranuleTest, ThresholdLargerThanViewYieldsNothing) {
+  auto expr = Parse("THRESHOLD 9 AUDIT (name) FROM P-Personal");
+  TargetView view = View(expr);
+  GranuleEnumerator g(view, BuildSchemes(expr), expr.threshold);
+  EXPECT_DOUBLE_EQ(g.CountGranules(), 0.0);
+  EXPECT_EQ(g.ForEach([](const Granule&) { return true; }), 0u);
+}
+
+TEST_F(GranuleTest, NullCellsExcluded) {
+  // Reku's age is NULL: the age scheme has only 3 valid facts.
+  auto expr = Parse("AUDIT [name,age] FROM P-Personal");
+  TargetView view = View(expr);
+  GranuleEnumerator g(view, BuildSchemes(expr), Threshold::N(1));
+  // Schemes sorted: {age} first (3 valid facts), then {name} (4).
+  EXPECT_DOUBLE_EQ(g.CountGranules(), 7.0);
+  EXPECT_EQ(g.ValidFacts(0).size(), 3u);
+  EXPECT_EQ(g.ValidFacts(1).size(), 4u);
+}
+
+TEST_F(GranuleTest, EarlyTermination) {
+  auto expr = Parse("AUDIT [*] FROM P-Personal");
+  TargetView view = View(expr);
+  GranuleEnumerator g(view, BuildSchemes(expr), Threshold::N(1));
+  uint64_t visited = g.ForEach([](const Granule&) { return false; });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST_F(GranuleTest, RenderSingleFact) {
+  auto expr = Parse("AUDIT (name) FROM P-Personal WHERE name = 'Jane'");
+  TargetView view = View(expr);
+  GranuleEnumerator g(view, BuildSchemes(expr), Threshold::N(1));
+  std::vector<std::string> rendered = g.RenderDistinct(10);
+  ASSERT_EQ(rendered.size(), 1u);
+  EXPECT_EQ(rendered[0], "(t11,Jane)");
+}
+
+TEST_F(GranuleTest, RenderMultiFactGranule) {
+  auto expr = Parse("THRESHOLD 2 AUDIT (name) FROM P-Personal "
+                    "WHERE zipcode = '145568'");
+  TargetView view = View(expr);  // Reku + Lucy
+  GranuleEnumerator g(view, BuildSchemes(expr), expr.threshold);
+  auto rendered = g.RenderDistinct(10);
+  ASSERT_EQ(rendered.size(), 1u);
+  EXPECT_EQ(rendered[0], "(t12,Reku); (t14,Lucy)");
+}
+
+TEST_F(GranuleTest, RenderDistinctLimit) {
+  auto expr = Parse("AUDIT [*] FROM P-Personal");
+  TargetView view = View(expr);
+  GranuleEnumerator g(view, BuildSchemes(expr), Threshold::N(1));
+  EXPECT_EQ(g.RenderDistinct(3).size(), 3u);
+}
+
+TEST_F(GranuleTest, ValueModeGranulesRenderWithoutTids) {
+  auto expr = Parse("INDISPENSABLE false AUDIT (name) FROM P-Personal "
+                    "WHERE name = 'Jane'");
+  TargetView view = View(expr);
+  GranuleEnumerator g(view, BuildSchemes(expr), Threshold::N(1));
+  auto rendered = g.RenderDistinct(10);
+  ASSERT_EQ(rendered.size(), 1u);
+  EXPECT_EQ(rendered[0], "(Jane)");  // value-only: no tid component
+}
+
+TEST_F(GranuleTest, SchemeToString) {
+  auto expr = Parse("AUDIT (name,disease) FROM P-Personal, P-Health "
+                    "WHERE P-Personal.pid = P-Health.pid");
+  auto schemes = BuildSchemes(expr);
+  std::string text = schemes[0].ToString();
+  EXPECT_NE(text.find("tid_P-Personal"), std::string::npos);
+  EXPECT_NE(text.find("P-Health.disease"), std::string::npos);
+}
+
+TEST_F(GranuleTest, CombinatoricGrowthMatchesFormula) {
+  // The paper notes ~2^k·2^n granule-set growth; spot-check C(n,k) at a
+  // larger scale via the scaled hospital.
+  Database big;
+  workload::HospitalConfig config;
+  config.num_patients = 30;
+  config.null_age_fraction = 0;
+  ASSERT_TRUE(workload::PopulateHospital(&big, config, Ts(1)).ok());
+  auto expr = ParseAudit("THRESHOLD 3 AUDIT (name) FROM P-Personal", Ts(10));
+  ASSERT_TRUE(expr.ok());
+  ASSERT_TRUE(expr->Qualify(big.catalog()).ok());
+  auto view = ComputeTargetView(*expr, big.View(), Ts(1));
+  ASSERT_TRUE(view.ok());
+  GranuleEnumerator g(*view, BuildSchemes(*expr), expr->threshold);
+  EXPECT_DOUBLE_EQ(g.CountGranules(), 4060.0);  // C(30,3)
+  EXPECT_EQ(g.ForEach([](const Granule&) { return true; }), 4060u);
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace auditdb

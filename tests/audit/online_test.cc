@@ -1,0 +1,282 @@
+#include "src/audit/online.h"
+
+#include <gtest/gtest.h>
+
+#include "src/audit/audit_parser.h"
+#include "src/audit/auditor.h"
+#include "src/workload/generator.h"
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace audit {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+LoggedQuery Q(int64_t id, const std::string& sql, int64_t at = 100,
+              const std::string& role = "doctor",
+              const std::string& purpose = "treatment") {
+  LoggedQuery q;
+  q.id = id;
+  q.sql = sql;
+  q.timestamp = Ts(at);
+  q.user = "alice";
+  q.role = role;
+  q.purpose = purpose;
+  return q;
+}
+
+class OnlineAuditorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildPaperDatabase(&db_, Ts(1)).ok());
+    online_ = std::make_unique<OnlineAuditor>(&db_);
+  }
+
+  AuditExpression Parse(const std::string& text) {
+    auto expr = ParseAudit("DURING 1/1/1970 to 2/1/1970 " + text, Ts(1000));
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    return std::move(*expr);
+  }
+
+  const std::string kSemantic =
+      "AUDIT (name,disease) FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'";
+
+  Database db_;
+  std::unique_ptr<OnlineAuditor> online_;
+};
+
+TEST_F(OnlineAuditorTest, RegistersAndScreens) {
+  auto id = online_->AddExpression(Parse(kSemantic));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(online_->size(), 1u);
+
+  auto initial = online_->Current();
+  ASSERT_EQ(initial.size(), 1u);
+  EXPECT_FALSE(initial[0].fired);
+  EXPECT_DOUBLE_EQ(initial[0].rank, 0.0);
+}
+
+TEST_F(OnlineAuditorTest, FiresOnFullDisclosure) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+  auto screenings = online_->Observe(Q(
+      1,
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND disease='diabetic'"));
+  ASSERT_TRUE(screenings.ok()) << screenings.status().ToString();
+  ASSERT_EQ(screenings->size(), 1u);
+  EXPECT_TRUE((*screenings)[0].fired);
+  EXPECT_DOUBLE_EQ((*screenings)[0].rank, 1.0);
+}
+
+TEST_F(OnlineAuditorTest, RankRisesMonotonicallyAcrossPartialQueries) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+
+  // Step 1: names of the zip-code population — partial coverage.
+  auto s1 = online_->Observe(
+      Q(1, "SELECT name FROM P-Personal WHERE zipcode='145568'"));
+  ASSERT_TRUE(s1.ok());
+  double r1 = (*s1)[0].rank;
+  EXPECT_FALSE((*s1)[0].fired);
+  EXPECT_GT(r1, 0.0);
+  EXPECT_LT(r1, 1.0);
+
+  // Step 2: diseases — completes the scheme.
+  auto s2 = online_->Observe(
+      Q(2, "SELECT disease FROM P-Health WHERE disease='diabetic'"));
+  ASSERT_TRUE(s2.ok());
+  EXPECT_TRUE((*s2)[0].fired);
+  EXPECT_DOUBLE_EQ((*s2)[0].rank, 1.0);
+  EXPECT_GE((*s2)[0].rank, r1);
+}
+
+TEST_F(OnlineAuditorTest, IrrelevantQueriesLeaveRankAtZero) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+  auto s = online_->Observe(
+      Q(1, "SELECT employer FROM P-Employ WHERE salary > 15000"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE((*s)[0].fired);
+  EXPECT_DOUBLE_EQ((*s)[0].rank, 0.0);
+}
+
+TEST_F(OnlineAuditorTest, LimitingParametersSkipObservations) {
+  auto expr = Parse("Neg-Role-Purpose (clerk,-) " + kSemantic);
+  ASSERT_TRUE(online_->AddExpression(expr).ok());
+  auto s = online_->Observe(Q(
+      1,
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND disease='diabetic'",
+      100, "clerk", "billing"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE((*s)[0].fired);  // the clerk's access is out of audit scope
+
+  auto s2 = online_->Observe(Q(
+      2,
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND disease='diabetic'",
+      100, "doctor", "treatment"));
+  ASSERT_TRUE(s2.ok());
+  EXPECT_TRUE((*s2)[0].fired);
+}
+
+TEST_F(OnlineAuditorTest, MultipleStandingExpressions) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+  ASSERT_TRUE(online_
+                  ->AddExpression(Parse(
+                      "AUDIT (salary) FROM P-Employ WHERE salary > 15000"))
+                  .ok());
+  auto s = online_->Observe(
+      Q(1, "SELECT salary FROM P-Employ WHERE employer='E2'"));
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_FALSE((*s)[0].fired);  // disease audit untouched
+  EXPECT_TRUE((*s)[1].fired);   // salary audit fired (E2 pays 20000)
+}
+
+TEST_F(OnlineAuditorTest, ViewRebuiltAfterDataChanges) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+  // A new diabetic patient appears after registration.
+  ASSERT_TRUE(db_.Insert("P-Personal",
+                         {Value::String("p99"), Value::String("Nora"),
+                          Value::Int(41), Value::String("F"),
+                          Value::String("145568"), Value::String("A9")},
+                         Ts(50))
+                  .ok());
+  ASSERT_TRUE(db_.Insert("P-Health",
+                         {Value::String("p99"), Value::String("W1"),
+                          Value::String("Mehta"), Value::String("diabetic"),
+                          Value::String("drug1")},
+                         Ts(51))
+                  .ok());
+  auto s = online_->Observe(Q(
+      1,
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND name='Nora'"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE((*s)[0].fired);  // the rebuilt U contains Nora's fact
+}
+
+TEST_F(OnlineAuditorTest, ThresholdNeedsEnoughDistinctFacts) {
+  ASSERT_TRUE(online_
+                  ->AddExpression(Parse(
+                      "THRESHOLD 2 AUDIT (name) FROM P-Personal "
+                      "WHERE zipcode='145568'"))
+                  .ok());
+  auto s1 = online_->Observe(
+      Q(1, "SELECT name FROM P-Personal WHERE name='Reku'"));
+  ASSERT_TRUE(s1.ok());
+  EXPECT_FALSE((*s1)[0].fired);
+  EXPECT_LT((*s1)[0].rank, 1.0);
+  auto s2 = online_->Observe(
+      Q(2, "SELECT name FROM P-Personal WHERE name='Lucy'"));
+  ASSERT_TRUE(s2.ok());
+  EXPECT_TRUE((*s2)[0].fired);
+}
+
+TEST_F(OnlineAuditorTest, RankReportsBestSchemeForOptionalGroups) {
+  // [name,age]: two schemes; accessing age rows should max the age
+  // scheme's rank while name stays untouched.
+  ASSERT_TRUE(online_
+                  ->AddExpression(Parse(
+                      "AUDIT [name,age] FROM P-Personal WHERE age < 30"))
+                  .ok());
+  auto s = online_->Observe(
+      Q(1, "SELECT age FROM P-Personal WHERE age < 30"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE((*s)[0].fired);  // single-attr scheme fully covered
+  EXPECT_DOUBLE_EQ((*s)[0].rank, 1.0);
+}
+
+TEST_F(OnlineAuditorTest, PartialThresholdRankBetweenZeroAndOne) {
+  ASSERT_TRUE(online_
+                  ->AddExpression(Parse(
+                      "THRESHOLD 3 AUDIT (name) FROM P-Personal"))
+                  .ok());
+  // One of the required three facts accessed: rank = (1 + 1) / (1 + 3).
+  auto s = online_->Observe(
+      Q(1, "SELECT name FROM P-Personal WHERE name='Jane'"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE((*s)[0].fired);
+  EXPECT_DOUBLE_EQ((*s)[0].rank, 0.5);
+}
+
+TEST_F(OnlineAuditorTest, ResetBatchesClearsState) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+  auto s = online_->Observe(Q(
+      1,
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND disease='diabetic'"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE((*s)[0].fired);
+  online_->ResetBatches();
+  auto current = online_->Current();
+  EXPECT_FALSE(current[0].fired);
+  EXPECT_DOUBLE_EQ(current[0].rank, 0.0);
+}
+
+TEST_F(OnlineAuditorTest, ValueContainmentUnsupported) {
+  auto expr = Parse("INDISPENSABLE false " + kSemantic);
+  auto id = online_->AddExpression(expr);
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(OnlineAuditorTest, UnparseableQueriesAreIgnored) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+  auto s = online_->Observe(Q(1, "DELETE FROM P-Health"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE((*s)[0].fired);
+}
+
+/// Differential: the online monitor must fire on exactly the workloads
+/// the offline batch auditor flags, when the data never changes.
+class OnlineVsOffline : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OnlineVsOffline, AgreeOnStaticData) {
+  Database db;
+  Backlog backlog;
+  backlog.Attach(&db);
+  workload::HospitalConfig hospital;
+  hospital.num_patients = 30;
+  hospital.seed = GetParam();
+  ASSERT_TRUE(workload::PopulateHospital(&db, hospital, Ts(1)).ok());
+
+  QueryLog log;
+  workload::WorkloadConfig config;
+  config.num_queries = 40;
+  config.seed = GetParam() * 31;
+  config.start = Ts(100);
+  ASSERT_TRUE(workload::GenerateWorkload(&log, config, hospital).ok());
+
+  auto expr = ParseAudit(
+      "DURING 1/1/1970 to 2/1/1970 DATA-INTERVAL 1/1/1970 to 2/1/1970 "
+      "AUDIT (name,disease) FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease='diabetic'",
+      Ts(1000));
+  ASSERT_TRUE(expr.ok());
+
+  Auditor offline(&db, &backlog, &log);
+  AuditOptions options;
+  options.per_query_verdicts = false;
+  options.minimize_batch = false;
+  auto report = offline.Audit(*expr, options);
+  ASSERT_TRUE(report.ok());
+
+  OnlineAuditor online(&db);
+  ASSERT_TRUE(online.AddExpression(*expr).ok());
+  bool fired = false;
+  for (const auto& entry : log.entries()) {
+    auto s = online.Observe(entry);
+    ASSERT_TRUE(s.ok());
+    fired = (*s)[0].fired;
+  }
+  EXPECT_EQ(fired, report->batch_suspicious) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineVsOffline,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace audit
+}  // namespace auditdb

@@ -1,0 +1,234 @@
+#include "src/audit/expression_library.h"
+#include "src/audit/subsumption.h"
+
+#include <gtest/gtest.h>
+
+#include "src/audit/audit_parser.h"
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace audit {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+class SubsumptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildPaperDatabase(&db_, Ts(1)).ok());
+  }
+
+  AuditExpression Parse(const std::string& text) {
+    auto expr = ParseAudit(
+        "DURING 1/1/1970 to 2/1/1970 DATA-INTERVAL 1/1/1970 to 2/1/1970 " +
+            text,
+        Ts(1000));
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    auto q = expr->Qualify(db_.catalog());
+    EXPECT_TRUE(q.ok()) << q.ToString();
+    return std::move(*expr);
+  }
+
+  Database db_;
+};
+
+TEST_F(SubsumptionTest, Reflexive) {
+  auto a = Parse("AUDIT (name,disease) FROM P-Personal, P-Health "
+                 "WHERE P-Personal.pid = P-Health.pid");
+  EXPECT_TRUE(Subsumes(a, a));
+}
+
+TEST_F(SubsumptionTest, BroaderWhereSubsumesNarrower) {
+  auto broad = Parse(
+      "AUDIT (disease) FROM P-Health WHERE disease = 'diabetic'");
+  auto narrow = Parse(
+      "AUDIT (disease) FROM P-Health "
+      "WHERE disease = 'diabetic' AND ward = 'W14'");
+  EXPECT_TRUE(Subsumes(broad, narrow));
+  EXPECT_FALSE(Subsumes(narrow, broad));
+}
+
+TEST_F(SubsumptionTest, DifferentFromNeverSubsumes) {
+  auto a = Parse("AUDIT (disease) FROM P-Health");
+  auto b = Parse("AUDIT (salary) FROM P-Employ");
+  EXPECT_FALSE(Subsumes(a, b));
+  EXPECT_FALSE(Subsumes(b, a));
+}
+
+TEST_F(SubsumptionTest, SchemeCovering) {
+  // Covering {name,disease} forces the single-attr scheme {disease}.
+  auto optional_disease = Parse(
+      "AUDIT [disease,name] FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid");
+  auto mandatory_both = Parse(
+      "AUDIT (name,disease) FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid");
+  EXPECT_TRUE(Subsumes(optional_disease, mandatory_both));
+  EXPECT_FALSE(Subsumes(mandatory_both, optional_disease));
+}
+
+TEST_F(SubsumptionTest, ThresholdOrdering) {
+  auto k1 = Parse("THRESHOLD 1 AUDIT (name) FROM P-Personal");
+  auto k3 = Parse("THRESHOLD 3 AUDIT (name) FROM P-Personal");
+  EXPECT_TRUE(Subsumes(k1, k3));  // firing at 3 facts implies firing at 1
+  EXPECT_FALSE(Subsumes(k3, k1));
+}
+
+TEST_F(SubsumptionTest, ThresholdAllOnlyMatchesAll) {
+  auto all = Parse("THRESHOLD ALL AUDIT (name) FROM P-Personal");
+  auto k1 = Parse("THRESHOLD 1 AUDIT (name) FROM P-Personal");
+  EXPECT_FALSE(Subsumes(all, k1));
+  EXPECT_FALSE(Subsumes(k1, all));
+  EXPECT_TRUE(Subsumes(all, all));
+}
+
+TEST_F(SubsumptionTest, IndispensableFlagMustMatch) {
+  auto tid_mode = Parse("AUDIT (name) FROM P-Personal");
+  auto value_mode =
+      Parse("INDISPENSABLE false AUDIT (name) FROM P-Personal");
+  EXPECT_FALSE(Subsumes(tid_mode, value_mode));
+  EXPECT_FALSE(Subsumes(value_mode, tid_mode));
+}
+
+TEST_F(SubsumptionTest, FilterCoverage) {
+  auto unfiltered = Parse("AUDIT (name) FROM P-Personal");
+  auto filtered =
+      Parse("Neg-Role-Purpose (clerk,-) AUDIT (name) FROM P-Personal");
+  // The unfiltered expression audits strictly more accesses.
+  EXPECT_TRUE(Subsumes(unfiltered, filtered));
+  EXPECT_FALSE(Subsumes(filtered, unfiltered));
+}
+
+TEST_F(SubsumptionTest, DataIntervalContainment) {
+  auto wide = Parse("AUDIT (name) FROM P-Personal");  // full-span interval
+  auto narrow_parse = ParseAudit(
+      "DURING 1/1/1970 to 2/1/1970 "
+      "DATA-INTERVAL 1/1/1970:01-00-00 to 1/1/1970:02-00-00 "
+      "AUDIT (name) FROM P-Personal",
+      Ts(1000));
+  ASSERT_TRUE(narrow_parse.ok());
+  ASSERT_TRUE(narrow_parse->Qualify(db_.catalog()).ok());
+  EXPECT_TRUE(Subsumes(wide, *narrow_parse));
+  EXPECT_FALSE(Subsumes(*narrow_parse, wide));
+}
+
+// --- ExpressionLibrary --------------------------------------------------
+
+TEST_F(SubsumptionTest, LibraryRejectsSubsumedExpressions) {
+  ExpressionLibrary library(&db_.catalog());
+  auto broad = Parse(
+      "AUDIT (disease) FROM P-Health WHERE disease = 'diabetic'");
+  auto outcome = library.Add(broad);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->added);
+  int broad_id = outcome->id;
+  EXPECT_EQ(library.size(), 1u);
+
+  // A narrower expression adds nothing: rejected, pointing at `broad`.
+  auto narrow = Parse(
+      "AUDIT (disease) FROM P-Health "
+      "WHERE disease = 'diabetic' AND ward = 'W14'");
+  outcome = library.Add(narrow);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->added);
+  EXPECT_EQ(outcome->id, broad_id);
+  EXPECT_EQ(library.size(), 1u);
+}
+
+TEST_F(SubsumptionTest, LibraryEvictsSubsumedMembers) {
+  ExpressionLibrary library(&db_.catalog());
+  auto narrow = Parse(
+      "AUDIT (disease) FROM P-Health "
+      "WHERE disease = 'diabetic' AND ward = 'W14'");
+  auto narrow2 = Parse(
+      "AUDIT (disease) FROM P-Health "
+      "WHERE disease = 'diabetic' AND ward = 'W12'");
+  auto o1 = library.Add(narrow);
+  auto o2 = library.Add(narrow2);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_TRUE(o1->added && o2->added);
+  EXPECT_EQ(library.size(), 2u);
+
+  // The broad expression covers both: they get evicted.
+  auto broad = Parse(
+      "AUDIT (disease) FROM P-Health WHERE disease = 'diabetic'");
+  auto o3 = library.Add(broad);
+  ASSERT_TRUE(o3.ok());
+  EXPECT_TRUE(o3->added);
+  EXPECT_EQ(o3->evicted.size(), 2u);
+  EXPECT_EQ(library.size(), 1u);
+  EXPECT_EQ(library.ids(), (std::vector<int>{o3->id}));
+  EXPECT_NE(library.Get(o3->id), nullptr);
+  EXPECT_EQ(library.Get(o1->id), nullptr);
+}
+
+TEST_F(SubsumptionTest, LibraryKeepsIncomparableMembers) {
+  ExpressionLibrary library(&db_.catalog());
+  auto disease = Parse("AUDIT (disease) FROM P-Health");
+  auto salary = Parse("AUDIT (salary) FROM P-Employ");
+  ASSERT_TRUE(library.Add(disease).ok());
+  ASSERT_TRUE(library.Add(salary).ok());
+  EXPECT_EQ(library.size(), 2u);
+}
+
+// --- FilterAdmitsAtLeast ----------------------------------------------
+
+TEST(FilterCoverageTest, TrivialAdmitsEverything) {
+  AccessFilter trivial;
+  AccessFilter strict;
+  strict.pos_users = {"alice"};
+  strict.neg_role_purpose = {{"clerk", "-"}};
+  EXPECT_TRUE(FilterAdmitsAtLeast(trivial, strict));
+  EXPECT_FALSE(FilterAdmitsAtLeast(strict, trivial));
+}
+
+TEST(FilterCoverageTest, NegUserSubset) {
+  AccessFilter outer;
+  outer.neg_users = {"mallory"};
+  AccessFilter inner;
+  inner.neg_users = {"mallory", "trent"};
+  EXPECT_TRUE(FilterAdmitsAtLeast(outer, inner));
+  EXPECT_FALSE(FilterAdmitsAtLeast(inner, outer));
+}
+
+TEST(FilterCoverageTest, NegPatternWildcardCoverage) {
+  AccessFilter outer;
+  outer.neg_role_purpose = {{"clerk", "billing"}};
+  AccessFilter inner;
+  inner.neg_role_purpose = {{"clerk", "-"}};
+  // outer rejects (clerk,billing); inner rejects all clerk accesses —
+  // inner's rejection covers outer's.
+  EXPECT_TRUE(FilterAdmitsAtLeast(outer, inner));
+  EXPECT_FALSE(FilterAdmitsAtLeast(inner, outer));
+}
+
+TEST(FilterCoverageTest, PosUserSubset) {
+  AccessFilter outer;
+  outer.pos_users = {"alice", "bob"};
+  AccessFilter inner;
+  inner.pos_users = {"alice"};
+  EXPECT_TRUE(FilterAdmitsAtLeast(outer, inner));
+  EXPECT_FALSE(FilterAdmitsAtLeast(inner, outer));
+}
+
+TEST(FilterCoverageTest, PosPatternCoverage) {
+  AccessFilter outer;
+  outer.pos_role_purpose = {{"doctor", "-"}};
+  AccessFilter inner;
+  inner.pos_role_purpose = {{"doctor", "treatment"}};
+  EXPECT_TRUE(FilterAdmitsAtLeast(outer, inner));
+  EXPECT_FALSE(FilterAdmitsAtLeast(inner, outer));
+}
+
+TEST(FilterCoverageTest, DuringContainment) {
+  AccessFilter outer;
+  outer.during = TimeInterval{Ts(0), Ts(100)};
+  AccessFilter inner;
+  inner.during = TimeInterval{Ts(10), Ts(50)};
+  EXPECT_TRUE(FilterAdmitsAtLeast(outer, inner));
+  EXPECT_FALSE(FilterAdmitsAtLeast(inner, outer));
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace auditdb

@@ -1,0 +1,115 @@
+#include "src/catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace {
+
+TableSchema PatientsSchema() {
+  return TableSchema("Patients", {{"pid", ValueType::kString},
+                                  {"name", ValueType::kString},
+                                  {"age", ValueType::kInt}});
+}
+
+TableSchema VisitsSchema() {
+  return TableSchema("Visits", {{"pid", ValueType::kString},
+                                {"disease", ValueType::kString}});
+}
+
+TEST(SchemaTest, FindColumn) {
+  TableSchema schema = PatientsSchema();
+  EXPECT_EQ(schema.FindColumn("pid"), 0u);
+  EXPECT_EQ(schema.FindColumn("age"), 2u);
+  EXPECT_FALSE(schema.FindColumn("salary").has_value());
+  EXPECT_EQ(schema.num_columns(), 3u);
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(VisitsSchema().ToString(),
+            "Visits(pid STRING, disease STRING)");
+}
+
+TEST(ColumnRefTest, Formatting) {
+  EXPECT_EQ((ColumnRef{"T", "c"}).ToString(), "T.c");
+  EXPECT_EQ((ColumnRef{"", "c"}).ToString(), "c");
+  EXPECT_TRUE((ColumnRef{"T", "c"}).qualified());
+  EXPECT_FALSE((ColumnRef{"", "c"}).qualified());
+}
+
+TEST(ColumnRefTest, Ordering) {
+  ColumnRef a{"A", "x"}, b{"B", "a"}, c{"A", "y"};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, (ColumnRef{"A", "x"}));
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.AddTable(PatientsSchema()).ok());
+    ASSERT_TRUE(catalog_.AddTable(VisitsSchema()).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, DuplicateTableRejected) {
+  EXPECT_EQ(catalog_.AddTable(PatientsSchema()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, GetTable) {
+  auto t = catalog_.GetTable("Patients");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "Patients");
+  EXPECT_FALSE(catalog_.GetTable("Nope").ok());
+}
+
+TEST_F(CatalogTest, ResolveQualified) {
+  auto ref = catalog_.Resolve(ColumnRef{"Patients", "name"}, {"Patients"});
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->ToString(), "Patients.name");
+}
+
+TEST_F(CatalogTest, ResolveQualifiedOutOfScope) {
+  auto ref = catalog_.Resolve(ColumnRef{"Patients", "name"}, {"Visits"});
+  EXPECT_FALSE(ref.ok());
+}
+
+TEST_F(CatalogTest, ResolveUnqualifiedUnique) {
+  auto ref = catalog_.Resolve(ColumnRef{"", "disease"},
+                              {"Patients", "Visits"});
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->table, "Visits");
+}
+
+TEST_F(CatalogTest, ResolveUnqualifiedAmbiguous) {
+  auto ref = catalog_.Resolve(ColumnRef{"", "pid"}, {"Patients", "Visits"});
+  EXPECT_FALSE(ref.ok());
+  EXPECT_EQ(ref.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CatalogTest, ResolveUnqualifiedMissing) {
+  auto ref = catalog_.Resolve(ColumnRef{"", "salary"},
+                              {"Patients", "Visits"});
+  EXPECT_EQ(ref.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, ResolveMissingColumnInNamedTable) {
+  auto ref = catalog_.Resolve(ColumnRef{"Visits", "age"}, {"Visits"});
+  EXPECT_EQ(ref.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, TypeOf) {
+  auto type = catalog_.TypeOf(ColumnRef{"Patients", "age"});
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, ValueType::kInt);
+  EXPECT_FALSE(catalog_.TypeOf(ColumnRef{"Patients", "nope"}).ok());
+}
+
+TEST_F(CatalogTest, TableNamesSorted) {
+  EXPECT_EQ(catalog_.TableNames(),
+            (std::vector<std::string>{"Patients", "Visits"}));
+}
+
+}  // namespace
+}  // namespace auditdb

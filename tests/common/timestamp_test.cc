@@ -1,0 +1,96 @@
+#include "src/common/timestamp.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace {
+
+Timestamp Ts(int y, int m, int d, int hh = 0, int mm = 0, int ss = 0) {
+  auto t = Timestamp::FromCivil(y, m, d, hh, mm, ss);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+TEST(TimestampTest, EpochIsZero) {
+  EXPECT_EQ(Ts(1970, 1, 1).micros(), 0);
+}
+
+TEST(TimestampTest, KnownCivilConversions) {
+  // 2004-05-01 13:00:00 UTC == 1083416400 seconds since the epoch.
+  EXPECT_EQ(Ts(2004, 5, 1, 13, 0, 0).micros(), 1083416400LL * 1000000);
+  // Leap-year day.
+  EXPECT_EQ(Ts(2004, 2, 29).micros(), Ts(2004, 2, 28).AddSeconds(86400).micros());
+}
+
+TEST(TimestampTest, RoundTripToString) {
+  Timestamp t = Ts(2004, 5, 1, 13, 0, 0);
+  EXPECT_EQ(t.ToString(), "1/5/2004:13-00-00");
+  auto parsed = Timestamp::Parse(t.ToString(), Timestamp());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TimestampTest, ParsePaperFormat) {
+  auto t = Timestamp::Parse("1/5/2004:13-00-00", Timestamp());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, Ts(2004, 5, 1, 13, 0, 0));
+}
+
+TEST(TimestampTest, ParseDateOnly) {
+  auto t = Timestamp::Parse("15/7/2006", Timestamp());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, Ts(2006, 7, 15));
+}
+
+TEST(TimestampTest, ParseNow) {
+  Timestamp now = Ts(2008, 1, 1, 12, 0, 0);
+  auto t = Timestamp::Parse("now()", now);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, now);
+}
+
+TEST(TimestampTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Timestamp::Parse("yesterday", Timestamp()).ok());
+  EXPECT_FALSE(Timestamp::Parse("1/5/2004:25-00-00", Timestamp()).ok());
+  EXPECT_FALSE(Timestamp::Parse("32/1/2004", Timestamp()).ok());
+  EXPECT_FALSE(Timestamp::Parse("1/13/2004", Timestamp()).ok());
+  EXPECT_FALSE(Timestamp::Parse("", Timestamp()).ok());
+}
+
+TEST(TimestampTest, Ordering) {
+  EXPECT_LT(Ts(2004, 5, 1), Ts(2004, 5, 2));
+  EXPECT_LE(Ts(2004, 5, 1), Ts(2004, 5, 1));
+  EXPECT_GT(Ts(2005, 1, 1), Ts(2004, 12, 31));
+  EXPECT_EQ(Ts(2004, 5, 1), Ts(2004, 5, 1));
+}
+
+TEST(TimestampTest, StartOfDay) {
+  Timestamp t = Ts(2004, 5, 1, 13, 45, 12);
+  EXPECT_EQ(t.StartOfDay(), Ts(2004, 5, 1));
+  EXPECT_EQ(Ts(2004, 5, 1).StartOfDay(), Ts(2004, 5, 1));
+}
+
+TEST(TimestampTest, PreEpochToString) {
+  Timestamp t = Ts(1969, 12, 31, 23, 0, 0);
+  EXPECT_EQ(t.ToString(), "31/12/1969:23-00-00");
+  EXPECT_EQ(t.StartOfDay(), Ts(1969, 12, 31));
+}
+
+TEST(TimeIntervalTest, Contains) {
+  TimeInterval interval{Ts(2004, 1, 1), Ts(2004, 12, 31)};
+  EXPECT_TRUE(interval.Contains(Ts(2004, 6, 15)));
+  EXPECT_TRUE(interval.Contains(interval.start));
+  EXPECT_TRUE(interval.Contains(interval.end));
+  EXPECT_FALSE(interval.Contains(Ts(2005, 1, 1)));
+  EXPECT_FALSE(interval.Contains(Ts(2003, 12, 31)));
+}
+
+TEST(TimeIntervalTest, Instant) {
+  TimeInterval instant{Ts(2004, 1, 1), Ts(2004, 1, 1)};
+  EXPECT_TRUE(instant.IsInstant());
+  TimeInterval range{Ts(2004, 1, 1), Ts(2004, 1, 2)};
+  EXPECT_FALSE(range.IsInstant());
+}
+
+}  // namespace
+}  // namespace auditdb

@@ -1,0 +1,118 @@
+#include "src/expr/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sql/parser.h"
+
+namespace auditdb {
+namespace {
+
+ExprPtr Parse(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return std::move(*e);
+}
+
+TEST(AnalysisTest, CollectColumns) {
+  auto e = Parse("T.a < 3 AND T.b = U.c OR NOT T.a > 5");
+  auto cols = CollectColumns(e.get());
+  EXPECT_EQ(cols.size(), 3u);
+  EXPECT_TRUE(cols.count(ColumnRef{"T", "a"}));
+  EXPECT_TRUE(cols.count(ColumnRef{"T", "b"}));
+  EXPECT_TRUE(cols.count(ColumnRef{"U", "c"}));
+}
+
+TEST(AnalysisTest, CollectColumnsEmpty) {
+  EXPECT_TRUE(CollectColumns(nullptr).empty());
+  auto e = Parse("1 < 2");
+  EXPECT_TRUE(CollectColumns(e.get()).empty());
+}
+
+TEST(AnalysisTest, SplitConjuncts) {
+  auto e = Parse("a = 1 AND b = 2 AND c = 3");
+  auto conjuncts = SplitConjuncts(e.get());
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->ToString(), "a = 1");
+  EXPECT_EQ(conjuncts[2]->ToString(), "c = 3");
+}
+
+TEST(AnalysisTest, SplitConjunctsDoesNotCrossOr) {
+  auto e = Parse("a = 1 AND (b = 2 OR c = 3)");
+  auto conjuncts = SplitConjuncts(e.get());
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(conjuncts[1]->bop, BinaryOp::kOr);
+}
+
+TEST(AnalysisTest, SplitConjunctsSingle) {
+  auto e = Parse("a = 1");
+  EXPECT_EQ(SplitConjuncts(e.get()).size(), 1u);
+  EXPECT_TRUE(SplitConjuncts(nullptr).empty());
+}
+
+TEST(AnalysisTest, QualifyColumns) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddTable(TableSchema("T", {{"a", ValueType::kInt},
+                                              {"b", ValueType::kString}}))
+                  .ok());
+  auto e = Parse("a < 3 AND b = 'x'");
+  ASSERT_TRUE(QualifyColumns(e.get(), catalog, {"T"}).ok());
+  auto cols = CollectColumns(e.get());
+  EXPECT_TRUE(cols.count(ColumnRef{"T", "a"}));
+  EXPECT_TRUE(cols.count(ColumnRef{"T", "b"}));
+}
+
+TEST(AnalysisTest, QualifyColumnsFailsOnUnknown) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddTable(TableSchema("T", {{"a", ValueType::kInt}})).ok());
+  auto e = Parse("missing < 3");
+  EXPECT_FALSE(QualifyColumns(e.get(), catalog, {"T"}).ok());
+}
+
+TEST(AnalysisTest, IsEquiJoin) {
+  auto e = Parse("T.a = U.b");
+  ColumnRef lhs, rhs;
+  ASSERT_TRUE(IsEquiJoin(*e, &lhs, &rhs));
+  EXPECT_EQ(lhs.ToString(), "T.a");
+  EXPECT_EQ(rhs.ToString(), "U.b");
+}
+
+TEST(AnalysisTest, IsEquiJoinRejectsSameTableAndLiterals) {
+  ColumnRef lhs, rhs;
+  EXPECT_FALSE(IsEquiJoin(*Parse("T.a = T.b"), &lhs, &rhs));
+  EXPECT_FALSE(IsEquiJoin(*Parse("T.a = 3"), &lhs, &rhs));
+  EXPECT_FALSE(IsEquiJoin(*Parse("T.a < U.b"), &lhs, &rhs));
+}
+
+TEST(AnalysisTest, IsColumnLiteralComparison) {
+  ColumnRef col;
+  BinaryOp op;
+  Value lit;
+  ASSERT_TRUE(IsColumnLiteralComparison(*Parse("T.a < 3"), &col, &op, &lit));
+  EXPECT_EQ(col.ToString(), "T.a");
+  EXPECT_EQ(op, BinaryOp::kLt);
+  EXPECT_EQ(lit, Value::Int(3));
+}
+
+TEST(AnalysisTest, IsColumnLiteralComparisonFlipsOrientation) {
+  ColumnRef col;
+  BinaryOp op;
+  Value lit;
+  ASSERT_TRUE(IsColumnLiteralComparison(*Parse("3 < T.a"), &col, &op, &lit));
+  EXPECT_EQ(col.ToString(), "T.a");
+  EXPECT_EQ(op, BinaryOp::kGt);  // 3 < a  ==  a > 3
+}
+
+TEST(AnalysisTest, IsColumnLiteralComparisonRejectsOthers) {
+  ColumnRef col;
+  BinaryOp op;
+  Value lit;
+  EXPECT_FALSE(
+      IsColumnLiteralComparison(*Parse("T.a = U.b"), &col, &op, &lit));
+  EXPECT_FALSE(
+      IsColumnLiteralComparison(*Parse("T.a + 1 < 3"), &col, &op, &lit));
+}
+
+}  // namespace
+}  // namespace auditdb

@@ -1,0 +1,93 @@
+#include "src/expr/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace {
+
+ExprPtr AgeLt30() {
+  return Expression::MakeComparison(ColumnRef{"", "age"}, BinaryOp::kLt,
+                                    Value::Int(30));
+}
+
+TEST(ExpressionTest, Factories) {
+  auto lit = Expression::MakeLiteral(Value::Int(5));
+  EXPECT_EQ(lit->kind, ExprKind::kLiteral);
+  auto col = Expression::MakeColumn(ColumnRef{"T", "c"});
+  EXPECT_EQ(col->kind, ExprKind::kColumn);
+  auto cmp = AgeLt30();
+  EXPECT_EQ(cmp->kind, ExprKind::kBinary);
+  EXPECT_EQ(cmp->bop, BinaryOp::kLt);
+}
+
+TEST(ExpressionTest, ToString) {
+  EXPECT_EQ(AgeLt30()->ToString(), "age < 30");
+  auto conj = Expression::MakeBinary(
+      BinaryOp::kAnd, AgeLt30(),
+      Expression::MakeComparison(ColumnRef{"", "zipcode"}, BinaryOp::kEq,
+                                 Value::String("145568")));
+  EXPECT_EQ(conj->ToString(), "age < 30 AND zipcode = '145568'");
+}
+
+TEST(ExpressionTest, ToStringParenthesizesOrUnderAnd) {
+  auto disj = Expression::MakeBinary(BinaryOp::kOr, AgeLt30(), AgeLt30());
+  auto conj =
+      Expression::MakeBinary(BinaryOp::kAnd, std::move(disj), AgeLt30());
+  EXPECT_EQ(conj->ToString(), "(age < 30 OR age < 30) AND age < 30");
+}
+
+TEST(ExpressionTest, CloneIsDeepAndEqual) {
+  auto conj = Expression::MakeBinary(
+      BinaryOp::kAnd, AgeLt30(),
+      Expression::MakeUnary(UnaryOp::kNot,
+                            Expression::MakeLiteral(Value::Bool(false))));
+  auto clone = conj->Clone();
+  EXPECT_TRUE(conj->Equals(*clone));
+  // Mutating the clone must not affect the original.
+  clone->left->bop = BinaryOp::kGt;
+  EXPECT_FALSE(conj->Equals(*clone));
+}
+
+TEST(ExpressionTest, EqualsDistinguishesStructure) {
+  EXPECT_TRUE(AgeLt30()->Equals(*AgeLt30()));
+  auto other = Expression::MakeComparison(ColumnRef{"", "age"}, BinaryOp::kLe,
+                                          Value::Int(30));
+  EXPECT_FALSE(AgeLt30()->Equals(*other));
+  auto lit = Expression::MakeLiteral(Value::Int(30));
+  EXPECT_FALSE(AgeLt30()->Equals(*lit));
+}
+
+TEST(ExpressionTest, MakeConjunction) {
+  std::vector<ExprPtr> conjuncts;
+  EXPECT_EQ(Expression::MakeConjunction(std::move(conjuncts)), nullptr);
+
+  std::vector<ExprPtr> one;
+  one.push_back(AgeLt30());
+  auto single = Expression::MakeConjunction(std::move(one));
+  EXPECT_EQ(single->ToString(), "age < 30");
+
+  std::vector<ExprPtr> two;
+  two.push_back(AgeLt30());
+  two.push_back(AgeLt30());
+  auto both = Expression::MakeConjunction(std::move(two));
+  EXPECT_EQ(both->bop, BinaryOp::kAnd);
+}
+
+TEST(OperatorHelpersTest, FlipAndNegate) {
+  EXPECT_EQ(FlipComparison(BinaryOp::kLt), BinaryOp::kGt);
+  EXPECT_EQ(FlipComparison(BinaryOp::kGe), BinaryOp::kLe);
+  EXPECT_EQ(FlipComparison(BinaryOp::kEq), BinaryOp::kEq);
+  EXPECT_EQ(NegateComparison(BinaryOp::kEq), BinaryOp::kNe);
+  EXPECT_EQ(NegateComparison(BinaryOp::kLt), BinaryOp::kGe);
+  EXPECT_EQ(NegateComparison(BinaryOp::kGe), BinaryOp::kLt);
+}
+
+TEST(OperatorHelpersTest, IsComparison) {
+  EXPECT_TRUE(IsComparison(BinaryOp::kEq));
+  EXPECT_TRUE(IsComparison(BinaryOp::kNe));
+  EXPECT_FALSE(IsComparison(BinaryOp::kAnd));
+  EXPECT_FALSE(IsComparison(BinaryOp::kAdd));
+}
+
+}  // namespace
+}  // namespace auditdb

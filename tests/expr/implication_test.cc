@@ -1,0 +1,193 @@
+#include "src/expr/implication.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/expr/evaluator.h"
+#include "src/sql/parser.h"
+
+namespace auditdb {
+namespace {
+
+ExprPtr Parse(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return std::move(*e);
+}
+
+bool Implies(const std::string& premise, const std::string& conclusion) {
+  auto p = Parse(premise);
+  auto c = Parse(conclusion);
+  return ProvablyImplies(p.get(), c.get());
+}
+
+TEST(ImplicationTest, Reflexive) {
+  EXPECT_TRUE(Implies("T.x = 1", "T.x = 1"));
+  EXPECT_TRUE(Implies("T.x < 5 AND T.y = 'a'", "T.y = 'a' AND T.x < 5"));
+}
+
+TEST(ImplicationTest, TrueConclusion) {
+  auto p = Parse("T.x = 1");
+  EXPECT_TRUE(ProvablyImplies(p.get(), nullptr));
+  EXPECT_TRUE(ProvablyImplies(nullptr, nullptr));
+  EXPECT_TRUE(Implies("T.x = 1", "TRUE"));
+  EXPECT_TRUE(Implies("T.x = 1", "1 < 2"));
+}
+
+TEST(ImplicationTest, TruePremiseImpliesNothing) {
+  auto c = Parse("T.x = 1");
+  EXPECT_FALSE(ProvablyImplies(nullptr, c.get()));
+}
+
+TEST(ImplicationTest, RangeWeakening) {
+  EXPECT_TRUE(Implies("T.x < 5", "T.x < 10"));
+  EXPECT_TRUE(Implies("T.x < 5", "T.x <= 5"));
+  EXPECT_TRUE(Implies("T.x <= 5", "T.x < 6"));
+  EXPECT_FALSE(Implies("T.x <= 5", "T.x < 5"));
+  EXPECT_FALSE(Implies("T.x < 10", "T.x < 5"));
+  EXPECT_TRUE(Implies("T.x > 5", "T.x >= 5"));
+  EXPECT_TRUE(Implies("T.x >= 6", "T.x > 5"));
+}
+
+TEST(ImplicationTest, EqualityImpliesRangesAndDisequalities) {
+  EXPECT_TRUE(Implies("T.x = 5", "T.x < 10"));
+  EXPECT_TRUE(Implies("T.x = 5", "T.x >= 5"));
+  EXPECT_TRUE(Implies("T.x = 5", "T.x <> 6"));
+  EXPECT_FALSE(Implies("T.x = 5", "T.x <> 5"));
+  EXPECT_FALSE(Implies("T.x < 10", "T.x = 5"));
+}
+
+TEST(ImplicationTest, ConjoinedRangesPinValue) {
+  EXPECT_TRUE(Implies("T.x >= 5 AND T.x <= 5", "T.x = 5"));
+  EXPECT_FALSE(Implies("T.x >= 5 AND T.x <= 6", "T.x = 5"));
+}
+
+TEST(ImplicationTest, DisequalityPropagation) {
+  EXPECT_TRUE(Implies("T.x <> 3", "T.x <> 3"));
+  EXPECT_TRUE(Implies("T.x > 5", "T.x <> 3"));
+  EXPECT_TRUE(Implies("T.x < 5", "T.x <> 7"));
+  EXPECT_FALSE(Implies("T.x <> 3", "T.x <> 4"));
+}
+
+TEST(ImplicationTest, ConclusionConjunctionNeedsAllParts) {
+  EXPECT_TRUE(Implies("T.x = 1 AND T.y = 2", "T.x = 1 AND T.y = 2"));
+  EXPECT_TRUE(Implies("T.x = 1 AND T.y = 2", "T.x = 1"));
+  EXPECT_FALSE(Implies("T.x = 1", "T.x = 1 AND T.y = 2"));
+}
+
+TEST(ImplicationTest, PremiseMayHaveExtraConjuncts) {
+  EXPECT_TRUE(
+      Implies("T.x = 1 AND T.y = 'a' AND T.z < 9", "T.y = 'a'"));
+}
+
+TEST(ImplicationTest, StringComparisons) {
+  EXPECT_TRUE(Implies("T.s = 'diabetic'", "T.s = 'diabetic'"));
+  EXPECT_FALSE(Implies("T.s = 'diabetic'", "T.s = 'cancer'"));
+  EXPECT_TRUE(Implies("T.s = 'b'", "T.s > 'a'"));
+}
+
+TEST(ImplicationTest, EqualityClasses) {
+  EXPECT_TRUE(Implies("T.a = U.b", "T.a = U.b"));
+  EXPECT_TRUE(Implies("T.a = U.b AND U.b = V.c", "T.a = V.c"));
+  EXPECT_FALSE(Implies("T.a = U.b", "T.a = V.c"));
+  // Bounds propagate through classes.
+  EXPECT_TRUE(Implies("T.a = U.b AND T.a = 5", "U.b = 5"));
+  EXPECT_TRUE(Implies("T.a = U.b AND T.a < 5", "U.b < 10"));
+}
+
+TEST(ImplicationTest, FalsePremiseImpliesEverything) {
+  EXPECT_TRUE(Implies("T.x = 1 AND T.x = 2", "T.y = 'anything'"));
+  EXPECT_TRUE(Implies("1 > 2", "T.z < 0"));
+}
+
+TEST(ImplicationTest, OrConclusionViaOneDisjunct) {
+  EXPECT_TRUE(Implies("T.x = 1", "T.x = 1 OR T.x = 2"));
+  EXPECT_TRUE(Implies("T.x < 3", "T.x < 5 OR T.y = 9"));
+  EXPECT_FALSE(Implies("T.x < 9", "T.x < 5 OR T.x > 7"));
+}
+
+TEST(ImplicationTest, OpaquePremiseAtomsAreSound) {
+  // The OR in the premise is ignored (weakened premise): implication of
+  // unrelated conclusions must still fail.
+  EXPECT_FALSE(Implies("T.x = 1 OR T.x = 2", "T.x = 1"));
+  // Structural identity still proves it.
+  EXPECT_TRUE(Implies("T.x = 1 OR T.x = 2", "T.x = 1 OR T.x = 2"));
+}
+
+TEST(ImplicationTest, PaperExample) {
+  // The audit for diabetes patients is implied by a more specific audit
+  // for diabetic patients of one zip code.
+  EXPECT_TRUE(Implies(
+      "T.disease = 'diabetic' AND T.zipcode = '145568'",
+      "T.disease = 'diabetic'"));
+  EXPECT_FALSE(Implies("T.disease = 'diabetic'",
+                       "T.disease = 'diabetic' AND T.zipcode = '145568'"));
+}
+
+/// Property: ProvablyImplies must be sound against brute force over a
+/// small domain — whenever it claims implication, every satisfying
+/// assignment of the premise satisfies the conclusion.
+class ImplicationSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ImplicationSoundness, NoFalseProofs) {
+  Random rng(GetParam());
+  RowLayout layout;
+  TableSchema schema("T", {{"x", ValueType::kInt},
+                           {"y", ValueType::kInt},
+                           {"z", ValueType::kInt}});
+  layout.AddTable("T", schema);
+  const char* kCols[] = {"x", "y", "z"};
+  const BinaryOp kOps[] = {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                           BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe};
+
+  auto random_conjunction = [&](size_t max_atoms) {
+    std::vector<ExprPtr> atoms;
+    size_t n = 1 + rng.Uniform(max_atoms);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.OneIn(0.2)) {
+        atoms.push_back(Expression::MakeColumnEq(
+            ColumnRef{"T", kCols[rng.Uniform(3)]},
+            ColumnRef{"T", kCols[rng.Uniform(3)]}));
+      } else {
+        atoms.push_back(Expression::MakeComparison(
+            ColumnRef{"T", kCols[rng.Uniform(3)]}, kOps[rng.Uniform(6)],
+            Value::Int(rng.UniformInt(0, 3))));
+      }
+    }
+    return Expression::MakeConjunction(std::move(atoms));
+  };
+
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    ExprPtr premise = random_conjunction(4);
+    ExprPtr conclusion = random_conjunction(2);
+    if (!ProvablyImplies(premise.get(), conclusion.get())) continue;
+
+    // Verify over the whole 4^3 domain.
+    auto bound_p = premise->Clone();
+    auto bound_c = conclusion->Clone();
+    ASSERT_TRUE(BindExpression(bound_p.get(), layout).ok());
+    ASSERT_TRUE(BindExpression(bound_c.get(), layout).ok());
+    for (int x = 0; x <= 3; ++x) {
+      for (int y = 0; y <= 3; ++y) {
+        for (int z = 0; z <= 3; ++z) {
+          std::vector<Value> row = {Value::Int(x), Value::Int(y),
+                                    Value::Int(z)};
+          auto p = EvaluatePredicate(bound_p.get(), row);
+          auto c = EvaluatePredicate(bound_c.get(), row);
+          ASSERT_TRUE(p.ok() && c.ok());
+          if (*p) {
+            EXPECT_TRUE(*c) << premise->ToString() << "  =/=>  "
+                            << conclusion->ToString() << " at (" << x << ","
+                            << y << "," << z << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationSoundness,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace auditdb

@@ -1,0 +1,185 @@
+#include "src/expr/satisfiability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/expr/evaluator.h"
+#include "src/sql/parser.h"
+
+namespace auditdb {
+namespace {
+
+ExprPtr Parse(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return std::move(*e);
+}
+
+bool Sat(const std::string& a, const std::string& b) {
+  auto ea = Parse(a);
+  auto eb = Parse(b);
+  return MaybeSatisfiable(ea.get(), eb.get());
+}
+
+TEST(SatisfiabilityTest, EqualityConflict) {
+  EXPECT_FALSE(Sat("T.x = 1", "T.x = 2"));
+  EXPECT_TRUE(Sat("T.x = 1", "T.x = 1"));
+}
+
+TEST(SatisfiabilityTest, RangeConflicts) {
+  EXPECT_FALSE(Sat("T.x < 5", "T.x > 10"));
+  EXPECT_FALSE(Sat("T.x < 5", "T.x >= 5"));
+  EXPECT_TRUE(Sat("T.x <= 5", "T.x >= 5"));
+  EXPECT_FALSE(Sat("T.x <= 5", "T.x > 5"));
+  EXPECT_TRUE(Sat("T.x < 10", "T.x > 5"));
+}
+
+TEST(SatisfiabilityTest, EqualityVsRange) {
+  EXPECT_FALSE(Sat("T.x = 7", "T.x < 5"));
+  EXPECT_TRUE(Sat("T.x = 4", "T.x < 5"));
+  EXPECT_FALSE(Sat("T.x = 5", "T.x < 5"));
+}
+
+TEST(SatisfiabilityTest, Disequality) {
+  EXPECT_FALSE(Sat("T.x = 1", "T.x <> 1"));
+  EXPECT_TRUE(Sat("T.x = 1", "T.x <> 2"));
+  // Disequality alone never empties an (infinite-domain) range.
+  EXPECT_TRUE(Sat("T.x <> 1", "T.x <> 2"));
+}
+
+TEST(SatisfiabilityTest, StringConstraints) {
+  // The paper's example: a query about cancer patients vs an audit about
+  // diabetes patients cannot share an indispensable tuple.
+  EXPECT_FALSE(
+      Sat("T.disease = 'cancer'", "T.disease = 'diabetes'"));
+  EXPECT_TRUE(Sat("T.disease = 'cancer'", "T.disease = 'cancer'"));
+  EXPECT_FALSE(Sat("T.s > 'b'", "T.s < 'a'"));
+  EXPECT_TRUE(Sat("T.s >= 'a'", "T.s <= 'b'"));
+}
+
+TEST(SatisfiabilityTest, EqualityClassesPropagate) {
+  // T.a = U.b propagates bounds across the join.
+  auto join = Parse("T.a = U.b");
+  auto left = Parse("T.a = 1");
+  auto right = Parse("U.b = 2");
+  EXPECT_FALSE(MaybeSatisfiable({join.get(), left.get(), right.get()}));
+
+  auto right_ok = Parse("U.b = 1");
+  EXPECT_TRUE(MaybeSatisfiable({join.get(), left.get(), right_ok.get()}));
+}
+
+TEST(SatisfiabilityTest, SameClassInequalityIsUnsat) {
+  auto join = Parse("T.a = U.b");
+  auto neq = Parse("T.a <> U.b");
+  EXPECT_FALSE(MaybeSatisfiable({join.get(), neq.get()}));
+  auto lt = Parse("T.a < U.b");
+  EXPECT_FALSE(MaybeSatisfiable({join.get(), lt.get()}));
+  auto le = Parse("T.a <= U.b");
+  EXPECT_TRUE(MaybeSatisfiable({join.get(), le.get()}));
+}
+
+TEST(SatisfiabilityTest, ConstantComparisons) {
+  EXPECT_FALSE(Sat("1 > 2", "T.x = 1"));
+  EXPECT_TRUE(Sat("1 < 2", "T.x = 1"));
+}
+
+TEST(SatisfiabilityTest, OrIsConservative) {
+  // The checker does not reason through OR: provably-unsat-in-truth cases
+  // behind an OR stay "maybe satisfiable" (sound, incomplete).
+  EXPECT_TRUE(Sat("T.x = 1 OR T.x = 2", "T.x = 3"));
+}
+
+TEST(SatisfiabilityTest, UnrelatedColumnsSatisfiable) {
+  EXPECT_TRUE(Sat("T.x = 1", "U.y = 2"));
+}
+
+TEST(SatisfiabilityTest, NullptrPredicatesAreTrue) {
+  EXPECT_TRUE(MaybeSatisfiable(nullptr, nullptr));
+  auto e = Parse("T.x = 1");
+  EXPECT_TRUE(MaybeSatisfiable(e.get(), nullptr));
+}
+
+TEST(SatisfiabilityTest, TransitiveEqualityChain) {
+  auto ab = Parse("T.a = U.b");
+  auto bc = Parse("U.b = V.c");
+  auto a1 = Parse("T.a = 1");
+  auto c2 = Parse("V.c = 2");
+  EXPECT_FALSE(
+      MaybeSatisfiable({ab.get(), bc.get(), a1.get(), c2.get()}));
+}
+
+/// ---- Property sweep: soundness against brute force ------------------
+/// Random conjunctions over three INT columns with domain {0..3}. If any
+/// assignment satisfies the conjunction, MaybeSatisfiable must say true
+/// (it may say true for unsatisfiable inputs — it is conservative — but
+/// never false for satisfiable ones).
+class SatisfiabilitySoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SatisfiabilitySoundness, NoFalseConflicts) {
+  Random rng(GetParam());
+  RowLayout layout;
+  TableSchema schema("T", {{"x", ValueType::kInt},
+                           {"y", ValueType::kInt},
+                           {"z", ValueType::kInt}});
+  layout.AddTable("T", schema);
+  const char* kCols[] = {"x", "y", "z"};
+  const BinaryOp kOps[] = {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                           BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe};
+
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    // Build 1-5 random atoms.
+    std::vector<ExprPtr> atoms;
+    size_t n = 1 + rng.Uniform(5);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.OneIn(0.25)) {
+        // col = col
+        ColumnRef a{"T", kCols[rng.Uniform(3)]};
+        ColumnRef b{"T", kCols[rng.Uniform(3)]};
+        atoms.push_back(Expression::MakeColumnEq(a, b));
+      } else {
+        ColumnRef c{"T", kCols[rng.Uniform(3)]};
+        BinaryOp op = kOps[rng.Uniform(6)];
+        atoms.push_back(Expression::MakeComparison(
+            c, op, Value::Int(rng.UniformInt(0, 3))));
+      }
+    }
+
+    // Brute-force over the 4^3 assignments.
+    bool truly_satisfiable = false;
+    for (int x = 0; x <= 3 && !truly_satisfiable; ++x) {
+      for (int y = 0; y <= 3 && !truly_satisfiable; ++y) {
+        for (int z = 0; z <= 3 && !truly_satisfiable; ++z) {
+          std::vector<Value> row = {Value::Int(x), Value::Int(y),
+                                    Value::Int(z)};
+          bool all = true;
+          for (const auto& atom : atoms) {
+            auto bound = atom->Clone();
+            ASSERT_TRUE(BindExpression(bound.get(), layout).ok());
+            auto pass = EvaluatePredicate(bound.get(), row);
+            ASSERT_TRUE(pass.ok());
+            if (!*pass) {
+              all = false;
+              break;
+            }
+          }
+          if (all) truly_satisfiable = true;
+        }
+      }
+    }
+
+    std::vector<const Expression*> atom_ptrs;
+    for (const auto& a : atoms) atom_ptrs.push_back(a.get());
+    bool maybe = MaybeSatisfiable(atom_ptrs);
+    if (truly_satisfiable) {
+      std::string dump;
+      for (const auto& a : atoms) dump += a->ToString() + " ; ";
+      EXPECT_TRUE(maybe) << "false conflict on: " << dump;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatisfiabilitySoundness,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace auditdb

@@ -1,0 +1,170 @@
+#include "src/io/dump.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/backlog/backlog.h"
+#include "src/engine/executor.h"
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace io {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+TEST(ValueEncodingTest, RoundTripsEveryType) {
+  const Value values[] = {
+      Value::Null(),
+      Value::Bool(true),
+      Value::Bool(false),
+      Value::Int(-42),
+      Value::Int(0),
+      Value::Double(2.5),
+      Value::Double(-0.125),
+      Value::String("plain"),
+      Value::String(""),
+      Value::String("with|pipe and\\slash and\nnewline"),
+      Value::Time(Ts(12345)),
+  };
+  for (const Value& v : values) {
+    auto decoded = DecodeValue(EncodeValue(v));
+    ASSERT_TRUE(decoded.ok()) << EncodeValue(v);
+    EXPECT_EQ(*decoded, v) << EncodeValue(v);
+  }
+}
+
+TEST(ValueEncodingTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DecodeValue("").ok());
+  EXPECT_FALSE(DecodeValue("X:1").ok());
+  EXPECT_FALSE(DecodeValue("I:notanumber").ok());
+  EXPECT_FALSE(DecodeValue("I:").ok());
+  EXPECT_FALSE(DecodeValue("S").ok());
+  EXPECT_FALSE(DecodeValue("S:bad\\escape\\q").ok());
+  EXPECT_FALSE(DecodeValue("T:xyz").ok());
+}
+
+TEST(DatabaseDumpTest, RoundTripsPaperDatabase) {
+  Database original;
+  ASSERT_TRUE(workload::BuildPaperDatabase(&original, Ts(1)).ok());
+
+  std::stringstream dump;
+  ASSERT_TRUE(WriteDatabaseDump(original, dump).ok());
+
+  Database restored;
+  ASSERT_TRUE(ReadDatabaseDump(dump, &restored, Ts(2)).ok());
+
+  ASSERT_EQ(restored.TableNames(), original.TableNames());
+  for (const auto& name : original.TableNames()) {
+    auto a = original.GetTable(name);
+    auto b = restored.GetTable(name);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ((*a)->size(), (*b)->size()) << name;
+    for (size_t i = 0; i < (*a)->size(); ++i) {
+      EXPECT_EQ((*a)->rows()[i], (*b)->rows()[i]) << name << " row " << i;
+    }
+    EXPECT_EQ((*a)->schema().ToString(), (*b)->schema().ToString());
+  }
+
+  // The restored database answers queries identically.
+  auto qa = ExecuteSql("SELECT name FROM P-Personal WHERE age < 30",
+                       original.View());
+  auto qb = ExecuteSql("SELECT name FROM P-Personal WHERE age < 30",
+                       restored.View());
+  ASSERT_TRUE(qa.ok() && qb.ok());
+  EXPECT_EQ(qa->rows, qb->rows);
+  EXPECT_EQ(qa->lineage, qb->lineage);
+}
+
+TEST(DatabaseDumpTest, LoadFiresTriggers) {
+  Database original;
+  ASSERT_TRUE(workload::BuildPaperDatabase(&original, Ts(1)).ok());
+  std::stringstream dump;
+  ASSERT_TRUE(WriteDatabaseDump(original, dump).ok());
+
+  Database restored;
+  Backlog backlog;
+  backlog.Attach(&restored);
+  ASSERT_TRUE(ReadDatabaseDump(dump, &restored, Ts(7)).ok());
+  EXPECT_EQ(backlog.events().size(), 12u);  // 4 rows x 3 tables
+  EXPECT_EQ(backlog.events()[0].timestamp, Ts(7));
+}
+
+TEST(DatabaseDumpTest, RejectsGarbage) {
+  Database db;
+  std::stringstream bad1("GIBBERISH\n");
+  EXPECT_FALSE(ReadDatabaseDump(bad1, &db, Ts(1)).ok());
+  std::stringstream bad2("ROW 1|I:1\n");
+  EXPECT_FALSE(ReadDatabaseDump(bad2, &db, Ts(1)).ok());
+  std::stringstream bad3("TABLE T\nROWS wrong\n");
+  EXPECT_FALSE(ReadDatabaseDump(bad3, &db, Ts(1)).ok());
+  std::stringstream bad4("TABLE T\nCOLUMNS a:WEIRD\n");
+  EXPECT_FALSE(ReadDatabaseDump(bad4, &db, Ts(1)).ok());
+}
+
+TEST(DatabaseDumpTest, CommentsAndBlankLinesIgnored) {
+  Database db;
+  std::stringstream dump(
+      "# a comment\n"
+      "\n"
+      "TABLE T\n"
+      "COLUMNS a:INT\n"
+      "# mid-table comment\n"
+      "ROW 5|I:9\n"
+      "END\n");
+  ASSERT_TRUE(ReadDatabaseDump(dump, &db, Ts(1)).ok());
+  auto table = db.GetTable("T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->size(), 1u);
+  EXPECT_TRUE((*table)->Contains(5));
+}
+
+TEST(QueryLogDumpTest, RoundTrips) {
+  QueryLog original;
+  original.Append("SELECT a FROM T WHERE s = 'x|y'", Ts(10), "alice",
+                  "doctor", "treatment");
+  original.Append("SELECT b FROM U", Ts(20), "bob", "clerk", "billing");
+
+  std::stringstream dump;
+  ASSERT_TRUE(WriteQueryLogDump(original, dump).ok());
+
+  QueryLog restored;
+  ASSERT_TRUE(ReadQueryLogDump(dump, &restored).ok());
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.entries()[0].sql, "SELECT a FROM T WHERE s = 'x|y'");
+  EXPECT_EQ(restored.entries()[0].user, "alice");
+  EXPECT_EQ(restored.entries()[0].timestamp, Ts(10));
+  EXPECT_EQ(restored.entries()[1].purpose, "billing");
+}
+
+TEST(QueryLogDumpTest, RejectsWrongFieldCount) {
+  QueryLog log;
+  std::stringstream bad("QUERY 1|2|3\n");
+  EXPECT_FALSE(ReadQueryLogDump(bad, &log).ok());
+}
+
+TEST(FileWrappersTest, SaveAndLoad) {
+  Database original;
+  ASSERT_TRUE(workload::BuildPaperDatabase(&original, Ts(1)).ok());
+  QueryLog log;
+  log.Append("SELECT name FROM P-Personal", Ts(5), "u", "r", "p");
+
+  std::string db_path = ::testing::TempDir() + "/auditdb_dump_test.db";
+  std::string log_path = ::testing::TempDir() + "/auditdb_dump_test.log";
+  ASSERT_TRUE(io::SaveDatabase(original, db_path).ok());
+  ASSERT_TRUE(io::SaveQueryLog(log, log_path).ok());
+
+  Database restored;
+  QueryLog restored_log;
+  ASSERT_TRUE(io::LoadDatabase(db_path, &restored, Ts(2)).ok());
+  ASSERT_TRUE(io::LoadQueryLog(log_path, &restored_log).ok());
+  EXPECT_EQ(restored.TableNames().size(), 3u);
+  EXPECT_EQ(restored_log.size(), 1u);
+
+  EXPECT_FALSE(io::LoadDatabase("/nonexistent/nope", &restored, Ts(2)).ok());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace auditdb

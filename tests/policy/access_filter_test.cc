@@ -1,0 +1,111 @@
+#include "src/policy/access_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+LoggedQuery Query(const std::string& user, const std::string& role,
+                  const std::string& purpose, Timestamp ts = Ts(100)) {
+  LoggedQuery q;
+  q.id = 1;
+  q.sql = "SELECT 1 FROM T";
+  q.timestamp = ts;
+  q.user = user;
+  q.role = role;
+  q.purpose = purpose;
+  return q;
+}
+
+TEST(RolePurposePatternTest, Matching) {
+  RolePurposePattern exact{"doctor", "treatment"};
+  EXPECT_TRUE(exact.Matches("doctor", "treatment"));
+  EXPECT_FALSE(exact.Matches("doctor", "billing"));
+  EXPECT_FALSE(exact.Matches("nurse", "treatment"));
+
+  RolePurposePattern any_purpose{"doctor", "-"};
+  EXPECT_TRUE(any_purpose.Matches("doctor", "anything"));
+  EXPECT_FALSE(any_purpose.Matches("nurse", "anything"));
+
+  RolePurposePattern any_role{"-", "billing"};
+  EXPECT_TRUE(any_role.Matches("whoever", "billing"));
+  EXPECT_FALSE(any_role.Matches("whoever", "treatment"));
+
+  EXPECT_EQ(exact.ToString(), "(doctor,treatment)");
+}
+
+TEST(AccessFilterTest, TrivialFilterAdmitsEverything) {
+  AccessFilter filter;
+  EXPECT_TRUE(filter.IsTrivial());
+  EXPECT_TRUE(filter.Admits(Query("anyone", "any", "thing")));
+}
+
+TEST(AccessFilterTest, DuringRestrictsTime) {
+  AccessFilter filter;
+  filter.during = TimeInterval{Ts(50), Ts(150)};
+  EXPECT_TRUE(filter.Admits(Query("u", "r", "p", Ts(100))));
+  EXPECT_TRUE(filter.Admits(Query("u", "r", "p", Ts(50))));
+  EXPECT_FALSE(filter.Admits(Query("u", "r", "p", Ts(49))));
+  EXPECT_FALSE(filter.Admits(Query("u", "r", "p", Ts(151))));
+  EXPECT_FALSE(filter.IsTrivial());
+}
+
+TEST(AccessFilterTest, NegUsers) {
+  AccessFilter filter;
+  filter.neg_users = {"mallory"};
+  EXPECT_FALSE(filter.Admits(Query("mallory", "r", "p")));
+  EXPECT_TRUE(filter.Admits(Query("alice", "r", "p")));
+}
+
+TEST(AccessFilterTest, PosUsers) {
+  AccessFilter filter;
+  filter.pos_users = {"alice", "bob"};
+  EXPECT_TRUE(filter.Admits(Query("alice", "r", "p")));
+  EXPECT_TRUE(filter.Admits(Query("bob", "r", "p")));
+  EXPECT_FALSE(filter.Admits(Query("carol", "r", "p")));
+}
+
+TEST(AccessFilterTest, NegRolePurpose) {
+  AccessFilter filter;
+  filter.neg_role_purpose = {{"doctor", "treatment"}};
+  EXPECT_FALSE(filter.Admits(Query("u", "doctor", "treatment")));
+  EXPECT_TRUE(filter.Admits(Query("u", "doctor", "billing")));
+}
+
+TEST(AccessFilterTest, PosRolePurpose) {
+  AccessFilter filter;
+  filter.pos_role_purpose = {{"clerk", "-"}};
+  EXPECT_TRUE(filter.Admits(Query("u", "clerk", "anything")));
+  EXPECT_FALSE(filter.Admits(Query("u", "doctor", "anything")));
+}
+
+TEST(AccessFilterTest, NegativeTakesPrecedenceOverPositive) {
+  // The paper: on conflict between Pos and Neg, Neg wins.
+  AccessFilter filter;
+  filter.pos_role_purpose = {{"doctor", "-"}};
+  filter.neg_role_purpose = {{"doctor", "billing"}};
+  EXPECT_TRUE(filter.Admits(Query("u", "doctor", "treatment")));
+  EXPECT_FALSE(filter.Admits(Query("u", "doctor", "billing")));
+
+  AccessFilter users;
+  users.pos_users = {"alice"};
+  users.neg_users = {"alice"};
+  EXPECT_FALSE(users.Admits(Query("alice", "r", "p")));
+}
+
+TEST(AccessFilterTest, CombinedClauses) {
+  AccessFilter filter;
+  filter.during = TimeInterval{Ts(0), Ts(200)};
+  filter.pos_role_purpose = {{"-", "research"}};
+  filter.neg_users = {"mallory"};
+  EXPECT_TRUE(filter.Admits(Query("alice", "analyst", "research")));
+  EXPECT_FALSE(filter.Admits(Query("mallory", "analyst", "research")));
+  EXPECT_FALSE(filter.Admits(Query("alice", "analyst", "billing")));
+  EXPECT_FALSE(
+      filter.Admits(Query("alice", "analyst", "research", Ts(300))));
+}
+
+}  // namespace
+}  // namespace auditdb

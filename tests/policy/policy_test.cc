@@ -1,0 +1,53 @@
+#include "src/policy/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    policy_.AddRule({"doctor", "treatment", "P-Health", {}});
+    policy_.AddRule({"clerk", "billing", "P-Employ", {"pid", "salary"}});
+    policy_.AddRule({"analyst", "research", "P-Personal", {"zipcode"}});
+  }
+  PrivacyPolicy policy_;
+};
+
+TEST_F(PolicyTest, EmptyColumnsMeansWholeTable) {
+  EXPECT_TRUE(policy_.Allows("doctor", "treatment",
+                             ColumnRef{"P-Health", "disease"}));
+  EXPECT_TRUE(
+      policy_.Allows("doctor", "treatment", ColumnRef{"P-Health", "pid"}));
+}
+
+TEST_F(PolicyTest, ColumnListRestricts) {
+  EXPECT_TRUE(
+      policy_.Allows("clerk", "billing", ColumnRef{"P-Employ", "salary"}));
+  EXPECT_FALSE(
+      policy_.Allows("clerk", "billing", ColumnRef{"P-Employ", "employer"}));
+}
+
+TEST_F(PolicyTest, RoleAndPurposeBothMatter) {
+  EXPECT_FALSE(
+      policy_.Allows("doctor", "billing", ColumnRef{"P-Health", "disease"}));
+  EXPECT_FALSE(policy_.Allows("nurse", "treatment",
+                              ColumnRef{"P-Health", "disease"}));
+}
+
+TEST_F(PolicyTest, CrossTableDenied) {
+  EXPECT_FALSE(policy_.Allows("doctor", "treatment",
+                              ColumnRef{"P-Personal", "name"}));
+}
+
+TEST_F(PolicyTest, AllowsAll) {
+  std::set<ColumnRef> cols = {{"P-Employ", "pid"}, {"P-Employ", "salary"}};
+  EXPECT_TRUE(policy_.AllowsAll("clerk", "billing", cols));
+  cols.insert(ColumnRef{"P-Employ", "employer"});
+  EXPECT_FALSE(policy_.AllowsAll("clerk", "billing", cols));
+  EXPECT_TRUE(policy_.AllowsAll("clerk", "billing", {}));
+}
+
+}  // namespace
+}  // namespace auditdb

@@ -1,0 +1,127 @@
+/// Robustness sweeps: the lexer and both parsers must return clean
+/// Status errors (never crash, hang, or accept trailing garbage) on
+/// arbitrary byte strings, mutated valid inputs, and token soups.
+
+#include <gtest/gtest.h>
+
+#include "src/audit/audit_parser.h"
+#include "src/common/random.h"
+#include "src/sql/parser.h"
+
+namespace auditdb {
+namespace {
+
+std::string RandomBytes(Random& rng, size_t max_len) {
+  size_t len = rng.Uniform(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Printable-heavy mix with occasional control bytes.
+    if (rng.OneIn(0.9)) {
+      out += static_cast<char>(32 + rng.Uniform(95));
+    } else {
+      out += static_cast<char>(rng.Uniform(256));
+    }
+  }
+  return out;
+}
+
+std::string MutateValid(Random& rng, std::string text) {
+  size_t edits = 1 + rng.Uniform(4);
+  for (size_t i = 0; i < edits && !text.empty(); ++i) {
+    size_t pos = rng.Uniform(text.size());
+    switch (rng.Uniform(3)) {
+      case 0:
+        text[pos] = static_cast<char>(32 + rng.Uniform(95));
+        break;
+      case 1:
+        text.erase(pos, 1);
+        break;
+      default:
+        text.insert(pos, 1, static_cast<char>(32 + rng.Uniform(95)));
+        break;
+    }
+  }
+  return text;
+}
+
+std::string TokenSoup(Random& rng) {
+  static const char* kTokens[] = {
+      "SELECT", "FROM",  "WHERE",    "AUDIT", "DURING",   "THRESHOLD",
+      "AND",    "OR",    "NOT",      "(",     ")",        "[",
+      "]",      ",",     "*",        "=",     "<",        ">=",
+      "'x'",    "42",    "3.5",      "now",   "to",       "T",
+      "a",      "b.c",   "1/2/2004", "-",     "BETWEEN",  "IN",
+      "LIKE",   "ALL",   "true",     "false", ";",        "P-Personal",
+      "INDISPENSABLE",   "DATA-INTERVAL",     "Neg-Role-Purpose"};
+  std::string out;
+  size_t n = rng.Uniform(20);
+  for (size_t i = 0; i < n; ++i) {
+    out += kTokens[rng.Uniform(std::size(kTokens))];
+    out += " ";
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrash) {
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string input = RandomBytes(rng, 120);
+    // Any Status outcome is fine; reaching the next line is the test.
+    sql::Lex(input);
+    sql::ParseSelect(input);
+    sql::ParseExpression(input);
+    audit::ParseAudit(input, Timestamp(0));
+  }
+  SUCCEED();
+}
+
+TEST_P(ParserFuzz, MutatedValidInputsNeverCrash) {
+  Random rng(GetParam());
+  const std::string valid_sql =
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'";
+  const std::string valid_audit =
+      "Neg-Role-Purpose (doctor,treatment) DURING 1/5/2004 to now() "
+      "THRESHOLD 2 INDISPENSABLE true AUDIT (name,disease),[address] "
+      "FROM P-Personal, P-Health WHERE P-Personal.pid = P-Health.pid";
+  for (int i = 0; i < 200; ++i) {
+    sql::ParseSelect(MutateValid(rng, valid_sql));
+    audit::ParseAudit(MutateValid(rng, valid_audit), Timestamp(0));
+  }
+  SUCCEED();
+}
+
+TEST_P(ParserFuzz, TokenSoupNeverCrashes) {
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string input = TokenSoup(rng);
+    sql::ParseSelect(input);
+    audit::ParseAudit(input, Timestamp(0));
+  }
+  SUCCEED();
+}
+
+TEST_P(ParserFuzz, AcceptedInputsRoundTrip) {
+  // Anything the parsers accept must render and re-parse to the same
+  // canonical form — even inputs found by mutation.
+  Random rng(GetParam());
+  const std::string valid_sql =
+      "SELECT name FROM T WHERE a < 3 AND b = 'x' OR c >= 2";
+  for (int i = 0; i < 200; ++i) {
+    std::string input = MutateValid(rng, valid_sql);
+    auto stmt = sql::ParseSelect(input);
+    if (!stmt.ok()) continue;
+    auto reparsed = sql::ParseSelect(stmt->ToString());
+    ASSERT_TRUE(reparsed.ok()) << input << " -> " << stmt->ToString();
+    EXPECT_EQ(stmt->ToString(), reparsed->ToString());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace auditdb

@@ -1,0 +1,61 @@
+#include "src/querylog/query_log.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+TEST(QueryLogTest, AppendAssignsIds) {
+  QueryLog log;
+  int64_t id1 = log.Append("SELECT 1 FROM T", Ts(1), "alice", "doctor",
+                           "treatment");
+  int64_t id2 =
+      log.Append("SELECT 2 FROM T", Ts(2), "bob", "clerk", "billing");
+  EXPECT_EQ(id1, 1);
+  EXPECT_EQ(id2, 2);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(QueryLogTest, GetById) {
+  QueryLog log;
+  int64_t id = log.Append("SELECT a FROM T", Ts(5), "alice", "doctor",
+                          "treatment");
+  auto entry = log.Get(id);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->sql, "SELECT a FROM T");
+  EXPECT_EQ((*entry)->user, "alice");
+  EXPECT_EQ((*entry)->role, "doctor");
+  EXPECT_EQ((*entry)->purpose, "treatment");
+  EXPECT_EQ((*entry)->timestamp, Ts(5));
+  EXPECT_FALSE(log.Get(0).ok());
+  EXPECT_FALSE(log.Get(99).ok());
+}
+
+TEST(QueryLogTest, InInterval) {
+  QueryLog log;
+  log.Append("q1", Ts(10), "u", "r", "p");
+  log.Append("q2", Ts(20), "u", "r", "p");
+  log.Append("q3", Ts(30), "u", "r", "p");
+  auto in_range = log.InInterval({Ts(15), Ts(30)});
+  ASSERT_EQ(in_range.size(), 2u);
+  EXPECT_EQ(in_range[0]->sql, "q2");
+  EXPECT_EQ(in_range[1]->sql, "q3");
+  EXPECT_TRUE(log.InInterval({Ts(40), Ts(50)}).empty());
+}
+
+TEST(QueryLogTest, ToStringIncludesAnnotations) {
+  QueryLog log;
+  int64_t id =
+      log.Append("SELECT a FROM T", Ts(5), "alice", "doctor", "treatment");
+  auto entry = log.Get(id);
+  ASSERT_TRUE(entry.ok());
+  std::string text = (*entry)->ToString();
+  EXPECT_NE(text.find("alice"), std::string::npos);
+  EXPECT_NE(text.find("doctor"), std::string::npos);
+  EXPECT_NE(text.find("SELECT a FROM T"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace auditdb

@@ -1,0 +1,166 @@
+#include "src/sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace sql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& text) {
+  auto tokens = Lex(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return std::move(*tokens);
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = MustLex("SELECT name FROM Patients");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[3].text, "Patients");
+}
+
+TEST(LexerTest, HyphenatedIdentifiers) {
+  auto tokens = MustLex("P-Personal b-Patients DATA-INTERVAL pres-drugs");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "P-Personal");
+  EXPECT_EQ(tokens[1].text, "b-Patients");
+  EXPECT_EQ(tokens[2].text, "DATA-INTERVAL");
+  EXPECT_EQ(tokens[3].text, "pres-drugs");
+}
+
+TEST(LexerTest, SpacedMinusIsOperator) {
+  auto tokens = MustLex("salary - 100");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kMinus);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kInt);
+}
+
+TEST(LexerTest, TrailingMinusNotFolded) {
+  auto tokens = MustLex("salary- 100");
+  EXPECT_EQ(tokens[0].text, "salary");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kMinus);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = MustLex("42 3.25 1e3");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.25);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = MustLex("'hello' \"world\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "world");
+}
+
+TEST(LexerTest, PaperStyleQuotes) {
+  // The paper writes '`145568" — backquote after the opening quote.
+  auto tokens = MustLex("zipcode='`145568\"");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "145568");
+}
+
+TEST(LexerTest, EscapedQuote) {
+  auto tokens = MustLex("'it''s'");
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = MustLex("= <> != < <= > >= + - * /");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEq);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kLt);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kGt);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kPlus);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kMinus);
+  EXPECT_EQ(tokens[9].kind, TokenKind::kStar);
+  EXPECT_EQ(tokens[10].kind, TokenKind::kSlash);
+}
+
+TEST(LexerTest, Punctuation) {
+  auto tokens = MustLex(", . ( ) [ ] ;");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kRParen);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kLBracket);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kRBracket);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kSemicolon);
+}
+
+TEST(LexerTest, TimestampLiteral) {
+  auto tokens = MustLex("1/5/2004:13-00-00");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kTimestamp);
+  auto expected = Timestamp::FromCivil(2004, 5, 1, 13, 0, 0);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(tokens[0].time_value, *expected);
+}
+
+TEST(LexerTest, DateOnlyTimestamp) {
+  auto tokens = MustLex("15/7/2006");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kTimestamp);
+}
+
+TEST(LexerTest, TimestampInIntervalClause) {
+  auto tokens = MustLex("DURING 1/5/2004:13-00-00 to now()");
+  EXPECT_EQ(tokens[0].text, "DURING");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kTimestamp);
+  EXPECT_TRUE(tokens[2].IsKeyword("to"));
+  EXPECT_TRUE(tokens[3].IsKeyword("now"));
+  EXPECT_EQ(tokens[4].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kRParen);
+}
+
+TEST(LexerTest, PlainDivisionStillWorks) {
+  // With spacing, integers divide; only date-shaped sequences become
+  // timestamps.
+  auto tokens = MustLex("6 / 2");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kSlash);
+}
+
+TEST(LexerTest, OutOfRangeNumbersAreCleanErrors) {
+  // Regression: these used to throw from std::stoll/std::stod.
+  EXPECT_FALSE(Lex("99999999999999999999999999").ok());
+  EXPECT_FALSE(Lex("1e999999").ok());
+  EXPECT_FALSE(Lex("SELECT a FROM T WHERE x = 1e999999").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  EXPECT_FALSE(Lex("a # b").ok());
+  EXPECT_FALSE(Lex("a ! b").ok());
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto tokens = MustLex("ab cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace auditdb

@@ -1,0 +1,171 @@
+#include "src/sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace sql {
+namespace {
+
+SelectStatement MustParse(const std::string& text) {
+  auto stmt = ParseSelect(text);
+  EXPECT_TRUE(stmt.ok()) << text << " -> " << stmt.status().ToString();
+  return std::move(*stmt);
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = MustParse("SELECT name, age FROM Patients WHERE age < 30");
+  EXPECT_FALSE(stmt.select_star);
+  ASSERT_EQ(stmt.select_list.size(), 2u);
+  EXPECT_EQ(stmt.select_list[0].ToString(), "name");
+  EXPECT_EQ(stmt.from, (std::vector<std::string>{"Patients"}));
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->ToString(), "age < 30");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = MustParse("SELECT * FROM T");
+  EXPECT_TRUE(stmt.select_star);
+  EXPECT_TRUE(stmt.select_list.empty());
+  EXPECT_EQ(stmt.where, nullptr);
+}
+
+TEST(ParserTest, QualifiedColumnsAndJoins) {
+  auto stmt = MustParse(
+      "SELECT P-Personal.name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'");
+  ASSERT_EQ(stmt.select_list.size(), 2u);
+  EXPECT_EQ(stmt.select_list[0].ToString(), "P-Personal.name");
+  EXPECT_EQ(stmt.from.size(), 2u);
+  EXPECT_EQ(stmt.where->bop, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  auto stmt = MustParse("select name from T where age > 5");
+  EXPECT_EQ(stmt.select_list.size(), 1u);
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  MustParse("SELECT a FROM T;");
+}
+
+TEST(ParserTest, PaperExampleQueries) {
+  // Directly from Section 2.1 of the paper.
+  auto q1 = MustParse("SELECT zipcode FROM Patients WHERE disease='cancer'");
+  EXPECT_EQ(q1.select_list[0].column, "zipcode");
+  EXPECT_EQ(q1.where->ToString(), "disease = 'cancer'");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = MustParse("SELECT a FROM T WHERE a = 1 OR b = 2 AND c = 3");
+  // OR binds loosest: (a=1) OR ((b=2) AND (c=3)).
+  EXPECT_EQ(stmt.where->bop, BinaryOp::kOr);
+  EXPECT_EQ(stmt.where->right->bop, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = MustParse("SELECT a FROM T WHERE (a = 1 OR b = 2) AND c = 3");
+  EXPECT_EQ(stmt.where->bop, BinaryOp::kAnd);
+  EXPECT_EQ(stmt.where->left->bop, BinaryOp::kOr);
+}
+
+TEST(ParserTest, NotPrecedence) {
+  auto stmt = MustParse("SELECT a FROM T WHERE NOT a = 1 AND b = 2");
+  // NOT binds tighter than AND.
+  EXPECT_EQ(stmt.where->bop, BinaryOp::kAnd);
+  EXPECT_EQ(stmt.where->left->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = MustParse("SELECT a FROM T WHERE a + 2 * 3 < 10");
+  // a + (2*3) < 10
+  EXPECT_EQ(stmt.where->bop, BinaryOp::kLt);
+  EXPECT_EQ(stmt.where->left->bop, BinaryOp::kAdd);
+  EXPECT_EQ(stmt.where->left->right->bop, BinaryOp::kMul);
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto stmt = MustParse("SELECT a FROM T WHERE age BETWEEN 20 AND 30");
+  EXPECT_EQ(stmt.where->ToString(), "age >= 20 AND age <= 30");
+}
+
+TEST(ParserTest, NotBetween) {
+  auto stmt = MustParse("SELECT a FROM T WHERE age NOT BETWEEN 20 AND 30");
+  EXPECT_EQ(stmt.where->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, InListDesugarsToDisjunction) {
+  auto stmt =
+      MustParse("SELECT a FROM T WHERE disease IN ('flu', 'cancer')");
+  EXPECT_EQ(stmt.where->ToString(), "disease = 'flu' OR disease = 'cancer'");
+}
+
+TEST(ParserTest, NotIn) {
+  auto stmt = MustParse("SELECT a FROM T WHERE x NOT IN (1, 2)");
+  EXPECT_EQ(stmt.where->kind, ExprKind::kUnary);
+  EXPECT_EQ(stmt.where->uop, UnaryOp::kNot);
+}
+
+TEST(ParserTest, LikePredicate) {
+  auto stmt = MustParse("SELECT a FROM T WHERE name LIKE 'Re%'");
+  EXPECT_EQ(stmt.where->bop, BinaryOp::kLike);
+  EXPECT_EQ(stmt.where->ToString(), "name LIKE 'Re%'");
+  auto negated = MustParse("SELECT a FROM T WHERE name NOT LIKE '%u'");
+  EXPECT_EQ(negated.where->kind, ExprKind::kUnary);
+  EXPECT_EQ(negated.where->left->bop, BinaryOp::kLike);
+}
+
+TEST(ParserTest, BooleanLiterals) {
+  auto stmt = MustParse("SELECT a FROM T WHERE TRUE");
+  EXPECT_EQ(stmt.where->literal, Value::Bool(true));
+}
+
+TEST(ParserTest, NegativeNumbers) {
+  auto stmt = MustParse("SELECT a FROM T WHERE a > -5");
+  EXPECT_EQ(stmt.where->right->kind, ExprKind::kUnary);
+  EXPECT_EQ(stmt.where->right->uop, UnaryOp::kNeg);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM T").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM T WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM T extra").ok());
+  EXPECT_FALSE(ParseSelect("UPDATE T SET a = 1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM T WHERE (a = 1").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* kQueries[] = {
+      "SELECT name, age FROM Patients WHERE age < 30",
+      "SELECT * FROM T",
+      "SELECT a FROM T, U WHERE T.x = U.y AND a > 3",
+      "SELECT a FROM T WHERE (a = 1 OR b = 2) AND c = 3",
+  };
+  for (const char* text : kQueries) {
+    auto first = MustParse(text);
+    auto second = MustParse(first.ToString());
+    EXPECT_EQ(first.ToString(), second.ToString()) << text;
+  }
+}
+
+TEST(ExpressionParseTest, Standalone) {
+  auto e = ParseExpression("a < 3 AND b = 'x'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "a < 3 AND b = 'x'");
+  EXPECT_FALSE(ParseExpression("a <").ok());
+  EXPECT_FALSE(ParseExpression("a = 1 extra").ok());
+}
+
+TEST(CloneTest, SelectStatementClone) {
+  auto stmt = MustParse("SELECT a FROM T WHERE a = 1");
+  auto clone = stmt.Clone();
+  EXPECT_EQ(clone.ToString(), stmt.ToString());
+  clone.where->bop = BinaryOp::kNe;
+  EXPECT_NE(clone.ToString(), stmt.ToString());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace auditdb

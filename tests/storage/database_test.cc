@@ -1,0 +1,102 @@
+#include "src/storage/database.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace {
+
+TableSchema TSchema() {
+  return TableSchema("T",
+                     {{"a", ValueType::kInt}, {"b", ValueType::kString}});
+}
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+TEST(DatabaseTest, CreateAndGetTable) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TSchema()).ok());
+  EXPECT_TRUE(db.HasTable("T"));
+  EXPECT_FALSE(db.HasTable("U"));
+  EXPECT_EQ(db.CreateTable(TSchema()).code(), StatusCode::kAlreadyExists);
+  auto t = db.GetTable("T");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "T");
+  EXPECT_FALSE(db.GetTable("U").ok());
+}
+
+TEST(DatabaseTest, CatalogTracksTables) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TSchema()).ok());
+  auto type = db.catalog().TypeOf(ColumnRef{"T", "a"});
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, ValueType::kInt);
+}
+
+TEST(DatabaseTest, MutationsFireTriggers) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TSchema()).ok());
+  std::vector<ChangeEvent> events;
+  db.AddChangeListener(
+      [&](const ChangeEvent& e) { events.push_back(e); });
+
+  auto tid = db.Insert("T", {Value::Int(1), Value::String("x")}, Ts(1));
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(
+      db.Update("T", *tid, {Value::Int(2), Value::String("y")}, Ts(2)).ok());
+  ASSERT_TRUE(db.UpdateColumn("T", *tid, "b", Value::String("z"), Ts(3)).ok());
+  ASSERT_TRUE(db.Delete("T", *tid, Ts(4)).ok());
+
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].op, ChangeEvent::Op::kInsert);
+  EXPECT_EQ(events[0].row.values[0], Value::Int(1));
+  EXPECT_EQ(events[1].op, ChangeEvent::Op::kUpdate);
+  EXPECT_EQ(events[1].row.values[0], Value::Int(2));
+  EXPECT_EQ(events[2].op, ChangeEvent::Op::kUpdate);
+  EXPECT_EQ(events[2].row.values[1], Value::String("z"));
+  EXPECT_EQ(events[3].op, ChangeEvent::Op::kDelete);
+  EXPECT_EQ(events[3].row.tid, *tid);  // before-image carries the tid
+  EXPECT_EQ(events[3].timestamp, Ts(4));
+}
+
+TEST(DatabaseTest, FailedMutationDoesNotFire) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TSchema()).ok());
+  int fired = 0;
+  db.AddChangeListener([&](const ChangeEvent&) { ++fired; });
+  EXPECT_FALSE(db.Insert("U", {Value::Int(1)}, Ts(1)).ok());
+  EXPECT_FALSE(db.Update("T", 99, {Value::Int(1), Value::String("x")}, Ts(1))
+                   .ok());
+  EXPECT_FALSE(db.Delete("T", 99, Ts(1)).ok());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(DatabaseTest, InsertWithTidForFixtures) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TSchema()).ok());
+  ASSERT_TRUE(
+      db.InsertWithTid("T", 11, {Value::Int(1), Value::String("x")}, Ts(1))
+          .ok());
+  auto table = db.GetTable("T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->Contains(11));
+}
+
+TEST(DatabaseViewTest, ViewSeesCurrentState) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TSchema()).ok());
+  ASSERT_TRUE(db.Insert("T", {Value::Int(1), Value::String("x")}, Ts(1)).ok());
+  DatabaseView view = db.View();
+  EXPECT_TRUE(view.HasTable("T"));
+  auto table = view.GetTable("T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->size(), 1u);
+  EXPECT_FALSE(view.GetTable("U").ok());
+  EXPECT_EQ(view.TableNames(), (std::vector<std::string>{"T"}));
+  // Catalog resolution works through the view.
+  auto ref = view.catalog().Resolve(ColumnRef{"", "a"}, {"T"});
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->table, "T");
+}
+
+}  // namespace
+}  // namespace auditdb

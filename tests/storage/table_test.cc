@@ -1,0 +1,209 @@
+#include "src/storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace auditdb {
+namespace {
+
+TableSchema TwoColSchema() {
+  return TableSchema("T",
+                     {{"a", ValueType::kInt}, {"b", ValueType::kString}});
+}
+
+std::vector<Value> Row1() { return {Value::Int(1), Value::String("x")}; }
+std::vector<Value> Row2() { return {Value::Int(2), Value::String("y")}; }
+
+TEST(TidTest, Formatting) {
+  EXPECT_EQ(TidToString(12), "t12");
+  EXPECT_EQ(TidToString(1), "t1");
+}
+
+TEST(TableTest, InsertAssignsSequentialTids) {
+  Table table(TwoColSchema());
+  auto t1 = table.Insert(Row1());
+  auto t2 = table.Insert(Row2());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(*t1, 1);
+  EXPECT_EQ(*t2, 2);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(TableTest, ArityChecked) {
+  Table table(TwoColSchema());
+  EXPECT_FALSE(table.Insert({Value::Int(1)}).ok());
+  EXPECT_FALSE(
+      table.Insert({Value::Int(1), Value::String("x"), Value::Int(2)}).ok());
+}
+
+TEST(TableTest, InsertWithTid) {
+  Table table(TwoColSchema());
+  ASSERT_TRUE(table.InsertWithTid(11, Row1()).ok());
+  EXPECT_EQ(table.InsertWithTid(11, Row2()).code(),
+            StatusCode::kAlreadyExists);
+  // Auto-assign continues after the explicit tid.
+  auto next = table.Insert(Row2());
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 12);
+}
+
+TEST(TableTest, GetAndContains) {
+  Table table(TwoColSchema());
+  auto tid = table.Insert(Row1());
+  ASSERT_TRUE(tid.ok());
+  EXPECT_TRUE(table.Contains(*tid));
+  auto row = table.Get(*tid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)->values[1], Value::String("x"));
+  EXPECT_FALSE(table.Get(99).ok());
+  EXPECT_FALSE(table.Contains(99));
+}
+
+TEST(TableTest, UpdateReplacesImage) {
+  Table table(TwoColSchema());
+  auto tid = table.Insert(Row1());
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(table.Update(*tid, Row2()).ok());
+  auto row = table.Get(*tid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)->values[0], Value::Int(2));
+  EXPECT_FALSE(table.Update(99, Row2()).ok());
+}
+
+TEST(TableTest, UpdateColumn) {
+  Table table(TwoColSchema());
+  auto tid = table.Insert(Row1());
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(table.UpdateColumn(*tid, "b", Value::String("z")).ok());
+  auto row = table.Get(*tid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)->values[1], Value::String("z"));
+  EXPECT_FALSE(table.UpdateColumn(*tid, "nope", Value::Int(0)).ok());
+  EXPECT_FALSE(table.UpdateColumn(99, "b", Value::Int(0)).ok());
+}
+
+TEST(TableTest, DeleteReturnsBeforeImageAndKeepsOrder) {
+  Table table(TwoColSchema());
+  auto t1 = table.Insert(Row1());
+  auto t2 = table.Insert(Row2());
+  auto t3 = table.Insert({Value::Int(3), Value::String("z")});
+  ASSERT_TRUE(t1.ok() && t2.ok() && t3.ok());
+
+  auto before = table.Delete(*t2);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->tid, *t2);
+  EXPECT_EQ(before->values[0], Value::Int(2));
+
+  // Insertion order preserved for the remaining rows.
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.rows()[0].tid, *t1);
+  EXPECT_EQ(table.rows()[1].tid, *t3);
+
+  // Index still valid after the shift.
+  auto row3 = table.Get(*t3);
+  ASSERT_TRUE(row3.ok());
+  EXPECT_EQ((*row3)->values[0], Value::Int(3));
+
+  EXPECT_FALSE(table.Delete(*t2).ok());  // already gone
+}
+
+class IndexedTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>(TwoColSchema());
+    for (int i = 0; i < 8; ++i) {
+      auto tid = table_->Insert(
+          {Value::Int(i % 4), Value::String("s" + std::to_string(i))});
+      ASSERT_TRUE(tid.ok());
+      tids_.push_back(*tid);
+    }
+    ASSERT_TRUE(table_->CreateIndex("a").ok());
+  }
+
+  std::unique_ptr<Table> table_;
+  std::vector<Tid> tids_;
+};
+
+TEST_F(IndexedTableTest, CreateIndexIdempotentAndValidated) {
+  EXPECT_TRUE(table_->HasIndex("a"));
+  EXPECT_FALSE(table_->HasIndex("b"));
+  EXPECT_TRUE(table_->CreateIndex("a").ok());  // idempotent
+  EXPECT_FALSE(table_->CreateIndex("nope").ok());
+}
+
+TEST_F(IndexedTableTest, EqLookupInRowOrder) {
+  auto hits = table_->IndexLookupEq("a", Value::Int(1));
+  ASSERT_TRUE(hits.ok());
+  // Rows 1 and 5 have a == 1, in insertion order.
+  EXPECT_EQ(*hits, (std::vector<Tid>{tids_[1], tids_[5]}));
+  auto missing = table_->IndexLookupEq("a", Value::Int(99));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->empty());
+  EXPECT_FALSE(table_->IndexLookupEq("b", Value::String("x")).ok());
+}
+
+TEST_F(IndexedTableTest, RangeLookup) {
+  // a >= 2: rows 2, 3, 6, 7.
+  auto hits = table_->IndexLookupRange(
+      "a", Table::IndexBound{Value::Int(2), false}, std::nullopt);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits,
+            (std::vector<Tid>{tids_[2], tids_[3], tids_[6], tids_[7]}));
+  // 1 < a < 3: rows 2, 6.
+  hits = table_->IndexLookupRange("a",
+                                  Table::IndexBound{Value::Int(1), true},
+                                  Table::IndexBound{Value::Int(3), true});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits, (std::vector<Tid>{tids_[2], tids_[6]}));
+  // Unbounded: everything.
+  hits = table_->IndexLookupRange("a", std::nullopt, std::nullopt);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 8u);
+}
+
+TEST_F(IndexedTableTest, IndexFollowsMutations) {
+  // Update moves the row to a different key.
+  ASSERT_TRUE(table_->UpdateColumn(tids_[1], "a", Value::Int(3)).ok());
+  auto ones = table_->IndexLookupEq("a", Value::Int(1));
+  ASSERT_TRUE(ones.ok());
+  EXPECT_EQ(*ones, (std::vector<Tid>{tids_[5]}));
+  auto threes = table_->IndexLookupEq("a", Value::Int(3));
+  ASSERT_TRUE(threes.ok());
+  EXPECT_EQ(*threes, (std::vector<Tid>{tids_[1], tids_[3], tids_[7]}));
+
+  // Delete removes its entry.
+  ASSERT_TRUE(table_->Delete(tids_[5]).ok());
+  ones = table_->IndexLookupEq("a", Value::Int(1));
+  ASSERT_TRUE(ones.ok());
+  EXPECT_TRUE(ones->empty());
+
+  // Full-row update re-keys too.
+  ASSERT_TRUE(
+      table_->Update(tids_[0], {Value::Int(9), Value::String("z")}).ok());
+  auto nines = table_->IndexLookupEq("a", Value::Int(9));
+  ASSERT_TRUE(nines.ok());
+  EXPECT_EQ(*nines, (std::vector<Tid>{tids_[0]}));
+}
+
+TEST_F(IndexedTableTest, IndexBuiltOverExistingRowsMatchesScan) {
+  // Build a second index late; it must see the current state.
+  ASSERT_TRUE(table_->CreateIndex("b").ok());
+  auto hit = table_->IndexLookupEq("b", Value::String("s3"));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, (std::vector<Tid>{tids_[3]}));
+}
+
+TEST(TableTest, DeletedTidIsNotReused) {
+  Table table(TwoColSchema());
+  auto t1 = table.Insert(Row1());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(table.Delete(*t1).ok());
+  auto t2 = table.Insert(Row2());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_NE(*t2, *t1);
+}
+
+}  // namespace
+}  // namespace auditdb

@@ -1,0 +1,123 @@
+/// Integration tests of the audit_shell CLI: drive the real binary over
+/// script files and check its output. The binary's path comes from the
+/// AUDITDB_SHELL environment variable set by CMake.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace auditdb {
+namespace {
+
+std::string ShellPath() {
+  const char* path = std::getenv("AUDITDB_SHELL");
+  return path != nullptr ? path : "";
+}
+
+/// Writes `script` to a temp file, runs the shell on it, returns stdout.
+std::string RunShell(const std::string& script) {
+  std::string script_path = ::testing::TempDir() + "/shell_script.txt";
+  {
+    std::ofstream out(script_path);
+    out << script;
+  }
+  std::string command = ShellPath() + " " + script_path + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[4096];
+  while (pipe != nullptr && std::fgets(buffer, sizeof(buffer), pipe)) {
+    output += buffer;
+  }
+  if (pipe != nullptr) pclose(pipe);
+  return output;
+}
+
+class ShellTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (ShellPath().empty()) {
+      GTEST_SKIP() << "AUDITDB_SHELL not set";
+    }
+  }
+};
+
+TEST_F(ShellTest, FixtureAndTables) {
+  std::string out = RunShell(".fixture paper\n.tables\n.quit\n");
+  EXPECT_NE(out.find("P-Personal"), std::string::npos);
+  EXPECT_NE(out.find("(4 rows)"), std::string::npos);
+}
+
+TEST_F(ShellTest, QueryExecutionAndLogging) {
+  std::string out = RunShell(
+      ".fixture paper\n"
+      "SELECT name FROM P-Personal WHERE age < 30\n"
+      ".log\n.quit\n");
+  EXPECT_NE(out.find("Jane"), std::string::npos);
+  EXPECT_NE(out.find("(3 rows)"), std::string::npos);
+  EXPECT_NE(out.find("#1 ["), std::string::npos);  // logged
+}
+
+TEST_F(ShellTest, AuditProducesReport) {
+  std::string out = RunShell(
+      ".fixture paper\n"
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'\n"
+      ".audit DURING 1/1/1970 to now() DATA-INTERVAL 1/1/1970 to now() "
+      "AUDIT disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'\n"
+      ".quit\n");
+  EXPECT_NE(out.find("AUDIT REPORT"), std::string::npos);
+  EXPECT_NE(out.find("SUSPICIOUS"), std::string::npos);
+  EXPECT_NE(out.find("[SUSPECT"), std::string::npos);
+}
+
+TEST_F(ShellTest, LineContinuation) {
+  std::string out = RunShell(
+      ".fixture paper\n"
+      "SELECT name FROM P-Personal \\\n"
+      "WHERE age < 30\n"
+      ".quit\n");
+  EXPECT_NE(out.find("(3 rows)"), std::string::npos);
+}
+
+TEST_F(ShellTest, GranulesCommand) {
+  std::string out = RunShell(
+      ".fixture paper\n"
+      ".granules AUDIT (name,disease,address) "
+      "FROM P-Personal, P-Health, P-Employ "
+      "WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid "
+      "and P-Personal.zipcode='145568' and P-Employ.salary > 10000 "
+      "and P-Health.disease='diabetic'\n"
+      ".quit\n");
+  EXPECT_NE(out.find("|U| = 2"), std::string::npos);
+  EXPECT_NE(out.find("(t12,t22,Reku,diabetic,A2)"), std::string::npos);
+}
+
+TEST_F(ShellTest, SaveAndLoadRoundTrip) {
+  std::string db_path = ::testing::TempDir() + "/shell_roundtrip.db";
+  std::string out = RunShell(
+      ".fixture paper\n"
+      ".save db " + db_path + "\n.quit\n");
+  std::string out2 = RunShell(
+      ".load db " + db_path + "\n"
+      "SELECT name FROM P-Personal WHERE age < 30\n.quit\n");
+  EXPECT_NE(out2.find("(3 rows)"), std::string::npos);
+}
+
+TEST_F(ShellTest, ErrorsAreReportedNotFatal) {
+  std::string out = RunShell(
+      ".fixture paper\n"
+      "SELECT nope FROM Nowhere\n"
+      ".bogus\n"
+      ".tables\n.quit\n");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  // The shell keeps going after errors.
+  EXPECT_NE(out.find("P-Personal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace auditdb

@@ -1,0 +1,110 @@
+#include "src/types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(7).int_value(), 7);
+  EXPECT_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Time(Timestamp(123)).time_value(), Timestamp(123));
+}
+
+TEST(ValueTest, SameTypeComparison) {
+  auto cmp = Value::Int(1).Compare(Value::Int(2));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_LT(*cmp, 0);
+  cmp = Value::String("b").Compare(Value::String("a"));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_GT(*cmp, 0);
+  cmp = Value::String("a").Compare(Value::String("a"));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(*cmp, 0);
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  auto cmp = Value::Int(2).Compare(Value::Double(2.0));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(*cmp, 0);
+  cmp = Value::Double(1.5).Compare(Value::Int(2));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_LT(*cmp, 0);
+}
+
+TEST(ValueTest, StringNumericCoercion) {
+  // The paper writes zipcode both as '145568' and 145568.
+  auto cmp = Value::String("145568").Compare(Value::Int(145568));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(*cmp, 0);
+  cmp = Value::Int(145568).Compare(Value::String("145568"));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(*cmp, 0);
+  cmp = Value::String("145569").Compare(Value::Int(145568));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_GT(*cmp, 0);
+}
+
+TEST(ValueTest, NonNumericStringVsIntIsTypeError) {
+  auto cmp = Value::String("abc").Compare(Value::Int(1));
+  EXPECT_FALSE(cmp.ok());
+  EXPECT_EQ(cmp.status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, BoolVsStringIsTypeError) {
+  auto cmp = Value::Bool(true).Compare(Value::String("true"));
+  EXPECT_FALSE(cmp.ok());
+}
+
+TEST(ValueTest, NullComparesEqualOnlyToNull) {
+  auto cmp = Value::Null().Compare(Value::Null());
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(*cmp, 0);
+  cmp = Value::Null().Compare(Value::Int(0));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_NE(*cmp, 0);
+}
+
+TEST(ValueTest, StrictEquality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));  // strict: type matters
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, TotalOrderForContainers) {
+  std::set<Value> values;
+  values.insert(Value::Int(3));
+  values.insert(Value::Int(1));
+  values.insert(Value::String("a"));
+  values.insert(Value::Null());
+  EXPECT_EQ(values.size(), 4u);
+  EXPECT_EQ(values.count(Value::Int(1)), 1u);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  // Different types hash differently (type tag seeds the hash).
+  EXPECT_NE(Value::Int(0).Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::String("hi").ToDisplayString(), "hi");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+}  // namespace
+}  // namespace auditdb

@@ -1,0 +1,295 @@
+/// audit_shell — interactive / scriptable front end for the auditing
+/// framework.
+///
+/// Usage: audit_shell [script-file]
+///   Reads commands from the script file (one per line) or from stdin.
+///
+/// Commands:
+///   .help                         this text
+///   .fixture paper                load the paper's Tables 1-3 instance
+///   .fixture hospital <N> [seed]  generate an N-patient hospital
+///   .load db <file>               load a database dump
+///   .load log <file>              load a query-log dump
+///   .save db <file>               write the database as a dump
+///   .save log <file>              write the query log as a dump
+///   .tables                       list tables with row counts
+///   .show <table>                 print a table
+///   .log                          print the query log
+///   .as <user> <role> <purpose>   set annotations for subsequent queries
+///   .at <d/m/yyyy[:hh-mm-ss]>     set the clock for subsequent commands
+///   .workload <N> [seed]          append N generated queries to the log
+///   .audit <expression>           run an audit (expression on one line)
+///   .audit-static <expression>    data-independent audit only
+///   .granules <expression>        print the granule set (first 100)
+///   .quit                         exit
+///   SELECT ...                    execute, print results, append to log
+///
+/// Anything else starting with SELECT is treated as a query.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/audit/auditor.h"
+#include "src/audit/granule.h"
+#include "src/common/string_util.h"
+#include "src/io/dump.h"
+#include "src/workload/generator.h"
+#include "src/workload/hospital.h"
+
+using namespace auditdb;
+
+namespace {
+
+class Shell {
+ public:
+  Shell() { backlog_.Attach(&db_); }
+
+  int Run(std::istream& in, bool interactive) {
+    std::string line;
+    if (interactive) std::printf("auditdb shell — .help for commands\n");
+    while (true) {
+      if (interactive) {
+        std::printf("audit> ");
+        std::fflush(stdout);
+      }
+      if (!std::getline(in, line)) break;
+      // Trailing backslash continues the command on the next line.
+      while (!line.empty() && line.back() == '\\') {
+        line.pop_back();
+        line += ' ';
+        std::string more;
+        if (interactive) {
+          std::printf("   ...> ");
+          std::fflush(stdout);
+        }
+        if (!std::getline(in, more)) break;
+        line += more;
+      }
+      std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (trimmed == ".quit" || trimmed == ".exit") break;
+      Status status = Dispatch(std::string(trimmed));
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+      }
+    }
+    return 0;
+  }
+
+ private:
+  static std::vector<std::string> Words(const std::string& text) {
+    std::vector<std::string> out;
+    std::istringstream stream(text);
+    std::string word;
+    while (stream >> word) out.push_back(word);
+    return out;
+  }
+
+  Status Dispatch(const std::string& line) {
+    if (line[0] != '.') return RunQuery(line);
+    auto words = Words(line);
+    const std::string& cmd = words[0];
+
+    if (cmd == ".help") {
+      std::printf(
+          ".fixture paper | .fixture hospital N [seed]\n"
+          ".load db|log <file>   .save db|log <file>\n"
+          ".tables  .show <table>  .log\n"
+          ".as <user> <role> <purpose>   .at <timestamp>\n"
+          ".workload N [seed]\n"
+          ".audit <expr>  .audit-static <expr>  .granules <expr>\n"
+          "SELECT ...  runs a query and logs it\n"
+          ".quit\n");
+      return Status::Ok();
+    }
+    if (cmd == ".fixture") {
+      if (words.size() >= 2 && words[1] == "paper") {
+        return workload::BuildPaperDatabase(&db_, now_);
+      }
+      if (words.size() >= 3 && words[1] == "hospital") {
+        workload::HospitalConfig config;
+        int64_t n;
+        if (!ParseCount(words[2], &n)) {
+          return Status::InvalidArgument("bad patient count");
+        }
+        config.num_patients = static_cast<size_t>(n);
+        if (words.size() >= 4) {
+          int64_t seed;
+          if (ParseCount(words[3], &seed)) {
+            config.seed = static_cast<uint64_t>(seed);
+          }
+        }
+        hospital_ = config;
+        return workload::PopulateHospital(&db_, config, now_);
+      }
+      return Status::InvalidArgument(
+          "usage: .fixture paper | .fixture hospital N [seed]");
+    }
+    if (cmd == ".load" || cmd == ".save") {
+      if (words.size() != 3) {
+        return Status::InvalidArgument("usage: " + cmd + " db|log <file>");
+      }
+      if (cmd == ".load" && words[1] == "db") {
+        return io::LoadDatabase(words[2], &db_, now_);
+      }
+      if (cmd == ".load" && words[1] == "log") {
+        return io::LoadQueryLog(words[2], &log_);
+      }
+      if (cmd == ".save" && words[1] == "db") {
+        return io::SaveDatabase(db_, words[2]);
+      }
+      if (cmd == ".save" && words[1] == "log") {
+        return io::SaveQueryLog(log_, words[2]);
+      }
+      return Status::InvalidArgument("expected db or log");
+    }
+    if (cmd == ".tables") {
+      for (const auto& name : db_.TableNames()) {
+        auto table = db_.GetTable(name);
+        if (table.ok()) {
+          std::printf("%s (%zu rows)\n",
+                      (*table)->schema().ToString().c_str(),
+                      (*table)->size());
+        }
+      }
+      return Status::Ok();
+    }
+    if (cmd == ".show") {
+      if (words.size() != 2) {
+        return Status::InvalidArgument("usage: .show <table>");
+      }
+      auto table = db_.GetTable(words[1]);
+      if (!table.ok()) return table.status();
+      for (const auto& row : (*table)->rows()) {
+        std::printf("%s:", TidToString(row.tid).c_str());
+        for (const auto& value : row.values) {
+          std::printf(" %s", value.ToDisplayString().c_str());
+        }
+        std::printf("\n");
+      }
+      return Status::Ok();
+    }
+    if (cmd == ".log") {
+      for (const auto& entry : log_.entries()) {
+        std::printf("%s\n", entry.ToString().c_str());
+      }
+      return Status::Ok();
+    }
+    if (cmd == ".as") {
+      if (words.size() != 4) {
+        return Status::InvalidArgument(
+            "usage: .as <user> <role> <purpose>");
+      }
+      user_ = words[1];
+      role_ = words[2];
+      purpose_ = words[3];
+      return Status::Ok();
+    }
+    if (cmd == ".at") {
+      if (words.size() != 2) {
+        return Status::InvalidArgument("usage: .at <d/m/yyyy[:hh-mm-ss]>");
+      }
+      auto ts = Timestamp::Parse(words[1], Timestamp::Now());
+      if (!ts.ok()) return ts.status();
+      now_ = *ts;
+      return Status::Ok();
+    }
+    if (cmd == ".workload") {
+      if (words.size() < 2) {
+        return Status::InvalidArgument("usage: .workload N [seed]");
+      }
+      int64_t n;
+      if (!ParseCount(words[1], &n)) {
+        return Status::InvalidArgument("bad query count");
+      }
+      workload::WorkloadConfig config;
+      config.num_queries = static_cast<size_t>(n);
+      config.start = now_;
+      if (words.size() >= 3) {
+        int64_t seed;
+        if (ParseCount(words[2], &seed)) {
+          config.seed = static_cast<uint64_t>(seed);
+        }
+      }
+      AUDITDB_RETURN_IF_ERROR(
+          workload::GenerateWorkload(&log_, config, hospital_));
+      now_ = now_.AddMicros(static_cast<int64_t>(config.num_queries) *
+                            config.spacing_micros);
+      std::printf("logged %lld queries\n", static_cast<long long>(n));
+      return Status::Ok();
+    }
+    if (cmd == ".audit" || cmd == ".audit-static") {
+      std::string expr_text = line.substr(cmd.size());
+      audit::Auditor auditor(&db_, &backlog_, &log_);
+      audit::AuditOptions options;
+      options.static_only = cmd == ".audit-static";
+      auto report = auditor.Audit(expr_text, now_, options);
+      if (!report.ok()) return report.status();
+      std::printf("%s", report->DetailedReport(log_).c_str());
+      return Status::Ok();
+    }
+    if (cmd == ".granules") {
+      std::string expr_text = line.substr(cmd.size());
+      auto expr = audit::ParseAudit(expr_text, now_);
+      if (!expr.ok()) return expr.status();
+      AUDITDB_RETURN_IF_ERROR(expr->Qualify(db_.catalog()));
+      auto view = audit::ComputeTargetView(*expr, db_.View(), now_);
+      if (!view.ok()) return view.status();
+      audit::GranuleEnumerator enumerator(*view, audit::BuildSchemes(*expr),
+                                          expr->threshold);
+      std::printf("|U| = %zu, |G| = %.0f\n", view->size(),
+                  enumerator.CountGranules());
+      for (const auto& granule : enumerator.RenderDistinct(100)) {
+        std::printf("  %s\n", granule.c_str());
+      }
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("unknown command: " + cmd +
+                                   " (.help for help)");
+  }
+
+  Status RunQuery(const std::string& sql) {
+    auto result = ExecuteSql(sql, db_.View());
+    if (!result.ok()) return result.status();
+    std::printf("%s(%zu rows)\n", result->ToString().c_str(),
+                result->rows.size());
+    log_.Append(sql, now_, user_, role_, purpose_);
+    now_ = now_.AddSeconds(1);
+    return Status::Ok();
+  }
+
+  static bool ParseCount(const std::string& text, int64_t* out) {
+    if (text.empty()) return false;
+    char* end = nullptr;
+    long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || v < 0) return false;
+    *out = v;
+    return true;
+  }
+
+  Database db_;
+  Backlog backlog_;
+  QueryLog log_;
+  workload::HospitalConfig hospital_;
+  Timestamp now_ = Timestamp::Now();
+  std::string user_ = "admin";
+  std::string role_ = "auditor";
+  std::string purpose_ = "investigation";
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1) {
+    std::ifstream script(argv[1]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open script: %s\n", argv[1]);
+      return 1;
+    }
+    return shell.Run(script, /*interactive=*/false);
+  }
+  return shell.Run(std::cin, /*interactive=*/true);
+}
