@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_candidate.dir/bench_candidate.cc.o"
+  "CMakeFiles/bench_candidate.dir/bench_candidate.cc.o.d"
+  "bench_candidate"
+  "bench_candidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_candidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_granule.dir/bench_granule.cc.o"
+  "CMakeFiles/bench_granule.dir/bench_granule.cc.o.d"
+  "bench_granule"
+  "bench_granule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_granule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unified_vs_baseline.dir/bench_unified_vs_baseline.cc.o"
+  "CMakeFiles/bench_unified_vs_baseline.dir/bench_unified_vs_baseline.cc.o.d"
+  "bench_unified_vs_baseline"
+  "bench_unified_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unified_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_disclosure.dir/batch_disclosure.cpp.o"
+  "CMakeFiles/batch_disclosure.dir/batch_disclosure.cpp.o.d"
+  "batch_disclosure"
+  "batch_disclosure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_disclosure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_catalog.dir/expression_catalog.cpp.o"
+  "CMakeFiles/expression_catalog.dir/expression_catalog.cpp.o.d"
+  "expression_catalog"
+  "expression_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

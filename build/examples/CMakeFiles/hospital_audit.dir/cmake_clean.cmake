@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_audit.dir/hospital_audit.cpp.o"
+  "CMakeFiles/hospital_audit.dir/hospital_audit.cpp.o.d"
+  "hospital_audit"
+  "hospital_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

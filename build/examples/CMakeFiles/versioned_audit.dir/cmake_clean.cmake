@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_audit.dir/versioned_audit.cpp.o"
+  "CMakeFiles/versioned_audit.dir/versioned_audit.cpp.o.d"
+  "versioned_audit"
+  "versioned_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/attr_structure.cc" "src/CMakeFiles/auditdb.dir/audit/attr_structure.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/attr_structure.cc.o.d"
+  "/root/repo/src/audit/audit_expression.cc" "src/CMakeFiles/auditdb.dir/audit/audit_expression.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/audit_expression.cc.o.d"
+  "/root/repo/src/audit/audit_parser.cc" "src/CMakeFiles/auditdb.dir/audit/audit_parser.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/audit_parser.cc.o.d"
+  "/root/repo/src/audit/auditor.cc" "src/CMakeFiles/auditdb.dir/audit/auditor.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/auditor.cc.o.d"
+  "/root/repo/src/audit/baseline_agrawal.cc" "src/CMakeFiles/auditdb.dir/audit/baseline_agrawal.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/baseline_agrawal.cc.o.d"
+  "/root/repo/src/audit/baseline_motwani.cc" "src/CMakeFiles/auditdb.dir/audit/baseline_motwani.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/baseline_motwani.cc.o.d"
+  "/root/repo/src/audit/candidate.cc" "src/CMakeFiles/auditdb.dir/audit/candidate.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/candidate.cc.o.d"
+  "/root/repo/src/audit/expression_library.cc" "src/CMakeFiles/auditdb.dir/audit/expression_library.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/expression_library.cc.o.d"
+  "/root/repo/src/audit/granule.cc" "src/CMakeFiles/auditdb.dir/audit/granule.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/granule.cc.o.d"
+  "/root/repo/src/audit/online.cc" "src/CMakeFiles/auditdb.dir/audit/online.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/online.cc.o.d"
+  "/root/repo/src/audit/subsumption.cc" "src/CMakeFiles/auditdb.dir/audit/subsumption.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/subsumption.cc.o.d"
+  "/root/repo/src/audit/suspicion.cc" "src/CMakeFiles/auditdb.dir/audit/suspicion.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/suspicion.cc.o.d"
+  "/root/repo/src/audit/target_view.cc" "src/CMakeFiles/auditdb.dir/audit/target_view.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/audit/target_view.cc.o.d"
+  "/root/repo/src/backlog/backlog.cc" "src/CMakeFiles/auditdb.dir/backlog/backlog.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/backlog/backlog.cc.o.d"
+  "/root/repo/src/backlog/snapshot.cc" "src/CMakeFiles/auditdb.dir/backlog/snapshot.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/backlog/snapshot.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/auditdb.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/auditdb.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/auditdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/auditdb.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/timestamp.cc" "src/CMakeFiles/auditdb.dir/common/timestamp.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/common/timestamp.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/auditdb.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/lineage.cc" "src/CMakeFiles/auditdb.dir/engine/lineage.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/engine/lineage.cc.o.d"
+  "/root/repo/src/expr/analysis.cc" "src/CMakeFiles/auditdb.dir/expr/analysis.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/expr/analysis.cc.o.d"
+  "/root/repo/src/expr/constraints.cc" "src/CMakeFiles/auditdb.dir/expr/constraints.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/expr/constraints.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/auditdb.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/auditdb.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/expr/expression.cc.o.d"
+  "/root/repo/src/expr/implication.cc" "src/CMakeFiles/auditdb.dir/expr/implication.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/expr/implication.cc.o.d"
+  "/root/repo/src/expr/satisfiability.cc" "src/CMakeFiles/auditdb.dir/expr/satisfiability.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/expr/satisfiability.cc.o.d"
+  "/root/repo/src/io/dump.cc" "src/CMakeFiles/auditdb.dir/io/dump.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/io/dump.cc.o.d"
+  "/root/repo/src/policy/access_filter.cc" "src/CMakeFiles/auditdb.dir/policy/access_filter.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/policy/access_filter.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/CMakeFiles/auditdb.dir/policy/policy.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/policy/policy.cc.o.d"
+  "/root/repo/src/querylog/query_log.cc" "src/CMakeFiles/auditdb.dir/querylog/query_log.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/querylog/query_log.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/auditdb.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/auditdb.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/printer.cc" "src/CMakeFiles/auditdb.dir/sql/printer.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/sql/printer.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/auditdb.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/auditdb.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/storage/table.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/auditdb.dir/types/value.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/types/value.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/auditdb.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/hospital.cc" "src/CMakeFiles/auditdb.dir/workload/hospital.cc.o" "gcc" "src/CMakeFiles/auditdb.dir/workload/hospital.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

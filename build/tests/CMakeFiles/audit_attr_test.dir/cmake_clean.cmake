@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_attr_test.dir/audit/attr_structure_test.cc.o"
+  "CMakeFiles/audit_attr_test.dir/audit/attr_structure_test.cc.o.d"
+  "audit_attr_test"
+  "audit_attr_test.pdb"
+  "audit_attr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_attr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_parser_test.dir/audit/audit_parser_test.cc.o"
+  "CMakeFiles/audit_parser_test.dir/audit/audit_parser_test.cc.o.d"
+  "audit_parser_test"
+  "audit_parser_test.pdb"
+  "audit_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_test.dir/expr/analysis_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr/analysis_test.cc.o.d"
+  "CMakeFiles/expr_test.dir/expr/evaluator_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr/evaluator_test.cc.o.d"
+  "CMakeFiles/expr_test.dir/expr/expression_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr/expression_test.cc.o.d"
+  "CMakeFiles/expr_test.dir/expr/implication_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr/implication_test.cc.o.d"
+  "CMakeFiles/expr_test.dir/expr/satisfiability_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr/satisfiability_test.cc.o.d"
+  "expr_test"
+  "expr_test.pdb"
+  "expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

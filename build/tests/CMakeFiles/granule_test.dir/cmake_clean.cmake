@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granule_test.dir/audit/granule_test.cc.o"
+  "CMakeFiles/granule_test.dir/audit/granule_test.cc.o.d"
+  "granule_test"
+  "granule_test.pdb"
+  "granule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

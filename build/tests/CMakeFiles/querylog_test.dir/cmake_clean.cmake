@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querylog_test.dir/querylog/query_log_test.cc.o"
+  "CMakeFiles/querylog_test.dir/querylog/query_log_test.cc.o.d"
+  "querylog_test"
+  "querylog_test.pdb"
+  "querylog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querylog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

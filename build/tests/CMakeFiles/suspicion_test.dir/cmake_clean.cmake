@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suspicion_test.dir/audit/suspicion_test.cc.o"
+  "CMakeFiles/suspicion_test.dir/audit/suspicion_test.cc.o.d"
+  "suspicion_test"
+  "suspicion_test.pdb"
+  "suspicion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suspicion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

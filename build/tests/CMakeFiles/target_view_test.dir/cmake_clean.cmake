@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_view_test.dir/audit/target_view_test.cc.o"
+  "CMakeFiles/target_view_test.dir/audit/target_view_test.cc.o.d"
+  "target_view_test"
+  "target_view_test.pdb"
+  "target_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_shell.dir/audit_shell.cpp.o"
+  "CMakeFiles/audit_shell.dir/audit_shell.cpp.o.d"
+  "audit_shell"
+  "audit_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
