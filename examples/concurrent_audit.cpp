@@ -1,0 +1,117 @@
+/// Concurrent auditing through the service layer.
+///
+/// A production audit deployment screens large query logs against
+/// standing expressions continuously; the pipeline is embarrassingly
+/// parallel across (standing expression × query-log range × database
+/// version). This example stands up the concurrent audit service over a
+/// generated hospital workload and shows:
+///
+///   1. a parallel audit run whose report is byte-identical
+///      (CanonicalString) to the serial Auditor's,
+///   2. batch screening of a standing-expression library, one job per
+///      expression,
+///   3. the service metrics (queue depth watermark, per-stage latency)
+///      dumped as JSON.
+
+#include <cstdio>
+
+#include "src/audit/audit_parser.h"
+#include "src/audit/auditor.h"
+#include "src/service/audit_service.h"
+#include "src/workload/generator.h"
+#include "src/workload/hospital.h"
+
+using namespace auditdb;
+
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+const char kAudit[] =
+    "DURING 1/1/1970 to 2/1/1970 "
+    "DATA-INTERVAL 1/1/1970 to 2/1/1970 "
+    "AUDIT (name,disease) FROM P-Personal, P-Health "
+    "WHERE P-Personal.pid = P-Health.pid AND disease='diabetic'";
+
+}  // namespace
+
+int main() {
+  // --- Setup: hospital database, backlog, generated query log --------
+  Database db;
+  Backlog backlog;
+  backlog.Attach(&db);
+  workload::HospitalConfig hospital;
+  hospital.num_patients = 300;
+  hospital.seed = 2008;
+  Status status = workload::PopulateHospital(&db, hospital, Ts(1));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  QueryLog log;
+  workload::WorkloadConfig workload;
+  workload.num_queries = 1500;
+  workload.start = Ts(100);
+  status = workload::GenerateWorkload(&log, workload, hospital);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // --- 1. Serial baseline vs parallel service run --------------------
+  audit::Auditor auditor(&db, &backlog, &log);
+  auto serial = auditor.Audit(kAudit, Ts(1000000));
+  if (!serial.ok()) {
+    std::fprintf(stderr, "%s\n", serial.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serial:   %s\n", serial->Summary().c_str());
+
+  service::AuditServiceOptions options;
+  options.pool.num_threads = 4;
+  service::AuditService audit_service(&db, &backlog, &log, options);
+  auto parallel = audit_service.Audit(kAudit, Ts(1000000));
+  if (!parallel.ok()) {
+    std::fprintf(stderr, "%s\n", parallel.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parallel: %s\n", parallel->Summary().c_str());
+  std::printf("deterministic merge: reports %s\n",
+              serial->CanonicalString() == parallel->CanonicalString()
+                  ? "identical"
+                  : "DIFFER (bug!)");
+
+  // --- 2. Standing-expression library screening ----------------------
+  audit::ExpressionLibrary library(&db.catalog());
+  const char* standing[] = {
+      kAudit,
+      "DURING 1/1/1970 to 2/1/1970 DATA-INTERVAL 1/1/1970 to 2/1/1970 "
+      "AUDIT (name,salary) FROM P-Personal, P-Employ "
+      "WHERE P-Personal.pid = P-Employ.pid",
+      "DURING 1/1/1970 to 2/1/1970 DATA-INTERVAL 1/1/1970 to 2/1/1970 "
+      "THRESHOLD 5 AUDIT (zipcode),[disease] FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid",
+  };
+  for (const char* text : standing) {
+    auto expr = audit::ParseAudit(text, Ts(1000000));
+    if (!expr.ok()) continue;
+    auto added = library.Add(*expr);
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+    }
+  }
+  std::printf("\nscreening %zu standing expressions:\n", library.size());
+  for (const auto& screening : audit_service.ScreenLibrary(library)) {
+    if (screening.status.ok()) {
+      std::printf("  expr #%d: %s\n", screening.expression_id,
+                  screening.report.Summary().c_str());
+    } else {
+      std::printf("  expr #%d: %s\n", screening.expression_id,
+                  screening.status.ToString().c_str());
+    }
+  }
+
+  // --- 3. Service metrics --------------------------------------------
+  std::printf("\nmetrics: %s\n", audit_service.MetricsJson().c_str());
+  return serial->CanonicalString() == parallel->CanonicalString() ? 0 : 1;
+}

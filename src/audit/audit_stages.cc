@@ -1,0 +1,111 @@
+#include "src/audit/audit_stages.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/audit/candidate.h"
+
+namespace auditdb {
+namespace audit {
+
+StaticScreenResult StaticScreenRange(const AuditExpression& expr,
+                                     const QueryLog& log,
+                                     const Catalog& catalog,
+                                     const CandidateOptions& options,
+                                     size_t begin, size_t end) {
+  StaticScreenResult out;
+  const auto& entries = log.entries();
+  end = std::min(end, entries.size());
+  for (size_t i = begin; i < end; ++i) {
+    const LoggedQuery& logged = entries[i];
+    QueryVerdict verdict;
+    verdict.query_id = logged.id;
+    verdict.admitted = expr.filter.Admits(logged);
+    if (verdict.admitted) {
+      ++out.num_admitted;
+      auto stmt = sql::ParseSelect(logged.sql);
+      if (!stmt.ok()) {
+        verdict.parse_failed = true;
+      } else {
+        auto candidate = IsBatchCandidate(*stmt, expr, catalog, options);
+        if (!candidate.ok()) {
+          // Unresolvable columns / unknown tables: not auditable against
+          // this schema, treat as non-candidate.
+          verdict.candidate = false;
+        } else if (*candidate) {
+          verdict.candidate = true;
+          out.candidates.push_back(ScreenedCandidate{i, std::move(*stmt)});
+        }
+      }
+    }
+    out.verdicts.push_back(verdict);
+  }
+  return out;
+}
+
+void StaticOnlyBatchVerdict(const AuditExpression& expr,
+                            const Catalog& catalog,
+                            const std::vector<const sql::SelectStatement*>&
+                                candidate_stmts,
+                            AuditReport* report) {
+  std::set<ColumnRef> covered;
+  for (const sql::SelectStatement* stmt : candidate_stmts) {
+    auto cols = StaticAccessedColumns(*stmt, catalog,
+                                      /*outputs_only=*/!expr.indispensable);
+    if (!cols.ok()) continue;
+    covered.insert(cols->begin(), cols->end());
+  }
+  auto schemes = expr.attrs.EnumerateSchemes();
+  report->num_schemes = schemes.size();
+  for (const auto& scheme : schemes) {
+    bool all = true;
+    for (const auto& attr : scheme) {
+      if (covered.count(attr) == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all && !scheme.empty()) {
+      report->batch_suspicious = true;
+      report->evidence +=
+          "static: candidates cover scheme {" + [&scheme] {
+            std::string s;
+            for (const auto& a : scheme) {
+              if (!s.empty()) s += ",";
+              s += a.ToString();
+            }
+            return s;
+          }() + "}\n";
+    }
+  }
+}
+
+std::vector<int64_t> MinimizeBatch(const TargetView& view,
+                                   const std::vector<GranuleScheme>& schemes,
+                                   const AuditExpression& expr,
+                                   const std::vector<AccessProfile>& profiles,
+                                   const std::vector<int64_t>& profile_ids,
+                                   const SuspicionOptions& options) {
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < profiles.size(); ++i) kept.push_back(i);
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    std::vector<const AccessProfile*> reduced;
+    for (size_t j : kept) {
+      if (j != i) reduced.push_back(&profiles[j]);
+    }
+    if (reduced.size() == kept.size()) continue;  // i already dropped
+    auto reduced_result = CheckBatchSuspicion(view, schemes, expr.threshold,
+                                              expr.indispensable, reduced,
+                                              options);
+    if (reduced_result.suspicious) {
+      kept.erase(std::remove(kept.begin(), kept.end(), i), kept.end());
+    }
+  }
+  std::vector<int64_t> out;
+  out.reserve(kept.size());
+  for (size_t j : kept) out.push_back(profile_ids[j]);
+  return out;
+}
+
+}  // namespace audit
+}  // namespace auditdb

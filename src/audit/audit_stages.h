@@ -1,0 +1,66 @@
+#ifndef AUDITDB_AUDIT_AUDIT_STAGES_H_
+#define AUDITDB_AUDIT_AUDIT_STAGES_H_
+
+#include <vector>
+
+#include "src/audit/auditor.h"
+#include "src/audit/granule.h"
+#include "src/engine/lineage.h"
+
+namespace auditdb {
+namespace audit {
+
+/// Stage helpers of the audit pipeline, factored out of Auditor::Audit so
+/// the serial auditor and the concurrent AuditScheduler run the *same*
+/// per-query logic — the determinism guarantee (parallel output identical
+/// to serial) rests on sharing these, not on reimplementing them.
+
+/// A query that survived the static phase within one log shard.
+struct ScreenedCandidate {
+  /// Index into QueryLog::entries() (global, not shard-relative), so
+  /// shard results merge back into log order.
+  size_t log_index = 0;
+  sql::SelectStatement stmt;
+};
+
+/// Phases 1+2 over one contiguous log range.
+struct StaticScreenResult {
+  /// One verdict per log entry in [begin, end), in log order.
+  std::vector<QueryVerdict> verdicts;
+  /// Candidates of the range, in log order.
+  std::vector<ScreenedCandidate> candidates;
+  size_t num_admitted = 0;
+};
+
+/// Runs limiting-parameter admission, SQL parsing, and static candidacy
+/// over log entries [begin, end). `expr` must be qualified. Pure: reads
+/// shared state only, so ranges can run concurrently.
+StaticScreenResult StaticScreenRange(const AuditExpression& expr,
+                                     const QueryLog& log,
+                                     const Catalog& catalog,
+                                     const CandidateOptions& options,
+                                     size_t begin, size_t end);
+
+/// Data-independent batch verdict (Section 2.2): fills
+/// report->batch_suspicious, num_schemes and evidence from the
+/// candidates' static column sets. The covered-column union is
+/// order-insensitive, so any shard-merge order yields identical output.
+void StaticOnlyBatchVerdict(const AuditExpression& expr,
+                            const Catalog& catalog,
+                            const std::vector<const sql::SelectStatement*>&
+                                candidate_stmts,
+                            AuditReport* report);
+
+/// Phase-5 greedy batch minimization: drops each profile (in id order) if
+/// the batch stays suspicious without it; returns the kept query ids.
+std::vector<int64_t> MinimizeBatch(const TargetView& view,
+                                   const std::vector<GranuleScheme>& schemes,
+                                   const AuditExpression& expr,
+                                   const std::vector<AccessProfile>& profiles,
+                                   const std::vector<int64_t>& profile_ids,
+                                   const SuspicionOptions& options);
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_AUDIT_STAGES_H_

@@ -6,6 +6,8 @@
 #include <map>
 #include <memory>
 
+#include "src/audit/audit_stages.h"
+
 namespace auditdb {
 namespace audit {
 
@@ -89,6 +91,35 @@ std::string AuditReport::DetailedReport(const QueryLog& log) const {
   return out;
 }
 
+std::string AuditReport::CanonicalString() const {
+  std::string out;
+  out += expression;
+  out += "\ncounts: logged=" + std::to_string(num_logged) +
+         " admitted=" + std::to_string(num_admitted) +
+         " candidates=" + std::to_string(num_candidates) +
+         " executed=" + std::to_string(num_executed) +
+         " |U|=" + std::to_string(target_view_size) +
+         " schemes=" + std::to_string(num_schemes) + "\n";
+  for (const auto& v : verdicts) {
+    out += "verdict " + std::to_string(v.query_id) + ":";
+    if (v.admitted) out += " admitted";
+    if (v.candidate) out += " candidate";
+    if (v.suspicious_alone) out += " suspicious_alone";
+    if (v.parse_failed) out += " parse_failed";
+    out += "\n";
+  }
+  out += std::string("batch_suspicious=") +
+         (batch_suspicious ? "true" : "false") + "\n";
+  out += "minimal_batch=[";
+  for (size_t i = 0; i < minimal_batch.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(minimal_batch[i]);
+  }
+  out += "]\n";
+  out += "evidence:\n" + evidence;
+  return out;
+}
+
 Result<AuditReport> Auditor::Audit(const std::string& audit_text,
                                    Timestamp now,
                                    const AuditOptions& options) const {
@@ -112,82 +143,30 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
   };
   auto phase_start = Clock::now();
 
-  // Phase 1+2: limiting parameters, then static candidacy.
-  struct Candidate {
-    const LoggedQuery* logged;
-    sql::SelectStatement stmt;
-  };
-  std::vector<Candidate> candidates;
-  for (const auto& logged : log_->entries()) {
-    QueryVerdict verdict;
-    verdict.query_id = logged.id;
-    verdict.admitted = expr.filter.Admits(logged);
-    if (verdict.admitted) {
-      ++report.num_admitted;
-      auto stmt = sql::ParseSelect(logged.sql);
-      if (!stmt.ok()) {
-        verdict.parse_failed = true;
-      } else {
-        auto candidate = IsBatchCandidate(*stmt, expr, db_->catalog(),
-                                          options.candidate);
-        if (!candidate.ok()) {
-          // Unresolvable columns / unknown tables: not auditable against
-          // this schema, treat as non-candidate.
-          verdict.candidate = false;
-        } else if (*candidate) {
-          verdict.candidate = true;
-          ++report.num_candidates;
-          candidates.push_back(Candidate{&logged, std::move(*stmt)});
-        }
-      }
-    }
-    report.verdicts.push_back(verdict);
-  }
+  // Phase 1+2: limiting parameters, then static candidacy (the same
+  // range helper the concurrent scheduler shards over).
+  StaticScreenResult screened =
+      StaticScreenRange(expr, *log_, db_->catalog(), options.candidate, 0,
+                        log_->size());
+  report.verdicts = std::move(screened.verdicts);
+  report.num_admitted = screened.num_admitted;
+  report.num_candidates = screened.candidates.size();
+  std::vector<ScreenedCandidate>& candidates = screened.candidates;
 
   report.static_seconds = seconds_since(phase_start);
 
   // Data-independent mode: decide from the static phase alone.
   if (options.static_only) {
-    std::set<ColumnRef> covered;
-    for (const auto& candidate : candidates) {
-      auto cols = StaticAccessedColumns(candidate.stmt, db_->catalog(),
-                                        /*outputs_only=*/!expr.indispensable);
-      if (!cols.ok()) continue;
-      covered.insert(cols->begin(), cols->end());
-    }
-    auto schemes_static = expr.attrs.EnumerateSchemes();
-    report.num_schemes = schemes_static.size();
-    for (const auto& scheme : schemes_static) {
-      bool all = true;
-      for (const auto& attr : scheme) {
-        if (covered.count(attr) == 0) {
-          all = false;
-          break;
-        }
-      }
-      if (all && !scheme.empty()) {
-        report.batch_suspicious = true;
-        report.evidence +=
-            "static: candidates cover scheme {" + [&scheme] {
-              std::string s;
-              for (const auto& a : scheme) {
-                if (!s.empty()) s += ",";
-                s += a.ToString();
-              }
-              return s;
-            }() + "}\n";
-      }
-    }
+    std::vector<const sql::SelectStatement*> stmts;
+    stmts.reserve(candidates.size());
+    for (const auto& candidate : candidates) stmts.push_back(&candidate.stmt);
+    StaticOnlyBatchVerdict(expr, db_->catalog(), stmts, &report);
     if (options.per_query_verdicts) {
-      for (auto& verdict : report.verdicts) {
-        if (!verdict.candidate) continue;
-        for (const auto& candidate : candidates) {
-          if (candidate.logged->id != verdict.query_id) continue;
-          auto single = IsSingleCandidate(candidate.stmt, expr,
-                                          db_->catalog(), options.candidate);
-          verdict.suspicious_alone = single.ok() && *single;
-          break;
-        }
+      for (const auto& candidate : candidates) {
+        auto single = IsSingleCandidate(candidate.stmt, expr, db_->catalog(),
+                                        options.candidate);
+        report.verdicts[candidate.log_index].suspicious_alone =
+            single.ok() && *single;
       }
     }
     return report;
@@ -211,10 +190,11 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
   std::vector<AccessProfile> profiles;
   std::vector<int64_t> profile_ids;
   for (const auto& candidate : candidates) {
-    size_t key = backlog_->EventCountAt(candidate.logged->timestamp);
+    const LoggedQuery& logged = log_->entries()[candidate.log_index];
+    size_t key = backlog_->EventCountAt(logged.timestamp);
     auto it = snapshot_cache.find(key);
     if (it == snapshot_cache.end()) {
-      auto snapshot = backlog_->SnapshotAt(candidate.logged->timestamp);
+      auto snapshot = backlog_->SnapshotAt(logged.timestamp);
       if (!snapshot.ok()) return snapshot.status();
       it = snapshot_cache
                .emplace(key,
@@ -229,7 +209,7 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
       continue;
     }
     profiles.push_back(std::move(*profile));
-    profile_ids.push_back(candidate.logged->id);
+    profile_ids.push_back(logged.id);
     ++report.num_executed;
   }
 
@@ -265,25 +245,8 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
   }
 
   if (options.minimize_batch && report.batch_suspicious) {
-    // Greedy minimization: drop each query if the batch stays suspicious
-    // without it.
-    std::vector<size_t> kept;
-    for (size_t i = 0; i < profiles.size(); ++i) kept.push_back(i);
-    for (size_t i = 0; i < profiles.size(); ++i) {
-      std::vector<const AccessProfile*> reduced;
-      for (size_t j : kept) {
-        if (j != i) reduced.push_back(&profiles[j]);
-      }
-      if (reduced.size() == kept.size()) continue;  // i already dropped
-      auto reduced_result = CheckBatchSuspicion(*view, schemes,
-                                                expr.threshold,
-                                                expr.indispensable, reduced,
-                                                options.suspicion);
-      if (reduced_result.suspicious) {
-        kept.erase(std::remove(kept.begin(), kept.end(), i), kept.end());
-      }
-    }
-    for (size_t j : kept) report.minimal_batch.push_back(profile_ids[j]);
+    report.minimal_batch = MinimizeBatch(*view, schemes, expr, profiles,
+                                         profile_ids, options.suspicion);
   }
   report.check_seconds = seconds_since(phase_start);
 

@@ -11,6 +11,11 @@
 #include "src/querylog/query_log.h"
 
 namespace auditdb {
+
+namespace service {
+class AuditScheduler;
+}  // namespace service
+
 namespace audit {
 
 struct AuditOptions {
@@ -85,6 +90,12 @@ struct AuditReport {
   /// verdicts with the original log lines, the minimal suspicious batch,
   /// and the granule evidence. `log` must be the log that was audited.
   std::string DetailedReport(const QueryLog& log) const;
+
+  /// Deterministic serialization of every audit outcome field — verdicts,
+  /// counts, batch verdict, minimal batch, evidence — excluding only the
+  /// wall-clock phase timings. The concurrent scheduler's report must
+  /// match the serial auditor's byte for byte under this rendering.
+  std::string CanonicalString() const;
 };
 
 /// The audit pipeline (Section 3 end to end):
@@ -109,6 +120,15 @@ class Auditor {
   Result<AuditReport> Audit(const AuditExpression& expr,
                             const AuditOptions& options = AuditOptions{})
       const;
+
+  /// Parallel entry point: shards the pipeline over `scheduler`'s worker
+  /// pool and merges deterministically — the report's CanonicalString()
+  /// is identical to the serial Audit()'s at any thread count.
+  /// Implemented in src/service/scheduler.cc.
+  Result<AuditReport> AuditParallel(const AuditExpression& expr,
+                                    service::AuditScheduler* scheduler,
+                                    const AuditOptions& options =
+                                        AuditOptions{}) const;
 
  private:
   const Database* db_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/audit/candidate.h"
+#include "src/service/thread_pool.h"
 #include "src/sql/parser.h"
 
 namespace auditdb {
@@ -136,6 +137,36 @@ OnlineAuditor::Screening OnlineAuditor::ScreeningOf(const Entry& entry) {
   return screening;
 }
 
+Status OnlineAuditor::ObserveEntry(Entry* entry, const LoggedQuery& query,
+                                   const sql::SelectStatement* stmt,
+                                   const AccessProfile* profile) {
+  // Mirror the offline pipeline: only *candidate* queries contribute
+  // (a query that touches no audited attribute, or whose predicate
+  // provably conflicts with the audit predicate, is statically
+  // non-suspicious and must not help complete a granule — Definition 1).
+  bool contributes = false;
+  if (profile != nullptr && entry->expr.filter.Admits(query)) {
+    auto candidate = IsBatchCandidate(*stmt, entry->expr, db_->catalog());
+    contributes = candidate.ok() && *candidate;
+  }
+  if (!contributes) return Status::Ok();
+  if (entry->built_at_change != *change_counter_) {
+    AUDITDB_RETURN_IF_ERROR(RebuildEntryView(entry));
+  }
+  // Accumulate attribute coverage and indispensable tids.
+  for (auto& state : entry->schemes) {
+    for (const auto& attr : state.scheme.attrs) {
+      if (profile->Accesses(attr)) state.covered_attrs.insert(attr);
+    }
+  }
+  for (const auto& table : entry->expr.from) {
+    auto tids = profile->result.IndispensableTids(table);
+    entry->batch_tids[table].insert(tids.begin(), tids.end());
+  }
+  RecomputeAccessCounts(entry);
+  return Status::Ok();
+}
+
 Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::Observe(
     const LoggedQuery& query) {
   // Parse and execute once against the current state; reuse the profile
@@ -149,34 +180,46 @@ Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::Observe(
 
   std::vector<Screening> out;
   for (auto& entry : entries_) {
-    // Mirror the offline pipeline: only *candidate* queries contribute
-    // (a query that touches no audited attribute, or whose predicate
-    // provably conflicts with the audit predicate, is statically
-    // non-suspicious and must not help complete a granule — Definition 1).
-    bool contributes = false;
-    if (profile.has_value() && entry->expr.filter.Admits(query)) {
-      auto candidate =
-          IsBatchCandidate(*stmt, entry->expr, db_->catalog());
-      contributes = candidate.ok() && *candidate;
-    }
-    if (contributes) {
-      if (entry->built_at_change != *change_counter_) {
-        AUDITDB_RETURN_IF_ERROR(RebuildEntryView(entry.get()));
-      }
-      // Accumulate attribute coverage and indispensable tids.
-      for (auto& state : entry->schemes) {
-        for (const auto& attr : state.scheme.attrs) {
-          if (profile->Accesses(attr)) state.covered_attrs.insert(attr);
-        }
-      }
-      for (const auto& table : entry->expr.from) {
-        auto tids = profile->result.IndispensableTids(table);
-        entry->batch_tids[table].insert(tids.begin(), tids.end());
-      }
-      RecomputeAccessCounts(entry.get());
-    }
+    AUDITDB_RETURN_IF_ERROR(ObserveEntry(
+        entry.get(), query, stmt.ok() ? &*stmt : nullptr,
+        profile.has_value() ? &*profile : nullptr));
     out.push_back(ScreeningOf(*entry));
   }
+  return out;
+}
+
+Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::Observe(
+    const LoggedQuery& query, service::ThreadPool* pool) {
+  if (pool == nullptr || entries_.size() <= 1) return Observe(query);
+
+  auto stmt = sql::ParseSelect(query.sql);
+  std::optional<AccessProfile> profile;
+  if (stmt.ok()) {
+    auto computed = ComputeAccessProfile(*stmt, db_->View());
+    if (computed.ok()) profile = std::move(*computed);
+  }
+  const sql::SelectStatement* stmt_ptr = stmt.ok() ? &*stmt : nullptr;
+  const AccessProfile* profile_ptr =
+      profile.has_value() ? &*profile : nullptr;
+
+  // Each standing expression owns disjoint state, so the coverage
+  // updates fan out one job per entry.
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(entries_.size());
+  for (auto& entry : entries_) {
+    Entry* raw = entry.get();
+    tasks.push_back([this, raw, &query, stmt_ptr, profile_ptr] {
+      return ObserveEntry(raw, query, stmt_ptr, profile_ptr);
+    });
+  }
+  auto statuses = service::RunBatch(pool, std::move(tasks));
+  for (const auto& status : statuses) {
+    AUDITDB_RETURN_IF_ERROR(Status(status));
+  }
+
+  std::vector<Screening> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(ScreeningOf(*entry));
   return out;
 }
 

@@ -13,6 +13,11 @@
 #include "src/storage/database.h"
 
 namespace auditdb {
+
+namespace service {
+class ThreadPool;
+}  // namespace service
+
 namespace audit {
 
 /// Online auditing — the paper's future work (Section 4): instead of
@@ -71,6 +76,15 @@ class OnlineAuditor {
   /// unchanged). Returns one Screening per registered expression.
   Result<std::vector<Screening>> Observe(const LoggedQuery& query);
 
+  /// Parallel screening: the query is parsed and executed once, then the
+  /// per-expression coverage updates (independent state per standing
+  /// expression) fan out over `pool`. Same results as the serial
+  /// Observe, in the same registration order. Falls back to the serial
+  /// path when `pool` is null or there is at most one expression. The
+  /// database must not be mutated concurrently with a screening.
+  Result<std::vector<Screening>> Observe(const LoggedQuery& query,
+                                         service::ThreadPool* pool);
+
   /// Current screening state of every expression (without observing).
   std::vector<Screening> Current() const;
 
@@ -104,6 +118,13 @@ class OnlineAuditor {
   Status RebuildEntryView(Entry* entry);
   void RecomputeAccessCounts(Entry* entry);
   static Screening ScreeningOf(const Entry& entry);
+  /// One expression's share of Observe: candidacy check + coverage
+  /// accumulation. `stmt`/`profile` may be null (parse or execution
+  /// failure — the entry's state is left unchanged). Entries are
+  /// independent, so distinct entries may be observed concurrently.
+  Status ObserveEntry(Entry* entry, const LoggedQuery& query,
+                      const sql::SelectStatement* stmt,
+                      const AccessProfile* profile);
 
   Database* db_;
   /// Bumped by the database trigger on every mutation; shared so the

@@ -19,6 +19,14 @@ enum class StatusCode {
   kTypeError,
   kUnimplemented,
   kInternal,
+  /// The operation was cancelled by the caller (cooperative cancellation
+  /// in the concurrent audit service).
+  kCancelled,
+  /// The operation's deadline passed before (or while) it ran.
+  kDeadlineExceeded,
+  /// A bounded resource (e.g. the service job queue) is full and the
+  /// admission policy rejects rather than blocks.
+  kResourceExhausted,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -58,6 +66,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,34 @@
+#include "src/service/audit_service.h"
+
+namespace auditdb {
+namespace service {
+
+AuditService::AuditService(const Database* db, const Backlog* backlog,
+                           const QueryLog* log, AuditServiceOptions options)
+    : db_(db),
+      backlog_(backlog),
+      log_(log),
+      pool_(options.pool, &metrics_),
+      scheduler_(&pool_, options.scheduler) {}
+
+Result<audit::AuditReport> AuditService::Audit(
+    const std::string& audit_text, Timestamp now,
+    const audit::AuditOptions& options, std::vector<ShardFailure>* failures) {
+  return scheduler_.Run(*db_, *backlog_, *log_, audit_text, now, options,
+                        failures);
+}
+
+Result<audit::AuditReport> AuditService::Audit(
+    const audit::AuditExpression& expr, const audit::AuditOptions& options,
+    std::vector<ShardFailure>* failures) {
+  return scheduler_.Run(*db_, *backlog_, *log_, expr, options, failures);
+}
+
+std::vector<AuditScheduler::ExpressionScreening> AuditService::ScreenLibrary(
+    const audit::ExpressionLibrary& library,
+    const audit::AuditOptions& options) {
+  return scheduler_.ScreenLibrary(*db_, *backlog_, *log_, library, options);
+}
+
+}  // namespace service
+}  // namespace auditdb

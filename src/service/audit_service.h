@@ -1,0 +1,72 @@
+#ifndef AUDITDB_SERVICE_AUDIT_SERVICE_H_
+#define AUDITDB_SERVICE_AUDIT_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/service/scheduler.h"
+
+namespace auditdb {
+namespace service {
+
+struct AuditServiceOptions {
+  ThreadPoolOptions pool;
+  SchedulerOptions scheduler;
+};
+
+/// The deployable front door of concurrent auditing: owns a worker pool,
+/// a scheduler, and a metrics registry, bound to one (database, backlog,
+/// query log) triple. Intended lifecycle: construct once, serve many
+/// audit runs, read metrics, destroy (joins workers).
+class AuditService {
+ public:
+  /// All three stores must outlive the service.
+  AuditService(const Database* db, const Backlog* backlog,
+               const QueryLog* log,
+               AuditServiceOptions options = AuditServiceOptions{});
+
+  /// Parses (anchored at `now`) and audits in parallel. Identical output
+  /// (AuditReport::CanonicalString) to the serial Auditor.
+  Result<audit::AuditReport> Audit(const std::string& audit_text,
+                                   Timestamp now,
+                                   const audit::AuditOptions& options =
+                                       audit::AuditOptions{},
+                                   std::vector<ShardFailure>* failures =
+                                       nullptr);
+
+  /// Audits a parsed expression in parallel.
+  Result<audit::AuditReport> Audit(const audit::AuditExpression& expr,
+                                   const audit::AuditOptions& options =
+                                       audit::AuditOptions{},
+                                   std::vector<ShardFailure>* failures =
+                                       nullptr);
+
+  /// Screens every member of a standing-expression library against the
+  /// bound log, one job per expression.
+  std::vector<AuditScheduler::ExpressionScreening> ScreenLibrary(
+      const audit::ExpressionLibrary& library,
+      const audit::AuditOptions& options = audit::AuditOptions{});
+
+  size_t num_threads() const { return pool_.num_threads(); }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  /// Counters, gauges and latency histograms of the pool and scheduler
+  /// as one JSON object.
+  std::string MetricsJson() const { return metrics_.ToJson(); }
+
+  ThreadPool* pool() { return &pool_; }
+  AuditScheduler* scheduler() { return &scheduler_; }
+
+ private:
+  const Database* db_;
+  const Backlog* backlog_;
+  const QueryLog* log_;
+  MetricsRegistry metrics_;
+  ThreadPool pool_;
+  AuditScheduler scheduler_;
+};
+
+}  // namespace service
+}  // namespace auditdb
+
+#endif  // AUDITDB_SERVICE_AUDIT_SERVICE_H_

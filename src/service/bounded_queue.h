@@ -1,0 +1,115 @@
+#ifndef AUDITDB_SERVICE_BOUNDED_QUEUE_H_
+#define AUDITDB_SERVICE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace auditdb {
+namespace service {
+
+/// A bounded multi-producer / multi-consumer FIFO queue — the admission
+/// point of the audit service. Capacity is fixed at construction; when the
+/// queue is full, producers either block (Push) or are turned away
+/// (TryPush), which is how backpressure propagates to callers. Close()
+/// wakes everyone: pending Push calls give up, consumers drain the
+/// remaining items and then see end-of-stream.
+///
+/// The queue also tracks its all-time high watermark, the signal the
+/// service's admission control and metrics report on.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is space, then enqueues. Returns false iff the
+  /// queue was closed (item not enqueued).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    Enqueue(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues without blocking. Returns false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      Enqueue(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained; nullopt means end-of-stream.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: producers fail fast, consumers drain what is left.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Largest depth ever observed (for the queue-depth watermark metric).
+  size_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_watermark_;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  void Enqueue(T item) {
+    items_.push_back(std::move(item));
+    if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  size_t high_watermark_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace service
+}  // namespace auditdb
+
+#endif  // AUDITDB_SERVICE_BOUNDED_QUEUE_H_

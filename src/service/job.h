@@ -1,0 +1,62 @@
+#ifndef AUDITDB_SERVICE_JOB_H_
+#define AUDITDB_SERVICE_JOB_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "src/common/status.h"
+
+namespace auditdb {
+namespace service {
+
+/// Cooperative cancellation flag shared by every job of one audit run.
+/// Cancel() is sticky; workers poll between (and long stages within)
+/// jobs, so a cancelled run stops quickly without tearing down threads.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Execution context a scheduler job runs under: an optional wall-clock
+/// deadline and an optional shared cancellation token. A job whose
+/// context is expired or cancelled is not run; it completes with the
+/// corresponding error so one late or poisoned shard degrades the run
+/// instead of crashing or wedging it.
+struct JobContext {
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+  std::shared_ptr<CancellationToken> cancel;
+
+  static JobContext WithDeadlineAfter(std::chrono::milliseconds budget) {
+    JobContext ctx;
+    if (budget.count() > 0) {
+      ctx.deadline = std::chrono::steady_clock::now() + budget;
+      ctx.has_deadline = true;
+    }
+    return ctx;
+  }
+
+  /// Ok while the job may keep running; Cancelled / DeadlineExceeded
+  /// once it should stop.
+  Status Check() const {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status::Cancelled("audit run cancelled");
+    }
+    if (has_deadline && std::chrono::steady_clock::now() > deadline) {
+      return Status::DeadlineExceeded("job deadline passed");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace service
+}  // namespace auditdb
+
+#endif  // AUDITDB_SERVICE_JOB_H_

@@ -1,0 +1,110 @@
+#include "src/service/metrics.h"
+
+#include <cstdio>
+
+namespace auditdb {
+namespace service {
+
+namespace {
+
+/// Index of the power-of-two bucket holding `micros`.
+size_t BucketIndex(uint64_t micros) {
+  size_t i = 0;
+  while (micros > 1 && i + 1 < Histogram::kNumBuckets) {
+    micros >>= 1;
+    ++i;
+  }
+  return i;
+}
+
+/// Upper bound of bucket i: 2^(i+1) - 1 µs.
+uint64_t BucketUpperBound(size_t i) {
+  return (uint64_t{1} << (i + 1)) - 1;
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t micros) {
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+double Histogram::mean_micros() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_micros()) /
+                            static_cast<double>(n);
+}
+
+uint64_t Histogram::QuantileUpperBound(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  bool first = true;
+  auto append = [&out, &first](const std::string& key,
+                               const std::string& value) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + key + "\":" + value;
+  };
+  for (const auto& [name, c] : counters_) {
+    append(name, std::to_string(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    append(name, "{\"value\":" + std::to_string(g->value()) +
+                     ",\"max\":" + std::to_string(g->max()) + "}");
+  }
+  for (const auto& [name, h] : histograms_) {
+    char mean[32];
+    std::snprintf(mean, sizeof(mean), "%.1f", h->mean_micros());
+    append(name,
+           "{\"count\":" + std::to_string(h->count()) +
+               ",\"sum_micros\":" + std::to_string(h->sum_micros()) +
+               ",\"mean_micros\":" + mean +
+               ",\"p50_micros\":" +
+               std::to_string(h->QuantileUpperBound(0.50)) +
+               ",\"p95_micros\":" +
+               std::to_string(h->QuantileUpperBound(0.95)) +
+               ",\"p99_micros\":" +
+               std::to_string(h->QuantileUpperBound(0.99)) + "}");
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace service
+}  // namespace auditdb

@@ -1,0 +1,106 @@
+#ifndef AUDITDB_SERVICE_METRICS_H_
+#define AUDITDB_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace auditdb {
+namespace service {
+
+/// Monotonically increasing event count (jobs submitted, completed,
+/// rejected, ...). Lock-free; safe to bump from any worker.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, in-flight jobs) with an
+/// all-time maximum, so watermarks survive the moment that caused them.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    UpdateMax(v);
+  }
+  void Add(int64_t delta) {
+    int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    UpdateMax(now);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void UpdateMax(int64_t v) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Latency distribution over power-of-two microsecond buckets: bucket i
+/// holds observations in [2^i, 2^(i+1)) µs (bucket 0 also takes 0).
+/// Cheap enough for per-job timing; quantiles are read off the bucket
+/// upper bounds, which is plenty for a stage-latency dashboard.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  void Observe(uint64_t micros);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_micros() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  double mean_micros() const;
+  /// Upper bound (µs) of the bucket containing quantile `q` in [0,1];
+  /// 0 when empty.
+  uint64_t QuantileUpperBound(double q) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Named metrics for one service instance. Instruments are created on
+/// first use and live as long as the registry; returned pointers are
+/// stable, so hot paths resolve a name once and bump the pointer.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// One JSON object, keys sorted: counters as numbers, gauges as
+  /// {"value","max"}, histograms as {"count","sum_micros","mean_micros",
+  /// "p50_micros","p95_micros","p99_micros"}.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace service
+}  // namespace auditdb
+
+#endif  // AUDITDB_SERVICE_METRICS_H_

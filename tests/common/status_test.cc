@@ -28,6 +28,20 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ServiceCodeNames) {
+  EXPECT_EQ(Status::Cancelled("run aborted").ToString(),
+            "Cancelled: run aborted");
+  EXPECT_EQ(Status::DeadlineExceeded("shard late").ToString(),
+            "DeadlineExceeded: shard late");
+  EXPECT_EQ(Status::ResourceExhausted("queue full").ToString(),
+            "ResourceExhausted: queue full");
 }
 
 TEST(StatusTest, Equality) {

@@ -1,0 +1,115 @@
+#include "src/service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace auditdb {
+namespace service {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 40000u);
+}
+
+TEST(GaugeTest, TracksValueAndAllTimeMax) {
+  Gauge gauge;
+  gauge.Set(3);
+  gauge.Add(4);
+  EXPECT_EQ(gauge.value(), 7);
+  EXPECT_EQ(gauge.max(), 7);
+  gauge.Add(-5);
+  EXPECT_EQ(gauge.value(), 2);
+  EXPECT_EQ(gauge.max(), 7);  // watermark survives the drop
+  gauge.Set(10);
+  EXPECT_EQ(gauge.max(), 10);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum_micros(), 0u);
+  EXPECT_EQ(histogram.mean_micros(), 0.0);
+  EXPECT_EQ(histogram.QuantileUpperBound(0.5), 0u);
+}
+
+TEST(HistogramTest, ObservationsLandInPowerOfTwoBuckets) {
+  Histogram histogram;
+  histogram.Observe(0);
+  histogram.Observe(100);
+  histogram.Observe(1000);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.sum_micros(), 1100u);
+  EXPECT_NEAR(histogram.mean_micros(), 1100.0 / 3.0, 1e-9);
+  // All mass at or below the bucket holding 1000µs → [512, 1024).
+  EXPECT_LE(histogram.QuantileUpperBound(1.0), 1024u);
+  EXPECT_GE(histogram.QuantileUpperBound(1.0), 1000u);
+  // The median observation (100µs) sits in [64, 128).
+  EXPECT_LE(histogram.QuantileUpperBound(0.5), 128u);
+}
+
+TEST(HistogramTest, QuantilesAreMonotone) {
+  Histogram histogram;
+  for (uint64_t v = 1; v <= 4096; v *= 2) histogram.Observe(v);
+  EXPECT_LE(histogram.QuantileUpperBound(0.5),
+            histogram.QuantileUpperBound(0.95));
+  EXPECT_LE(histogram.QuantileUpperBound(0.95),
+            histogram.QuantileUpperBound(0.99));
+}
+
+TEST(MetricsRegistryTest, InstrumentPointersAreStable) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("jobs");
+  counter->Increment(7);
+  // Creating more instruments must not move the first one.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("other." + std::to_string(i));
+  }
+  EXPECT_EQ(registry.counter("jobs"), counter);
+  EXPECT_EQ(registry.counter("jobs")->value(), 7u);
+  EXPECT_EQ(registry.gauge("depth"), registry.gauge("depth"));
+  EXPECT_EQ(registry.histogram("lat"), registry.histogram("lat"));
+}
+
+TEST(MetricsRegistryTest, ToJsonRendersEveryInstrumentKind) {
+  MetricsRegistry registry;
+  registry.counter("pool.jobs")->Increment(3);
+  registry.gauge("pool.depth")->Set(5);
+  registry.histogram("pool.wait")->Observe(100);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"pool.jobs\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pool.depth\":{\"value\":5,\"max\":5}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"pool.wait\":{\"count\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p95_micros\""), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, EmptyRegistrySerializesToEmptyObject) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ToJson(), "{}");
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace auditdb

@@ -108,6 +108,53 @@ TEST_F(ShellTest, SaveAndLoadRoundTrip) {
   EXPECT_NE(out2.find("(3 rows)"), std::string::npos);
 }
 
+TEST_F(ShellTest, AuditJobsRunsConcurrentServiceAndPrintsMetrics) {
+  std::string out = RunShell(
+      ".fixture paper\n"
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'\n"
+      ".audit --jobs 2 DURING 1/1/1970 to now() "
+      "DATA-INTERVAL 1/1/1970 to now() "
+      "AUDIT disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'\n"
+      ".quit\n");
+  EXPECT_NE(out.find("AUDIT REPORT"), std::string::npos);
+  EXPECT_NE(out.find("SUSPICIOUS"), std::string::npos);
+  EXPECT_NE(out.find("metrics: {"), std::string::npos);
+  EXPECT_NE(out.find("\"pool.jobs_submitted\""), std::string::npos);
+  EXPECT_NE(out.find("\"scheduler.runs\":1"), std::string::npos);
+}
+
+TEST_F(ShellTest, SerialAndJobsAuditsAgree) {
+  std::string script_tail =
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'\n";
+  std::string audit_expr =
+      "DURING 1/1/1970 to now() DATA-INTERVAL 1/1/1970 to now() "
+      "AUDIT disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'\n";
+  std::string serial = RunShell(".fixture paper\n" + script_tail +
+                                ".audit " + audit_expr + ".quit\n");
+  std::string jobs = RunShell(".fixture paper\n" + script_tail +
+                              ".audit --jobs 4 " + audit_expr + ".quit\n");
+  // The verdicts are identical; only the wall-clock "phases:" line may
+  // differ, and the --jobs run appends its metrics line.
+  std::string report = serial.substr(serial.find("batch verdict:"));
+  EXPECT_NE(jobs.find(report), std::string::npos);
+  std::string header = serial.substr(serial.find("AUDIT REPORT"));
+  header = header.substr(0, header.find("phases:"));
+  EXPECT_NE(jobs.find(header), std::string::npos);
+}
+
+TEST_F(ShellTest, AuditJobsRejectsBadCount) {
+  std::string out = RunShell(
+      ".fixture paper\n"
+      ".audit --jobs zero AUDIT disease FROM P-Health\n"
+      ".quit\n");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_NE(out.find("--jobs"), std::string::npos);
+}
+
 TEST_F(ShellTest, ErrorsAreReportedNotFatal) {
   std::string out = RunShell(
       ".fixture paper\n"

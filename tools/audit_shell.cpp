@@ -18,8 +18,13 @@
 ///   .as <user> <role> <purpose>   set annotations for subsequent queries
 ///   .at <d/m/yyyy[:hh-mm-ss]>     set the clock for subsequent commands
 ///   .workload <N> [seed]          append N generated queries to the log
-///   .audit <expression>           run an audit (expression on one line)
-///   .audit-static <expression>    data-independent audit only
+///   .audit [--jobs N] <expression>
+///                                 run an audit (expression on one line);
+///                                 --jobs N uses the concurrent audit
+///                                 service on N workers and prints its
+///                                 metrics JSON after the report
+///   .audit-static [--jobs N] <expression>
+///                                 data-independent audit only
 ///   .granules <expression>        print the granule set (first 100)
 ///   .quit                         exit
 ///   SELECT ...                    execute, print results, append to log
@@ -34,6 +39,7 @@
 #include "src/audit/auditor.h"
 #include "src/audit/granule.h"
 #include "src/common/string_util.h"
+#include "src/service/audit_service.h"
 #include "src/io/dump.h"
 #include "src/workload/generator.h"
 #include "src/workload/hospital.h"
@@ -99,7 +105,8 @@ class Shell {
           ".tables  .show <table>  .log\n"
           ".as <user> <role> <purpose>   .at <timestamp>\n"
           ".workload N [seed]\n"
-          ".audit <expr>  .audit-static <expr>  .granules <expr>\n"
+          ".audit [--jobs N] <expr>  .audit-static [--jobs N] <expr>\n"
+          ".granules <expr>\n"
           "SELECT ...  runs a query and logs it\n"
           ".quit\n");
       return Status::Ok();
@@ -222,12 +229,39 @@ class Shell {
     }
     if (cmd == ".audit" || cmd == ".audit-static") {
       std::string expr_text = line.substr(cmd.size());
-      audit::Auditor auditor(&db_, &backlog_, &log_);
       audit::AuditOptions options;
       options.static_only = cmd == ".audit-static";
-      auto report = auditor.Audit(expr_text, now_, options);
+      // Optional "--jobs N" prefix: run through the concurrent audit
+      // service on N workers and print its metrics after the report.
+      size_t jobs = 0;
+      {
+        std::istringstream rest(expr_text);
+        std::string flag, count;
+        if (rest >> flag && flag == "--jobs") {
+          int64_t n = 0;
+          if (!(rest >> count) || !ParseCount(count, &n) || n < 1) {
+            return Status::InvalidArgument("usage: " + cmd +
+                                           " [--jobs N] <expression>");
+          }
+          jobs = static_cast<size_t>(n);
+          std::getline(rest, expr_text);
+        }
+      }
+      if (jobs == 0) {
+        audit::Auditor auditor(&db_, &backlog_, &log_);
+        auto report = auditor.Audit(expr_text, now_, options);
+        if (!report.ok()) return report.status();
+        std::printf("%s", report->DetailedReport(log_).c_str());
+        return Status::Ok();
+      }
+      service::AuditServiceOptions service_options;
+      service_options.pool.num_threads = jobs;
+      service::AuditService audit_service(&db_, &backlog_, &log_,
+                                          service_options);
+      auto report = audit_service.Audit(expr_text, now_, options);
       if (!report.ok()) return report.status();
       std::printf("%s", report->DetailedReport(log_).c_str());
+      std::printf("metrics: %s\n", audit_service.MetricsJson().c_str());
       return Status::Ok();
     }
     if (cmd == ".granules") {

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate: regular build + full test suite, then the service-layer
+# concurrency suite (determinism + stress) under ThreadSanitizer.
+#
+# Usage: tools/run_ci.sh [build-dir-prefix]
+#   Build trees land in <prefix> and <prefix>-tsan (default: build-ci).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "== [1/3] build (${PREFIX}) =="
+cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${PREFIX}" -j "${JOBS}"
+
+echo "== [2/3] ctest =="
+ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+
+echo "== [3/3] service determinism + stress under ThreadSanitizer =="
+cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DAUDITDB_SANITIZE=thread
+# The TSan gate only needs the concurrency suite; building just its
+# target keeps the sanitizer pass fast.
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target service_test
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
+      -R 'SchedulerTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest'
+
+echo "CI gate passed."
