@@ -1,0 +1,209 @@
+/// Experiment N1: network audit serving under loopback load.
+///
+/// A loopback auditd (in-process AuditServer on an ephemeral port)
+/// serves the hospital-fixture world while client threads hammer it:
+///
+///   1. audit throughput / latency (p50/p95/p99 off the service
+///      Histogram) vs concurrent client count — every remote report is
+///      checked byte-identical to the serial Auditor's CanonicalString;
+///   2. framing overhead vs frame size (padded Health payloads);
+///   3. admission policy under overload: a tiny handler queue with
+///      kReject sheds RESOURCE_EXHAUSTED to clients, kBlock pauses
+///      reads and stalls them — same offered load, different failure
+///      mode.
+///
+/// Run: build/bench/bench_net [audits-per-client]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/service/metrics.h"
+
+namespace {
+
+using namespace auditdb;
+using bench::Ts;
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kPatients = 150;
+constexpr size_t kLogSize = 400;
+
+struct LoadResult {
+  uint64_t ok = 0;
+  uint64_t shed = 0;       // RESOURCE_EXHAUSTED responses
+  uint64_t errors = 0;     // anything else
+  uint64_t mismatches = 0; // canonical != serial
+  double seconds = 0;
+  service::Histogram latency;
+};
+
+/// `clients` threads each issue `per_client` requests; audits compare
+/// against `expected_canonical` (empty = health pings of `pad` bytes).
+void RunLoad(const net::AuditServer& server, size_t clients,
+             size_t per_client, const std::string& audit_expr,
+             const std::string& expected_canonical, size_t pad,
+             LoadResult* result) {
+  std::atomic<uint64_t> ok{0}, shed{0}, errors{0}, mismatches{0};
+  auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      (void)c;
+      net::AuditClient client(server.host(), server.port());
+      std::string padding(pad, 'x');
+      for (size_t i = 0; i < per_client; ++i) {
+        auto t0 = Clock::now();
+        Status status;
+        if (!audit_expr.empty()) {
+          auto report = client.Audit(audit_expr, Ts(1000000));
+          status = report.ok() ? Status::Ok() : report.status();
+          if (report.ok() && report->canonical != expected_canonical) {
+            mismatches.fetch_add(1);
+          }
+        } else {
+          auto response = client.RoundTrip(
+              net::Message{net::MessageType::kHealthRequest, padding});
+          status = response.ok() ? Status::Ok() : response.status();
+        }
+        uint64_t micros = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count());
+        result->latency.Observe(micros);
+        if (status.ok()) {
+          ok.fetch_add(1);
+        } else if (status.code() == StatusCode::kResourceExhausted) {
+          shed.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  result->seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result->ok = ok.load();
+  result->shed = shed.load();
+  result->errors = errors.load();
+  result->mismatches = mismatches.load();
+}
+
+void PrintRow(const char* label, const LoadResult& r) {
+  uint64_t total = r.ok + r.shed + r.errors;
+  std::printf(
+      "%-28s %8llu req %9.0f req/s  p50 %6llu us  p95 %6llu us  "
+      "p99 %7llu us  shed %5llu  err %3llu  mismatch %llu\n",
+      label, static_cast<unsigned long long>(total),
+      r.seconds > 0 ? static_cast<double>(total) / r.seconds : 0.0,
+      static_cast<unsigned long long>(r.latency.QuantileUpperBound(0.5)),
+      static_cast<unsigned long long>(r.latency.QuantileUpperBound(0.95)),
+      static_cast<unsigned long long>(r.latency.QuantileUpperBound(0.99)),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.errors),
+      static_cast<unsigned long long>(r.mismatches));
+}
+
+struct ServerStack {
+  std::unique_ptr<bench::World> world;
+  std::unique_ptr<service::AuditService> service;
+  std::unique_ptr<net::AuditServer> server;
+};
+
+ServerStack MakeServer(service::AdmissionPolicy admission,
+                       size_t handler_threads, size_t handler_queue) {
+  ServerStack stack;
+  stack.world = bench::MakeWorld(kPatients, kLogSize);
+  service::AuditServiceOptions service_options;
+  service_options.pool.num_threads = 4;
+  stack.service = std::make_unique<service::AuditService>(
+      &stack.world->db, &stack.world->backlog, &stack.world->log,
+      service_options);
+  net::AuditServerOptions server_options;
+  server_options.handlers.num_threads = handler_threads;
+  server_options.handlers.queue_capacity = handler_queue;
+  server_options.handlers.admission = admission;
+  stack.server = std::make_unique<net::AuditServer>(
+      stack.service.get(), &stack.world->db, &stack.world->backlog,
+      &stack.world->log, server_options);
+  if (!stack.server->Start().ok()) std::abort();
+  return stack;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t per_client = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20;
+  std::printf("bench_net: %zu patients, %zu logged queries, "
+              "%zu requests per client\n\n",
+              kPatients, kLogSize, per_client);
+
+  // Serial ground truth for the identity checks.
+  auto reference = bench::MakeWorld(kPatients, kLogSize);
+  audit::Auditor auditor(&reference->db, &reference->backlog,
+                         &reference->log);
+  auto serial = auditor.Audit(bench::CanonicalAudit(), Ts(1000000));
+  if (!serial.ok()) {
+    std::fprintf(stderr, "%s\n", serial.status().ToString().c_str());
+    return 1;
+  }
+  std::string expected = serial->CanonicalString();
+  uint64_t total_mismatches = 0;
+
+  std::printf("-- audit load vs client count (handlers=4, queue=64, "
+              "block) --\n");
+  for (size_t clients : {1, 2, 4, 8, 16}) {
+    auto stack =
+        MakeServer(service::AdmissionPolicy::kBlock, 4, 64);
+    LoadResult result;
+    RunLoad(*stack.server, clients, per_client, bench::CanonicalAudit(),
+            expected, 0, &result);
+    char label[64];
+    std::snprintf(label, sizeof(label), "audit x%zu clients", clients);
+    PrintRow(label, result);
+    total_mismatches += result.mismatches + result.errors;
+    stack.server->Shutdown();
+  }
+
+  std::printf("\n-- framing overhead vs frame size (health pings, "
+              "8 clients) --\n");
+  for (size_t pad : {64u, 4096u, 65536u, 524288u}) {
+    auto stack = MakeServer(service::AdmissionPolicy::kBlock, 4, 64);
+    LoadResult result;
+    RunLoad(*stack.server, 8, per_client * 10, "", "", pad, &result);
+    char label[64];
+    std::snprintf(label, sizeof(label), "health %zuB frames", pad);
+    PrintRow(label, result);
+    total_mismatches += result.errors;
+    stack.server->Shutdown();
+  }
+
+  std::printf("\n-- admission policy under overload (handlers=1, "
+              "queue=2, 16 clients) --\n");
+  for (auto admission : {service::AdmissionPolicy::kReject,
+                         service::AdmissionPolicy::kBlock}) {
+    auto stack = MakeServer(admission, 1, 2);
+    LoadResult result;
+    RunLoad(*stack.server, 16, per_client, bench::CanonicalAudit(),
+            expected, 0, &result);
+    PrintRow(admission == service::AdmissionPolicy::kReject
+                 ? "overload, reject (sheds)"
+                 : "overload, block (stalls)",
+             result);
+    total_mismatches += result.mismatches;
+    stack.server->Shutdown();
+  }
+
+  std::printf("\nremote reports byte-identical to serial Auditor: %s\n",
+              total_mismatches == 0 ? "yes" : "NO (bug!)");
+  return total_mismatches == 0 ? 0 : 1;
+}

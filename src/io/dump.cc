@@ -12,78 +12,21 @@ namespace io {
 
 namespace {
 
-/// Escapes backslash, pipe and newline for the pipe-separated format.
-std::string Escape(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (char c : raw) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '|':
-        out += "\\p";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
+/// The dump payload view of a raw getline() result: the line terminator
+/// (including the \r of a CRLF file) and leading indentation go, but
+/// trailing spaces stay — they may belong to the last field. Full
+/// Trim() here would corrupt fields that legitimately end in
+/// whitespace (escaped \r never reaches this path).
+std::string_view PayloadLine(const std::string& line) {
+  std::string_view view(line);
+  while (!view.empty() &&
+         (view.back() == '\n' || view.back() == '\r')) {
+    view.remove_suffix(1);
   }
-  return out;
-}
-
-Result<std::string> Unescape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (size_t i = 0; i < text.size(); ++i) {
-    if (text[i] != '\\') {
-      out += text[i];
-      continue;
-    }
-    if (i + 1 >= text.size()) {
-      return Status::ParseError("dangling escape in dump field");
-    }
-    ++i;
-    switch (text[i]) {
-      case '\\':
-        out += '\\';
-        break;
-      case 'p':
-        out += '|';
-        break;
-      case 'n':
-        out += '\n';
-        break;
-      default:
-        return Status::ParseError(std::string("unknown escape \\") +
-                                  text[i]);
-    }
+  while (!view.empty() && (view.front() == ' ' || view.front() == '\t')) {
+    view.remove_prefix(1);
   }
-  return out;
-}
-
-/// Splits a line on unescaped pipes.
-std::vector<std::string> SplitFields(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string current;
-  for (size_t i = 0; i < line.size(); ++i) {
-    if (line[i] == '\\' && i + 1 < line.size()) {
-      current += line[i];
-      current += line[i + 1];
-      ++i;
-      continue;
-    }
-    if (line[i] == '|') {
-      fields.push_back(std::move(current));
-      current.clear();
-      continue;
-    }
-    current += line[i];
-  }
-  fields.push_back(std::move(current));
-  return fields;
+  return view;
 }
 
 
@@ -121,6 +64,84 @@ Result<ValueType> ParseTypeName(const std::string& name) {
 
 }  // namespace
 
+std::string EscapeField(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '|':
+        out += "\\p";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    if (i + 1 >= text.size()) {
+      return Status::ParseError("dangling escape in dump field");
+    }
+    ++i;
+    switch (text[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'p':
+        out += '|';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        return Status::ParseError(std::string("unknown escape \\") +
+                                  text[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitEscapedFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      current += line[i];
+      current += line[i + 1];
+      ++i;
+      continue;
+    }
+    if (line[i] == '|') {
+      fields.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current += line[i];
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
 std::string EncodeValue(const Value& value) {
   switch (value.type()) {
     case ValueType::kNull:
@@ -136,7 +157,7 @@ std::string EncodeValue(const Value& value) {
       return out.str();
     }
     case ValueType::kString:
-      return "S:" + Escape(value.string_value());
+      return "S:" + EscapeField(value.string_value());
     case ValueType::kTimestamp:
       return "T:" + std::to_string(value.time_value().micros());
   }
@@ -167,7 +188,7 @@ Result<Value> DecodeValue(const std::string& text) {
       return Value::Double(v);
     }
     case 'S': {
-      auto raw = Unescape(payload);
+      auto raw = UnescapeField(payload);
       if (!raw.ok()) return raw.status();
       return Value::String(std::move(*raw));
     }
@@ -213,7 +234,8 @@ Status ReadDatabaseDump(std::istream& in, Database* db, Timestamp ts) {
   std::string line;
   std::string current_table;
   while (std::getline(in, line)) {
-    std::string_view trimmed = Trim(line);
+    std::string_view payload = PayloadLine(line);
+    std::string_view trimmed = Trim(payload);
     if (trimmed.empty() || trimmed[0] == '#') continue;
     if (StartsWith(trimmed, "TABLE ")) {
       current_table = std::string(trimmed.substr(6));
@@ -241,11 +263,12 @@ Status ReadDatabaseDump(std::istream& in, Database* db, Timestamp ts) {
           db->CreateTable(TableSchema(current_table, std::move(columns))));
       continue;
     }
-    if (StartsWith(trimmed, "ROW ")) {
+    if (StartsWith(payload, "ROW ")) {
       if (current_table.empty()) {
         return Status::ParseError("ROW outside of TABLE block");
       }
-      auto fields = SplitFields(std::string(trimmed.substr(4)));
+      // Split the untrimmed payload: the last value may end in spaces.
+      auto fields = SplitEscapedFields(std::string(payload.substr(4)));
       if (fields.empty()) {
         return Status::ParseError("empty ROW line");
       }
@@ -280,8 +303,9 @@ Status ReadDatabaseDump(std::istream& in, Database* db, Timestamp ts) {
 Status WriteQueryLogDump(const QueryLog& log, std::ostream& out) {
   for (const auto& entry : log.entries()) {
     out << "QUERY " << entry.id << "|" << entry.timestamp.micros() << "|"
-        << Escape(entry.user) << "|" << Escape(entry.role) << "|"
-        << Escape(entry.purpose) << "|" << Escape(entry.sql) << "\n";
+        << EscapeField(entry.user) << "|" << EscapeField(entry.role) << "|"
+        << EscapeField(entry.purpose) << "|" << EscapeField(entry.sql)
+        << "\n";
   }
   return out.good() ? Status::Ok()
                     : Status::Internal("write failure in query-log dump");
@@ -290,13 +314,15 @@ Status WriteQueryLogDump(const QueryLog& log, std::ostream& out) {
 Status ReadQueryLogDump(std::istream& in, QueryLog* log) {
   std::string line;
   while (std::getline(in, line)) {
-    std::string_view trimmed = Trim(line);
+    std::string_view payload = PayloadLine(line);
+    std::string_view trimmed = Trim(payload);
     if (trimmed.empty() || trimmed[0] == '#') continue;
-    if (!StartsWith(trimmed, "QUERY ")) {
+    if (!StartsWith(payload, "QUERY ")) {
       return Status::ParseError("unrecognized query-log line: " +
                                 std::string(trimmed));
     }
-    auto fields = SplitFields(std::string(trimmed.substr(6)));
+    // Split the untrimmed payload: the SQL field may end in spaces.
+    auto fields = SplitEscapedFields(std::string(payload.substr(6)));
     if (fields.size() != 6) {
       return Status::ParseError("QUERY line needs 6 fields, got " +
                                 std::to_string(fields.size()));
@@ -305,10 +331,10 @@ Status ReadQueryLogDump(std::istream& in, QueryLog* log) {
     if (!ParseInt64(fields[1], &micros)) {
       return Status::ParseError("bad timestamp: " + fields[1]);
     }
-    auto user = Unescape(fields[2]);
-    auto role = Unescape(fields[3]);
-    auto purpose = Unescape(fields[4]);
-    auto sql = Unescape(fields[5]);
+    auto user = UnescapeField(fields[2]);
+    auto role = UnescapeField(fields[3]);
+    auto purpose = UnescapeField(fields[4]);
+    auto sql = UnescapeField(fields[5]);
     if (!user.ok()) return user.status();
     if (!role.ok()) return role.status();
     if (!purpose.ok()) return purpose.status();

@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/timestamp.h"
@@ -50,6 +51,17 @@ Status LoadQueryLog(const std::string& path, QueryLog* log);
 /// Value encoding used by the dump format (exposed for tests).
 std::string EncodeValue(const Value& value);
 Result<Value> DecodeValue(const std::string& text);
+
+/// Field escaping shared by the dump format and the network wire
+/// protocol (src/net): backslash, pipe, newline and carriage return map
+/// to \\, \p, \n, \r; every other byte (including non-ASCII) passes
+/// through, so any byte string survives a pipe-separated line.
+std::string EscapeField(const std::string& raw);
+Result<std::string> UnescapeField(const std::string& text);
+
+/// Splits a line on unescaped pipes; the returned fields are still
+/// escaped (feed them to UnescapeField).
+std::vector<std::string> SplitEscapedFields(const std::string& line);
 
 }  // namespace io
 }  // namespace auditdb

@@ -1,0 +1,305 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace auditdb {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMillis(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60 * 60 * 1000) return 60 * 60 * 1000;
+  return static_cast<int>(left.count());
+}
+
+/// Waits for `events` readiness until the deadline. OK, or
+/// DeadlineExceeded / Internal.
+Status Await(int fd, short events, Clock::time_point deadline) {
+  while (true) {
+    int timeout = RemainingMillis(deadline);
+    if (timeout <= 0) {
+      return Status::DeadlineExceeded("request deadline expired");
+    }
+    pollfd pfd{fd, events, 0};
+    int n = ::poll(&pfd, 1, timeout);
+    if (n > 0) {
+      if (pfd.revents & (POLLERR | POLLNVAL)) {
+        return Status::Internal("socket error");
+      }
+      return Status::Ok();
+    }
+    if (n == 0) {
+      return Status::DeadlineExceeded("request deadline expired");
+    }
+    if (errno != EINTR) {
+      return Status::Internal(std::string("poll: ") + strerror(errno));
+    }
+  }
+}
+
+}  // namespace
+
+AuditClient::AuditClient(std::string host, uint16_t port,
+                         AuditClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+AuditClient::~AuditClient() { Close(); }
+
+void AuditClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status AuditClient::Connect() {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                    0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad IPv4 host: " + host_);
+  }
+  auto deadline = Clock::now() + options_.connect_timeout;
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status status = Status::Internal("connect " + host_ + ":" +
+                                     std::to_string(port_) + ": " +
+                                     strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (rc != 0) {
+    Status ready = Await(fd, POLLOUT, deadline);
+    if (!ready.ok()) {
+      ::close(fd);
+      return ready;
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) != 0 ||
+        error != 0) {
+      ::close(fd);
+      return Status::Internal("connect " + host_ + ":" +
+                              std::to_string(port_) + ": " +
+                              strerror(error != 0 ? error : errno));
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Status AuditClient::SendAll(const std::string& bytes,
+                            Clock::time_point deadline) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + offset, bytes.size() - offset,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      AUDITDB_RETURN_IF_ERROR(Await(fd_, POLLOUT, deadline));
+      continue;
+    }
+    return Status::Internal(std::string("send: ") + strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<Message> AuditClient::ReadResponse(Clock::time_point deadline) {
+  FrameReader reader(options_.max_frame_bytes);
+  char buf[16384];
+  while (true) {
+    auto next = reader.Next();
+    if (!next.ok()) return next.status();
+    if (next->has_value()) return std::move(**next);
+    AUDITDB_RETURN_IF_ERROR(Await(fd_, POLLIN, deadline));
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      reader.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Internal("connection closed before response");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      continue;
+    }
+    return Status::Internal(std::string("read: ") + strerror(errno));
+  }
+}
+
+Result<Message> AuditClient::TryOnce(const Message& request,
+                                     Status* transport_error) {
+  *transport_error = Status::Ok();
+  auto deadline = Clock::now() + options_.request_timeout;
+  Status sent = SendAll(EncodeFrame(request), deadline);
+  if (!sent.ok()) {
+    *transport_error = sent;
+    return sent;
+  }
+  auto response = ReadResponse(deadline);
+  if (!response.ok()) {
+    *transport_error = response.status();
+    return response.status();
+  }
+  return response;
+}
+
+Result<Message> AuditClient::RoundTrip(const Message& request) {
+  bool retryable = options_.retry_idempotent &&
+                   IsIdempotentType(request.type);
+  for (int attempt = 0;; ++attempt) {
+    if (fd_ < 0) {
+      AUDITDB_RETURN_IF_ERROR(Connect());
+    }
+    Status transport_error;
+    auto response = TryOnce(request, &transport_error);
+    if (!response.ok()) {
+      Close();
+      // Reconnect-once: only transport failures on idempotent requests,
+      // and never timeouts (the server may still be working on it).
+      if (retryable && attempt == 0 &&
+          transport_error.code() == StatusCode::kInternal) {
+        continue;
+      }
+      return response.status();
+    }
+    if (response->type == MessageType::kErrorResponse) {
+      // Server-side error: the connection stays healthy and the carried
+      // Status (e.g. ResourceExhausted from admission control) is the
+      // result.
+      return DecodeErrorMessage(response->payload);
+    }
+    if (response->type != MessageType::kOkResponse) {
+      Close();
+      return Status::Internal("unexpected response frame type");
+    }
+    return response;
+  }
+}
+
+Result<AuditClient::RemoteReport> AuditClient::Audit(
+    const std::string& expression, Timestamp now, bool static_only) {
+  Message request{static_only ? MessageType::kAuditStaticRequest
+                              : MessageType::kAuditRequest,
+                  EncodeFields({expression, std::to_string(now.micros())})};
+  auto response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  auto fields = DecodeFields(response->payload);
+  if (!fields.ok()) return fields.status();
+  if (fields->size() != 2) {
+    return Status::Internal("malformed audit response");
+  }
+  return RemoteReport{std::move((*fields)[0]), std::move((*fields)[1])};
+}
+
+Result<std::vector<AuditClient::RemoteScreening>>
+AuditClient::ScreenLibrary(const std::vector<std::string>& expressions,
+                           Timestamp now) {
+  std::vector<std::string> fields;
+  fields.reserve(expressions.size() + 1);
+  fields.push_back(std::to_string(now.micros()));
+  fields.insert(fields.end(), expressions.begin(), expressions.end());
+  Message request{MessageType::kScreenLibraryRequest,
+                  EncodeFields(fields)};
+  auto response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  auto decoded = DecodeFields(response->payload);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded->size() % 4 != 0) {
+    return Status::Internal("malformed screening response");
+  }
+  std::vector<RemoteScreening> out;
+  for (size_t i = 0; i + 3 < decoded->size(); i += 4) {
+    RemoteScreening screening;
+    if (!(*decoded)[i].empty()) {
+      screening.expression_id = std::strtoll((*decoded)[i].c_str(),
+                                             nullptr, 10);
+    }
+    StatusCode code = StatusCodeFromName((*decoded)[i + 1]);
+    screening.status = code == StatusCode::kOk
+                           ? Status::Ok()
+                           : Status(code, (*decoded)[i + 2]);
+    screening.canonical = std::move((*decoded)[i + 3]);
+    out.push_back(std::move(screening));
+  }
+  return out;
+}
+
+Result<AuditClient::RemoteQueryResult> AuditClient::ExecuteQuery(
+    const std::string& sql, const std::string& user,
+    const std::string& role, const std::string& purpose, Timestamp now) {
+  Message request{
+      MessageType::kExecuteQueryRequest,
+      EncodeFields({sql, user, role, purpose,
+                    std::to_string(now.micros())})};
+  auto response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  auto fields = DecodeFields(response->payload);
+  if (!fields.ok()) return fields.status();
+  if (fields->size() != 3) {
+    return Status::Internal("malformed execute response");
+  }
+  RemoteQueryResult result;
+  result.rendered = std::move((*fields)[0]);
+  result.num_rows =
+      static_cast<size_t>(std::strtoull((*fields)[1].c_str(), nullptr, 10));
+  result.log_id = std::strtoll((*fields)[2].c_str(), nullptr, 10);
+  return result;
+}
+
+Status AuditClient::LoadDatabaseDump(const std::string& dump_text,
+                                     Timestamp now) {
+  Message request{
+      MessageType::kLoadDumpRequest,
+      EncodeFields({"db", dump_text, std::to_string(now.micros())})};
+  auto response = RoundTrip(request);
+  return response.ok() ? Status::Ok() : response.status();
+}
+
+Status AuditClient::LoadQueryLogDump(const std::string& dump_text) {
+  Message request{MessageType::kLoadDumpRequest,
+                  EncodeFields({"log", dump_text, "0"})};
+  auto response = RoundTrip(request);
+  return response.ok() ? Status::Ok() : response.status();
+}
+
+Result<std::string> AuditClient::Health() {
+  auto response = RoundTrip(Message{MessageType::kHealthRequest, ""});
+  if (!response.ok()) return response.status();
+  return response->payload;
+}
+
+Result<std::string> AuditClient::MetricsJson() {
+  auto response = RoundTrip(Message{MessageType::kMetricsRequest, ""});
+  if (!response.ok()) return response.status();
+  return response->payload;
+}
+
+}  // namespace net
+}  // namespace auditdb

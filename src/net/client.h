@@ -1,0 +1,112 @@
+#ifndef AUDITDB_NET_CLIENT_H_
+#define AUDITDB_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+#include "src/net/wire.h"
+
+namespace auditdb {
+namespace net {
+
+struct AuditClientOptions {
+  /// Deadline for establishing the TCP connection.
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Per-request deadline covering send + receive. Audits over big logs
+  /// are slow by design; size accordingly.
+  std::chrono::milliseconds request_timeout{30000};
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Retry an idempotent request exactly once over a fresh connection
+  /// when the transport fails mid-flight (stale pooled connection, server
+  /// restart). Non-idempotent requests (ExecuteQuery, LoadDump) never
+  /// retry: the first attempt may have committed.
+  bool retry_idempotent = true;
+};
+
+/// Blocking client for the auditd wire protocol: one TCP connection,
+/// one request in flight at a time (the protocol itself pipelines, a
+/// client that needs concurrency uses one AuditClient per thread).
+/// Connects lazily on the first request.
+class AuditClient {
+ public:
+  AuditClient(std::string host, uint16_t port,
+              AuditClientOptions options = AuditClientOptions{});
+  ~AuditClient();
+
+  AuditClient(const AuditClient&) = delete;
+  AuditClient& operator=(const AuditClient&) = delete;
+
+  /// Establishes the connection now (otherwise the first request does).
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+  /// A remote audit outcome: the deterministic CanonicalString (the
+  /// byte-identical-to-serial contract) plus the investigator-facing
+  /// DetailedReport rendered server-side.
+  struct RemoteReport {
+    std::string canonical;
+    std::string detailed;
+  };
+  Result<RemoteReport> Audit(const std::string& expression, Timestamp now,
+                             bool static_only = false);
+
+  /// One library member's screening outcome.
+  struct RemoteScreening {
+    int64_t expression_id = 0;
+    Status status;
+    std::string canonical;  // empty unless status.ok()
+  };
+  Result<std::vector<RemoteScreening>> ScreenLibrary(
+      const std::vector<std::string>& expressions, Timestamp now);
+
+  struct RemoteQueryResult {
+    std::string rendered;
+    size_t num_rows = 0;
+    int64_t log_id = 0;
+  };
+  /// Executes on the server and appends to its query log.
+  Result<RemoteQueryResult> ExecuteQuery(const std::string& sql,
+                                         const std::string& user,
+                                         const std::string& role,
+                                         const std::string& purpose,
+                                         Timestamp now);
+
+  /// Ships a dump (the src/io text format) into the server's stores.
+  Status LoadDatabaseDump(const std::string& dump_text, Timestamp now);
+  Status LoadQueryLogDump(const std::string& dump_text);
+
+  /// "ok" when the server's loop and handler pool are responsive.
+  Result<std::string> Health();
+  /// {"server": ..., "service": ...} metrics JSON.
+  Result<std::string> MetricsJson();
+
+  /// Sends one request frame and blocks for its response. Error
+  /// responses come back as their carried Status (a server-side
+  /// RESOURCE_EXHAUSTED rejection keeps its code); transport failures
+  /// map to Internal/DeadlineExceeded. Exposed for tools and tests.
+  Result<Message> RoundTrip(const Message& request);
+
+ private:
+  Status SendAll(const std::string& bytes,
+                 std::chrono::steady_clock::time_point deadline);
+  Result<Message> ReadResponse(
+      std::chrono::steady_clock::time_point deadline);
+  Result<Message> TryOnce(const Message& request, Status* transport_error);
+
+  std::string host_;
+  uint16_t port_;
+  AuditClientOptions options_;
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace auditdb
+
+#endif  // AUDITDB_NET_CLIENT_H_

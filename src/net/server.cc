@@ -1,0 +1,755 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/audit/audit_parser.h"
+#include "src/audit/expression_library.h"
+#include "src/engine/executor.h"
+#include "src/io/dump.h"
+
+namespace auditdb {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool ParseInt64Field(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+Message MakeOk(std::string payload) {
+  return Message{MessageType::kOkResponse, std::move(payload)};
+}
+
+}  // namespace
+
+/// Per-connection state owned by the event loop.
+struct AuditServer::Conn {
+  explicit Conn(size_t max_frame_bytes) : reader(max_frame_bytes) {}
+
+  int fd = -1;
+  /// Monotonic id: handler completions are matched against it so a
+  /// reused fd never receives a dead connection's response.
+  uint64_t id = 0;
+  FrameReader reader;
+  /// Pending response bytes (out_offset already written).
+  std::string out;
+  size_t out_offset = 0;
+  /// Parsed requests not yet handed to a handler (pipelining buffer).
+  std::deque<Message> pending;
+  /// One handler in flight per connection keeps responses in order.
+  bool busy = false;
+  bool close_after_flush = false;
+  /// Reads withheld (pipelining cap or poisoned framing).
+  bool paused = false;
+  bool want_write = false;
+  Clock::time_point last_read;
+  Clock::time_point last_write_progress;
+};
+
+struct AuditServer::Impl {
+  service::AuditService* service;
+  Database* db;
+  Backlog* backlog;
+  QueryLog* log;
+  AuditServerOptions options;
+  service::MetricsRegistry* metrics;
+
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  uint64_t next_conn_id = 1;
+
+  std::unique_ptr<service::ThreadPool> handlers;
+  /// Readers (audits, screening) share the stores; writers
+  /// (ExecuteQuery's log append, LoadDump) exclude them.
+  std::shared_mutex state_mutex;
+
+  struct Done {
+    int fd;
+    uint64_t conn_id;
+    std::string frame;
+  };
+  std::mutex done_mutex;
+  std::vector<Done> done;
+
+  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> running{false};
+  /// Handler jobs submitted whose responses are not yet delivered to a
+  /// write buffer — the quantity graceful drain waits on.
+  size_t in_flight = 0;
+  bool draining = false;
+  Clock::time_point drain_deadline;
+
+  service::Counter* connections_accepted;
+  service::Counter* connections_rejected;
+  service::Gauge* connections_gauge;
+  service::Counter* frames_received;
+  service::Counter* frames_sent;
+  service::Counter* bytes_read;
+  service::Counter* bytes_written;
+  service::Counter* frame_errors;
+  service::Counter* oversized_frames;
+  service::Counter* evicted_idle;
+  service::Counter* evicted_slow;
+  service::Counter* admission_rejected;
+  service::Counter* drain_cancelled;
+
+  Impl(service::AuditService* service_in, Database* db_in,
+       Backlog* backlog_in, QueryLog* log_in, AuditServerOptions options_in,
+       service::MetricsRegistry* metrics_in)
+      : service(service_in),
+        db(db_in),
+        backlog(backlog_in),
+        log(log_in),
+        options(std::move(options_in)),
+        metrics(metrics_in) {
+    handlers =
+        std::make_unique<service::ThreadPool>(options.handlers, metrics);
+    connections_accepted = metrics->counter("net.connections_accepted");
+    connections_rejected = metrics->counter("net.connections_rejected");
+    connections_gauge = metrics->gauge("net.connections");
+    frames_received = metrics->counter("net.frames_received");
+    frames_sent = metrics->counter("net.frames_sent");
+    bytes_read = metrics->counter("net.bytes_read");
+    bytes_written = metrics->counter("net.bytes_written");
+    frame_errors = metrics->counter("net.frame_errors");
+    oversized_frames = metrics->counter("net.oversized_frames");
+    evicted_idle = metrics->counter("net.evicted_idle");
+    evicted_slow = metrics->counter("net.evicted_slow");
+    admission_rejected = metrics->counter("net.admission_rejected");
+    drain_cancelled = metrics->counter("net.drain_cancelled");
+  }
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+  }
+
+  void Wake() {
+    uint64_t one = 1;
+    ssize_t ignored = ::write(wake_fd, &one, sizeof(one));
+    (void)ignored;
+  }
+
+  void DrainWake() {
+    uint64_t value;
+    while (::read(wake_fd, &value, sizeof(value)) > 0) {
+    }
+  }
+
+  void UpdateEpoll(Conn* conn) {
+    epoll_event event{};
+    event.data.fd = conn->fd;
+    if (!conn->paused) event.events |= EPOLLIN;
+    bool want_write = conn->out_offset < conn->out.size();
+    if (want_write) event.events |= EPOLLOUT;
+    conn->want_write = want_write;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &event);
+  }
+
+  void CloseConn(int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns.erase(it);
+    connections_gauge->Set(static_cast<int64_t>(conns.size()));
+  }
+
+  void CloseAll() {
+    std::vector<int> fds;
+    fds.reserve(conns.size());
+    for (const auto& [fd, conn] : conns) fds.push_back(fd);
+    for (int fd : fds) CloseConn(fd);
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+  }
+
+  void AcceptAll() {
+    while (true) {
+      int fd = ::accept4(listen_fd, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or transient accept failure: try next wakeup
+      }
+      if (conns.size() >= options.max_connections) {
+        connections_rejected->Increment();
+        std::string frame = EncodeFrame(MakeErrorMessage(
+            Status::ResourceExhausted("connection limit reached")));
+        ::send(fd, frame.data(), frame.size(),
+               MSG_DONTWAIT | MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Conn>(options.max_frame_bytes);
+      conn->fd = fd;
+      conn->id = next_conn_id++;
+      conn->last_read = conn->last_write_progress = Clock::now();
+      epoll_event event{};
+      event.data.fd = fd;
+      event.events = EPOLLIN;
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
+        ::close(fd);
+        continue;
+      }
+      conns.emplace(fd, std::move(conn));
+      connections_accepted->Increment();
+      connections_gauge->Set(static_cast<int64_t>(conns.size()));
+    }
+  }
+
+  void QueueWrite(Conn* conn, const Message& message) {
+    if (conn->out_offset == conn->out.size()) {
+      conn->last_write_progress = Clock::now();
+    }
+    conn->out.append(EncodeFrame(message));
+    frames_sent->Increment();
+    FlushConn(conn);
+  }
+
+  /// Writes as much of the buffered response bytes as the socket takes.
+  /// May close the connection (write error, or close_after_flush done).
+  void FlushConn(Conn* conn) {
+    int fd = conn->fd;
+    while (conn->out_offset < conn->out.size()) {
+      ssize_t n =
+          ::send(fd, conn->out.data() + conn->out_offset,
+                 conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_offset += static_cast<size_t>(n);
+        bytes_written->Increment(static_cast<uint64_t>(n));
+        conn->last_write_progress = Clock::now();
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        UpdateEpoll(conn);
+        return;
+      }
+      CloseConn(fd);
+      return;
+    }
+    conn->out.clear();
+    conn->out_offset = 0;
+    if (conn->close_after_flush) {
+      CloseConn(fd);
+      return;
+    }
+    if (conn->want_write) UpdateEpoll(conn);
+  }
+
+  Status SubmitHandler(Conn* conn, Message request) {
+    int fd = conn->fd;
+    uint64_t conn_id = conn->id;
+    return handlers->TrySubmit([this, fd, conn_id,
+                                request = std::move(request)] {
+      auto start = Clock::now();
+      Message response = HandleRequest(request);
+      uint64_t micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - start)
+              .count());
+      const char* endpoint = MessageTypeName(request.type);
+      metrics->counter(std::string("net.requests.") + endpoint)
+          ->Increment();
+      metrics->histogram(std::string("net.request_micros.") + endpoint)
+          ->Observe(micros);
+      if (response.type == MessageType::kErrorResponse) {
+        metrics->counter(std::string("net.request_errors.") + endpoint)
+            ->Increment();
+      }
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done.push_back(Done{fd, conn_id, EncodeFrame(response)});
+      }
+      Wake();
+    });
+  }
+
+  /// Starts handlers for parsed requests, in order, one at a time per
+  /// connection. Under kReject a full handler queue turns into an
+  /// immediate RESOURCE_EXHAUSTED response; under kBlock the request
+  /// parks at the head and reads stay paused until a slot frees up.
+  void PumpConn(Conn* conn) {
+    const int fd = conn->fd;
+    while (!conn->busy && !conn->pending.empty() &&
+           !conn->close_after_flush) {
+      if (draining) {
+        drain_cancelled->Increment();
+        conn->pending.pop_front();
+        QueueWrite(conn, MakeErrorMessage(Status::Cancelled(
+                             "server draining, request not started")));
+        if (conns.count(fd) == 0) return;  // write error closed it
+        continue;
+      }
+      Status submitted = SubmitHandler(conn, conn->pending.front());
+      if (submitted.ok()) {
+        conn->pending.pop_front();
+        conn->busy = true;
+        ++in_flight;
+        continue;
+      }
+      if (submitted.code() == StatusCode::kResourceExhausted &&
+          options.handlers.admission == service::AdmissionPolicy::kBlock) {
+        break;  // retried by PumpStalled once a handler frees a slot
+      }
+      admission_rejected->Increment();
+      conn->pending.pop_front();
+      QueueWrite(conn, MakeErrorMessage(submitted));
+      if (conns.count(fd) == 0) return;
+    }
+    // Resume reads once the pipeline buffer has room again (unless the
+    // framing is poisoned, which pauses the connection for good).
+    if (conn->paused && !conn->close_after_flush &&
+        conn->pending.size() < options.max_pipelined) {
+      conn->paused = false;
+      UpdateEpoll(conn);
+    }
+  }
+
+  void PumpStalled() {
+    std::vector<int> fds;
+    fds.reserve(conns.size());
+    for (const auto& [fd, conn] : conns) {
+      if (!conn->busy && !conn->pending.empty()) fds.push_back(fd);
+    }
+    for (int fd : fds) {
+      auto it = conns.find(fd);
+      if (it != conns.end()) PumpConn(it->second.get());
+    }
+  }
+
+  /// Pulls completed handler responses onto their connections' write
+  /// buffers. Responses for connections that died in the meantime are
+  /// dropped (the id check defeats fd reuse).
+  void DeliverCompletions() {
+    std::vector<Done> batch;
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      batch.swap(done);
+    }
+    for (auto& d : batch) {
+      --in_flight;
+      auto it = conns.find(d.fd);
+      if (it == conns.end() || it->second->id != d.conn_id) continue;
+      Conn* conn = it->second.get();
+      conn->busy = false;
+      if (conn->out_offset == conn->out.size()) {
+        conn->last_write_progress = Clock::now();
+      }
+      conn->out.append(d.frame);
+      FlushConn(conn);
+      it = conns.find(d.fd);
+      if (it != conns.end() && it->second->id == d.conn_id) {
+        PumpConn(it->second.get());
+      }
+    }
+  }
+
+  /// Reads until EAGAIN and parses complete frames into the pending
+  /// queue. Returns false when the connection was closed.
+  bool ReadConn(int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return false;
+    Conn* conn = it->second.get();
+    char buf[16384];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        bytes_read->Increment(static_cast<uint64_t>(n));
+        conn->reader.Feed(buf, static_cast<size_t>(n));
+        conn->last_read = Clock::now();
+        continue;
+      }
+      if (n == 0) {
+        CloseConn(fd);
+        return false;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(fd);
+      return false;
+    }
+    while (true) {
+      auto next = conn->reader.Next();
+      if (!next.ok()) {
+        frame_errors->Increment();
+        if (next.status().code() == StatusCode::kOutOfRange) {
+          oversized_frames->Increment();
+        }
+        // Tell the client why, then hang up: framing errors cannot be
+        // resynchronized.
+        conn->paused = true;
+        conn->close_after_flush = true;
+        QueueWrite(conn, MakeErrorMessage(next.status()));
+        break;
+      }
+      if (!next->has_value()) break;
+      frames_received->Increment();
+      Message message = std::move(**next);
+      if (!IsRequestType(message.type)) {
+        frame_errors->Increment();
+        conn->paused = true;
+        conn->close_after_flush = true;
+        QueueWrite(conn, MakeErrorMessage(Status::InvalidArgument(
+                             "expected a request frame")));
+        break;
+      }
+      conn->pending.push_back(std::move(message));
+      if (conn->pending.size() >= options.max_pipelined) {
+        conn->paused = true;
+        UpdateEpoll(conn);
+        break;
+      }
+    }
+    it = conns.find(fd);
+    if (it == conns.end()) return false;
+    PumpConn(it->second.get());
+    return conns.count(fd) != 0;
+  }
+
+  void SweepTimeouts() {
+    if (options.idle_timeout.count() == 0 &&
+        options.write_timeout.count() == 0) {
+      return;
+    }
+    auto now = Clock::now();
+    std::vector<int> slow;
+    std::vector<int> idle;
+    for (const auto& [fd, conn] : conns) {
+      if (options.write_timeout.count() > 0 &&
+          conn->out_offset < conn->out.size() &&
+          now - conn->last_write_progress > options.write_timeout) {
+        slow.push_back(fd);
+        continue;
+      }
+      if (options.idle_timeout.count() > 0 && !conn->busy &&
+          conn->pending.empty() && conn->out.empty() &&
+          now - conn->last_read > options.idle_timeout) {
+        idle.push_back(fd);
+      }
+    }
+    for (int fd : slow) {
+      evicted_slow->Increment();
+      CloseConn(fd);
+    }
+    for (int fd : idle) {
+      evicted_idle->Increment();
+      CloseConn(fd);
+    }
+  }
+
+  void BeginDrain() {
+    draining = true;
+    drain_deadline = Clock::now() + options.drain_timeout;
+    if (listen_fd >= 0) {
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+  }
+
+  bool DrainComplete() {
+    if (Clock::now() >= drain_deadline) return true;
+    if (in_flight > 0) return false;
+    for (const auto& [fd, conn] : conns) {
+      if (conn->busy || !conn->pending.empty() ||
+          conn->out_offset < conn->out.size()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string CombinedMetricsJson() const {
+    return "{\"server\":" + metrics->ToJson() +
+           ",\"service\":" + service->MetricsJson() + "}";
+  }
+
+  Message HandleRequest(const Message& request);
+  Message HandleAudit(const Message& request, bool static_only);
+  Message HandleScreenLibrary(const Message& request);
+  Message HandleExecuteQuery(const Message& request);
+  Message HandleLoadDump(const Message& request);
+};
+
+Message AuditServer::Impl::HandleRequest(const Message& request) {
+  switch (request.type) {
+    case MessageType::kHealthRequest:
+      // The payload is ignored (load generators pad it to probe frame
+      // sizes); a response proves loop + handler pool are alive.
+      return MakeOk("ok");
+    case MessageType::kMetricsRequest:
+      return MakeOk(CombinedMetricsJson());
+    case MessageType::kAuditRequest:
+      return HandleAudit(request, /*static_only=*/false);
+    case MessageType::kAuditStaticRequest:
+      return HandleAudit(request, /*static_only=*/true);
+    case MessageType::kScreenLibraryRequest:
+      return HandleScreenLibrary(request);
+    case MessageType::kExecuteQueryRequest:
+      return HandleExecuteQuery(request);
+    case MessageType::kLoadDumpRequest:
+      return HandleLoadDump(request);
+    default:
+      return MakeErrorMessage(
+          Status::InvalidArgument("not a request frame"));
+  }
+}
+
+Message AuditServer::Impl::HandleAudit(const Message& request,
+                                       bool static_only) {
+  auto fields = DecodeFields(request.payload);
+  if (!fields.ok()) return MakeErrorMessage(fields.status());
+  int64_t now_micros = 0;
+  if (fields->size() != 2 || !ParseInt64Field((*fields)[1], &now_micros)) {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "audit request wants fields: expression|now_micros"));
+  }
+  audit::AuditOptions options;
+  options.static_only = static_only;
+  std::shared_lock<std::shared_mutex> lock(state_mutex);
+  auto report =
+      service->Audit((*fields)[0], Timestamp(now_micros), options);
+  if (!report.ok()) return MakeErrorMessage(report.status());
+  return MakeOk(EncodeFields(
+      {report->CanonicalString(), report->DetailedReport(*log)}));
+}
+
+Message AuditServer::Impl::HandleScreenLibrary(const Message& request) {
+  auto fields = DecodeFields(request.payload);
+  if (!fields.ok()) return MakeErrorMessage(fields.status());
+  int64_t now_micros = 0;
+  if (fields->size() < 2 || !ParseInt64Field((*fields)[0], &now_micros)) {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "screen request wants fields: now_micros|expr[|expr...]"));
+  }
+  std::shared_lock<std::shared_mutex> lock(state_mutex);
+  audit::ExpressionLibrary library(&db->catalog());
+  for (size_t i = 1; i < fields->size(); ++i) {
+    auto expr = audit::ParseAudit((*fields)[i], Timestamp(now_micros));
+    if (!expr.ok()) return MakeErrorMessage(expr.status());
+    auto added = library.Add(*expr);
+    if (!added.ok()) return MakeErrorMessage(added.status());
+    // Expressions subsumed by an existing member simply don't add a new
+    // member; their coverage is implied by the subsuming screening.
+  }
+  auto screenings = service->ScreenLibrary(library);
+  std::vector<std::string> out;
+  out.reserve(screenings.size() * 4);
+  for (const auto& screening : screenings) {
+    out.push_back(std::to_string(screening.expression_id));
+    out.push_back(StatusCodeName(screening.status.code()));
+    out.push_back(screening.status.message());
+    out.push_back(screening.status.ok()
+                      ? screening.report.CanonicalString()
+                      : std::string());
+  }
+  return MakeOk(EncodeFields(out));
+}
+
+Message AuditServer::Impl::HandleExecuteQuery(const Message& request) {
+  auto fields = DecodeFields(request.payload);
+  if (!fields.ok()) return MakeErrorMessage(fields.status());
+  int64_t now_micros = 0;
+  if (fields->size() != 5 || !ParseInt64Field((*fields)[4], &now_micros)) {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "execute request wants fields: sql|user|role|purpose|now_micros"));
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mutex);
+  auto result = ExecuteSql((*fields)[0], db->View());
+  if (!result.ok()) return MakeErrorMessage(result.status());
+  int64_t id = log->Append((*fields)[0], Timestamp(now_micros),
+                           (*fields)[1], (*fields)[2], (*fields)[3]);
+  return MakeOk(EncodeFields({result->ToString(),
+                              std::to_string(result->rows.size()),
+                              std::to_string(id)}));
+}
+
+Message AuditServer::Impl::HandleLoadDump(const Message& request) {
+  auto fields = DecodeFields(request.payload);
+  if (!fields.ok()) return MakeErrorMessage(fields.status());
+  int64_t now_micros = 0;
+  if (fields->size() != 3 || !ParseInt64Field((*fields)[2], &now_micros)) {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "load request wants fields: db-or-log|dump-text|now_micros"));
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mutex);
+  std::istringstream in((*fields)[1]);
+  Status loaded;
+  if ((*fields)[0] == "db") {
+    loaded = io::ReadDatabaseDump(in, db, Timestamp(now_micros));
+  } else if ((*fields)[0] == "log") {
+    loaded = io::ReadQueryLogDump(in, log);
+  } else {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "load kind must be 'db' or 'log', got: " + (*fields)[0]));
+  }
+  if (!loaded.ok()) return MakeErrorMessage(loaded);
+  return MakeOk("ok");
+}
+
+AuditServer::AuditServer(service::AuditService* service, Database* db,
+                         Backlog* backlog, QueryLog* log,
+                         AuditServerOptions options)
+    : host_(options.host) {
+  impl_ = std::make_unique<Impl>(service, db, backlog, log,
+                                 std::move(options), &metrics_);
+}
+
+AuditServer::~AuditServer() { Shutdown(); }
+
+bool AuditServer::running() const { return impl_->running.load(); }
+
+std::string AuditServer::MetricsJson() const {
+  return impl_->CombinedMetricsJson();
+}
+
+Status AuditServer::Start() {
+  if (started_) {
+    return Status::AlreadyExists("server already started");
+  }
+  started_ = true;
+  Impl& impl = *impl_;
+  impl.listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                         SOCK_CLOEXEC,
+                            0);
+  if (impl.listen_fd < 0) {
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(impl.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl.options.port);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 host: " + host_);
+  }
+  if (::bind(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal("bind " + host_ + ":" +
+                            std::to_string(impl.options.port) + ": " +
+                            strerror(errno));
+  }
+  if (::listen(impl.listen_fd, impl.options.listen_backlog) != 0) {
+    return Status::Internal(std::string("listen: ") + strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return Status::Internal(std::string("getsockname: ") +
+                            strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  impl.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  impl.wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (impl.epoll_fd < 0 || impl.wake_fd < 0) {
+    return Status::Internal("epoll/eventfd setup failed");
+  }
+  epoll_event listen_event{};
+  listen_event.data.fd = impl.listen_fd;
+  listen_event.events = EPOLLIN;
+  epoll_event wake_event{};
+  wake_event.data.fd = impl.wake_fd;
+  wake_event.events = EPOLLIN;
+  if (::epoll_ctl(impl.epoll_fd, EPOLL_CTL_ADD, impl.listen_fd,
+                  &listen_event) != 0 ||
+      ::epoll_ctl(impl.epoll_fd, EPOLL_CTL_ADD, impl.wake_fd,
+                  &wake_event) != 0) {
+    return Status::Internal(std::string("epoll_ctl: ") + strerror(errno));
+  }
+  impl.stop_requested.store(false);
+  impl.draining = false;
+  impl.running.store(true);
+  loop_ = std::thread(&AuditServer::LoopThread, this);
+  return Status::Ok();
+}
+
+void AuditServer::LoopThread() {
+  Impl& impl = *impl_;
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    int n = ::epoll_wait(impl.epoll_fd, events, kMaxEvents,
+                         /*timeout_ms=*/50);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t ev = events[i].events;
+      if (fd == impl.wake_fd) {
+        impl.DrainWake();
+        continue;
+      }
+      if (fd == impl.listen_fd) {
+        if (!impl.draining) impl.AcceptAll();
+        continue;
+      }
+      if (ev & (EPOLLERR | EPOLLHUP)) {
+        impl.CloseConn(fd);
+        continue;
+      }
+      if (ev & EPOLLIN) {
+        if (!impl.ReadConn(fd)) continue;
+      }
+      if (ev & EPOLLOUT) {
+        auto it = impl.conns.find(fd);
+        if (it != impl.conns.end()) impl.FlushConn(it->second.get());
+      }
+    }
+    impl.DeliverCompletions();
+    impl.PumpStalled();
+    impl.SweepTimeouts();
+    if (impl.stop_requested.load() && !impl.draining) impl.BeginDrain();
+    if (impl.draining && impl.DrainComplete()) break;
+  }
+  impl.CloseAll();
+  impl.running.store(false);
+}
+
+void AuditServer::Shutdown() {
+  if (loop_.joinable()) {
+    impl_->stop_requested.store(true);
+    impl_->Wake();
+    loop_.join();
+  }
+  impl_->handlers->Shutdown();
+}
+
+}  // namespace net
+}  // namespace auditdb

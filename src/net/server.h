@@ -1,0 +1,111 @@
+#ifndef AUDITDB_NET_SERVER_H_
+#define AUDITDB_NET_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/net/wire.h"
+#include "src/service/audit_service.h"
+
+namespace auditdb {
+namespace net {
+
+struct AuditServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  int listen_backlog = 128;
+  size_t max_connections = 256;
+  /// Cap on one frame body; larger frames are answered with OutOfRange
+  /// and the connection closes.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Parsed-but-unserved requests buffered per connection before the
+  /// server stops reading from it (pipelining backpressure).
+  size_t max_pipelined = 32;
+  /// A connection with no read activity and nothing in flight for this
+  /// long is evicted. Zero disables.
+  std::chrono::milliseconds idle_timeout{30000};
+  /// A connection whose pending response bytes make no write progress
+  /// for this long is evicted (slow-client protection). Zero disables.
+  std::chrono::milliseconds write_timeout{10000};
+  /// Graceful-drain budget: Shutdown() stops accepting, then waits this
+  /// long for in-flight handlers to finish and responses to flush
+  /// before closing whatever is left.
+  std::chrono::milliseconds drain_timeout{10000};
+  /// The request-handler pool (separate from the audit service's worker
+  /// pool, which handlers fan audit shards out to). kReject surfaces a
+  /// full queue to clients as a RESOURCE_EXHAUSTED error response;
+  /// kBlock parks requests per connection and pauses reads instead, so
+  /// backpressure reaches the client through TCP.
+  service::ThreadPoolOptions handlers{
+      /*num_threads=*/4, /*queue_capacity=*/64,
+      service::AdmissionPolicy::kReject};
+};
+
+/// The network front door of the audit service: an epoll event loop
+/// that accepts non-blocking loopback/remote connections, parses
+/// length-prefixed frames (src/net/wire.h), and hands fully-parsed
+/// requests to a handler thread pool. Responses are written back on the
+/// event loop; per-connection order matches request order (one handler
+/// in flight per connection, the rest pipeline in arrival order).
+///
+/// Endpoints: Audit, AuditStatic, ScreenLibrary, ExecuteQuery (appends
+/// to the served query log), LoadDump (db or log), Health, Metrics.
+/// Mutating endpoints take a writer lock; audits share a reader lock,
+/// so remote reports are computed against a consistent store.
+///
+/// Shutdown() (or the daemon's SIGTERM path) drains gracefully: the
+/// listener closes, in-flight handlers finish, their responses flush,
+/// and only then do connections close.
+class AuditServer {
+ public:
+  /// `service` must be bound to `db`/`backlog`/`log`; all must outlive
+  /// the server. `backlog` is unused today but keeps the stores the
+  /// server mutates explicit.
+  AuditServer(service::AuditService* service, Database* db,
+              Backlog* backlog, QueryLog* log,
+              AuditServerOptions options = AuditServerOptions{});
+  ~AuditServer();
+
+  AuditServer(const AuditServer&) = delete;
+  AuditServer& operator=(const AuditServer&) = delete;
+
+  /// Binds, listens and starts the event-loop thread. Errors:
+  /// InvalidArgument (bad host), Internal (socket/bind/listen failure),
+  /// AlreadyExists (already started).
+  Status Start();
+
+  /// Bound port (after a successful Start).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return host_; }
+  bool running() const;
+
+  /// Graceful drain; blocks until the loop exits. Idempotent; also run
+  /// by the destructor.
+  void Shutdown();
+
+  const service::MetricsRegistry& metrics() const { return metrics_; }
+  /// {"server": <net.* metrics>, "service": <audit-service metrics>}.
+  std::string MetricsJson() const;
+
+ private:
+  struct Conn;
+  struct Impl;
+
+  void LoopThread();
+
+  std::unique_ptr<Impl> impl_;
+  service::MetricsRegistry metrics_;
+  std::string host_;
+  uint16_t port_ = 0;
+  bool started_ = false;  // one-shot: a shut-down server stays down
+  std::thread loop_;
+};
+
+}  // namespace net
+}  // namespace auditdb
+
+#endif  // AUDITDB_NET_SERVER_H_

@@ -1,0 +1,204 @@
+#include "src/net/wire.h"
+
+#include <cstring>
+
+#include "src/io/dump.h"
+
+namespace auditdb {
+namespace net {
+
+namespace {
+
+constexpr size_t kCompactThreshold = 64u << 10;
+
+uint32_t ReadBigEndian32(const char* p) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+void AppendBigEndian32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kHealthRequest:
+      return "health";
+    case MessageType::kMetricsRequest:
+      return "metrics";
+    case MessageType::kAuditRequest:
+      return "audit";
+    case MessageType::kAuditStaticRequest:
+      return "audit_static";
+    case MessageType::kScreenLibraryRequest:
+      return "screen_library";
+    case MessageType::kExecuteQueryRequest:
+      return "execute_query";
+    case MessageType::kLoadDumpRequest:
+      return "load_dump";
+    case MessageType::kOkResponse:
+      return "ok";
+    case MessageType::kErrorResponse:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool IsKnownMessageType(uint8_t byte) {
+  switch (static_cast<MessageType>(byte)) {
+    case MessageType::kHealthRequest:
+    case MessageType::kMetricsRequest:
+    case MessageType::kAuditRequest:
+    case MessageType::kAuditStaticRequest:
+    case MessageType::kScreenLibraryRequest:
+    case MessageType::kExecuteQueryRequest:
+    case MessageType::kLoadDumpRequest:
+    case MessageType::kOkResponse:
+    case MessageType::kErrorResponse:
+      return true;
+  }
+  return false;
+}
+
+bool IsRequestType(MessageType type) {
+  return IsKnownMessageType(static_cast<uint8_t>(type)) &&
+         type != MessageType::kOkResponse &&
+         type != MessageType::kErrorResponse;
+}
+
+bool IsIdempotentType(MessageType type) {
+  switch (type) {
+    case MessageType::kHealthRequest:
+    case MessageType::kMetricsRequest:
+    case MessageType::kAuditRequest:
+    case MessageType::kAuditStaticRequest:
+    case MessageType::kScreenLibraryRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string EncodeFrame(const Message& message) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + 1 + message.payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  AppendBigEndian32(static_cast<uint32_t>(1 + message.payload.size()), &out);
+  out.push_back(static_cast<char>(message.type));
+  out.append(message.payload);
+  return out;
+}
+
+std::string EncodeFields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back('|');
+    out.append(io::EscapeField(fields[i]));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DecodeFields(const std::string& payload) {
+  std::vector<std::string> out;
+  for (const auto& field : io::SplitEscapedFields(payload)) {
+    auto raw = io::UnescapeField(field);
+    if (!raw.ok()) return raw.status();
+    out.push_back(std::move(*raw));
+  }
+  return out;
+}
+
+Message MakeErrorMessage(const Status& status) {
+  return Message{
+      MessageType::kErrorResponse,
+      EncodeFields({StatusCodeName(status.code()), status.message()})};
+}
+
+Status DecodeErrorMessage(const std::string& payload) {
+  auto fields = DecodeFields(payload);
+  if (!fields.ok() || fields->size() != 2) {
+    return Status::Internal("malformed error response from server");
+  }
+  return Status(StatusCodeFromName((*fields)[0]), (*fields)[1]);
+}
+
+StatusCode StatusCodeFromName(const std::string& name) {
+  static const struct {
+    const char* name;
+    StatusCode code;
+  } kCodes[] = {
+      {"OK", StatusCode::kOk},
+      {"InvalidArgument", StatusCode::kInvalidArgument},
+      {"NotFound", StatusCode::kNotFound},
+      {"AlreadyExists", StatusCode::kAlreadyExists},
+      {"OutOfRange", StatusCode::kOutOfRange},
+      {"ParseError", StatusCode::kParseError},
+      {"TypeError", StatusCode::kTypeError},
+      {"Unimplemented", StatusCode::kUnimplemented},
+      {"Internal", StatusCode::kInternal},
+      {"Cancelled", StatusCode::kCancelled},
+      {"DeadlineExceeded", StatusCode::kDeadlineExceeded},
+      {"ResourceExhausted", StatusCode::kResourceExhausted},
+  };
+  for (const auto& entry : kCodes) {
+    if (name == entry.name) return entry.code;
+  }
+  return StatusCode::kInternal;
+}
+
+Result<std::optional<Message>> FrameReader::Next() {
+  if (!failure_.ok()) return failure_;
+  auto fail = [this](Status status) -> Result<std::optional<Message>> {
+    failure_ = status;
+    return failure_;
+  };
+  if (buffer_.size() - offset_ < kFrameHeaderBytes) {
+    // Partial header; compact so a drip-fed connection can't pin memory.
+    if (offset_ > kCompactThreshold) {
+      buffer_.erase(0, offset_);
+      offset_ = 0;
+    }
+    return std::optional<Message>();
+  }
+  const char* head = buffer_.data() + offset_;
+  if (std::memcmp(head, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return fail(Status::ParseError("bad frame magic"));
+  }
+  uint32_t body_len = ReadBigEndian32(head + 4);
+  if (body_len == 0) {
+    return fail(Status::ParseError("zero-length frame body"));
+  }
+  if (body_len > max_frame_bytes_) {
+    return fail(Status::OutOfRange(
+        "frame body of " + std::to_string(body_len) +
+        " bytes exceeds limit " + std::to_string(max_frame_bytes_)));
+  }
+  if (buffer_.size() - offset_ < kFrameHeaderBytes + body_len) {
+    return std::optional<Message>();
+  }
+  uint8_t type_byte = static_cast<uint8_t>(head[kFrameHeaderBytes]);
+  if (!IsKnownMessageType(type_byte)) {
+    return fail(Status::ParseError("unknown message type byte " +
+                                   std::to_string(type_byte)));
+  }
+  Message message;
+  message.type = static_cast<MessageType>(type_byte);
+  message.payload.assign(buffer_, offset_ + kFrameHeaderBytes + 1,
+                         body_len - 1);
+  offset_ += kFrameHeaderBytes + body_len;
+  if (offset_ == buffer_.size() || offset_ > kCompactThreshold) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  return std::optional<Message>(std::move(message));
+}
+
+}  // namespace net
+}  // namespace auditdb

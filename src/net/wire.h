@@ -1,0 +1,106 @@
+#ifndef AUDITDB_NET_WIRE_H_
+#define AUDITDB_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace auditdb {
+namespace net {
+
+/// The framed wire protocol spoken between net::AuditClient and
+/// net::AuditServer (docs/wire_protocol.md). Every frame is:
+///
+///   bytes 0..3   magic "ADB1"
+///   bytes 4..7   big-endian uint32 body length (>= 1)
+///   bytes 8..    body: one message-type byte + payload
+///
+/// Frames are binary-safe (the length prefix delimits them); structured
+/// payloads are pipe-separated fields escaped with io::EscapeField — the
+/// same escaping the dump format uses — so any byte string survives.
+
+enum class MessageType : uint8_t {
+  kHealthRequest = 1,
+  kMetricsRequest = 2,
+  kAuditRequest = 3,
+  kAuditStaticRequest = 4,
+  kScreenLibraryRequest = 5,
+  kExecuteQueryRequest = 6,
+  kLoadDumpRequest = 7,
+  kOkResponse = 0x40,
+  kErrorResponse = 0x41,
+};
+
+/// Endpoint name used in metrics and logs ("audit", "execute_query",
+/// ...); "unknown" for a byte that is not a MessageType.
+const char* MessageTypeName(MessageType type);
+bool IsKnownMessageType(uint8_t byte);
+bool IsRequestType(MessageType type);
+/// Requests that are safe to retry over a fresh connection: everything
+/// that leaves the server's stores untouched. ExecuteQuery (log append)
+/// and LoadDump are not idempotent.
+bool IsIdempotentType(MessageType type);
+
+/// One parsed frame body.
+struct Message {
+  MessageType type = MessageType::kHealthRequest;
+  std::string payload;
+};
+
+inline constexpr size_t kFrameHeaderBytes = 8;
+inline constexpr char kFrameMagic[4] = {'A', 'D', 'B', '1'};
+/// Default cap on the frame *body* (type byte + payload).
+inline constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// Renders header + body; the inverse of one FrameReader::Next() step.
+std::string EncodeFrame(const Message& message);
+
+/// Joins fields with '|' after io::EscapeField-escaping each.
+std::string EncodeFields(const std::vector<std::string>& fields);
+/// Splits on unescaped pipes and unescapes every field. The empty
+/// payload decodes to one empty field (callers validate arity).
+Result<std::vector<std::string>> DecodeFields(const std::string& payload);
+
+/// The error-response payload for `status` (code name + message).
+Message MakeErrorMessage(const Status& status);
+/// Reconstructs the Status carried by a kErrorResponse payload.
+Status DecodeErrorMessage(const std::string& payload);
+/// Inverse of StatusCodeName; kInternal for unknown names.
+StatusCode StatusCodeFromName(const std::string& name);
+
+/// Incremental frame parser for a byte stream. Feed() appends raw
+/// bytes; Next() pops one complete frame at a time:
+///
+///   Ok(Message)   a complete, well-formed frame was consumed;
+///   Ok(nullopt)   the buffer holds only a partial frame — feed more;
+///   error         protocol violation (bad magic, zero-length body,
+///                 body over the limit, unknown type byte). Sticky: the
+///                 connection cannot be resynchronized and must close.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(const char* data, size_t size) { buffer_.append(data, size); }
+  void Feed(const std::string& data) { buffer_.append(data); }
+
+  Result<std::optional<Message>> Next();
+
+  /// Bytes fed but not yet consumed by complete frames.
+  size_t buffered_bytes() const { return buffer_.size() - offset_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t offset_ = 0;
+  Status failure_;  // sticky protocol violation, OK until one happens
+};
+
+}  // namespace net
+}  // namespace auditdb
+
+#endif  // AUDITDB_NET_WIRE_H_

@@ -61,9 +61,16 @@ Status ThreadPool::Enqueue(std::function<void()> job, bool allow_block) {
     return Status::InvalidArgument("thread pool is shut down");
   }
   QueuedJob queued{std::move(job), std::chrono::steady_clock::now()};
+  // Count before the push: once a job is visible to a worker it must
+  // already be outstanding, or WaitIdle could slip between.
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    ++outstanding_;
+  }
   bool accepted = allow_block ? queue_.Push(std::move(queued))
                               : queue_.TryPush(std::move(queued));
   if (!accepted) {
+    FinishJob();
     if (queue_.closed()) {
       return Status::InvalidArgument("thread pool is shut down");
     }
@@ -87,7 +94,18 @@ void ThreadPool::WorkerLoop() {
     queued->fn();
     run_micros_->Observe(MicrosSince(run_start));
     jobs_completed_->Increment();
+    FinishJob();
   }
+}
+
+void ThreadPool::FinishJob() {
+  std::lock_guard<std::mutex> lock(idle_mutex_);
+  if (--outstanding_ == 0) idle_cv_.notify_all();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 void ThreadPool::Shutdown() {

@@ -2,8 +2,10 @@
 #define AUDITDB_SERVICE_THREAD_POOL_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -67,6 +69,11 @@ class ThreadPool {
   /// Idempotent; also run by the destructor.
   void Shutdown();
 
+  /// Blocks until every accepted job has finished running (the graceful-
+  /// drain hook: quiesce without tearing the pool down). The caller must
+  /// stop submitting first, or the wait can race new arrivals.
+  void WaitIdle();
+
   const MetricsRegistry& metrics() const { return *metrics_; }
   MetricsRegistry* mutable_metrics() { return metrics_; }
 
@@ -78,12 +85,18 @@ class ThreadPool {
 
   Status Enqueue(std::function<void()> job, bool allow_block);
   void WorkerLoop();
+  void FinishJob();
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_;
   AdmissionPolicy admission_ = AdmissionPolicy::kBlock;
   BoundedQueue<QueuedJob> queue_;
   std::vector<std::thread> workers_;
+
+  // Accepted-but-unfinished job count backing WaitIdle.
+  mutable std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  size_t outstanding_ = 0;
 
   // Hot-path instrument pointers (stable for the registry's lifetime).
   Counter* jobs_submitted_;

@@ -138,6 +138,131 @@ TEST(QueryLogDumpTest, RoundTrips) {
   EXPECT_EQ(restored.entries()[1].purpose, "billing");
 }
 
+// Strings chosen to break line-oriented, pipe-separated formats: field
+// separators, escape chars, record separators (LF and CRLF), leading /
+// trailing whitespace, empties, and non-ASCII bytes.
+const char* const kAdversarialStrings[] = {
+    "",
+    "|",
+    "|||",
+    "\\",
+    "\\|",
+    "a|b\\c",
+    "line1\nline2",
+    "crlf\r\n",
+    "\r",
+    "ends in cr\r",
+    "ends in space ",
+    " starts with space",
+    "\ttabbed\t",
+    "caf\xc3\xa9 \xf0\x9f\x94\x92",
+    "ROW 1|I:5",      // looks like a dump directive
+    "\\n not a newline",
+};
+
+TEST(FieldEscapingTest, RoundTripsAdversarialStrings) {
+  for (const char* raw : kAdversarialStrings) {
+    std::string escaped = EscapeField(raw);
+    // Escaped text never contains a bare separator or record terminator.
+    EXPECT_EQ(escaped.find('|'), std::string::npos) << raw;
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << raw;
+    EXPECT_EQ(escaped.find('\r'), std::string::npos) << raw;
+    auto unescaped = UnescapeField(escaped);
+    ASSERT_TRUE(unescaped.ok()) << unescaped.status().ToString();
+    EXPECT_EQ(*unescaped, raw);
+  }
+}
+
+TEST(FieldEscapingTest, SplitRespectsEscapedPipes) {
+  std::vector<std::string> fields(std::begin(kAdversarialStrings),
+                                  std::end(kAdversarialStrings));
+  std::string joined;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) joined += '|';
+    joined += EscapeField(fields[i]);
+  }
+  auto parts = SplitEscapedFields(joined);
+  ASSERT_EQ(parts.size(), fields.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    auto unescaped = UnescapeField(parts[i]);
+    ASSERT_TRUE(unescaped.ok()) << parts[i];
+    EXPECT_EQ(*unescaped, fields[i]) << i;
+  }
+}
+
+TEST(FieldEscapingTest, RejectsInvalidEscapes) {
+  EXPECT_FALSE(UnescapeField("trailing\\").ok());
+  EXPECT_FALSE(UnescapeField("bad\\q").ok());
+  EXPECT_TRUE(UnescapeField("fine\\\\").ok());
+}
+
+TEST(DatabaseDumpTest, RoundTripsAdversarialStringValues) {
+  Database original;
+  std::vector<Column> columns = {{"id", ValueType::kInt},
+                                 {"s", ValueType::kString}};
+  ASSERT_TRUE(original.CreateTable(TableSchema("T", columns)).ok());
+  int64_t id = 1;
+  for (const char* raw : kAdversarialStrings) {
+    ASSERT_TRUE(
+        original.Insert("T", {Value::Int(id++), Value::String(raw)}, Ts(1))
+            .ok())
+        << raw;
+  }
+
+  std::stringstream dump;
+  ASSERT_TRUE(WriteDatabaseDump(original, dump).ok());
+  Database restored;
+  ASSERT_TRUE(ReadDatabaseDump(dump, &restored, Ts(2)).ok());
+  auto a = original.GetTable("T");
+  auto b = restored.GetTable("T");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ((*a)->size(), (*b)->size());
+  for (size_t i = 0; i < (*a)->size(); ++i) {
+    EXPECT_EQ((*a)->rows()[i], (*b)->rows()[i]) << "row " << i;
+  }
+}
+
+TEST(QueryLogDumpTest, RoundTripsAdversarialEntries) {
+  QueryLog original;
+  for (const char* raw : kAdversarialStrings) {
+    original.Append(raw, Ts(10), std::string("user") + raw, raw, raw);
+  }
+
+  std::stringstream dump;
+  ASSERT_TRUE(WriteQueryLogDump(original, dump).ok());
+  QueryLog restored;
+  ASSERT_TRUE(ReadQueryLogDump(dump, &restored).ok());
+  ASSERT_EQ(restored.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.entries()[i].sql, original.entries()[i].sql) << i;
+    EXPECT_EQ(restored.entries()[i].user, original.entries()[i].user) << i;
+    EXPECT_EQ(restored.entries()[i].role, original.entries()[i].role) << i;
+    EXPECT_EQ(restored.entries()[i].purpose, original.entries()[i].purpose)
+        << i;
+  }
+}
+
+TEST(QueryLogDumpTest, ReadsCrlfTerminatedDumps) {
+  // A dump that passed through a CRLF-translating transport must load
+  // identically: the reader strips line terminators, not field content.
+  QueryLog original;
+  original.Append("SELECT a FROM T WHERE s = 'x y '", Ts(10), "alice",
+                  "doctor", "treatment");
+  std::stringstream dump;
+  ASSERT_TRUE(WriteQueryLogDump(original, dump).ok());
+  std::string text = dump.str();
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += "\r\n";
+    else crlf += c;
+  }
+  std::stringstream crlf_dump(crlf);
+  QueryLog restored;
+  ASSERT_TRUE(ReadQueryLogDump(crlf_dump, &restored).ok());
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.entries()[0].sql, original.entries()[0].sql);
+}
+
 TEST(QueryLogDumpTest, RejectsWrongFieldCount) {
   QueryLog log;
   std::stringstream bad("QUERY 1|2|3\n");

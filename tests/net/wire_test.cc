@@ -1,0 +1,209 @@
+#include "src/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace auditdb {
+namespace net {
+namespace {
+
+Message MustNext(FrameReader* reader) {
+  auto next = reader->Next();
+  EXPECT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_TRUE(next->has_value());
+  return std::move(**next);
+}
+
+TEST(FrameCodecTest, RoundTripsEveryMessageType) {
+  const MessageType types[] = {
+      MessageType::kHealthRequest,       MessageType::kMetricsRequest,
+      MessageType::kAuditRequest,        MessageType::kAuditStaticRequest,
+      MessageType::kScreenLibraryRequest, MessageType::kExecuteQueryRequest,
+      MessageType::kLoadDumpRequest,     MessageType::kOkResponse,
+      MessageType::kErrorResponse,
+  };
+  for (MessageType type : types) {
+    Message original{type, "payload for " +
+                               std::string(MessageTypeName(type))};
+    FrameReader reader;
+    reader.Feed(EncodeFrame(original));
+    Message decoded = MustNext(&reader);
+    EXPECT_EQ(decoded.type, original.type);
+    EXPECT_EQ(decoded.payload, original.payload);
+    EXPECT_EQ(reader.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FrameCodecTest, BinaryPayloadSurvives) {
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  payload += std::string("\x00\x00ADB1\x00", 7);  // embedded NULs + magic
+  Message original{MessageType::kOkResponse, payload};
+  FrameReader reader;
+  reader.Feed(EncodeFrame(original));
+  EXPECT_EQ(MustNext(&reader).payload, payload);
+}
+
+TEST(FrameReaderTest, ByteAtATimeFeedingYieldsOneFrame) {
+  Message original{MessageType::kAuditRequest, "expr|12345"};
+  std::string wire = EncodeFrame(original);
+  FrameReader reader;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    reader.Feed(&wire[i], 1);
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok()) << "byte " << i;
+    EXPECT_FALSE(next->has_value()) << "byte " << i;
+  }
+  reader.Feed(&wire[wire.size() - 1], 1);
+  Message decoded = MustNext(&reader);
+  EXPECT_EQ(decoded.payload, "expr|12345");
+}
+
+TEST(FrameReaderTest, MultipleFramesInOneFeed) {
+  std::string wire;
+  for (int i = 0; i < 5; ++i) {
+    wire += EncodeFrame(
+        {MessageType::kHealthRequest, "frame " + std::to_string(i)});
+  }
+  // Plus a trailing partial frame.
+  std::string partial =
+      EncodeFrame({MessageType::kMetricsRequest, "partial"});
+  wire += partial.substr(0, partial.size() - 3);
+
+  FrameReader reader;
+  reader.Feed(wire);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(MustNext(&reader).payload, "frame " + std::to_string(i));
+  }
+  auto next = reader.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  reader.Feed(partial.substr(partial.size() - 3));
+  EXPECT_EQ(MustNext(&reader).payload, "partial");
+}
+
+TEST(FrameReaderTest, RejectsBadMagic) {
+  FrameReader reader;
+  reader.Feed("XDB1\x00\x00\x00\x01\x01", 9);
+  auto next = reader.Next();
+  EXPECT_FALSE(next.ok());
+  // The failure is sticky: the stream cannot be resynchronized.
+  reader.Feed(EncodeFrame({MessageType::kHealthRequest, ""}));
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameReaderTest, RejectsZeroLengthBody) {
+  FrameReader reader;
+  reader.Feed("ADB1\x00\x00\x00\x00", 8);
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameReaderTest, RejectsOversizedBody) {
+  FrameReader reader(/*max_frame_bytes=*/16);
+  Message big{MessageType::kHealthRequest, std::string(64, 'x')};
+  reader.Feed(EncodeFrame(big));
+  auto next = reader.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kOutOfRange);
+  // Rejection happens off the header alone, before the body arrives.
+  FrameReader early(/*max_frame_bytes=*/16);
+  std::string wire = EncodeFrame(big);
+  early.Feed(wire.substr(0, kFrameHeaderBytes));
+  EXPECT_FALSE(early.Next().ok());
+}
+
+TEST(FrameReaderTest, RejectsUnknownTypeByte) {
+  FrameReader reader;
+  std::string wire = EncodeFrame({MessageType::kHealthRequest, "x"});
+  wire[kFrameHeaderBytes] = static_cast<char>(0x7f);
+  reader.Feed(wire);
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameReaderTest, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(20080101);
+  for (int round = 0; round < 200; ++round) {
+    FrameReader reader(/*max_frame_bytes=*/4096);
+    size_t len = rng() % 512;
+    std::string junk;
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng() & 0xff));
+    }
+    // Occasionally lead with real magic so the length path also runs.
+    if (round % 3 == 0) junk.insert(0, "ADB1");
+    reader.Feed(junk);
+    for (int step = 0; step < 8; ++step) {
+      auto next = reader.Next();
+      if (!next.ok() || !next->has_value()) break;
+    }
+  }
+}
+
+TEST(FieldCodecTest, RoundTripsAdversarialFields) {
+  const std::vector<std::vector<std::string>> cases = {
+      {"plain"},
+      {""},
+      {"", "", ""},
+      {"a|b", "c\\d", "e\nf", "g\rh", "\r\n", "|||"},
+      {"trailing space ", " leading", "\ttab\t"},
+      {std::string("nul\x00byte", 8), "caf\xc3\xa9", "\xf0\x9f\x94\x92"},
+      {"DURING 1/1/1970 AUDIT (name) FROM T WHERE x='\\|'"},
+  };
+  for (const auto& fields : cases) {
+    auto decoded = DecodeFields(EncodeFields(fields));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, fields);
+  }
+}
+
+TEST(FieldCodecTest, RejectsBadEscape) {
+  EXPECT_FALSE(DecodeFields("ok|bad\\q").ok());
+  EXPECT_FALSE(DecodeFields("dangling\\").ok());
+}
+
+TEST(ErrorCodecTest, StatusRoundTripsThroughErrorMessage) {
+  const Status statuses[] = {
+      Status::InvalidArgument("no such table: X"),
+      Status::NotFound("expression 7"),
+      Status::ResourceExhausted("handler queue full"),
+      Status::Cancelled("server draining"),
+      Status::Internal("with|pipe and\nnewline"),
+  };
+  for (const Status& status : statuses) {
+    Message wire_message = MakeErrorMessage(status);
+    EXPECT_EQ(wire_message.type, MessageType::kErrorResponse);
+    Status decoded = DecodeErrorMessage(wire_message.payload);
+    EXPECT_EQ(decoded.code(), status.code());
+    EXPECT_EQ(decoded.message(), status.message());
+  }
+}
+
+TEST(ErrorCodecTest, UnknownCodeNameMapsToInternal) {
+  EXPECT_EQ(StatusCodeFromName("NOT_A_CODE"), StatusCode::kInternal);
+  EXPECT_EQ(StatusCodeFromName("OK"), StatusCode::kOk);
+}
+
+TEST(TypePredicatesTest, ClassifiesRequestsAndIdempotence) {
+  EXPECT_TRUE(IsRequestType(MessageType::kAuditRequest));
+  EXPECT_TRUE(IsRequestType(MessageType::kExecuteQueryRequest));
+  EXPECT_FALSE(IsRequestType(MessageType::kOkResponse));
+  EXPECT_FALSE(IsRequestType(MessageType::kErrorResponse));
+
+  EXPECT_TRUE(IsIdempotentType(MessageType::kAuditRequest));
+  EXPECT_TRUE(IsIdempotentType(MessageType::kHealthRequest));
+  EXPECT_FALSE(IsIdempotentType(MessageType::kExecuteQueryRequest));
+  EXPECT_FALSE(IsIdempotentType(MessageType::kLoadDumpRequest));
+
+  EXPECT_TRUE(IsKnownMessageType(
+      static_cast<uint8_t>(MessageType::kScreenLibraryRequest)));
+  EXPECT_FALSE(IsKnownMessageType(0));
+  EXPECT_FALSE(IsKnownMessageType(0x7f));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace auditdb

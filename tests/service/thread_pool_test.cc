@@ -146,6 +146,46 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedJobs) {
   EXPECT_EQ(ran.load(), 10);
 }
 
+TEST(ThreadPoolTest, WaitIdleBlocksUntilEverySubmittedJobFinishes) {
+  ThreadPool pool(Options(2, 16));
+  std::atomic<int> ran{0};
+  std::latch release(1);
+  ASSERT_TRUE(pool.Submit([&] {
+                    release.wait();
+                    ran.fetch_add(1);
+                  })
+                  .ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }).ok());
+  }
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(milliseconds(20));
+    release.count_down();
+  });
+  pool.WaitIdle();
+  // WaitIdle returned: nothing queued, nothing running.
+  EXPECT_EQ(ran.load(), 9);
+  releaser.join();
+  // Idle pools return immediately, repeatedly.
+  pool.WaitIdle();
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, WaitIdleCountsRejectedJobsAsFinished) {
+  ThreadPool pool(Options(1, 1, AdmissionPolicy::kReject));
+  std::latch started(1), release(1);
+  ASSERT_TRUE(pool.Submit([&] {
+                    started.count_down();
+                    release.wait();
+                  })
+                  .ok());
+  started.wait();
+  ASSERT_TRUE(pool.Submit([] {}).ok());         // fills the queue slot
+  EXPECT_FALSE(pool.TrySubmit([] {}).ok());      // bounced — must not
+  release.count_down();                          // wedge WaitIdle
+  pool.WaitIdle();
+}
+
 // --- RunBatch --------------------------------------------------------
 
 TEST(RunBatchTest, StatusesLandInSubmissionSlots) {

@@ -9,6 +9,10 @@
 #include <fstream>
 #include <string>
 
+#include "src/net/server.h"
+#include "src/workload/generator.h"
+#include "src/workload/hospital.h"
+
 namespace auditdb {
 namespace {
 
@@ -153,6 +157,60 @@ TEST_F(ShellTest, AuditJobsRejectsBadCount) {
       ".quit\n");
   EXPECT_NE(out.find("error:"), std::string::npos);
   EXPECT_NE(out.find("--jobs"), std::string::npos);
+}
+
+TEST_F(ShellTest, ConnectRunsCommandsAgainstRemoteAuditd) {
+  // An in-process auditd the shell subprocess attaches to.
+  Database db;
+  Backlog backlog;
+  backlog.Attach(&db);
+  QueryLog log;
+  workload::HospitalConfig hospital;
+  hospital.num_patients = 30;
+  hospital.seed = 2008;
+  ASSERT_TRUE(workload::PopulateHospital(&db, hospital,
+                                         Timestamp(1000000)).ok());
+  workload::WorkloadConfig workload;
+  workload.num_queries = 40;
+  workload.start = Timestamp(100 * 1000000);
+  ASSERT_TRUE(workload::GenerateWorkload(&log, workload, hospital).ok());
+  service::AuditService audit_service(&db, &backlog, &log);
+  net::AuditServer server(&audit_service, &db, &backlog, &log);
+  ASSERT_TRUE(server.Start().ok());
+  std::string target =
+      server.host() + ":" + std::to_string(server.port());
+
+  size_t log_before = log.size();
+  std::string out = RunShell(
+      ".connect " + target + "\n"
+      ".at 10/1/1970\n"
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'\n"
+      ".audit DURING 1/1/1970 to 2/1/1970 "
+      "DATA-INTERVAL 1/1/1970 to 2/1/1970 "
+      "AUDIT (name,disease) FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease='diabetic'\n"
+      ".metrics\n"
+      ".tables\n"
+      ".disconnect\n"
+      ".tables\n.quit\n");
+  server.Shutdown();
+
+  EXPECT_NE(out.find("connected to auditd at " + target), std::string::npos);
+  EXPECT_NE(out.find("logged remotely as #"), std::string::npos);
+  EXPECT_EQ(log.size(), log_before + 1);  // SELECT hit the server's log
+  EXPECT_NE(out.find("AUDIT REPORT"), std::string::npos);
+  EXPECT_NE(out.find("\"net.frames_received\""), std::string::npos);
+  // Local-only commands are refused while connected, work again after.
+  EXPECT_NE(out.find(".tables works on the in-process stores"),
+            std::string::npos);
+  EXPECT_NE(out.find("back to in-process stores"), std::string::npos);
+}
+
+TEST_F(ShellTest, ConnectRefusesBadTarget) {
+  std::string out = RunShell(".connect nowhere\n.quit\n");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_NE(out.find("host:port"), std::string::npos);
 }
 
 TEST_F(ShellTest, ErrorsAreReportedNotFatal) {

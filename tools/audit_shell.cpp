@@ -26,6 +26,11 @@
 ///   .audit-static [--jobs N] <expression>
 ///                                 data-independent audit only
 ///   .granules <expression>        print the granule set (first 100)
+///   .connect <host:port>          attach to a running auditd; while
+///                                 connected, .audit / .audit-static,
+///                                 SELECT and .load run remotely
+///   .disconnect                   back to the in-process stores
+///   .metrics                      remote server + service metrics JSON
 ///   .quit                         exit
 ///   SELECT ...                    execute, print results, append to log
 ///
@@ -34,11 +39,13 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "src/audit/auditor.h"
 #include "src/audit/granule.h"
 #include "src/common/string_util.h"
+#include "src/net/client.h"
 #include "src/service/audit_service.h"
 #include "src/io/dump.h"
 #include "src/workload/generator.h"
@@ -107,9 +114,66 @@ class Shell {
           ".workload N [seed]\n"
           ".audit [--jobs N] <expr>  .audit-static [--jobs N] <expr>\n"
           ".granules <expr>\n"
+          ".connect <host:port>  .disconnect  .metrics\n"
           "SELECT ...  runs a query and logs it\n"
           ".quit\n");
       return Status::Ok();
+    }
+    if (cmd == ".connect") {
+      if (words.size() != 2) {
+        return Status::InvalidArgument("usage: .connect <host:port>");
+      }
+      auto colon = words[1].rfind(':');
+      int64_t port = 0;
+      if (colon == std::string::npos ||
+          !ParseCount(words[1].substr(colon + 1), &port) || port <= 0 ||
+          port > 65535) {
+        return Status::InvalidArgument("expected host:port, got " +
+                                       words[1]);
+      }
+      auto client = std::make_unique<net::AuditClient>(
+          words[1].substr(0, colon), static_cast<uint16_t>(port));
+      AUDITDB_RETURN_IF_ERROR(client->Connect());
+      auto health = client->Health();
+      if (!health.ok()) return health.status();
+      remote_ = std::move(client);
+      std::printf("connected to auditd at %s (health: %s)\n",
+                  words[1].c_str(), health->c_str());
+      return Status::Ok();
+    }
+    if (cmd == ".disconnect") {
+      if (!remote_) return Status::InvalidArgument("not connected");
+      remote_.reset();
+      std::printf("back to in-process stores\n");
+      return Status::Ok();
+    }
+    if (cmd == ".metrics") {
+      if (!remote_) return Status::InvalidArgument("not connected");
+      auto metrics = remote_->MetricsJson();
+      if (!metrics.ok()) return metrics.status();
+      std::printf("%s\n", metrics->c_str());
+      return Status::Ok();
+    }
+    // While attached to a remote auditd, commands that read or mutate
+    // state run against the server's stores; commands that only make
+    // sense against the in-process stores are refused rather than
+    // silently operating on the wrong world.
+    if (remote_) {
+      if (cmd == ".load") {
+        return RemoteLoad(words);
+      }
+      if (cmd == ".audit" || cmd == ".audit-static") {
+        std::string expr_text = line.substr(cmd.size());
+        auto report = remote_->Audit(expr_text, now_,
+                                     cmd == ".audit-static");
+        if (!report.ok()) return report.status();
+        std::printf("%s", report->detailed.c_str());
+        return Status::Ok();
+      }
+      if (cmd != ".as" && cmd != ".at") {
+        return Status::InvalidArgument(
+            cmd + " works on the in-process stores; .disconnect first");
+      }
     }
     if (cmd == ".fixture") {
       if (words.size() >= 2 && words[1] == "paper") {
@@ -285,6 +349,16 @@ class Shell {
   }
 
   Status RunQuery(const std::string& sql) {
+    if (remote_) {
+      auto result = remote_->ExecuteQuery(sql, user_, role_, purpose_,
+                                          now_);
+      if (!result.ok()) return result.status();
+      std::printf("%s(%zu rows, logged remotely as #%lld)\n",
+                  result->rendered.c_str(), result->num_rows,
+                  static_cast<long long>(result->log_id));
+      now_ = now_.AddSeconds(1);
+      return Status::Ok();
+    }
     auto result = ExecuteSql(sql, db_.View());
     if (!result.ok()) return result.status();
     std::printf("%s(%zu rows)\n", result->ToString().c_str(),
@@ -292,6 +366,22 @@ class Shell {
     log_.Append(sql, now_, user_, role_, purpose_);
     now_ = now_.AddSeconds(1);
     return Status::Ok();
+  }
+
+  /// `.load db|log <file>` while connected: ship the dump text into the
+  /// remote server's stores.
+  Status RemoteLoad(const std::vector<std::string>& words) {
+    if (words.size() != 3 || (words[1] != "db" && words[1] != "log")) {
+      return Status::InvalidArgument("usage: .load db|log <file>");
+    }
+    std::ifstream in(words[2]);
+    if (!in) return Status::NotFound("cannot open: " + words[2]);
+    std::stringstream text;
+    text << in.rdbuf();
+    if (words[1] == "db") {
+      return remote_->LoadDatabaseDump(text.str(), now_);
+    }
+    return remote_->LoadQueryLogDump(text.str());
   }
 
   static bool ParseCount(const std::string& text, int64_t* out) {
@@ -306,6 +396,7 @@ class Shell {
   Database db_;
   Backlog backlog_;
   QueryLog log_;
+  std::unique_ptr<net::AuditClient> remote_;
   workload::HospitalConfig hospital_;
   Timestamp now_ = Timestamp::Now();
   std::string user_ = "admin";

@@ -1,0 +1,243 @@
+/// auditd — the network audit daemon: serves the concurrent
+/// AuditService over the framed wire protocol (docs/wire_protocol.md).
+///
+/// Usage: auditd [flags]
+///   --host H                 IPv4 to bind (default 127.0.0.1)
+///   --port P                 TCP port; 0 picks an ephemeral port
+///   --service-threads N      audit worker pool size (0 = hardware)
+///   --handler-threads N      request handler pool size (default 4)
+///   --handler-queue N        handler queue capacity (default 64)
+///   --admission block|reject what a full handler queue does
+///                            (reject surfaces RESOURCE_EXHAUSTED to
+///                            the client; block pauses reads)
+///   --max-frame BYTES        per-frame body cap (default 4 MiB)
+///   --idle-timeout-ms N      evict idle connections after N ms
+///   --fixture hospital:N[:SEED]   populate the hospital instance
+///   --workload N[:SEED]      append N generated queries to the log
+///   --db FILE                load a database dump at startup
+///   --log FILE               load a query-log dump at startup
+///   --port-file FILE         write the bound port (for scripts that
+///                            start auditd on an ephemeral port)
+///   --quiet                  suppress the startup banner
+///
+/// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
+/// requests finish and flush, then the daemon exits 0 and prints the
+/// final metrics JSON.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/io/dump.h"
+#include "src/net/server.h"
+#include "src/workload/generator.h"
+#include "src/workload/hospital.h"
+
+using namespace auditdb;
+
+namespace {
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  size_t service_threads = 0;
+  size_t handler_threads = 4;
+  size_t handler_queue = 64;
+  service::AdmissionPolicy admission = service::AdmissionPolicy::kReject;
+  size_t max_frame = net::kDefaultMaxFrameBytes;
+  int idle_timeout_ms = 30000;
+  size_t fixture_patients = 0;
+  uint64_t fixture_seed = 2008;
+  size_t workload_queries = 0;
+  uint64_t workload_seed = 7;
+  std::string db_file;
+  std::string log_file;
+  std::string port_file;
+  bool quiet = false;
+};
+
+bool ParseSize(const char* text, size_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+/// Parses "N" or "N:SEED".
+bool ParseCountSeed(const std::string& text, size_t* count,
+                    uint64_t* seed) {
+  auto colon = text.find(':');
+  std::string head = text.substr(0, colon);
+  if (!ParseSize(head.c_str(), count)) return false;
+  if (colon != std::string::npos) {
+    size_t s;
+    if (!ParseSize(text.c_str() + colon + 1, &s)) return false;
+    *seed = s;
+  }
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [flags] (see header comment)\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--quiet") {
+      flags.quiet = true;
+    } else if (arg == "--host" && (value = next())) {
+      flags.host = value;
+    } else if (arg == "--port" && (value = next())) {
+      flags.port = std::atoi(value);
+    } else if (arg == "--service-threads" && (value = next())) {
+      if (!ParseSize(value, &flags.service_threads)) return Usage(argv[0]);
+    } else if (arg == "--handler-threads" && (value = next())) {
+      if (!ParseSize(value, &flags.handler_threads)) return Usage(argv[0]);
+    } else if (arg == "--handler-queue" && (value = next())) {
+      if (!ParseSize(value, &flags.handler_queue)) return Usage(argv[0]);
+    } else if (arg == "--admission" && (value = next())) {
+      if (std::strcmp(value, "block") == 0) {
+        flags.admission = service::AdmissionPolicy::kBlock;
+      } else if (std::strcmp(value, "reject") == 0) {
+        flags.admission = service::AdmissionPolicy::kReject;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--max-frame" && (value = next())) {
+      if (!ParseSize(value, &flags.max_frame)) return Usage(argv[0]);
+    } else if (arg == "--idle-timeout-ms" && (value = next())) {
+      flags.idle_timeout_ms = std::atoi(value);
+    } else if (arg == "--fixture" && (value = next())) {
+      std::string spec = value;
+      if (spec.rfind("hospital:", 0) != 0 ||
+          !ParseCountSeed(spec.substr(9), &flags.fixture_patients,
+                          &flags.fixture_seed)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--workload" && (value = next())) {
+      if (!ParseCountSeed(value, &flags.workload_queries,
+                          &flags.workload_seed)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--db" && (value = next())) {
+      flags.db_file = value;
+    } else if (arg == "--log" && (value = next())) {
+      flags.log_file = value;
+    } else if (arg == "--port-file" && (value = next())) {
+      flags.port_file = value;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Route SIGTERM/SIGINT to sigwait below; block them before any thread
+  // spawns so every pool worker inherits the mask.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  Database db;
+  Backlog backlog;
+  backlog.Attach(&db);
+  QueryLog log;
+  Timestamp t0(1000000);
+
+  if (flags.fixture_patients > 0) {
+    workload::HospitalConfig hospital;
+    hospital.num_patients = flags.fixture_patients;
+    hospital.seed = flags.fixture_seed;
+    Status status = workload::PopulateHospital(&db, hospital, t0);
+    if (!status.ok()) {
+      std::fprintf(stderr, "fixture: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (flags.workload_queries > 0) {
+      workload::WorkloadConfig workload;
+      workload.num_queries = flags.workload_queries;
+      workload.seed = flags.workload_seed;
+      workload.start = Timestamp(100 * 1000000);
+      status = workload::GenerateWorkload(&log, workload, hospital);
+      if (!status.ok()) {
+        std::fprintf(stderr, "workload: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  if (!flags.db_file.empty()) {
+    Status status = io::LoadDatabase(flags.db_file, &db, t0);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--db: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!flags.log_file.empty()) {
+    Status status = io::LoadQueryLog(flags.log_file, &log);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--log: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  service::AuditServiceOptions service_options;
+  service_options.pool.num_threads = flags.service_threads;
+  service::AuditService audit_service(&db, &backlog, &log,
+                                      service_options);
+
+  net::AuditServerOptions server_options;
+  server_options.host = flags.host;
+  server_options.port = static_cast<uint16_t>(flags.port);
+  server_options.max_frame_bytes = flags.max_frame;
+  server_options.idle_timeout =
+      std::chrono::milliseconds(flags.idle_timeout_ms);
+  server_options.handlers.num_threads = flags.handler_threads;
+  server_options.handlers.queue_capacity = flags.handler_queue;
+  server_options.handlers.admission = flags.admission;
+  net::AuditServer server(&audit_service, &db, &backlog, &log,
+                          server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  if (!flags.port_file.empty()) {
+    std::ofstream out(flags.port_file);
+    out << server.port() << "\n";
+  }
+  if (!flags.quiet) {
+    std::printf(
+        "auditd listening on %s:%u (service threads=%zu, handlers=%zu, "
+        "admission=%s, log=%zu queries)\n",
+        server.host().c_str(), server.port(),
+        audit_service.num_threads(), flags.handler_threads,
+        flags.admission == service::AdmissionPolicy::kReject ? "reject"
+                                                             : "block",
+        log.size());
+    std::fflush(stdout);
+  }
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  if (!flags.quiet) {
+    std::fprintf(stderr, "auditd: signal %d, draining...\n", sig);
+  }
+  server.Shutdown();
+  std::printf("%s\n", server.MetricsJson().c_str());
+  return 0;
+}

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# CI gate: regular build + full test suite, then the service-layer
-# concurrency suite (determinism + stress) under ThreadSanitizer.
+# CI gate: regular build + full test suite, the service-layer concurrency
+# suite (determinism + stress) under ThreadSanitizer, then the network
+# layer under AddressSanitizer — unit suites plus a live auditd smoke:
+# client round-trips against a loopback daemon and a SIGTERM graceful
+# drain, failing on any ASan report.
 #
 # Usage: tools/run_ci.sh [build-dir-prefix]
-#   Build trees land in <prefix> and <prefix>-tsan (default: build-ci).
+#   Build trees land in <prefix>, <prefix>-tsan and <prefix>-asan
+#   (default: build-ci).
 
 set -euo pipefail
 
@@ -11,14 +15,14 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== [1/3] build (${PREFIX}) =="
+echo "== [1/4] build (${PREFIX}) =="
 cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${PREFIX}" -j "${JOBS}"
 
-echo "== [2/3] ctest =="
+echo "== [2/4] ctest =="
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "== [3/3] service determinism + stress under ThreadSanitizer =="
+echo "== [3/4] service determinism + stress under ThreadSanitizer =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=thread
 # The TSan gate only needs the concurrency suite; building just its
@@ -26,5 +30,50 @@ cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target service_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
       -R 'SchedulerTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest'
+
+echo "== [4/4] network layer under AddressSanitizer =="
+cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DAUDITDB_SANITIZE=address
+cmake --build "${PREFIX}-asan" -j "${JOBS}" \
+      --target net_test auditd audit_client
+# ASan exits non-zero on any report; halt_on_error makes that immediate.
+export ASAN_OPTIONS="halt_on_error=1:abort_on_error=0:exitcode=99"
+ctest --test-dir "${PREFIX}-asan" --output-on-failure \
+      -R 'FrameCodecTest|FrameReaderTest|FieldCodecTest|ErrorCodecTest|TypePredicatesTest|AuditServerTest'
+
+echo "-- auditd loopback smoke (ASan build) --"
+PORT_FILE="$(mktemp)"
+AUDITD_LOG="$(mktemp)"
+"${PREFIX}-asan/tools/auditd" --port 0 --port-file "${PORT_FILE}" \
+    --fixture hospital:200:2008 --workload 500:7 >"${AUDITD_LOG}" 2>&1 &
+AUDITD_PID=$!
+cleanup() { kill -9 "${AUDITD_PID}" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# Wait for the daemon to write its ephemeral port.
+for _ in $(seq 1 100); do
+  [ -s "${PORT_FILE}" ] && break
+  kill -0 "${AUDITD_PID}" 2>/dev/null || { cat "${AUDITD_LOG}"; exit 1; }
+  sleep 0.1
+done
+PORT="$(cat "${PORT_FILE}")"
+[ -n "${PORT}" ] || { echo "auditd never reported a port"; cat "${AUDITD_LOG}"; exit 1; }
+
+# Remote client smoke: health + audit + metrics over the wire.
+"${PREFIX}-asan/examples/audit_client" "127.0.0.1:${PORT}"
+
+# Graceful drain: SIGTERM must yield a clean exit 0 (and no ASan report).
+kill -TERM "${AUDITD_PID}"
+DRAIN_RC=0
+wait "${AUDITD_PID}" || DRAIN_RC=$?
+trap - EXIT
+if [ "${DRAIN_RC}" -ne 0 ]; then
+  echo "auditd drain exited ${DRAIN_RC}"
+  cat "${AUDITD_LOG}"
+  exit 1
+fi
+grep -q '"server"' "${AUDITD_LOG}" || {
+  echo "auditd did not print final metrics"; cat "${AUDITD_LOG}"; exit 1; }
+rm -f "${PORT_FILE}" "${AUDITD_LOG}"
 
 echo "CI gate passed."
