@@ -64,6 +64,10 @@ struct AuditServer::Conn {
   /// One handler in flight per connection keeps responses in order.
   bool busy = false;
   bool close_after_flush = false;
+  /// Protocol-error frame held back until the in-flight handler's
+  /// response is delivered, so even a dying connection answers in
+  /// request order.
+  std::string deferred_error;
   /// Reads withheld (pipelining cap or poisoned framing).
   bool paused = false;
   bool want_write = false;
@@ -115,6 +119,7 @@ struct AuditServer::Impl {
   service::Counter* bytes_written;
   service::Counter* frame_errors;
   service::Counter* oversized_frames;
+  service::Counter* oversized_responses;
   service::Counter* evicted_idle;
   service::Counter* evicted_slow;
   service::Counter* admission_rejected;
@@ -140,6 +145,7 @@ struct AuditServer::Impl {
     bytes_written = metrics->counter("net.bytes_written");
     frame_errors = metrics->counter("net.frame_errors");
     oversized_frames = metrics->counter("net.oversized_frames");
+    oversized_responses = metrics->counter("net.oversized_responses");
     evicted_idle = metrics->counter("net.evicted_idle");
     evicted_slow = metrics->counter("net.evicted_slow");
     admission_rejected = metrics->counter("net.admission_rejected");
@@ -277,6 +283,19 @@ struct AuditServer::Impl {
                                 request = std::move(request)] {
       auto start = Clock::now();
       Message response = HandleRequest(request);
+      // Never emit a frame the client's reader could refuse: oversized
+      // replies (huge SELECT render, metrics dump, detailed report)
+      // degrade to an OutOfRange error on a connection that stays in
+      // sync. Non-idempotent handlers guard before their side effects.
+      if (options.max_response_bytes > 0 &&
+          1 + response.payload.size() > options.max_response_bytes) {
+        oversized_responses->Increment();
+        response = MakeErrorMessage(Status::OutOfRange(
+            "response body of " +
+            std::to_string(1 + response.payload.size()) +
+            " bytes exceeds limit " +
+            std::to_string(options.max_response_bytes)));
+      }
       uint64_t micros = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               Clock::now() - start)
@@ -298,45 +317,111 @@ struct AuditServer::Impl {
     });
   }
 
+  /// Marks a connection dead after a protocol violation: reads stop for
+  /// good, no further handlers start, and the connection closes once
+  /// the error frame flushes. If a handler is in flight its response is
+  /// delivered first — the in-order response guarantee holds even on a
+  /// dying connection. May close the connection (error-frame write
+  /// failure).
+  void PoisonConn(Conn* conn, const Status& status) {
+    conn->paused = true;
+    conn->close_after_flush = true;
+    if (conn->busy) {
+      conn->deferred_error = EncodeFrame(MakeErrorMessage(status));
+      UpdateEpoll(conn);
+      return;
+    }
+    QueueWrite(conn, MakeErrorMessage(status));
+  }
+
+  /// Parses complete frames already buffered in the connection's
+  /// FrameReader into the pending queue, pausing reads at the
+  /// pipelining cap and poisoning the connection on malformed input.
+  /// Returns false when the connection was closed underneath us.
+  bool ParseFrames(Conn* conn) {
+    const int fd = conn->fd;
+    while (!conn->close_after_flush &&
+           conn->pending.size() < options.max_pipelined) {
+      auto next = conn->reader.Next();
+      if (!next.ok()) {
+        frame_errors->Increment();
+        if (next.status().code() == StatusCode::kOutOfRange) {
+          oversized_frames->Increment();
+        }
+        // Tell the client why, then hang up: framing errors cannot be
+        // resynchronized.
+        PoisonConn(conn, next.status());
+        return conns.count(fd) != 0;
+      }
+      if (!next->has_value()) return true;
+      frames_received->Increment();
+      Message message = std::move(**next);
+      if (!IsRequestType(message.type)) {
+        frame_errors->Increment();
+        PoisonConn(conn, Status::InvalidArgument(
+                             "expected a request frame"));
+        return conns.count(fd) != 0;
+      }
+      conn->pending.push_back(std::move(message));
+    }
+    if (conn->pending.size() >= options.max_pipelined) {
+      conn->paused = true;
+      UpdateEpoll(conn);
+    }
+    return true;
+  }
+
   /// Starts handlers for parsed requests, in order, one at a time per
   /// connection. Under kReject a full handler queue turns into an
   /// immediate RESOURCE_EXHAUSTED response; under kBlock the request
   /// parks at the head and reads stay paused until a slot frees up.
   void PumpConn(Conn* conn) {
     const int fd = conn->fd;
-    while (!conn->busy && !conn->pending.empty() &&
-           !conn->close_after_flush) {
-      if (draining) {
-        drain_cancelled->Increment();
+    bool unpaused = false;
+    while (true) {
+      while (!conn->busy && !conn->pending.empty() &&
+             !conn->close_after_flush) {
+        if (draining) {
+          drain_cancelled->Increment();
+          conn->pending.pop_front();
+          QueueWrite(conn, MakeErrorMessage(Status::Cancelled(
+                               "server draining, request not started")));
+          if (conns.count(fd) == 0) return;  // write error closed it
+          continue;
+        }
+        Status submitted = SubmitHandler(conn, conn->pending.front());
+        if (submitted.ok()) {
+          conn->pending.pop_front();
+          conn->busy = true;
+          ++in_flight;
+          continue;
+        }
+        if (submitted.code() == StatusCode::kResourceExhausted &&
+            options.handlers.admission ==
+                service::AdmissionPolicy::kBlock) {
+          break;  // retried by PumpStalled once a handler frees a slot
+        }
+        admission_rejected->Increment();
         conn->pending.pop_front();
-        QueueWrite(conn, MakeErrorMessage(Status::Cancelled(
-                             "server draining, request not started")));
-        if (conns.count(fd) == 0) return;  // write error closed it
-        continue;
+        QueueWrite(conn, MakeErrorMessage(submitted));
+        if (conns.count(fd) == 0) return;
       }
-      Status submitted = SubmitHandler(conn, conn->pending.front());
-      if (submitted.ok()) {
-        conn->pending.pop_front();
-        conn->busy = true;
-        ++in_flight;
-        continue;
+      // Resume reads once the pipeline buffer has room again (unless
+      // the framing is poisoned, which pauses the connection for good).
+      // Frames the client pipelined past the cap are already sitting in
+      // the FrameReader and will never raise another EPOLLIN, so parse
+      // them now instead of waiting on the socket.
+      if (conn->paused && !conn->close_after_flush &&
+          conn->pending.size() < options.max_pipelined) {
+        conn->paused = false;
+        unpaused = true;
+        size_t before = conn->pending.size();
+        if (!ParseFrames(conn)) return;  // error-frame write closed it
+        if (conn->pending.size() > before && !conn->busy) continue;
       }
-      if (submitted.code() == StatusCode::kResourceExhausted &&
-          options.handlers.admission == service::AdmissionPolicy::kBlock) {
-        break;  // retried by PumpStalled once a handler frees a slot
-      }
-      admission_rejected->Increment();
-      conn->pending.pop_front();
-      QueueWrite(conn, MakeErrorMessage(submitted));
-      if (conns.count(fd) == 0) return;
+      break;
     }
-    // Resume reads once the pipeline buffer has room again (unless the
-    // framing is poisoned, which pauses the connection for good).
-    if (conn->paused && !conn->close_after_flush &&
-        conn->pending.size() < options.max_pipelined) {
-      conn->paused = false;
-      UpdateEpoll(conn);
-    }
+    if (unpaused) UpdateEpoll(conn);
   }
 
   void PumpStalled() {
@@ -370,6 +455,15 @@ struct AuditServer::Impl {
         conn->last_write_progress = Clock::now();
       }
       conn->out.append(d.frame);
+      frames_sent->Increment();
+      // A protocol violation detected while this handler ran parked its
+      // error frame; it goes out right behind the response it waited
+      // for, keeping the dying connection's responses in order.
+      if (!conn->deferred_error.empty()) {
+        conn->out.append(conn->deferred_error);
+        conn->deferred_error.clear();
+        frames_sent->Increment();
+      }
       FlushConn(conn);
       it = conns.find(d.fd);
       if (it != conns.end() && it->second->id == d.conn_id) {
@@ -384,6 +478,10 @@ struct AuditServer::Impl {
     auto it = conns.find(fd);
     if (it == conns.end()) return false;
     Conn* conn = it->second.get();
+    // A stale EPOLLIN for a paused connection is a no-op: the data
+    // stays in the kernel buffer (level-triggered) and the unpause path
+    // in PumpConn resumes parsing and re-arms the interest set.
+    if (conn->paused) return true;
     char buf[16384];
     while (true) {
       ssize_t n = ::read(fd, buf, sizeof(buf));
@@ -402,38 +500,7 @@ struct AuditServer::Impl {
       CloseConn(fd);
       return false;
     }
-    while (true) {
-      auto next = conn->reader.Next();
-      if (!next.ok()) {
-        frame_errors->Increment();
-        if (next.status().code() == StatusCode::kOutOfRange) {
-          oversized_frames->Increment();
-        }
-        // Tell the client why, then hang up: framing errors cannot be
-        // resynchronized.
-        conn->paused = true;
-        conn->close_after_flush = true;
-        QueueWrite(conn, MakeErrorMessage(next.status()));
-        break;
-      }
-      if (!next->has_value()) break;
-      frames_received->Increment();
-      Message message = std::move(**next);
-      if (!IsRequestType(message.type)) {
-        frame_errors->Increment();
-        conn->paused = true;
-        conn->close_after_flush = true;
-        QueueWrite(conn, MakeErrorMessage(Status::InvalidArgument(
-                             "expected a request frame")));
-        break;
-      }
-      conn->pending.push_back(std::move(message));
-      if (conn->pending.size() >= options.max_pipelined) {
-        conn->paused = true;
-        UpdateEpoll(conn);
-        break;
-      }
-    }
+    if (!ParseFrames(conn)) return false;
     it = conns.find(fd);
     if (it == conns.end()) return false;
     PumpConn(it->second.get());
@@ -591,11 +658,24 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request) {
   std::unique_lock<std::shared_mutex> lock(state_mutex);
   auto result = ExecuteSql((*fields)[0], db->View());
   if (!result.ok()) return MakeErrorMessage(result.status());
+  // The log append is not idempotent, so an oversized response must be
+  // refused *before* it — otherwise the client can never read the
+  // appended entry's id. The id is digits-only (escaping is identity),
+  // so `prefix` plus a separator and a worst-case int64 rendering
+  // bounds the final payload.
+  std::string prefix = EncodeFields(
+      {result->ToString(), std::to_string(result->rows.size())});
+  constexpr size_t kMaxInt64Digits = 19;
+  if (options.max_response_bytes > 0 &&
+      1 + prefix.size() + 1 + kMaxInt64Digits > options.max_response_bytes) {
+    return MakeErrorMessage(Status::OutOfRange(
+        "rendered query result would exceed max_response_bytes " +
+        std::to_string(options.max_response_bytes) +
+        "; query not logged"));
+  }
   int64_t id = log->Append((*fields)[0], Timestamp(now_micros),
                            (*fields)[1], (*fields)[2], (*fields)[3]);
-  return MakeOk(EncodeFields({result->ToString(),
-                              std::to_string(result->rows.size()),
-                              std::to_string(id)}));
+  return MakeOk(prefix + '|' + std::to_string(id));
 }
 
 Message AuditServer::Impl::HandleLoadDump(const Message& request) {

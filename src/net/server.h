@@ -22,6 +22,13 @@ struct AuditServerOptions {
   /// Cap on one frame body; larger frames are answered with OutOfRange
   /// and the connection closes.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Cap on one *response* frame body. A response that would exceed it
+  /// is replaced by an OutOfRange error frame — before any
+  /// non-idempotent side effect (ExecuteQuery checks the rendered
+  /// response ahead of its log append) — so a client whose FrameReader
+  /// runs with the default limit never faults mid-stream on a reply the
+  /// server itself produced. Zero disables.
+  size_t max_response_bytes = kDefaultMaxFrameBytes;
   /// Parsed-but-unserved requests buffered per connection before the
   /// server stops reading from it (pipelining backpressure).
   size_t max_pipelined = 32;

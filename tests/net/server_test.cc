@@ -306,6 +306,42 @@ TEST(AuditServerTest, PipelinedRequestsAnswerInOrder) {
   ::close(fd);
 }
 
+// Regression: frames pipelined past max_pipelined used to sit in the
+// connection's FrameReader forever — the unpause path only re-armed
+// EPOLLIN, and with the socket already drained no event ever fired.
+TEST(AuditServerTest, BurstFarBeyondPipelineCap) {
+  AuditServerOptions options;
+  options.max_pipelined = 4;
+  ServedWorld world(options, /*patients=*/0, /*queries=*/0);
+  int fd = DialRaw(*world.server);
+  constexpr int kRequests = 64;
+  std::string wire;
+  for (int i = 0; i < kRequests; ++i) {
+    wire += EncodeFrame({MessageType::kHealthRequest,
+                         "burst " + std::to_string(i)});
+  }
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  FrameReader reader;
+  char buf[8192];
+  int responses = 0;
+  while (responses < kRequests) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0) << "server stalled after " << responses
+                    << " responses";
+    reader.Feed(buf, static_cast<size_t>(n));
+    while (true) {
+      auto next = reader.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      EXPECT_EQ((*next)->type, MessageType::kOkResponse);
+      ++responses;
+    }
+  }
+  EXPECT_EQ(responses, kRequests);
+  ::close(fd);
+}
+
 // --- Protocol violations and resource limits -------------------------
 
 TEST(AuditServerTest, OversizedFrameIsRejectedAndConnectionCloses) {
@@ -340,6 +376,66 @@ TEST(AuditServerTest, GarbageBytesCloseTheConnection) {
   EXPECT_GE(
       CounterFromJson(world.server->MetricsJson(), "net.frame_errors"),
       1u);
+}
+
+// A framing error arriving while an earlier request executes must not
+// jump the queue: the dying connection still answers in request order.
+TEST(AuditServerTest, FramingErrorWaitsForInFlightResponse) {
+  ServedWorld world;
+  int fd = DialRaw(*world.server);
+  std::string wire = EncodeFrame(
+      {MessageType::kAuditRequest,
+       EncodeFields({kAudit, std::to_string(Ts(1000000).micros())})});
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  // Wait until the audit request is parsed (and thus handed to a
+  // handler) before the garbage arrives, so the violation lands on a
+  // busy connection.
+  ASSERT_TRUE(WaitForCounter(*world.server, "net.frames_received", 1,
+                             milliseconds(5000)));
+  const char junk[] = "NOT A FRAME";
+  ASSERT_EQ(::send(fd, junk, sizeof(junk) - 1, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(junk) - 1));
+  auto frames = ReadUntilEof(fd);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MessageType::kOkResponse);
+  EXPECT_EQ(frames[1].type, MessageType::kErrorResponse);
+  EXPECT_EQ(DecodeErrorMessage(frames[1].payload).code(),
+            StatusCode::kParseError);
+  ::close(fd);
+}
+
+TEST(AuditServerTest, OversizedResponseBecomesErrorConnectionSurvives) {
+  AuditServerOptions options;
+  options.max_response_bytes = 128;
+  ServedWorld world(options, /*patients=*/0, /*queries=*/0);
+  AuditClient client(world.server->host(), world.server->port());
+  // The metrics JSON dwarfs 128 bytes: the reply degrades to OutOfRange
+  // instead of a frame the client's reader would refuse.
+  auto metrics = client.MetricsJson();
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kOutOfRange);
+  // The stream stayed in sync; small responses keep flowing.
+  EXPECT_TRUE(client.Health().ok());
+  EXPECT_GE(CounterFromJson(world.server->MetricsJson(),
+                            "net.oversized_responses"),
+            1u);
+}
+
+TEST(AuditServerTest, OversizedExecuteResponseDoesNotAppendToLog) {
+  AuditServerOptions options;
+  options.max_response_bytes = 32;
+  ServedWorld world(options);
+  size_t before = world.log.size();
+  AuditClient client(world.server->host(), world.server->port());
+  auto result = client.ExecuteQuery(
+      "SELECT name FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'",
+      "mallory", "clerk", "billing", Ts(900000));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  // The non-idempotent log append was refused up front, not after.
+  EXPECT_EQ(world.log.size(), before);
 }
 
 TEST(AuditServerTest, IdleConnectionsAreEvicted) {

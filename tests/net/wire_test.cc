@@ -41,7 +41,11 @@ TEST(FrameCodecTest, RoundTripsEveryMessageType) {
 TEST(FrameCodecTest, BinaryPayloadSurvives) {
   std::string payload;
   for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
-  payload += std::string("\x00\x00ADB1\x00", 7);  // embedded NULs + magic
+  // Embedded NULs + the frame magic. Spelled as a char array: in a
+  // string literal "\x00A..." the hex escape would greedily swallow the
+  // 'A', 'D', 'B' as hex digits and mangle the bytes.
+  const char tail[] = {'\0', '\0', 'A', 'D', 'B', '1', '\0'};
+  payload.append(tail, sizeof(tail));
   Message original{MessageType::kOkResponse, payload};
   FrameReader reader;
   reader.Feed(EncodeFrame(original));

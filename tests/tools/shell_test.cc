@@ -3,6 +3,7 @@
 /// AUDITDB_SHELL environment variable set by CMake.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,8 +23,11 @@ std::string ShellPath() {
 }
 
 /// Writes `script` to a temp file, runs the shell on it, returns stdout.
+/// The path is per-process: ctest runs each case as its own process, and
+/// a shared name would let parallel cases clobber each other's script.
 std::string RunShell(const std::string& script) {
-  std::string script_path = ::testing::TempDir() + "/shell_script.txt";
+  std::string script_path = ::testing::TempDir() + "/shell_script_" +
+                            std::to_string(::getpid()) + ".txt";
   {
     std::ofstream out(script_path);
     out << script;

@@ -11,6 +11,8 @@
 ///                            (reject surfaces RESOURCE_EXHAUSTED to
 ///                            the client; block pauses reads)
 ///   --max-frame BYTES        per-frame body cap (default 4 MiB)
+///   --max-response BYTES     response body cap; larger replies become
+///                            OUT_OF_RANGE errors (default 4 MiB)
 ///   --idle-timeout-ms N      evict idle connections after N ms
 ///   --fixture hospital:N[:SEED]   populate the hospital instance
 ///   --workload N[:SEED]      append N generated queries to the log
@@ -49,6 +51,7 @@ struct Flags {
   size_t handler_queue = 64;
   service::AdmissionPolicy admission = service::AdmissionPolicy::kReject;
   size_t max_frame = net::kDefaultMaxFrameBytes;
+  size_t max_response = net::kDefaultMaxFrameBytes;
   int idle_timeout_ms = 30000;
   size_t fixture_patients = 0;
   uint64_t fixture_seed = 2008;
@@ -119,6 +122,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--max-frame" && (value = next())) {
       if (!ParseSize(value, &flags.max_frame)) return Usage(argv[0]);
+    } else if (arg == "--max-response" && (value = next())) {
+      if (!ParseSize(value, &flags.max_response)) return Usage(argv[0]);
     } else if (arg == "--idle-timeout-ms" && (value = next())) {
       flags.idle_timeout_ms = std::atoi(value);
     } else if (arg == "--fixture" && (value = next())) {
@@ -203,6 +208,7 @@ int main(int argc, char** argv) {
   server_options.host = flags.host;
   server_options.port = static_cast<uint16_t>(flags.port);
   server_options.max_frame_bytes = flags.max_frame;
+  server_options.max_response_bytes = flags.max_response;
   server_options.idle_timeout =
       std::chrono::milliseconds(flags.idle_timeout_ms);
   server_options.handlers.num_threads = flags.handler_threads;
