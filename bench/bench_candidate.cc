@@ -85,4 +85,4 @@ BENCHMARK(BM_SatisfiabilityCheck)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AUDITDB_BENCH_MAIN(candidate);

@@ -154,4 +154,4 @@ BENCHMARK(BM_PipelineFilterSelectivity)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AUDITDB_BENCH_MAIN(end_to_end);

@@ -1,0 +1,146 @@
+/// Experiment S1: the columnar scan layer vs tuple-at-a-time
+/// interpretation.
+///
+/// Sweeps row count, predicate selectivity, and conjunct count over a
+/// synthetic single-table workload, running the same SELECT once with the
+/// compiled columnar scan (ExecOptions::compiled_scan = true, the default)
+/// and once with the tree-walking interpreter (compiled_scan = false).
+/// Also times an end-to-end audit on the hospital world under both modes.
+///
+/// Run: build/bench/bench_scan   (artifact: BENCH_scan.json)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/engine/executor.h"
+
+namespace {
+
+using namespace auditdb;
+
+/// Rows cycle through deterministic value patterns so predicate
+/// selectivity is controlled by the constants in the WHERE clause:
+/// `score < K` passes K% of rows, and each extra conjunct is satisfied by
+/// construction wherever the first one is (so conjunct count changes the
+/// work per row, not the output size).
+std::unique_ptr<Database> MakeScanDb(size_t rows) {
+  auto db = std::make_unique<Database>();
+  TableSchema schema("M", {{"id", ValueType::kInt},
+                           {"score", ValueType::kInt},
+                           {"weight", ValueType::kDouble},
+                           {"grade", ValueType::kString},
+                           {"region", ValueType::kInt}});
+  if (!db->CreateTable(std::move(schema)).ok()) std::abort();
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t score = static_cast<int64_t>(i % 100);
+    auto inserted = db->Insert(
+        "M",
+        {Value::Int(static_cast<int64_t>(i)), Value::Int(score),
+         Value::Double(static_cast<double>(score) + 0.5),
+         Value::String(score < 50 ? "low" : "high"),
+         Value::Int(score % 10)},
+        Timestamp(1000000 + static_cast<int64_t>(i)));
+    if (!inserted.ok()) std::abort();
+  }
+  return db;
+}
+
+/// WHERE clause with `conjuncts` ANDed comparisons, the first of which
+/// passes `selectivity_pct`% of rows and the rest of which never prune
+/// further.
+std::string ScanSql(int selectivity_pct, int conjuncts) {
+  std::string sql =
+      "SELECT id FROM M WHERE score < " + std::to_string(selectivity_pct);
+  if (conjuncts > 1) sql += " AND weight < 100.0";
+  if (conjuncts > 2) sql += " AND region < 10";
+  if (conjuncts > 3) sql += " AND id >= 0";
+  return sql;
+}
+
+// Args: {rows, selectivity %, conjuncts, compiled}.
+void BM_Filter(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const int selectivity = static_cast<int>(state.range(1));
+  const int conjuncts = static_cast<int>(state.range(2));
+  const bool compiled = state.range(3) != 0;
+
+  auto db = MakeScanDb(rows);
+  const std::string sql = ScanSql(selectivity, conjuncts);
+  ExecOptions options;
+  options.compiled_scan = compiled;
+
+  size_t matched = 0;
+  for (auto _ : state) {
+    auto result = ExecuteSql(sql, db->View(), options);
+    if (!result.ok()) std::abort();
+    matched = result->rows.size();
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+  state.counters["matched"] = static_cast<double>(matched);
+}
+
+BENCHMARK(BM_Filter)
+    // Row-count sweep at 10% selectivity, 3 conjuncts.
+    ->Args({1000, 10, 3, 0})
+    ->Args({1000, 10, 3, 1})
+    ->Args({10000, 10, 3, 0})
+    ->Args({10000, 10, 3, 1})
+    ->Args({100000, 10, 3, 0})
+    ->Args({100000, 10, 3, 1})
+    ->Args({1000000, 10, 3, 0})
+    ->Args({1000000, 10, 3, 1})
+    // Selectivity sweep at 100k rows, 3 conjuncts.
+    ->Args({100000, 1, 3, 0})
+    ->Args({100000, 1, 3, 1})
+    ->Args({100000, 50, 3, 0})
+    ->Args({100000, 50, 3, 1})
+    ->Args({100000, 90, 3, 0})
+    ->Args({100000, 90, 3, 1})
+    // Conjunct sweep at 100k rows, 10% selectivity.
+    ->Args({100000, 10, 1, 0})
+    ->Args({100000, 10, 1, 1})
+    ->Args({100000, 10, 2, 0})
+    ->Args({100000, 10, 2, 1})
+    ->Args({100000, 10, 4, 0})
+    ->Args({100000, 10, 4, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Args: {patients, queries, compiled}. End-to-end audit under both scan
+// modes: the whole pipeline (target view, candidate execution, suspicion)
+// runs on top of the same Execute path.
+void BM_AuditEndToEnd(benchmark::State& state) {
+  const size_t patients = static_cast<size_t>(state.range(0));
+  const size_t queries = static_cast<size_t>(state.range(1));
+  const bool compiled = state.range(2) != 0;
+
+  auto world = bench::MakeWorld(patients, queries);
+  audit::Auditor auditor(&world->db, &world->backlog, &world->log);
+  audit::AuditOptions options;
+  options.exec.compiled_scan = compiled;
+  options.minimize_batch = false;
+
+  for (auto _ : state) {
+    auto report =
+        auditor.Audit(bench::CanonicalAudit(), bench::Ts(1000000), options);
+    if (!report.ok()) std::abort();
+    benchmark::DoNotOptimize(report->batch_suspicious);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries));
+}
+
+BENCHMARK(BM_AuditEndToEnd)
+    ->Args({200, 500, 0})
+    ->Args({200, 500, 1})
+    ->Args({1000, 2000, 0})
+    ->Args({1000, 2000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AUDITDB_BENCH_MAIN(scan);

@@ -1,12 +1,45 @@
 #ifndef AUDITDB_BENCH_BENCH_UTIL_H_
 #define AUDITDB_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/audit/auditor.h"
 #include "src/workload/generator.h"
 #include "src/workload/hospital.h"
+
+/// Like BENCHMARK_MAIN(), but every run also writes a machine-readable
+/// BENCH_<name>.json artifact (google-benchmark's JSON reporter) into the
+/// working directory, so CI can diff numbers across runs. An explicit
+/// --benchmark_out on the command line wins over the default.
+#define AUDITDB_BENCH_MAIN(name)                                          \
+  int main(int argc, char** argv) {                                       \
+    std::vector<char*> args(argv, argv + argc);                           \
+    std::string out_flag = "--benchmark_out=BENCH_" #name ".json";        \
+    std::string format_flag = "--benchmark_out_format=json";              \
+    bool has_out = false;                                                 \
+    for (int i = 1; i < argc; ++i) {                                      \
+      if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {       \
+        has_out = true;                                                   \
+      }                                                                   \
+    }                                                                     \
+    if (!has_out) {                                                       \
+      args.push_back(out_flag.data());                                    \
+      args.push_back(format_flag.data());                                 \
+    }                                                                     \
+    int num_args = static_cast<int>(args.size());                         \
+    ::benchmark::Initialize(&num_args, args.data());                      \
+    if (::benchmark::ReportUnrecognizedArguments(num_args, args.data())) {\
+      return 1;                                                           \
+    }                                                                     \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    return 0;                                                             \
+  }                                                                       \
+  int main(int, char**)
 
 namespace auditdb {
 namespace bench {

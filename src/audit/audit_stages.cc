@@ -1,7 +1,7 @@
 #include "src/audit/audit_stages.h"
 
 #include <algorithm>
-#include <set>
+#include <unordered_set>
 
 #include "src/audit/candidate.h"
 
@@ -48,7 +48,7 @@ void StaticOnlyBatchVerdict(const AuditExpression& expr,
                             const std::vector<const sql::SelectStatement*>&
                                 candidate_stmts,
                             AuditReport* report) {
-  std::set<ColumnRef> covered;
+  std::unordered_set<ColumnRef, ColumnRefHash> covered;
   for (const sql::SelectStatement* stmt : candidate_stmts) {
     auto cols = StaticAccessedColumns(*stmt, catalog,
                                       /*outputs_only=*/!expr.indispensable);
@@ -105,6 +105,42 @@ std::vector<int64_t> MinimizeBatch(const TargetView& view,
   out.reserve(kept.size());
   for (size_t j : kept) out.push_back(profile_ids[j]);
   return out;
+}
+
+std::vector<std::string> CommonTables(const sql::SelectStatement& query,
+                                      const AuditExpression& expr) {
+  std::vector<std::string> out;
+  for (const auto& table : expr.from) {
+    if (std::find(query.from.begin(), query.from.end(), table) !=
+        query.from.end()) {
+      out.push_back(table);
+    }
+  }
+  return out;
+}
+
+Result<bool> SharesIndispensableTuple(const QueryResult& query_result,
+                                      const AuditExpression& expr,
+                                      const std::vector<std::string>& common,
+                                      const DatabaseView& state,
+                                      const ExecOptions& exec) {
+  auto query_tuples = query_result.ProjectLineage(common);
+  if (!query_tuples.ok()) return query_tuples.status();
+  if (query_tuples->empty()) return false;
+
+  sql::SelectStatement audit_query;
+  audit_query.select_star = true;
+  audit_query.from = expr.from;
+  audit_query.where = expr.where ? expr.where->Clone() : nullptr;
+  auto audit_result = Execute(audit_query, state, exec);
+  if (!audit_result.ok()) return audit_result.status();
+  auto audit_tuples = audit_result->ProjectLineage(common);
+  if (!audit_tuples.ok()) return audit_tuples.status();
+
+  for (const auto& tuple : *query_tuples) {
+    if (audit_tuples->count(tuple) > 0) return true;
+  }
+  return false;
 }
 
 }  // namespace audit

@@ -60,6 +60,22 @@ std::vector<int64_t> MinimizeBatch(const TargetView& view,
                                    const std::vector<int64_t>& profile_ids,
                                    const SuspicionOptions& options);
 
+/// Tables common to the query's and the audit expression's FROM clauses,
+/// in the audit expression's order. Shared by the Agrawal and Motwani
+/// baselines.
+std::vector<std::string> CommonTables(const sql::SelectStatement& query,
+                                      const AuditExpression& expr);
+
+/// Whether the executed query (`query_result`) shares an indispensable
+/// tuple with the audit expression's target data over the `common`
+/// tables on `state`: both lineages are projected onto `common` and
+/// intersected. The core dynamic test of both baseline auditors.
+Result<bool> SharesIndispensableTuple(const QueryResult& query_result,
+                                      const AuditExpression& expr,
+                                      const std::vector<std::string>& common,
+                                      const DatabaseView& state,
+                                      const ExecOptions& exec);
+
 }  // namespace audit
 }  // namespace auditdb
 

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "src/audit/audit_stages.h"
 
@@ -186,7 +186,7 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
   // Phase 4: execute candidates against their own historical states.
   // Queries between the same two changes share a state; cache snapshots
   // by event count.
-  std::map<size_t, std::unique_ptr<Snapshot>> snapshot_cache;
+  std::unordered_map<size_t, std::unique_ptr<Snapshot>> snapshot_cache;
   std::vector<AccessProfile> profiles;
   std::vector<int64_t> profile_ids;
   for (const auto& candidate : candidates) {
@@ -228,7 +228,7 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
   report.evidence = batch_result.Describe(*view, schemes);
 
   if (options.per_query_verdicts) {
-    std::map<int64_t, size_t> profile_by_id;
+    std::unordered_map<int64_t, size_t> profile_by_id;
     for (size_t i = 0; i < profile_ids.size(); ++i) {
       profile_by_id[profile_ids[i]] = i;
     }

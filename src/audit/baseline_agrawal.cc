@@ -1,31 +1,12 @@
 #include "src/audit/baseline_agrawal.h"
 
-#include <algorithm>
-
+#include "src/audit/audit_stages.h"
 #include "src/audit/candidate.h"
 #include "src/expr/analysis.h"
 #include "src/expr/satisfiability.h"
 
 namespace auditdb {
 namespace audit {
-
-namespace {
-
-/// Tables common to the query's and the audit expression's FROM clauses,
-/// in the audit expression's order.
-std::vector<std::string> CommonTables(const sql::SelectStatement& query,
-                                      const AuditExpression& expr) {
-  std::vector<std::string> out;
-  for (const auto& table : expr.from) {
-    if (std::find(query.from.begin(), query.from.end(), table) !=
-        query.from.end()) {
-      out.push_back(table);
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 Result<bool> AgrawalAuditor::IsSuspicious(const sql::SelectStatement& query,
                                           const AuditExpression& expr,
@@ -54,23 +35,7 @@ Result<bool> AgrawalAuditor::IsSuspicious(const sql::SelectStatement& query,
   // expression's target view, both projected onto the common tables.
   auto query_result = Execute(query, state, exec);
   if (!query_result.ok()) return query_result.status();
-  auto query_tuples = query_result->ProjectLineage(common);
-  if (!query_tuples.ok()) return query_tuples.status();
-  if (query_tuples->empty()) return false;
-
-  sql::SelectStatement audit_query;
-  audit_query.select_star = true;
-  audit_query.from = expr.from;
-  audit_query.where = expr.where ? expr.where->Clone() : nullptr;
-  auto audit_result = Execute(audit_query, state, exec);
-  if (!audit_result.ok()) return audit_result.status();
-  auto audit_tuples = audit_result->ProjectLineage(common);
-  if (!audit_tuples.ok()) return audit_tuples.status();
-
-  for (const auto& tuple : *query_tuples) {
-    if (audit_tuples->count(tuple) > 0) return true;
-  }
-  return false;
+  return SharesIndispensableTuple(*query_result, expr, common, state, exec);
 }
 
 Result<AgrawalAuditor::Result_> AgrawalAuditor::Audit(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/audit/audit_stages.h"
 #include "src/audit/candidate.h"
 #include "src/expr/analysis.h"
 #include "src/expr/satisfiability.h"
@@ -55,14 +56,9 @@ Result<MotwaniAuditor::BatchResult> MotwaniAuditor::Audit(
     result.weak_ids.push_back(logged.id);
 
     // Semantic: the query must actually share an indispensable tuple with
-    // A on the state it ran against.
-    std::vector<std::string> common;
-    for (const auto& table : expr.from) {
-      if (std::find(stmt->from.begin(), stmt->from.end(), table) !=
-          stmt->from.end()) {
-        common.push_back(table);
-      }
-    }
+    // A on the state it ran against. Unlike Agrawal, evaluation errors
+    // just disqualify the query, they don't abort the batch.
+    std::vector<std::string> common = CommonTables(*stmt, expr);
     if (common.empty()) continue;
 
     auto snapshot = backlog_->SnapshotAt(logged.timestamp);
@@ -71,26 +67,9 @@ Result<MotwaniAuditor::BatchResult> MotwaniAuditor::Audit(
 
     auto query_result = Execute(*stmt, state, exec);
     if (!query_result.ok()) continue;
-    auto query_tuples = query_result->ProjectLineage(common);
-    if (!query_tuples.ok() || query_tuples->empty()) continue;
-
-    sql::SelectStatement audit_query;
-    audit_query.select_star = true;
-    audit_query.from = expr.from;
-    audit_query.where = expr.where ? expr.where->Clone() : nullptr;
-    auto audit_result = Execute(audit_query, state, exec);
-    if (!audit_result.ok()) continue;
-    auto audit_tuples = audit_result->ProjectLineage(common);
-    if (!audit_tuples.ok()) continue;
-
-    bool shares = false;
-    for (const auto& tuple : *query_tuples) {
-      if (audit_tuples->count(tuple) > 0) {
-        shares = true;
-        break;
-      }
-    }
-    if (!shares) continue;
+    auto shares =
+        SharesIndispensableTuple(*query_result, expr, common, state, exec);
+    if (!shares.ok() || !*shares) continue;
 
     result.sharing_ids.push_back(logged.id);
     for (const auto& attr : audit_columns) {

@@ -1,6 +1,9 @@
 #include "src/audit/granule.h"
 
 #include <algorithm>
+#include <unordered_set>
+
+#include "src/types/column_vector.h"
 
 namespace auditdb {
 namespace audit {
@@ -53,6 +56,9 @@ GranuleEnumerator::GranuleEnumerator(const TargetView& view,
   valid_facts_.resize(schemes_.size());
   attr_columns_.resize(schemes_.size());
   tid_positions_.resize(schemes_.size());
+  // One columnar projection of the view, shared by every scheme's
+  // validity screen.
+  Batch batch = view_.ToBatch();
   for (size_t s = 0; s < schemes_.size(); ++s) {
     for (const auto& attr : schemes_[s].attrs) {
       auto idx = view_.ColumnIndex(attr);
@@ -67,16 +73,9 @@ GranuleEnumerator::GranuleEnumerator(const TargetView& view,
       auto idx = view_.TableIndex(table);
       if (idx.ok()) tid_positions_[s].push_back(*idx);
     }
-    for (size_t f = 0; f < view_.facts.size(); ++f) {
-      bool valid = true;
-      for (size_t c : attr_columns_[s]) {
-        if (view_.facts[f].values[c].is_null()) {
-          valid = false;
-          break;
-        }
-      }
-      if (valid) valid_facts_[s].push_back(f);
-    }
+    // A fact with a NULL scheme attribute discloses nothing under this
+    // scheme; the batch screen returns the remaining facts in order.
+    valid_facts_[s] = NonNullRows(batch, attr_columns_[s]);
   }
 }
 
@@ -174,7 +173,7 @@ std::string GranuleEnumerator::Render(const Granule& granule) const {
 std::vector<std::string> GranuleEnumerator::RenderDistinct(
     size_t limit) const {
   std::vector<std::string> out;
-  std::set<std::string> seen;
+  std::unordered_set<std::string> seen;
   ForEach([&](const Granule& granule) {
     std::string text = Render(granule);
     if (seen.insert(text).second) out.push_back(std::move(text));

@@ -1,8 +1,11 @@
 #include "src/audit/suspicion.h"
 
-#include <map>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "src/common/hashing.h"
 #include "src/expr/analysis.h"
+#include "src/types/column_vector.h"
 
 namespace auditdb {
 namespace audit {
@@ -46,11 +49,12 @@ class BatchIndex {
     return false;
   }
 
-  /// Union of per-query indispensable tids for `table` (cached).
-  const std::set<Tid>& IndispensableTids(const std::string& table) {
+  /// Union of per-query indispensable tids for `table` (cached). Pure
+  /// membership probes, so an unordered set suffices.
+  const std::unordered_set<Tid>& IndispensableTids(const std::string& table) {
     auto it = tid_union_.find(table);
     if (it != tid_union_.end()) return it->second;
-    std::set<Tid> tids;
+    std::unordered_set<Tid> tids;
     for (const auto* profile : batch_) {
       auto per_query = profile->result.IndispensableTids(table);
       tids.insert(per_query.begin(), per_query.end());
@@ -68,8 +72,10 @@ class BatchIndex {
       if (it == joint_.end()) {
         auto projected = batch_[q]->result.ProjectLineage(tables);
         // A query not covering all tables has no joint witness.
-        std::set<std::vector<Tid>> tuples;
-        if (projected.ok()) tuples = std::move(*projected);
+        std::unordered_set<std::vector<Tid>, VectorHash<Tid>> tuples;
+        if (projected.ok()) {
+          tuples.insert(projected->begin(), projected->end());
+        }
         it = joint_.emplace(std::move(key), std::move(tuples)).first;
       }
       if (it->second.count(tids) > 0) return true;
@@ -84,7 +90,10 @@ class BatchIndex {
       auto key = std::make_pair(q, col);
       auto it = values_.find(key);
       if (it == values_.end()) {
-        it = values_.emplace(key, batch_[q]->result.ColumnValues(col)).first;
+        auto column_values = batch_[q]->result.ColumnValues(col);
+        std::unordered_set<Value> values(column_values.begin(),
+                                         column_values.end());
+        it = values_.emplace(std::move(key), std::move(values)).first;
       }
       if (it->second.count(value) > 0) return true;
     }
@@ -100,11 +109,17 @@ class BatchIndex {
 
  private:
   const std::vector<const AccessProfile*>& batch_;
-  std::map<std::string, std::set<Tid>> tid_union_;
-  std::map<std::pair<size_t, std::vector<std::string>>,
-           std::set<std::vector<Tid>>>
+  std::unordered_map<std::string, std::unordered_set<Tid>> tid_union_;
+  std::unordered_map<
+      std::pair<size_t, std::vector<std::string>>,
+      std::unordered_set<std::vector<Tid>, VectorHash<Tid>>,
+      PairHash<size_t, std::vector<std::string>, std::hash<size_t>,
+               VectorHash<std::string>>>
       joint_;
-  std::map<std::pair<size_t, ColumnRef>, std::set<Value>> values_;
+  std::unordered_map<std::pair<size_t, ColumnRef>, std::unordered_set<Value>,
+                     PairHash<size_t, ColumnRef, std::hash<size_t>,
+                              ColumnRefHash>>
+      values_;
 };
 
 }  // namespace
@@ -116,6 +131,9 @@ SuspicionResult CheckBatchSuspicion(
     const SuspicionOptions& options) {
   SuspicionResult result;
   BatchIndex index(batch);
+  // Columnar projection of the view, shared by every scheme's validity
+  // screen.
+  Batch view_batch = view.ToBatch();
 
   for (size_t s = 0; s < schemes.size(); ++s) {
     const GranuleScheme& scheme = schemes[s];
@@ -147,24 +165,18 @@ SuspicionResult CheckBatchSuspicion(
         if (idx.ok()) tid_positions.push_back(*idx);
       }
 
-      for (size_t f = 0; f < view.facts.size(); ++f) {
+      // NULL cells disclose nothing: facts with a NULL scheme attribute
+      // are outside this scheme. The batch screen yields the rest in
+      // fact order.
+      std::vector<size_t> valid_rows = NonNullRows(view_batch, attr_cols);
+      valid_count = valid_rows.size();
+      for (size_t f : valid_rows) {
         const TargetView::Fact& fact = view.facts[f];
-        // NULL cells disclose nothing: the fact is outside this scheme.
-        bool valid = true;
-        for (size_t c : attr_cols) {
-          if (fact.values[c].is_null()) {
-            valid = false;
-            break;
-          }
-        }
-        if (!valid) continue;
-        ++valid_count;
-
         bool accessed = true;
         if (indispensable) {
           if (options.mode == IndispensabilityMode::kPerTable) {
             for (size_t i = 0; i < tid_positions.size(); ++i) {
-              const std::set<Tid>& tids =
+              const auto& tids =
                   index.IndispensableTids(scheme.tid_tables[i]);
               if (tids.count(fact.tids[tid_positions[i]]) == 0) {
                 accessed = false;

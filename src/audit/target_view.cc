@@ -1,13 +1,25 @@
 #include "src/audit/target_view.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <unordered_set>
+#include <utility>
 
+#include "src/common/hashing.h"
 #include "src/expr/analysis.h"
 
 namespace auditdb {
 namespace audit {
+
+namespace {
+
+/// Membership-only dedup key for facts: (tid tuple, value tuple).
+using FactKey = std::pair<std::vector<Tid>, std::vector<Value>>;
+using FactKeyHash =
+    PairHash<std::vector<Tid>, std::vector<Value>, VectorHash<Tid>,
+             VectorHash<Value>>;
+using FactSet = std::unordered_set<FactKey, FactKeyHash>;
+
+}  // namespace
 
 Result<size_t> TargetView::ColumnIndex(const ColumnRef& col) const {
   for (size_t i = 0; i < columns.size(); ++i) {
@@ -22,6 +34,18 @@ Result<size_t> TargetView::TableIndex(const std::string& table) const {
     if (tables[i] == table) return i;
   }
   return Status::NotFound("no table " + table + " in target view");
+}
+
+Batch TargetView::ToBatch() const {
+  Batch batch;
+  batch.num_rows = facts.size();
+  batch.columns.reserve(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    batch.columns.push_back(ColumnVector::Gather(
+        facts.size(),
+        [&](size_t i) -> const Value& { return facts[i].values[c]; }));
+  }
+  return batch;
 }
 
 std::string TargetView::ToString() const {
@@ -53,7 +77,7 @@ namespace {
 /// then WHERE-only columns in sorted order.
 std::vector<ColumnRef> ViewColumns(const AuditExpression& expr) {
   std::vector<ColumnRef> columns;
-  std::set<ColumnRef> seen;
+  std::unordered_set<ColumnRef, ColumnRefHash> seen;
   for (const auto& group : expr.attrs.groups) {
     for (const auto& attr : group.attrs) {
       if (seen.insert(attr).second) columns.push_back(attr);
@@ -83,7 +107,7 @@ Result<TargetView> ComputeTargetView(const AuditExpression& expr,
   auto result = Execute(stmt, db, options);
   if (!result.ok()) return result.status();
 
-  std::set<std::pair<std::vector<Tid>, std::vector<Value>>> seen;
+  FactSet seen;
   for (size_t i = 0; i < result->rows.size(); ++i) {
     if (!seen.emplace(result->lineage[i], result->rows[i]).second) continue;
     view.facts.push_back(TargetView::Fact{result->lineage[i],
@@ -99,7 +123,7 @@ Result<TargetView> ComputeTargetViewOverVersions(const AuditExpression& expr,
   merged.tables = expr.from;
   merged.columns = ViewColumns(expr);
 
-  std::set<std::pair<std::vector<Tid>, std::vector<Value>>> seen;
+  FactSet seen;
   for (Timestamp version : backlog.VersionTimestamps(expr.data_interval)) {
     auto snapshot = backlog.SnapshotAt(version);
     if (!snapshot.ok()) return snapshot.status();

@@ -45,6 +45,13 @@ struct TargetView {
   /// Index of `table` in `tables`, or error.
   Result<size_t> TableIndex(const std::string& table) const;
 
+  /// Columnar projection of the facts' value columns, one ColumnVector
+  /// per entry of `columns` (tids are omitted: a fact carries one tid per
+  /// FROM table, not a single row id). The audit layers run their
+  /// fact-validity screens (NULL checks per granule scheme) over this
+  /// batch instead of walking facts row by row.
+  Batch ToBatch() const;
+
   /// Pretty-prints U as a table (the paper's Tables 4 and 5 layout: tid
   /// columns followed by value columns).
   std::string ToString() const;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/hashing.h"
 #include "src/common/status.h"
 #include "src/types/value.h"
 
@@ -29,6 +30,15 @@ struct ColumnRef {
   bool operator<(const ColumnRef& other) const {
     if (table != other.table) return table < other.table;
     return column < other.column;
+  }
+};
+
+/// Hash consistent with ColumnRef::operator==; keys unordered containers
+/// in the audit layers' access-profile lookups.
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& ref) const {
+    return HashCombine(std::hash<std::string>{}(ref.table),
+                       std::hash<std::string>{}(ref.column));
   }
 };
 

@@ -1,0 +1,40 @@
+#ifndef AUDITDB_COMMON_HASHING_H_
+#define AUDITDB_COMMON_HASHING_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace auditdb {
+
+/// Mixes `v` into `seed` (boost::hash_combine's mixer). Used to build the
+/// composite-key hashes that let the audit layers keep membership lookups
+/// in unordered containers.
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash for std::vector<T> where std::hash<T> exists.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& vec) const {
+    size_t h = vec.size();
+    for (const auto& v : vec) h = HashCombine(h, std::hash<T>{}(v));
+    return h;
+  }
+};
+
+/// Hash for std::pair<A, B> given hashes H1 / H2 for the parts.
+template <typename A, typename B, typename H1 = std::hash<A>,
+          typename H2 = std::hash<B>>
+struct PairHash {
+  size_t operator()(const std::pair<A, B>& p) const {
+    return HashCombine(H1{}(p.first), H2{}(p.second));
+  }
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_COMMON_HASHING_H_

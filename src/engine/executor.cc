@@ -3,16 +3,13 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/engine/table_scan.h"
 #include "src/expr/analysis.h"
 #include "src/expr/evaluator.h"
 
 namespace auditdb {
 
 namespace {
-
-struct ValueHash {
-  size_t operator()(const Value& v) const { return v.Hash(); }
-};
 
 /// A conjunct scheduled for evaluation once all its tables are joined.
 struct ScheduledConjunct {
@@ -26,7 +23,7 @@ struct HashJoinPlan {
   bool enabled = false;
   int probe_slot = -1;   // slot (filled earlier) whose value we look up
   size_t build_column = 0;  // column index within this table's schema
-  std::unordered_map<Value, std::vector<size_t>, ValueHash> build;
+  std::unordered_map<Value, std::vector<size_t>> build;
 };
 
 class ExecutionContext {
@@ -139,7 +136,80 @@ class ExecutionContext {
         AUDITDB_RETURN_IF_ERROR(PlanIndexPrefilter(i));
       }
     }
+
+    AUDITDB_RETURN_IF_ERROR(PlanScanStages());
+    batches_.resize(tables_.size());
+    filters_.resize(tables_.size());
     return Status::Ok();
+  }
+
+  /// Splits each position's ready conjuncts, in their original order,
+  /// into stages: maximal runs of conjuncts reading only this table's
+  /// columns compile into one predicate program (precomputed per query
+  /// over the table's batch); runs touching earlier tables stay as
+  /// tree-walked cross stages. With compiled_scan off, everything is a
+  /// cross stage — the exact row-at-a-time baseline.
+  Status PlanScanStages() {
+    stages_.resize(tables_.size());
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      size_t offset = layout_.table_offsets()[i].second;
+      size_t width = tables_[i]->schema().num_columns();
+      std::vector<ExprPtr> run;  // consecutive local conjuncts
+      auto flush = [&]() -> Status {
+        if (run.empty()) return Status::Ok();
+        ExprPtr conj = Expression::MakeConjunction(std::move(run));
+        run.clear();
+        auto program = PredicateProgram::Compile(*conj, offset, width);
+        if (!program.ok()) return program.status();
+        ScanStage stage;
+        stage.local = true;
+        stage.program = std::move(*program);
+        stages_[i].push_back(std::move(stage));
+        return Status::Ok();
+      };
+      for (const auto& sc : conjuncts_) {
+        if (sc.ready_at != i) continue;
+        if (options_.compiled_scan &&
+            PredicateProgram::IsLocal(*sc.expr, offset, width)) {
+          run.push_back(sc.expr->Clone());
+          continue;
+        }
+        AUDITDB_RETURN_IF_ERROR(flush());
+        if (stages_[i].empty() || stages_[i].back().local) {
+          stages_[i].emplace_back();
+        }
+        stages_[i].back().cross.push_back(sc.expr.get());
+      }
+      AUDITDB_RETURN_IF_ERROR(flush());
+    }
+    return Status::Ok();
+  }
+
+  /// Lazily builds position `i`'s TableFilter (local-stage outcomes over
+  /// the table's columnar batch, narrowed to the index prefilter if one
+  /// was planned). Built at most once per query, on first visit.
+  const TableFilter& Filter(size_t position) {
+    if (!filters_[position].has_value()) {
+      if (!batches_[position]) {
+        batches_[position] = tables_[position]->Columnar();
+      }
+      std::optional<std::vector<uint32_t>> selection;
+      if (prefilters_[position].has_value()) {
+        std::vector<uint32_t> rows;
+        rows.reserve(prefilters_[position]->size());
+        for (size_t r : *prefilters_[position]) {
+          rows.push_back(static_cast<uint32_t>(r));
+        }
+        selection = std::move(rows);
+      }
+      ScanOptions opts;
+      opts.compiled = options_.compiled_scan;
+      opts.batch_size = options_.scan_batch_size;
+      filters_[position] = BuildTableFilter(*batches_[position],
+                                            stages_[position], selection,
+                                            opts);
+    }
+    return *filters_[position];
   }
 
   /// Greedy selectivity-based ordering: cheapest filtered table first,
@@ -158,38 +228,16 @@ class ExecutionContext {
     }
 
     std::map<std::string, size_t> estimate;
+    ScanOptions scan_opts;
+    scan_opts.compiled = options_.compiled_scan;
+    scan_opts.batch_size = options_.scan_batch_size;
     for (const auto& name : stmt_.from) {
       auto table = db_.GetTable(name);
       if (!table.ok()) return table.status();
-      RowLayout single;
-      single.AddTable(name, (*table)->schema());
-      std::vector<ExprPtr> bound;
-      for (const Expression* conjunct : conjuncts) {
-        bool local = true;
-        for (const auto& col : CollectColumns(conjunct)) {
-          if (col.table != name) {
-            local = false;
-            break;
-          }
-        }
-        if (!local) continue;
-        ExprPtr clone = conjunct->Clone();
-        AUDITDB_RETURN_IF_ERROR(BindExpression(clone.get(), single));
-        bound.push_back(std::move(clone));
-      }
-      size_t count = 0;
-      for (const Row& row : (*table)->rows()) {
-        bool pass = true;
-        for (const auto& conjunct : bound) {
-          auto ok = EvaluatePredicate(conjunct.get(), row.values);
-          if (!ok.ok() || !*ok) {
-            pass = false;
-            break;
-          }
-        }
-        if (pass) ++count;
-      }
-      estimate[name] = count;
+      auto count =
+          EstimateFilteredCardinality(**table, name, conjuncts, scan_opts);
+      if (!count.ok()) return count.status();
+      estimate[name] = *count;
     }
 
     // Equi-join adjacency.
@@ -360,18 +408,51 @@ class ExecutionContext {
 
     const Table& table = *tables_[position];
     size_t offset = layout_.table_offsets()[position].second;
+    const std::vector<ScanStage>& stages = stages_[position];
+    bool any_local = false;
+    bool any_cross = false;
+    for (const ScanStage& stage : stages) {
+      (stage.local ? any_local : any_cross) = true;
+    }
+    // Local-stage outcomes are independent of outer rows, so they are
+    // precomputed once over the table's batch; visits consult the stored
+    // tri-state per row. Cross stages still run per combined row.
+    const TableFilter* filter = any_local ? &Filter(position) : nullptr;
 
-    auto try_row = [&](const Row& row) -> Status {
-      for (size_t c = 0; c < row.values.size(); ++c) {
-        combined_[offset + c] = row.values[c];
+    auto try_row = [&](size_t r) -> Status {
+      const Row& row = table.rows()[r];
+      bool copied = false;
+      auto materialize = [&]() {
+        if (copied) return;
+        for (size_t c = 0; c < row.values.size(); ++c) {
+          combined_[offset + c] = row.values[c];
+        }
+        tids_[position] = row.tid;
+        copied = true;
+      };
+      for (size_t s = 0; s < stages.size(); ++s) {
+        const ScanStage& stage = stages[s];
+        if (stage.local) {
+          switch (filter->StageState(s, static_cast<uint32_t>(r))) {
+            case TableFilter::RowState::kPass:
+              break;
+            case TableFilter::RowState::kFail:
+              return Status::Ok();  // prune this branch
+            case TableFilter::RowState::kError:
+              // Surfaced only now, when enumeration actually visits the
+              // row: the same moment the interpreter would have errored.
+              return filter->StageError(s, static_cast<uint32_t>(r));
+          }
+          continue;
+        }
+        materialize();
+        for (const Expression* conjunct : stage.cross) {
+          auto pass = EvaluatePredicate(conjunct, combined_);
+          if (!pass.ok()) return pass.status();
+          if (!*pass) return Status::Ok();  // prune this branch
+        }
       }
-      tids_[position] = row.tid;
-      for (const auto& sc : conjuncts_) {
-        if (sc.ready_at != position) continue;
-        auto pass = EvaluatePredicate(sc.expr.get(), combined_);
-        if (!pass.ok()) return pass.status();
-        if (!*pass) return Status::Ok();  // prune this branch
-      }
+      materialize();
       return Enumerate(position + 1);
     };
 
@@ -381,18 +462,27 @@ class ExecutionContext {
       auto it = plan.build.find(key);
       if (it == plan.build.end()) return Status::Ok();
       for (size_t r : it->second) {
-        AUDITDB_RETURN_IF_ERROR(try_row(table.rows()[r]));
+        AUDITDB_RETURN_IF_ERROR(try_row(r));
+      }
+      return Status::Ok();
+    }
+    // Fast path: every ready conjunct was compiled and no row errors, so
+    // the passing set IS the visit set (failing rows would only have been
+    // pruned; there is no error to surface in row order).
+    if (any_local && !any_cross && !filter->has_errors()) {
+      for (uint32_t r : filter->passing()) {
+        AUDITDB_RETURN_IF_ERROR(try_row(r));
       }
       return Status::Ok();
     }
     if (prefilters_[position].has_value()) {
       for (size_t r : *prefilters_[position]) {
-        AUDITDB_RETURN_IF_ERROR(try_row(table.rows()[r]));
+        AUDITDB_RETURN_IF_ERROR(try_row(r));
       }
       return Status::Ok();
     }
-    for (const Row& row : table.rows()) {
-      AUDITDB_RETURN_IF_ERROR(try_row(row));
+    for (size_t r = 0; r < table.rows().size(); ++r) {
+      AUDITDB_RETURN_IF_ERROR(try_row(r));
     }
     return Status::Ok();
   }
@@ -409,6 +499,9 @@ class ExecutionContext {
   std::vector<ScheduledConjunct> conjuncts_;
   std::vector<HashJoinPlan> hash_plans_;
   std::vector<std::optional<std::vector<size_t>>> prefilters_;
+  std::vector<std::vector<ScanStage>> stages_;
+  std::vector<std::shared_ptr<const Batch>> batches_;
+  std::vector<std::optional<TableFilter>> filters_;
 
   std::vector<Value> combined_;
   std::vector<Tid> tids_;

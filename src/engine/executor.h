@@ -25,6 +25,14 @@ struct ExecOptions {
   /// order, but rows, lineage and `from` keep the query's original table
   /// order. Off by default (the ablation measures when it pays off).
   bool reorder_joins = false;
+  /// Evaluate single-table conjuncts as compiled predicate programs over
+  /// each table's columnar projection (the scan layer). When false, every
+  /// conjunct is tree-interpreted per combined row — the row-at-a-time
+  /// ablation baseline. Results are byte-identical either way.
+  bool compiled_scan = true;
+  /// Rows per predicate-program chunk (bounds the scratch space of the
+  /// general register machine; fused filters are insensitive to it).
+  size_t scan_batch_size = 1024;
 };
 
 /// Result of executing an SPJ query, with lineage: every output row carries

@@ -1,0 +1,118 @@
+#include "src/engine/table_scan.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/expr/analysis.h"
+
+namespace auditdb {
+
+PredicateProgram::Outcome RunChunked(const PredicateProgram& program,
+                                     const Batch& batch,
+                                     const std::vector<uint32_t>& sel,
+                                     size_t batch_size) {
+  if (batch_size == 0 || sel.size() <= batch_size) {
+    return program.Run(batch, sel);
+  }
+  PredicateProgram::Outcome out;
+  std::vector<uint32_t> chunk;
+  for (size_t i = 0; i < sel.size(); i += batch_size) {
+    size_t end = std::min(i + batch_size, sel.size());
+    chunk.assign(sel.begin() + static_cast<ptrdiff_t>(i),
+                 sel.begin() + static_cast<ptrdiff_t>(end));
+    auto o = program.Run(batch, chunk);
+    out.passed.insert(out.passed.end(), o.passed.begin(), o.passed.end());
+    out.errors.insert(out.errors.end(),
+                      std::make_move_iterator(o.errors.begin()),
+                      std::make_move_iterator(o.errors.end()));
+  }
+  return out;
+}
+
+TableFilter BuildTableFilter(
+    const Batch& batch, const std::vector<ScanStage>& stages,
+    const std::optional<std::vector<uint32_t>>& selection,
+    const ScanOptions& opts) {
+  TableFilter f;
+  std::vector<uint32_t> cur;
+  if (selection.has_value()) {
+    cur = *selection;
+  } else {
+    cur.resize(batch.num_rows);
+    std::iota(cur.begin(), cur.end(), 0u);
+  }
+  f.states_.resize(stages.size());
+  f.errors_.resize(stages.size());
+  for (size_t s = 0; s < stages.size(); ++s) {
+    if (!stages[s].local) continue;  // cross stages run per combined row
+    auto outcome = RunChunked(stages[s].program, batch, cur, opts.batch_size);
+    auto& st = f.states_[s];
+    st.assign(batch.num_rows, 0);
+    for (uint32_t r : outcome.passed) {
+      st[r] = static_cast<uint8_t>(TableFilter::RowState::kPass);
+    }
+    for (auto& [r, status] : outcome.errors) {
+      st[r] = static_cast<uint8_t>(TableFilter::RowState::kError);
+      f.errors_[s].emplace(r, std::move(status));
+      ++f.total_errors_;
+    }
+    cur = std::move(outcome.passed);
+  }
+  f.passing_ = std::move(cur);
+  return f;
+}
+
+Result<size_t> EstimateFilteredCardinality(
+    const Table& table, const std::string& name,
+    const std::vector<const Expression*>& conjuncts, const ScanOptions& opts) {
+  RowLayout single;
+  single.AddTable(name, table.schema());
+  std::vector<ExprPtr> bound;
+  for (const Expression* conjunct : conjuncts) {
+    bool local = true;
+    for (const auto& col : CollectColumns(conjunct)) {
+      if (col.table != name) {
+        local = false;
+        break;
+      }
+    }
+    if (!local) continue;
+    ExprPtr clone = conjunct->Clone();
+    AUDITDB_RETURN_IF_ERROR(BindExpression(clone.get(), single));
+    bound.push_back(std::move(clone));
+  }
+  if (bound.empty()) return table.rows().size();
+
+  if (opts.compiled) {
+    std::vector<ExprPtr> clones;
+    clones.reserve(bound.size());
+    for (const auto& b : bound) clones.push_back(b->Clone());
+    ExprPtr conj = Expression::MakeConjunction(std::move(clones));
+    auto program = PredicateProgram::Compile(*conj, 0, single.width());
+    if (program.ok()) {
+      auto batch = table.Columnar();
+      std::vector<uint32_t> all(batch->num_rows);
+      std::iota(all.begin(), all.end(), 0u);
+      auto out = RunChunked(*program, *batch, all, opts.batch_size);
+      // Errors count as fail (they are excluded from `passed`), matching
+      // the interpreted estimate below.
+      return out.passed.size();
+    }
+  }
+
+  size_t count = 0;
+  for (const Row& row : table.rows()) {
+    bool pass = true;
+    for (const auto& conjunct : bound) {
+      auto ok = EvaluatePredicate(conjunct.get(), row.values);
+      if (!ok.ok() || !*ok) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) ++count;
+  }
+  return count;
+}
+
+}  // namespace auditdb

@@ -43,8 +43,6 @@ Status BindExpression(Expression* expr, const RowLayout& layout) {
   return Status::Internal("unknown expression kind");
 }
 
-namespace {
-
 /// SQL LIKE matcher: `%` matches any run (including empty), `_` any
 /// single character. Iterative two-pointer algorithm with backtracking
 /// to the last `%`.
@@ -69,6 +67,94 @@ bool LikeMatches(const std::string& text, const std::string& pattern) {
   while (p < pattern.size() && pattern[p] == '%') ++p;
   return p == pattern.size();
 }
+
+Result<Value> EvalComparisonOp(BinaryOp op, const Value& lhs,
+                               const Value& rhs) {
+  // SQL semantics: any comparison against NULL is not satisfied.
+  if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+  auto cmp = lhs.Compare(rhs);
+  if (!cmp.ok()) return cmp.status();
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Bool(*cmp == 0);
+    case BinaryOp::kNe:
+      return Value::Bool(*cmp != 0);
+    case BinaryOp::kLt:
+      return Value::Bool(*cmp < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(*cmp <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(*cmp > 0);
+    case BinaryOp::kGe:
+      return Value::Bool(*cmp >= 0);
+    default:
+      return Status::Internal("EvalComparisonOp on non-comparison");
+  }
+}
+
+Result<Value> EvalLikeOp(const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+  if (lhs.type() != ValueType::kString ||
+      rhs.type() != ValueType::kString) {
+    return Status::TypeError("LIKE requires string operands");
+  }
+  return Value::Bool(LikeMatches(lhs.string_value(), rhs.string_value()));
+}
+
+Result<Value> EvalArithmeticOp(BinaryOp op, const Value& lhs,
+                               const Value& rhs) {
+  if (!lhs.IsNumeric() || !rhs.IsNumeric()) {
+    return Status::TypeError(std::string("arithmetic on non-numeric values: ") +
+                             lhs.ToString() + " " + BinaryOpName(op) + " " +
+                             rhs.ToString());
+  }
+  bool both_int = lhs.type() == ValueType::kInt &&
+                  rhs.type() == ValueType::kInt && op != BinaryOp::kDiv;
+  if (both_int) {
+    int64_t a = lhs.int_value(), b = rhs.int_value();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int(a + b);
+      case BinaryOp::kSub:
+        return Value::Int(a - b);
+      case BinaryOp::kMul:
+        return Value::Int(a * b);
+      default:
+        break;
+    }
+  }
+  double a = lhs.AsDouble(), b = rhs.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Double(a + b);
+    case BinaryOp::kSub:
+      return Value::Double(a - b);
+    case BinaryOp::kMul:
+      return Value::Double(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0) return Status::InvalidArgument("division by zero");
+      return Value::Double(a / b);
+    default:
+      break;
+  }
+  return Status::Internal("unhandled binary operator");
+}
+
+Result<Value> EvalUnaryOp(UnaryOp op, const Value& v) {
+  if (op == UnaryOp::kNot) {
+    if (v.type() != ValueType::kBool) {
+      return Status::TypeError("NOT operand is not boolean");
+    }
+    return Value::Bool(!v.bool_value());
+  }
+  if (!v.IsNumeric()) {
+    return Status::TypeError("negation of non-numeric value");
+  }
+  if (v.type() == ValueType::kInt) return Value::Int(-v.int_value());
+  return Value::Double(-v.double_value());
+}
+
+namespace {
 
 Result<Value> EvalBinary(const Expression& expr,
                          const std::vector<Value>& row) {
@@ -95,75 +181,9 @@ Result<Value> EvalBinary(const Expression& expr,
   auto rhs = Evaluate(*expr.right, row);
   if (!rhs.ok()) return rhs.status();
 
-  if (expr.bop == BinaryOp::kLike) {
-    if (lhs->is_null() || rhs->is_null()) return Value::Bool(false);
-    if (lhs->type() != ValueType::kString ||
-        rhs->type() != ValueType::kString) {
-      return Status::TypeError("LIKE requires string operands");
-    }
-    return Value::Bool(LikeMatches(lhs->string_value(), rhs->string_value()));
-  }
-
-  if (IsComparison(expr.bop)) {
-    // SQL semantics: any comparison against NULL is not satisfied.
-    if (lhs->is_null() || rhs->is_null()) return Value::Bool(false);
-    auto cmp = lhs->Compare(*rhs);
-    if (!cmp.ok()) return cmp.status();
-    switch (expr.bop) {
-      case BinaryOp::kEq:
-        return Value::Bool(*cmp == 0);
-      case BinaryOp::kNe:
-        return Value::Bool(*cmp != 0);
-      case BinaryOp::kLt:
-        return Value::Bool(*cmp < 0);
-      case BinaryOp::kLe:
-        return Value::Bool(*cmp <= 0);
-      case BinaryOp::kGt:
-        return Value::Bool(*cmp > 0);
-      case BinaryOp::kGe:
-        return Value::Bool(*cmp >= 0);
-      default:
-        break;
-    }
-  }
-
-  // Arithmetic.
-  if (!lhs->IsNumeric() || !rhs->IsNumeric()) {
-    return Status::TypeError(std::string("arithmetic on non-numeric values: ") +
-                             lhs->ToString() + " " + BinaryOpName(expr.bop) +
-                             " " + rhs->ToString());
-  }
-  bool both_int = lhs->type() == ValueType::kInt &&
-                  rhs->type() == ValueType::kInt &&
-                  expr.bop != BinaryOp::kDiv;
-  if (both_int) {
-    int64_t a = lhs->int_value(), b = rhs->int_value();
-    switch (expr.bop) {
-      case BinaryOp::kAdd:
-        return Value::Int(a + b);
-      case BinaryOp::kSub:
-        return Value::Int(a - b);
-      case BinaryOp::kMul:
-        return Value::Int(a * b);
-      default:
-        break;
-    }
-  }
-  double a = lhs->AsDouble(), b = rhs->AsDouble();
-  switch (expr.bop) {
-    case BinaryOp::kAdd:
-      return Value::Double(a + b);
-    case BinaryOp::kSub:
-      return Value::Double(a - b);
-    case BinaryOp::kMul:
-      return Value::Double(a * b);
-    case BinaryOp::kDiv:
-      if (b == 0) return Status::InvalidArgument("division by zero");
-      return Value::Double(a / b);
-    default:
-      break;
-  }
-  return Status::Internal("unhandled binary operator");
+  if (expr.bop == BinaryOp::kLike) return EvalLikeOp(*lhs, *rhs);
+  if (IsComparison(expr.bop)) return EvalComparisonOp(expr.bop, *lhs, *rhs);
+  return EvalArithmeticOp(expr.bop, *lhs, *rhs);
 }
 
 }  // namespace
@@ -181,17 +201,7 @@ Result<Value> Evaluate(const Expression& expr, const std::vector<Value>& row) {
     case ExprKind::kUnary: {
       auto v = Evaluate(*expr.left, row);
       if (!v.ok()) return v.status();
-      if (expr.uop == UnaryOp::kNot) {
-        if (v->type() != ValueType::kBool) {
-          return Status::TypeError("NOT operand is not boolean");
-        }
-        return Value::Bool(!v->bool_value());
-      }
-      if (!v->IsNumeric()) {
-        return Status::TypeError("negation of non-numeric value");
-      }
-      if (v->type() == ValueType::kInt) return Value::Int(-v->int_value());
-      return Value::Double(-v->double_value());
+      return EvalUnaryOp(expr.uop, *v);
     }
     case ExprKind::kBinary:
       return EvalBinary(expr, row);

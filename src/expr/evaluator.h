@@ -56,6 +56,29 @@ Result<Value> Evaluate(const Expression& expr, const std::vector<Value>& row);
 Result<bool> EvaluatePredicate(const Expression* expr,
                                const std::vector<Value>& row);
 
+/// --- Scalar kernels ---------------------------------------------------
+/// The single source of truth for operator semantics and error statuses,
+/// shared by the tree-walking evaluator above and the compiled predicate
+/// programs (src/expr/predicate_program.h). The batch path stays
+/// byte-identical to the interpreter because both call exactly these.
+
+/// SQL LIKE: `%` matches any run (including empty), `_` any one char.
+bool LikeMatches(const std::string& text, const std::string& pattern);
+
+/// =, <>, <, <=, >, >= via Value::Compare; NULL on either side is FALSE.
+Result<Value> EvalComparisonOp(BinaryOp op, const Value& lhs,
+                               const Value& rhs);
+
+/// lhs LIKE rhs; NULL on either side is FALSE; non-strings are an error.
+Result<Value> EvalLikeOp(const Value& lhs, const Value& rhs);
+
+/// +, -, *, / with INT preserved for non-division all-INT inputs.
+Result<Value> EvalArithmeticOp(BinaryOp op, const Value& lhs,
+                               const Value& rhs);
+
+/// NOT (boolean) / unary minus (numeric).
+Result<Value> EvalUnaryOp(UnaryOp op, const Value& v);
+
 }  // namespace auditdb
 
 #endif  // AUDITDB_EXPR_EVALUATOR_H_

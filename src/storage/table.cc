@@ -16,12 +16,39 @@ Status Table::CheckArity(const std::vector<Value>& values) const {
   return Status::Ok();
 }
 
+void Table::InvalidateColumnar() {
+  ++mutation_count_;
+  if (!columnar_) return;  // moved-from shell
+  std::lock_guard<std::mutex> lock(columnar_->mu);
+  columnar_->batch.reset();
+}
+
+std::shared_ptr<const Batch> Table::Columnar() const {
+  if (!columnar_) columnar_ = std::make_shared<ColumnarSlot>();
+  std::lock_guard<std::mutex> lock(columnar_->mu);
+  if (!columnar_->batch) {
+    auto batch = std::make_shared<Batch>();
+    batch->num_rows = rows_.size();
+    batch->tids.reserve(rows_.size());
+    for (const Row& row : rows_) batch->tids.push_back(row.tid);
+    batch->columns.reserve(schema_.num_columns());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      batch->columns.push_back(ColumnVector::Gather(
+          rows_.size(),
+          [&](size_t i) -> const Value& { return rows_[i].values[c]; }));
+    }
+    columnar_->batch = std::move(batch);
+  }
+  return columnar_->batch;
+}
+
 Result<Tid> Table::Insert(std::vector<Value> values) {
   AUDITDB_RETURN_IF_ERROR(CheckArity(values));
   Tid tid = next_tid_++;
   index_[tid] = rows_.size();
   rows_.push_back(Row{tid, std::move(values)});
   IndexInsert(rows_.back());
+  InvalidateColumnar();
   return tid;
 }
 
@@ -35,6 +62,7 @@ Status Table::InsertWithTid(Tid tid, std::vector<Value> values) {
   rows_.push_back(Row{tid, std::move(values)});
   if (tid >= next_tid_) next_tid_ = tid + 1;
   IndexInsert(rows_.back());
+  InvalidateColumnar();
   return Status::Ok();
 }
 
@@ -48,6 +76,7 @@ Status Table::Update(Tid tid, std::vector<Value> values) {
   IndexRemove(rows_[it->second]);
   rows_[it->second].values = std::move(values);
   IndexInsert(rows_[it->second]);
+  InvalidateColumnar();
   return Status::Ok();
 }
 
@@ -65,6 +94,7 @@ Status Table::UpdateColumn(Tid tid, const std::string& column, Value value) {
   IndexRemove(rows_[it->second]);
   rows_[it->second].values[*col] = std::move(value);
   IndexInsert(rows_[it->second]);
+  InvalidateColumnar();
   return Status::Ok();
 }
 
@@ -84,6 +114,7 @@ Result<Row> Table::Delete(Tid tid) {
   for (auto& [t, p] : index_) {
     if (p > pos) --p;
   }
+  InvalidateColumnar();
   return before;
 }
 

@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/catalog/schema.h"
 #include "src/common/status.h"
 #include "src/common/timestamp.h"
+#include "src/types/column_vector.h"
 #include "src/types/value.h"
 
 namespace auditdb {
@@ -88,6 +91,19 @@ class Table {
   /// Raises the auto-assign floor (after explicit-tid inserts).
   void ReserveTidsThrough(Tid tid);
 
+  /// --- Columnar projection cache ------------------------------------
+  /// A columnar copy of the live rows for batch scans, built lazily on
+  /// first use and invalidated by every mutation. Concurrent readers are
+  /// safe (the build is mutex-guarded and the result is shared); the
+  /// returned batch stays valid after later mutations (readers keep
+  /// their shared_ptr; the table just stops handing it out). Live tables
+  /// and backlog snapshots share this path, so historical states scan
+  /// exactly like current ones.
+  std::shared_ptr<const Batch> Columnar() const;
+
+  /// Bumped on every mutation; lets callers detect staleness cheaply.
+  uint64_t mutation_count() const { return mutation_count_; }
+
   /// --- Secondary indexes -------------------------------------------
   /// An ordered value index over one column, maintained across
   /// mutations. The executor uses it to prefilter scans for
@@ -123,6 +139,8 @@ class Table {
   Status CheckArity(const std::vector<Value>& values) const;
   void IndexInsert(const Row& row);
   void IndexRemove(const Row& row);
+  /// Drops the cached columnar projection (called by every mutation).
+  void InvalidateColumnar();
   /// Sorts tids into row (insertion) order so index-driven scans emit
   /// rows in the same order as full scans.
   std::vector<Tid> InRowOrder(std::vector<Tid> tids) const;
@@ -133,6 +151,16 @@ class Table {
   /// column name -> (value -> tids with that value).
   std::map<std::string, std::map<Value, std::vector<Tid>>> secondary_;
   Tid next_tid_ = 1;
+
+  /// Guarded lazily built columnar projection. Held behind a shared slot
+  /// so Table stays movable (the mutex lives in the slot, not the table).
+  struct ColumnarSlot {
+    std::mutex mu;
+    std::shared_ptr<const Batch> batch;
+  };
+  mutable std::shared_ptr<ColumnarSlot> columnar_ =
+      std::make_shared<ColumnarSlot>();
+  uint64_t mutation_count_ = 0;
 };
 
 }  // namespace auditdb

@@ -30,10 +30,11 @@ int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
 
 int CompareInt64(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
 
-// Parses a string that is entirely a decimal number; used for SQL-style
-// coercion when comparing a STRING with a numeric (the paper writes
-// zipcode both as '118701' and 145568).
-bool TryParseNumeric(const std::string& s, double* out) {
+}  // namespace
+
+// The paper writes zipcode both as '118701' and 145568; coercion must be
+// identical wherever a STRING meets a numeric.
+bool TryParseNumericString(const std::string& s, double* out) {
   if (s.empty()) return false;
   char* end = nullptr;
   double v = std::strtod(s.c_str(), &end);
@@ -41,8 +42,6 @@ bool TryParseNumeric(const std::string& s, double* out) {
   *out = v;
   return true;
 }
-
-}  // namespace
 
 Result<int> Value::Compare(const Value& other) const {
   if (is_null() || other.is_null()) {
@@ -76,13 +75,13 @@ Result<int> Value::Compare(const Value& other) const {
   // STRING vs numeric: coerce the string if it is entirely numeric.
   if (type() == ValueType::kString && other.IsNumeric()) {
     double v;
-    if (TryParseNumeric(string_value(), &v)) {
+    if (TryParseNumericString(string_value(), &v)) {
       return Sign(v - other.AsDouble());
     }
   }
   if (IsNumeric() && other.type() == ValueType::kString) {
     double v;
-    if (TryParseNumeric(other.string_value(), &v)) {
+    if (TryParseNumericString(other.string_value(), &v)) {
       return Sign(AsDouble() - v);
     }
   }

@@ -23,6 +23,11 @@ enum class ValueType {
 /// Name of a ValueType ("INT", "STRING", ...).
 const char* ValueTypeName(ValueType type);
 
+/// Parses a string that is entirely a decimal number (SQL-style coercion
+/// when comparing a STRING with a numeric). Shared by Value::Compare and
+/// the compiled predicate programs so both coerce identically.
+bool TryParseNumericString(const std::string& s, double* out);
+
 /// A dynamically typed SQL value. Numeric comparisons are cross-type
 /// (INT vs DOUBLE compare numerically); all other cross-type comparisons
 /// are a type error. NULL compares equal only to NULL (the audit engine
@@ -91,5 +96,18 @@ class Value {
 };
 
 }  // namespace auditdb
+
+namespace std {
+
+/// Hash delegating to Value::Hash(), consistent with operator==; lets
+/// Value key std::unordered_map/set directly.
+template <>
+struct hash<auditdb::Value> {
+  size_t operator()(const auditdb::Value& v) const noexcept {
+    return v.Hash();
+  }
+};
+
+}  // namespace std
 
 #endif  // AUDITDB_TYPES_VALUE_H_

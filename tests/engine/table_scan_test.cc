@@ -1,0 +1,232 @@
+#include "src/engine/table_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/engine/executor.h"
+#include "src/sql/parser.h"
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+/// T(a INT, b STRING) with rows (10,"x"), (20,"y"), (30,"x"), (40,"z").
+Table MakeTable() {
+  Table table(TableSchema("T", {{"a", ValueType::kInt},
+                                {"b", ValueType::kString}}));
+  EXPECT_TRUE(table.Insert({Value::Int(10), Value::String("x")}).ok());
+  EXPECT_TRUE(table.Insert({Value::Int(20), Value::String("y")}).ok());
+  EXPECT_TRUE(table.Insert({Value::Int(30), Value::String("x")}).ok());
+  EXPECT_TRUE(table.Insert({Value::Int(40), Value::String("z")}).ok());
+  return table;
+}
+
+/// Parses and binds a predicate over T's two slots.
+ExprPtr BoundPredicate(const std::string& text) {
+  auto expr = sql::ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << text;
+  struct Walk {
+    static void Qualify(Expression* e) {
+      if (e == nullptr) return;
+      if (e->kind == ExprKind::kColumn && !e->column.qualified()) {
+        e->column.table = "T";
+      }
+      Qualify(e->left.get());
+      Qualify(e->right.get());
+    }
+  };
+  Walk::Qualify(expr->get());
+  RowLayout layout;
+  layout.AddTable("T", TableSchema("T", {{"a", ValueType::kInt},
+                                         {"b", ValueType::kString}}));
+  EXPECT_TRUE(BindExpression(expr->get(), layout).ok()) << text;
+  return std::move(*expr);
+}
+
+ScanStage LocalStage(const Expression& expr) {
+  auto program = PredicateProgram::Compile(expr, 0, 2);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  ScanStage stage;
+  stage.local = true;
+  stage.program = std::move(*program);
+  return stage;
+}
+
+TEST(TableScanTest, ColumnarProjectionMatchesRows) {
+  Table table = MakeTable();
+  auto batch = table.Columnar();
+  ASSERT_EQ(batch->num_rows, 4u);
+  ASSERT_EQ(batch->num_columns(), 2u);
+  EXPECT_EQ(batch->tids, (std::vector<int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(batch->column(0).ValueAt(2), Value::Int(30));
+  EXPECT_EQ(batch->column(1).ValueAt(3), Value::String("z"));
+}
+
+TEST(TableScanTest, BuildTableFilterStates) {
+  Table table = MakeTable();
+  ExprPtr expr = BoundPredicate("a < 30 AND b = 'x'");
+  std::vector<ScanStage> stages;
+  stages.push_back(LocalStage(*expr));
+
+  auto batch = table.Columnar();
+  ScanOptions opts;
+  TableFilter filter = BuildTableFilter(*batch, stages, std::nullopt, opts);
+  EXPECT_EQ(filter.num_stages(), 1u);
+  EXPECT_FALSE(filter.has_errors());
+  EXPECT_EQ(filter.passing(), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(filter.StageState(0, 0), TableFilter::RowState::kPass);
+  EXPECT_EQ(filter.StageState(0, 1), TableFilter::RowState::kFail);
+}
+
+TEST(TableScanTest, LaterStagesOnlyCoverEarlierPassers) {
+  Table table = MakeTable();
+  ExprPtr first = BoundPredicate("a < 30");
+  ExprPtr second = BoundPredicate("b = 'x'");
+  std::vector<ScanStage> stages;
+  stages.push_back(LocalStage(*first));
+  stages.push_back(LocalStage(*second));
+
+  auto batch = table.Columnar();
+  TableFilter filter =
+      BuildTableFilter(*batch, stages, std::nullopt, ScanOptions{});
+  EXPECT_EQ(filter.passing(), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(filter.StageState(0, 2), TableFilter::RowState::kFail);
+  EXPECT_EQ(filter.StageState(1, 0), TableFilter::RowState::kPass);
+}
+
+TEST(TableScanTest, ErrorsAreRecordedPerRow) {
+  Table table = MakeTable();
+  ExprPtr expr = BoundPredicate("a < 30 AND b + 1 > 0");
+  std::vector<ScanStage> stages;
+  stages.push_back(LocalStage(*expr));
+
+  auto batch = table.Columnar();
+  TableFilter filter =
+      BuildTableFilter(*batch, stages, std::nullopt, ScanOptions{});
+  EXPECT_TRUE(filter.has_errors());
+  // Rows 0, 1 pass a < 30 and then hit string arithmetic; rows 2, 3 fail
+  // the first conjunct cleanly (interpreter short-circuit).
+  EXPECT_EQ(filter.StageState(0, 0), TableFilter::RowState::kError);
+  EXPECT_EQ(filter.StageState(0, 1), TableFilter::RowState::kError);
+  EXPECT_EQ(filter.StageState(0, 2), TableFilter::RowState::kFail);
+  EXPECT_FALSE(filter.StageError(0, 0).ok());
+}
+
+TEST(TableScanTest, SelectionLimitsTheFilter) {
+  Table table = MakeTable();
+  ExprPtr expr = BoundPredicate("b = 'x'");
+  std::vector<ScanStage> stages;
+  stages.push_back(LocalStage(*expr));
+
+  auto batch = table.Columnar();
+  std::vector<uint32_t> selection = {1, 2};
+  TableFilter filter =
+      BuildTableFilter(*batch, stages, selection, ScanOptions{});
+  EXPECT_EQ(filter.passing(), (std::vector<uint32_t>{2}));
+}
+
+TEST(TableScanTest, RunChunkedMatchesSingleShot) {
+  Table table = MakeTable();
+  ExprPtr expr = BoundPredicate("a >= 20 AND b <> 'y'");
+  auto program = PredicateProgram::Compile(*expr, 0, 2);
+  ASSERT_TRUE(program.ok());
+
+  auto batch = table.Columnar();
+  std::vector<uint32_t> sel = {0, 1, 2, 3};
+  auto whole = program->Run(*batch, sel);
+  for (size_t chunk = 1; chunk <= 5; ++chunk) {
+    auto chunked = RunChunked(*program, *batch, sel, chunk);
+    EXPECT_EQ(chunked.passed, whole.passed) << "chunk=" << chunk;
+    EXPECT_EQ(chunked.errors.size(), whole.errors.size());
+  }
+}
+
+TEST(TableScanTest, EstimateFilteredCardinality) {
+  Table table = MakeTable();
+  auto pred = sql::ParseExpression("T.a >= 20");
+  ASSERT_TRUE(pred.ok());
+  std::vector<const Expression*> conjuncts = {pred->get()};
+
+  ScanOptions compiled;
+  auto n = EstimateFilteredCardinality(table, "T", conjuncts, compiled);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+
+  ScanOptions interpreted;
+  interpreted.compiled = false;
+  auto m = EstimateFilteredCardinality(table, "T", conjuncts, interpreted);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, *n);
+}
+
+/// End-to-end: the executor must return identical results (rows, lineage,
+/// and error statuses) with the compiled scan on and off.
+class ScanModeEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildPaperDatabase(&db_, Ts(1)).ok());
+  }
+
+  void CheckBothModes(const std::string& sql) {
+    ExecOptions compiled;
+    compiled.compiled_scan = true;
+    ExecOptions interpreted;
+    interpreted.compiled_scan = false;
+
+    auto a = ExecuteSql(sql, db_.View(), compiled);
+    auto b = ExecuteSql(sql, db_.View(), interpreted);
+    ASSERT_EQ(a.ok(), b.ok()) << sql;
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().ToString(), b.status().ToString()) << sql;
+      return;
+    }
+    EXPECT_EQ(a->rows, b->rows) << sql;
+    EXPECT_EQ(a->lineage, b->lineage) << sql;
+  }
+
+  Database db_;
+};
+
+TEST_F(ScanModeEquivalenceTest, SingleTablePredicates) {
+  CheckBothModes("SELECT name FROM P-Personal WHERE age < 30");
+  CheckBothModes(
+      "SELECT * FROM P-Personal WHERE age >= 25 AND name <> 'Jane'");
+  CheckBothModes("SELECT name FROM P-Personal WHERE name LIKE 'R%'");
+  CheckBothModes("SELECT name FROM P-Personal WHERE age < 25 OR age > 40");
+}
+
+TEST_F(ScanModeEquivalenceTest, Joins) {
+  CheckBothModes(
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'");
+  CheckBothModes(
+      "SELECT name FROM P-Personal, P-Health, P-Employ "
+      "WHERE P-Personal.pid = P-Health.pid "
+      "AND P-Personal.pid = P-Employ.pid AND age < 50");
+}
+
+TEST_F(ScanModeEquivalenceTest, ErrorsMatch) {
+  CheckBothModes("SELECT name FROM P-Personal WHERE name + 1 > 0");
+  CheckBothModes("SELECT name FROM P-Personal WHERE age / 0 > 1");
+  CheckBothModes(
+      "SELECT name FROM P-Personal WHERE age < 30 AND name + 1 > 0");
+}
+
+TEST_F(ScanModeEquivalenceTest, SmallBatchSizeIsEquivalent) {
+  ExecOptions tiny;
+  tiny.compiled_scan = true;
+  tiny.scan_batch_size = 2;
+  auto a = ExecuteSql("SELECT name FROM P-Personal WHERE age < 30",
+                      db_.View(), tiny);
+  ExecOptions interpreted;
+  interpreted.compiled_scan = false;
+  auto b = ExecuteSql("SELECT name FROM P-Personal WHERE age < 30",
+                      db_.View(), interpreted);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rows, b->rows);
+}
+
+}  // namespace
+}  // namespace auditdb

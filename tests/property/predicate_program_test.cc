@@ -1,0 +1,165 @@
+/// Differential property test of the scan layer: random bound predicates
+/// evaluated over random columnar batches must agree with the
+/// tree-walking interpreter row by row — identical pass/fail verdicts AND
+/// identical error statuses. This is the semantics-oracle check the
+/// columnar refactor's byte-identical-results guarantee rests on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/engine/table_scan.h"
+#include "src/expr/evaluator.h"
+#include "src/expr/predicate_program.h"
+
+namespace auditdb {
+namespace {
+
+constexpr size_t kNumColumns = 4;
+
+/// A random cell: ints, doubles, strings, bools, and NULLs, weighted so
+/// columns are usually — but not always — uniformly typed (mixed columns
+/// exercise the generic layout).
+Value RandomCell(Random& rng, int column_bias) {
+  if (rng.UniformDouble() < 0.15) return Value::Null();
+  int kind = rng.UniformDouble() < 0.8 ? column_bias
+                                       : static_cast<int>(rng.Uniform(4));
+  switch (kind) {
+    case 0:
+      return Value::Int(rng.UniformInt(-5, 5));
+    case 1:
+      return Value::Double(static_cast<double>(rng.UniformInt(-50, 50)) / 10);
+    case 2: {
+      static const char* kStrings[] = {"apple", "banana", "ap%", "", "42",
+                                       "plum"};
+      return Value::String(kStrings[rng.Uniform(6)]);
+    }
+    default:
+      return Value::Bool(rng.Uniform(2) == 0);
+  }
+}
+
+Batch RandomBatch(Random& rng, size_t rows) {
+  Batch batch;
+  batch.num_rows = rows;
+  for (size_t c = 0; c < kNumColumns; ++c) {
+    const int bias = static_cast<int>(rng.Uniform(4));
+    std::vector<Value> cells;
+    cells.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) cells.push_back(RandomCell(rng, bias));
+    batch.columns.push_back(ColumnVector::FromValues(cells));
+  }
+  return batch;
+}
+
+/// Random bound expression tree over the batch's columns: literals,
+/// columns, comparisons, LIKE, arithmetic, AND/OR, NOT, unary minus.
+/// `depth` bounds recursion.
+ExprPtr RandomExpr(Random& rng, int depth) {
+  const double roll = rng.UniformDouble();
+  if (depth <= 0 || roll < 0.3) {
+    if (rng.Uniform(2) == 0) {
+      auto col = Expression::MakeColumn(ColumnRef{"T", "c"});
+      col->slot = static_cast<int>(rng.Uniform(kNumColumns));
+      return col;
+    }
+    return Expression::MakeLiteral(RandomCell(rng, static_cast<int>(
+                                                       rng.Uniform(4))));
+  }
+  if (roll < 0.4) {
+    UnaryOp op = rng.Uniform(2) == 0 ? UnaryOp::kNot : UnaryOp::kNeg;
+    return Expression::MakeUnary(op, RandomExpr(rng, depth - 1));
+  }
+  static const BinaryOp kOps[] = {
+      BinaryOp::kEq,  BinaryOp::kNe,  BinaryOp::kLt,  BinaryOp::kLe,
+      BinaryOp::kGt,  BinaryOp::kGe,  BinaryOp::kAnd, BinaryOp::kOr,
+      BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul, BinaryOp::kDiv,
+      BinaryOp::kLike};
+  BinaryOp op = kOps[rng.Uniform(13)];
+  return Expression::MakeBinary(op, RandomExpr(rng, depth - 1),
+                                RandomExpr(rng, depth - 1));
+}
+
+std::vector<Value> RowAt(const Batch& batch, uint32_t r) {
+  std::vector<Value> row;
+  row.reserve(batch.num_columns());
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    row.push_back(batch.column(c).ValueAt(r));
+  }
+  return row;
+}
+
+TEST(PredicateProgramPropertyTest, MatchesInterpreterOnRandomInputs) {
+  Random rng(20260806);
+  size_t compiled_ok = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const size_t rows = static_cast<size_t>(rng.UniformInt(0, 40));
+    Batch batch = RandomBatch(rng, rows);
+    ExprPtr expr = RandomExpr(rng, 3);
+
+    auto program = PredicateProgram::Compile(*expr, 0, kNumColumns);
+    ASSERT_TRUE(program.ok())
+        << expr->ToString() << ": " << program.status().ToString();
+    ++compiled_ok;
+
+    std::vector<uint32_t> sel(rows);
+    for (uint32_t r = 0; r < rows; ++r) sel[r] = r;
+    auto outcome = program->Run(batch, sel);
+
+    for (uint32_t r = 0; r < rows; ++r) {
+      auto expect = EvaluatePredicate(expr.get(), RowAt(batch, r));
+      const bool in_passed =
+          std::binary_search(outcome.passed.begin(), outcome.passed.end(), r);
+      auto err =
+          std::find_if(outcome.errors.begin(), outcome.errors.end(),
+                       [&](const auto& e) { return e.first == r; });
+      if (expect.ok()) {
+        EXPECT_EQ(in_passed, *expect)
+            << expr->ToString() << " row " << r << " trial " << trial;
+        EXPECT_EQ(err, outcome.errors.end())
+            << expr->ToString() << " row " << r << " trial " << trial;
+      } else {
+        EXPECT_FALSE(in_passed) << expr->ToString() << " row " << r;
+        ASSERT_NE(err, outcome.errors.end())
+            << expr->ToString() << " row " << r << " trial " << trial
+            << " expected error: " << expect.status().ToString();
+        EXPECT_EQ(err->second.ToString(), expect.status().ToString())
+            << expr->ToString() << " row " << r << " trial " << trial;
+      }
+    }
+  }
+  EXPECT_EQ(compiled_ok, 400u);
+}
+
+TEST(PredicateProgramPropertyTest, ChunkingNeverChangesTheOutcome) {
+  Random rng(777);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t rows = static_cast<size_t>(rng.UniformInt(1, 60));
+    Batch batch = RandomBatch(rng, rows);
+    ExprPtr expr = RandomExpr(rng, 3);
+    auto program = PredicateProgram::Compile(*expr, 0, kNumColumns);
+    ASSERT_TRUE(program.ok());
+
+    // A random subset selection, ascending.
+    std::vector<uint32_t> sel;
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (rng.Uniform(3) != 0) sel.push_back(r);
+    }
+
+    auto whole = program->Run(batch, sel);
+    const size_t chunk = static_cast<size_t>(rng.UniformInt(1, 7));
+    auto chunked = RunChunked(*program, batch, sel, chunk);
+    EXPECT_EQ(chunked.passed, whole.passed)
+        << expr->ToString() << " chunk=" << chunk;
+    ASSERT_EQ(chunked.errors.size(), whole.errors.size());
+    for (size_t i = 0; i < whole.errors.size(); ++i) {
+      EXPECT_EQ(chunked.errors[i].first, whole.errors[i].first);
+      EXPECT_EQ(chunked.errors[i].second.ToString(),
+                whole.errors[i].second.ToString());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace auditdb

@@ -195,6 +195,55 @@ TEST_F(IndexedTableTest, IndexBuiltOverExistingRowsMatchesScan) {
   EXPECT_EQ(*hit, (std::vector<Tid>{tids_[3]}));
 }
 
+TEST(TableTest, ColumnarIsCachedUntilMutation) {
+  Table table(TwoColSchema());
+  ASSERT_TRUE(table.Insert(Row1()).ok());
+  auto first = table.Columnar();
+  ASSERT_EQ(first->num_rows, 1u);
+  // Same shared batch on a second read, no rebuild.
+  EXPECT_EQ(table.Columnar().get(), first.get());
+
+  const uint64_t before = table.mutation_count();
+  ASSERT_TRUE(table.Insert(Row2()).ok());
+  EXPECT_GT(table.mutation_count(), before);
+  auto second = table.Columnar();
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_EQ(second->num_rows, 2u);
+  // The old batch is still valid for readers that grabbed it earlier.
+  EXPECT_EQ(first->num_rows, 1u);
+  EXPECT_EQ(first->column(0).ValueAt(0), Value::Int(1));
+}
+
+TEST(TableTest, EveryMutationInvalidatesColumnar) {
+  Table table(TwoColSchema());
+  auto t1 = table.Insert(Row1());
+  ASSERT_TRUE(t1.ok());
+
+  auto batch = table.Columnar();
+  ASSERT_TRUE(table.UpdateColumn(*t1, "a", Value::Int(7)).ok());
+  auto updated = table.Columnar();
+  EXPECT_NE(updated.get(), batch.get());
+  EXPECT_EQ(updated->column(0).ValueAt(0), Value::Int(7));
+
+  batch = table.Columnar();
+  ASSERT_TRUE(table.Update(*t1, Row2()).ok());
+  EXPECT_NE(table.Columnar().get(), batch.get());
+
+  batch = table.Columnar();
+  ASSERT_TRUE(table.Delete(*t1).ok());
+  auto emptied = table.Columnar();
+  EXPECT_NE(emptied.get(), batch.get());
+  EXPECT_EQ(emptied->num_rows, 0u);
+}
+
+TEST(TableTest, ColumnarCarriesTidsInRowOrder) {
+  Table table(TwoColSchema());
+  ASSERT_TRUE(table.InsertWithTid(5, Row1()).ok());
+  ASSERT_TRUE(table.InsertWithTid(3, Row2()).ok());
+  auto batch = table.Columnar();
+  EXPECT_EQ(batch->tids, (std::vector<int64_t>{5, 3}));
+}
+
 TEST(TableTest, DeletedTidIsNotReused) {
   Table table(TwoColSchema());
   auto t1 = table.Insert(Row1());

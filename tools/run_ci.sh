@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # CI gate: regular build + full test suite, the service-layer concurrency
-# suite (determinism + stress) under ThreadSanitizer, then the network
-# layer under AddressSanitizer — unit suites plus a live auditd smoke:
-# client round-trips against a loopback daemon and a SIGTERM graceful
-# drain, failing on any ASan report.
+# suite (determinism + stress) under ThreadSanitizer, the network layer
+# under AddressSanitizer — unit suites plus a live auditd smoke: client
+# round-trips against a loopback daemon and a SIGTERM graceful drain,
+# failing on any ASan report — and finally a Release (-O2) build that
+# smoke-runs the scan bench and checks its BENCH_scan.json artifact.
 #
 # Usage: tools/run_ci.sh [build-dir-prefix]
-#   Build trees land in <prefix>, <prefix>-tsan and <prefix>-asan
-#   (default: build-ci).
+#   Build trees land in <prefix>, <prefix>-tsan, <prefix>-asan and
+#   <prefix>-release (default: build-ci).
 
 set -euo pipefail
 
@@ -15,14 +16,14 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== [1/4] build (${PREFIX}) =="
+echo "== [1/5] build (${PREFIX}) =="
 cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${PREFIX}" -j "${JOBS}"
 
-echo "== [2/4] ctest =="
+echo "== [2/5] ctest =="
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "== [3/4] service determinism + stress under ThreadSanitizer =="
+echo "== [3/5] service determinism + stress under ThreadSanitizer =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=thread
 # The TSan gate only needs the concurrency suite; building just its
@@ -31,7 +32,7 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target service_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
       -R 'SchedulerTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest'
 
-echo "== [4/4] network layer under AddressSanitizer =="
+echo "== [4/5] network layer under AddressSanitizer =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
@@ -75,5 +76,18 @@ fi
 grep -q '"server"' "${AUDITD_LOG}" || {
   echo "auditd did not print final metrics"; cat "${AUDITD_LOG}"; exit 1; }
 rm -f "${PORT_FILE}" "${AUDITD_LOG}"
+
+echo "== [5/5] Release build + scan bench smoke =="
+cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_scan
+# A tiny sweep: one fused-filter shape in both scan modes, just enough to
+# prove the bench runs and emits its JSON artifact.
+( cd "${PREFIX}-release/bench" && \
+  ./bench_scan --benchmark_filter='BM_Filter/10000/10/3' \
+               --benchmark_min_time=0.05 )
+[ -s "${PREFIX}-release/bench/BENCH_scan.json" ] || {
+  echo "bench_scan did not write BENCH_scan.json"; exit 1; }
+grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_scan.json" || {
+  echo "BENCH_scan.json is not benchmark JSON"; exit 1; }
 
 echo "CI gate passed."
