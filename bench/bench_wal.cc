@@ -1,0 +1,181 @@
+/// Experiment D1: durability costs — WAL append throughput per fsync
+/// policy, and recovery time as the un-checkpointed log grows.
+///
+/// Append benches write realistic query records through WalWriter under
+/// each FsyncPolicy (always / every_n:64 / never), reporting records/s
+/// and bytes/s; the spread between "never" and "always" is the price of
+/// the kill-9 durability guarantee. Recovery benches time ReplayWal
+/// alone and full DurableStore::Open (manifest + snapshot load + replay
+/// + torn-tail scan) against WALs of growing record counts.
+///
+/// Run: build/bench/bench_wal   (artifact: BENCH_wal.json)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/io/file.h"
+#include "src/io/store.h"
+#include "src/querylog/wal.h"
+
+namespace {
+
+using namespace auditdb;
+
+/// A realistic logged query: ~120 byte SQL with escaped-field-relevant
+/// characters, deterministic per id.
+LoggedQuery MakeEntry(int64_t id) {
+  LoggedQuery entry;
+  entry.id = id;
+  entry.timestamp = Timestamp(1000000 + id);
+  entry.user = "user" + std::to_string(id % 97);
+  entry.role = (id % 3 == 0) ? "Doctor" : "Nurse";
+  entry.purpose = "treatment";
+  entry.sql =
+      "SELECT name, disease FROM P-Personal, P-Health WHERE "
+      "P-Personal.pid = P-Health.pid AND disease = 'diabetic' AND "
+      "pid = 'p" +
+      std::to_string(id) + "'";
+  return entry;
+}
+
+/// Scratch dir under /tmp, emptied of any prior bench run's files.
+std::string FreshDir(const std::string& name) {
+  io::Env* env = io::Env::Default();
+  std::string dir = "/tmp/auditdb_bench_wal_" + name;
+  if (env->FileExists(dir)) {
+    auto names = env->ListDir(dir);
+    if (names.ok()) {
+      for (const auto& entry : *names) {
+        (void)env->DeleteFile(io::JoinPath(dir, entry));
+      }
+    }
+  }
+  if (!env->CreateDirIfMissing(dir).ok()) std::abort();
+  return dir;
+}
+
+void BenchAppend(benchmark::State& state, querylog::FsyncPolicy policy) {
+  io::Env* env = io::Env::Default();
+  std::string dir = FreshDir("append");
+  querylog::WalWriterOptions options;
+  options.fsync = policy;
+  options.every_n = 64;
+  auto wal = querylog::WalWriter::Open(
+      env, io::JoinPath(dir, "bench.wal"), options, /*truncate=*/true);
+  if (!wal.ok()) std::abort();
+  int64_t id = 0;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string payload = querylog::EncodeQueryWalPayload(MakeEntry(++id));
+    bytes += static_cast<int64_t>(payload.size());
+    Status appended =
+        (*wal)->Append(querylog::WalRecordType::kQuery, payload);
+    if (!appended.ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(bytes);
+  state.counters["wal_bytes"] =
+      static_cast<double>((*wal)->bytes_written());
+}
+
+void BM_WalAppendFsyncAlways(benchmark::State& state) {
+  BenchAppend(state, querylog::FsyncPolicy::kAlways);
+}
+void BM_WalAppendFsyncEveryN(benchmark::State& state) {
+  BenchAppend(state, querylog::FsyncPolicy::kEveryN);
+}
+void BM_WalAppendFsyncNever(benchmark::State& state) {
+  BenchAppend(state, querylog::FsyncPolicy::kNever);
+}
+BENCHMARK(BM_WalAppendFsyncAlways);
+BENCHMARK(BM_WalAppendFsyncEveryN);
+BENCHMARK(BM_WalAppendFsyncNever);
+
+/// Writes `records` query records into a fresh WAL file and returns its
+/// path (fsync=never: the bench measures reading, not writing).
+std::string BuildWal(const std::string& dir, int64_t records) {
+  io::Env* env = io::Env::Default();
+  std::string path = io::JoinPath(dir, "replay.wal");
+  querylog::WalWriterOptions options;
+  options.fsync = querylog::FsyncPolicy::kNever;
+  auto wal = querylog::WalWriter::Open(env, path, options,
+                                       /*truncate=*/true);
+  if (!wal.ok()) std::abort();
+  for (int64_t id = 1; id <= records; ++id) {
+    Status appended =
+        (*wal)->Append(querylog::WalRecordType::kQuery,
+                       querylog::EncodeQueryWalPayload(MakeEntry(id)));
+    if (!appended.ok()) std::abort();
+  }
+  if (!(*wal)->Close().ok()) std::abort();
+  return path;
+}
+
+void BM_WalReplay(benchmark::State& state) {
+  io::Env* env = io::Env::Default();
+  std::string dir = FreshDir("replay");
+  const int64_t records = state.range(0);
+  std::string path = BuildWal(dir, records);
+  for (auto _ : state) {
+    uint64_t seen = 0;
+    querylog::WalReplayStats stats;
+    Status replayed = querylog::ReplayWal(
+        env, path,
+        [&](querylog::WalRecordType, const std::string&) {
+          ++seen;
+          return Status::Ok();
+        },
+        &stats);
+    if (!replayed.ok() || seen != static_cast<uint64_t>(records)) {
+      std::abort();
+    }
+    benchmark::DoNotOptimize(stats.valid_prefix_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_WalReplay)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// Full crash-recovery path: manifest read, snapshot load, WAL replay,
+/// torn-tail scan, stale-file prune — what auditd pays on restart as a
+/// function of how much WAL accumulated since the last checkpoint.
+void BM_StoreRecovery(benchmark::State& state) {
+  io::Env* env = io::Env::Default();
+  std::string dir = FreshDir("recover_" + std::to_string(state.range(0)));
+  const int64_t records = state.range(0);
+  {
+    // Seed the dir: hospital snapshot at checkpoint 1, then `records`
+    // un-checkpointed appends.
+    auto world = bench::MakeWorld(/*patients=*/50, /*queries=*/0);
+    io::DurableStoreOptions options;
+    options.fsync = querylog::FsyncPolicy::kNever;
+    options.checkpoint_every_records = 0;
+    auto store = io::DurableStore::Open(env, dir, &world->db, &world->log,
+                                        bench::Ts(1), options);
+    if (!store.ok()) std::abort();
+    for (int64_t id = 1; id <= records; ++id) {
+      if (!(*store)->AppendQuery(MakeEntry(id)).ok()) std::abort();
+    }
+    if (!(*store)->Sync().ok()) std::abort();
+  }
+  for (auto _ : state) {
+    Database db;
+    QueryLog log;
+    auto store =
+        io::DurableStore::Open(env, dir, &db, &log, bench::Ts(1));
+    if (!store.ok() ||
+        log.size() != static_cast<size_t>(records)) {
+      std::abort();
+    }
+    benchmark::DoNotOptimize(log.size());
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_StoreRecovery)->Arg(0)->Arg(1000)->Arg(10000)->Arg(50000);
+
+}  // namespace
+
+AUDITDB_BENCH_MAIN(wal);

@@ -1,0 +1,40 @@
+#ifndef AUDITDB_IO_CHECKSUM_H_
+#define AUDITDB_IO_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace auditdb {
+namespace io {
+
+/// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+/// every on-disk record in the durability layer carries (WAL frames,
+/// docs/durability.md). Software slicing-by-8 implementation; no
+/// hardware dependency.
+
+/// CRC of `data`, continuing from `seed` (0 starts a fresh CRC).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+/// Stored CRCs are masked (rotate + constant, the LevelDB scheme) so
+/// that computing the CRC of a byte string that itself contains
+/// embedded CRCs does not degenerate.
+inline constexpr uint32_t kCrcMaskDelta = 0xa282ead8u;
+
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kCrcMaskDelta;
+}
+
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - kCrcMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace io
+}  // namespace auditdb
+
+#endif  // AUDITDB_IO_CHECKSUM_H_

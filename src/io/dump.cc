@@ -2,10 +2,10 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "src/common/string_util.h"
+#include "src/io/file.h"
 
 namespace auditdb {
 namespace io {
@@ -346,26 +346,43 @@ Status ReadQueryLogDump(std::istream& in, QueryLog* log) {
 }
 
 Status SaveDatabase(const Database& db, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::NotFound("cannot open for writing: " + path);
-  return WriteDatabaseDump(db, out);
+  return SaveDatabase(Env::Default(), db, path);
+}
+
+Status SaveDatabase(Env* env, const Database& db, const std::string& path) {
+  std::ostringstream out;
+  AUDITDB_RETURN_IF_ERROR(WriteDatabaseDump(db, out));
+  return AtomicWriteFile(env, path, out.str());
 }
 
 Status LoadDatabase(const std::string& path, Database* db, Timestamp ts) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open: " + path);
+  return LoadDatabase(Env::Default(), path, db, ts);
+}
+
+Status LoadDatabase(Env* env, const std::string& path, Database* db,
+                    Timestamp ts) {
+  AUDITDB_ASSIGN_OR_RETURN(std::string text, env->ReadFileToString(path));
+  std::istringstream in(text);
   return ReadDatabaseDump(in, db, ts);
 }
 
 Status SaveQueryLog(const QueryLog& log, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::NotFound("cannot open for writing: " + path);
-  return WriteQueryLogDump(log, out);
+  return SaveQueryLog(Env::Default(), log, path);
+}
+
+Status SaveQueryLog(Env* env, const QueryLog& log, const std::string& path) {
+  std::ostringstream out;
+  AUDITDB_RETURN_IF_ERROR(WriteQueryLogDump(log, out));
+  return AtomicWriteFile(env, path, out.str());
 }
 
 Status LoadQueryLog(const std::string& path, QueryLog* log) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open: " + path);
+  return LoadQueryLog(Env::Default(), path, log);
+}
+
+Status LoadQueryLog(Env* env, const std::string& path, QueryLog* log) {
+  AUDITDB_ASSIGN_OR_RETURN(std::string text, env->ReadFileToString(path));
+  std::istringstream in(text);
   return ReadQueryLogDump(in, log);
 }
 

@@ -7,6 +7,7 @@
 
 #include "src/common/status.h"
 #include "src/common/timestamp.h"
+#include "src/io/file.h"
 #include "src/querylog/query_log.h"
 #include "src/storage/database.h"
 
@@ -42,11 +43,21 @@ Status WriteQueryLogDump(const QueryLog& log, std::ostream& out);
 /// order; annotations and timestamps are preserved).
 Status ReadQueryLogDump(std::istream& in, QueryLog* log);
 
-/// File convenience wrappers.
+/// File convenience wrappers. Saves are crash-safe: the dump is
+/// rendered in memory, written to `path + ".tmp"`, fsynced, and
+/// atomically renamed over `path` (AtomicWriteFile), so a failure —
+/// full disk, short write, crash — leaves any previous file intact and
+/// returns a non-OK Status instead of silently truncating. The Env
+/// overloads exist so tests can inject IO faults (io::FaultInjectingEnv).
 Status SaveDatabase(const Database& db, const std::string& path);
+Status SaveDatabase(Env* env, const Database& db, const std::string& path);
 Status LoadDatabase(const std::string& path, Database* db, Timestamp ts);
+Status LoadDatabase(Env* env, const std::string& path, Database* db,
+                    Timestamp ts);
 Status SaveQueryLog(const QueryLog& log, const std::string& path);
+Status SaveQueryLog(Env* env, const QueryLog& log, const std::string& path);
 Status LoadQueryLog(const std::string& path, QueryLog* log);
+Status LoadQueryLog(Env* env, const std::string& path, QueryLog* log);
 
 /// Value encoding used by the dump format (exposed for tests).
 std::string EncodeValue(const Value& value);

@@ -1,0 +1,535 @@
+#include "src/io/file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace auditdb {
+namespace io {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context, int err) {
+  std::string message = context + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(std::move(message));
+  return Status::Internal(std::move(message));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    while (!data.empty()) {
+      ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write " + path_, errno);
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) {
+      return ErrnoStatus("fdatasync " + path_, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close " + path_, errno);
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixSequentialFile : public SequentialFile {
+ public:
+  PosixSequentialFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixSequentialFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> Read(size_t n, char* scratch) override {
+    while (true) {
+      ssize_t r = ::read(fd_, scratch, n);
+      if (r >= 0) return static_cast<size_t>(r);
+      if (errno == EINTR) continue;
+      return ErrnoStatus("read " + path_, errno);
+    }
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+    flags |= truncate ? O_TRUNC : O_APPEND;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open " + path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open " + path, errno);
+    return std::unique_ptr<SequentialFile>(
+        std::make_unique<PosixSequentialFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    AUDITDB_ASSIGN_OR_RETURN(auto file, NewSequentialFile(path));
+    std::string out;
+    char buf[65536];
+    while (true) {
+      AUDITDB_ASSIGN_OR_RETURN(size_t n, file->Read(sizeof(buf), buf));
+      if (n == 0) return out;
+      out.append(buf, n);
+    }
+  }
+
+  Status RenameFile(const std::string& from,
+                    const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("unlink " + path, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate " + path, errno);
+    }
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("stat " + path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) == 0) return Status::Ok();
+    if (errno == EEXIST) {
+      struct stat st;
+      if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        return Status::Ok();
+      }
+      return Status::AlreadyExists(path + " exists and is not a directory");
+    }
+    return ErrnoStatus("mkdir " + path, errno);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return ErrnoStatus("opendir " + path, errno);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    return names;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open dir " + path, errno);
+    Status status;
+    if (::fsync(fd) != 0) status = ErrnoStatus("fsync dir " + path, errno);
+    ::close(fd);
+    return status;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  Status status = [&]() -> Status {
+    AUDITDB_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(tmp, true));
+    AUDITDB_RETURN_IF_ERROR(file->Append(data));
+    AUDITDB_RETURN_IF_ERROR(file->Sync());
+    return file->Close();
+  }();
+  if (!status.ok()) {
+    env->DeleteFile(tmp);  // best effort; the destination is untouched
+    return status;
+  }
+  AUDITDB_RETURN_IF_ERROR(env->RenameFile(tmp, path));
+  auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash == 0 ? 1 : slash);
+  return env->SyncDir(dir);
+}
+
+// ---------------------------------------------------------------------
+// FaultInjectingEnv
+
+class FaultInjectingEnv::FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultInjectingEnv* env,
+                     std::unique_ptr<WritableFile> base, std::string path,
+                     uint64_t size)
+      : env_(env), base_(std::move(base)), path_(std::move(path)),
+        size_(size) {}
+
+  Status Append(std::string_view data) override {
+    size_t partial = 0;
+    Status error;
+    switch (env_->NextOp(OpKind::kAppend, &partial, &error)) {
+      case Action::kApply: {
+        Status status = base_->Append(data);
+        if (status.ok()) size_ += data.size();
+        return status;
+      }
+      case Action::kCrashPartial: {
+        partial = std::min(partial, data.size());
+        if (base_->Append(data.substr(0, partial)).ok()) size_ += partial;
+        env_->TriggerCrash();
+        return error;
+      }
+      case Action::kCrashSkip:
+        env_->TriggerCrash();
+        return error;
+      case Action::kFail: {
+        partial = std::min(partial, data.size());
+        if (partial > 0 && base_->Append(data.substr(0, partial)).ok()) {
+          size_ += partial;
+        }
+        return error;
+      }
+      case Action::kDead:
+        return error;
+    }
+    return error;
+  }
+
+  Status Sync() override {
+    size_t partial = 0;
+    Status error;
+    switch (env_->NextOp(OpKind::kSync, &partial, &error)) {
+      case Action::kApply: {
+        Status status = base_->Sync();
+        if (status.ok()) env_->MarkSynced(path_, size_);
+        return status;
+      }
+      case Action::kCrashPartial:
+      case Action::kCrashSkip:
+        env_->TriggerCrash();
+        return error;
+      case Action::kFail:
+      case Action::kDead:
+        return error;
+    }
+    return error;
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+  uint64_t size_;  // bytes that reached the base file
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base) : base_(base) {}
+FaultInjectingEnv::~FaultInjectingEnv() = default;
+
+void FaultInjectingEnv::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  op_counter_ = 0;
+  crash_at_op_ = -1;
+  fail_at_op_ = -1;
+  fault_partial_bytes_ = 0;
+  drop_unsynced_ = false;
+  crashed_ = false;
+  synced_size_.clear();
+}
+
+void FaultInjectingEnv::CrashAtOp(int64_t op, size_t partial_bytes,
+                                  bool drop_unsynced) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_at_op_ = op;
+  fail_at_op_ = -1;
+  fault_partial_bytes_ = partial_bytes;
+  drop_unsynced_ = drop_unsynced;
+}
+
+void FaultInjectingEnv::FailAtOp(int64_t op, size_t partial_bytes,
+                                 std::string message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_at_op_ = op;
+  crash_at_op_ = -1;
+  fault_partial_bytes_ = partial_bytes;
+  fail_message_ = std::move(message);
+}
+
+int64_t FaultInjectingEnv::ops_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return op_counter_;
+}
+
+bool FaultInjectingEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+FaultInjectingEnv::Action FaultInjectingEnv::NextOp(OpKind kind,
+                                                    size_t* partial,
+                                                    Status* error) {
+  (void)kind;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    *error = Status::Internal("simulated crash (post-crash IO)");
+    return Action::kDead;
+  }
+  int64_t op = op_counter_++;
+  if (op == crash_at_op_) {
+    *error = Status::Internal("simulated crash at op " + std::to_string(op));
+    *partial = fault_partial_bytes_;
+    return fault_partial_bytes_ > 0 ? Action::kCrashPartial
+                                    : Action::kCrashSkip;
+  }
+  if (op == fail_at_op_) {
+    *error = Status::Internal(fail_message_);
+    *partial = fault_partial_bytes_;
+    return Action::kFail;
+  }
+  return Action::kApply;
+}
+
+void FaultInjectingEnv::TriggerCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = true;
+  if (!drop_unsynced_) return;
+  // Page-cache loss: every tracked file falls back to its last synced
+  // size. Files never synced since creation come back empty.
+  for (const auto& [path, synced] : synced_size_) {
+    auto size = base_->GetFileSize(path);
+    if (size.ok() && *size > synced) {
+      base_->TruncateFile(path, synced);
+    }
+  }
+}
+
+void FaultInjectingEnv::MarkSynced(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  synced_size_[path] = size;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (crashed_) return Status::Internal("simulated crash (post-crash IO)");
+  }
+  uint64_t existing = 0;
+  if (!truncate) {
+    auto size = base_->GetFileSize(path);
+    if (size.ok()) existing = *size;
+  }
+  AUDITDB_ASSIGN_OR_RETURN(auto base_file,
+                           base_->NewWritableFile(path, truncate));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (truncate) {
+      synced_size_[path] = 0;
+    } else if (synced_size_.count(path) == 0) {
+      // Pre-existing bytes (e.g. a recovered WAL) are already durable.
+      synced_size_[path] = existing;
+    }
+  }
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultyWritableFile>(
+      this, std::move(base_file), path, existing));
+}
+
+Result<std::unique_ptr<SequentialFile>> FaultInjectingEnv::NewSequentialFile(
+    const std::string& path) {
+  return base_->NewSequentialFile(path);
+}
+
+Result<std::string> FaultInjectingEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  size_t partial = 0;
+  Status error;
+  switch (NextOp(OpKind::kRename, &partial, &error)) {
+    case Action::kApply:
+      break;
+    case Action::kCrashPartial: {
+      // partial > 0 models "the rename hit the journal before the
+      // crash": it applies, then the process dies.
+      Status status = base_->RenameFile(from, to);
+      if (status.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = synced_size_.find(from);
+        if (it != synced_size_.end()) {
+          synced_size_[to] = it->second;
+          synced_size_.erase(it);
+        }
+      }
+      TriggerCrash();
+      return error;
+    }
+    case Action::kCrashSkip:
+      TriggerCrash();
+      return error;
+    case Action::kFail:
+    case Action::kDead:
+      return error;
+  }
+  AUDITDB_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = synced_size_.find(from);
+  if (it != synced_size_.end()) {
+    synced_size_[to] = it->second;
+    synced_size_.erase(it);
+  } else {
+    synced_size_.erase(to);
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::DeleteFile(const std::string& path) {
+  size_t partial = 0;
+  Status error;
+  switch (NextOp(OpKind::kDelete, &partial, &error)) {
+    case Action::kApply:
+      break;
+    case Action::kCrashPartial:
+      base_->DeleteFile(path);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        synced_size_.erase(path);
+      }
+      TriggerCrash();
+      return error;
+    case Action::kCrashSkip:
+      TriggerCrash();
+      return error;
+    case Action::kFail:
+    case Action::kDead:
+      return error;
+  }
+  AUDITDB_RETURN_IF_ERROR(base_->DeleteFile(path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  synced_size_.erase(path);
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  size_t partial = 0;
+  Status error;
+  switch (NextOp(OpKind::kTruncate, &partial, &error)) {
+    case Action::kApply:
+      break;
+    case Action::kCrashPartial:
+      base_->TruncateFile(path, size);
+      TriggerCrash();
+      return error;
+    case Action::kCrashSkip:
+      TriggerCrash();
+      return error;
+    case Action::kFail:
+    case Action::kDead:
+      return error;
+  }
+  AUDITDB_RETURN_IF_ERROR(base_->TruncateFile(path, size));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = synced_size_.find(path);
+  if (it != synced_size_.end() && it->second > size) it->second = size;
+  return Status::Ok();
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectingEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+Status FaultInjectingEnv::CreateDirIfMissing(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (crashed_) return Status::Internal("simulated crash (post-crash IO)");
+  }
+  return base_->CreateDirIfMissing(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (crashed_) return Status::Internal("simulated crash (post-crash IO)");
+  }
+  return base_->SyncDir(path);
+}
+
+}  // namespace io
+}  // namespace auditdb

@@ -1,0 +1,174 @@
+#ifndef AUDITDB_IO_FILE_H_
+#define AUDITDB_IO_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace auditdb {
+namespace io {
+
+/// A minimal Env/file abstraction over POSIX fds, so the durability
+/// layer (WAL, snapshots, MANIFEST — docs/durability.md) writes through
+/// an interface a test can replace with a fault injector. All paths are
+/// plain OS paths; all methods return Status instead of throwing.
+
+/// Append-only file handle with explicit durability control. Append()
+/// buffers in the OS page cache; data is only crash-durable after a
+/// successful Sync() (fdatasync). Close() does NOT imply Sync().
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  /// fdatasync: on OK, every appended byte survives a crash.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Forward-only reader.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  /// Reads up to `n` bytes into `scratch`; returns the count (0 at EOF).
+  virtual Result<size_t> Read(size_t n, char* scratch) = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+
+  /// `truncate` starts the file empty; otherwise appends to what exists
+  /// (the WAL reopen-after-recovery path).
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate = true) = 0;
+  virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// POSIX rename(2): atomic replacement of `to`.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual Status CreateDirIfMissing(const std::string& path) = 0;
+  /// Entry names (no directory prefix), unsorted; "." and ".." omitted.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+  /// fsync the directory itself, making renames/creates/unlinks in it
+  /// crash-durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+/// The write-temp-fsync-rename helper every snapshot/MANIFEST/port-file
+/// write goes through: writes `data` to `path + ".tmp"`, fsyncs it,
+/// atomically renames over `path`, and fsyncs the parent directory.
+/// On any error the destination is left untouched (a stale ".tmp" may
+/// remain; recovery deletes orphaned temps).
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view data);
+
+/// Joins a directory and a file name with exactly one separator.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+/// An Env wrapper that injects faults at scripted points, for crash-
+/// recovery property tests (tests/io/). Every state-changing operation
+/// — WritableFile::Append / Sync, RenameFile, TruncateFile, DeleteFile
+/// — is one *fault point*, numbered from 0 in execution order.
+///
+/// Two modes:
+///
+///  - **Crash** (`CrashAtOp`): ops before the crash point apply
+///    normally; the crashing op applies partially (an Append keeps
+///    `partial_bytes` of its payload, a rename/delete/truncate with
+///    `partial_bytes == 0` does not happen at all, otherwise it does);
+///    every later op fails with Internal("simulated crash"). If
+///    `drop_unsynced` is set, data appended since each file's last
+///    successful Sync is also torn away (the page-cache-loss model) —
+///    the crashing append's partial bytes are dropped with it.
+///  - **Fail** (`FailAtOp`): the op returns an error (short-writing an
+///    Append to `partial_bytes` first, modelling ENOSPC mid-write) but
+///    the process "survives": later ops succeed.
+///
+/// `ops_recorded()` after a fault-free run gives the schedule length, so
+/// a harness can exhaustively re-run with a crash at every point.
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base);
+  ~FaultInjectingEnv() override;
+
+  /// Clears any armed fault and the op counter.
+  void Reset();
+  void CrashAtOp(int64_t op, size_t partial_bytes = 0,
+                 bool drop_unsynced = false);
+  void FailAtOp(int64_t op, size_t partial_bytes = 0,
+                std::string message = "injected IO error");
+  /// Fault points executed so far (== schedule length after a clean run).
+  int64_t ops_recorded() const;
+  bool crashed() const;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  class FaultyWritableFile;
+  friend class FaultyWritableFile;
+
+  enum class OpKind { kAppend, kSync, kRename, kDelete, kTruncate };
+
+  /// Consumes one fault point. The caller applies the effect the action
+  /// dictates, then (for crash actions) calls TriggerCrash():
+  ///   kApply        apply fully, succeed
+  ///   kCrashPartial apply `*partial` bytes (appends) / apply the op
+  ///                 (rename, delete, truncate), then crash
+  ///   kCrashSkip    apply nothing, crash
+  ///   kFail         apply `*partial` bytes (short write), return the
+  ///                 error, keep running
+  ///   kDead         post-crash: apply nothing, return the error
+  enum class Action { kApply, kCrashPartial, kCrashSkip, kFail, kDead };
+  Action NextOp(OpKind kind, size_t* partial, Status* error);
+  void TriggerCrash();
+  void MarkSynced(const std::string& path, uint64_t size);
+
+  /// Tears unsynced bytes off every tracked file (crash model).
+  void DropUnsynced();
+
+  Env* base_;
+  mutable std::mutex mutex_;
+  int64_t op_counter_ = 0;
+  int64_t crash_at_op_ = -1;
+  int64_t fail_at_op_ = -1;
+  size_t fault_partial_bytes_ = 0;
+  bool drop_unsynced_ = false;
+  std::string fail_message_;
+  bool crashed_ = false;
+  /// path -> size at last successful Sync (files opened through this
+  /// env; renames transfer the entry, deletes erase it).
+  std::map<std::string, uint64_t> synced_size_;
+};
+
+}  // namespace io
+}  // namespace auditdb
+
+#endif  // AUDITDB_IO_FILE_H_

@@ -7,8 +7,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <random>
+#include <thread>
 
 namespace auditdb {
 namespace net {
@@ -54,7 +57,10 @@ Status Await(int fd, short events, Clock::time_point deadline) {
 
 AuditClient::AuditClient(std::string host, uint16_t port,
                          AuditClientOptions options)
-    : host_(std::move(host)), port_(port), options_(options) {}
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      jitter_state_(std::random_device{}()) {}
 
 AuditClient::~AuditClient() { Close(); }
 
@@ -154,9 +160,9 @@ Result<Message> AuditClient::ReadResponse(Clock::time_point deadline) {
 }
 
 Result<Message> AuditClient::TryOnce(const Message& request,
-                                     Status* transport_error) {
+                                     Status* transport_error,
+                                     Clock::time_point deadline) {
   *transport_error = Status::Ok();
-  auto deadline = Clock::now() + options_.request_timeout;
   Status sent = SendAll(EncodeFrame(request), deadline);
   if (!sent.ok()) {
     *transport_error = sent;
@@ -170,21 +176,55 @@ Result<Message> AuditClient::TryOnce(const Message& request,
   return response;
 }
 
+bool AuditClient::BackoffBeforeRetry(std::chrono::milliseconds* backoff,
+                                     Clock::time_point deadline) {
+  // Equal jitter: sleep in [backoff/2, backoff] so a burst of clients
+  // hitting the same restarted server decorrelates.
+  int64_t base = backoff->count();
+  jitter_state_ = jitter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  int64_t half = base / 2;
+  int64_t delay = half + (half > 0 ? static_cast<int64_t>(
+                                         (jitter_state_ >> 33) % (half + 1))
+                                   : 0);
+  if (Clock::now() + std::chrono::milliseconds(delay) >= deadline) {
+    return false;  // the retry could not finish in budget; fail now
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  *backoff = std::min(*backoff * 2, options_.retry_max_backoff);
+  return true;
+}
+
 Result<Message> AuditClient::RoundTrip(const Message& request) {
-  bool retryable = options_.retry_idempotent &&
-                   IsIdempotentType(request.type);
+  const bool retryable = options_.retry_idempotent &&
+                         IsIdempotentType(request.type) &&
+                         options_.max_retries > 0;
+  // One deadline covers every attempt and backoff sleep: retries spend
+  // the request's budget, they do not extend it.
+  const auto deadline = Clock::now() + options_.request_timeout;
+  std::chrono::milliseconds backoff = options_.retry_initial_backoff;
   for (int attempt = 0;; ++attempt) {
     if (fd_ < 0) {
-      AUDITDB_RETURN_IF_ERROR(Connect());
+      Status connected = Connect();
+      if (!connected.ok()) {
+        // A refused/failed connect is always safe to retry (nothing was
+        // sent), still bounded by max_retries and the deadline.
+        if (retryable && attempt < options_.max_retries &&
+            connected.code() != StatusCode::kDeadlineExceeded &&
+            BackoffBeforeRetry(&backoff, deadline)) {
+          continue;
+        }
+        return connected;
+      }
     }
     Status transport_error;
-    auto response = TryOnce(request, &transport_error);
+    auto response = TryOnce(request, &transport_error, deadline);
     if (!response.ok()) {
       Close();
-      // Reconnect-once: only transport failures on idempotent requests,
-      // and never timeouts (the server may still be working on it).
-      if (retryable && attempt == 0 &&
-          transport_error.code() == StatusCode::kInternal) {
+      // Only transport failures on idempotent requests retry, never
+      // timeouts (the server may still be working on it).
+      if (retryable && attempt < options_.max_retries &&
+          transport_error.code() == StatusCode::kInternal &&
+          BackoffBeforeRetry(&backoff, deadline)) {
         continue;
       }
       return response.status();

@@ -20,11 +20,20 @@ struct AuditClientOptions {
   /// are slow by design; size accordingly.
   std::chrono::milliseconds request_timeout{30000};
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Retry an idempotent request exactly once over a fresh connection
-  /// when the transport fails mid-flight (stale pooled connection, server
-  /// restart). Non-idempotent requests (ExecuteQuery, LoadDump) never
-  /// retry: the first attempt may have committed.
+  /// Retry idempotent requests over a fresh connection when the
+  /// transport fails (stale pooled connection, server restart, refused
+  /// connect): up to `max_retries` extra attempts with exponential
+  /// backoff + jitter, all within the request_timeout budget — a retry
+  /// that cannot fit its backoff before the deadline is not attempted.
+  /// Timeouts never retry (the server may still be working on the
+  /// request), and non-idempotent requests (ExecuteQuery, LoadDump)
+  /// never retry: the first attempt may have committed.
   bool retry_idempotent = true;
+  int max_retries = 3;
+  /// First retry waits ~this long (jittered to [base/2, base]); each
+  /// further retry doubles it up to retry_max_backoff.
+  std::chrono::milliseconds retry_initial_backoff{10};
+  std::chrono::milliseconds retry_max_backoff{500};
 };
 
 /// Blocking client for the auditd wire protocol: one TCP connection,
@@ -98,11 +107,17 @@ class AuditClient {
                  std::chrono::steady_clock::time_point deadline);
   Result<Message> ReadResponse(
       std::chrono::steady_clock::time_point deadline);
-  Result<Message> TryOnce(const Message& request, Status* transport_error);
+  Result<Message> TryOnce(const Message& request, Status* transport_error,
+                          std::chrono::steady_clock::time_point deadline);
+  /// Sleeps the next jittered backoff and doubles it, or returns false
+  /// without sleeping when the delay would cross `deadline`.
+  bool BackoffBeforeRetry(std::chrono::milliseconds* backoff,
+                          std::chrono::steady_clock::time_point deadline);
 
   std::string host_;
   uint16_t port_;
   AuditClientOptions options_;
+  uint64_t jitter_state_;
   int fd_ = -1;
 };
 

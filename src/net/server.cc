@@ -23,6 +23,7 @@
 #include "src/audit/expression_library.h"
 #include "src/engine/executor.h"
 #include "src/io/dump.h"
+#include "src/io/store.h"
 
 namespace auditdb {
 namespace net {
@@ -561,8 +562,23 @@ struct AuditServer::Impl {
   }
 
   std::string CombinedMetricsJson() const {
-    return "{\"server\":" + metrics->ToJson() +
-           ",\"service\":" + service->MetricsJson() + "}";
+    std::string json = "{\"server\":" + metrics->ToJson() +
+                       ",\"service\":" + service->MetricsJson();
+    if (options.durable_store != nullptr) {
+      json += ",\"durability\":" + options.durable_store->MetricsJson();
+    }
+    return json + "}";
+  }
+
+  /// Runs the automatic checkpoint cadence; call under the writer lock
+  /// after a durable append. A failed checkpoint before the commit
+  /// point is non-fatal: the store keeps running on its old WAL and the
+  /// failure is visible in the durability metrics.
+  void MaybeCheckpoint() {
+    io::DurableStore* store = options.durable_store;
+    if (store == nullptr || !store->ShouldCheckpoint()) return;
+    Status ignored = store->Checkpoint(*db, *log);
+    (void)ignored;
   }
 
   Message HandleRequest(const Message& request);
@@ -574,10 +590,26 @@ struct AuditServer::Impl {
 
 Message AuditServer::Impl::HandleRequest(const Message& request) {
   switch (request.type) {
-    case MessageType::kHealthRequest:
+    case MessageType::kHealthRequest: {
       // The payload is ignored (load generators pad it to probe frame
-      // sizes); a response proves loop + handler pool are alive.
-      return MakeOk("ok");
+      // sizes); a response proves loop + handler pool are alive. With a
+      // durable store attached the response carries its vitals so a
+      // probe can see recovery results and a wedged store without
+      // parsing the full metrics JSON.
+      io::DurableStore* store = options.durable_store;
+      if (store == nullptr) return MakeOk("ok");
+      const io::RecoveryInfo& recovery = store->recovery();
+      return MakeOk(
+          std::string(store->broken() ? "wedged" : "ok") +
+          "|durable|wal_records=" + std::to_string(store->wal_records()) +
+          "|wal_bytes=" + std::to_string(store->wal_bytes()) +
+          "|recovered_records=" +
+          std::to_string(recovery.recovered_records) +
+          "|torn_tail_dropped=" +
+          std::to_string(recovery.torn_tail_dropped) +
+          "|last_checkpoint_seq=" +
+          std::to_string(store->last_checkpoint_seq()));
+    }
     case MessageType::kMetricsRequest:
       return MakeOk(CombinedMetricsJson());
     case MessageType::kAuditRequest:
@@ -673,8 +705,25 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request) {
         std::to_string(options.max_response_bytes) +
         "; query not logged"));
   }
+  // WAL-append *before* the in-memory append and the ack: an error
+  // response means nothing was committed anywhere; an OK means the
+  // entry is in memory and (under fsync=always) survives kill -9. A
+  // recovered-but-never-acked tail record is harmless — the durability
+  // contract is acked ⊆ recovered.
+  if (options.durable_store != nullptr) {
+    LoggedQuery entry;
+    entry.id = log->next_id();
+    entry.sql = (*fields)[0];
+    entry.timestamp = Timestamp(now_micros);
+    entry.user = (*fields)[1];
+    entry.role = (*fields)[2];
+    entry.purpose = (*fields)[3];
+    Status appended = options.durable_store->AppendQuery(entry);
+    if (!appended.ok()) return MakeErrorMessage(appended);
+  }
   int64_t id = log->Append((*fields)[0], Timestamp(now_micros),
                            (*fields)[1], (*fields)[2], (*fields)[3]);
+  MaybeCheckpoint();
   return MakeOk(prefix + '|' + std::to_string(id));
 }
 
@@ -698,6 +747,18 @@ Message AuditServer::Impl::HandleLoadDump(const Message& request) {
         "load kind must be 'db' or 'log', got: " + (*fields)[0]));
   }
   if (!loaded.ok()) return MakeErrorMessage(loaded);
+  // A dump load mutates state the WAL does not cover, so it must be
+  // made durable by a snapshot right away or a crash silently undoes
+  // it. The load already applied in memory; surface a checkpoint
+  // failure instead of acking durability we don't have.
+  if (options.durable_store != nullptr) {
+    Status persisted = options.durable_store->Checkpoint(*db, *log);
+    if (!persisted.ok()) {
+      return MakeErrorMessage(Status::Internal(
+          "dump loaded in memory but checkpointing it failed: " +
+          persisted.message()));
+    }
+  }
   return MakeOk("ok");
 }
 

@@ -11,6 +11,10 @@
 #include "src/service/audit_service.h"
 
 namespace auditdb {
+namespace io {
+class DurableStore;
+}  // namespace io
+
 namespace net {
 
 struct AuditServerOptions {
@@ -50,6 +54,14 @@ struct AuditServerOptions {
   service::ThreadPoolOptions handlers{
       /*num_threads=*/4, /*queue_capacity=*/64,
       service::AdmissionPolicy::kReject};
+  /// Optional durability (io::DurableStore, docs/durability.md). When
+  /// set, ExecuteQuery WAL-appends *before* acking (an error response
+  /// means nothing was committed; an OK means the entry survives a
+  /// crash under fsync=always), a successful LoadDump forces a
+  /// checkpoint, the automatic checkpoint cadence runs under the writer
+  /// lock, and Metrics gains a "durability" section. Must outlive the
+  /// server; the server serializes all access under its writer lock.
+  io::DurableStore* durable_store = nullptr;
 };
 
 /// The network front door of the audit service: an epoll event loop

@@ -38,6 +38,10 @@ class QueryLog {
   const std::vector<LoggedQuery>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
 
+  /// The id the next Append will assign (ids are dense from 1), so a
+  /// write-ahead log can frame the record before the in-memory append.
+  int64_t next_id() const { return static_cast<int64_t>(entries_.size()) + 1; }
+
   /// Entry by id, or NotFound.
   Result<const LoggedQuery*> Get(int64_t id) const;
 

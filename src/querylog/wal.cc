@@ -1,0 +1,229 @@
+#include "src/querylog/wal.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/io/checksum.h"
+#include "src/io/dump.h"
+
+namespace auditdb {
+namespace querylog {
+
+namespace {
+
+/// crc(4) + len(4) + type(1).
+constexpr size_t kWalHeaderBytes = 9;
+/// Sanity cap on one record's payload: a corrupt length field must not
+/// drive a multi-gigabyte allocation. Far above any real record (SQL
+/// text plus annotations).
+constexpr uint32_t kMaxWalPayloadBytes = 64u << 20;
+
+void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4] = {static_cast<char>(v & 0xff),
+                 static_cast<char>((v >> 8) & 0xff),
+                 static_cast<char>((v >> 16) & 0xff),
+                 static_cast<char>((v >> 24) & 0xff)};
+  out->append(buf, 4);
+}
+
+uint32_t GetFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+bool ParseInt64Text(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool IsKnownWalRecordType(uint8_t byte) {
+  return byte == static_cast<uint8_t>(WalRecordType::kQuery) ||
+         byte == static_cast<uint8_t>(WalRecordType::kCheckpoint);
+}
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& text,
+                                     size_t* every_n) {
+  if (text == "always") return FsyncPolicy::kAlways;
+  if (text == "never") return FsyncPolicy::kNever;
+  if (text.rfind("every_n", 0) == 0) {
+    if (text.size() > 8 && text[7] == ':') {
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(text.c_str() + 8, &end, 10);
+      if (errno == 0 && *end == '\0' && n > 0) {
+        *every_n = static_cast<size_t>(n);
+        return FsyncPolicy::kEveryN;
+      }
+    } else if (text.size() == 7) {
+      return FsyncPolicy::kEveryN;  // keep the default cadence
+    }
+  }
+  return Status::InvalidArgument(
+      "fsync policy must be always | every_n[:N] | never, got: " + text);
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kEveryN:
+      return "every_n";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "unknown";
+}
+
+std::string EncodeWalRecord(WalRecordType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kWalHeaderBytes + payload.size());
+  std::string body;
+  body.reserve(1 + payload.size());
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  PutFixed32(&out, io::MaskCrc(io::Crc32c(body)));
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(body);
+  return out;
+}
+
+std::string EncodeQueryWalPayload(const LoggedQuery& entry) {
+  return std::to_string(entry.id) + "|" +
+         std::to_string(entry.timestamp.micros()) + "|" +
+         io::EscapeField(entry.user) + "|" + io::EscapeField(entry.role) +
+         "|" + io::EscapeField(entry.purpose) + "|" +
+         io::EscapeField(entry.sql);
+}
+
+Result<LoggedQuery> DecodeQueryWalPayload(const std::string& payload) {
+  auto fields = io::SplitEscapedFields(payload);
+  if (fields.size() != 6) {
+    return Status::ParseError("query WAL payload needs 6 fields, got " +
+                              std::to_string(fields.size()));
+  }
+  LoggedQuery entry;
+  int64_t micros;
+  if (!ParseInt64Text(fields[0], &entry.id)) {
+    return Status::ParseError("bad WAL query id: " + fields[0]);
+  }
+  if (!ParseInt64Text(fields[1], &micros)) {
+    return Status::ParseError("bad WAL query timestamp: " + fields[1]);
+  }
+  entry.timestamp = Timestamp(micros);
+  auto user = io::UnescapeField(fields[2]);
+  auto role = io::UnescapeField(fields[3]);
+  auto purpose = io::UnescapeField(fields[4]);
+  auto sql = io::UnescapeField(fields[5]);
+  if (!user.ok()) return user.status();
+  if (!role.ok()) return role.status();
+  if (!purpose.ok()) return purpose.status();
+  if (!sql.ok()) return sql.status();
+  entry.user = std::move(*user);
+  entry.role = std::move(*role);
+  entry.purpose = std::move(*purpose);
+  entry.sql = std::move(*sql);
+  return entry;
+}
+
+WalWriter::WalWriter(std::unique_ptr<io::WritableFile> file,
+                     WalWriterOptions options, uint64_t existing_bytes)
+    : file_(std::move(file)), options_(options),
+      bytes_written_(existing_bytes) {}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(io::Env* env,
+                                                   const std::string& path,
+                                                   WalWriterOptions options,
+                                                   bool truncate) {
+  uint64_t existing = 0;
+  if (!truncate) {
+    auto size = env->GetFileSize(path);
+    if (size.ok()) existing = *size;
+  }
+  AUDITDB_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(path, truncate));
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), options, existing));
+}
+
+Status WalWriter::Append(WalRecordType type, std::string_view payload) {
+  if (payload.size() > kMaxWalPayloadBytes) {
+    return Status::OutOfRange("WAL record payload of " +
+                              std::to_string(payload.size()) +
+                              " bytes exceeds the record cap");
+  }
+  std::string framed = EncodeWalRecord(type, payload);
+  AUDITDB_RETURN_IF_ERROR(file_->Append(framed));
+  bytes_written_ += framed.size();
+  ++records_written_;
+  switch (options_.fsync) {
+    case FsyncPolicy::kAlways:
+      return file_->Sync();
+    case FsyncPolicy::kEveryN:
+      if (++unsynced_records_ >= options_.every_n) {
+        unsynced_records_ = 0;
+        return file_->Sync();
+      }
+      return Status::Ok();
+    case FsyncPolicy::kNever:
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  unsynced_records_ = 0;
+  return file_->Sync();
+}
+
+Status WalWriter::Close() { return file_->Close(); }
+
+Status ReplayWal(
+    io::Env* env, const std::string& path,
+    const std::function<Status(WalRecordType, const std::string&)>& callback,
+    WalReplayStats* stats) {
+  *stats = WalReplayStats{};
+  if (!env->FileExists(path)) return Status::Ok();
+  AUDITDB_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  size_t offset = 0;
+  while (true) {
+    if (data.size() - offset < kWalHeaderBytes) break;  // torn header
+    uint32_t stored_crc = io::UnmaskCrc(GetFixed32(data.data() + offset));
+    uint32_t payload_len = GetFixed32(data.data() + offset + 4);
+    if (payload_len > kMaxWalPayloadBytes ||
+        data.size() - offset - kWalHeaderBytes < payload_len) {
+      break;  // corrupt length or torn payload
+    }
+    const char* body = data.data() + offset + 8;  // type byte + payload
+    if (io::Crc32c(body, 1 + payload_len) != stored_crc) break;
+    uint8_t type_byte = static_cast<uint8_t>(body[0]);
+    if (!IsKnownWalRecordType(type_byte)) break;
+    std::string payload(body + 1, payload_len);
+    AUDITDB_RETURN_IF_ERROR(
+        callback(static_cast<WalRecordType>(type_byte), payload));
+    offset += kWalHeaderBytes + payload_len;
+    ++stats->records_recovered;
+  }
+  stats->valid_prefix_bytes = offset;
+  stats->torn_tail_bytes = data.size() - offset;
+  return Status::Ok();
+}
+
+Status TruncateWalToValidPrefix(io::Env* env, const std::string& path,
+                                const WalReplayStats& stats) {
+  if (stats.torn_tail_bytes == 0 || !env->FileExists(path)) {
+    return Status::Ok();
+  }
+  return env->TruncateFile(path, stats.valid_prefix_bytes);
+}
+
+}  // namespace querylog
+}  // namespace auditdb

@@ -1,0 +1,55 @@
+#include "src/io/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace auditdb {
+namespace io {
+namespace {
+
+// Published CRC32C vectors (RFC 3720 appendix B.4).
+TEST(Crc32cTest, KnownVectors) {
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  EXPECT_EQ(Crc32c(std::string_view("123456789")), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, SeedContinuationMatchesOneShot) {
+  std::string data = "hello, durable world | with pipes\nand newlines";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t head = Crc32c(data.data(), split);
+    uint32_t full = Crc32c(data.data() + split, data.size() - split, head);
+    EXPECT_EQ(full, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipsChangeTheCrc) {
+  std::string data = "the audit trail must not lie";
+  uint32_t clean = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      EXPECT_NE(Crc32c(flipped), clean)
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0x8A9136AAu}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    EXPECT_NE(MaskCrc(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace auditdb

@@ -290,6 +290,73 @@ TEST(FileWrappersTest, SaveAndLoad) {
   EXPECT_FALSE(io::LoadDatabase("/nonexistent/nope", &restored, Ts(2)).ok());
 }
 
+// Save must be all-or-nothing: any injected IO failure (ENOSPC-style
+// short write, failed fsync, failed rename) returns a non-OK Status
+// and leaves the previous dump intact — a failed save can never
+// truncate or tear the only copy of the audit trail.
+TEST(FileWrappersTest, EveryInjectedSaveFaultLeavesOldDumpIntact) {
+  Database db;
+  ASSERT_TRUE(workload::BuildPaperDatabase(&db, Ts(1)).ok());
+  QueryLog log;
+  log.Append("SELECT name FROM P-Personal", Ts(5), "u", "r", "p");
+  std::string dir = ::testing::TempDir() + "auditdb_dump_fault_test";
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir).ok());
+  std::string db_path = JoinPath(dir, "fault.db");
+  std::string log_path = JoinPath(dir, "fault.log");
+
+  // Record the schedules and the good contents.
+  FaultInjectingEnv probe(Env::Default());
+  ASSERT_TRUE(SaveDatabase(&probe, db, db_path).ok());
+  const int64_t db_schedule = probe.ops_recorded();
+  probe.Reset();
+  ASSERT_TRUE(SaveQueryLog(&probe, log, log_path).ok());
+  const int64_t log_schedule = probe.ops_recorded();
+  auto good_db = Env::Default()->ReadFileToString(db_path);
+  auto good_log = Env::Default()->ReadFileToString(log_path);
+  ASSERT_TRUE(good_db.ok());
+  ASSERT_TRUE(good_log.ok());
+
+  for (int64_t op = 0; op < db_schedule; ++op) {
+    for (size_t partial : {size_t{0}, size_t{16}}) {
+      FaultInjectingEnv env(Env::Default());
+      env.FailAtOp(op, partial, "disk full");
+      Database changed;  // saving a different db must not clobber
+      EXPECT_FALSE(SaveDatabase(&env, changed, db_path).ok())
+          << "op " << op;
+      EXPECT_EQ(*Env::Default()->ReadFileToString(db_path), *good_db);
+    }
+  }
+  for (int64_t op = 0; op < log_schedule; ++op) {
+    FaultInjectingEnv env(Env::Default());
+    env.FailAtOp(op, /*partial_bytes=*/16, "disk full");
+    QueryLog changed;
+    EXPECT_FALSE(SaveQueryLog(&env, changed, log_path).ok()) << "op " << op;
+    EXPECT_EQ(*Env::Default()->ReadFileToString(log_path), *good_log);
+  }
+
+  // The dumps still load after the fault storm.
+  Database restored;
+  QueryLog restored_log;
+  EXPECT_TRUE(LoadDatabase(db_path, &restored, Ts(2)).ok());
+  EXPECT_TRUE(LoadQueryLog(log_path, &restored_log).ok());
+}
+
+TEST(FileWrappersTest, LoadSurfacesCorruptDumpsAsStatuses) {
+  std::string path = ::testing::TempDir() + "auditdb_dump_corrupt.log";
+  ASSERT_TRUE(AtomicWriteFile(Env::Default(), path,
+                              "QUERY 1|2|u|r|p|sql\nQUERY mangled\n")
+                  .ok());
+  QueryLog restored;
+  Status loaded = LoadQueryLog(path, &restored);
+  EXPECT_EQ(loaded.code(), StatusCode::kParseError);
+
+  Database db;
+  ASSERT_TRUE(
+      AtomicWriteFile(Env::Default(), path, "GARBAGE line\n").ok());
+  EXPECT_EQ(LoadDatabase(path, &db, Ts(1)).code(),
+            StatusCode::kParseError);
+}
+
 }  // namespace
 }  // namespace io
 }  // namespace auditdb

@@ -1,0 +1,219 @@
+#include "src/io/file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace auditdb {
+namespace io {
+namespace {
+
+/// Fresh scratch directory under the gtest temp root.
+std::string ScratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "auditdb_file_test_" + name;
+  Env* env = Env::Default();
+  if (env->FileExists(dir)) {
+    auto names = env->ListDir(dir);
+    if (names.ok()) {
+      for (const auto& entry : *names) {
+        env->DeleteFile(JoinPath(dir, entry));
+      }
+    }
+  }
+  EXPECT_TRUE(env->CreateDirIfMissing(dir).ok());
+  return dir;
+}
+
+TEST(PosixEnvTest, WriteSyncReadRoundTrip) {
+  Env* env = Env::Default();
+  std::string dir = ScratchDir("roundtrip");
+  std::string path = JoinPath(dir, "data");
+
+  auto file = env->NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto text = env->ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "hello world");
+  auto size = env->GetFileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+
+  // Reopen without truncation appends.
+  file = env->NewWritableFile(path, /*truncate=*/false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("!").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(*env->ReadFileToString(path), "hello world!");
+}
+
+TEST(PosixEnvTest, MissingFilesAreNotFound) {
+  Env* env = Env::Default();
+  std::string path = ::testing::TempDir() + "auditdb_no_such_file";
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_EQ(env->ReadFileToString(path).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(env->NewSequentialFile(path).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(env->GetFileSize(path).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(env->DeleteFile(path).ok());
+}
+
+TEST(PosixEnvTest, RenameDeleteTruncateList) {
+  Env* env = Env::Default();
+  std::string dir = ScratchDir("ops");
+  std::string a = JoinPath(dir, "a");
+  std::string b = JoinPath(dir, "b");
+  ASSERT_TRUE(AtomicWriteFile(env, a, "0123456789").ok());
+  ASSERT_TRUE(env->RenameFile(a, b).ok());
+  EXPECT_FALSE(env->FileExists(a));
+  EXPECT_TRUE(env->FileExists(b));
+  ASSERT_TRUE(env->TruncateFile(b, 4).ok());
+  EXPECT_EQ(*env->ReadFileToString(b), "0123");
+  auto names = env->ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "b");
+  ASSERT_TRUE(env->DeleteFile(b).ok());
+  EXPECT_TRUE(env->ListDir(dir)->empty());
+}
+
+TEST(JoinPathTest, ExactlyOneSeparator) {
+  EXPECT_EQ(JoinPath("a", "b"), "a/b");
+  EXPECT_EQ(JoinPath("a/", "b"), "a/b");
+  EXPECT_EQ(JoinPath("", "b"), "b");
+}
+
+TEST(AtomicWriteFileTest, ReplacesAndLeavesNoTemp) {
+  Env* env = Env::Default();
+  std::string dir = ScratchDir("atomic");
+  std::string path = JoinPath(dir, "target");
+  ASSERT_TRUE(AtomicWriteFile(env, path, "first").ok());
+  EXPECT_EQ(*env->ReadFileToString(path), "first");
+  ASSERT_TRUE(AtomicWriteFile(env, path, "second").ok());
+  EXPECT_EQ(*env->ReadFileToString(path), "second");
+  EXPECT_FALSE(env->FileExists(path + ".tmp"));
+}
+
+// The core atomicity contract: whatever single op fails (ENOSPC-style
+// short write, failed sync, failed rename), the destination holds
+// either the complete old contents or the complete new contents —
+// never a mix, never a truncation.
+TEST(AtomicWriteFileTest, EveryInjectedFaultLeavesOldOrNewContents) {
+  std::string dir = ScratchDir("atomic_faults");
+  std::string path = JoinPath(dir, "target");
+  const std::string old_contents = "the old contents, fsynced";
+  const std::string new_contents = "replacement that must land atomically";
+
+  FaultInjectingEnv probe(Env::Default());
+  ASSERT_TRUE(AtomicWriteFile(&probe, path, old_contents).ok());
+  probe.Reset();
+  ASSERT_TRUE(AtomicWriteFile(&probe, path, new_contents).ok());
+  const int64_t schedule = probe.ops_recorded();
+  ASSERT_GT(schedule, 0);
+
+  for (int64_t op = 0; op < schedule; ++op) {
+    for (size_t partial : {size_t{0}, size_t{5}}) {
+      FaultInjectingEnv env(Env::Default());
+      ASSERT_TRUE(AtomicWriteFile(&env, path, old_contents).ok());
+      env.Reset();
+      env.FailAtOp(op, partial);
+      Status wrote = AtomicWriteFile(&env, path, new_contents);
+      auto contents = env.ReadFileToString(path);
+      ASSERT_TRUE(contents.ok());
+      if (wrote.ok()) {
+        // The fault hit cleanup (e.g. directory sync reported late) or
+        // was absorbed; the new contents must be complete.
+        EXPECT_TRUE(*contents == new_contents || *contents == old_contents)
+            << "op " << op;
+      } else {
+        EXPECT_EQ(*contents, old_contents)
+            << "op " << op << " partial " << partial
+            << ": failed write must leave the old file intact";
+      }
+    }
+  }
+}
+
+TEST(FaultInjectingEnvTest, FailShortWritesThenKeepsRunning) {
+  std::string dir = ScratchDir("fail_mode");
+  std::string path = JoinPath(dir, "f");
+  FaultInjectingEnv env(Env::Default());
+  auto file = env.NewWritableFile(path, true);
+  ASSERT_TRUE(file.ok());
+  env.FailAtOp(0, /*partial_bytes=*/3, "disk full");
+  Status failed = (*file)->Append("0123456789");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_NE(failed.message().find("disk full"), std::string::npos);
+  // Short write applied 3 bytes; the env survives and later ops work.
+  EXPECT_FALSE(env.crashed());
+  ASSERT_TRUE((*file)->Append("AB").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ(*env.ReadFileToString(path), "012AB");
+}
+
+TEST(FaultInjectingEnvTest, CrashStopsAllLaterOps) {
+  std::string dir = ScratchDir("crash_mode");
+  std::string path = JoinPath(dir, "f");
+  FaultInjectingEnv env(Env::Default());
+  auto file = env.NewWritableFile(path, true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("keep").ok());
+  env.CrashAtOp(1, /*partial_bytes=*/2);
+  EXPECT_FALSE((*file)->Append("dropped-but-prefix").ok());
+  EXPECT_TRUE(env.crashed());
+  // Every subsequent operation fails; nothing else mutates.
+  EXPECT_FALSE((*file)->Append("x").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE(env.RenameFile(path, path + "2").ok());
+  EXPECT_FALSE(env.DeleteFile(path).ok());
+  EXPECT_FALSE(env.NewWritableFile(path + "3", true).ok());
+  EXPECT_EQ(*env.ReadFileToString(path), "keepdr");
+}
+
+TEST(FaultInjectingEnvTest, DropUnsyncedModelsPageCacheLoss) {
+  std::string dir = ScratchDir("drop_unsynced");
+  std::string path = JoinPath(dir, "f");
+  FaultInjectingEnv env(Env::Default());
+  auto file = env.NewWritableFile(path, true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("synced|").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("in-page-cache").ok());
+  // Crash on the next op with page-cache loss: everything after the
+  // last successful Sync is torn away.
+  env.CrashAtOp(3, 0, /*drop_unsynced=*/true);
+  EXPECT_FALSE((*file)->Append("never").ok());
+  EXPECT_EQ(*env.ReadFileToString(path), "synced|");
+}
+
+TEST(FaultInjectingEnvTest, RenameTransfersSyncedState) {
+  std::string dir = ScratchDir("rename_sync");
+  std::string from = JoinPath(dir, "from");
+  std::string to = JoinPath(dir, "to");
+  FaultInjectingEnv env(Env::Default());
+  {
+    auto file = env.NewWritableFile(from, true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("durable").ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  ASSERT_TRUE(env.RenameFile(from, to).ok());
+  // A crash with page-cache loss must not tear the renamed file below
+  // its synced size.
+  env.CrashAtOp(env.ops_recorded(), 0, /*drop_unsynced=*/true);
+  auto file = env.NewWritableFile(JoinPath(dir, "other"), true);
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->Append("x").ok());
+  EXPECT_EQ(*env.ReadFileToString(to), "durable");
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace auditdb

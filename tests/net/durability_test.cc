@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/io/file.h"
+#include "src/io/store.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace net {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+std::string ScratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "auditdb_net_durable_" + name;
+  io::Env* env = io::Env::Default();
+  if (env->FileExists(dir)) {
+    auto names = env->ListDir(dir);
+    if (names.ok()) {
+      for (const auto& entry : *names) {
+        env->DeleteFile(io::JoinPath(dir, entry));
+      }
+    }
+  }
+  EXPECT_TRUE(env->CreateDirIfMissing(dir).ok());
+  return dir;
+}
+
+/// A hospital world served with a durable store attached, so tests can
+/// crash-and-recover the served state.
+struct DurableWorld {
+  Database db;
+  Backlog backlog;
+  QueryLog log;
+  std::unique_ptr<io::DurableStore> store;
+  std::unique_ptr<service::AuditService> service;
+  std::unique_ptr<AuditServer> server;
+
+  explicit DurableWorld(io::Env* env, const std::string& dir,
+                        size_t patients = 12) {
+    backlog.Attach(&db);
+    if (patients > 0) {
+      workload::HospitalConfig hospital;
+      hospital.num_patients = patients;
+      hospital.seed = 2008;
+      EXPECT_TRUE(workload::PopulateHospital(&db, hospital, Ts(1)).ok());
+    }
+    auto opened = io::DurableStore::Open(env, dir, &db, &log, Ts(1));
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    store = std::move(*opened);
+    service = std::make_unique<service::AuditService>(&db, &backlog, &log);
+    AuditServerOptions options;
+    options.durable_store = store.get();
+    server = std::make_unique<AuditServer>(service.get(), &db, &backlog,
+                                           &log, options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+};
+
+/// Recovers the data dir into fresh stores and returns the log.
+void Recover(const std::string& dir, Database* db, QueryLog* log) {
+  auto store =
+      io::DurableStore::Open(io::Env::Default(), dir, db, log, Ts(1));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+}
+
+TEST(DurableServerTest, AckedExecuteQueriesSurviveACrashWithoutCheckpoint) {
+  std::string dir = ScratchDir("exec");
+  {
+    DurableWorld world(io::Env::Default(), dir);
+    AuditClient client(world.server->host(), world.server->port());
+    for (int i = 0; i < 3; ++i) {
+      auto result = client.ExecuteQuery(
+          "SELECT name FROM P-Personal WHERE pid = 'p" +
+              std::to_string(i) + "'",
+          "alice", "Nurse", "treatment", Ts(100 + i));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result->log_id, i + 1);
+    }
+    // Health carries the durability vitals.
+    auto health = client.Health();
+    ASSERT_TRUE(health.ok());
+    EXPECT_NE(health->find("ok|durable"), std::string::npos) << *health;
+    EXPECT_NE(health->find("wal_records=3"), std::string::npos) << *health;
+    EXPECT_NE(health->find("last_checkpoint_seq=1"), std::string::npos);
+    auto metrics = client.MetricsJson();
+    ASSERT_TRUE(metrics.ok());
+    EXPECT_NE(metrics->find("\"durability\""), std::string::npos);
+    EXPECT_NE(metrics->find("\"wal_records\":3"), std::string::npos);
+    // "Crash": tear the server and store down with no final checkpoint.
+    world.server->Shutdown();
+  }
+  Database db;
+  QueryLog log;
+  Recover(dir, &db, &log);
+  ASSERT_EQ(log.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(log.entries()[i].sql,
+              "SELECT name FROM P-Personal WHERE pid = 'p" +
+                  std::to_string(i) + "'");
+    EXPECT_EQ(log.entries()[i].user, "alice");
+    EXPECT_EQ(log.entries()[i].timestamp.micros(), Ts(100 + i).micros());
+  }
+
+  // The recovered state is servable and auditable: bring a second
+  // daemon up on the same data dir and audit the crashed-then-recovered
+  // log over the wire.
+  DurableWorld revived(io::Env::Default(), dir, /*patients=*/0);
+  EXPECT_EQ(revived.log.size(), 3u);
+  AuditClient again(revived.server->host(), revived.server->port());
+  auto audited = again.Audit(
+      "DURING 1/1/1970 to 2/1/1970 "
+      "DATA-INTERVAL 1/1/1970 to 2/1/1970 "
+      "AUDIT (name) FROM P-Personal WHERE pid = 'p1'",
+      Ts(1000000));
+  EXPECT_TRUE(audited.ok()) << audited.status().ToString();
+}
+
+TEST(DurableServerTest, CorruptLoadDumpOverTheWireNeverReachesDisk) {
+  std::string dir = ScratchDir("corrupt_load");
+  {
+    DurableWorld world(io::Env::Default(), dir);
+    AuditClient client(world.server->host(), world.server->port());
+    auto ok = client.ExecuteQuery("SELECT name FROM P-Personal", "a", "Nurse",
+                                  "care", Ts(50));
+    ASSERT_TRUE(ok.ok());
+
+    // A dump that parses partway then dies: the server must answer with
+    // the parse error and must NOT checkpoint the poisoned state.
+    Status corrupt = client.LoadQueryLogDump(
+        "QUERY 2|123|u|r|p|SELECT smuggled FROM P-Personal\n"
+        "QUERY not-even-close\n");
+    EXPECT_EQ(corrupt.code(), StatusCode::kParseError)
+        << corrupt.ToString();
+
+    // Garbage database dumps are refused the same way.
+    Status bad_db = client.LoadDatabaseDump("TABLE ???\nnot a dump",
+                                            Ts(51));
+    EXPECT_FALSE(bad_db.ok());
+    world.server->Shutdown();
+  }
+  Database db;
+  QueryLog log;
+  Recover(dir, &db, &log);
+  // Only the acked ExecuteQuery survived; nothing from the corrupt
+  // dumps reached the durable store.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.entries()[0].sql, "SELECT name FROM P-Personal");
+}
+
+TEST(DurableServerTest, ValidLoadDumpIsCheckpointedImmediately) {
+  std::string dir = ScratchDir("good_load");
+  {
+    DurableWorld world(io::Env::Default(), dir);
+    AuditClient client(world.server->host(), world.server->port());
+    ASSERT_TRUE(
+        client.LoadQueryLogDump("QUERY 1|777|bob|Doctor|care|SELECT "
+                                "disease FROM P-Health\n")
+            .ok());
+    auto health = client.Health();
+    ASSERT_TRUE(health.ok());
+    // The load forced checkpoint 2; the WAL restarted empty.
+    EXPECT_NE(health->find("last_checkpoint_seq=2"), std::string::npos)
+        << *health;
+    EXPECT_NE(health->find("wal_records=0"), std::string::npos);
+    world.server->Shutdown();
+  }
+  Database db;
+  QueryLog log;
+  Recover(dir, &db, &log);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.entries()[0].user, "bob");
+  EXPECT_EQ(log.entries()[0].timestamp.micros(), 777);
+}
+
+// Once the WAL cannot be written, the server must refuse to ack rather
+// than ack writes it cannot promise: a wedged store turns every
+// ExecuteQuery into an error and flips Health to "wedged".
+TEST(DurableServerTest, WedgedStoreRefusesAcksAndReportsUnhealthy) {
+  std::string dir = ScratchDir("wedged");
+  io::FaultInjectingEnv env(io::Env::Default());
+  DurableWorld world(&env, dir);
+  AuditClient client(world.server->host(), world.server->port());
+  ASSERT_TRUE(client
+                  .ExecuteQuery("SELECT name FROM P-Personal", "a", "Nurse",
+                                "care", Ts(50))
+                  .ok());
+  // Fail the next IO op (the WAL append behind the next ExecuteQuery).
+  env.FailAtOp(env.ops_recorded(), 0, "injected disk failure");
+  auto refused = client.ExecuteQuery("SELECT name FROM P-Personal", "a",
+                                     "Nurse", "care", Ts(51));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().message().find("injected disk failure"),
+            std::string::npos)
+      << refused.status().ToString();
+  // The store is wedged: later writes refuse even though IO recovered.
+  auto still_refused = client.ExecuteQuery("SELECT name FROM P-Personal",
+                                           "a", "Nurse", "care", Ts(52));
+  ASSERT_FALSE(still_refused.ok());
+  EXPECT_NE(still_refused.status().message().find("wedged"),
+            std::string::npos);
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->rfind("wedged|durable", 0), 0u) << *health;
+  // Reads still serve: the daemon degrades to read-only, not down.
+  EXPECT_TRUE(client.MetricsJson().ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace auditdb

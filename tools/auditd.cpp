@@ -18,23 +18,36 @@
 ///   --workload N[:SEED]      append N generated queries to the log
 ///   --db FILE                load a database dump at startup
 ///   --log FILE               load a query-log dump at startup
+///   --data-dir DIR           durable store (docs/durability.md): recover
+///                            snapshot + WAL on startup, WAL-append every
+///                            acked ExecuteQuery, checkpoint on drain.
+///                            When DIR already holds a MANIFEST the disk
+///                            state wins and --fixture/--db/--log are
+///                            skipped.
+///   --fsync POLICY           WAL fsync policy: always (default; an acked
+///                            append survives kill -9), every_n[:N], never
+///   --checkpoint-every N     snapshot after N WAL records (default 4096;
+///                            0 = only on drain)
 ///   --port-file FILE         write the bound port (for scripts that
 ///                            start auditd on an ephemeral port)
 ///   --quiet                  suppress the startup banner
 ///
 /// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
-/// requests finish and flush, then the daemon exits 0 and prints the
-/// final metrics JSON.
+/// requests finish and flush, a final checkpoint persists the stores
+/// (with --data-dir), then the daemon exits 0 and prints the final
+/// metrics JSON.
 
 #include <signal.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <memory>
 #include <string>
 
 #include "src/io/dump.h"
+#include "src/io/file.h"
+#include "src/io/store.h"
 #include "src/net/server.h"
 #include "src/workload/generator.h"
 #include "src/workload/hospital.h"
@@ -59,6 +72,10 @@ struct Flags {
   uint64_t workload_seed = 7;
   std::string db_file;
   std::string log_file;
+  std::string data_dir;
+  querylog::FsyncPolicy fsync = querylog::FsyncPolicy::kAlways;
+  size_t fsync_every_n = 64;
+  uint64_t checkpoint_every = 4096;
   std::string port_file;
   bool quiet = false;
 };
@@ -142,6 +159,16 @@ int main(int argc, char** argv) {
       flags.db_file = value;
     } else if (arg == "--log" && (value = next())) {
       flags.log_file = value;
+    } else if (arg == "--data-dir" && (value = next())) {
+      flags.data_dir = value;
+    } else if (arg == "--fsync" && (value = next())) {
+      auto policy = querylog::ParseFsyncPolicy(value, &flags.fsync_every_n);
+      if (!policy.ok()) return Usage(argv[0]);
+      flags.fsync = *policy;
+    } else if (arg == "--checkpoint-every" && (value = next())) {
+      size_t n = 0;
+      if (!ParseSize(value, &n)) return Usage(argv[0]);
+      flags.checkpoint_every = n;
     } else if (arg == "--port-file" && (value = next())) {
       flags.port_file = value;
     } else {
@@ -162,6 +189,28 @@ int main(int argc, char** argv) {
   backlog.Attach(&db);
   QueryLog log;
   Timestamp t0(1000000);
+
+  // With a durable data dir that already holds a MANIFEST, the disk
+  // state is authoritative: recovery must start from empty stores, so
+  // fixture/workload/dump flags are skipped (the stores they would
+  // seed were already persisted by the run that created the MANIFEST).
+  io::Env* env = io::Env::Default();
+  const bool recovering =
+      !flags.data_dir.empty() &&
+      io::DurableStore::HasManifest(env, flags.data_dir);
+  if (recovering &&
+      (flags.fixture_patients > 0 || !flags.db_file.empty() ||
+       !flags.log_file.empty())) {
+    std::fprintf(stderr,
+                 "auditd: %s holds a MANIFEST; ignoring "
+                 "--fixture/--workload/--db/--log and recovering from "
+                 "disk\n",
+                 flags.data_dir.c_str());
+    flags.fixture_patients = 0;
+    flags.workload_queries = 0;
+    flags.db_file.clear();
+    flags.log_file.clear();
+  }
 
   if (flags.fixture_patients > 0) {
     workload::HospitalConfig hospital;
@@ -199,6 +248,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::unique_ptr<io::DurableStore> store;
+  if (!flags.data_dir.empty()) {
+    io::DurableStoreOptions store_options;
+    store_options.fsync = flags.fsync;
+    store_options.fsync_every_n = flags.fsync_every_n;
+    store_options.checkpoint_every_records = flags.checkpoint_every;
+    auto opened = io::DurableStore::Open(env, flags.data_dir, &db, &log,
+                                         t0, store_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "--data-dir: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(*opened);
+    if (!flags.quiet) {
+      const io::RecoveryInfo& recovery = store->recovery();
+      if (recovery.manifest_found) {
+        std::fprintf(stderr,
+                     "auditd: recovered snapshot %llu (%llu queries) + "
+                     "%llu WAL records, dropped %llu torn bytes\n",
+                     (unsigned long long)recovery.snapshot_seq,
+                     (unsigned long long)recovery.snapshot_queries,
+                     (unsigned long long)recovery.recovered_records,
+                     (unsigned long long)recovery.torn_tail_dropped);
+      } else {
+        std::fprintf(stderr,
+                     "auditd: initialized durable store %s "
+                     "(checkpoint %llu, fsync=%s)\n",
+                     flags.data_dir.c_str(),
+                     (unsigned long long)store->last_checkpoint_seq(),
+                     querylog::FsyncPolicyName(flags.fsync));
+      }
+    }
+  }
+
   service::AuditServiceOptions service_options;
   service_options.pool.num_threads = flags.service_threads;
   service::AuditService audit_service(&db, &backlog, &log,
@@ -214,6 +298,7 @@ int main(int argc, char** argv) {
   server_options.handlers.num_threads = flags.handler_threads;
   server_options.handlers.queue_capacity = flags.handler_queue;
   server_options.handlers.admission = flags.admission;
+  server_options.durable_store = store.get();
   net::AuditServer server(&audit_service, &db, &backlog, &log,
                           server_options);
   Status started = server.Start();
@@ -223,8 +308,14 @@ int main(int argc, char** argv) {
   }
 
   if (!flags.port_file.empty()) {
-    std::ofstream out(flags.port_file);
-    out << server.port() << "\n";
+    // Atomic so a script polling the path never reads a partial write.
+    Status wrote = io::AtomicWriteFile(
+        env, flags.port_file, std::to_string(server.port()) + "\n");
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "--port-file: %s\n", wrote.ToString().c_str());
+      server.Shutdown();
+      return 1;
+    }
   }
   if (!flags.quiet) {
     std::printf(
@@ -244,6 +335,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "auditd: signal %d, draining...\n", sig);
   }
   server.Shutdown();
+  // The drain finished every in-flight handler, so db/log are quiescent:
+  // persist a final checkpoint and truncate the WAL before exiting.
+  if (store != nullptr && !store->broken()) {
+    Status final_checkpoint = store->Checkpoint(db, log);
+    if (!final_checkpoint.ok()) {
+      std::fprintf(stderr, "auditd: final checkpoint failed: %s\n",
+                   final_checkpoint.ToString().c_str());
+      std::printf("%s\n", server.MetricsJson().c_str());
+      return 1;
+    }
+  }
   std::printf("%s\n", server.MetricsJson().c_str());
   return 0;
 }

@@ -3,8 +3,12 @@
 # suite (determinism + stress) under ThreadSanitizer, the network layer
 # under AddressSanitizer — unit suites plus a live auditd smoke: client
 # round-trips against a loopback daemon and a SIGTERM graceful drain,
-# failing on any ASan report — and finally a Release (-O2) build that
-# smoke-runs the scan bench and checks its BENCH_scan.json artifact.
+# failing on any ASan report — the durability gate (crash-fault-injection
+# harness under ASan, then a live kill -9: stream ExecuteQuery at an
+# auditd with --data-dir, SIGKILL it mid-stream, and prove every acked
+# query recovers and re-audits on the same dir) — and finally a Release
+# (-O2) build that smoke-runs the scan bench and checks its
+# BENCH_scan.json artifact.
 #
 # Usage: tools/run_ci.sh [build-dir-prefix]
 #   Build trees land in <prefix>, <prefix>-tsan, <prefix>-asan and
@@ -16,14 +20,14 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== [1/5] build (${PREFIX}) =="
+echo "== [1/6] build (${PREFIX}) =="
 cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${PREFIX}" -j "${JOBS}"
 
-echo "== [2/5] ctest =="
+echo "== [2/6] ctest =="
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "== [3/5] service determinism + stress under ThreadSanitizer =="
+echo "== [3/6] service determinism + stress under ThreadSanitizer =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=thread
 # The TSan gate only needs the concurrency suite; building just its
@@ -32,7 +36,7 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target service_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
       -R 'SchedulerTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest'
 
-echo "== [4/5] network layer under AddressSanitizer =="
+echo "== [4/6] network layer under AddressSanitizer =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
@@ -77,7 +81,79 @@ grep -q '"server"' "${AUDITD_LOG}" || {
   echo "auditd did not print final metrics"; cat "${AUDITD_LOG}"; exit 1; }
 rm -f "${PORT_FILE}" "${AUDITD_LOG}"
 
-echo "== [5/5] Release build + scan bench smoke =="
+echo "== [5/6] durability gate under AddressSanitizer =="
+cmake --build "${PREFIX}-asan" -j "${JOBS}" \
+      --target io_test querylog_test net_test auditd durability_smoke
+# The crash-fault-injection harness: every injected IO failure and every
+# crash point must recover a consistent prefix of the acked appends.
+ctest --test-dir "${PREFIX}-asan" --output-on-failure \
+      -R 'Crc32cTest|PosixEnvTest|AtomicWriteFileTest|FaultInjectingEnvTest|WalTest|WalPayloadTest|FsyncPolicyTest|DurableStoreTest|DurableStoreFaultTest|DurableStoreCrashTest|DurableServerTest|ClientRetryTest'
+
+echo "-- kill -9 crash smoke (ASan build) --"
+DATA_DIR="$(mktemp -d)"
+PORT_FILE="$(mktemp)"
+AUDITD_LOG="$(mktemp)"
+ACKS_FILE="$(mktemp)"
+"${PREFIX}-asan/tools/auditd" --port 0 --port-file "${PORT_FILE}" \
+    --data-dir "${DATA_DIR}" --fsync always --checkpoint-every 0 \
+    --fixture hospital:50:2008 >"${AUDITD_LOG}" 2>&1 &
+AUDITD_PID=$!
+cleanup() { kill -9 "${AUDITD_PID}" 2>/dev/null || true; }
+trap cleanup EXIT
+for _ in $(seq 1 100); do
+  [ -s "${PORT_FILE}" ] && break
+  kill -0 "${AUDITD_PID}" 2>/dev/null || { cat "${AUDITD_LOG}"; exit 1; }
+  sleep 0.1
+done
+PORT="$(cat "${PORT_FILE}")"
+[ -n "${PORT}" ] || { echo "auditd never reported a port"; cat "${AUDITD_LOG}"; exit 1; }
+
+# Stream appends at the daemon and SIGKILL it mid-stream: no drain, no
+# final checkpoint — recovery gets only the WAL the acks were fsynced to.
+"${PREFIX}-asan/tools/durability_smoke" drive "127.0.0.1:${PORT}" 100000 \
+    >"${ACKS_FILE}" 2>/dev/null &
+DRIVER_PID=$!
+sleep 1
+kill -9 "${AUDITD_PID}"
+wait "${DRIVER_PID}" || { echo "durability driver failed"; exit 1; }
+trap - EXIT
+ACKED="$(awk '/^acked/{print $2}' "${ACKS_FILE}")"
+echo "acked before SIGKILL: ${ACKED}"
+[ -n "${ACKED}" ] && [ "${ACKED}" -gt 0 ] || {
+  echo "driver acked nothing before the kill"; cat "${AUDITD_LOG}"; exit 1; }
+
+# Offline: every acked append must recover, densely numbered, and the
+# recovered world must survive a full audit.
+"${PREFIX}-asan/tools/durability_smoke" verify "${DATA_DIR}" "${ACKED}"
+
+# The daemon itself must recover the same dir, serve, and drain cleanly.
+: >"${PORT_FILE}"
+"${PREFIX}-asan/tools/auditd" --port 0 --port-file "${PORT_FILE}" \
+    --data-dir "${DATA_DIR}" --fsync always >"${AUDITD_LOG}" 2>&1 &
+AUDITD_PID=$!
+trap cleanup EXIT
+for _ in $(seq 1 100); do
+  [ -s "${PORT_FILE}" ] && break
+  kill -0 "${AUDITD_PID}" 2>/dev/null || { cat "${AUDITD_LOG}"; exit 1; }
+  sleep 0.1
+done
+PORT="$(cat "${PORT_FILE}")"
+"${PREFIX}-asan/examples/audit_client" "127.0.0.1:${PORT}" >/dev/null
+kill -TERM "${AUDITD_PID}"
+DRAIN_RC=0
+wait "${AUDITD_PID}" || DRAIN_RC=$?
+trap - EXIT
+if [ "${DRAIN_RC}" -ne 0 ]; then
+  echo "recovered auditd drain exited ${DRAIN_RC}"
+  cat "${AUDITD_LOG}"
+  exit 1
+fi
+grep -q 'auditd: recovered snapshot' "${AUDITD_LOG}" || {
+  echo "restarted auditd did not report recovery"; cat "${AUDITD_LOG}"; exit 1; }
+rm -rf "${DATA_DIR}"
+rm -f "${PORT_FILE}" "${AUDITD_LOG}" "${ACKS_FILE}"
+
+echo "== [6/6] Release build + scan bench smoke =="
 cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_scan
 # A tiny sweep: one fused-filter shape in both scan modes, just enough to
