@@ -1,0 +1,149 @@
+/// Experiment P10 (extension): the standing-expression audit index.
+///
+/// Throughput of screening one observed query against N standing audit
+/// expressions with the inverted attribute index on and off. The
+/// workload is the index's design point — many narrow expressions, each
+/// auditing its own column of one wide table, while a query touches only
+/// a small fraction of them (the overlap knob). Every iteration uses a
+/// fresh WHERE literal, so the decision cache cannot serve repeats and
+/// the comparison isolates the index itself. Acceptance: at 256
+/// expressions and <=10% overlap, index-on throughput is >=5x index-off.
+///
+/// Run: build/bench/bench_index
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/audit/audit_index.h"
+#include "src/audit/online.h"
+
+namespace {
+
+using namespace auditdb;
+using bench::Ts;
+
+/// One wide table: `columns` int columns c0..c<n-1>, `rows` rows.
+std::unique_ptr<Database> MakeWideDatabase(size_t columns, size_t rows) {
+  auto db = std::make_unique<Database>();
+  std::vector<Column> schema_columns;
+  schema_columns.reserve(columns);
+  for (size_t c = 0; c < columns; ++c) {
+    schema_columns.push_back({"c" + std::to_string(c), ValueType::kInt});
+  }
+  if (!db->CreateTable(TableSchema("Wide", std::move(schema_columns))).ok()) {
+    std::abort();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> values;
+    values.reserve(columns);
+    for (size_t c = 0; c < columns; ++c) {
+      values.push_back(Value::Int(static_cast<int64_t>(r * columns + c)));
+    }
+    if (!db->Insert("Wide", std::move(values), Ts(1)).ok()) std::abort();
+  }
+  return db;
+}
+
+/// One standing expression per audited column: AUDIT (c<i>) FROM Wide.
+void AddStandingExpressions(audit::OnlineAuditor* online, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    auto expr = audit::ParseAudit(
+        "DURING 1/1/1970 to 2/1/1970 AUDIT (c" + std::to_string(i) +
+            ") FROM Wide",
+        Ts(1000000));
+    if (!expr.ok()) std::abort();
+    if (!online->AddExpression(*expr).ok()) std::abort();
+  }
+}
+
+/// An observed query touching the first `touched` columns, with a unique
+/// literal per call (defeats the decision cache across iterations).
+LoggedQuery TouchingQuery(size_t touched, int64_t serial) {
+  std::string sql = "SELECT ";
+  for (size_t c = 0; c < touched; ++c) {
+    if (c > 0) sql += ", ";
+    sql += "c" + std::to_string(c);
+  }
+  sql += " FROM Wide WHERE c0 > " + std::to_string(1000000 + serial);
+  LoggedQuery q;
+  q.id = serial;
+  q.sql = std::move(sql);
+  q.timestamp = Ts(100);
+  q.user = "alice";
+  q.role = "doctor";
+  q.purpose = "treatment";
+  return q;
+}
+
+/// Args: {standing expressions, touched columns, index on/off}.
+void BM_ObserveStanding(benchmark::State& state) {
+  const size_t expressions = static_cast<size_t>(state.range(0));
+  const size_t touched = static_cast<size_t>(state.range(1));
+  const bool index_on = state.range(2) != 0;
+
+  auto db = MakeWideDatabase(expressions, /*rows=*/32);
+  audit::OnlineAuditorOptions options;
+  options.index_enabled = index_on;
+  audit::OnlineAuditor online(db.get(), options);
+  AddStandingExpressions(&online, expressions);
+
+  int64_t serial = 0;
+  for (auto _ : state) {
+    auto screenings = online.Observe(TouchingQuery(touched, serial++));
+    if (!screenings.ok()) std::abort();
+    benchmark::DoNotOptimize(screenings);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["expressions"] = static_cast<double>(expressions);
+  state.counters["overlap_pct"] =
+      100.0 * static_cast<double>(touched) / static_cast<double>(expressions);
+  state.SetLabel(index_on ? "index-on" : "index-off");
+}
+BENCHMARK(BM_ObserveStanding)
+    ->Args({16, 8, 1})
+    ->Args({16, 8, 0})
+    ->Args({64, 8, 1})
+    ->Args({64, 8, 0})
+    ->Args({256, 8, 1})
+    ->Args({256, 8, 0})
+    ->Args({256, 24, 1})
+    ->Args({256, 24, 0})
+    ->Unit(benchmark::kMicrosecond);
+
+/// The decision cache on a repeated query (the serving-path pattern:
+/// identical SQL arriving again between mutations). Args: {standing
+/// expressions, cache on/off}; the index stays off to isolate the cache.
+void BM_ObserveRepeatedQuery(benchmark::State& state) {
+  const size_t expressions = static_cast<size_t>(state.range(0));
+  const bool cache_on = state.range(1) != 0;
+
+  auto db = MakeWideDatabase(expressions, /*rows=*/32);
+  audit::OnlineAuditorOptions options;
+  options.index_enabled = false;
+  options.cache_enabled = cache_on;
+  audit::OnlineAuditor online(db.get(), options);
+  AddStandingExpressions(&online, expressions);
+
+  LoggedQuery q = TouchingQuery(/*touched=*/8, /*serial=*/0);
+  for (auto _ : state) {
+    auto screenings = online.Observe(q);
+    if (!screenings.ok()) std::abort();
+    benchmark::DoNotOptimize(screenings);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(cache_on ? "cache-on" : "cache-off");
+}
+BENCHMARK(BM_ObserveRepeatedQuery)
+    ->Args({64, 1})
+    ->Args({64, 0})
+    ->Args({256, 1})
+    ->Args({256, 0})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+AUDITDB_BENCH_MAIN(index);

@@ -133,4 +133,4 @@ BENCHMARK(BM_OfflineWholeLog)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AUDITDB_BENCH_MAIN(online);

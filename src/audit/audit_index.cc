@@ -1,0 +1,233 @@
+#include "src/audit/audit_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace auditdb {
+namespace audit {
+
+std::string NormalizedSqlKey(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  for (char c : sql) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string AuditIndexStats::ToJson() const {
+  auto field = [](const char* name, uint64_t v) {
+    return "\"" + std::string(name) + "\":" + std::to_string(v);
+  };
+  return "{" +
+         field("lookups", index_lookups.load(std::memory_order_relaxed)) +
+         "," +
+         field("visited", index_visited.load(std::memory_order_relaxed)) +
+         "," +
+         field("skipped", index_skipped.load(std::memory_order_relaxed)) +
+         "," +
+         field("fallbacks",
+               index_fallbacks.load(std::memory_order_relaxed)) +
+         "," + field("cache_hits", cache_hits.load(std::memory_order_relaxed)) +
+         "," +
+         field("cache_misses", cache_misses.load(std::memory_order_relaxed)) +
+         "," +
+         field("cache_invalidations",
+               cache_invalidations.load(std::memory_order_relaxed)) +
+         "}";
+}
+
+void ExpressionIndex::Add(int id, const AuditExpression& expr) {
+  Remove(id);
+  std::set<ColumnRef> attrs = expr.attrs.AllAttributes();
+  std::vector<ColumnRef> stored(attrs.begin(), attrs.end());
+  for (const auto& attr : stored) by_column_[attr].insert(id);
+  attrs_by_id_.emplace(id, std::move(stored));
+}
+
+void ExpressionIndex::Remove(int id) {
+  auto it = attrs_by_id_.find(id);
+  if (it == attrs_by_id_.end()) return;
+  for (const auto& attr : it->second) {
+    auto col = by_column_.find(attr);
+    if (col == by_column_.end()) continue;
+    col->second.erase(id);
+    if (col->second.empty()) by_column_.erase(col);
+  }
+  attrs_by_id_.erase(it);
+}
+
+std::vector<int> ExpressionIndex::Candidates(
+    const std::set<ColumnRef>& accessed) const {
+  std::set<int> ids;
+  for (const auto& col : accessed) {
+    auto it = by_column_.find(col);
+    if (it == by_column_.end()) continue;
+    ids.insert(it->second.begin(), it->second.end());
+  }
+  return std::vector<int>(ids.begin(), ids.end());
+}
+
+namespace {
+
+/// Composite cache keys. '\x1f' (unit separator) cannot appear in
+/// normalized SQL or canonical expression text, so the joins are
+/// injective.
+std::string ColumnsKey(const std::string& sql_key, bool outputs_only,
+                       uint64_t mutation) {
+  return sql_key + '\x1f' + (outputs_only ? "o" : "a") + '\x1f' +
+         std::to_string(mutation);
+}
+
+std::string DecisionKey(const std::string& sql_key,
+                        const std::string& expr_key, uint64_t mutation,
+                        const CandidateOptions& options) {
+  return sql_key + '\x1f' + expr_key + '\x1f' + std::to_string(mutation) +
+         '\x1f' + (options.use_satisfiability ? "s" : "-");
+}
+
+std::string ProfileKey(const std::string& sql_key, uint64_t mutation) {
+  return sql_key + '\x1f' + std::to_string(mutation);
+}
+
+}  // namespace
+
+DecisionCache::DecisionCache(DecisionCacheOptions options)
+    : options_(options) {}
+
+Result<DecisionCache::ColumnsEntry> DecisionCache::AccessedColumns(
+    const std::string& sql_key, bool outputs_only, uint64_t mutation,
+    const sql::SelectStatement& stmt, const Catalog& catalog) {
+  std::string key = ColumnsKey(sql_key, outputs_only, mutation);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = columns_.find(key);
+    if (it != columns_.end()) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  auto computed = StaticAccessedColumns(stmt, catalog, outputs_only);
+  ColumnsEntry entry;
+  if (computed.ok()) {
+    entry.status = Status::Ok();
+    entry.columns = std::make_shared<const std::set<ColumnRef>>(
+        std::move(*computed));
+  } else {
+    entry.status = computed.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (columns_.size() >= options_.max_column_entries) columns_.clear();
+    columns_.emplace(std::move(key), entry);
+  }
+  return entry;
+}
+
+Result<bool> DecisionCache::BatchCandidate(const std::string& sql_key,
+                                           const std::string& expr_key,
+                                           uint64_t mutation,
+                                           const sql::SelectStatement& stmt,
+                                           const AuditExpression& expr,
+                                           const Catalog& catalog,
+                                           const CandidateOptions& options) {
+  std::string key = DecisionKey(sql_key, expr_key, mutation, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = decisions_.find(key);
+    if (it != decisions_.end()) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      if (!it->second.status.ok()) return it->second.status;
+      return it->second.candidate;
+    }
+  }
+  stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  auto computed = IsBatchCandidate(stmt, expr, catalog, options);
+  Decision decision;
+  if (computed.ok()) {
+    decision.candidate = *computed;
+  } else {
+    decision.status = computed.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (decisions_.size() >= options_.max_decision_entries) {
+      decisions_.clear();
+    }
+    decisions_.emplace(std::move(key), std::move(decision));
+  }
+  return computed;
+}
+
+std::shared_ptr<const AccessProfile> DecisionCache::LookupProfile(
+    const std::string& sql_key, uint64_t mutation) const {
+  std::string key = ProfileKey(sql_key, mutation);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = profiles_.find(key);
+  if (it == profiles_.end()) {
+    stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void DecisionCache::StoreProfile(const std::string& sql_key,
+                                 uint64_t mutation,
+                                 std::shared_ptr<const AccessProfile> profile) {
+  std::string key = ProfileKey(sql_key, mutation);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (profiles_.size() >= options_.max_profile_entries) profiles_.clear();
+  profiles_.emplace(std::move(key), std::move(profile));
+}
+
+void DecisionCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  columns_.clear();
+  decisions_.clear();
+  profiles_.clear();
+  stats_.cache_invalidations.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t DecisionCache::column_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return columns_.size();
+}
+
+size_t DecisionCache::decision_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decisions_.size();
+}
+
+size_t DecisionCache::profile_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return profiles_.size();
+}
+
+Result<bool> CachedBatchCandidate(DecisionCache* cache,
+                                  const std::string& sql_key,
+                                  const std::string& expr_key,
+                                  uint64_t mutation,
+                                  const sql::SelectStatement& stmt,
+                                  const AuditExpression& expr,
+                                  const Catalog& catalog,
+                                  const CandidateOptions& options) {
+  if (cache == nullptr) {
+    return IsBatchCandidate(stmt, expr, catalog, options);
+  }
+  return cache->BatchCandidate(sql_key, expr_key, mutation, stmt, expr,
+                               catalog, options);
+}
+
+}  // namespace audit
+}  // namespace auditdb

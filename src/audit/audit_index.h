@@ -1,0 +1,189 @@
+#ifndef AUDITDB_AUDIT_AUDIT_INDEX_H_
+#define AUDITDB_AUDIT_AUDIT_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/audit/audit_expression.h"
+#include "src/audit/candidate.h"
+#include "src/engine/lineage.h"
+
+namespace auditdb {
+namespace audit {
+
+/// The standing-expression audit index (the paper's future-work ask for
+/// "efficient algorithms mapping audit expressions to suspicious query
+/// batches"): an inverted index from audited attribute to expression id,
+/// consulted *before* any per-expression work, plus a memoization layer
+/// for the per-(query, expression) static decisions the auditors
+/// otherwise re-derive on every observation. Shared by the offline
+/// Auditor, the OnlineAuditor and the AuditService.
+
+/// Cache key component for a logged query: the SQL text with runs of
+/// whitespace collapsed to single spaces (and trimmed). Literal case is
+/// preserved — normalization only folds formatting differences, never
+/// semantics, so two queries sharing a key are byte-equivalent to the
+/// parser.
+std::string NormalizedSqlKey(const std::string& sql);
+
+/// Monotonic counters of index and cache effectiveness. Readable while
+/// screenings run (relaxed atomics); rendered as the "index" metrics
+/// section of auditd / the shell.
+struct AuditIndexStats {
+  /// Queries routed through the inverted index.
+  std::atomic<uint64_t> index_lookups{0};
+  /// Expressions visited because the index says the query can touch them.
+  std::atomic<uint64_t> index_visited{0};
+  /// Expressions skipped without any per-expression work.
+  std::atomic<uint64_t> index_skipped{0};
+  /// Queries that bypassed the index (parse/resolution failure, or the
+  /// index disabled) and visited every expression.
+  std::atomic<uint64_t> index_fallbacks{0};
+  /// Decision-cache traffic (accessed-columns + candidacy + profiles).
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  /// Times the cache was dropped wholesale by the change listener.
+  std::atomic<uint64_t> cache_invalidations{0};
+
+  /// {"lookups":..,"visited":..,"skipped":..,"fallbacks":..,
+  ///  "cache_hits":..,"cache_misses":..,"cache_invalidations":..}
+  std::string ToJson() const;
+};
+
+/// Inverted index over standing audit expressions: audited attribute
+/// (fully qualified ColumnRef) -> expression ids. A query whose
+/// statically-accessed columns are disjoint from an expression's audited
+/// attributes can never be a batch candidate for it (the attribute-touch
+/// test of Definition 1 fails), so consulting the index first makes one
+/// observation sublinear in the number of standing expressions.
+///
+/// Not internally synchronized: registration is a setup-time operation;
+/// Candidates() is const and safe to call concurrently once registration
+/// is done (the OnlineAuditor serializes Add against Observe).
+class ExpressionIndex {
+ public:
+  /// Registers a *qualified* expression under `id` (its audited
+  /// attributes come from attrs.AllAttributes()).
+  void Add(int id, const AuditExpression& expr);
+
+  /// Unregisters `id` (no-op when absent).
+  void Remove(int id);
+
+  /// Ids of expressions at least one of whose audited attributes appears
+  /// in `accessed`, in ascending order.
+  std::vector<int> Candidates(const std::set<ColumnRef>& accessed) const;
+
+  size_t size() const { return attrs_by_id_.size(); }
+
+ private:
+  std::unordered_map<ColumnRef, std::set<int>, ColumnRefHash> by_column_;
+  std::map<int, std::vector<ColumnRef>> attrs_by_id_;
+};
+
+struct DecisionCacheOptions {
+  /// Entry cap per section; at the cap the section is dropped wholesale
+  /// (cheap, rare, and correctness never depends on retention — every
+  /// key carries the mutation count it was computed at).
+  size_t max_column_entries = 4096;
+  size_t max_decision_entries = 8192;
+  /// Executed access profiles are the heavyweight entries (they hold the
+  /// query's full lineage-bearing result), so their cap is much smaller.
+  size_t max_profile_entries = 256;
+};
+
+/// Memoizes the static per-query / per-(query, expression) decisions and
+/// the executed access profiles, keyed on (normalized SQL [, expression
+/// key], database mutation count). Thread-safe: screenings of distinct
+/// expressions share one cache across worker threads. Invalidate() is
+/// wired to the database's change listener; the mutation count in every
+/// key makes stale hits impossible even between listener firings.
+class DecisionCache {
+ public:
+  explicit DecisionCache(DecisionCacheOptions options = DecisionCacheOptions{});
+
+  DecisionCache(const DecisionCache&) = delete;
+  DecisionCache& operator=(const DecisionCache&) = delete;
+
+  /// The statically accessed columns of one parsed query
+  /// (StaticAccessedColumns), memoized — including error outcomes, so a
+  /// hit reproduces the miss byte for byte.
+  struct ColumnsEntry {
+    Status status;
+    /// Set iff status.ok(). Shared: readers keep the set alive without
+    /// copying it.
+    std::shared_ptr<const std::set<ColumnRef>> columns;
+  };
+  Result<ColumnsEntry> AccessedColumns(const std::string& sql_key,
+                                       bool outputs_only, uint64_t mutation,
+                                       const sql::SelectStatement& stmt,
+                                       const Catalog& catalog);
+
+  /// IsBatchCandidate memoized per (query, expression). `expr_key` must
+  /// identify the qualified expression (its canonical string); `options`
+  /// variations are folded into the key.
+  Result<bool> BatchCandidate(const std::string& sql_key,
+                              const std::string& expr_key, uint64_t mutation,
+                              const sql::SelectStatement& stmt,
+                              const AuditExpression& expr,
+                              const Catalog& catalog,
+                              const CandidateOptions& options);
+
+  /// Executed access profile of one query against the state at
+  /// `mutation`. Only successful executions are cached (failures are
+  /// deterministic and cheap relative to a successful execution).
+  /// Returns nullptr on miss; the caller computes and Store()s.
+  std::shared_ptr<const AccessProfile> LookupProfile(
+      const std::string& sql_key, uint64_t mutation) const;
+  void StoreProfile(const std::string& sql_key, uint64_t mutation,
+                    std::shared_ptr<const AccessProfile> profile);
+
+  /// Drops every entry (change-listener hook).
+  void Invalidate();
+
+  AuditIndexStats* stats() { return &stats_; }
+  const AuditIndexStats& stats() const { return stats_; }
+
+  /// Current entry counts, for tests and metrics.
+  size_t column_entries() const;
+  size_t decision_entries() const;
+  size_t profile_entries() const;
+
+ private:
+  struct Decision {
+    Status status;
+    bool candidate = false;
+  };
+
+  DecisionCacheOptions options_;
+  mutable AuditIndexStats stats_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, ColumnsEntry> columns_;
+  std::unordered_map<std::string, Decision> decisions_;
+  std::unordered_map<std::string, std::shared_ptr<const AccessProfile>>
+      profiles_;
+};
+
+/// IsBatchCandidate through an optional cache: with `cache` null this is
+/// exactly IsBatchCandidate. The shared helper keeps the online and
+/// offline screeners byte-identical with and without memoization.
+Result<bool> CachedBatchCandidate(DecisionCache* cache,
+                                  const std::string& sql_key,
+                                  const std::string& expr_key,
+                                  uint64_t mutation,
+                                  const sql::SelectStatement& stmt,
+                                  const AuditExpression& expr,
+                                  const Catalog& catalog,
+                                  const CandidateOptions& options);
+
+}  // namespace audit
+}  // namespace auditdb
+
+#endif  // AUDITDB_AUDIT_AUDIT_INDEX_H_

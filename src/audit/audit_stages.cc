@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/audit/audit_index.h"
 #include "src/audit/candidate.h"
 
 namespace auditdb {
@@ -12,7 +13,8 @@ StaticScreenResult StaticScreenRange(const AuditExpression& expr,
                                      const QueryLog& log,
                                      const Catalog& catalog,
                                      const CandidateOptions& options,
-                                     size_t begin, size_t end) {
+                                     size_t begin, size_t end,
+                                     const CandidateCacheContext& cache_ctx) {
   StaticScreenResult out;
   const auto& entries = log.entries();
   end = std::min(end, entries.size());
@@ -27,11 +29,17 @@ StaticScreenResult StaticScreenRange(const AuditExpression& expr,
       if (!stmt.ok()) {
         verdict.parse_failed = true;
       } else {
-        auto candidate = IsBatchCandidate(*stmt, expr, catalog, options);
+        auto candidate =
+            cache_ctx.cache == nullptr
+                ? IsBatchCandidate(*stmt, expr, catalog, options)
+                : cache_ctx.cache->BatchCandidate(
+                      NormalizedSqlKey(logged.sql), cache_ctx.expr_key,
+                      cache_ctx.mutation, *stmt, expr, catalog, options);
         if (!candidate.ok()) {
-          // Unresolvable columns / unknown tables: not auditable against
-          // this schema, treat as non-candidate.
-          verdict.candidate = false;
+          // Unresolvable columns / unknown tables: the check proved
+          // nothing about this query. Record an error verdict, distinct
+          // from "statically cleared".
+          verdict.error = true;
         } else if (*candidate) {
           verdict.candidate = true;
           out.candidates.push_back(ScreenedCandidate{i, std::move(*stmt)});

@@ -32,14 +32,29 @@ struct StaticScreenResult {
   size_t num_admitted = 0;
 };
 
+/// Decision-cache context for the static phase (audit_index.h). With
+/// `cache` null every candidacy check runs directly; otherwise checks are
+/// memoized under (normalized SQL, `expr_key`, `mutation`). Results are
+/// byte-identical either way (errors are cached too).
+struct CandidateCacheContext {
+  DecisionCache* cache = nullptr;
+  /// Canonical text of the qualified expression being audited.
+  std::string expr_key;
+  /// Database mutation count the audit runs against.
+  uint64_t mutation = 0;
+};
+
 /// Runs limiting-parameter admission, SQL parsing, and static candidacy
-/// over log entries [begin, end). `expr` must be qualified. Pure: reads
-/// shared state only, so ranges can run concurrently.
+/// over log entries [begin, end). `expr` must be qualified. Pure apart
+/// from the (internally synchronized) cache: reads shared state only, so
+/// ranges can run concurrently.
 StaticScreenResult StaticScreenRange(const AuditExpression& expr,
                                      const QueryLog& log,
                                      const Catalog& catalog,
                                      const CandidateOptions& options,
-                                     size_t begin, size_t end);
+                                     size_t begin, size_t end,
+                                     const CandidateCacheContext& cache_ctx =
+                                         CandidateCacheContext{});
 
 /// Data-independent batch verdict (Section 2.2): fills
 /// report->batch_suspicious, num_schemes and evidence from the

@@ -72,6 +72,8 @@ std::string AuditReport::DetailedReport(const QueryLog& log) const {
       flag = "filtered ";
     } else if (verdict.parse_failed) {
       flag = "unparsed ";
+    } else if (verdict.error) {
+      flag = "ERROR    ";  // static check failed: nothing proven
     } else if (!verdict.candidate) {
       flag = "cleared  ";  // statically
     } else if (verdict.suspicious_alone) {
@@ -106,6 +108,7 @@ std::string AuditReport::CanonicalString() const {
     if (v.candidate) out += " candidate";
     if (v.suspicious_alone) out += " suspicious_alone";
     if (v.parse_failed) out += " parse_failed";
+    if (v.error) out += " error";
     out += "\n";
   }
   out += std::string("batch_suspicious=") +
@@ -145,9 +148,13 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
 
   // Phase 1+2: limiting parameters, then static candidacy (the same
   // range helper the concurrent scheduler shards over).
+  CandidateCacheContext cache_ctx;
+  cache_ctx.cache = options.cache;
+  cache_ctx.expr_key = report.expression;
+  cache_ctx.mutation = db_->mutation_count();
   StaticScreenResult screened =
       StaticScreenRange(expr, *log_, db_->catalog(), options.candidate, 0,
-                        log_->size());
+                        log_->size(), cache_ctx);
   report.verdicts = std::move(screened.verdicts);
   report.num_admitted = screened.num_admitted;
   report.num_candidates = screened.candidates.size();
@@ -165,8 +172,14 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
       for (const auto& candidate : candidates) {
         auto single = IsSingleCandidate(candidate.stmt, expr, db_->catalog(),
                                         options.candidate);
-        report.verdicts[candidate.log_index].suspicious_alone =
-            single.ok() && *single;
+        QueryVerdict& verdict = report.verdicts[candidate.log_index];
+        // A failed check proves nothing — flag the error instead of
+        // silently reporting the query as not suspicious.
+        if (!single.ok()) {
+          verdict.error = true;
+        } else {
+          verdict.suspicious_alone = *single;
+        }
       }
     }
     return report;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/audit/audit_index.h"
 #include "src/audit/audit_parser.h"
 #include "src/audit/candidate.h"
 #include "src/audit/suspicion.h"
@@ -35,6 +36,11 @@ struct AuditOptions {
   /// verdicts use the single-query static check. Sound (no flagged-by-
   /// dynamic query is missed) but not exact; orders of magnitude cheaper.
   bool static_only = false;
+  /// Optional decision cache (audit_index.h) memoizing the static
+  /// per-(query, expression) candidacy checks across audits; shared with
+  /// the serving stack. Non-owning — must outlive the audit. Null runs
+  /// every check directly; results are byte-identical either way.
+  DecisionCache* cache = nullptr;
 };
 
 /// Outcome for one logged query.
@@ -48,6 +54,10 @@ struct QueryVerdict {
   bool suspicious_alone = false;
   /// Parse failure (logged text is not auditable SQL).
   bool parse_failed = false;
+  /// The static candidacy check itself failed (e.g. the query references
+  /// a table or column unknown to the audited catalog). Distinct from
+  /// "statically cleared": nothing was proven about this query.
+  bool error = false;
 };
 
 /// Full audit outcome.

@@ -60,19 +60,37 @@ GranuleEnumerator::GranuleEnumerator(const TargetView& view,
   // validity screen.
   Batch batch = view_.ToBatch();
   for (size_t s = 0; s < schemes_.size(); ++s) {
+    // Schemes are built from the same expression as the view; a missing
+    // column or table would be an internal inconsistency. Skip the whole
+    // scheme then (no valid facts → no granules) rather than dropping
+    // the one bad element and rendering misaligned tids/values.
+    bool resolved = true;
     for (const auto& attr : schemes_[s].attrs) {
       auto idx = view_.ColumnIndex(attr);
-      // Schemes are built from the same expression as the view; a missing
-      // column would be an internal inconsistency — skip defensively.
-      if (idx.ok()) attr_columns_[s].push_back(*idx);
+      if (!idx.ok()) {
+        resolved = false;
+        break;
+      }
+      attr_columns_[s].push_back(*idx);
+    }
+    for (const auto& table : schemes_[s].tid_tables) {
+      if (!resolved) break;
+      auto idx = view_.TableIndex(table);
+      if (!idx.ok()) {
+        resolved = false;
+        break;
+      }
+      tid_positions_[s].push_back(*idx);
+    }
+    if (!resolved) {
+      attr_columns_[s].clear();
+      tid_positions_[s].clear();
+      valid_facts_[s].clear();
+      continue;
     }
     // Render attributes in audit-clause order (the view's column order),
     // the way the paper lists granules, not in set order.
     std::sort(attr_columns_[s].begin(), attr_columns_[s].end());
-    for (const auto& table : schemes_[s].tid_tables) {
-      auto idx = view_.TableIndex(table);
-      if (idx.ok()) tid_positions_[s].push_back(*idx);
-    }
     // A fact with a NULL scheme attribute discloses nothing under this
     // scheme; the batch screen returns the remaining facts in order.
     valid_facts_[s] = NonNullRows(batch, attr_columns_[s]);

@@ -1,6 +1,8 @@
 #include "src/audit/online.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 
 #include "src/audit/candidate.h"
 #include "src/service/thread_pool.h"
@@ -9,10 +11,76 @@
 namespace auditdb {
 namespace audit {
 
-OnlineAuditor::OnlineAuditor(Database* db)
-    : db_(db), change_counter_(std::make_shared<uint64_t>(0)) {
+Result<std::vector<OnlineSchemeState>> BuildOnlineSchemeStates(
+    const AuditExpression& expr, const TargetView& view,
+    const std::vector<OnlineSchemeState>& previous) {
+  std::vector<OnlineSchemeState> states;
+  for (auto& scheme : BuildSchemes(expr)) {
+    OnlineSchemeState state;
+    // Preserve accumulated attribute coverage across rebuilds.
+    for (const auto& old : previous) {
+      if (old.scheme.attrs == scheme.attrs) {
+        state.covered_attrs = old.covered_attrs;
+        break;
+      }
+    }
+    // Resolve every scheme attribute and tid table, index-aligned with
+    // the scheme. A resolution miss fails the rebuild: dropping the
+    // entry instead would pair tid_positions[i] with the wrong
+    // tid_tables[i] downstream and silently undercount access.
+    for (const auto& attr : scheme.attrs) {
+      auto idx = view.ColumnIndex(attr);
+      if (!idx.ok()) {
+        return Status::Internal("scheme attribute " + attr.ToString() +
+                                " unresolvable in target view: " +
+                                idx.status().message());
+      }
+      state.attr_columns.push_back(*idx);
+    }
+    for (const auto& table : scheme.tid_tables) {
+      auto idx = view.TableIndex(table);
+      if (!idx.ok()) {
+        return Status::Internal("scheme tid table " + table +
+                                " unresolvable in target view: " +
+                                idx.status().message());
+      }
+      state.tid_positions.push_back(*idx);
+    }
+    state.valid_facts = 0;
+    for (const auto& fact : view.facts) {
+      bool valid = true;
+      for (size_t c : state.attr_columns) {
+        if (fact.values[c].is_null()) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) ++state.valid_facts;
+    }
+    state.effective_k = expr.threshold.all
+                            ? state.valid_facts
+                            : static_cast<size_t>(expr.threshold.n);
+    state.scheme = std::move(scheme);
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+OnlineAuditor::OnlineAuditor(Database* db, OnlineAuditorOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      cache_(options_.cache != nullptr ? options_.cache
+                                       : std::make_shared<DecisionCache>()),
+      change_counter_(std::make_shared<uint64_t>(0)) {
+  // One listener serves both layers: the counter flags stale target
+  // views, and the cache drop keeps memoized decisions from surviving a
+  // mutation even transiently (the mutation count in every cache key
+  // already makes stale hits impossible; dropping just frees them).
   db_->AddChangeListener(
-      [counter = change_counter_](const ChangeEvent&) { ++*counter; });
+      [counter = change_counter_, cache = cache_](const ChangeEvent&) {
+        ++*counter;
+        cache->Invalidate();
+      });
 }
 
 Result<int> OnlineAuditor::AddExpression(const AuditExpression& expr) {
@@ -25,7 +93,9 @@ Result<int> OnlineAuditor::AddExpression(const AuditExpression& expr) {
         "online auditing supports INDISPENSABLE = true expressions only "
         "(value-containment screening requires per-value state)");
   }
+  entry->expr_key = entry->expr.ToString();
   AUDITDB_RETURN_IF_ERROR(RebuildEntryView(entry.get()));
+  index_.Add(entry->id, entry->expr);
   entries_.push_back(std::move(entry));
   return entries_.back()->id;
 }
@@ -38,44 +108,10 @@ Status OnlineAuditor::RebuildEntryView(Entry* entry) {
   entry->view = std::move(*view);
   entry->built_at_change = *change_counter_;
 
-  std::vector<SchemeState> states;
-  for (auto& scheme : BuildSchemes(entry->expr)) {
-    SchemeState state;
-    // Preserve accumulated attribute coverage across rebuilds.
-    for (const auto& old : entry->schemes) {
-      if (old.scheme.attrs == scheme.attrs) {
-        state.covered_attrs = old.covered_attrs;
-        break;
-      }
-    }
-    for (const auto& attr : scheme.attrs) {
-      auto idx = entry->view.ColumnIndex(attr);
-      if (idx.ok()) state.attr_columns.push_back(*idx);
-    }
-    std::sort(state.attr_columns.begin(), state.attr_columns.end());
-    for (const auto& table : scheme.tid_tables) {
-      auto idx = entry->view.TableIndex(table);
-      if (idx.ok()) state.tid_positions.push_back(*idx);
-    }
-    state.valid_facts = 0;
-    for (const auto& fact : entry->view.facts) {
-      bool valid = true;
-      for (size_t c : state.attr_columns) {
-        if (fact.values[c].is_null()) {
-          valid = false;
-          break;
-        }
-      }
-      if (valid) ++state.valid_facts;
-    }
-    state.effective_k =
-        entry->expr.threshold.all
-            ? state.valid_facts
-            : static_cast<size_t>(entry->expr.threshold.n);
-    state.scheme = std::move(scheme);
-    states.push_back(std::move(state));
-  }
-  entry->schemes = std::move(states);
+  auto states =
+      BuildOnlineSchemeStates(entry->expr, entry->view, entry->schemes);
+  if (!states.ok()) return states.status();
+  entry->schemes = std::move(*states);
   RecomputeAccessCounts(entry);
   return Status::Ok();
 }
@@ -119,7 +155,7 @@ OnlineAuditor::Screening OnlineAuditor::ScreeningOf(const Entry& entry) {
   screening.expression_id = entry.id;
   screening.fired = entry.fired;
   for (size_t s = 0; s < entry.schemes.size(); ++s) {
-    const SchemeState& state = entry.schemes[s];
+    const OnlineSchemeState& state = entry.schemes[s];
     if (state.effective_k == 0 || state.scheme.attrs.empty()) continue;
     double covered = static_cast<double>(state.covered_attrs.size());
     double fact_credit = static_cast<double>(
@@ -138,16 +174,21 @@ OnlineAuditor::Screening OnlineAuditor::ScreeningOf(const Entry& entry) {
 }
 
 Status OnlineAuditor::ObserveEntry(Entry* entry, const LoggedQuery& query,
-                                   const sql::SelectStatement* stmt,
-                                   const AccessProfile* profile) {
+                                   const ObserveContext& ctx) {
   // Mirror the offline pipeline: only *candidate* queries contribute
   // (a query that touches no audited attribute, or whose predicate
   // provably conflicts with the audit predicate, is statically
   // non-suspicious and must not help complete a granule — Definition 1).
   bool contributes = false;
-  if (profile != nullptr && entry->expr.filter.Admits(query)) {
-    auto candidate = IsBatchCandidate(*stmt, entry->expr, db_->catalog());
-    contributes = candidate.ok() && *candidate;
+  if (ctx.stmt != nullptr && entry->expr.filter.Admits(query)) {
+    auto candidate = CachedBatchCandidate(
+        decision_cache(), ctx.sql_key, entry->expr_key, ctx.mutation,
+        *ctx.stmt, entry->expr, db_->catalog(), CandidateOptions{});
+    // A failed candidacy check (unknown table or column) is an error,
+    // not a cleared query: propagate it like the offline per-query
+    // error verdicts instead of treating the query as non-suspicious.
+    if (!candidate.ok()) return candidate.status();
+    contributes = *candidate && ctx.profile != nullptr;
   }
   if (!contributes) return Status::Ok();
   if (entry->built_at_change != *change_counter_) {
@@ -156,71 +197,147 @@ Status OnlineAuditor::ObserveEntry(Entry* entry, const LoggedQuery& query,
   // Accumulate attribute coverage and indispensable tids.
   for (auto& state : entry->schemes) {
     for (const auto& attr : state.scheme.attrs) {
-      if (profile->Accesses(attr)) state.covered_attrs.insert(attr);
+      if (ctx.profile->Accesses(attr)) state.covered_attrs.insert(attr);
     }
   }
   for (const auto& table : entry->expr.from) {
-    auto tids = profile->result.IndispensableTids(table);
+    auto tids = ctx.profile->result.IndispensableTids(table);
     entry->batch_tids[table].insert(tids.begin(), tids.end());
   }
   RecomputeAccessCounts(entry);
   return Status::Ok();
 }
 
-Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::Observe(
-    const LoggedQuery& query) {
-  // Parse and execute once against the current state; reuse the profile
-  // for every standing expression.
-  auto stmt = sql::ParseSelect(query.sql);
-  std::optional<AccessProfile> profile;
-  if (stmt.ok()) {
-    auto computed = ComputeAccessProfile(*stmt, db_->View());
-    if (computed.ok()) profile = std::move(*computed);
+std::vector<OnlineAuditor::Entry*> OnlineAuditor::EntriesToVisit(
+    const ObserveContext& ctx) {
+  std::vector<Entry*> all;
+  all.reserve(entries_.size());
+  for (auto& entry : entries_) all.push_back(entry.get());
+
+  AuditIndexStats* stats = cache_->stats();
+  if (!options_.index_enabled || ctx.stmt == nullptr || all.empty()) {
+    stats->index_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return all;
+  }
+  stats->index_lookups.fetch_add(1, std::memory_order_relaxed);
+
+  // The query's statically accessed columns, outputs_only = false:
+  // online expressions are all INDISPENSABLE, so this matches exactly
+  // what IsBatchCandidate would compute per entry.
+  const std::set<ColumnRef>* accessed = nullptr;
+  std::set<ColumnRef> local;
+  std::shared_ptr<const std::set<ColumnRef>> shared;
+  if (DecisionCache* cache = decision_cache()) {
+    auto columns = cache->AccessedColumns(ctx.sql_key, /*outputs_only=*/false,
+                                          ctx.mutation, *ctx.stmt,
+                                          db_->catalog());
+    if (columns.ok() && columns->status.ok()) {
+      shared = columns->columns;
+      accessed = shared.get();
+    }
+  } else {
+    auto computed =
+        StaticAccessedColumns(*ctx.stmt, db_->catalog(), /*outputs_only=*/false);
+    if (computed.ok()) {
+      local = std::move(*computed);
+      accessed = &local;
+    }
+  }
+  if (accessed == nullptr) {
+    // Resolution failed: every per-entry candidacy check would fail the
+    // same way, and those errors must surface identically with the
+    // index on and off — so visit everything.
+    stats->index_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return all;
   }
 
-  std::vector<Screening> out;
-  for (auto& entry : entries_) {
-    AUDITDB_RETURN_IF_ERROR(ObserveEntry(
-        entry.get(), query, stmt.ok() ? &*stmt : nullptr,
-        profile.has_value() ? &*profile : nullptr));
-    out.push_back(ScreeningOf(*entry));
+  // An entry the index rules out would return candidate = false at the
+  // attribute-touch test (its accessed-columns step succeeds — we just
+  // computed it at query level) and leave its state untouched, so
+  // skipping it is byte-identical to visiting it.
+  std::vector<int> ids = index_.Candidates(*accessed);
+  std::vector<Entry*> visit;
+  visit.reserve(ids.size());
+  size_t next = 0;
+  for (Entry* entry : all) {
+    while (next < ids.size() && ids[next] < entry->id) ++next;
+    if (next < ids.size() && ids[next] == entry->id) visit.push_back(entry);
   }
-  return out;
+  stats->index_visited.fetch_add(visit.size(), std::memory_order_relaxed);
+  stats->index_skipped.fetch_add(all.size() - visit.size(),
+                                 std::memory_order_relaxed);
+  return visit;
 }
 
-Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::Observe(
+Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::ObserveImpl(
     const LoggedQuery& query, service::ThreadPool* pool) {
-  if (pool == nullptr || entries_.size() <= 1) return Observe(query);
+  // Parse and execute once against the current state; reuse the profile
+  // for every standing expression.
+  ObserveContext ctx;
+  ctx.sql_key = NormalizedSqlKey(query.sql);
+  ctx.mutation = db_->mutation_count();
 
   auto stmt = sql::ParseSelect(query.sql);
-  std::optional<AccessProfile> profile;
+  std::optional<AccessProfile> profile_local;
+  std::shared_ptr<const AccessProfile> profile_shared;
   if (stmt.ok()) {
-    auto computed = ComputeAccessProfile(*stmt, db_->View());
-    if (computed.ok()) profile = std::move(*computed);
+    ctx.stmt = &*stmt;
+    if (DecisionCache* cache = decision_cache()) {
+      profile_shared = cache->LookupProfile(ctx.sql_key, ctx.mutation);
+      if (profile_shared == nullptr) {
+        auto computed = ComputeAccessProfile(*stmt, db_->View());
+        if (computed.ok()) {
+          profile_shared =
+              std::make_shared<const AccessProfile>(std::move(*computed));
+          cache->StoreProfile(ctx.sql_key, ctx.mutation, profile_shared);
+        }
+      }
+      ctx.profile = profile_shared.get();
+    } else {
+      auto computed = ComputeAccessProfile(*stmt, db_->View());
+      if (computed.ok()) {
+        profile_local = std::move(*computed);
+        ctx.profile = &*profile_local;
+      }
+    }
   }
-  const sql::SelectStatement* stmt_ptr = stmt.ok() ? &*stmt : nullptr;
-  const AccessProfile* profile_ptr =
-      profile.has_value() ? &*profile : nullptr;
 
-  // Each standing expression owns disjoint state, so the coverage
-  // updates fan out one job per entry.
-  std::vector<std::function<Status()>> tasks;
-  tasks.reserve(entries_.size());
-  for (auto& entry : entries_) {
-    Entry* raw = entry.get();
-    tasks.push_back([this, raw, &query, stmt_ptr, profile_ptr] {
-      return ObserveEntry(raw, query, stmt_ptr, profile_ptr);
-    });
-  }
-  auto statuses = service::RunBatch(pool, std::move(tasks));
-  for (const auto& status : statuses) {
-    AUDITDB_RETURN_IF_ERROR(Status(status));
+  std::vector<Entry*> visit = EntriesToVisit(ctx);
+  if (pool != nullptr && visit.size() > 1) {
+    // Each standing expression owns disjoint state, so the coverage
+    // updates fan out one job per visited entry.
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(visit.size());
+    for (Entry* raw : visit) {
+      tasks.push_back([this, raw, &query, &ctx] {
+        return ObserveEntry(raw, query, ctx);
+      });
+    }
+    auto statuses = service::RunBatch(pool, std::move(tasks));
+    for (const auto& status : statuses) {
+      AUDITDB_RETURN_IF_ERROR(Status(status));
+    }
+  } else {
+    for (Entry* raw : visit) {
+      AUDITDB_RETURN_IF_ERROR(ObserveEntry(raw, query, ctx));
+    }
   }
 
   std::vector<Screening> out;
   out.reserve(entries_.size());
   for (const auto& entry : entries_) out.push_back(ScreeningOf(*entry));
   return out;
+}
+
+Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::Observe(
+    const LoggedQuery& query) {
+  return ObserveImpl(query, nullptr);
+}
+
+Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::Observe(
+    const LoggedQuery& query, service::ThreadPool* pool) {
+  if (pool == nullptr || entries_.size() <= 1) return ObserveImpl(query, nullptr);
+  return ObserveImpl(query, pool);
 }
 
 std::vector<OnlineAuditor::Screening> OnlineAuditor::Current() const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/audit/audit_index.h"
 #include "src/audit/granule.h"
 #include "src/audit/suspicion.h"
 #include "src/engine/lineage.h"
@@ -19,6 +20,47 @@ class ThreadPool;
 }  // namespace service
 
 namespace audit {
+
+/// Per-scheme screening state of one standing expression. Invariant:
+/// `attr_columns[i]` resolves `scheme.attrs` member i and
+/// `tid_positions[i]` resolves `scheme.tid_tables[i]` — the vectors are
+/// index-aligned with the scheme, never shorter (a scheme whose columns
+/// or tid tables cannot all be resolved against the view fails the
+/// rebuild instead of silently misaligning).
+struct OnlineSchemeState {
+  GranuleScheme scheme;
+  std::vector<size_t> attr_columns;    // indices into view columns
+  std::vector<size_t> tid_positions;   // indices into view tables
+  std::set<ColumnRef> covered_attrs;   // by the batch so far
+  size_t effective_k = 1;
+  size_t valid_facts = 0;
+  size_t accessed_facts = 0;
+};
+
+/// Builds the per-scheme states of `expr` against `view`, carrying the
+/// accumulated attribute coverage over from `previous` (matched by scheme
+/// attrs). Fails — rather than dropping the resolution — when any scheme
+/// attribute or tid table is absent from the view, so downstream
+/// tid/attribute pairings can never misalign. Exposed as a free function
+/// so the failure path is testable against hand-built views.
+Result<std::vector<OnlineSchemeState>> BuildOnlineSchemeStates(
+    const AuditExpression& expr, const TargetView& view,
+    const std::vector<OnlineSchemeState>& previous);
+
+/// Ablation and sharing knobs for the online monitor (ExecOptions-style:
+/// defaults give the fast path, tests and benches flip them off).
+struct OnlineAuditorOptions {
+  /// Consult the inverted expression index before any per-entry work, so
+  /// a query only visits expressions whose audited attributes it can
+  /// statically touch. Screenings are byte-identical with the index off.
+  bool index_enabled = true;
+  /// Memoize per-(query, expression) static decisions and executed
+  /// access profiles in the decision cache.
+  bool cache_enabled = true;
+  /// Cache to share with other audit components (e.g. the serving
+  /// stack's); a private one is created when null.
+  std::shared_ptr<DecisionCache> cache;
+};
 
 /// Online auditing — the paper's future work (Section 4): instead of
 /// combing a historical log, queries are screened *as they arrive*
@@ -42,8 +84,10 @@ class OnlineAuditor {
  public:
   /// `db` is the live database; queries are screened against its state at
   /// observation time. The auditor registers a change listener to detect
-  /// staleness of its target views. Must outlive the auditor.
-  explicit OnlineAuditor(Database* db);
+  /// staleness of its target views (and to drop the decision cache).
+  /// Must outlive the auditor.
+  explicit OnlineAuditor(Database* db,
+                         OnlineAuditorOptions options = OnlineAuditorOptions{});
 
   OnlineAuditor(const OnlineAuditor&) = delete;
   OnlineAuditor& operator=(const OnlineAuditor&) = delete;
@@ -73,7 +117,11 @@ class OnlineAuditor {
   /// Feeds one query. The query is parsed and executed against the
   /// current database state; expressions whose limiting parameters
   /// reject the access are skipped (their previous state is reported
-  /// unchanged). Returns one Screening per registered expression.
+  /// unchanged). Candidacy-check failures (e.g. the query references a
+  /// table unknown to the catalog) propagate as errors rather than
+  /// silently clearing the query; unparseable queries are ignored, as in
+  /// the offline pipeline's parse_failed verdicts. Returns one Screening
+  /// per registered expression.
   Result<std::vector<Screening>> Observe(const LoggedQuery& query);
 
   /// Parallel screening: the query is parsed and executed once, then the
@@ -92,27 +140,36 @@ class OnlineAuditor {
   /// start of a new monitoring window).
   void ResetBatches();
 
- private:
-  struct SchemeState {
-    GranuleScheme scheme;
-    std::vector<size_t> attr_columns;    // indices into view columns
-    std::vector<size_t> tid_positions;   // indices into view tables
-    std::set<ColumnRef> covered_attrs;   // by the batch so far
-    size_t effective_k = 1;
-    size_t valid_facts = 0;
-    size_t accessed_facts = 0;
-  };
+  /// Index / decision-cache effectiveness counters (shared with the
+  /// cache passed in via options, if any).
+  const AuditIndexStats& stats() const { return *cache_->stats(); }
 
+  /// The decision cache (for serving-stack metrics wiring).
+  const std::shared_ptr<DecisionCache>& cache() const { return cache_; }
+
+ private:
   struct Entry {
     int id = 0;
     AuditExpression expr;
+    /// Canonical text of the qualified expression: the decision-cache
+    /// key component identifying it across auditors sharing a cache.
+    std::string expr_key;
     TargetView view;
-    std::vector<SchemeState> schemes;
+    std::vector<OnlineSchemeState> schemes;
     /// Batch-accumulated indispensable tids per table.
     std::map<std::string, std::set<Tid>> batch_tids;
     bool fired = false;
     /// Database change-counter value the view was built at.
     uint64_t built_at_change = 0;
+  };
+
+  /// Shared per-observation context: parse/execute once, reuse for every
+  /// visited entry.
+  struct ObserveContext {
+    const sql::SelectStatement* stmt = nullptr;
+    const AccessProfile* profile = nullptr;
+    std::string sql_key;
+    uint64_t mutation = 0;
   };
 
   Status RebuildEntryView(Entry* entry);
@@ -123,13 +180,28 @@ class OnlineAuditor {
   /// failure — the entry's state is left unchanged). Entries are
   /// independent, so distinct entries may be observed concurrently.
   Status ObserveEntry(Entry* entry, const LoggedQuery& query,
-                      const sql::SelectStatement* stmt,
-                      const AccessProfile* profile);
+                      const ObserveContext& ctx);
+  /// Entries the observation must visit, in registration order. With the
+  /// index enabled and the query's accessed columns statically resolved,
+  /// this is the subset whose audited attributes the query can touch;
+  /// otherwise (index off, parse failure, resolution failure) every
+  /// entry — so errors surface identically with the index on and off.
+  std::vector<Entry*> EntriesToVisit(const ObserveContext& ctx);
+  Result<std::vector<Screening>> ObserveImpl(const LoggedQuery& query,
+                                             service::ThreadPool* pool);
+  DecisionCache* decision_cache() {
+    return options_.cache_enabled ? cache_.get() : nullptr;
+  }
 
   Database* db_;
+  OnlineAuditorOptions options_;
+  /// Never null (created when options.cache is); holds the stats even
+  /// when memoization is disabled.
+  std::shared_ptr<DecisionCache> cache_;
   /// Bumped by the database trigger on every mutation; shared so the
   /// listener stays valid even if the auditor is destroyed first.
   std::shared_ptr<uint64_t> change_counter_;
+  ExpressionIndex index_;
   std::vector<std::unique_ptr<Entry>> entries_;
   int next_id_ = 1;
 };

@@ -153,16 +153,35 @@ SuspicionResult CheckBatchSuspicion(
 
     size_t valid_count = 0;
     if (access.attrs_covered) {
-      // Resolve scheme attrs / tables to view positions once.
+      // Resolve scheme attrs / tables to view positions once, keeping
+      // the vectors index-aligned with the scheme. A resolution miss
+      // (internal inconsistency: the view is built from the same
+      // expression) skips the scheme — dropping the one bad element
+      // would pair tid_positions[i] with the wrong tid_tables[i] below.
+      bool resolved = true;
       std::vector<size_t> attr_cols;
       for (const auto& attr : scheme.attrs) {
         auto idx = view.ColumnIndex(attr);
-        if (idx.ok()) attr_cols.push_back(*idx);
+        if (!idx.ok()) {
+          resolved = false;
+          break;
+        }
+        attr_cols.push_back(*idx);
       }
       std::vector<size_t> tid_positions;
       for (const auto& table : scheme.tid_tables) {
+        if (!resolved) break;
         auto idx = view.TableIndex(table);
-        if (idx.ok()) tid_positions.push_back(*idx);
+        if (!idx.ok()) {
+          resolved = false;
+          break;
+        }
+        tid_positions.push_back(*idx);
+      }
+      if (!resolved) {
+        access.suspicious = false;
+        result.per_scheme.push_back(std::move(access));
+        continue;
       }
 
       // NULL cells disclose nothing: facts with a NULL scheme attribute

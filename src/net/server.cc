@@ -151,6 +151,17 @@ struct AuditServer::Impl {
     evicted_slow = metrics->counter("net.evicted_slow");
     admission_rejected = metrics->counter("net.admission_rejected");
     drain_cancelled = metrics->counter("net.drain_cancelled");
+    // Mutations (ExecuteQuery never mutates db, but LoadDump does) drop
+    // the service's memoized audit decisions. The shared_ptr capture
+    // keeps the listener safe past the service's lifetime; the mutation
+    // count in every cache key already rules out stale hits, so the
+    // listener only reclaims memory promptly.
+    if (service->decision_cache() != nullptr) {
+      db->AddChangeListener(
+          [cache = service->decision_cache()](const ChangeEvent&) {
+            cache->Invalidate();
+          });
+    }
   }
 
   ~Impl() {
@@ -564,6 +575,9 @@ struct AuditServer::Impl {
   std::string CombinedMetricsJson() const {
     std::string json = "{\"server\":" + metrics->ToJson() +
                        ",\"service\":" + service->MetricsJson();
+    if (service->decision_cache() != nullptr) {
+      json += ",\"index\":" + service->decision_cache()->stats()->ToJson();
+    }
     if (options.durable_store != nullptr) {
       json += ",\"durability\":" + options.durable_store->MetricsJson();
     }

@@ -107,7 +107,9 @@ class AuditServer {
   void Shutdown();
 
   const service::MetricsRegistry& metrics() const { return metrics_; }
-  /// {"server": <net.* metrics>, "service": <audit-service metrics>}.
+  /// {"server": <net.* metrics>, "service": <audit-service metrics>}
+  /// plus, when present, "index" (decision-cache hit/miss/skip counters)
+  /// and "durability" sections.
   std::string MetricsJson() const;
 
  private:

@@ -9,25 +9,38 @@ AuditService::AuditService(const Database* db, const Backlog* backlog,
       backlog_(backlog),
       log_(log),
       pool_(options.pool, &metrics_),
-      scheduler_(&pool_, options.scheduler) {}
+      scheduler_(&pool_, options.scheduler),
+      cache_(options.decision_cache_enabled
+                 ? std::make_shared<audit::DecisionCache>(
+                       options.decision_cache)
+                 : nullptr) {}
+
+audit::AuditOptions AuditService::WithCache(
+    const audit::AuditOptions& options) const {
+  audit::AuditOptions effective = options;
+  if (effective.cache == nullptr) effective.cache = cache_.get();
+  return effective;
+}
 
 Result<audit::AuditReport> AuditService::Audit(
     const std::string& audit_text, Timestamp now,
     const audit::AuditOptions& options, std::vector<ShardFailure>* failures) {
-  return scheduler_.Run(*db_, *backlog_, *log_, audit_text, now, options,
-                        failures);
+  return scheduler_.Run(*db_, *backlog_, *log_, audit_text, now,
+                        WithCache(options), failures);
 }
 
 Result<audit::AuditReport> AuditService::Audit(
     const audit::AuditExpression& expr, const audit::AuditOptions& options,
     std::vector<ShardFailure>* failures) {
-  return scheduler_.Run(*db_, *backlog_, *log_, expr, options, failures);
+  return scheduler_.Run(*db_, *backlog_, *log_, expr, WithCache(options),
+                        failures);
 }
 
 std::vector<AuditScheduler::ExpressionScreening> AuditService::ScreenLibrary(
     const audit::ExpressionLibrary& library,
     const audit::AuditOptions& options) {
-  return scheduler_.ScreenLibrary(*db_, *backlog_, *log_, library, options);
+  return scheduler_.ScreenLibrary(*db_, *backlog_, *log_, library,
+                                  WithCache(options));
 }
 
 }  // namespace service

@@ -13,6 +13,11 @@ namespace service {
 struct AuditServiceOptions {
   ThreadPoolOptions pool;
   SchedulerOptions scheduler;
+  /// Memoize static per-(query, expression) decisions across audit runs
+  /// in a service-owned decision cache (audit_index.h). Ablation knob:
+  /// results are byte-identical with it off.
+  bool decision_cache_enabled = true;
+  audit::DecisionCacheOptions decision_cache;
 };
 
 /// The deployable front door of concurrent auditing: owns a worker pool,
@@ -57,13 +62,25 @@ class AuditService {
   ThreadPool* pool() { return &pool_; }
   AuditScheduler* scheduler() { return &scheduler_; }
 
+  /// The service-owned decision cache; null when disabled. Shared_ptr so
+  /// a database change listener can keep invalidating it safely even if
+  /// the service is destroyed first.
+  const std::shared_ptr<audit::DecisionCache>& decision_cache() const {
+    return cache_;
+  }
+
  private:
+  /// `options` with the service cache injected (unless the caller bound
+  /// its own, or the cache is disabled).
+  audit::AuditOptions WithCache(const audit::AuditOptions& options) const;
+
   const Database* db_;
   const Backlog* backlog_;
   const QueryLog* log_;
   MetricsRegistry metrics_;
   ThreadPool pool_;
   AuditScheduler scheduler_;
+  std::shared_ptr<audit::DecisionCache> cache_;
 };
 
 }  // namespace service

@@ -121,13 +121,21 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
   std::unique_ptr<Result<audit::TargetView>> view_result;
   double view_seconds = 0;
 
+  // Same decision-cache context as the serial auditor; the cache is
+  // internally synchronized, so shards share it safely.
+  audit::CandidateCacheContext cache_ctx;
+  cache_ctx.cache = options.cache;
+  cache_ctx.expr_key = report.expression;
+  cache_ctx.mutation = db.mutation_count();
+
   std::vector<std::function<Status()>> tasks;
   tasks.reserve(static_ranges.size() + 1);
   for (size_t i = 0; i < static_ranges.size(); ++i) {
     auto [begin, end] = static_ranges[i];
     tasks.push_back([&, i, begin, end] {
-      static_results[i] = StaticScreenRange(expr, log, db.catalog(),
-                                            options.candidate, begin, end);
+      static_results[i] =
+          StaticScreenRange(expr, log, db.catalog(), options.candidate, begin,
+                            end, cache_ctx);
       return Status::Ok();
     });
   }
@@ -185,6 +193,7 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
           EffectiveShard(candidates.size(), options_.exec_shard_size,
                          threads));
       std::vector<char> alone(candidates.size(), 0);
+      std::vector<char> errored(candidates.size(), 0);
       std::vector<std::function<Status()>> check_tasks;
       check_tasks.reserve(chunks.size());
       for (auto [begin, end] : chunks) {
@@ -193,7 +202,14 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
             AUDITDB_RETURN_IF_ERROR(ctx.Check());
             auto single = audit::IsSingleCandidate(
                 candidates[c].stmt, expr, db.catalog(), options.candidate);
-            alone[c] = single.ok() && *single;
+            // A failed check proves nothing — flag the error instead of
+            // silently reporting the query as not suspicious (identical
+            // to the serial auditor's static-only path).
+            if (!single.ok()) {
+              errored[c] = 1;
+            } else {
+              alone[c] = *single;
+            }
           }
           return Status::Ok();
         });
@@ -207,8 +223,12 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
           continue;
         }
         for (size_t c = chunks[i].first; c < chunks[i].second; ++c) {
-          report.verdicts[candidates[c].log_index].suspicious_alone =
-              alone[c] != 0;
+          QueryVerdict& verdict = report.verdicts[candidates[c].log_index];
+          if (errored[c] != 0) {
+            verdict.error = true;
+          } else {
+            verdict.suspicious_alone = alone[c] != 0;
+          }
         }
       }
     }

@@ -31,6 +31,9 @@ Status Database::CreateTable(TableSchema schema) {
   AUDITDB_RETURN_IF_ERROR(catalog_.AddTable(schema));
   std::string name = schema.name();
   tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  // Schema changes invalidate catalog-dependent cached decisions just
+  // like row changes do, even though no row trigger fires.
+  mutation_count_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
@@ -58,6 +61,7 @@ std::vector<std::string> Database::TableNames() const {
 }
 
 void Database::Emit(const ChangeEvent& event) {
+  mutation_count_.fetch_add(1, std::memory_order_acq_rel);
   for (const auto& listener : listeners_) listener(event);
 }
 

@@ -1,6 +1,8 @@
 #ifndef AUDITDB_STORAGE_DATABASE_H_
 #define AUDITDB_STORAGE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -81,12 +83,23 @@ class Database {
   /// A view of the current state.
   DatabaseView View() const;
 
+  /// Number of mutations applied so far (bumped on every trigger-firing
+  /// change, before listeners run). The audit layers key memoized
+  /// per-query decisions on this counter, so a cached entry can never
+  /// outlive the state it was computed against. Atomic: concurrent
+  /// readers (e.g. parallel online screenings) may load it while no
+  /// writer is active.
+  uint64_t mutation_count() const {
+    return mutation_count_.load(std::memory_order_acquire);
+  }
+
  private:
   void Emit(const ChangeEvent& event);
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
   Catalog catalog_;
   std::vector<ChangeListener> listeners_;
+  std::atomic<uint64_t> mutation_count_{0};
 };
 
 }  // namespace auditdb

@@ -269,6 +269,59 @@ TEST_F(AuditorTest, StaticOnlyRespectsPredicateConflicts) {
   EXPECT_EQ(report.num_candidates, 0u);
 }
 
+TEST_F(AuditorTest, CandidacyCheckFailuresAreErrorsNotClearances) {
+  // Parses as SQL, but the static candidacy check cannot resolve the
+  // table. The old pipeline silently scored it "not a candidate" —
+  // indistinguishable from a query *proven* harmless. It must carry a
+  // distinct error verdict (and still not poison the rest of the audit).
+  int64_t broken = Log("SELECT secret FROM NoSuchTable", 10);
+  int64_t clean = Log("SELECT ward FROM P-Health WHERE ward='W11'", 20);
+  auto report = MustAudit(kSpan + "AUDIT (disease) FROM P-Health");
+  ASSERT_EQ(report.verdicts.size(), 2u);
+  const auto& bad = report.verdicts[static_cast<size_t>(broken - 1)];
+  EXPECT_TRUE(bad.error);
+  EXPECT_FALSE(bad.candidate);
+  EXPECT_FALSE(bad.suspicious_alone);
+  const auto& good = report.verdicts[static_cast<size_t>(clean - 1)];
+  EXPECT_FALSE(good.error);
+  EXPECT_NE(report.CanonicalString().find(" error"), std::string::npos);
+  EXPECT_NE(report.DetailedReport(log_).find("ERROR"), std::string::npos);
+}
+
+TEST_F(AuditorTest, StaticOnlyAlsoReportsPerQueryErrors) {
+  Log("SELECT secret FROM NoSuchTable", 10);
+  AuditOptions static_opts;
+  static_opts.static_only = true;
+  auto report =
+      MustAudit(kSpan + "AUDIT (disease) FROM P-Health", static_opts);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_TRUE(report.verdicts[0].error);
+  EXPECT_FALSE(report.verdicts[0].candidate);
+}
+
+TEST_F(AuditorTest, DecisionCacheKeepsReportsByteIdentical) {
+  Log("SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND disease='diabetic'",
+      10);
+  Log("SELECT secret FROM NoSuchTable", 20);
+  Log("SELECT ward FROM P-Health WHERE ward='W11'", 30);
+  const std::string text =
+      kSpan +
+      "AUDIT (name,disease) FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease='diabetic'";
+  auto plain = MustAudit(text);
+
+  DecisionCache cache;
+  AuditOptions cached_opts;
+  cached_opts.cache = &cache;
+  // Twice through the same cache: the second run is answered from it.
+  auto first = MustAudit(text, cached_opts);
+  auto second = MustAudit(text, cached_opts);
+  EXPECT_EQ(first.CanonicalString(), plain.CanonicalString());
+  EXPECT_EQ(second.CanonicalString(), plain.CanonicalString());
+  EXPECT_GT(cache.stats()->cache_hits.load(), 0u);
+}
+
 TEST_F(AuditorTest, ParseErrorsSurface) {
   Auditor auditor(&db_, &backlog_, &log_);
   EXPECT_FALSE(auditor.Audit("AUDIT FROM nothing", Ts(1000)).ok());

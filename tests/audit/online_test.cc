@@ -229,6 +229,145 @@ TEST_F(OnlineAuditorTest, UnparseableQueriesAreIgnored) {
   EXPECT_FALSE((*s)[0].fired);
 }
 
+// --- Scheme-state alignment (regression) ------------------------------
+
+/// The old rebuild dropped failed resolutions while filling
+/// attr_columns/tid_positions, so RecomputeAccessCounts paired
+/// tid_positions[i] with scheme.tid_tables[i] of a *different* table —
+/// silently undercounting access. The rebuild must fail instead.
+TEST_F(OnlineAuditorTest, SchemeStateRebuildFailsOnMissingTidTable) {
+  auto expr = Parse(kSemantic);
+  ASSERT_TRUE(expr.Qualify(db_.catalog()).ok());
+  // Hand-built view resolving every audited attribute but lacking the
+  // *first* tid table (P-Personal). The drop-and-continue behaviour
+  // would resolve only P-Health into tid_positions[0] and pair it with
+  // tid_tables[0] = P-Personal downstream.
+  TargetView view;
+  view.tables = {"P-Health"};
+  view.columns = {{"P-Personal", "name"},
+                  {"P-Health", "disease"},
+                  {"P-Personal", "pid"},
+                  {"P-Health", "pid"}};
+  auto states = BuildOnlineSchemeStates(expr, view, {});
+  ASSERT_FALSE(states.ok());
+  EXPECT_NE(states.status().message().find("P-Personal"),
+            std::string::npos)
+      << states.status().ToString();
+}
+
+TEST_F(OnlineAuditorTest, SchemeStateRebuildFailsOnMissingAttribute) {
+  auto expr = Parse(kSemantic);
+  ASSERT_TRUE(expr.Qualify(db_.catalog()).ok());
+  TargetView view;
+  view.tables = {"P-Personal", "P-Health"};
+  view.columns = {{"P-Personal", "name"}};  // disease unresolvable
+  auto states = BuildOnlineSchemeStates(expr, view, {});
+  ASSERT_FALSE(states.ok());
+  EXPECT_NE(states.status().message().find("disease"), std::string::npos);
+}
+
+TEST_F(OnlineAuditorTest, SchemeStateVectorsStayIndexAligned) {
+  auto expr = Parse(kSemantic);
+  ASSERT_TRUE(expr.Qualify(db_.catalog()).ok());
+  auto view = ComputeTargetView(expr, db_.View(), Ts(1));
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  auto states = BuildOnlineSchemeStates(expr, *view, {});
+  ASSERT_TRUE(states.ok()) << states.status().ToString();
+  for (const auto& state : *states) {
+    EXPECT_EQ(state.attr_columns.size(), state.scheme.attrs.size());
+    EXPECT_EQ(state.tid_positions.size(), state.scheme.tid_tables.size());
+  }
+}
+
+// --- Candidacy-error propagation --------------------------------------
+
+TEST_F(OnlineAuditorTest, CandidacyErrorsPropagateInsteadOfClearing) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+  // Parses fine, but the static candidacy check cannot resolve the
+  // table. The old monitor treated this as "not a candidate" and moved
+  // on; nothing was proven about the query, so it must surface.
+  auto s = online_->Observe(Q(1, "SELECT name FROM NoSuchTable"));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(OnlineAuditorTest, CandidacyErrorsPropagateWithIndexAndCacheOff) {
+  OnlineAuditorOptions options;
+  options.index_enabled = false;
+  options.cache_enabled = false;
+  OnlineAuditor plain(&db_, options);
+  ASSERT_TRUE(plain.AddExpression(Parse(kSemantic)).ok());
+  auto s = plain.Observe(Q(1, "SELECT name FROM NoSuchTable"));
+  EXPECT_FALSE(s.ok());
+}
+
+// --- Expression index + decision cache --------------------------------
+
+TEST_F(OnlineAuditorTest, IndexSkipsUntouchedExpressions) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+  ASSERT_TRUE(online_
+                  ->AddExpression(Parse(
+                      "AUDIT (salary) FROM P-Employ WHERE salary > 15000"))
+                  .ok());
+  // Touches only the salary audit: the disease expression is skipped
+  // without any per-expression work.
+  auto s = online_->Observe(
+      Q(1, "SELECT salary FROM P-Employ WHERE employer='E2'"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE((*s)[1].fired);
+  const AuditIndexStats& stats = online_->stats();
+  EXPECT_EQ(stats.index_lookups.load(), 1u);
+  EXPECT_EQ(stats.index_visited.load(), 1u);
+  EXPECT_EQ(stats.index_skipped.load(), 1u);
+}
+
+TEST_F(OnlineAuditorTest, RepeatedQueriesHitTheDecisionCache) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+  const char* sql =
+      "SELECT name FROM P-Personal WHERE zipcode='145568'";
+  ASSERT_TRUE(online_->Observe(Q(1, sql)).ok());
+  uint64_t misses = online_->stats().cache_misses.load();
+  uint64_t hits = online_->stats().cache_hits.load();
+  ASSERT_TRUE(online_->Observe(Q(2, sql)).ok());
+  EXPECT_EQ(online_->stats().cache_misses.load(), misses);
+  EXPECT_GT(online_->stats().cache_hits.load(), hits);
+}
+
+TEST_F(OnlineAuditorTest, MutationsInvalidateTheDecisionCache) {
+  ASSERT_TRUE(online_->AddExpression(Parse(kSemantic)).ok());
+  const char* sql =
+      "SELECT name FROM P-Personal WHERE zipcode='145568'";
+  ASSERT_TRUE(online_->Observe(Q(1, sql)).ok());
+  ASSERT_TRUE(db_.Insert("P-Health",
+                         {Value::String("p78"), Value::String("W9"),
+                          Value::String("Smith"), Value::String("flu"),
+                          Value::String("drug9")},
+                         Ts(10))
+                  .ok());
+  EXPECT_GT(online_->stats().cache_invalidations.load(), 0u);
+  // The re-observation recomputes against the new state (no stale hit).
+  uint64_t misses = online_->stats().cache_misses.load();
+  ASSERT_TRUE(online_->Observe(Q(2, sql)).ok());
+  EXPECT_GT(online_->stats().cache_misses.load(), misses);
+}
+
+TEST_F(OnlineAuditorTest, SharedCacheServesMultipleAuditors) {
+  auto cache = std::make_shared<DecisionCache>();
+  OnlineAuditorOptions options;
+  options.cache = cache;
+  OnlineAuditor first(&db_, options);
+  OnlineAuditor second(&db_, options);
+  ASSERT_TRUE(first.AddExpression(Parse(kSemantic)).ok());
+  ASSERT_TRUE(second.AddExpression(Parse(kSemantic)).ok());
+  const char* sql =
+      "SELECT name FROM P-Personal WHERE zipcode='145568'";
+  ASSERT_TRUE(first.Observe(Q(1, sql)).ok());
+  uint64_t hits = cache->stats()->cache_hits.load();
+  // The second auditor's identical decisions come out of the shared
+  // cache the first one populated.
+  ASSERT_TRUE(second.Observe(Q(1, sql)).ok());
+  EXPECT_GT(cache->stats()->cache_hits.load(), hits);
+}
+
 /// Differential: the online monitor must fire on exactly the workloads
 /// the offline batch auditor flags, when the data never changes.
 class OnlineVsOffline : public ::testing::TestWithParam<uint64_t> {};
@@ -263,12 +402,27 @@ TEST_P(OnlineVsOffline, AgreeOnStaticData) {
   auto report = offline.Audit(*expr, options);
   ASSERT_TRUE(report.ok());
 
+  // Index/cache on (default) and fully off must produce byte-identical
+  // screenings at every step — the index is a pure pruning layer.
   OnlineAuditor online(&db);
+  OnlineAuditorOptions plain_options;
+  plain_options.index_enabled = false;
+  plain_options.cache_enabled = false;
+  OnlineAuditor plain(&db, plain_options);
   ASSERT_TRUE(online.AddExpression(*expr).ok());
+  ASSERT_TRUE(plain.AddExpression(*expr).ok());
   bool fired = false;
   for (const auto& entry : log.entries()) {
     auto s = online.Observe(entry);
+    auto p = plain.Observe(entry);
+    ASSERT_EQ(s.ok(), p.ok());
     ASSERT_TRUE(s.ok());
+    ASSERT_EQ(s->size(), p->size());
+    for (size_t e = 0; e < s->size(); ++e) {
+      EXPECT_EQ((*s)[e].fired, (*p)[e].fired) << "seed=" << GetParam();
+      EXPECT_EQ((*s)[e].rank, (*p)[e].rank) << "seed=" << GetParam();
+      EXPECT_EQ((*s)[e].best_scheme, (*p)[e].best_scheme);
+    }
     fired = (*s)[0].fired;
   }
   EXPECT_EQ(fired, report->batch_suspicious) << "seed=" << GetParam();

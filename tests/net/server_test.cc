@@ -142,6 +142,9 @@ TEST(AuditServerTest, HealthAndMetrics) {
   EXPECT_NE(metrics->find("\"server\""), std::string::npos);
   EXPECT_NE(metrics->find("\"service\""), std::string::npos);
   EXPECT_NE(metrics->find("net.frames_received"), std::string::npos);
+  // The decision-cache counters ride along as the "index" section.
+  EXPECT_NE(metrics->find("\"index\""), std::string::npos);
+  EXPECT_NE(metrics->find("\"cache_hits\""), std::string::npos);
 }
 
 TEST(AuditServerTest, RemoteAuditMatchesSerialAuditorByteForByte) {

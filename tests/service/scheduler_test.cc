@@ -277,6 +277,64 @@ TEST_F(SchedulerTest, OnlineMonitorParallelObserveMatchesSerial) {
   }
 }
 
+TEST_F(SchedulerTest, ErrorVerdictsMatchSerialByteForByte) {
+  // A query whose static candidacy check fails (unknown table) must get
+  // the same distinct error verdict from the sharded scheduler as from
+  // the serial auditor — in the full and the static-only pipelines.
+  QueryLog log;
+  log.Append("SELECT secret FROM NoSuchTable", Ts(150), "alice", "doctor",
+             "treatment");
+  log.Append(
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND disease='diabetic'",
+      Ts(151), "alice", "doctor", "treatment");
+  audit::Auditor auditor(&world_->db, &world_->backlog, &log);
+  ThreadPool pool(PoolOptions(4));
+  AuditScheduler scheduler(&pool);
+  for (bool static_only : {false, true}) {
+    audit::AuditOptions options;
+    options.static_only = static_only;
+    auto serial = auditor.Audit(kAudit, Ts(1000000), options);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_NE(serial->CanonicalString().find(" error"), std::string::npos);
+    auto parallel = scheduler.Run(world_->db, world_->backlog, log, kAudit,
+                                  Ts(1000000), options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(parallel->CanonicalString(), serial->CanonicalString())
+        << "static_only=" << static_only;
+  }
+}
+
+TEST_F(SchedulerTest, ServiceDecisionCacheIsSharedAndInert) {
+  // Two service audits of the same expression: the second is answered
+  // out of the decision cache, and both reports are byte-identical to
+  // the cache-less serial auditor's.
+  AuditServiceOptions options;
+  options.pool.num_threads = 4;
+  AuditService audit_service(&world_->db, &world_->backlog, &world_->log,
+                             options);
+  ASSERT_NE(audit_service.decision_cache(), nullptr);
+  auto first = audit_service.Audit(kAudit, Ts(1000000));
+  ASSERT_TRUE(first.ok());
+  uint64_t misses =
+      audit_service.decision_cache()->stats()->cache_misses.load();
+  auto second = audit_service.Audit(kAudit, Ts(1000000));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->CanonicalString(), Serial(kAudit));
+  EXPECT_EQ(second->CanonicalString(), Serial(kAudit));
+  EXPECT_GT(audit_service.decision_cache()->stats()->cache_hits.load(), 0u);
+  EXPECT_EQ(audit_service.decision_cache()->stats()->cache_misses.load(),
+            misses);
+
+  AuditServiceOptions uncached;
+  uncached.decision_cache_enabled = false;
+  AuditService plain(&world_->db, &world_->backlog, &world_->log, uncached);
+  EXPECT_EQ(plain.decision_cache(), nullptr);
+  auto third = plain.Audit(kAudit, Ts(1000000));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->CanonicalString(), Serial(kAudit));
+}
+
 TEST_F(SchedulerTest, BackpressuredPoolStillProducesIdenticalOutput) {
   // A rejecting 2-slot queue forces constant load shedding (inline
   // fallback); the report must not change.

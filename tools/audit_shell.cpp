@@ -30,7 +30,8 @@
 ///                                 connected, .audit / .audit-static,
 ///                                 SELECT and .load run remotely
 ///   .disconnect                   back to the in-process stores
-///   .metrics                      remote server + service metrics JSON
+///   .metrics                      remote server + service (+ index)
+///                                 metrics JSON
 ///   .quit                         exit
 ///   SELECT ...                    execute, print results, append to log
 ///
@@ -326,6 +327,10 @@ class Shell {
       if (!report.ok()) return report.status();
       std::printf("%s", report->DetailedReport(log_).c_str());
       std::printf("metrics: %s\n", audit_service.MetricsJson().c_str());
+      if (audit_service.decision_cache() != nullptr) {
+        std::printf("index: %s\n",
+                    audit_service.decision_cache()->stats()->ToJson().c_str());
+      }
       return Status::Ok();
     }
     if (cmd == ".granules") {

@@ -13,6 +13,9 @@
 ///   --max-frame BYTES        per-frame body cap (default 4 MiB)
 ///   --max-response BYTES     response body cap; larger replies become
 ///                            OUT_OF_RANGE errors (default 4 MiB)
+///   --no-audit-index         disable the audit decision cache (the
+///                            "index" metrics section disappears;
+///                            ablation knob, results are identical)
 ///   --idle-timeout-ms N      evict idle connections after N ms
 ///   --fixture hospital:N[:SEED]   populate the hospital instance
 ///   --workload N[:SEED]      append N generated queries to the log
@@ -78,6 +81,7 @@ struct Flags {
   uint64_t checkpoint_every = 4096;
   std::string port_file;
   bool quiet = false;
+  bool audit_index = true;
 };
 
 bool ParseSize(const char* text, size_t* out) {
@@ -119,6 +123,8 @@ int main(int argc, char** argv) {
     const char* value = nullptr;
     if (arg == "--quiet") {
       flags.quiet = true;
+    } else if (arg == "--no-audit-index") {
+      flags.audit_index = false;
     } else if (arg == "--host" && (value = next())) {
       flags.host = value;
     } else if (arg == "--port" && (value = next())) {
@@ -285,6 +291,7 @@ int main(int argc, char** argv) {
 
   service::AuditServiceOptions service_options;
   service_options.pool.num_threads = flags.service_threads;
+  service_options.decision_cache_enabled = flags.audit_index;
   service::AuditService audit_service(&db, &backlog, &log,
                                       service_options);
 

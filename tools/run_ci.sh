@@ -7,8 +7,8 @@
 # harness under ASan, then a live kill -9: stream ExecuteQuery at an
 # auditd with --data-dir, SIGKILL it mid-stream, and prove every acked
 # query recovers and re-audits on the same dir) — and finally a Release
-# (-O2) build that smoke-runs the scan bench and checks its
-# BENCH_scan.json artifact.
+# (-O2) build that smoke-runs the scan and expression-index benches and
+# checks their BENCH_scan.json / BENCH_index.json artifacts.
 #
 # Usage: tools/run_ci.sh [build-dir-prefix]
 #   Build trees land in <prefix>, <prefix>-tsan, <prefix>-asan and
@@ -34,7 +34,7 @@ cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 # target keeps the sanitizer pass fast.
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target service_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
-      -R 'SchedulerTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest'
+      -R 'SchedulerTest|OnlineConcurrentTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest'
 
 echo "== [4/6] network layer under AddressSanitizer =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -153,9 +153,9 @@ grep -q 'auditd: recovered snapshot' "${AUDITD_LOG}" || {
 rm -rf "${DATA_DIR}"
 rm -f "${PORT_FILE}" "${AUDITD_LOG}" "${ACKS_FILE}"
 
-echo "== [6/6] Release build + scan bench smoke =="
+echo "== [6/6] Release build + bench smokes =="
 cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_scan
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_scan bench_index
 # A tiny sweep: one fused-filter shape in both scan modes, just enough to
 # prove the bench runs and emits its JSON artifact.
 ( cd "${PREFIX}-release/bench" && \
@@ -165,5 +165,15 @@ cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_scan
   echo "bench_scan did not write BENCH_scan.json"; exit 1; }
 grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_scan.json" || {
   echo "BENCH_scan.json is not benchmark JSON"; exit 1; }
+
+# The expression-index bench: one index-on/off pair at 64 standing
+# expressions, proving the sweep runs and emits BENCH_index.json.
+( cd "${PREFIX}-release/bench" && \
+  ./bench_index --benchmark_filter='BM_ObserveStanding/64/8/' \
+                --benchmark_min_time=0.05 )
+[ -s "${PREFIX}-release/bench/BENCH_index.json" ] || {
+  echo "bench_index did not write BENCH_index.json"; exit 1; }
+grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_index.json" || {
+  echo "BENCH_index.json is not benchmark JSON"; exit 1; }
 
 echo "CI gate passed."
