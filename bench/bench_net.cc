@@ -10,9 +10,16 @@
 ///   3. admission policy under overload: a tiny handler queue with
 ///      kReject sheds RESOURCE_EXHAUSTED to clients, kBlock pauses
 ///      reads and stalls them — same offered load, different failure
-///      mode.
+///      mode;
+///   4. push delivery latency (docs/wire_protocol.md "Alerting"):
+///      subscribers on a THRESHOLD ALL standing expression receive one
+///      PUSH per driver query; the sweep measures observe→deliver
+///      latency (query dispatched → handler invoked) vs subscriber
+///      count and queue depth, and writes the rows to BENCH_push.json
+///      ({"benchmarks": [...]}, the shape CI artifact checks expect).
 ///
 /// Run: build/bench/bench_net [audits-per-client]
+///      build/bench/bench_net push [queries-per-combo]   (sweep 4 only)
 
 #include <atomic>
 #include <chrono>
@@ -20,6 +27,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <deque>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -139,9 +147,172 @@ ServerStack MakeServer(service::AdmissionPolicy admission,
   return stack;
 }
 
+/// One push-sweep configuration: `subscribers` clients on the same
+/// THRESHOLD ALL standing expression, `queries` distinct-pid driver
+/// queries (exactly one push per query per subscription), latency
+/// measured from just before the driver dispatches the query to the
+/// moment the subscriber's handler runs.
+struct PushRow {
+  size_t subscribers = 0;
+  size_t queue_depth = 0;
+  uint64_t delivered = 0;
+  uint64_t expected = 0;
+  double seconds = 0;
+  service::Histogram latency;
+};
+
+void RunPushSweep(size_t subscribers, size_t queue_depth, size_t queries,
+                  PushRow* row) {
+  row->subscribers = subscribers;
+  row->queue_depth = queue_depth;
+  row->expected = static_cast<uint64_t>(subscribers * queries);
+
+  auto world = bench::MakeWorld(queries + 50, /*queries=*/0);
+  service::AuditServiceOptions service_options;
+  service_options.pool.num_threads = 4;
+  auto service = std::make_unique<service::AuditService>(
+      &world->db, &world->backlog, &world->log, service_options);
+  net::AuditServerOptions server_options;
+  server_options.push_queue_depth = queue_depth;
+  auto server = std::make_unique<net::AuditServer>(
+      service.get(), &world->db, &world->backlog, &world->log,
+      server_options);
+  if (!server->Start().ok()) std::abort();
+
+  // Every distinct-pid query moves the expression's rank by one fact:
+  // a deterministic one-push-per-query workload.
+  const std::string expr =
+      "DURING 1/1/1970 to 1/1/1990 THRESHOLD ALL "
+      "AUDIT (name) FROM P-Personal";
+  // sent[q] is written by the driver before query q is dispatched and
+  // read by receiver threads only after the server echoes the push the
+  // query generated — ordered through the round trip.
+  std::vector<Clock::time_point> sent(queries + 1);
+  std::atomic<uint64_t> delivered{0};
+  std::vector<std::unique_ptr<net::AuditClient>> clients;
+  for (size_t s = 0; s < subscribers; ++s) {
+    auto client =
+        std::make_unique<net::AuditClient>(server->host(), server->port());
+    auto sub = client->Subscribe(
+        expr, Ts(1), [&, queries](const net::PushEvent& event) {
+          if (event.kind == net::PushKind::kGap ||
+              event.seq > queries) {
+            return;
+          }
+          uint64_t micros = static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - sent[event.seq])
+                  .count());
+          row->latency.Observe(micros);
+          delivered.fetch_add(1);
+        });
+    if (!sub.ok()) std::abort();
+    clients.push_back(std::move(client));
+  }
+
+  net::AuditClient driver(server->host(), server->port());
+  auto start = Clock::now();
+  for (size_t q = 1; q <= queries; ++q) {
+    sent[q] = Clock::now();
+    auto result = driver.ExecuteQuery(
+        "SELECT name FROM P-Personal WHERE pid = 'p" + std::to_string(q) +
+            "'",
+        "bench", "driver", "load", Timestamp(2000000 + (int64_t)q));
+    if (!result.ok()) std::abort();
+  }
+  auto deadline = Clock::now() + std::chrono::seconds(30);
+  while (delivered.load() < row->expected && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  row->seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  row->delivered = delivered.load();
+  for (auto& client : clients) client->Close();
+  server->Shutdown();
+}
+
+/// Writes the sweep rows as BENCH_push.json in the working directory —
+/// hand-rolled, but with the {"benchmarks": [...]} shape the other
+/// BENCH_*.json artifacts (google-benchmark JSON) share, so the same
+/// CI checks apply.
+bool WritePushJson(const std::deque<PushRow>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PushRow& row = rows[i];
+    double per_sec = row.seconds > 0
+                         ? static_cast<double>(row.delivered) / row.seconds
+                         : 0.0;
+    std::fprintf(
+        out,
+        "    {\"name\": \"BM_PushDeliver/subs:%zu/depth:%zu\", "
+        "\"subscribers\": %zu, \"queue_depth\": %zu, "
+        "\"delivered\": %llu, \"expected\": %llu, "
+        "\"p50_us\": %llu, \"p99_us\": %llu, "
+        "\"pushes_per_second\": %.0f}%s\n",
+        row.subscribers, row.queue_depth, row.subscribers,
+        row.queue_depth, static_cast<unsigned long long>(row.delivered),
+        static_cast<unsigned long long>(row.expected),
+        static_cast<unsigned long long>(
+            row.latency.QuantileUpperBound(0.5)),
+        static_cast<unsigned long long>(
+            row.latency.QuantileUpperBound(0.99)),
+        per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
+/// Sweep 4: push delivery latency vs subscriber count and queue depth.
+/// Returns the number of configurations that lost pushes (must be 0:
+/// fast local subscribers should never overflow even a depth-8 queue).
+uint64_t RunPushSection(size_t queries) {
+  std::printf("-- push delivery latency (THRESHOLD ALL expression, "
+              "%zu queries per combo) --\n",
+              queries);
+  std::deque<PushRow> rows;
+  uint64_t lost = 0;
+  for (size_t subscribers : {1, 4, 8}) {
+    for (size_t depth : {8u, 64u}) {
+      rows.emplace_back();
+      PushRow& row = rows.back();
+      RunPushSweep(subscribers, depth, queries, &row);
+      std::printf(
+          "push x%zu subs depth %-3zu %8llu/%llu delivered  "
+          "%9.0f push/s  p50 %6llu us  p99 %7llu us\n",
+          row.subscribers, row.queue_depth,
+          static_cast<unsigned long long>(row.delivered),
+          static_cast<unsigned long long>(row.expected),
+          row.seconds > 0
+              ? static_cast<double>(row.delivered) / row.seconds
+              : 0.0,
+          static_cast<unsigned long long>(
+              row.latency.QuantileUpperBound(0.5)),
+          static_cast<unsigned long long>(
+              row.latency.QuantileUpperBound(0.99)));
+      if (row.delivered != row.expected) ++lost;
+    }
+  }
+  if (!WritePushJson(rows, "BENCH_push.json")) {
+    std::fprintf(stderr, "could not write BENCH_push.json\n");
+    return lost + 1;
+  }
+  std::printf("wrote BENCH_push.json (%zu rows)\n", rows.size());
+  return lost;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "push") {
+    size_t queries =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200;
+    uint64_t lost = RunPushSection(queries);
+    std::printf("\npush delivery lossless: %s\n",
+                lost == 0 ? "yes" : "NO (bug!)");
+    return lost == 0 ? 0 : 1;
+  }
   size_t per_client = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20;
   std::printf("bench_net: %zu patients, %zu logged queries, "
               "%zu requests per client\n\n",
@@ -202,6 +373,9 @@ int main(int argc, char** argv) {
     total_mismatches += result.mismatches;
     stack.server->Shutdown();
   }
+
+  std::printf("\n");
+  total_mismatches += RunPushSection(per_client * 10);
 
   std::printf("\nremote reports byte-identical to serial Auditor: %s\n",
               total_mismatches == 0 ? "yes" : "NO (bug!)");

@@ -1,0 +1,146 @@
+/// Streaming verdict alerts over the wire (docs/wire_protocol.md,
+/// "Alerting"): the push-subscription counterpart of online_monitor.
+///
+/// A loopback AuditServer hosts the paper database. One client
+/// SUBSCRIBEs to two standing audit expressions — the slow-burn
+/// disclosure join and a THRESHOLD ALL tripwire on patient names —
+/// while a second client plays the attacker, executing queries against
+/// the server. Every rank change arrives as a server-initiated PUSH
+/// frame; the handler stamps the delivery latency (query dispatched →
+/// push handled) to show alerts land in well under a millisecond of
+/// the query that caused them, long before any offline audit would
+/// run.
+///
+/// Run: build/examples/alert_monitor
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "src/io/dump.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/workload/hospital.h"
+
+using namespace auditdb;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+/// The disclosure the slow-burn attack assembles (see online_monitor).
+const char kDisclosureAudit[] =
+    "DURING 1/1/1970 to 2/1/1970 "
+    "AUDIT (name,disease,address) "
+    "FROM P-Personal, P-Health, P-Employ "
+    "WHERE P-Personal.pid=P-Health.pid AND P-Health.pid=P-Employ.pid "
+    "AND P-Personal.zipcode='145568' AND P-Employ.salary > 10000 "
+    "AND P-Health.disease='diabetic'";
+
+/// A coarse tripwire: any progress toward reading *every* patient name.
+const char kNamesAudit[] =
+    "DURING 1/1/1970 to 2/1/1970 THRESHOLD ALL "
+    "AUDIT (name) FROM P-Personal";
+
+}  // namespace
+
+int main() {
+  // A served world holding the paper database.
+  Database db;
+  Backlog backlog;
+  QueryLog log;
+  backlog.Attach(&db);
+  Status built = workload::BuildPaperDatabase(&db, Ts(1));
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.ToString().c_str());
+    return 1;
+  }
+  auto service =
+      std::make_unique<service::AuditService>(&db, &backlog, &log);
+  net::AuditServer server(service.get(), &db, &backlog, &log);
+  if (!server.Start().ok()) return 1;
+  std::printf("auditd serving the paper database on %s:%u\n\n",
+              server.host().c_str(), server.port());
+
+  // The monitor: one streaming client, two standing expressions.
+  // `dispatched` is stamped by the attacker thread just before each
+  // query; the handler (receiver thread) reads it after the push the
+  // query generated arrives, ordered through the round trip.
+  Clock::time_point dispatched{};
+  std::mutex print_mutex;
+  net::AuditClient monitor(server.host(), server.port());
+  auto handler = [&](const char* label) {
+    return [&, label](const net::PushEvent& event) {
+      auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - dispatched)
+                        .count();
+      std::lock_guard<std::mutex> lock(print_mutex);
+      if (event.kind == net::PushKind::kAlert) {
+        std::printf("  [%-10s] seq %llu  *** ALERT *** rank=%.2f  "
+                    "(+%lld us after query #%lld)\n",
+                    label, (unsigned long long)event.seq, event.rank,
+                    (long long)micros, (long long)event.log_id);
+        std::printf("--- pushed verdict "
+                    "(byte-identical to polling the audit) ---\n%s\n",
+                    event.verdict.c_str());
+      } else {
+        std::printf("  [%-10s] seq %llu  rank=%.2f  "
+                    "(+%lld us after query #%lld)\n",
+                    label, (unsigned long long)event.seq, event.rank,
+                    (long long)micros, (long long)event.log_id);
+      }
+    };
+  };
+  auto disclosure = monitor.Subscribe(kDisclosureAudit, Ts(1000),
+                                      handler("disclosure"));
+  auto names = monitor.Subscribe(kNamesAudit, Ts(1000), handler("names"));
+  if (!disclosure.ok() || !names.ok()) {
+    std::fprintf(stderr, "subscribe failed\n");
+    return 1;
+  }
+  std::printf("subscribed: disclosure join (expr #%d), "
+              "THRESHOLD ALL names tripwire (expr #%d)\n\n",
+              disclosure->expression_id, names->expression_id);
+
+  // The attacker: the online_monitor slow-burn, replayed over the wire.
+  const struct {
+    const char* description;
+    const char* sql;
+  } steps[] = {
+      {"scout the ward layout (irrelevant)",
+       "SELECT ward FROM P-Health WHERE ward = 'W14'"},
+      {"names of the zip-code population",
+       "SELECT name, pid FROM P-Personal WHERE zipcode = '145568'"},
+      {"addresses of the same population",
+       "SELECT address FROM P-Personal WHERE zipcode = '145568'"},
+      {"diagnoses, joined to complete the disclosure",
+       "SELECT disease FROM P-Personal, P-Health "
+       "WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'"},
+  };
+  net::AuditClient attacker(server.host(), server.port());
+  int64_t at = 100;
+  for (const auto& step : steps) {
+    {
+      std::lock_guard<std::mutex> lock(print_mutex);
+      std::printf("query: %s\n", step.description);
+    }
+    dispatched = Clock::now();
+    auto result = attacker.ExecuteQuery(step.sql, "mallory", "clerk",
+                                        "billing", Ts(at));
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    at += 10;
+    // Give the pushes a moment so the narration stays in order; the
+    // latency stamps show they beat this sleep by orders of magnitude.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  monitor.Close();
+  server.Shutdown();
+  return 0;
+}

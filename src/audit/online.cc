@@ -100,6 +100,18 @@ Result<int> OnlineAuditor::AddExpression(const AuditExpression& expr) {
   return entries_.back()->id;
 }
 
+Status OnlineAuditor::RemoveExpression(int id) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if ((*it)->id == id) {
+      index_.Remove(id);
+      entries_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no standing expression with id " +
+                          std::to_string(id));
+}
+
 Status OnlineAuditor::RebuildEntryView(Entry* entry) {
   // The standing expression watches the *current* data: the target view
   // is rebuilt from the live state whenever the database has changed.
@@ -326,6 +338,7 @@ Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::ObserveImpl(
   std::vector<Screening> out;
   out.reserve(entries_.size());
   for (const auto& entry : entries_) out.push_back(ScreeningOf(*entry));
+  if (listener_) listener_(query, out);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef AUDITDB_AUDIT_ONLINE_H_
 #define AUDITDB_AUDIT_ONLINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -99,6 +100,12 @@ class OnlineAuditor {
   /// counter). Returns the expression's id.
   Result<int> AddExpression(const AuditExpression& expr);
 
+  /// Deregisters a standing expression; its accumulated batch state is
+  /// discarded. NotFound for an id never added or already removed. Ids
+  /// are never reused. Must not run concurrently with Observe (the
+  /// auditor is externally synchronized, like every other mutator).
+  Status RemoveExpression(int id);
+
   /// Number of registered expressions.
   size_t size() const { return entries_.size(); }
 
@@ -135,6 +142,17 @@ class OnlineAuditor {
 
   /// Current screening state of every expression (without observing).
   std::vector<Screening> Current() const;
+
+  /// Observe → fan-out hook: invoked synchronously on the observing
+  /// thread at the end of every *successful* observation, after all
+  /// per-expression updates, with the query and the screenings Observe
+  /// is about to return. The serving stack uses it to publish push
+  /// events (src/net/subscription.h); a null listener disables it.
+  using ScreeningListener = std::function<void(
+      const LoggedQuery& query, const std::vector<Screening>& screenings)>;
+  void SetScreeningListener(ScreeningListener listener) {
+    listener_ = std::move(listener);
+  }
 
   /// Drops the accumulated batch state of every expression (e.g. at the
   /// start of a new monitoring window).
@@ -204,6 +222,7 @@ class OnlineAuditor {
   ExpressionIndex index_;
   std::vector<std::unique_ptr<Entry>> entries_;
   int next_id_ = 1;
+  ScreeningListener listener_;
 };
 
 }  // namespace audit

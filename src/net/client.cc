@@ -20,6 +20,16 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Receiver poll granularity: bounds both Close()-join latency and the
+/// dispatch delay for pushes parked while a Subscribe was in flight.
+constexpr int kReceiverPollMillis = 50;
+
+/// Cap on pushes parked before the receiver starts (or while a
+/// Subscribe is in flight). The server's own per-subscriber queue bound
+/// keeps legitimate traffic far below this; crossing it means a
+/// misbehaving peer.
+constexpr size_t kMaxStashedPushes = 1u << 16;
+
 int RemainingMillis(Clock::time_point deadline) {
   auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
       deadline - Clock::now());
@@ -60,15 +70,30 @@ AuditClient::AuditClient(std::string host, uint16_t port,
     : host_(std::move(host)),
       port_(port),
       options_(options),
-      jitter_state_(std::random_device{}()) {}
+      jitter_state_(std::random_device{}()),
+      reader_(options.max_frame_bytes) {}
 
 AuditClient::~AuditClient() { Close(); }
 
 void AuditClient::Close() {
+  StopReceiver();
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
+  {
+    std::lock_guard<std::mutex> lock(stream_mutex_);
+    handlers_.clear();
+    stash_.clear();
+    stream_ok_ = true;
+    stream_error_ = Status::Ok();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    mail_.reset();
+    want_response_ = false;
+  }
+  subscribe_pending_.store(false);
 }
 
 Status AuditClient::Connect() {
@@ -77,6 +102,10 @@ Status AuditClient::Connect() {
                     0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  if (options_.so_rcvbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options_.so_rcvbuf,
+                 sizeof(options_.so_rcvbuf));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -113,6 +142,7 @@ Status AuditClient::Connect() {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
+  reader_ = FrameReader(options_.max_frame_bytes);
   return Status::Ok();
 }
 
@@ -137,16 +167,25 @@ Status AuditClient::SendAll(const std::string& bytes,
 }
 
 Result<Message> AuditClient::ReadResponse(Clock::time_point deadline) {
-  FrameReader reader(options_.max_frame_bytes);
   char buf[16384];
   while (true) {
-    auto next = reader.Next();
+    auto next = reader_.Next();
     if (!next.ok()) return next.status();
-    if (next->has_value()) return std::move(**next);
+    if (next->has_value()) {
+      Message message = std::move(**next);
+      if (message.type == MessageType::kPushEvent) {
+        // A server-initiated push raced ahead of the response (legal:
+        // the event loop may flush a parked push before the handler's
+        // reply). Park it for the receiver thread.
+        AUDITDB_RETURN_IF_ERROR(StashPush(message));
+        continue;
+      }
+      return message;
+    }
     AUDITDB_RETURN_IF_ERROR(Await(fd_, POLLIN, deadline));
     ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n > 0) {
-      reader.Feed(buf, static_cast<size_t>(n));
+      reader_.Feed(buf, static_cast<size_t>(n));
       continue;
     }
     if (n == 0) {
@@ -195,6 +234,11 @@ bool AuditClient::BackoffBeforeRetry(std::chrono::milliseconds* backoff,
 }
 
 Result<Message> AuditClient::RoundTrip(const Message& request) {
+  if (receiver_running_.load()) {
+    return StreamingRoundTrip(request);
+  }
+  Message versioned = request;
+  versioned.version = options_.wire_version;
   const bool retryable = options_.retry_idempotent &&
                          IsIdempotentType(request.type) &&
                          options_.max_retries > 0;
@@ -217,7 +261,7 @@ Result<Message> AuditClient::RoundTrip(const Message& request) {
       }
     }
     Status transport_error;
-    auto response = TryOnce(request, &transport_error, deadline);
+    auto response = TryOnce(versioned, &transport_error, deadline);
     if (!response.ok()) {
       Close();
       // Only transport failures on idempotent requests retry, never
@@ -241,6 +285,273 @@ Result<Message> AuditClient::RoundTrip(const Message& request) {
     }
     return response;
   }
+}
+
+Result<Message> AuditClient::StreamingRoundTrip(const Message& request) {
+  {
+    std::lock_guard<std::mutex> lock(stream_mutex_);
+    if (!stream_ok_) return stream_error_;
+  }
+  Message versioned = request;
+  versioned.version = options_.wire_version;
+  const auto deadline = Clock::now() + options_.request_timeout;
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    mail_.reset();
+    want_response_ = true;
+  }
+  // The receiver owns reads; writes stay on the calling thread — the
+  // socket is full-duplex, so the two never collide.
+  Status sent = SendAll(EncodeFrame(versioned), deadline);
+  if (!sent.ok()) {
+    FailStream(sent);
+    Close();
+    return sent;
+  }
+  std::unique_lock<std::mutex> lock(mail_mutex_);
+  mail_cv_.wait_until(lock, deadline, [&] {
+    if (mail_.has_value()) return true;
+    std::lock_guard<std::mutex> slock(stream_mutex_);
+    return !stream_ok_;
+  });
+  if (!mail_.has_value()) {
+    want_response_ = false;
+    lock.unlock();
+    Status error;
+    {
+      std::lock_guard<std::mutex> slock(stream_mutex_);
+      error = stream_ok_
+                  ? Status::DeadlineExceeded("request deadline expired")
+                  : stream_error_;
+    }
+    // A timed-out streaming session cannot resynchronize (the response
+    // may still arrive); poison it.
+    FailStream(error);
+    Close();
+    return error;
+  }
+  Message response = std::move(*mail_);
+  mail_.reset();
+  want_response_ = false;
+  lock.unlock();
+  if (response.type == MessageType::kErrorResponse) {
+    return DecodeErrorMessage(response.payload);
+  }
+  if (response.type != MessageType::kOkResponse) {
+    Status error = Status::Internal("unexpected response frame type");
+    FailStream(error);
+    Close();
+    return error;
+  }
+  return response;
+}
+
+Status AuditClient::StashPush(const Message& message) {
+  auto event = DecodePushPayload(message.payload);
+  if (!event.ok()) return event.status();
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  if (stash_.size() >= kMaxStashedPushes) {
+    return Status::Internal("push backlog overflow");
+  }
+  stash_.push_back(std::move(*event));
+  return Status::Ok();
+}
+
+void AuditClient::DrainStash() {
+  std::vector<std::pair<PushHandler, PushEvent>> ready;
+  {
+    std::lock_guard<std::mutex> lock(stream_mutex_);
+    if (stash_.empty()) return;
+    const bool keep_unknown = subscribe_pending_.load();
+    std::deque<PushEvent> kept;
+    for (auto& event : stash_) {
+      auto it = handlers_.find(event.subscription_id);
+      if (it != handlers_.end()) {
+        ready.emplace_back(it->second, std::move(event));
+      } else if (keep_unknown) {
+        // The SUBSCRIBE OK has not been processed yet; its pushes may
+        // legally arrive first. Park until the handler registers.
+        kept.push_back(std::move(event));
+      }
+      // else: straggler for an unsubscribed id — drop silently.
+    }
+    stash_.swap(kept);
+  }
+  for (auto& entry : ready) {
+    entry.first(entry.second);
+  }
+}
+
+void AuditClient::FailStream(const Status& error) {
+  {
+    std::lock_guard<std::mutex> lock(stream_mutex_);
+    if (stream_ok_) {
+      stream_ok_ = false;
+      stream_error_ = error;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mail_mutex_);
+  mail_cv_.notify_all();
+}
+
+void AuditClient::EnsureReceiver() {
+  if (receiver_running_.load()) return;
+  receiver_stop_.store(false);
+  receiver_running_.store(true);
+  receiver_ = std::thread([this] { ReceiverLoop(); });
+}
+
+void AuditClient::StopReceiver() {
+  receiver_stop_.store(true);
+  if (receiver_.joinable()) {
+    receiver_.join();
+  }
+  receiver_running_.store(false);
+}
+
+void AuditClient::ReceiverLoop() {
+  char buf[16384];
+  while (!receiver_stop_.load()) {
+    // Drain every frame already buffered before blocking again.
+    while (true) {
+      auto next = reader_.Next();
+      if (!next.ok()) {
+        FailStream(next.status());
+        return;
+      }
+      if (!next->has_value()) break;
+      Message message = std::move(**next);
+      if (message.type == MessageType::kPushEvent) {
+        Status stashed = StashPush(message);
+        if (!stashed.ok()) {
+          FailStream(stashed);
+          return;
+        }
+        continue;
+      }
+      bool unexpected = false;
+      {
+        std::lock_guard<std::mutex> lock(mail_mutex_);
+        if (!want_response_ || mail_.has_value()) {
+          unexpected = true;
+        } else {
+          mail_ = std::move(message);
+          mail_cv_.notify_all();
+        }
+      }
+      if (unexpected) {
+        FailStream(Status::Internal("unsolicited response frame"));
+        return;
+      }
+    }
+    DrainStash();
+    if (receiver_stop_.load()) return;
+    pollfd pfd{fd_, POLLIN, 0};
+    int n = ::poll(&pfd, 1, kReceiverPollMillis);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailStream(Status::Internal(std::string("poll: ") + strerror(errno)));
+      return;
+    }
+    if (n == 0) continue;
+    ssize_t r = ::read(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      reader_.Feed(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      FailStream(Status::Internal("server closed the connection"));
+      return;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      continue;
+    }
+    FailStream(Status::Internal(std::string("read: ") + strerror(errno)));
+    return;
+  }
+}
+
+Result<AuditClient::Subscription> AuditClient::Subscribe(
+    const std::string& expression, Timestamp now, PushHandler handler) {
+  return SubscribeInternal("expr", expression, now, std::move(handler));
+}
+
+Result<AuditClient::Subscription> AuditClient::SubscribeById(
+    int expression_id, PushHandler handler) {
+  return SubscribeInternal("id", std::to_string(expression_id),
+                           Timestamp(), std::move(handler));
+}
+
+Result<AuditClient::Subscription> AuditClient::SubscribeInternal(
+    const std::string& kind, const std::string& value, Timestamp now,
+    PushHandler handler) {
+  if (!handler) {
+    return Status::InvalidArgument("Subscribe requires a push handler");
+  }
+  if (options_.wire_version != WireVersion::kV2) {
+    return Status::InvalidArgument(
+        "subscriptions require wire_version kV2 (ADB2)");
+  }
+  Message request{
+      MessageType::kSubscribeRequest,
+      EncodeFields({kind, value, std::to_string(now.micros())})};
+  // While the round trip is in flight, pushes for the not-yet-known
+  // subscription id are parked instead of dropped.
+  subscribe_pending_.store(true);
+  auto response = RoundTrip(request);
+  if (!response.ok()) {
+    subscribe_pending_.store(false);
+    return response.status();
+  }
+  auto fields = DecodeFields(response->payload);
+  if (!fields.ok()) {
+    subscribe_pending_.store(false);
+    return fields.status();
+  }
+  if (fields->size() != 4) {
+    subscribe_pending_.store(false);
+    return Status::Internal("malformed subscribe response");
+  }
+  Subscription sub;
+  sub.id = std::strtoll((*fields)[0].c_str(), nullptr, 10);
+  sub.expression_id =
+      static_cast<int>(std::strtol((*fields)[1].c_str(), nullptr, 10));
+  sub.rank = std::strtod((*fields)[2].c_str(), nullptr);
+  sub.fired = (*fields)[3] == "1";
+  {
+    std::lock_guard<std::mutex> lock(stream_mutex_);
+    handlers_[sub.id] = std::move(handler);
+  }
+  // Order matters: register the handler before clearing the pending
+  // flag, so a concurrent DrainStash never sees parked events for this
+  // id as droppable strays.
+  subscribe_pending_.store(false);
+  EnsureReceiver();
+  return sub;
+}
+
+Status AuditClient::Unsubscribe(int64_t subscription_id) {
+  if (options_.wire_version != WireVersion::kV2) {
+    return Status::InvalidArgument(
+        "subscriptions require wire_version kV2 (ADB2)");
+  }
+  Message request{MessageType::kUnsubscribeRequest,
+                  EncodeFields({std::to_string(subscription_id)})};
+  auto response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  handlers_.erase(subscription_id);
+  return Status::Ok();
+}
+
+size_t AuditClient::active_subscriptions() const {
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  return handlers_.size();
+}
+
+Status AuditClient::StreamStatus() const {
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  return stream_ok_ ? Status::Ok() : stream_error_;
 }
 
 Result<AuditClient::RemoteReport> AuditClient::Audit(

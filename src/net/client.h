@@ -1,13 +1,22 @@
 #ifndef AUDITDB_NET_CLIENT_H_
 #define AUDITDB_NET_CLIENT_H_
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/timestamp.h"
+#include "src/net/subscription.h"
 #include "src/net/wire.h"
 
 namespace auditdb {
@@ -34,12 +43,31 @@ struct AuditClientOptions {
   /// further retry doubles it up to retry_max_backoff.
   std::chrono::milliseconds retry_initial_backoff{10};
   std::chrono::milliseconds retry_max_backoff{500};
+  /// Protocol version spoken on the wire. kV2 (the default) is required
+  /// for Subscribe/Unsubscribe; kV1 interoperates with pre-subscription
+  /// servers byte-for-byte.
+  WireVersion wire_version = WireVersion::kV2;
+  /// SO_RCVBUF for the connection; 0 keeps the kernel default. Shrinking
+  /// it makes a deliberately slow subscriber exert backpressure with
+  /// little traffic (the kernel clamps to its minimum, ~2 KiB).
+  int so_rcvbuf = 0;
 };
 
 /// Blocking client for the auditd wire protocol: one TCP connection,
 /// one request in flight at a time (the protocol itself pipelines, a
 /// client that needs concurrency uses one AuditClient per thread).
 /// Connects lazily on the first request.
+///
+/// Streaming (protocol v2): after the first successful Subscribe() the
+/// client starts a receiver thread that owns all reads — server PUSH
+/// frames are dispatched to the subscription's handler in wire order,
+/// responses are routed back to the requesting thread. In streaming
+/// mode there are no retries and no reconnects: subscriptions are bound
+/// to the connection, so a transport failure or request timeout poisons
+/// the session (every later call fails until Close() + a fresh
+/// connection re-subscribes). Handlers run on the receiver thread and
+/// must not call back into this client (the receiver cannot serve a
+/// response while it is inside a handler).
 class AuditClient {
  public:
   AuditClient(std::string host, uint16_t port,
@@ -96,6 +124,40 @@ class AuditClient {
   /// {"server": ..., "service": ...} metrics JSON.
   Result<std::string> MetricsJson();
 
+  /// A registered push subscription, as acknowledged by the server.
+  struct Subscription {
+    int64_t id = 0;         // server-assigned subscription id
+    int expression_id = 0;  // server-side standing-expression id
+    double rank = 0.0;      // rank at subscription time
+    bool fired = false;     // already past threshold when subscribed
+  };
+  /// Invoked on the receiver thread for every PUSH frame of a
+  /// subscription, in sequence order. Must not call back into this
+  /// client and should return quickly: the server's per-subscriber
+  /// queue is bounded, and a handler that stalls the receiver
+  /// eventually triggers the server's slow-subscriber policy.
+  using PushHandler = std::function<void(const PushEvent&)>;
+
+  /// Registers a standing audit expression (audit grammar source) and
+  /// streams its verdict changes to `handler`. Requires wire_version
+  /// kV2. The first successful Subscribe switches the client into
+  /// streaming mode (see class comment).
+  Result<Subscription> Subscribe(const std::string& expression,
+                                 Timestamp now, PushHandler handler);
+  /// Same, but attaches to an existing server-side standing expression.
+  Result<Subscription> SubscribeById(int expression_id, PushHandler handler);
+  /// Cancels one subscription. Pushes already in flight for it are
+  /// silently discarded. Must not be called from a push handler.
+  Status Unsubscribe(int64_t subscription_id);
+  /// Number of live subscriptions on this client.
+  size_t active_subscriptions() const;
+  /// True once the receiver thread owns the read side.
+  bool streaming() const { return receiver_running_.load(); }
+  /// OK while the streaming session is healthy; afterwards, the
+  /// transport error that poisoned it (e.g. the server closed the
+  /// connection during a graceful drain).
+  Status StreamStatus() const;
+
   /// Sends one request frame and blocks for its response. Error
   /// responses come back as their carried Status (a server-side
   /// RESOURCE_EXHAUSTED rejection keeps its code); transport failures
@@ -114,11 +176,52 @@ class AuditClient {
   bool BackoffBeforeRetry(std::chrono::milliseconds* backoff,
                           std::chrono::steady_clock::time_point deadline);
 
+  Result<Subscription> SubscribeInternal(const std::string& kind,
+                                         const std::string& value,
+                                         Timestamp now, PushHandler handler);
+  /// One round trip in streaming mode: send from the calling thread,
+  /// wait on the mailbox for the receiver to route the response.
+  Result<Message> StreamingRoundTrip(const Message& request);
+  /// Decodes and stashes a PUSH frame seen by a *blocking* read (the
+  /// receiver isn't running yet; the event waits for it).
+  Status StashPush(const Message& message);
+  void EnsureReceiver();
+  void StopReceiver();
+  void ReceiverLoop();
+  /// Dispatches stashed pushes that have handlers (wire order); drops
+  /// ones for unknown subscriptions unless a Subscribe is in flight.
+  void DrainStash();
+  /// Marks the streaming session dead and wakes any waiting round trip.
+  void FailStream(const Status& error);
+
   std::string host_;
   uint16_t port_;
   AuditClientOptions options_;
   uint64_t jitter_state_;
   int fd_ = -1;
+  /// Persistent frame reader: push frames buffered behind a response
+  /// must survive across reads. Reset on (re)connect.
+  FrameReader reader_;
+
+  // --- streaming state ---
+  std::thread receiver_;
+  std::atomic<bool> receiver_running_{false};
+  std::atomic<bool> receiver_stop_{false};
+  /// True while a Subscribe round trip is in flight: pushes for ids
+  /// with no handler yet are parked instead of dropped.
+  std::atomic<bool> subscribe_pending_{false};
+  /// Guards handlers_, stash_, stream_ok_/stream_error_.
+  mutable std::mutex stream_mutex_;
+  std::map<int64_t, PushHandler> handlers_;
+  std::deque<PushEvent> stash_;
+  bool stream_ok_ = true;
+  Status stream_error_;
+  /// Response mailbox: the receiver parks one routed response here for
+  /// the thread blocked in StreamingRoundTrip.
+  std::mutex mail_mutex_;
+  std::condition_variable mail_cv_;
+  std::optional<Message> mail_;
+  bool want_response_ = false;
 };
 
 }  // namespace net

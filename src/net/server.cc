@@ -10,9 +10,11 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <shared_mutex>
 #include <sstream>
@@ -21,6 +23,7 @@
 
 #include "src/audit/audit_parser.h"
 #include "src/audit/expression_library.h"
+#include "src/audit/online.h"
 #include "src/engine/executor.h"
 #include "src/io/dump.h"
 #include "src/io/store.h"
@@ -45,6 +48,17 @@ bool ParseInt64Field(const std::string& text, int64_t* out) {
 Message MakeOk(std::string payload) {
   return Message{MessageType::kOkResponse, std::move(payload)};
 }
+
+std::string FormatRankField(double rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", rank);
+  return buf;
+}
+
+/// Per-refill byte budget when topping a drained write buffer up from
+/// the subscription queues, so one push-heavy subscriber cannot grow an
+/// unbounded out buffer in a single pass.
+constexpr size_t kPushRefillBytes = 256u << 10;
 
 }  // namespace
 
@@ -72,6 +86,9 @@ struct AuditServer::Conn {
   /// Reads withheld (pipelining cap or poisoned framing).
   bool paused = false;
   bool want_write = false;
+  /// Pinned by the first frame the client sends (FrameReader enforces
+  /// consistency); responses and error frames mirror it.
+  WireVersion version = WireVersion::kV1;
   Clock::time_point last_read;
   Clock::time_point last_write_progress;
 };
@@ -94,6 +111,38 @@ struct AuditServer::Impl {
   /// Readers (audits, screening) share the stores; writers
   /// (ExecuteQuery's log append, LoadDump) exclude them.
   std::shared_mutex state_mutex;
+
+  /// Push-subscription state (docs/wire_protocol.md "Alerting").
+  /// The registry is internally synchronized; everything else here is
+  /// guarded by the writer side of state_mutex.
+  SubscriptionRegistry subscriptions;
+  /// Screens every executed query against the standing expressions;
+  /// shares the serving stack's decision cache.
+  std::unique_ptr<audit::OnlineAuditor> online;
+  /// One standing expression per distinct qualified audit text,
+  /// refcounted across the subscriptions naming it.
+  struct StandingExpr {
+    audit::AuditExpression expr;  // qualified; the poll-identical verdict source
+    std::string key;              // expr.ToString()
+    size_t refs = 0;
+    audit::OnlineAuditor::Screening last;  // last published state
+  };
+  std::map<int, StandingExpr> standing;        // by OnlineAuditor id
+  std::map<std::string, int> standing_by_key;  // canonical text -> id
+
+  /// Loop → handler handoff for subscription cleanup: CloseConn (loop
+  /// thread) must not take state_mutex, so expressions released by a
+  /// closing connection park here until the next handler that already
+  /// holds the writer lock collects them (GcOrphans).
+  std::mutex push_mutex;
+  std::vector<int> orphaned_exprs;
+  /// Publish → loop handoff: conn ids with freshly parked pushes /
+  /// flagged for slow-subscriber eviction. Drained by DeliverPushes.
+  std::vector<uint64_t> push_ready;
+  std::vector<uint64_t> push_evict;
+
+  /// Loop-thread-only reverse map for push delivery by conn id.
+  std::unordered_map<uint64_t, int> fd_by_conn_id;
 
   struct Done {
     int fd;
@@ -134,9 +183,24 @@ struct AuditServer::Impl {
         backlog(backlog_in),
         log(log_in),
         options(std::move(options_in)),
-        metrics(metrics_in) {
+        metrics(metrics_in),
+        subscriptions(SubscriptionLimits{options.max_subscriptions,
+                                         options.push_queue_depth,
+                                         options.slow_subscriber_policy}) {
     handlers =
         std::make_unique<service::ThreadPool>(options.handlers, metrics);
+    // The online monitor behind push subscriptions shares the service's
+    // decision cache, so screening an executed query reuses the same
+    // memoized candidacy decisions polls do.
+    audit::OnlineAuditorOptions online_options;
+    online_options.cache = service->decision_cache();
+    online = std::make_unique<audit::OnlineAuditor>(db, online_options);
+    // Observe → fan-out hook: runs on the handler thread inside
+    // HandleExecuteQuery's Observe call, under the writer lock.
+    online->SetScreeningListener(
+        [this](const LoggedQuery& query,
+               const std::vector<audit::OnlineAuditor::Screening>&
+                   screenings) { PublishScreenings(query, screenings); });
     connections_accepted = metrics->counter("net.connections_accepted");
     connections_rejected = metrics->counter("net.connections_rejected");
     connections_gauge = metrics->gauge("net.connections");
@@ -195,10 +259,21 @@ struct AuditServer::Impl {
   void CloseConn(int fd) {
     auto it = conns.find(fd);
     if (it == conns.end()) return;
+    uint64_t conn_id = it->second->id;
     ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
     ::close(fd);
     conns.erase(it);
+    fd_by_conn_id.erase(conn_id);
     connections_gauge->Set(static_cast<int64_t>(conns.size()));
+    // Drop the connection's subscriptions (registry mutex only — the
+    // loop thread must never wait on state_mutex) and park the released
+    // standing expressions for the next writer-lock holder to collect.
+    std::vector<int> released = subscriptions.DropConnection(conn_id);
+    if (!released.empty()) {
+      std::lock_guard<std::mutex> lock(push_mutex);
+      orphaned_exprs.insert(orphaned_exprs.end(), released.begin(),
+                            released.end());
+    }
   }
 
   void CloseAll() {
@@ -231,6 +306,10 @@ struct AuditServer::Impl {
       }
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (options.so_sndbuf > 0) {
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options.so_sndbuf,
+                     sizeof(options.so_sndbuf));
+      }
       auto conn = std::make_unique<Conn>(options.max_frame_bytes);
       conn->fd = fd;
       conn->id = next_conn_id++;
@@ -242,48 +321,69 @@ struct AuditServer::Impl {
         ::close(fd);
         continue;
       }
+      fd_by_conn_id[conn->id] = fd;
       conns.emplace(fd, std::move(conn));
       connections_accepted->Increment();
       connections_gauge->Set(static_cast<int64_t>(conns.size()));
     }
   }
 
-  void QueueWrite(Conn* conn, const Message& message) {
+  void QueueWrite(Conn* conn, Message message) {
     if (conn->out_offset == conn->out.size()) {
       conn->last_write_progress = Clock::now();
     }
+    message.version = conn->version;
     conn->out.append(EncodeFrame(message));
     frames_sent->Increment();
     FlushConn(conn);
   }
 
-  /// Writes as much of the buffered response bytes as the socket takes.
-  /// May close the connection (write error, or close_after_flush done).
+  /// Tops a drained write buffer up with parked push frames. Loop
+  /// thread only; a no-op for connections without pending pushes.
+  void RefillPushes(Conn* conn) {
+    if (conn->close_after_flush) return;
+    if (conn->out_offset == conn->out.size()) {
+      conn->last_write_progress = Clock::now();
+    }
+    size_t frames =
+        subscriptions.DrainFrames(conn->id, kPushRefillBytes, &conn->out);
+    if (frames > 0) frames_sent->Increment(frames);
+  }
+
+  /// Writes as much of the buffered response bytes as the socket takes,
+  /// topping the buffer up from the connection's parked push queues
+  /// whenever it drains — server-initiated pushes ride the same
+  /// write-interest machinery as responses. May close the connection
+  /// (write error, or close_after_flush done).
   void FlushConn(Conn* conn) {
     int fd = conn->fd;
-    while (conn->out_offset < conn->out.size()) {
-      ssize_t n =
-          ::send(fd, conn->out.data() + conn->out_offset,
-                 conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
-      if (n > 0) {
-        conn->out_offset += static_cast<size_t>(n);
-        bytes_written->Increment(static_cast<uint64_t>(n));
-        conn->last_write_progress = Clock::now();
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        UpdateEpoll(conn);
+    while (true) {
+      while (conn->out_offset < conn->out.size()) {
+        ssize_t n =
+            ::send(fd, conn->out.data() + conn->out_offset,
+                   conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+        if (n > 0) {
+          conn->out_offset += static_cast<size_t>(n);
+          bytes_written->Increment(static_cast<uint64_t>(n));
+          conn->last_write_progress = Clock::now();
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          UpdateEpoll(conn);
+          return;
+        }
+        CloseConn(fd);
         return;
       }
-      CloseConn(fd);
-      return;
-    }
-    conn->out.clear();
-    conn->out_offset = 0;
-    if (conn->close_after_flush) {
-      CloseConn(fd);
-      return;
+      conn->out.clear();
+      conn->out_offset = 0;
+      if (conn->close_after_flush) {
+        CloseConn(fd);
+        return;
+      }
+      RefillPushes(conn);
+      if (conn->out.empty()) break;
     }
     if (conn->want_write) UpdateEpoll(conn);
   }
@@ -294,7 +394,7 @@ struct AuditServer::Impl {
     return handlers->TrySubmit([this, fd, conn_id,
                                 request = std::move(request)] {
       auto start = Clock::now();
-      Message response = HandleRequest(request);
+      Message response = HandleRequest(request, conn_id);
       // Never emit a frame the client's reader could refuse: oversized
       // replies (huge SELECT render, metrics dump, detailed report)
       // degrade to an OutOfRange error on a connection that stays in
@@ -308,6 +408,9 @@ struct AuditServer::Impl {
             " bytes exceeds limit " +
             std::to_string(options.max_response_bytes)));
       }
+      // Stamped after the oversized swap: every frame on this
+      // connection must carry the magic its first frame pinned.
+      response.version = request.version;
       uint64_t micros = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               Clock::now() - start)
@@ -339,7 +442,9 @@ struct AuditServer::Impl {
     conn->paused = true;
     conn->close_after_flush = true;
     if (conn->busy) {
-      conn->deferred_error = EncodeFrame(MakeErrorMessage(status));
+      Message error = MakeErrorMessage(status);
+      error.version = conn->version;
+      conn->deferred_error = EncodeFrame(error);
       UpdateEpoll(conn);
       return;
     }
@@ -368,6 +473,7 @@ struct AuditServer::Impl {
       if (!next->has_value()) return true;
       frames_received->Increment();
       Message message = std::move(**next);
+      conn->version = message.version;
       if (!IsRequestType(message.type)) {
         frame_errors->Increment();
         PoisonConn(conn, Status::InvalidArgument(
@@ -536,7 +642,11 @@ struct AuditServer::Impl {
       }
       if (options.idle_timeout.count() > 0 && !conn->busy &&
           conn->pending.empty() && conn->out.empty() &&
-          now - conn->last_read > options.idle_timeout) {
+          now - conn->last_read > options.idle_timeout &&
+          // A passive subscriber legitimately sends nothing for long
+          // stretches; pushes are its liveness signal, and a dead peer
+          // still surfaces through write errors or the write timeout.
+          !subscriptions.HasSubscriptions(conn->id)) {
         idle.push_back(fd);
       }
     }
@@ -563,6 +673,9 @@ struct AuditServer::Impl {
   bool DrainComplete() {
     if (Clock::now() >= drain_deadline) return true;
     if (in_flight > 0) return false;
+    // Parked pushes count as undelivered responses: drain flushes them
+    // (or times out on a subscriber that stopped reading).
+    if (subscriptions.TotalPending() > 0) return false;
     for (const auto& [fd, conn] : conns) {
       if (conn->busy || !conn->pending.empty() ||
           conn->out_offset < conn->out.size()) {
@@ -570,6 +683,36 @@ struct AuditServer::Impl {
       }
     }
     return true;
+  }
+
+  /// Acts on Publish outcomes queued by handler threads: evicts flagged
+  /// slow subscribers and starts flushing freshly parked pushes on
+  /// connections whose write buffer is idle. Loop thread only.
+  void DeliverPushes() {
+    std::vector<uint64_t> ready, evict;
+    {
+      std::lock_guard<std::mutex> lock(push_mutex);
+      ready.swap(push_ready);
+      evict.swap(push_evict);
+    }
+    for (uint64_t conn_id : evict) {
+      auto it = fd_by_conn_id.find(conn_id);
+      if (it != fd_by_conn_id.end()) CloseConn(it->second);
+    }
+    for (uint64_t conn_id : ready) {
+      auto it = fd_by_conn_id.find(conn_id);
+      if (it == fd_by_conn_id.end()) continue;
+      auto cit = conns.find(it->second);
+      if (cit == conns.end() || cit->second->id != conn_id) continue;
+      Conn* conn = cit->second.get();
+      // A busy write buffer picks the pushes up when it drains
+      // (FlushConn refills); only an idle one needs a kick here.
+      if (conn->out_offset < conn->out.size() || conn->close_after_flush) {
+        continue;
+      }
+      RefillPushes(conn);
+      if (!conn->out.empty()) FlushConn(conn);
+    }
   }
 
   std::string CombinedMetricsJson() const {
@@ -581,6 +724,7 @@ struct AuditServer::Impl {
     if (options.durable_store != nullptr) {
       json += ",\"durability\":" + options.durable_store->MetricsJson();
     }
+    json += ",\"push\":" + subscriptions.MetricsJson();
     return json + "}";
   }
 
@@ -595,14 +739,95 @@ struct AuditServer::Impl {
     (void)ignored;
   }
 
-  Message HandleRequest(const Message& request);
+  Message HandleRequest(const Message& request, uint64_t conn_id);
   Message HandleAudit(const Message& request, bool static_only);
   Message HandleScreenLibrary(const Message& request);
   Message HandleExecuteQuery(const Message& request);
   Message HandleLoadDump(const Message& request);
+  Message HandleSubscribe(const Message& request, uint64_t conn_id);
+  Message HandleUnsubscribe(const Message& request, uint64_t conn_id);
+
+  /// Collects standing expressions released by closed connections.
+  /// Caller must hold the writer side of state_mutex.
+  void GcOrphans() {
+    std::vector<int> released;
+    {
+      std::lock_guard<std::mutex> lock(push_mutex);
+      released.swap(orphaned_exprs);
+    }
+    for (int id : released) ReleaseStanding(id);
+  }
+
+  /// Drops one reference to a standing expression, removing it from the
+  /// online monitor when the last subscription goes away. Caller must
+  /// hold the writer side of state_mutex.
+  void ReleaseStanding(int id) {
+    auto it = standing.find(id);
+    if (it == standing.end()) return;
+    if (--it->second.refs > 0) return;
+    standing_by_key.erase(it->second.key);
+    standing.erase(it);
+    Status removed = online->RemoveExpression(id);
+    (void)removed;
+  }
+
+  /// The observe → fan-out hook body (OnlineAuditor screening
+  /// listener): publishes a PROGRESS event for every expression whose
+  /// suspicion state changed, and an ALERT — carrying the canonical
+  /// poll-identical verdict — for every expression that just fired.
+  /// Runs on the handler thread under the writer lock (the verdict
+  /// audit must see exactly the log state the triggering query
+  /// committed).
+  void PublishScreenings(
+      const LoggedQuery& query,
+      const std::vector<audit::OnlineAuditor::Screening>& screenings) {
+    std::vector<uint64_t> ready, evict;
+    for (const auto& screening : screenings) {
+      auto it = standing.find(screening.expression_id);
+      if (it == standing.end()) continue;
+      StandingExpr& se = it->second;
+      bool newly_fired = screening.fired && !se.last.fired;
+      if (screening.rank == se.last.rank &&
+          screening.fired == se.last.fired) {
+        continue;  // nothing the subscriber doesn't already know
+      }
+      std::string verdict;
+      PushKind kind = PushKind::kProgress;
+      if (newly_fired) {
+        kind = PushKind::kAlert;
+        // Same code path a poll takes (AuditService::Audit on the
+        // qualified expression, default options, shared cache), so the
+        // pushed verdict is byte-identical to auditing the log range
+        // that ends at the triggering query.
+        auto report = service->Audit(se.expr);
+        if (report.ok()) {
+          verdict = report->CanonicalString();
+        } else {
+          metrics->counter("net.push_verdict_errors")->Increment();
+          verdict = "verdict-error: " + report.status().message();
+        }
+      }
+      se.last = screening;
+      PublishOutcome outcome = subscriptions.Publish(
+          screening.expression_id, kind, query.id, screening.rank,
+          screening.fired, verdict);
+      ready.insert(ready.end(), outcome.ready_conns.begin(),
+                   outcome.ready_conns.end());
+      evict.insert(evict.end(), outcome.evict_conns.begin(),
+                   outcome.evict_conns.end());
+    }
+    if (ready.empty() && evict.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(push_mutex);
+      push_ready.insert(push_ready.end(), ready.begin(), ready.end());
+      push_evict.insert(push_evict.end(), evict.begin(), evict.end());
+    }
+    Wake();
+  }
 };
 
-Message AuditServer::Impl::HandleRequest(const Message& request) {
+Message AuditServer::Impl::HandleRequest(const Message& request,
+                                         uint64_t conn_id) {
   switch (request.type) {
     case MessageType::kHealthRequest: {
       // The payload is ignored (load generators pad it to probe frame
@@ -636,6 +861,10 @@ Message AuditServer::Impl::HandleRequest(const Message& request) {
       return HandleExecuteQuery(request);
     case MessageType::kLoadDumpRequest:
       return HandleLoadDump(request);
+    case MessageType::kSubscribeRequest:
+      return HandleSubscribe(request, conn_id);
+    case MessageType::kUnsubscribeRequest:
+      return HandleUnsubscribe(request, conn_id);
     default:
       return MakeErrorMessage(
           Status::InvalidArgument("not a request frame"));
@@ -738,7 +967,127 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request) {
   int64_t id = log->Append((*fields)[0], Timestamp(now_micros),
                            (*fields)[1], (*fields)[2], (*fields)[3]);
   MaybeCheckpoint();
+  // Screen the freshly logged query against the standing expressions
+  // and fan state changes out as pushes (the OnlineAuditor listener
+  // publishes; the loop delivers). Skipped entirely when nobody is
+  // subscribed, so the no-subscriber fast path is unchanged. An observe
+  // failure (e.g. a candidacy check against an unknown table) must not
+  // fail the already-committed append — it is counted and the query
+  // simply does not advance any screening.
+  if (subscriptions.active() > 0) {
+    GcOrphans();
+    LoggedQuery entry;
+    entry.id = id;
+    entry.sql = (*fields)[0];
+    entry.timestamp = Timestamp(now_micros);
+    entry.user = (*fields)[1];
+    entry.role = (*fields)[2];
+    entry.purpose = (*fields)[3];
+    auto observed = online->Observe(entry, service->pool());
+    if (!observed.ok()) {
+      metrics->counter("net.push_observe_errors")->Increment();
+    }
+  }
   return MakeOk(prefix + '|' + std::to_string(id));
+}
+
+Message AuditServer::Impl::HandleSubscribe(const Message& request,
+                                           uint64_t conn_id) {
+  if (request.version != WireVersion::kV2) {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "subscriptions require protocol ADB2 (this connection speaks "
+        "ADB1)"));
+  }
+  auto fields = DecodeFields(request.payload);
+  if (!fields.ok()) return MakeErrorMessage(fields.status());
+  int64_t now_micros = 0;
+  if (fields->size() != 3 || !ParseInt64Field((*fields)[2], &now_micros)) {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "subscribe request wants fields: expr-or-id|value|now_micros"));
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mutex);
+  GcOrphans();
+  int online_id = 0;
+  bool created = false;
+  if ((*fields)[0] == "id") {
+    int64_t id = 0;
+    if (!ParseInt64Field((*fields)[1], &id) ||
+        standing.count(static_cast<int>(id)) == 0) {
+      return MakeErrorMessage(Status::NotFound(
+          "no standing expression with id " + (*fields)[1] +
+          "; subscribe by inline source to register one"));
+    }
+    online_id = static_cast<int>(id);
+  } else if ((*fields)[0] == "expr") {
+    auto expr = audit::ParseAudit((*fields)[1], Timestamp(now_micros));
+    if (!expr.ok()) return MakeErrorMessage(expr.status());
+    audit::AuditExpression qualified = expr->Clone();
+    Status status = qualified.Qualify(db->catalog());
+    if (!status.ok()) return MakeErrorMessage(status);
+    std::string key = qualified.ToString();
+    auto existing = standing_by_key.find(key);
+    if (existing != standing_by_key.end()) {
+      online_id = existing->second;
+    } else {
+      auto added = online->AddExpression(*expr);
+      if (!added.ok()) return MakeErrorMessage(added.status());
+      online_id = *added;
+      created = true;
+      StandingExpr se;
+      se.expr = std::move(qualified);
+      se.key = key;
+      // Seed the change detector with the fresh expression's state so
+      // the first contributing query publishes a transition, not the
+      // baseline.
+      for (const auto& current : online->Current()) {
+        if (current.expression_id == online_id) se.last = current;
+      }
+      standing.emplace(online_id, std::move(se));
+      standing_by_key.emplace(std::move(key), online_id);
+    }
+  } else {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "subscribe kind must be 'expr' or 'id', got: " + (*fields)[0]));
+  }
+  auto sub = subscriptions.Subscribe(conn_id, online_id);
+  if (!sub.ok()) {
+    // Roll a just-created standing expression back rather than leaking
+    // an expression nobody subscribes to.
+    if (created) {
+      standing_by_key.erase(standing[online_id].key);
+      standing.erase(online_id);
+      Status removed = online->RemoveExpression(online_id);
+      (void)removed;
+    }
+    return MakeErrorMessage(sub.status());
+  }
+  StandingExpr& se = standing[online_id];
+  ++se.refs;
+  return MakeOk(EncodeFields(
+      {std::to_string(*sub), std::to_string(online_id),
+       FormatRankField(se.last.rank), se.last.fired ? "1" : "0"}));
+}
+
+Message AuditServer::Impl::HandleUnsubscribe(const Message& request,
+                                             uint64_t conn_id) {
+  if (request.version != WireVersion::kV2) {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "subscriptions require protocol ADB2 (this connection speaks "
+        "ADB1)"));
+  }
+  auto fields = DecodeFields(request.payload);
+  if (!fields.ok()) return MakeErrorMessage(fields.status());
+  int64_t sub_id = 0;
+  if (fields->size() != 1 || !ParseInt64Field((*fields)[0], &sub_id)) {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "unsubscribe request wants fields: subscription_id"));
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mutex);
+  GcOrphans();
+  auto released = subscriptions.Unsubscribe(conn_id, sub_id);
+  if (!released.ok()) return MakeErrorMessage(released.status());
+  ReleaseStanding(*released);
+  return MakeOk("ok");
 }
 
 Message AuditServer::Impl::HandleLoadDump(const Message& request) {
@@ -888,6 +1237,7 @@ void AuditServer::LoopThread() {
       }
     }
     impl.DeliverCompletions();
+    impl.DeliverPushes();
     impl.PumpStalled();
     impl.SweepTimeouts();
     if (impl.stop_requested.load() && !impl.draining) impl.BeginDrain();

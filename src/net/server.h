@@ -7,6 +7,7 @@
 #include <string>
 #include <thread>
 
+#include "src/net/subscription.h"
 #include "src/net/wire.h"
 #include "src/service/audit_service.h"
 
@@ -54,6 +55,21 @@ struct AuditServerOptions {
   service::ThreadPoolOptions handlers{
       /*num_threads=*/4, /*queue_capacity=*/64,
       service::AdmissionPolicy::kReject};
+  /// Server-wide cap on concurrently active push subscriptions
+  /// (protocol v2 SUBSCRIBE frames, docs/wire_protocol.md).
+  size_t max_subscriptions = 1024;
+  /// Bounded per-subscription outbound push queue; overflow applies the
+  /// slow-subscriber policy.
+  size_t push_queue_depth = 64;
+  /// What happens to a subscriber whose push queue overflows: shed the
+  /// oldest events behind a GAP frame, or evict the connection.
+  SlowSubscriberPolicy slow_subscriber_policy =
+      SlowSubscriberPolicy::kDropOldest;
+  /// SO_SNDBUF for accepted connections; 0 keeps the kernel default.
+  /// Shrinking it bounds how much push traffic the kernel absorbs on
+  /// behalf of a slow subscriber, so queue overflow (and the policy
+  /// above) triggers deterministically in tests and soaks.
+  int so_sndbuf = 0;
   /// Optional durability (io::DurableStore, docs/durability.md). When
   /// set, ExecuteQuery WAL-appends *before* acking (an error response
   /// means nothing was committed; an OK means the entry survives a
@@ -72,9 +88,18 @@ struct AuditServerOptions {
 /// in flight per connection, the rest pipeline in arrival order).
 ///
 /// Endpoints: Audit, AuditStatic, ScreenLibrary, ExecuteQuery (appends
-/// to the served query log), LoadDump (db or log), Health, Metrics.
+/// to the served query log), LoadDump (db or log), Health, Metrics,
+/// and — on protocol v2 connections — Subscribe/Unsubscribe.
 /// Mutating endpoints take a writer lock; audits share a reader lock,
 /// so remote reports are computed against a consistent store.
+///
+/// Subscriptions (docs/wire_protocol.md "Alerting"): a v2 client
+/// SUBSCRIBEs to a standing audit expression; every ExecuteQuery is
+/// then screened by an OnlineAuditor and state changes fan out as
+/// server-initiated PUSH frames. Parked pushes ride the same epoll
+/// write-interest machinery as responses; per-subscriber queues are
+/// bounded with a configurable overflow policy, and graceful drain
+/// flushes parked pushes before closing.
 ///
 /// Shutdown() (or the daemon's SIGTERM path) drains gracefully: the
 /// listener closes, in-flight handlers finish, their responses flush,

@@ -27,6 +27,16 @@ void AppendBigEndian32(uint32_t v, std::string* out) {
 
 }  // namespace
 
+const char* WireVersionName(WireVersion version) {
+  switch (version) {
+    case WireVersion::kV1:
+      return "ADB1";
+    case WireVersion::kV2:
+      return "ADB2";
+  }
+  return "unknown";
+}
+
 const char* MessageTypeName(MessageType type) {
   switch (type) {
     case MessageType::kHealthRequest:
@@ -43,10 +53,16 @@ const char* MessageTypeName(MessageType type) {
       return "execute_query";
     case MessageType::kLoadDumpRequest:
       return "load_dump";
+    case MessageType::kSubscribeRequest:
+      return "subscribe";
+    case MessageType::kUnsubscribeRequest:
+      return "unsubscribe";
     case MessageType::kOkResponse:
       return "ok";
     case MessageType::kErrorResponse:
       return "error";
+    case MessageType::kPushEvent:
+      return "push";
   }
   return "unknown";
 }
@@ -60,8 +76,11 @@ bool IsKnownMessageType(uint8_t byte) {
     case MessageType::kScreenLibraryRequest:
     case MessageType::kExecuteQueryRequest:
     case MessageType::kLoadDumpRequest:
+    case MessageType::kSubscribeRequest:
+    case MessageType::kUnsubscribeRequest:
     case MessageType::kOkResponse:
     case MessageType::kErrorResponse:
+    case MessageType::kPushEvent:
       return true;
   }
   return false;
@@ -70,7 +89,8 @@ bool IsKnownMessageType(uint8_t byte) {
 bool IsRequestType(MessageType type) {
   return IsKnownMessageType(static_cast<uint8_t>(type)) &&
          type != MessageType::kOkResponse &&
-         type != MessageType::kErrorResponse;
+         type != MessageType::kErrorResponse &&
+         type != MessageType::kPushEvent;
 }
 
 bool IsIdempotentType(MessageType type) {
@@ -81,6 +101,9 @@ bool IsIdempotentType(MessageType type) {
     case MessageType::kAuditStaticRequest:
     case MessageType::kScreenLibraryRequest:
       return true;
+    // Subscribe/Unsubscribe mutate per-connection server state; a blind
+    // retry over a fresh connection could double-register or target a
+    // subscription id the new connection does not own.
     default:
       return false;
   }
@@ -89,7 +112,11 @@ bool IsIdempotentType(MessageType type) {
 std::string EncodeFrame(const Message& message) {
   std::string out;
   out.reserve(kFrameHeaderBytes + 1 + message.payload.size());
-  out.append(kFrameMagic, sizeof(kFrameMagic));
+  if (message.version == WireVersion::kV2) {
+    out.append(kFrameMagicV2, sizeof(kFrameMagicV2));
+  } else {
+    out.append(kFrameMagic, sizeof(kFrameMagic));
+  }
   AppendBigEndian32(static_cast<uint32_t>(1 + message.payload.size()), &out);
   out.push_back(static_cast<char>(message.type));
   out.append(message.payload);
@@ -168,8 +195,19 @@ Result<std::optional<Message>> FrameReader::Next() {
     return std::optional<Message>();
   }
   const char* head = buffer_.data() + offset_;
-  if (std::memcmp(head, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+  WireVersion frame_version;
+  if (std::memcmp(head, kFrameMagic, sizeof(kFrameMagic)) == 0) {
+    frame_version = WireVersion::kV1;
+  } else if (std::memcmp(head, kFrameMagicV2, sizeof(kFrameMagicV2)) == 0) {
+    frame_version = WireVersion::kV2;
+  } else {
     return fail(Status::ParseError("bad frame magic"));
+  }
+  if (version_.has_value() && *version_ != frame_version) {
+    return fail(Status::ParseError(
+        std::string("mixed protocol versions on one connection (") +
+        WireVersionName(*version_) + " then " +
+        WireVersionName(frame_version) + ")"));
   }
   uint32_t body_len = ReadBigEndian32(head + 4);
   if (body_len == 0) {
@@ -188,8 +226,10 @@ Result<std::optional<Message>> FrameReader::Next() {
     return fail(Status::ParseError("unknown message type byte " +
                                    std::to_string(type_byte)));
   }
+  version_ = frame_version;
   Message message;
   message.type = static_cast<MessageType>(type_byte);
+  message.version = frame_version;
   message.payload.assign(buffer_, offset_ + kFrameHeaderBytes + 1,
                          body_len - 1);
   offset_ += kFrameHeaderBytes + body_len;

@@ -15,13 +15,27 @@ namespace net {
 /// The framed wire protocol spoken between net::AuditClient and
 /// net::AuditServer (docs/wire_protocol.md). Every frame is:
 ///
-///   bytes 0..3   magic "ADB1"
+///   bytes 0..3   magic "ADB1" (v1) or "ADB2" (v2)
 ///   bytes 4..7   big-endian uint32 body length (>= 1)
 ///   bytes 8..    body: one message-type byte + payload
 ///
 /// Frames are binary-safe (the length prefix delimits them); structured
 /// payloads are pipe-separated fields escaped with io::EscapeField — the
 /// same escaping the dump format uses — so any byte string survives.
+///
+/// Protocol versions. The magic doubles as the version tag: the first
+/// frame a peer sends pins its connection's version, and mixing magics
+/// on one connection is a protocol violation. v2 is a strict superset
+/// of v1 — it adds the subscription frames (SUBSCRIBE / UNSUBSCRIBE /
+/// PUSH) and thereby server-initiated writes; a v1 connection never
+/// receives a frame type v1 does not know.
+
+enum class WireVersion : uint8_t {
+  kV1 = 1,
+  kV2 = 2,
+};
+
+const char* WireVersionName(WireVersion version);
 
 enum class MessageType : uint8_t {
   kHealthRequest = 1,
@@ -31,8 +45,11 @@ enum class MessageType : uint8_t {
   kScreenLibraryRequest = 5,
   kExecuteQueryRequest = 6,
   kLoadDumpRequest = 7,
+  kSubscribeRequest = 8,    // v2 only
+  kUnsubscribeRequest = 9,  // v2 only
   kOkResponse = 0x40,
   kErrorResponse = 0x41,
+  kPushEvent = 0x50,  // v2 only; server-initiated, carries no request id
 };
 
 /// Endpoint name used in metrics and logs ("audit", "execute_query",
@@ -45,14 +62,17 @@ bool IsRequestType(MessageType type);
 /// and LoadDump are not idempotent.
 bool IsIdempotentType(MessageType type);
 
-/// One parsed frame body.
+/// One parsed frame body. `version` records the magic the frame was
+/// read with (and selects the magic EncodeFrame writes).
 struct Message {
   MessageType type = MessageType::kHealthRequest;
   std::string payload;
+  WireVersion version = WireVersion::kV1;
 };
 
 inline constexpr size_t kFrameHeaderBytes = 8;
 inline constexpr char kFrameMagic[4] = {'A', 'D', 'B', '1'};
+inline constexpr char kFrameMagicV2[4] = {'A', 'D', 'B', '2'};
 /// Default cap on the frame *body* (type byte + payload).
 inline constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
 
@@ -77,9 +97,13 @@ StatusCode StatusCodeFromName(const std::string& name);
 ///
 ///   Ok(Message)   a complete, well-formed frame was consumed;
 ///   Ok(nullopt)   the buffer holds only a partial frame — feed more;
-///   error         protocol violation (bad magic, zero-length body,
-///                 body over the limit, unknown type byte). Sticky: the
+///   error         protocol violation (bad magic, mixed ADB1/ADB2
+///                 magics on one stream, zero-length body, body over
+///                 the limit, unknown type byte). Sticky: the
 ///                 connection cannot be resynchronized and must close.
+///
+/// The first complete frame pins the stream's WireVersion (see
+/// version()); every later frame must use the same magic.
 class FrameReader {
  public:
   explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
@@ -93,10 +117,14 @@ class FrameReader {
   /// Bytes fed but not yet consumed by complete frames.
   size_t buffered_bytes() const { return buffer_.size() - offset_; }
 
+  /// The version pinned by the first frame; nullopt before it arrives.
+  std::optional<WireVersion> version() const { return version_; }
+
  private:
   size_t max_frame_bytes_;
   std::string buffer_;
   size_t offset_ = 0;
+  std::optional<WireVersion> version_;
   Status failure_;  // sticky protocol violation, OK until one happens
 };
 

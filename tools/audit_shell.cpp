@@ -30,8 +30,13 @@
 ///                                 connected, .audit / .audit-static,
 ///                                 SELECT and .load run remotely
 ///   .disconnect                   back to the in-process stores
-///   .metrics                      remote server + service (+ index)
-///                                 metrics JSON
+///   .metrics                      remote server + service (+ index,
+///                                 push) metrics JSON
+///   .subscribe <expr|#id>         stream verdict pushes for a standing
+///                                 audit expression to the terminal
+///                                 (an integer or #id attaches to an
+///                                 existing server-side expression)
+///   .unsubscribe <sub-id>         cancel one subscription
 ///   .quit                         exit
 ///   SELECT ...                    execute, print results, append to log
 ///
@@ -116,6 +121,7 @@ class Shell {
           ".audit [--jobs N] <expr>  .audit-static [--jobs N] <expr>\n"
           ".granules <expr>\n"
           ".connect <host:port>  .disconnect  .metrics\n"
+          ".subscribe <expr|#id>  .unsubscribe <sub-id>\n"
           "SELECT ...  runs a query and logs it\n"
           ".quit\n");
       return Status::Ok();
@@ -153,6 +159,58 @@ class Shell {
       auto metrics = remote_->MetricsJson();
       if (!metrics.ok()) return metrics.status();
       std::printf("%s\n", metrics->c_str());
+      return Status::Ok();
+    }
+    if (cmd == ".subscribe") {
+      if (!remote_) return Status::InvalidArgument("not connected");
+      std::string rest(Trim(line.substr(cmd.size())));
+      if (rest.empty()) {
+        return Status::InvalidArgument("usage: .subscribe <expr|#id>");
+      }
+      // Prints from the client's receiver thread; interleaving with the
+      // prompt is the price of live alerts in a line-based shell.
+      auto handler = [](const net::PushEvent& event) {
+        if (event.kind == net::PushKind::kGap) {
+          std::printf("\n[push] sub=%lld seq=%llu GAP dropped=%llu "
+                      "(slow subscriber, events shed)\n",
+                      static_cast<long long>(event.subscription_id),
+                      static_cast<unsigned long long>(event.seq),
+                      static_cast<unsigned long long>(event.dropped));
+        } else {
+          std::printf("\n[push] sub=%lld seq=%llu %s expr=%d "
+                      "log=#%lld rank=%.6f fired=%d%s%s\n",
+                      static_cast<long long>(event.subscription_id),
+                      static_cast<unsigned long long>(event.seq),
+                      net::PushKindName(event.kind), event.expression_id,
+                      static_cast<long long>(event.log_id), event.rank,
+                      event.fired ? 1 : 0,
+                      event.verdict.empty() ? "" : "\n  verdict: ",
+                      event.verdict.c_str());
+        }
+        std::fflush(stdout);
+      };
+      std::string id_text =
+          rest[0] == '#' ? std::string(Trim(rest.substr(1))) : rest;
+      int64_t expr_id = 0;
+      Result<net::AuditClient::Subscription> sub =
+          ParseCount(id_text, &expr_id)
+              ? remote_->SubscribeById(static_cast<int>(expr_id), handler)
+              : remote_->Subscribe(rest, now_, handler);
+      if (!sub.ok()) return sub.status();
+      std::printf("subscribed: sub=%lld expr=%d rank=%.6f fired=%d\n",
+                  static_cast<long long>(sub->id), sub->expression_id,
+                  sub->rank, sub->fired ? 1 : 0);
+      return Status::Ok();
+    }
+    if (cmd == ".unsubscribe") {
+      if (!remote_) return Status::InvalidArgument("not connected");
+      int64_t sub_id = 0;
+      if (words.size() != 2 || !ParseCount(words[1], &sub_id)) {
+        return Status::InvalidArgument("usage: .unsubscribe <sub-id>");
+      }
+      AUDITDB_RETURN_IF_ERROR(remote_->Unsubscribe(sub_id));
+      std::printf("unsubscribed sub=%lld\n",
+                  static_cast<long long>(sub_id));
       return Status::Ok();
     }
     // While attached to a remote auditd, commands that read or mutate

@@ -17,6 +17,19 @@
 ///                            "index" metrics section disappears;
 ///                            ablation knob, results are identical)
 ///   --idle-timeout-ms N      evict idle connections after N ms
+///   --max-subscriptions N    server-wide cap on live push
+///                            subscriptions (default 1024)
+///   --push-queue-depth N     bounded per-subscription outbound queue
+///                            (default 64); overflow applies the
+///                            slow-subscriber policy
+///   --slow-subscriber-policy drop|evict
+///                            what a full push queue does: shed oldest
+///                            events behind a GAP frame (drop, the
+///                            default) or evict the connection
+///   --so-sndbuf BYTES        SO_SNDBUF for accepted connections
+///                            (0 = kernel default; soaks shrink it so
+///                            push backpressure triggers with little
+///                            traffic)
 ///   --fixture hospital:N[:SEED]   populate the hospital instance
 ///   --workload N[:SEED]      append N generated queries to the log
 ///   --db FILE                load a database dump at startup
@@ -82,6 +95,11 @@ struct Flags {
   std::string port_file;
   bool quiet = false;
   bool audit_index = true;
+  size_t max_subscriptions = 1024;
+  size_t push_queue_depth = 64;
+  net::SlowSubscriberPolicy slow_subscriber_policy =
+      net::SlowSubscriberPolicy::kDropOldest;
+  size_t so_sndbuf = 0;
 };
 
 bool ParseSize(const char* text, size_t* out) {
@@ -149,6 +167,16 @@ int main(int argc, char** argv) {
       if (!ParseSize(value, &flags.max_response)) return Usage(argv[0]);
     } else if (arg == "--idle-timeout-ms" && (value = next())) {
       flags.idle_timeout_ms = std::atoi(value);
+    } else if (arg == "--max-subscriptions" && (value = next())) {
+      if (!ParseSize(value, &flags.max_subscriptions)) return Usage(argv[0]);
+    } else if (arg == "--push-queue-depth" && (value = next())) {
+      if (!ParseSize(value, &flags.push_queue_depth)) return Usage(argv[0]);
+    } else if (arg == "--slow-subscriber-policy" && (value = next())) {
+      auto policy = net::ParseSlowSubscriberPolicy(value);
+      if (!policy.ok()) return Usage(argv[0]);
+      flags.slow_subscriber_policy = *policy;
+    } else if (arg == "--so-sndbuf" && (value = next())) {
+      if (!ParseSize(value, &flags.so_sndbuf)) return Usage(argv[0]);
     } else if (arg == "--fixture" && (value = next())) {
       std::string spec = value;
       if (spec.rfind("hospital:", 0) != 0 ||
@@ -305,6 +333,10 @@ int main(int argc, char** argv) {
   server_options.handlers.num_threads = flags.handler_threads;
   server_options.handlers.queue_capacity = flags.handler_queue;
   server_options.handlers.admission = flags.admission;
+  server_options.max_subscriptions = flags.max_subscriptions;
+  server_options.push_queue_depth = flags.push_queue_depth;
+  server_options.slow_subscriber_policy = flags.slow_subscriber_policy;
+  server_options.so_sndbuf = static_cast<int>(flags.so_sndbuf);
   server_options.durable_store = store.get();
   net::AuditServer server(&audit_service, &db, &backlog, &log,
                           server_options);

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # CI gate: regular build + full test suite, the service-layer concurrency
-# suite (determinism + stress) under ThreadSanitizer, the network layer
-# under AddressSanitizer — unit suites plus a live auditd smoke: client
-# round-trips against a loopback daemon and a SIGTERM graceful drain,
-# failing on any ASan report — the durability gate (crash-fault-injection
-# harness under ASan, then a live kill -9: stream ExecuteQuery at an
-# auditd with --data-dir, SIGKILL it mid-stream, and prove every acked
-# query recovers and re-audits on the same dir) — and finally a Release
-# (-O2) build that smoke-runs the scan and expression-index benches and
-# checks their BENCH_scan.json / BENCH_index.json artifacts.
+# suite (determinism + stress) plus the push-subscription registry and
+# fan-out suites under ThreadSanitizer, the network layer under
+# AddressSanitizer — unit suites plus live auditd smokes: client
+# round-trips against a loopback daemon, a SIGTERM graceful drain, and
+# three subscription soaks (lossless fan-out, slow-subscriber gap
+# shedding under tiny socket buffers, and a SIGTERM drain that must
+# flush parked pushes), failing on any ASan report — the durability gate
+# (crash-fault-injection harness under ASan, then a live kill -9: stream
+# ExecuteQuery at an auditd with --data-dir, SIGKILL it mid-stream, and
+# prove every acked query recovers and re-audits on the same dir) — and
+# finally a Release (-O2) build that smoke-runs the scan and
+# expression-index benches plus the bench_net push-latency sweep and
+# checks their BENCH_scan.json / BENCH_index.json / BENCH_push.json
+# artifacts.
 #
 # Usage: tools/run_ci.sh [build-dir-prefix]
 #   Build trees land in <prefix>, <prefix>-tsan, <prefix>-asan and
@@ -30,21 +35,24 @@ ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 echo "== [3/6] service determinism + stress under ThreadSanitizer =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=thread
-# The TSan gate only needs the concurrency suite; building just its
-# target keeps the sanitizer pass fast.
-cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target service_test
+# The TSan gate needs the concurrency suites: the service layer, the
+# subscription registry (publishers vs drainers vs churn), and the
+# end-to-end push fan-out (Subscribe/Unsubscribe racing Observe).
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
+      --target service_test subscription_test net_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
-      -R 'SchedulerTest|OnlineConcurrentTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest'
+      -R 'SchedulerTest|OnlineConcurrentTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest|PushCodecTest|SubscriptionRegistryTest|SubscriptionConcurrentTest|PushSubscriptionTest'
 
 echo "== [4/6] network layer under AddressSanitizer =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
-      --target net_test auditd audit_client
+      --target net_test subscription_test auditd audit_client \
+               subscription_soak
 # ASan exits non-zero on any report; halt_on_error makes that immediate.
 export ASAN_OPTIONS="halt_on_error=1:abort_on_error=0:exitcode=99"
 ctest --test-dir "${PREFIX}-asan" --output-on-failure \
-      -R 'FrameCodecTest|FrameReaderTest|FieldCodecTest|ErrorCodecTest|TypePredicatesTest|AuditServerTest'
+      -R 'FrameCodecTest|FrameReaderTest|FieldCodecTest|ErrorCodecTest|TypePredicatesTest|AuditServerTest|PushCodecTest|SubscriptionRegistryTest|PushSubscriptionTest'
 
 echo "-- auditd loopback smoke (ASan build) --"
 PORT_FILE="$(mktemp)"
@@ -80,6 +88,80 @@ fi
 grep -q '"server"' "${AUDITD_LOG}" || {
   echo "auditd did not print final metrics"; cat "${AUDITD_LOG}"; exit 1; }
 rm -f "${PORT_FILE}" "${AUDITD_LOG}"
+
+# Starts a fresh ASan auditd with the given extra flags and exports
+# AUDITD_PID / PORT. The caller kills and waits it.
+start_auditd() {
+  : >"${PORT_FILE:=$(mktemp)}"
+  AUDITD_LOG="$(mktemp)"
+  "${PREFIX}-asan/tools/auditd" --port 0 --port-file "${PORT_FILE}" \
+      "$@" >"${AUDITD_LOG}" 2>&1 &
+  AUDITD_PID=$!
+  trap cleanup EXIT
+  for _ in $(seq 1 100); do
+    [ -s "${PORT_FILE}" ] && break
+    kill -0 "${AUDITD_PID}" 2>/dev/null || { cat "${AUDITD_LOG}"; exit 1; }
+    sleep 0.1
+  done
+  PORT="$(cat "${PORT_FILE}")"
+  [ -n "${PORT}" ] || {
+    echo "auditd never reported a port"; cat "${AUDITD_LOG}"; exit 1; }
+}
+
+# SIGTERMs auditd and requires a clean (drained) exit 0.
+drain_auditd() {
+  kill -TERM "${AUDITD_PID}"
+  DRAIN_RC=0
+  wait "${AUDITD_PID}" || DRAIN_RC=$?
+  trap - EXIT
+  if [ "${DRAIN_RC}" -ne 0 ]; then
+    echo "auditd drain exited ${DRAIN_RC}"; cat "${AUDITD_LOG}"; exit 1
+  fi
+}
+
+echo "-- subscription soak: lossless fan-out (ASan build) --"
+# 4 subscribers on 2 standing expressions, 50 distinct-pid queries:
+# every subscriber must account for every push (no gaps expected).
+start_auditd --fixture hospital:100:2008
+"${PREFIX}-asan/tools/subscription_soak" --port "${PORT}" \
+    --subscribers 4 --queries 50
+drain_auditd
+
+echo "-- subscription soak: slow-subscriber gap shedding (ASan build) --"
+# Kernel-floor socket buffers + a depth-4 queue force the drop-oldest
+# policy on the slow subscriber; the soak fails on any sequence lost
+# without a GAP frame and on the absence of gaps, and the fast
+# subscribers still see everything.
+start_auditd --fixture hospital:400:2008 \
+    --push-queue-depth 4 --so-sndbuf 2048
+"${PREFIX}-asan/tools/subscription_soak" --port "${PORT}" \
+    --subscribers 3 --queries 300 \
+    --slow 1 --slow-sleep-ms 10 --slow-rcvbuf 2048 --expect-gaps
+drain_auditd
+
+echo "-- subscription soak: SIGTERM drain flushes parked pushes --"
+# Small server send buffers park pushes behind two deliberately slow
+# subscribers; SIGTERM lands while they are still reading. The drain
+# must flush every parked push (the soak requires the exact count)
+# and auditd must exit 0.
+start_auditd --fixture hospital:150:2008 --so-sndbuf 2048
+SOAK_LOG="$(mktemp)"
+"${PREFIX}-asan/tools/subscription_soak" --port "${PORT}" \
+    --subscribers 4 --queries 80 \
+    --slow 2 --slow-sleep-ms 5 --slow-rcvbuf 2048 --hold \
+    >"${SOAK_LOG}" 2>&1 &
+SOAK_PID=$!
+for _ in $(seq 1 200); do
+  grep -q 'SOAK_READY' "${SOAK_LOG}" && break
+  kill -0 "${SOAK_PID}" 2>/dev/null || { cat "${SOAK_LOG}"; exit 1; }
+  sleep 0.1
+done
+grep -q 'SOAK_READY' "${SOAK_LOG}" || {
+  echo "soak never reached SOAK_READY"; cat "${SOAK_LOG}"; exit 1; }
+drain_auditd
+wait "${SOAK_PID}" || { echo "drain soak failed"; cat "${SOAK_LOG}"; exit 1; }
+grep -q 'SOAK_OK' "${SOAK_LOG}" || { cat "${SOAK_LOG}"; exit 1; }
+rm -f "${PORT_FILE}" "${AUDITD_LOG}" "${SOAK_LOG}"
 
 echo "== [5/6] durability gate under AddressSanitizer =="
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
@@ -175,5 +257,16 @@ grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_scan.json" || {
   echo "bench_index did not write BENCH_index.json"; exit 1; }
 grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_index.json" || {
   echo "BENCH_index.json is not benchmark JSON"; exit 1; }
+
+# The push-latency sweep: subscribers x queue-depth over a loopback
+# server, measuring query-dispatch -> push-handler latency. `push` mode
+# exits non-zero if any combination loses a push, and always emits
+# BENCH_push.json.
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_net
+( cd "${PREFIX}-release/bench" && ./bench_net push 40 )
+[ -s "${PREFIX}-release/bench/BENCH_push.json" ] || {
+  echo "bench_net did not write BENCH_push.json"; exit 1; }
+grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_push.json" || {
+  echo "BENCH_push.json is not benchmark JSON"; exit 1; }
 
 echo "CI gate passed."
