@@ -115,6 +115,7 @@ class AuditParser : public sql::ParserBase {
     }
     Match(TokenKind::kSemicolon);
     if (!AtEnd()) return ErrorHere("trailing input after audit expression");
+    expr.filter.Compile();
     return expr;
   }
 

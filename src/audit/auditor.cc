@@ -82,8 +82,11 @@ std::string AuditReport::DetailedReport(const QueryLog& log) const {
       flag = "candidate";
     }
     auto entry = log.Get(verdict.query_id);
+    // Render, not ToString: the displayed line honors any installed
+    // policy redactor while the verdict itself was computed from the
+    // unredacted text.
     out += "  [" + flag + "] " +
-           (entry.ok() ? (*entry)->ToString()
+           (entry.ok() ? log.Render(**entry)
                        : "#" + std::to_string(verdict.query_id)) +
            "\n";
   }

@@ -22,10 +22,13 @@
 #include <vector>
 
 #include "src/audit/audit_parser.h"
+#include "src/audit/candidate.h"
 #include "src/audit/expression_library.h"
 #include "src/audit/online.h"
 #include "src/engine/executor.h"
 #include "src/io/dump.h"
+#include "src/policy/policy_engine.h"
+#include "src/sql/parser.h"
 #include "src/io/store.h"
 
 namespace auditdb {
@@ -70,6 +73,9 @@ struct AuditServer::Conn {
   /// Monotonic id: handler completions are matched against it so a
   /// reused fd never receives a dead connection's response.
   uint64_t id = 0;
+  /// Peer IP (dotted quad), captured at accept; empty when unknown.
+  /// Policy rules' `remote =` clauses match against it.
+  std::string peer;
   FrameReader reader;
   /// Pending response bytes (out_offset already written).
   std::string out;
@@ -289,7 +295,10 @@ struct AuditServer::Impl {
 
   void AcceptAll() {
     while (true) {
-      int fd = ::accept4(listen_fd, nullptr, nullptr,
+      sockaddr_in peer_addr{};
+      socklen_t peer_len = sizeof(peer_addr);
+      int fd = ::accept4(listen_fd,
+                         reinterpret_cast<sockaddr*>(&peer_addr), &peer_len,
                          SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
         if (errno == EINTR) continue;
@@ -313,6 +322,13 @@ struct AuditServer::Impl {
       auto conn = std::make_unique<Conn>(options.max_frame_bytes);
       conn->fd = fd;
       conn->id = next_conn_id++;
+      if (peer_addr.sin_family == AF_INET) {
+        char ip[INET_ADDRSTRLEN] = "";
+        if (::inet_ntop(AF_INET, &peer_addr.sin_addr, ip, sizeof(ip)) !=
+            nullptr) {
+          conn->peer = ip;
+        }
+      }
       conn->last_read = conn->last_write_progress = Clock::now();
       epoll_event event{};
       event.data.fd = fd;
@@ -391,10 +407,11 @@ struct AuditServer::Impl {
   Status SubmitHandler(Conn* conn, Message request) {
     int fd = conn->fd;
     uint64_t conn_id = conn->id;
-    return handlers->TrySubmit([this, fd, conn_id,
+    // Conn state is loop-thread-only; the handler gets its own copy.
+    return handlers->TrySubmit([this, fd, conn_id, peer = conn->peer,
                                 request = std::move(request)] {
       auto start = Clock::now();
-      Message response = HandleRequest(request, conn_id);
+      Message response = HandleRequest(request, conn_id, peer);
       // Never emit a frame the client's reader could refuse: oversized
       // replies (huge SELECT render, metrics dump, detailed report)
       // degrade to an OutOfRange error on a connection that stays in
@@ -725,6 +742,9 @@ struct AuditServer::Impl {
       json += ",\"durability\":" + options.durable_store->MetricsJson();
     }
     json += ",\"push\":" + subscriptions.MetricsJson();
+    if (options.policy != nullptr) {
+      json += ",\"policy\":" + options.policy->MetricsJson();
+    }
     return json + "}";
   }
 
@@ -739,11 +759,18 @@ struct AuditServer::Impl {
     (void)ignored;
   }
 
-  Message HandleRequest(const Message& request, uint64_t conn_id);
+  Message HandleRequest(const Message& request, uint64_t conn_id,
+                        const std::string& peer);
   Message HandleAudit(const Message& request, bool static_only);
   Message HandleScreenLibrary(const Message& request);
-  Message HandleExecuteQuery(const Message& request);
+  Message HandleExecuteQuery(const Message& request,
+                             const std::string& peer);
   Message HandleLoadDump(const Message& request);
+  std::string PolicyNote(
+      const policy::PolicyEngine::Decision& decision,
+      const policy::QueryContext& ctx,
+      const std::vector<audit::OnlineAuditor::Screening>& screenings,
+      bool observed_ok);
   Message HandleSubscribe(const Message& request, uint64_t conn_id);
   Message HandleUnsubscribe(const Message& request, uint64_t conn_id);
 
@@ -827,7 +854,8 @@ struct AuditServer::Impl {
 };
 
 Message AuditServer::Impl::HandleRequest(const Message& request,
-                                         uint64_t conn_id) {
+                                         uint64_t conn_id,
+                                         const std::string& peer) {
   switch (request.type) {
     case MessageType::kHealthRequest: {
       // The payload is ignored (load generators pad it to probe frame
@@ -858,7 +886,7 @@ Message AuditServer::Impl::HandleRequest(const Message& request,
     case MessageType::kScreenLibraryRequest:
       return HandleScreenLibrary(request);
     case MessageType::kExecuteQueryRequest:
-      return HandleExecuteQuery(request);
+      return HandleExecuteQuery(request, peer);
     case MessageType::kLoadDumpRequest:
       return HandleLoadDump(request);
     case MessageType::kSubscribeRequest:
@@ -922,7 +950,8 @@ Message AuditServer::Impl::HandleScreenLibrary(const Message& request) {
   return MakeOk(EncodeFields(out));
 }
 
-Message AuditServer::Impl::HandleExecuteQuery(const Message& request) {
+Message AuditServer::Impl::HandleExecuteQuery(const Message& request,
+                                              const std::string& peer) {
   auto fields = DecodeFields(request.payload);
   if (!fields.ok()) return MakeErrorMessage(fields.status());
   int64_t now_micros = 0;
@@ -930,9 +959,46 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request) {
     return MakeErrorMessage(Status::InvalidArgument(
         "execute request wants fields: sql|user|role|purpose|now_micros"));
   }
+  policy::PolicyEngine* engine = options.policy;
+  auto make_ctx = [&](bool execute_failed) {
+    policy::QueryContext ctx;
+    ctx.sql = (*fields)[0];
+    ctx.user = (*fields)[1];
+    ctx.role = (*fields)[2];
+    ctx.purpose = (*fields)[3];
+    ctx.timestamp = Timestamp(now_micros);
+    ctx.remote = peer;
+    ctx.query_class = policy::ClassifySql(ctx.sql, execute_failed);
+    // Matching only needs table names when a rule constrains on them;
+    // otherwise the extra lex is deferred to matched-and-emitted
+    // queries (fill_tables), keeping the 0%-hit path cheap.
+    if (engine->NeedsTables()) {
+      ctx.tables = policy::ExtractTables(ctx.sql);
+    }
+    return ctx;
+  };
+  auto fill_tables = [](const policy::PolicyEngine::Decision& decision,
+                        policy::QueryContext* ctx) {
+    if (decision.matched && decision.detail != policy::AuditDetail::kNone &&
+        ctx->tables.empty()) {
+      ctx->tables = policy::ExtractTables(ctx->sql);
+    }
+  };
   std::unique_lock<std::shared_mutex> lock(state_mutex);
   auto result = ExecuteSql((*fields)[0], db->View());
-  if (!result.ok()) return MakeErrorMessage(result.status());
+  if (!result.ok()) {
+    // Rejected statements still face the policy (pgaudit's ERROR
+    // class); they are never logged, so the record carries log_id 0.
+    if (engine != nullptr) {
+      policy::QueryContext ctx = make_ctx(/*execute_failed=*/true);
+      auto decision = engine->Decide(ctx);
+      fill_tables(decision, &ctx);
+      Status emitted = engine->Emit(decision, ctx, /*log_id=*/0,
+                                    "error: " + result.status().message());
+      (void)emitted;  // sink failures are counted, never fail the reply
+    }
+    return MakeErrorMessage(result.status());
+  }
   // The log append is not idempotent, so an oversized response must be
   // refused *before* it — otherwise the client can never read the
   // appended entry's id. The id is digits-only (escaping is identity),
@@ -964,17 +1030,31 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request) {
     Status appended = options.durable_store->AppendQuery(entry);
     if (!appended.ok()) return MakeErrorMessage(appended);
   }
+  // Consult the policy before logging/observing: the decision pins a
+  // config snapshot, so a concurrent SIGHUP reload cannot change the
+  // rule (or its redaction set) out from under this query.
+  policy::PolicyEngine::Decision decision;
+  policy::QueryContext ctx;
+  if (engine != nullptr) {
+    ctx = make_ctx(/*execute_failed=*/false);
+    decision = engine->Decide(ctx);
+  }
   int64_t id = log->Append((*fields)[0], Timestamp(now_micros),
                            (*fields)[1], (*fields)[2], (*fields)[3]);
   MaybeCheckpoint();
   // Screen the freshly logged query against the standing expressions
   // and fan state changes out as pushes (the OnlineAuditor listener
   // publishes; the loop delivers). Skipped entirely when nobody is
-  // subscribed, so the no-subscriber fast path is unchanged. An observe
-  // failure (e.g. a candidacy check against an unknown table) must not
-  // fail the already-committed append — it is counted and the query
-  // simply does not advance any screening.
-  if (subscriptions.active() > 0) {
+  // subscribed — unless a full-audit policy rule asks for the
+  // observation — so the no-subscriber fast path is unchanged. An
+  // observe failure (e.g. a candidacy check against an unknown table)
+  // must not fail the already-committed append — it is counted and the
+  // query simply does not advance any screening.
+  bool full_audit = decision.matched &&
+                    decision.detail == policy::AuditDetail::kFullAudit;
+  std::vector<audit::OnlineAuditor::Screening> screenings;
+  bool observed_ok = false;
+  if (subscriptions.active() > 0 || (full_audit && online->size() > 0)) {
     GcOrphans();
     LoggedQuery entry;
     entry.id = id;
@@ -986,9 +1066,64 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request) {
     auto observed = online->Observe(entry, service->pool());
     if (!observed.ok()) {
       metrics->counter("net.push_observe_errors")->Increment();
+    } else {
+      screenings = std::move(*observed);
+      observed_ok = true;
     }
   }
+  if (engine != nullptr) {
+    fill_tables(decision, &ctx);
+    Status emitted = engine->Emit(
+        decision, ctx, id, PolicyNote(decision, ctx, screenings,
+                                      observed_ok));
+    (void)emitted;  // counted in policy.sink_errors
+  }
   return MakeOk(prefix + '|' + std::to_string(id));
+}
+
+/// Detail-level payload for a policy sink record: the statically
+/// accessed columns (static-screen and up) and the standing-expression
+/// screening summary (full-audit). Caller holds the writer lock.
+std::string AuditServer::Impl::PolicyNote(
+    const policy::PolicyEngine::Decision& decision,
+    const policy::QueryContext& ctx,
+    const std::vector<audit::OnlineAuditor::Screening>& screenings,
+    bool observed_ok) {
+  if (!decision.matched ||
+      decision.detail < policy::AuditDetail::kStaticScreen) {
+    return "";
+  }
+  std::string note;
+  auto stmt = sql::ParseSelect(ctx.sql);
+  if (!stmt.ok()) {
+    note = "static-error: " + stmt.status().message();
+  } else {
+    auto cols = audit::StaticAccessedColumns(*stmt, db->catalog(),
+                                             /*outputs_only=*/false);
+    if (!cols.ok()) {
+      note = "static-error: " + cols.status().message();
+    } else {
+      std::string joined;
+      for (const auto& col : *cols) {
+        if (!joined.empty()) joined += ",";
+        joined += col.ToString();
+      }
+      note = "cols=" + joined;
+    }
+  }
+  if (decision.detail == policy::AuditDetail::kFullAudit) {
+    if (observed_ok) {
+      size_t fired = 0;
+      for (const auto& screening : screenings) {
+        if (screening.fired) ++fired;
+      }
+      note += " standing=" + std::to_string(screenings.size()) +
+              " fired=" + std::to_string(fired);
+    } else {
+      note += " standing=none";
+    }
+  }
+  return note;
 }
 
 Message AuditServer::Impl::HandleSubscribe(const Message& request,

@@ -15,6 +15,9 @@ namespace auditdb {
 namespace io {
 class DurableStore;
 }  // namespace io
+namespace policy {
+class PolicyEngine;
+}  // namespace policy
 
 namespace net {
 
@@ -78,6 +81,15 @@ struct AuditServerOptions {
   /// lock, and Metrics gains a "durability" section. Must outlive the
   /// server; the server serializes all access under its writer lock.
   io::DurableStore* durable_store = nullptr;
+  /// Optional policy engine (policy::PolicyEngine, docs/policy.md).
+  /// When set, every ExecuteQuery — including rejected statements — is
+  /// matched against the audit rules before logging/observing: the
+  /// matching rule's detail level drives sink emission (with per-rule
+  /// redaction) and can force an online observation (full-audit), and
+  /// Metrics gains a "policy" section. Hot reload (SIGHUP in auditd)
+  /// swaps configs atomically; in-flight queries keep the snapshot they
+  /// decided under. Must outlive the server.
+  policy::PolicyEngine* policy = nullptr;
 };
 
 /// The network front door of the audit service: an epoll event loop

@@ -4,13 +4,22 @@
 
 namespace auditdb {
 
+void AccessFilter::Compile() {
+  pos_user_set_ = std::unordered_set<std::string>(pos_users.begin(),
+                                                  pos_users.end());
+  neg_user_set_ = std::unordered_set<std::string>(neg_users.begin(),
+                                                  neg_users.end());
+  compiled_ = true;
+}
+
 bool AccessFilter::Admits(const LoggedQuery& query) const {
   if (during.has_value() && !during->Contains(query.timestamp)) {
     return false;
   }
   // Negative clauses first: they win over positive ones on conflict.
-  if (std::find(neg_users.begin(), neg_users.end(), query.user) !=
-      neg_users.end()) {
+  if (compiled_ ? neg_user_set_.count(query.user) > 0
+                : std::find(neg_users.begin(), neg_users.end(), query.user) !=
+                      neg_users.end()) {
     return false;
   }
   for (const auto& pattern : neg_role_purpose) {
@@ -18,8 +27,9 @@ bool AccessFilter::Admits(const LoggedQuery& query) const {
   }
   // Positive clauses restrict to the listed parameters when present.
   if (!pos_users.empty() &&
-      std::find(pos_users.begin(), pos_users.end(), query.user) ==
-          pos_users.end()) {
+      (compiled_ ? pos_user_set_.count(query.user) == 0
+                 : std::find(pos_users.begin(), pos_users.end(),
+                             query.user) == pos_users.end())) {
     return false;
   }
   if (!pos_role_purpose.empty()) {

@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/timestamp.h"
@@ -45,11 +46,23 @@ struct AccessFilter {
   /// considered for auditing.
   bool Admits(const LoggedQuery& query) const;
 
+  /// Builds O(1) membership indexes over the user lists. Admits falls
+  /// back to a linear scan until this is called, so aggregate-initialized
+  /// filters keep working; callers on hot paths (the audit parser, the
+  /// policy engine) compile once after filling the public fields. Call
+  /// again after mutating the user lists.
+  void Compile();
+
   /// Whether any clause is set at all.
   bool IsTrivial() const {
     return neg_role_purpose.empty() && pos_role_purpose.empty() &&
            neg_users.empty() && pos_users.empty() && !during.has_value();
   }
+
+ private:
+  std::unordered_set<std::string> pos_user_set_;
+  std::unordered_set<std::string> neg_user_set_;
+  bool compiled_ = false;
 };
 
 }  // namespace auditdb

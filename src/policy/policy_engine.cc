@@ -1,0 +1,351 @@
+#include "src/policy/policy_engine.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "src/common/string_util.h"
+#include "src/sql/lexer.h"
+
+namespace auditdb {
+namespace policy {
+
+QueryClass ClassifySql(const std::string& sql, bool execute_failed) {
+  if (execute_failed) return QueryClass::kError;
+  auto lexed = sql::Lex(sql);
+  if (!lexed.ok() || lexed->empty()) return QueryClass::kError;
+  const sql::Token& head = (*lexed)[0];
+  if (head.IsKeyword("SELECT")) return QueryClass::kSelect;
+  if (head.IsKeyword("INSERT") || head.IsKeyword("UPDATE") ||
+      head.IsKeyword("DELETE")) {
+    return QueryClass::kDml;
+  }
+  if (head.IsKeyword("CREATE") || head.IsKeyword("DROP") ||
+      head.IsKeyword("ALTER")) {
+    return QueryClass::kDdl;
+  }
+  return QueryClass::kError;
+}
+
+std::vector<std::string> ExtractTables(const std::string& sql) {
+  std::vector<std::string> tables;
+  auto lexed = sql::Lex(sql);
+  if (!lexed.ok()) return tables;
+  const auto& toks = *lexed;
+  size_t i = 0;
+  while (i < toks.size() && !toks[i].IsKeyword("FROM")) ++i;
+  if (i >= toks.size()) return tables;
+  ++i;
+  // Comma-separated table names until WHERE / end / any non-identifier.
+  while (i < toks.size() && toks[i].kind == sql::TokenKind::kIdentifier &&
+         !toks[i].IsKeyword("WHERE")) {
+    tables.push_back(toks[i].text);
+    ++i;
+    if (i < toks.size() && toks[i].kind == sql::TokenKind::kComma) {
+      ++i;
+    } else {
+      break;
+    }
+  }
+  return tables;
+}
+
+PolicyEngine::PolicyEngine(PolicyEngineOptions options)
+    : options_(std::move(options)),
+      decisions_(metrics_.counter("decisions")),
+      no_match_(metrics_.counter("no_match")),
+      suppressed_(metrics_.counter("suppressed_logs")),
+      redactions_(metrics_.counter("redactions")),
+      display_redactions_(metrics_.counter("display_redactions")),
+      records_(metrics_.counter("records")),
+      sink_errors_(metrics_.counter("sink_errors")),
+      reloads_(metrics_.counter("reloads")),
+      reload_failures_(metrics_.counter("reload_failures")),
+      rules_gauge_(metrics_.gauge("rules")),
+      generation_gauge_(metrics_.gauge("generation")) {
+  sinks_.push_back(std::make_unique<MetricsSink>(&metrics_));
+  // Start with an installed empty config so Decide works before any
+  // Load (nothing matches).
+  Status installed = Install(PolicyConfig{});
+  (void)installed;  // empty config cannot fail to resolve
+}
+
+Status PolicyEngine::AttachSink(std::unique_ptr<PolicySink> sink) {
+  if (FindSink(sink->name()) != nullptr) {
+    return Status::AlreadyExists("sink '" + sink->name() +
+                                 "' already attached");
+  }
+  sinks_.push_back(std::move(sink));
+  return Status::Ok();
+}
+
+PolicySink* PolicyEngine::FindSink(const std::string& name) const {
+  for (const auto& sink : sinks_) {
+    if (sink->name() == name) return sink.get();
+  }
+  return nullptr;
+}
+
+Status PolicyEngine::Install(PolicyConfig config) {
+  auto compiled = std::make_shared<CompiledConfig>();
+  const size_t n = config.rules.size();
+  compiled->rule_redactions.resize(n);
+  compiled->rule_sinks.resize(n);
+  compiled->rule_hits.resize(n);
+  compiled->rule_tables.resize(n);
+  compiled->rule_enabled.assign(n, true);
+
+  for (size_t i = 0; i < n; ++i) {
+    const RuleConfig& rule = config.rules[i];
+    compiled->rule_redactions[i].AddAll(rule.redact);
+    compiled->display_redactions.AddAll(rule.redact);
+    for (const auto& table : rule.tables) {
+      compiled->rule_tables[i].insert(table);
+    }
+    if (!rule.databases.empty() &&
+        std::find(rule.databases.begin(), rule.databases.end(),
+                  options_.database_name) == rule.databases.end()) {
+      compiled->rule_enabled[i] = false;
+    }
+    for (const auto& sink_name : rule.sinks) {
+      PolicySink* sink = FindSink(sink_name);
+      if (sink == nullptr) {
+        return Status::InvalidArgument("rule '" + rule.name +
+                                       "' routes to unattached sink '" +
+                                       sink_name + "'");
+      }
+      compiled->rule_sinks[i].push_back(sink);
+    }
+    compiled->rule_hits[i] = metrics_.counter("rule_hits." + rule.name);
+    if (compiled->rule_enabled[i]) {
+      if (rule.filter.pos_users.empty()) {
+        compiled->open_rules.push_back(i);
+      } else {
+        for (const auto& user : rule.filter.pos_users) {
+          auto& slots = compiled->user_rules[user];
+          if (slots.empty() || slots.back() != i) slots.push_back(i);
+        }
+      }
+      if (!rule.tables.empty()) compiled->needs_tables = true;
+    }
+  }
+  compiled->config = std::move(config);
+
+  std::unique_lock<std::shared_mutex> lock(snapshot_mutex_);
+  compiled->generation = (snapshot_ ? snapshot_->generation : 0) + 1;
+  snapshot_ = std::move(compiled);
+  rules_gauge_->Set(static_cast<int64_t>(snapshot_->config.rules.size()));
+  generation_gauge_->Set(static_cast<int64_t>(snapshot_->generation));
+  return Status::Ok();
+}
+
+Status PolicyEngine::LoadText(const std::string& text, Timestamp now) {
+  auto parsed = ParsePolicyConfig(text, now);
+  if (!parsed.ok()) {
+    reload_failures_->Increment();
+    return parsed.status();
+  }
+  Status installed = Install(std::move(*parsed));
+  if (!installed.ok()) {
+    reload_failures_->Increment();
+    return installed;
+  }
+  reloads_->Increment();
+  return Status::Ok();
+}
+
+Status PolicyEngine::LoadFile(io::Env* env, const std::string& path,
+                              Timestamp now) {
+  auto text = env->ReadFileToString(path);
+  if (!text.ok()) {
+    reload_failures_->Increment();
+    return text.status();
+  }
+  Status loaded = LoadText(*text, now);
+  if (loaded.ok()) {
+    config_env_ = env;
+    config_path_ = path;
+  }
+  return loaded;
+}
+
+Status PolicyEngine::Reload(Timestamp now) {
+  if (config_env_ == nullptr) {
+    return Status::NotFound("no rules file loaded; nothing to reload");
+  }
+  auto text = config_env_->ReadFileToString(config_path_);
+  if (!text.ok()) {
+    reload_failures_->Increment();
+    return text.status();
+  }
+  return LoadText(*text, now);
+}
+
+PolicyEngine::Decision PolicyEngine::Decide(const QueryContext& ctx) const {
+  std::shared_ptr<const CompiledConfig> snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mutex_);
+    snapshot = snapshot_;
+  }
+  decisions_->Increment();
+
+  LoggedQuery probe;
+  bool probe_built = false;
+
+  const uint32_t class_bit = QueryClassBit(ctx.query_class);
+  const auto& rules = snapshot->config.rules;
+  // Merge the user-keyed candidates with the open rules in file order
+  // (both lists are ascending), so first-match-wins is unchanged while
+  // rules keyed on other users are never even looked at.
+  static const std::vector<size_t> kNoCandidates;
+  const std::vector<size_t>* keyed = &kNoCandidates;
+  auto candidates = snapshot->user_rules.find(ctx.user);
+  if (candidates != snapshot->user_rules.end()) keyed = &candidates->second;
+  const std::vector<size_t>& open = snapshot->open_rules;
+  size_t ki = 0, oi = 0;
+  while (ki < keyed->size() || oi < open.size()) {
+    size_t i;
+    if (oi >= open.size() ||
+        (ki < keyed->size() && (*keyed)[ki] < open[oi])) {
+      i = (*keyed)[ki++];
+    } else {
+      i = open[oi++];
+    }
+    if (!snapshot->rule_enabled[i]) continue;
+    const RuleConfig& rule = rules[i];
+    if ((rule.class_mask & class_bit) == 0) continue;
+    if (!probe_built) {
+      probe.sql = ctx.sql;
+      probe.timestamp = ctx.timestamp;
+      probe.user = ctx.user;
+      probe.role = ctx.role;
+      probe.purpose = ctx.purpose;
+      probe_built = true;
+    }
+    if (!rule.filter.Admits(probe)) continue;
+    if (!snapshot->rule_tables[i].empty()) {
+      bool any = false;
+      for (const auto& table : ctx.tables) {
+        if (snapshot->rule_tables[i].count(table) > 0) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+    }
+    if (!rule.remotes.empty()) {
+      if (ctx.remote.empty()) continue;
+      bool any = false;
+      for (const auto& remote : rule.remotes) {
+        bool is_prefix = !remote.empty() && remote.back() == '.';
+        if (is_prefix ? StartsWith(ctx.remote, remote)
+                      : ctx.remote == remote) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+    }
+
+    snapshot->rule_hits[i]->Increment();
+    if (rule.detail == AuditDetail::kNone) suppressed_->Increment();
+    Decision decision;
+    decision.matched = true;
+    decision.detail = rule.detail;
+    decision.rule = &rule;
+    decision.rule_index = i;
+    decision.snapshot = std::move(snapshot);
+    return decision;
+  }
+
+  no_match_->Increment();
+  Decision decision;
+  decision.snapshot = std::move(snapshot);
+  return decision;
+}
+
+Status PolicyEngine::Emit(const Decision& decision, const QueryContext& ctx,
+                          int64_t log_id, const std::string& note) {
+  if (!decision.matched || decision.rule == nullptr ||
+      decision.detail == AuditDetail::kNone) {
+    return Status::Ok();
+  }
+  const CompiledConfig& compiled = *decision.snapshot;
+  const RuleConfig& rule = *decision.rule;
+
+  RedactResult redacted =
+      RedactSql(ctx.sql, compiled.rule_redactions[decision.rule_index]);
+  if (redacted.redactions > 0) redactions_->Increment(redacted.redactions);
+
+  SinkRecord record;
+  record.timestamp = ctx.timestamp;
+  record.log_id = log_id;
+  record.rule = rule.name;
+  record.log_class = rule.log_class;
+  record.query_class = QueryClassName(ctx.query_class);
+  record.user = ctx.user;
+  record.role = ctx.role;
+  record.purpose = ctx.purpose;
+  record.remote = ctx.remote;
+  record.tables = Join(ctx.tables, ",");
+  record.sql = std::move(redacted.text);
+  record.note = note;
+
+  Status first_error = Status::Ok();
+  for (PolicySink* sink : compiled.rule_sinks[decision.rule_index]) {
+    Status written = sink->Write(record);
+    if (!written.ok()) {
+      sink_errors_->Increment();
+      if (first_error.ok()) first_error = written;
+    }
+  }
+  records_->Increment();
+  return first_error;
+}
+
+std::string PolicyEngine::RedactForDisplay(const std::string& sql) const {
+  std::shared_ptr<const CompiledConfig> snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mutex_);
+    snapshot = snapshot_;
+  }
+  if (snapshot->display_redactions.empty()) return sql;
+  RedactResult redacted = RedactSql(sql, snapshot->display_redactions);
+  if (redacted.redactions > 0) {
+    display_redactions_->Increment(redacted.redactions);
+  }
+  return std::move(redacted.text);
+}
+
+bool PolicyEngine::HasDisplayRedactions() const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mutex_);
+  return !snapshot_->display_redactions.empty();
+}
+
+bool PolicyEngine::NeedsTables() const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mutex_);
+  return snapshot_->needs_tables;
+}
+
+Status PolicyEngine::FlushSinks() {
+  Status first_error = Status::Ok();
+  for (const auto& sink : sinks_) {
+    Status flushed = sink->Flush();
+    if (!flushed.ok() && first_error.ok()) first_error = flushed;
+  }
+  return first_error;
+}
+
+std::string PolicyEngine::MetricsJson() const { return metrics_.ToJson(); }
+
+size_t PolicyEngine::rule_count() const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mutex_);
+  return snapshot_->config.rules.size();
+}
+
+uint64_t PolicyEngine::generation() const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mutex_);
+  return snapshot_->generation;
+}
+
+}  // namespace policy
+}  // namespace auditdb

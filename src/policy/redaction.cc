@@ -1,0 +1,208 @@
+#include "src/policy/redaction.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/string_util.h"
+#include "src/sql/lexer.h"
+
+namespace auditdb {
+namespace policy {
+
+void RedactionSet::Add(const std::string& column_spec) {
+  std::string spec = ToLower(std::string(Trim(column_spec)));
+  if (spec.empty()) return;
+  size_t dot = spec.find('.');
+  if (dot == std::string::npos) {
+    bare_.insert(spec);
+  } else {
+    qualified_.insert(spec);
+    qualified_columns_.insert(spec.substr(dot + 1));
+  }
+}
+
+void RedactionSet::AddAll(const std::vector<std::string>& specs) {
+  for (const auto& spec : specs) Add(spec);
+}
+
+void RedactionSet::MergeFrom(const RedactionSet& other) {
+  bare_.insert(other.bare_.begin(), other.bare_.end());
+  qualified_.insert(other.qualified_.begin(), other.qualified_.end());
+  qualified_columns_.insert(other.qualified_columns_.begin(),
+                            other.qualified_columns_.end());
+}
+
+bool RedactionSet::Matches(const std::string& table,
+                           const std::string& column) const {
+  std::string col = ToLower(column);
+  if (bare_.count(col) > 0) return true;
+  if (table.empty()) {
+    // Unqualified use: a qualified entry for this column name matches
+    // too — without binding we cannot rule its table out.
+    return qualified_columns_.count(col) > 0;
+  }
+  return qualified_.count(ToLower(table) + "." + col) > 0;
+}
+
+namespace {
+
+using sql::Token;
+using sql::TokenKind;
+
+bool IsLiteral(const Token& tok) {
+  return tok.kind == TokenKind::kString || tok.kind == TokenKind::kInt ||
+         tok.kind == TokenKind::kDouble || tok.kind == TokenKind::kTimestamp;
+}
+
+bool IsComparison(const Token& tok) {
+  switch (tok.kind) {
+    case TokenKind::kEq:
+    case TokenKind::kNe:
+    case TokenKind::kLt:
+    case TokenKind::kLe:
+    case TokenKind::kGt:
+    case TokenKind::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A column reference at token `i`: bare identifier or `table.column`.
+/// `next` is the index just past the reference.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+  size_t next = 0;
+};
+
+bool TryColumnRef(const std::vector<Token>& toks, size_t i, ColumnRef* out) {
+  if (toks[i].kind != TokenKind::kIdentifier) return false;
+  if (i + 2 < toks.size() && toks[i + 1].kind == TokenKind::kDot &&
+      toks[i + 2].kind == TokenKind::kIdentifier) {
+    out->table = toks[i].text;
+    out->column = toks[i + 2].text;
+    out->next = i + 3;
+  } else {
+    out->table.clear();
+    out->column = toks[i].text;
+    out->next = i + 1;
+  }
+  return true;
+}
+
+/// Marks the literal at token index `idx` for redaction; if it is
+/// preceded by a unary minus, the minus is swallowed too.
+void MarkLiteral(const std::vector<Token>& toks, size_t idx,
+                 std::vector<bool>* redact_token,
+                 std::vector<bool>* swallow_minus) {
+  (*redact_token)[idx] = true;
+  if (idx > 0 && toks[idx - 1].kind == TokenKind::kMinus) {
+    // Unary if the minus is not after an operand.
+    if (idx < 2 ||
+        (!IsLiteral(toks[idx - 2]) &&
+         toks[idx - 2].kind != TokenKind::kIdentifier &&
+         toks[idx - 2].kind != TokenKind::kRParen)) {
+      (*swallow_minus)[idx - 1] = true;
+    }
+  }
+}
+
+}  // namespace
+
+RedactResult RedactSql(const std::string& sql, const RedactionSet& set) {
+  if (set.empty()) return {sql, 0};
+
+  auto lexed = sql::Lex(sql);
+  if (!lexed.ok()) {
+    return {kRedactedQueryToken, 1};
+  }
+  const std::vector<Token>& toks = *lexed;  // ends with kEnd (offset = size)
+  std::vector<bool> redact_token(toks.size(), false);
+  std::vector<bool> swallow_minus(toks.size(), false);
+
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    // lit OP col — scan literal-first comparisons.
+    if (IsLiteral(toks[i]) && IsComparison(toks[i + 1])) {
+      ColumnRef ref;
+      if (i + 2 < toks.size() && TryColumnRef(toks, i + 2, &ref) &&
+          set.Matches(ref.table, ref.column)) {
+        MarkLiteral(toks, i, &redact_token, &swallow_minus);
+      }
+      continue;
+    }
+
+    ColumnRef ref;
+    if (!TryColumnRef(toks, i, &ref)) continue;
+    size_t k = ref.next;
+    bool marked = set.Matches(ref.table, ref.column);
+    if (k >= toks.size()) break;
+
+    auto literal_at = [&](size_t idx) {
+      if (idx >= toks.size()) return false;
+      if (IsLiteral(toks[idx])) return true;
+      // Unary minus ahead of a number.
+      return toks[idx].kind == TokenKind::kMinus && idx + 1 < toks.size() &&
+             IsLiteral(toks[idx + 1]);
+    };
+    auto literal_idx = [&](size_t idx) {
+      return toks[idx].kind == TokenKind::kMinus ? idx + 1 : idx;
+    };
+
+    if (IsComparison(toks[k]) && literal_at(k + 1)) {
+      if (marked) {
+        MarkLiteral(toks, literal_idx(k + 1), &redact_token, &swallow_minus);
+      }
+    } else if (toks[k].IsKeyword("LIKE") && literal_at(k + 1)) {
+      if (marked) {
+        MarkLiteral(toks, literal_idx(k + 1), &redact_token, &swallow_minus);
+      }
+    } else if (toks[k].IsKeyword("BETWEEN") && literal_at(k + 1)) {
+      size_t lo = literal_idx(k + 1);
+      if (marked) MarkLiteral(toks, lo, &redact_token, &swallow_minus);
+      if (lo + 1 < toks.size() && toks[lo + 1].IsKeyword("AND") &&
+          literal_at(lo + 2)) {
+        if (marked) {
+          MarkLiteral(toks, literal_idx(lo + 2), &redact_token,
+                      &swallow_minus);
+        }
+      }
+    } else if (toks[k].IsKeyword("IN") && k + 1 < toks.size() &&
+               toks[k + 1].kind == TokenKind::kLParen) {
+      for (size_t j = k + 2;
+           j < toks.size() && toks[j].kind != TokenKind::kRParen; ++j) {
+        if (marked && IsLiteral(toks[j])) {
+          MarkLiteral(toks, j, &redact_token, &swallow_minus);
+        }
+      }
+    }
+    // Advance past multi-token refs so `t.c` is not re-scanned at `c`.
+    i = ref.next - 1;
+  }
+
+  // Splice: copy the source, replacing each marked literal's byte span
+  // (offset .. next token's offset, right-trimmed) with the token.
+  std::string out;
+  out.reserve(sql.size());
+  size_t copied = 0;  // source bytes emitted so far
+  size_t redactions = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!redact_token[i]) continue;
+    size_t begin = toks[i].offset;
+    if (i > 0 && swallow_minus[i - 1]) begin = toks[i - 1].offset;
+    size_t end = (i + 1 < toks.size()) ? toks[i + 1].offset : sql.size();
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(sql[end - 1]))) {
+      --end;
+    }
+    out.append(sql, copied, begin - copied);
+    out.append(kRedactedToken);
+    copied = end;
+    ++redactions;
+  }
+  out.append(sql, copied, sql.size() - copied);
+  return {std::move(out), redactions};
+}
+
+}  // namespace policy
+}  // namespace auditdb

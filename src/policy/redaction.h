@@ -1,0 +1,63 @@
+#ifndef AUDITDB_POLICY_REDACTION_H_
+#define AUDITDB_POLICY_REDACTION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace auditdb {
+namespace policy {
+
+/// The fixed token substituted for a redacted comparison literal. It is
+/// quoted so redacted text still lexes as a string literal (displayed
+/// queries stay parseable-looking), and contains no pipe so sink lines
+/// keep their field structure.
+inline constexpr char kRedactedToken[] = "'[REDACTED]'";
+
+/// Replacement for an entire query whose text could not be lexed (we
+/// cannot locate literals, so the conservative move is to hide it all).
+inline constexpr char kRedactedQueryToken[] = "[REDACTED-QUERY]";
+
+/// A compiled set of redaction-marked columns. Entries come from rule
+/// `redact =` clauses as `column` or `Table.column`; matching is
+/// case-insensitive. A bare entry matches the column under any table; a
+/// qualified entry also matches bare uses of its column name in query
+/// text (we cannot resolve which table an unqualified identifier binds
+/// to without a catalog, so we over-redact rather than leak).
+class RedactionSet {
+ public:
+  void Add(const std::string& column_spec);
+  void AddAll(const std::vector<std::string>& specs);
+  void MergeFrom(const RedactionSet& other);
+
+  bool empty() const { return bare_.empty() && qualified_.empty(); }
+
+  /// Whether a reference (table may be "" for unqualified uses) is
+  /// marked for redaction.
+  bool Matches(const std::string& table, const std::string& column) const;
+
+ private:
+  std::unordered_set<std::string> bare_;               // lowercase column
+  std::unordered_set<std::string> qualified_;          // "table.column"
+  std::unordered_set<std::string> qualified_columns_;  // column side of ^
+};
+
+struct RedactResult {
+  std::string text;
+  size_t redactions = 0;
+};
+
+/// Replaces constant literals compared against marked columns with
+/// kRedactedToken, preserving all other bytes of the query (the literal
+/// spans are located by lexer offsets and spliced in place). Handles
+/// `col OP lit`, `lit OP col`, `col LIKE lit`, `col BETWEEN lit AND
+/// lit`, and `col IN (lit, ...)`; unary minus ahead of a redacted
+/// number is swallowed into the replacement. Unlexable input returns
+/// kRedactedQueryToken when any column is marked (conservative), the
+/// original text otherwise.
+RedactResult RedactSql(const std::string& sql, const RedactionSet& set);
+
+}  // namespace policy
+}  // namespace auditdb
+
+#endif  // AUDITDB_POLICY_REDACTION_H_

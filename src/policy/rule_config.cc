@@ -1,0 +1,322 @@
+#include "src/policy/rule_config.h"
+
+#include <set>
+
+#include "src/common/string_util.h"
+
+namespace auditdb {
+namespace policy {
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kSelect: return "select";
+    case QueryClass::kDml: return "dml";
+    case QueryClass::kDdl: return "ddl";
+    case QueryClass::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* AuditDetailName(AuditDetail d) {
+  switch (d) {
+    case AuditDetail::kNone: return "none";
+    case AuditDetail::kLogOnly: return "log-only";
+    case AuditDetail::kStaticScreen: return "static-screen";
+    case AuditDetail::kFullAudit: return "full-audit";
+  }
+  return "unknown";
+}
+
+const RuleConfig* PolicyConfig::FindRule(const std::string& name) const {
+  for (const auto& rule : rules) {
+    if (rule.name == name) return &rule;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Status LineError(size_t line_no, const std::string& msg) {
+  return Status::ParseError("policy config line " + std::to_string(line_no) +
+                            ": " + msg);
+}
+
+/// Comma-splits a value, trimming pieces; empty pieces are errors
+/// (signalled by an empty result plus `error` set).
+Result<std::vector<std::string>> SplitList(const std::string& value,
+                                           size_t line_no) {
+  std::vector<std::string> out;
+  for (const auto& piece : Split(value, ',')) {
+    std::string item(Trim(piece));
+    if (item.empty()) {
+      return LineError(line_no, "empty element in list '" + value + "'");
+    }
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+/// Parses a role-purpose pattern list: `(role,purpose), (r2,-)`.
+Result<std::vector<RolePurposePattern>> ParsePatternList(
+    const std::string& value, size_t line_no) {
+  std::vector<RolePurposePattern> out;
+  size_t i = 0;
+  const size_t n = value.size();
+  while (i < n) {
+    while (i < n && (value[i] == ' ' || value[i] == '\t' || value[i] == ','))
+      ++i;
+    if (i >= n) break;
+    if (value[i] != '(') {
+      return LineError(line_no,
+                       "expected '(' in role-purpose list '" + value + "'");
+    }
+    size_t close = value.find(')', i);
+    if (close == std::string::npos) {
+      return LineError(line_no, "unbalanced '(' in role-purpose list");
+    }
+    std::string inner = value.substr(i + 1, close - i - 1);
+    auto parts = Split(inner, ',');
+    if (parts.size() != 2) {
+      return LineError(line_no,
+                       "role-purpose pattern '(" + inner +
+                           ")' must have exactly two elements");
+    }
+    RolePurposePattern pattern;
+    pattern.role = std::string(Trim(parts[0]));
+    pattern.purpose = std::string(Trim(parts[1]));
+    if (pattern.role.empty() || pattern.purpose.empty()) {
+      return LineError(line_no, "empty side in role-purpose pattern '(" +
+                                    inner + ")' (use '-' for any)");
+    }
+    out.push_back(std::move(pattern));
+    i = close + 1;
+  }
+  if (out.empty()) {
+    return LineError(line_no, "empty role-purpose list");
+  }
+  return out;
+}
+
+/// `during = TS .. TS` (closed interval, same timestamp syntax as the
+/// audit grammar, `now()` allowed).
+Result<TimeInterval> ParseDuring(const std::string& value, Timestamp now,
+                                 size_t line_no) {
+  size_t sep = value.find("..");
+  if (sep == std::string::npos) {
+    return LineError(line_no,
+                     "during needs 'START .. END', got '" + value + "'");
+  }
+  std::string start_text(Trim(value.substr(0, sep)));
+  std::string end_text(Trim(value.substr(sep + 2)));
+  auto start = Timestamp::Parse(start_text, now);
+  if (!start.ok()) return LineError(line_no, start.status().message());
+  auto end = Timestamp::Parse(end_text, now);
+  if (!end.ok()) return LineError(line_no, end.status().message());
+  if (*end < *start) {
+    return LineError(line_no, "during interval ends before it starts");
+  }
+  return TimeInterval{*start, *end};
+}
+
+Result<uint32_t> ParseClassMask(const std::string& value, size_t line_no) {
+  auto items = SplitList(value, line_no);
+  if (!items.ok()) return items.status();
+  uint32_t mask = 0;
+  for (const auto& item : *items) {
+    std::string c = ToLower(item);
+    if (c == "select" || c == "read") {
+      mask |= QueryClassBit(QueryClass::kSelect);
+    } else if (c == "dml" || c == "write") {
+      mask |= QueryClassBit(QueryClass::kDml);
+    } else if (c == "ddl") {
+      mask |= QueryClassBit(QueryClass::kDdl);
+    } else if (c == "error") {
+      mask |= QueryClassBit(QueryClass::kError);
+    } else if (c == "all") {
+      mask |= kAllClassesMask;
+    } else {
+      return LineError(line_no, "unknown query class '" + item +
+                                    "' (select|dml|ddl|error|all)");
+    }
+  }
+  return mask;
+}
+
+Result<AuditDetail> ParseDetail(const std::string& value, size_t line_no) {
+  std::string d = ToLower(std::string(Trim(value)));
+  if (d == "none") return AuditDetail::kNone;
+  if (d == "log-only" || d == "log") return AuditDetail::kLogOnly;
+  if (d == "static-screen" || d == "static") return AuditDetail::kStaticScreen;
+  if (d == "full-audit" || d == "full") return AuditDetail::kFullAudit;
+  return LineError(line_no, "unknown detail '" + value +
+                                "' (none|log-only|static-screen|full-audit)");
+}
+
+}  // namespace
+
+Result<PolicyConfig> ParsePolicyConfig(const std::string& text,
+                                       Timestamp now) {
+  PolicyConfig config;
+  RuleConfig* current = nullptr;
+  std::set<std::string> seen_keys;   // per current section
+  std::set<std::string> seen_names;  // rule names, for duplicate detection
+
+  size_t line_no = 0;
+  for (const auto& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string line(raw_line);
+    // '#' starts a comment anywhere on the line (values therefore cannot
+    // contain '#'; none of the matched fields legitimately do).
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+
+    if (trimmed.front() == '[') {
+      if (trimmed.back() != ']') {
+        return LineError(line_no, "unterminated section header '" + trimmed +
+                                      "'");
+      }
+      std::string header(Trim(trimmed.substr(1, trimmed.size() - 2)));
+      if (!StartsWith(header, "rule ") && header != "rule") {
+        return LineError(line_no,
+                         "section must be '[rule NAME]', got '[" + header +
+                             "]'");
+      }
+      std::string name(Trim(header.substr(4)));
+      if (name.empty()) {
+        return LineError(line_no, "rule section needs a name");
+      }
+      if (!seen_names.insert(name).second) {
+        return LineError(line_no, "duplicate rule name '" + name + "'");
+      }
+      config.rules.emplace_back();
+      current = &config.rules.back();
+      current->name = name;
+      seen_keys.clear();
+      continue;
+    }
+
+    size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      return LineError(line_no, "expected 'key = value', got '" + trimmed +
+                                    "'");
+    }
+    if (current == nullptr) {
+      return LineError(line_no, "key outside any [rule ...] section");
+    }
+    std::string key = ToLower(std::string(Trim(trimmed.substr(0, eq))));
+    std::string value(Trim(trimmed.substr(eq + 1)));
+    if (key.empty()) return LineError(line_no, "empty key");
+    if (value.empty()) {
+      return LineError(line_no, "empty value for key '" + key + "'");
+    }
+    if (!seen_keys.insert(key).second) {
+      return LineError(line_no, "duplicate key '" + key + "' in rule '" +
+                                    current->name + "'");
+    }
+
+    if (key == "class") {
+      auto mask = ParseClassMask(value, line_no);
+      if (!mask.ok()) return mask.status();
+      current->class_mask = *mask;
+    } else if (key == "user") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      current->filter.pos_users = std::move(*items);
+    } else if (key == "not-user") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      current->filter.neg_users = std::move(*items);
+    } else if (key == "role") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      for (auto& role : *items) {
+        current->filter.pos_role_purpose.push_back(
+            RolePurposePattern{std::move(role), "-"});
+      }
+    } else if (key == "not-role") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      for (auto& role : *items) {
+        current->filter.neg_role_purpose.push_back(
+            RolePurposePattern{std::move(role), "-"});
+      }
+    } else if (key == "purpose") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      for (auto& purpose : *items) {
+        current->filter.pos_role_purpose.push_back(
+            RolePurposePattern{"-", std::move(purpose)});
+      }
+    } else if (key == "not-purpose") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      for (auto& purpose : *items) {
+        current->filter.neg_role_purpose.push_back(
+            RolePurposePattern{"-", std::move(purpose)});
+      }
+    } else if (key == "role-purpose") {
+      auto patterns = ParsePatternList(value, line_no);
+      if (!patterns.ok()) return patterns.status();
+      for (auto& p : *patterns) {
+        current->filter.pos_role_purpose.push_back(std::move(p));
+      }
+    } else if (key == "not-role-purpose") {
+      auto patterns = ParsePatternList(value, line_no);
+      if (!patterns.ok()) return patterns.status();
+      for (auto& p : *patterns) {
+        current->filter.neg_role_purpose.push_back(std::move(p));
+      }
+    } else if (key == "during") {
+      auto interval = ParseDuring(value, now, line_no);
+      if (!interval.ok()) return interval.status();
+      current->filter.during = *interval;
+    } else if (key == "database") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      current->databases = std::move(*items);
+    } else if (key == "table") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      current->tables = std::move(*items);
+    } else if (key == "remote") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      current->remotes = std::move(*items);
+    } else if (key == "detail") {
+      auto detail = ParseDetail(value, line_no);
+      if (!detail.ok()) return detail.status();
+      current->detail = *detail;
+    } else if (key == "log-class") {
+      std::string log_class(Trim(value));
+      if (log_class.find('|') != std::string::npos ||
+          log_class.find(' ') != std::string::npos) {
+        return LineError(line_no,
+                         "log-class must be a single bare token, got '" +
+                             log_class + "'");
+      }
+      current->log_class = std::move(log_class);
+    } else if (key == "redact") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      current->redact = std::move(*items);
+    } else if (key == "sink") {
+      auto items = SplitList(value, line_no);
+      if (!items.ok()) return items.status();
+      current->sinks = std::move(*items);
+    } else {
+      return LineError(line_no, "unknown key '" + key + "'");
+    }
+  }
+
+  // Defaults + hot-path compilation.
+  for (auto& rule : config.rules) {
+    if (rule.sinks.empty()) rule.sinks.push_back("metrics");
+    rule.filter.Compile();
+  }
+  return config;
+}
+
+}  // namespace policy
+}  // namespace auditdb

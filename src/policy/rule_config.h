@@ -1,0 +1,137 @@
+#ifndef AUDITDB_POLICY_RULE_CONFIG_H_
+#define AUDITDB_POLICY_RULE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+#include "src/policy/access_filter.h"
+
+namespace auditdb {
+namespace policy {
+
+/// Coarse query classification used by rule `class` clauses, in the
+/// spirit of pgaudit's log classes (READ/WRITE/DDL/ERROR). Our dialect
+/// is SELECT-only today, so DML/DDL mostly classify *attempted*
+/// statements; ERROR covers statements the executor rejected.
+enum class QueryClass : uint8_t {
+  kSelect = 0,
+  kDml = 1,
+  kDdl = 2,
+  kError = 3,
+};
+
+/// Bit in a class mask for `c`.
+inline uint32_t QueryClassBit(QueryClass c) {
+  return 1u << static_cast<uint32_t>(c);
+}
+
+/// Mask with every class set (the default when a rule has no `class` key).
+constexpr uint32_t kAllClassesMask = 0xF;
+
+const char* QueryClassName(QueryClass c);
+
+/// How much audit work a matching rule requests for the query.
+enum class AuditDetail : uint8_t {
+  /// Suppress policy logging entirely (the query still executes and is
+  /// still appended to the internal query log — policy governs *audit
+  /// output*, not the durable log the paper's auditor replays).
+  kNone = 0,
+  /// Emit a sink record with the (redacted) query text and annotations.
+  kLogOnly = 1,
+  /// Log-only plus the statically accessed columns (the paper's static
+  /// screen input), recorded in the sink line.
+  kStaticScreen = 2,
+  /// Static-screen plus an online observation against the standing
+  /// audit expressions; the sink line records how many fired.
+  kFullAudit = 3,
+};
+
+const char* AuditDetailName(AuditDetail d);
+
+/// One `[rule NAME]` section of a policy config. Match clauses are
+/// conjunctive; list-valued clauses match when any element matches.
+/// Empty clauses do not constrain. Principal/time matching (user, role,
+/// purpose, during, and their negations) reuses AccessFilter, so
+/// negative clauses take precedence exactly as in audit expressions.
+struct RuleConfig {
+  std::string name;
+
+  /// Principal + time-range matcher (users, role/purpose patterns,
+  /// negations, DURING interval).
+  AccessFilter filter;
+
+  /// Query classes this rule applies to (default: all).
+  uint32_t class_mask = kAllClassesMask;
+
+  /// Databases the rule applies to; empty = any. The engine serves one
+  /// database, so non-matching entries disable the rule at load time.
+  std::vector<std::string> databases;
+
+  /// Tables: rule matches when any FROM table of the query is listed.
+  /// Empty = any. A query whose tables are unknown (e.g. it failed to
+  /// parse) does not match a table-constrained rule.
+  std::vector<std::string> tables;
+
+  /// Remote hosts: exact peer address, or a prefix when the entry ends
+  /// with '.' (e.g. "10.0."). Empty = any; a query with no known peer
+  /// (local/in-process) does not match a remote-constrained rule.
+  std::vector<std::string> remotes;
+
+  /// Action -----------------------------------------------------------
+
+  AuditDetail detail = AuditDetail::kLogOnly;
+
+  /// Free-form class label stamped on every sink record this rule
+  /// emits (pgaudit's AUDIT_TYPE field; useful for grepping sinks).
+  std::string log_class = "audit";
+
+  /// Columns whose comparison literals are replaced by the redaction
+  /// token in sink records and display/wire renderings. Entries are
+  /// `column` or `Table.column`.
+  std::vector<std::string> redact;
+
+  /// Sink names this rule routes to (default: {"metrics"}). Names are
+  /// resolved against the engine's attached sinks at load time.
+  std::vector<std::string> sinks;
+};
+
+/// A parsed policy file: ordered rules (first match wins).
+struct PolicyConfig {
+  std::vector<RuleConfig> rules;
+
+  const RuleConfig* FindRule(const std::string& name) const;
+};
+
+/// Parses the pgaudit-style rule config:
+///
+///   # comment
+///   [rule clerk-exports]
+///   class        = select, error
+///   user         = mallory            # any of a comma list
+///   not-user     = admin
+///   role         = clerk, contractor  # sugar for role-purpose (r,-)
+///   purpose      = export
+///   not-role-purpose = (intern,-), (-,debug)
+///   during       = 1/1/2008 .. 31/12/2008:23-59-59
+///   database     = auditdb
+///   table        = P-Health, P-Employ
+///   remote       = 10.0., 127.0.0.1
+///   detail       = static-screen     # none|log-only|static-screen|full-audit
+///   log-class    = export-watch
+///   redact       = disease, P-Employ.salary
+///   sink         = file, metrics
+///
+/// Keys may appear once per section; unknown keys, duplicate rule
+/// names, keys before any section, and malformed values are errors
+/// (with line numbers). `now` anchors relative timestamps (`now()`)
+/// in `during` clauses. An empty file parses to zero rules.
+Result<PolicyConfig> ParsePolicyConfig(const std::string& text,
+                                       Timestamp now);
+
+}  // namespace policy
+}  // namespace auditdb
+
+#endif  // AUDITDB_POLICY_RULE_CONFIG_H_

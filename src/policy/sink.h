@@ -1,0 +1,131 @@
+#ifndef AUDITDB_POLICY_SINK_H_
+#define AUDITDB_POLICY_SINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+#include "src/io/file.h"
+#include "src/service/metrics.h"
+
+namespace auditdb {
+namespace policy {
+
+/// One policy-audit record as emitted to sinks. `sql` is already
+/// redacted per the matching rule; `note` carries detail-level payload
+/// (accessed columns, fired-expression summary, or the error message).
+struct SinkRecord {
+  Timestamp timestamp;
+  int64_t log_id = 0;  // 0 = not logged (e.g. rejected statements)
+  std::string rule;
+  std::string log_class;
+  std::string query_class;  // select|dml|ddl|error
+  std::string user;
+  std::string role;
+  std::string purpose;
+  std::string remote;  // empty = local/unknown
+  std::string tables;  // comma-joined FROM tables
+  std::string sql;     // redacted text
+  std::string note;
+};
+
+/// Pipe-separated line protocol (fields escaped like the dump format):
+///   AUDIT ts|log_id|rule|log_class|query_class|user|role|purpose|remote|tables|sql|note
+std::string FormatSinkLine(const SinkRecord& record);
+
+/// Inverse of FormatSinkLine; rejects lines with the wrong prefix or
+/// field count (the CI integrity check parses every emitted line).
+Result<SinkRecord> ParseSinkLine(const std::string& line);
+
+/// Destination for policy-audit records. Implementations must tolerate
+/// concurrent Write calls (the server emits from handler threads).
+class PolicySink {
+ public:
+  virtual ~PolicySink() = default;
+
+  /// Stable name rules reference in their `sink =` clause.
+  virtual const std::string& name() const = 0;
+
+  virtual Status Write(const SinkRecord& record) = 0;
+
+  /// Flushes buffered records to the backing store (fsync for files).
+  virtual Status Flush() = 0;
+};
+
+/// Appends FormatSinkLine records to a file via io::WritableFile.
+class FileSink : public PolicySink {
+ public:
+  /// Opens (appends to) `path`; any directory component must exist.
+  static Result<std::unique_ptr<FileSink>> Open(io::Env* env,
+                                                const std::string& path,
+                                                std::string name = "file");
+
+  const std::string& name() const override { return name_; }
+  const std::string& path() const { return path_; }
+  Status Write(const SinkRecord& record) override;
+  Status Flush() override;
+
+ private:
+  FileSink(std::string name, std::string path,
+           std::unique_ptr<io::WritableFile> file);
+
+  const std::string name_;
+  const std::string path_;
+  std::mutex mutex_;
+  std::unique_ptr<io::WritableFile> file_;
+};
+
+/// Syslog-style single-line sink: RFC3164-flavored header followed by
+/// key=value pairs, written to an arbitrary FILE stream (stderr by
+/// default, so `auditd --audit-sink-syslog=-` interleaves with server
+/// logs the way syslog daemons tail /dev/log).
+class SyslogLineSink : public PolicySink {
+ public:
+  /// `path` of "-" writes to stderr; otherwise appends to the file.
+  static Result<std::unique_ptr<SyslogLineSink>> Open(
+      io::Env* env, const std::string& path, std::string name = "syslog",
+      std::string tag = "auditd");
+
+  const std::string& name() const override { return name_; }
+  Status Write(const SinkRecord& record) override;
+  Status Flush() override;
+
+  /// The rendered line for a record (exposed for tests).
+  static std::string FormatLine(const std::string& tag,
+                                const SinkRecord& record);
+
+ private:
+  SyslogLineSink(std::string name, std::string tag,
+                 std::unique_ptr<io::WritableFile> file);
+
+  const std::string name_;
+  const std::string tag_;
+  std::mutex mutex_;
+  std::unique_ptr<io::WritableFile> file_;  // null = stderr
+};
+
+/// Counts records per log-class into the engine's metrics registry —
+/// the "existing metrics JSON" sink: no record body leaves the process,
+/// only counters surface in the `policy` metrics section.
+class MetricsSink : public PolicySink {
+ public:
+  explicit MetricsSink(service::MetricsRegistry* registry,
+                       std::string name = "metrics");
+
+  const std::string& name() const override { return name_; }
+  Status Write(const SinkRecord& record) override;
+  Status Flush() override { return Status::Ok(); }
+
+ private:
+  const std::string name_;
+  service::MetricsRegistry* registry_;
+};
+
+}  // namespace policy
+}  // namespace auditdb
+
+#endif  // AUDITDB_POLICY_SINK_H_

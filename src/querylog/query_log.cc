@@ -27,6 +27,13 @@ Result<const LoggedQuery*> QueryLog::Get(int64_t id) const {
   return &entries_[static_cast<size_t>(id - 1)];
 }
 
+std::string QueryLog::Render(const LoggedQuery& entry) const {
+  if (!redactor_) return entry.ToString();
+  LoggedQuery redacted = entry;
+  redacted.sql = redactor_(entry.sql);
+  return redacted.ToString();
+}
+
 std::vector<const LoggedQuery*> QueryLog::InInterval(
     const TimeInterval& interval) const {
   std::vector<const LoggedQuery*> out;

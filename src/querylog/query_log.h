@@ -2,6 +2,7 @@
 #define AUDITDB_QUERYLOG_QUERY_LOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,10 @@ struct LoggedQuery {
 
   std::string ToString() const;
 };
+
+/// Rewrites query text for human/wire display (the policy layer's
+/// sensitive-value redaction). Must be pure and thread-safe.
+using SqlRedactor = std::function<std::string(const std::string& sql)>;
 
 /// Append-only query log.
 class QueryLog {
@@ -50,8 +55,26 @@ class QueryLog {
   std::vector<const LoggedQuery*> InInterval(const TimeInterval& interval)
       const;
 
+  /// Installs the display redactor. The stored entries keep the
+  /// unredacted text — audits must run over what actually executed —
+  /// but everything rendered for humans or the wire goes through
+  /// Render/RenderSql. Set before the log is shared across threads.
+  void SetRedactor(SqlRedactor redactor) { redactor_ = std::move(redactor); }
+  bool has_redactor() const { return static_cast<bool>(redactor_); }
+
+  /// The entry's SQL as it may be displayed (redacted when a redactor
+  /// is installed).
+  std::string RenderSql(const LoggedQuery& entry) const {
+    return redactor_ ? redactor_(entry.sql) : entry.sql;
+  }
+
+  /// LoggedQuery::ToString with the display redaction applied;
+  /// byte-identical to ToString when no redactor is installed.
+  std::string Render(const LoggedQuery& entry) const;
+
  private:
   std::vector<LoggedQuery> entries_;
+  SqlRedactor redactor_;
 };
 
 }  // namespace auditdb

@@ -102,6 +102,17 @@ std::string GenerateQueryText(uint64_t seed, const WorkloadConfig& config,
   return BuildQuery(rng, config, hospital);
 }
 
+std::string MatchingRuleText(const WorkloadConfig& config,
+                             const std::string& detail,
+                             bool redact_sensitive) {
+  std::string text = "[rule workload-hits]\n";
+  text += "role = " + config.rule_role + "\n";
+  text += "detail = " + detail + "\n";
+  text += "log-class = workload\n";
+  if (redact_sensitive) text += "redact = disease, salary\n";
+  return text;
+}
+
 Status GenerateChurn(Database* db, const ChurnConfig& config,
                      const HospitalConfig& hospital) {
   Random rng(config.seed);
@@ -156,11 +167,22 @@ Status GenerateWorkload(QueryLog* log, const WorkloadConfig& config,
   Timestamp ts = config.start;
   for (size_t i = 0; i < config.num_queries; ++i) {
     std::string sql = BuildQuery(rng, config, hospital);
-    const std::string& user = config.users[rng.Uniform(config.users.size())];
-    const std::string& role = config.roles[rng.Uniform(config.roles.size())];
-    const std::string& purpose =
-        config.purposes[rng.Uniform(config.purposes.size())];
-    log->Append(std::move(sql), ts, user, role, purpose);
+    // Short-circuit so a disabled axis draws nothing from the rng (the
+    // generated log stays byte-identical for pre-existing seeds).
+    bool rule_hit =
+        config.rule_hit_fraction > 0 && rng.OneIn(config.rule_hit_fraction);
+    if (rule_hit) {
+      log->Append(std::move(sql), ts, config.rule_user, config.rule_role,
+                  config.rule_purpose);
+    } else {
+      const std::string& user =
+          config.users[rng.Uniform(config.users.size())];
+      const std::string& role =
+          config.roles[rng.Uniform(config.roles.size())];
+      const std::string& purpose =
+          config.purposes[rng.Uniform(config.purposes.size())];
+      log->Append(std::move(sql), ts, user, role, purpose);
+    }
     ts = ts.AddMicros(config.spacing_micros);
   }
   return Status::Ok();

@@ -30,6 +30,17 @@ struct WorkloadConfig {
   std::vector<std::string> users = {"alice", "bob", "carol", "dave", "eve"};
   std::vector<std::string> roles = {"doctor", "nurse", "clerk", "analyst"};
   std::vector<std::string> purposes = {"treatment", "billing", "research"};
+
+  /// Rule-hit-rate sweep axis (ROADMAP item 3): this fraction of
+  /// queries is annotated with the rule-target triple below instead of
+  /// drawing from the pools, so a policy rule keyed on `rule_role`
+  /// matches exactly that share of the workload. 0 disables the axis
+  /// and consumes no rng draws, keeping existing seeds' logs
+  /// byte-identical.
+  double rule_hit_fraction = 0.0;
+  std::string rule_user = "mallory";
+  std::string rule_role = "contractor";
+  std::string rule_purpose = "export";
 };
 
 /// Appends `config.num_queries` generated queries to `log`. The value
@@ -43,6 +54,16 @@ Status GenerateWorkload(QueryLog* log, const WorkloadConfig& config,
 /// standalone statements rather than a whole log).
 std::string GenerateQueryText(uint64_t seed, const WorkloadConfig& config,
                               const HospitalConfig& hospital);
+
+/// A policy rules-file text whose single rule (keyed on
+/// `config.rule_role`) matches exactly the rule-hit queries
+/// GenerateWorkload marks, at the given detail level
+/// (none|log-only|static-screen|full-audit), optionally redacting the
+/// hospital schema's sensitive columns (disease, salary). Routes to the
+/// always-available "metrics" sink so benches need no file setup.
+std::string MatchingRuleText(const WorkloadConfig& config,
+                             const std::string& detail,
+                             bool redact_sensitive);
 
 /// Update churn for versioned-audit scenarios: random single-column
 /// updates against an already-populated hospital database.

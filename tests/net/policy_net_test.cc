@@ -1,0 +1,373 @@
+/// End-to-end tests for the policy layer riding the wire: rule-routed
+/// sink records (with peer addresses from the real socket), suppression
+/// and non-match behavior, the redaction contract across every exposed
+/// channel (sink lines, wire DetailedReport, push frames), and the
+/// byte-identity guarantee — audit verdicts computed over a redacting
+/// server match an unredacted serial auditor exactly.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/audit/auditor.h"
+#include "src/common/string_util.h"
+#include "src/io/dump.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/policy/policy_engine.h"
+#include "src/workload/generator.h"
+#include "src/workload/hospital.h"
+
+namespace auditdb {
+namespace net {
+namespace {
+
+using std::chrono::milliseconds;
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+const char kAudit[] =
+    "DURING 1/1/1970 to 2/1/1970 "
+    "DATA-INTERVAL 1/1/1970 to 2/1/1970 "
+    "AUDIT (name,disease) FROM P-Personal, P-Health "
+    "WHERE P-Personal.pid = P-Health.pid AND disease='diabetic'";
+
+/// The examples/online_monitor slow-burn expression (see push_test.cc).
+const char kSlowBurnAudit[] =
+    "DURING 1/1/1970 to 2/1/1970 "
+    "AUDIT (name,disease,address) "
+    "FROM P-Personal, P-Health, P-Employ "
+    "WHERE P-Personal.pid=P-Health.pid AND P-Health.pid=P-Employ.pid "
+    "AND P-Personal.zipcode='145568' AND P-Employ.salary > 10000 "
+    "AND P-Health.disease='diabetic'";
+
+struct ServedWorld {
+  Database db;
+  Backlog backlog;
+  QueryLog log;
+  std::unique_ptr<service::AuditService> service;
+  std::unique_ptr<AuditServer> server;
+
+  explicit ServedWorld(AuditServerOptions options = AuditServerOptions{},
+                       size_t patients = 60, size_t queries = 150) {
+    backlog.Attach(&db);
+    if (patients > 0) {
+      workload::HospitalConfig hospital;
+      hospital.num_patients = patients;
+      hospital.seed = 2008;
+      EXPECT_TRUE(workload::PopulateHospital(&db, hospital, Ts(1)).ok());
+      if (queries > 0) {
+        workload::WorkloadConfig workload;
+        workload.num_queries = queries;
+        workload.start = Ts(100);
+        EXPECT_TRUE(
+            workload::GenerateWorkload(&log, workload, hospital).ok());
+      }
+    }
+    service = std::make_unique<service::AuditService>(&db, &backlog, &log);
+    server = std::make_unique<AuditServer>(service.get(), &db, &backlog,
+                                           &log, options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+};
+
+std::string ScratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "auditdb_policy_net_" + name;
+  io::Env* env = io::Env::Default();
+  if (env->FileExists(dir)) {
+    auto names = env->ListDir(dir);
+    if (names.ok()) {
+      for (const auto& entry : *names) {
+        env->DeleteFile(io::JoinPath(dir, entry));
+      }
+    }
+  }
+  EXPECT_TRUE(env->CreateDirIfMissing(dir).ok());
+  return dir;
+}
+
+std::vector<policy::SinkRecord> ReadSinkFile(const std::string& path) {
+  std::vector<policy::SinkRecord> records;
+  auto text = io::Env::Default()->ReadFileToString(path);
+  if (!text.ok()) return records;
+  for (const auto& piece : Split(*text, '\n')) {
+    if (piece.empty()) continue;
+    auto record = policy::ParseSinkLine(std::string(piece));
+    EXPECT_TRUE(record.ok()) << piece;
+    if (record.ok()) records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+TEST(PolicyNetTest, SinkRecordsRedactSuppressAndIgnore) {
+  std::string sink_path = io::JoinPath(ScratchDir("sinks"), "audit.log");
+
+  policy::PolicyEngine engine;
+  auto file_sink = policy::FileSink::Open(io::Env::Default(), sink_path);
+  ASSERT_TRUE(file_sink.ok());
+  ASSERT_TRUE(engine.AttachSink(std::move(*file_sink)).ok());
+  ASSERT_TRUE(engine
+                  .LoadText(
+                      "[rule quiet]\n"
+                      "user = quietbot\n"
+                      "detail = none\n"
+                      "\n"
+                      "[rule watch]\n"
+                      "user = mallory\n"
+                      "remote = 127.0.0.1\n"
+                      "log-class = exfil\n"
+                      "detail = static-screen\n"
+                      "redact = disease\n"
+                      "sink = file, metrics\n",
+                      Ts(0))
+                  .ok());
+
+  AuditServerOptions options;
+  options.policy = &engine;
+  ServedWorld world(options, /*patients=*/10, /*queries=*/0);
+  AuditClient client(world.server->host(), world.server->port());
+
+  const std::string sql =
+      "SELECT name FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'";
+
+  // Matched by [rule watch]: a redacted record reaches the file sink.
+  auto watched = client.ExecuteQuery(sql, "mallory", "clerk", "billing",
+                                     Ts(500));
+  ASSERT_TRUE(watched.ok()) << watched.status().ToString();
+
+  // Matched by [rule quiet]: executes and logs, but no sink record.
+  ASSERT_TRUE(
+      client.ExecuteQuery(sql, "quietbot", "clerk", "billing", Ts(501)).ok());
+
+  // Matched by nothing: executes and logs, no sink record either.
+  ASSERT_TRUE(
+      client.ExecuteQuery(sql, "alice", "clerk", "billing", Ts(502)).ok());
+
+  // A rejected statement from a watched user: ERROR-class record with
+  // log_id 0 (nothing was appended to the query log).
+  size_t log_before = world.log.size();
+  EXPECT_FALSE(client
+                   .ExecuteQuery("SELECT nope FROM NoSuchTable", "mallory",
+                                 "clerk", "billing", Ts(503))
+                   .ok());
+  EXPECT_EQ(world.log.size(), log_before);
+
+  ASSERT_TRUE(engine.FlushSinks().ok());
+  auto records = ReadSinkFile(sink_path);
+  ASSERT_EQ(records.size(), 2u);
+
+  const policy::SinkRecord& hit = records[0];
+  EXPECT_EQ(hit.rule, "watch");
+  EXPECT_EQ(hit.log_class, "exfil");
+  EXPECT_EQ(hit.query_class, "select");
+  EXPECT_EQ(hit.log_id, watched->log_id);
+  EXPECT_EQ(hit.user, "mallory");
+  EXPECT_EQ(hit.remote, "127.0.0.1");  // the real accepted peer address
+  EXPECT_EQ(hit.tables, "P-Personal,P-Health");
+  EXPECT_EQ(hit.sql.find("diabetic"), std::string::npos) << hit.sql;
+  EXPECT_NE(hit.sql.find(policy::kRedactedToken), std::string::npos);
+  // static-screen detail records the statically accessed columns.
+  EXPECT_TRUE(StartsWith(hit.note, "cols=")) << hit.note;
+  EXPECT_NE(hit.note.find("P-Health.disease"), std::string::npos);
+
+  const policy::SinkRecord& error = records[1];
+  EXPECT_EQ(error.rule, "watch");
+  EXPECT_EQ(error.query_class, "error");
+  EXPECT_EQ(error.log_id, 0);
+  EXPECT_TRUE(StartsWith(error.note, "error: ")) << error.note;
+
+  // The engine's section rides the combined metrics JSON.
+  auto metrics = client.MetricsJson();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("\"policy\""), std::string::npos);
+  EXPECT_NE(metrics->find("\"rule_hits.watch\""), std::string::npos);
+  EXPECT_NE(metrics->find("\"suppressed_logs\":1"), std::string::npos);
+  EXPECT_EQ(engine.metrics()->counter("suppressed_logs")->value(), 1u);
+  EXPECT_EQ(engine.metrics()->counter("no_match")->value(), 1u);
+}
+
+TEST(PolicyNetTest, DetailedReportRedactsButVerdictsStayByteIdentical) {
+  // World A serves through a redacting policy engine; world B is the
+  // plain control built from the same seed.
+  policy::PolicyEngine engine;
+  ASSERT_TRUE(engine
+                  .LoadText(
+                      "[rule watch]\n"
+                      "user = mallory\n"
+                      "redact = disease\n",
+                      Ts(0))
+                  .ok());
+  AuditServerOptions options;
+  options.policy = &engine;
+  ServedWorld redacted_world(options);
+  redacted_world.log.SetRedactor([&engine](const std::string& sql) {
+    return engine.RedactForDisplay(sql);
+  });
+  ServedWorld plain_world;
+
+  // The same sentinel query lands in both logs over the wire. Its
+  // literal appears nowhere else (not in the workload's disease pool,
+  // not in the audit expression), so any occurrence in redacted-world
+  // output is a leak.
+  const std::string sentinel =
+      "SELECT pid, disease FROM P-Health WHERE disease='zebrafever'";
+  AuditClient redacted_client(redacted_world.server->host(),
+                              redacted_world.server->port());
+  AuditClient plain_client(plain_world.server->host(),
+                           plain_world.server->port());
+  ASSERT_TRUE(redacted_client
+                  .ExecuteQuery(sentinel, "mallory", "clerk", "export",
+                                Ts(5000))
+                  .ok());
+  ASSERT_TRUE(plain_client
+                  .ExecuteQuery(sentinel, "mallory", "clerk", "export",
+                                Ts(5000))
+                  .ok());
+
+  auto redacted_report = redacted_client.Audit(kAudit, Ts(1000000));
+  auto plain_report = plain_client.Audit(kAudit, Ts(1000000));
+  ASSERT_TRUE(redacted_report.ok()) << redacted_report.status().ToString();
+  ASSERT_TRUE(plain_report.ok()) << plain_report.status().ToString();
+
+  // Byte-identity contract: the UNREDACTED query text drives the audit,
+  // so the canonical verdict matches both the plain server and a serial
+  // auditor over the control world.
+  EXPECT_EQ(redacted_report->canonical, plain_report->canonical);
+  audit::Auditor serial(&plain_world.db, &plain_world.backlog,
+                        &plain_world.log);
+  auto serial_report = serial.Audit(kAudit, Ts(1000000));
+  ASSERT_TRUE(serial_report.ok());
+  EXPECT_EQ(redacted_report->canonical, serial_report->CanonicalString());
+
+  // The detailed report is a display channel: it echoes logged queries
+  // through the redactor, so the marked literal never crosses the wire.
+  EXPECT_EQ(redacted_report->detailed.find("zebrafever"),
+            std::string::npos);
+  EXPECT_NE(redacted_report->detailed.find(policy::kRedactedToken),
+            std::string::npos);
+  EXPECT_NE(plain_report->detailed.find("zebrafever"), std::string::npos);
+}
+
+TEST(PolicyNetTest, PushFramesAndFullAuditNotesUnderRedaction) {
+  std::string sink_path = io::JoinPath(ScratchDir("push"), "audit.log");
+
+  policy::PolicyEngine engine;
+  auto file_sink = policy::FileSink::Open(io::Env::Default(), sink_path);
+  ASSERT_TRUE(file_sink.ok());
+  ASSERT_TRUE(engine.AttachSink(std::move(*file_sink)).ok());
+  // Full-audit on the attacker: every query gets an online observation
+  // summary in its sink note; `ward` literals are the redaction canary
+  // (they appear only in logged queries, never in the expression).
+  ASSERT_TRUE(engine
+                  .LoadText(
+                      "[rule attacker]\n"
+                      "user = mallory\n"
+                      "detail = full-audit\n"
+                      "redact = ward\n"
+                      "sink = file\n",
+                      Ts(0))
+                  .ok());
+
+  AuditServerOptions options;
+  options.policy = &engine;
+  ServedWorld world(options, /*patients=*/0, /*queries=*/0);
+  world.log.SetRedactor([&engine](const std::string& sql) {
+    return engine.RedactForDisplay(sql);
+  });
+  const std::string host = world.server->host();
+  const uint16_t port = world.server->port();
+
+  Database paper;
+  ASSERT_TRUE(workload::BuildPaperDatabase(&paper, Ts(1)).ok());
+  std::ostringstream dump;
+  ASSERT_TRUE(io::WriteDatabaseDump(paper, dump).ok());
+  AuditClient loader(host, port);
+  ASSERT_TRUE(loader.LoadDatabaseDump(dump.str(), Ts(1)).ok());
+
+  std::mutex mutex;
+  std::vector<PushEvent> events;
+  AuditClient subscriber(host, port);
+  auto sub = subscriber.Subscribe(
+      kSlowBurnAudit, Ts(1000), [&](const PushEvent& event) {
+        std::lock_guard<std::mutex> lock(mutex);
+        events.push_back(event);
+      });
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+
+  // The slow-burn attack (see push_test.cc): no push, progress,
+  // progress, alert.
+  const char* steps[] = {
+      "SELECT ward FROM P-Health WHERE ward = 'W14'",
+      "SELECT name, pid FROM P-Personal WHERE zipcode = '145568'",
+      "SELECT address FROM P-Personal WHERE zipcode = '145568'",
+      "SELECT disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'",
+  };
+  AuditClient driver(host, port);
+  int64_t at = 100;
+  for (const char* sql : steps) {
+    auto result =
+        driver.ExecuteQuery(sql, "mallory", "clerk", "billing", Ts(at));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    at += 10;
+  }
+
+  auto deadline = std::chrono::steady_clock::now() + milliseconds(10000);
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (events.size() >= 3) break;
+    }
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  std::vector<PushEvent> seen;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen = events;
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  const PushEvent& alert = seen[2];
+  ASSERT_EQ(alert.kind, PushKind::kAlert);
+  ASSERT_FALSE(alert.verdict.empty());
+
+  // Push frames never leak the redacted literal: the pushed verdict is
+  // the canonical string (no logged SQL), byte-identical to a poll.
+  AuditClient poller(host, port);
+  auto polled = poller.Audit(kSlowBurnAudit, Ts(1000));
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  EXPECT_EQ(alert.verdict, polled->canonical);
+  for (const PushEvent& event : seen) {
+    EXPECT_EQ(event.verdict.find("'W14'"), std::string::npos);
+  }
+  // While the poll's *display* channel redacts the logged canary.
+  EXPECT_EQ(polled->detailed.find("'W14'"), std::string::npos);
+  EXPECT_NE(polled->detailed.find(policy::kRedactedToken),
+            std::string::npos);
+
+  // Full-audit sink notes carry the standing-expression summary; the
+  // firing query's record says so.
+  ASSERT_TRUE(engine.FlushSinks().ok());
+  auto records = ReadSinkFile(sink_path);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].sql.find("'W14'"), std::string::npos);
+  EXPECT_NE(records[0].sql.find(policy::kRedactedToken),
+            std::string::npos);
+  for (const auto& record : records) {
+    EXPECT_NE(record.note.find("standing="), std::string::npos)
+        << record.note;
+  }
+  EXPECT_NE(records[3].note.find("fired=1"), std::string::npos)
+      << records[3].note;
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace auditdb

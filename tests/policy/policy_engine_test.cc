@@ -1,0 +1,420 @@
+#include "src/policy/policy_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/string_util.h"
+
+namespace auditdb {
+namespace policy {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+std::string ScratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "auditdb_policy_engine_" + name;
+  io::Env* env = io::Env::Default();
+  if (env->FileExists(dir)) {
+    auto names = env->ListDir(dir);
+    if (names.ok()) {
+      for (const auto& entry : *names) {
+        env->DeleteFile(io::JoinPath(dir, entry));
+      }
+    }
+  }
+  EXPECT_TRUE(env->CreateDirIfMissing(dir).ok());
+  return dir;
+}
+
+QueryContext Ctx(const std::string& sql, const std::string& user = "alice",
+                 const std::string& role = "clerk",
+                 const std::string& purpose = "billing") {
+  QueryContext ctx;
+  ctx.sql = sql;
+  ctx.user = user;
+  ctx.role = role;
+  ctx.purpose = purpose;
+  ctx.timestamp = Ts(100);
+  ctx.query_class = ClassifySql(sql, false);
+  ctx.tables = ExtractTables(sql);
+  return ctx;
+}
+
+TEST(ClassifySqlTest, ByLeadingKeyword) {
+  EXPECT_EQ(ClassifySql("SELECT a FROM T", false), QueryClass::kSelect);
+  EXPECT_EQ(ClassifySql("select a from t", false), QueryClass::kSelect);
+  EXPECT_EQ(ClassifySql("INSERT INTO T", false), QueryClass::kDml);
+  EXPECT_EQ(ClassifySql("UPDATE T", false), QueryClass::kDml);
+  EXPECT_EQ(ClassifySql("DELETE FROM T", false), QueryClass::kDml);
+  EXPECT_EQ(ClassifySql("CREATE TABLE T", false), QueryClass::kDdl);
+  EXPECT_EQ(ClassifySql("DROP TABLE T", false), QueryClass::kDdl);
+  EXPECT_EQ(ClassifySql("garbage", false), QueryClass::kError);
+  EXPECT_EQ(ClassifySql("SELECT a FROM T", true), QueryClass::kError);
+  EXPECT_EQ(ClassifySql("", false), QueryClass::kError);
+}
+
+TEST(ExtractTablesTest, FromClause) {
+  EXPECT_EQ(ExtractTables("SELECT a FROM T WHERE x=1"),
+            (std::vector<std::string>{"T"}));
+  EXPECT_EQ(ExtractTables(
+                "SELECT name FROM P-Personal, P-Health WHERE a=b"),
+            (std::vector<std::string>{"P-Personal", "P-Health"}));
+  EXPECT_TRUE(ExtractTables("SELECT 1").empty());
+  EXPECT_TRUE(ExtractTables("not sql at 'all").empty());
+}
+
+TEST(PolicyEngineTest, EmptyEngineMatchesNothing) {
+  PolicyEngine engine;
+  EXPECT_EQ(engine.rule_count(), 0u);
+  auto decision = engine.Decide(Ctx("SELECT a FROM T"));
+  EXPECT_FALSE(decision.matched);
+  EXPECT_EQ(decision.rule, nullptr);
+  // Emit on a non-match is a no-op.
+  EXPECT_TRUE(engine.Emit(decision, Ctx("SELECT a FROM T"), 1, "").ok());
+  EXPECT_EQ(engine.metrics()->counter("no_match")->value(), 1u);
+}
+
+TEST(PolicyEngineTest, FirstMatchWins) {
+  PolicyEngine engine;
+  ASSERT_TRUE(engine
+                  .LoadText(
+                      "[rule narrow]\nuser = mallory\nlog-class = first\n"
+                      "[rule broad]\nlog-class = second\n",
+                      Ts(0))
+                  .ok());
+
+  auto mallory = engine.Decide(Ctx("SELECT a FROM T", "mallory"));
+  ASSERT_TRUE(mallory.matched);
+  EXPECT_EQ(mallory.rule->name, "narrow");
+
+  auto alice = engine.Decide(Ctx("SELECT a FROM T", "alice"));
+  ASSERT_TRUE(alice.matched);
+  EXPECT_EQ(alice.rule->name, "broad");
+
+  EXPECT_EQ(engine.metrics()->counter("rule_hits.narrow")->value(), 1u);
+  EXPECT_EQ(engine.metrics()->counter("rule_hits.broad")->value(), 1u);
+}
+
+TEST(PolicyEngineTest, NegativeClausesTakePrecedence) {
+  PolicyEngine engine;
+  ASSERT_TRUE(engine
+                  .LoadText(
+                      "[rule watch]\n"
+                      "role = clerk\n"
+                      "not-user = auditor-bot\n",
+                      Ts(0))
+                  .ok());
+  EXPECT_TRUE(engine.Decide(Ctx("SELECT a FROM T", "alice")).matched);
+  EXPECT_FALSE(
+      engine.Decide(Ctx("SELECT a FROM T", "auditor-bot")).matched);
+  EXPECT_FALSE(
+      engine.Decide(Ctx("SELECT a FROM T", "alice", "doctor")).matched);
+}
+
+TEST(PolicyEngineTest, ClassTableRemoteDuringMatching) {
+  PolicyEngine engine;
+  ASSERT_TRUE(engine
+                  .LoadText(
+                      "[rule scoped]\n"
+                      "class = select\n"
+                      "table = P-Health\n"
+                      "remote = 10.0., 127.0.0.1\n"
+                      "during = 1/1/1970 .. 2/1/1970\n",
+                      Ts(0))
+                  .ok());
+
+  QueryContext hit = Ctx("SELECT a FROM P-Health WHERE x=1");
+  hit.remote = "127.0.0.1";
+  EXPECT_TRUE(engine.Decide(hit).matched);
+
+  // Prefix remotes match by leading bytes.
+  hit.remote = "10.0.3.7";
+  EXPECT_TRUE(engine.Decide(hit).matched);
+
+  QueryContext wrong_remote = hit;
+  wrong_remote.remote = "192.168.0.1";
+  EXPECT_FALSE(engine.Decide(wrong_remote).matched);
+
+  // A remote-constrained rule never matches a local/unknown peer.
+  QueryContext local = hit;
+  local.remote.clear();
+  EXPECT_FALSE(engine.Decide(local).matched);
+
+  QueryContext wrong_table = hit;
+  wrong_table.sql = "SELECT a FROM P-Employ WHERE x=1";
+  wrong_table.tables = ExtractTables(wrong_table.sql);
+  EXPECT_FALSE(engine.Decide(wrong_table).matched);
+
+  // Unknown tables (unparseable statement) skip table-constrained rules.
+  QueryContext no_tables = hit;
+  no_tables.tables.clear();
+  EXPECT_FALSE(engine.Decide(no_tables).matched);
+
+  QueryContext wrong_class = hit;
+  wrong_class.query_class = QueryClass::kError;
+  EXPECT_FALSE(engine.Decide(wrong_class).matched);
+
+  QueryContext too_late = hit;
+  too_late.timestamp = Ts(40LL * 24 * 3600);
+  EXPECT_FALSE(engine.Decide(too_late).matched);
+}
+
+TEST(PolicyEngineTest, DatabaseClauseDisablesForeignRules) {
+  PolicyEngineOptions options;
+  options.database_name = "auditdb";
+  PolicyEngine engine(options);
+  ASSERT_TRUE(engine
+                  .LoadText(
+                      "[rule other-db]\ndatabase = warehouse\n"
+                      "[rule ours]\ndatabase = warehouse, auditdb\n",
+                      Ts(0))
+                  .ok());
+  auto decision = engine.Decide(Ctx("SELECT a FROM T"));
+  ASSERT_TRUE(decision.matched);
+  EXPECT_EQ(decision.rule->name, "ours");
+}
+
+TEST(PolicyEngineTest, DetailNoneSuppressesAndCounts) {
+  PolicyEngine engine;
+  ASSERT_TRUE(
+      engine.LoadText("[rule mute]\nuser = bot\ndetail = none\n", Ts(0))
+          .ok());
+  auto decision = engine.Decide(Ctx("SELECT a FROM T", "bot"));
+  ASSERT_TRUE(decision.matched);
+  EXPECT_EQ(decision.detail, AuditDetail::kNone);
+  EXPECT_EQ(engine.metrics()->counter("suppressed_logs")->value(), 1u);
+  // Emit for a suppressed decision writes nothing.
+  ASSERT_TRUE(engine.Emit(decision, Ctx("SELECT a FROM T", "bot"), 7, "").ok());
+  EXPECT_EQ(engine.metrics()->counter("records")->value(), 0u);
+}
+
+TEST(PolicyEngineTest, EmitWritesRedactedRecordToFileSink) {
+  io::Env* env = io::Env::Default();
+  std::string path = io::JoinPath(ScratchDir("emit"), "audit.log");
+
+  PolicyEngine engine;
+  auto file_sink = FileSink::Open(env, path);
+  ASSERT_TRUE(file_sink.ok());
+  ASSERT_TRUE(engine.AttachSink(std::move(*file_sink)).ok());
+  ASSERT_TRUE(engine
+                  .LoadText(
+                      "[rule watch]\n"
+                      "user = mallory\n"
+                      "log-class = exfil\n"
+                      "redact = disease\n"
+                      "sink = file, metrics\n",
+                      Ts(0))
+                  .ok());
+
+  QueryContext ctx = Ctx(
+      "SELECT pid FROM P-Health WHERE disease='diabetic'", "mallory");
+  ctx.remote = "127.0.0.1";
+  auto decision = engine.Decide(ctx);
+  ASSERT_TRUE(decision.matched);
+  ASSERT_TRUE(engine.Emit(decision, ctx, 99, "cols=P-Health.disease").ok());
+  ASSERT_TRUE(engine.FlushSinks().ok());
+
+  auto text = env->ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  auto lines = Split(*text, '\n');
+  ASSERT_GE(lines.size(), 1u);
+  auto record = ParseSinkLine(std::string(lines[0]));
+  ASSERT_TRUE(record.ok()) << record.status().message();
+  EXPECT_EQ(record->rule, "watch");
+  EXPECT_EQ(record->log_class, "exfil");
+  EXPECT_EQ(record->query_class, "select");
+  EXPECT_EQ(record->log_id, 99);
+  EXPECT_EQ(record->user, "mallory");
+  EXPECT_EQ(record->remote, "127.0.0.1");
+  EXPECT_EQ(record->tables, "P-Health");
+  // The marked literal never reaches the sink.
+  EXPECT_EQ(record->sql.find("diabetic"), std::string::npos);
+  EXPECT_NE(record->sql.find(kRedactedToken), std::string::npos);
+  EXPECT_EQ(record->note, "cols=P-Health.disease");
+
+  EXPECT_EQ(engine.metrics()->counter("records")->value(), 1u);
+  EXPECT_EQ(engine.metrics()->counter("redactions")->value(), 1u);
+  EXPECT_EQ(engine.metrics()->counter("sink.metrics.class.exfil")->value(),
+            1u);
+}
+
+TEST(PolicyEngineTest, UnknownSinkFailsLoadAndKeepsOldConfig) {
+  PolicyEngine engine;
+  ASSERT_TRUE(engine.LoadText("[rule a]\nlog-class = one\n", Ts(0)).ok());
+  EXPECT_EQ(engine.rule_count(), 1u);
+  uint64_t generation = engine.generation();
+
+  Status bad = engine.LoadText("[rule b]\nsink = nosuch\n", Ts(0));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("unattached sink"), std::string::npos);
+  // Old config stays live.
+  EXPECT_EQ(engine.rule_count(), 1u);
+  EXPECT_EQ(engine.generation(), generation);
+  auto decision = engine.Decide(Ctx("SELECT a FROM T"));
+  ASSERT_TRUE(decision.matched);
+  EXPECT_EQ(decision.rule->log_class, "one");
+  EXPECT_EQ(engine.metrics()->counter("reload_failures")->value(), 1u);
+}
+
+TEST(PolicyEngineTest, ReloadToBrokenFileKeepsOldConfigLive) {
+  io::Env* env = io::Env::Default();
+  std::string dir = ScratchDir("reload");
+  std::string path = io::JoinPath(dir, "rules.conf");
+
+  ASSERT_TRUE(
+      io::AtomicWriteFile(env, path, "[rule good]\nlog-class = v1\n").ok());
+  PolicyEngine engine;
+  ASSERT_TRUE(engine.LoadFile(env, path, Ts(0)).ok());
+  EXPECT_EQ(engine.config_path(), path);
+  EXPECT_EQ(engine.generation(), 2u);  // 1 = the constructor's empty config
+
+  // Swap in a new valid config; Reload picks it up.
+  ASSERT_TRUE(
+      io::AtomicWriteFile(env, path, "[rule good]\nlog-class = v2\n").ok());
+  ASSERT_TRUE(engine.Reload(Ts(1)).ok());
+  EXPECT_EQ(engine.generation(), 3u);
+  EXPECT_EQ(engine.Decide(Ctx("SELECT a FROM T")).rule->log_class, "v2");
+
+  // Now break the file on disk: reload fails, v2 stays live.
+  ASSERT_TRUE(io::AtomicWriteFile(env, path, "[rule good\nbroken").ok());
+  Status broken = engine.Reload(Ts(2));
+  EXPECT_FALSE(broken.ok());
+  EXPECT_EQ(engine.generation(), 3u);
+  EXPECT_EQ(engine.Decide(Ctx("SELECT a FROM T")).rule->log_class, "v2");
+  EXPECT_EQ(engine.metrics()->counter("reload_failures")->value(), 1u);
+
+  // An in-flight decision's rule pointer survives a successful reload.
+  auto pinned = engine.Decide(Ctx("SELECT a FROM T"));
+  ASSERT_TRUE(
+      io::AtomicWriteFile(env, path, "[rule good]\nlog-class = v3\n").ok());
+  ASSERT_TRUE(engine.Reload(Ts(3)).ok());
+  EXPECT_EQ(pinned.rule->log_class, "v2");  // snapshot pinned
+  EXPECT_EQ(engine.Decide(Ctx("SELECT a FROM T")).rule->log_class, "v3");
+}
+
+TEST(PolicyEngineTest, ReloadWithoutLoadFileIsNotFound) {
+  PolicyEngine engine;
+  EXPECT_EQ(engine.Reload(Ts(0)).code(), StatusCode::kNotFound);
+}
+
+TEST(PolicyEngineTest, RedactForDisplayUsesUnionOfAllRules) {
+  PolicyEngine engine;
+  ASSERT_TRUE(engine
+                  .LoadText(
+                      "[rule a]\nuser = x\nredact = disease\n"
+                      "[rule b]\nuser = y\nredact = salary\n",
+                      Ts(0))
+                  .ok());
+  EXPECT_TRUE(engine.HasDisplayRedactions());
+  std::string out = engine.RedactForDisplay(
+      "SELECT a FROM T WHERE disease='flu' AND salary > 9000");
+  EXPECT_EQ(out.find("flu"), std::string::npos);
+  EXPECT_EQ(out.find("9000"), std::string::npos);
+  EXPECT_EQ(engine.metrics()->counter("display_redactions")->value(), 2u);
+
+  PolicyEngine plain;
+  ASSERT_TRUE(plain.LoadText("[rule a]\nuser = x\n", Ts(0)).ok());
+  EXPECT_FALSE(plain.HasDisplayRedactions());
+  std::string sql = "SELECT a FROM T WHERE disease='flu'";
+  EXPECT_EQ(plain.RedactForDisplay(sql), sql);
+}
+
+TEST(PolicyEngineTest, DuplicateSinkNameRejected) {
+  PolicyEngine engine;
+  service::MetricsRegistry registry;
+  Status dup = engine.AttachSink(std::make_unique<MetricsSink>(&registry));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PolicyEngineTest, MetricsJsonHasRuleHits) {
+  PolicyEngine engine;
+  ASSERT_TRUE(engine.LoadText("[rule seen]\n detail = log-only\n", Ts(0)).ok());
+  engine.Decide(Ctx("SELECT a FROM T"));
+  std::string json = engine.MetricsJson();
+  EXPECT_NE(json.find("\"rule_hits.seen\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"decisions\""), std::string::npos);
+  EXPECT_NE(json.find("\"rules\""), std::string::npos);
+}
+
+// Decide/Emit/RedactForDisplay racing Reload: run under TSan in CI. The
+// assertions are deliberately weak — the point is that every interleaving
+// is data-race-free and every decision sees a complete config.
+TEST(PolicyEngineConcurrentTest, DecideAndEmitRaceReload) {
+  io::Env* env = io::Env::Default();
+  std::string dir = ScratchDir("race");
+  std::string path = io::JoinPath(dir, "rules.conf");
+  std::string sink_path = io::JoinPath(dir, "audit.log");
+
+  const std::string config_a =
+      "[rule hot]\nlog-class = alpha\nredact = disease\nsink = file\n";
+  const std::string config_b =
+      "[rule hot]\nlog-class = beta\nredact = salary\nsink = file, metrics\n"
+      "[rule cold]\nuser = nobody\n";
+  ASSERT_TRUE(io::AtomicWriteFile(env, path, config_a).ok());
+
+  PolicyEngine engine;
+  auto file_sink = FileSink::Open(env, sink_path);
+  ASSERT_TRUE(file_sink.ok());
+  ASSERT_TRUE(engine.AttachSink(std::move(*file_sink)).ok());
+  ASSERT_TRUE(engine.LoadFile(env, path, Ts(0)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> emitted{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&engine, &stop, &emitted, t] {
+      QueryContext ctx = Ctx(
+          "SELECT pid FROM P-Health WHERE disease='diabetic' AND salary=1",
+          "worker" + std::to_string(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto decision = engine.Decide(ctx);
+        ASSERT_TRUE(decision.matched);
+        // The pinned snapshot keeps rule/log_class coherent even if a
+        // reload lands between Decide and Emit.
+        ASSERT_TRUE(decision.rule->log_class == "alpha" ||
+                    decision.rule->log_class == "beta");
+        ASSERT_TRUE(engine.Emit(decision, ctx, 1, "").ok());
+        (void)engine.RedactForDisplay(ctx.sql);
+        emitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int i = 0; i < 50; ++i) {
+    const std::string& next = (i % 2 == 0) ? config_b : config_a;
+    ASSERT_TRUE(io::AtomicWriteFile(env, path, next).ok());
+    ASSERT_TRUE(engine.Reload(Ts(i + 1)).ok());
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+  ASSERT_TRUE(engine.FlushSinks().ok());
+
+  EXPECT_GT(emitted.load(), 0u);
+  EXPECT_EQ(engine.generation(), 2u + 50u);
+
+  // Every sink line parses and never leaks either marked literal.
+  auto text = env->ReadFileToString(sink_path);
+  ASSERT_TRUE(text.ok());
+  size_t parsed_lines = 0;
+  for (const auto& piece : Split(*text, '\n')) {
+    if (piece.empty()) continue;
+    auto record = ParseSinkLine(std::string(piece));
+    ASSERT_TRUE(record.ok()) << piece;
+    EXPECT_TRUE(record->log_class == "alpha" || record->log_class == "beta");
+    if (record->log_class == "alpha") {
+      EXPECT_EQ(record->sql.find("diabetic"), std::string::npos);
+    } else {
+      EXPECT_EQ(record->sql.find("salary=1"), std::string::npos);
+    }
+    ++parsed_lines;
+  }
+  EXPECT_EQ(parsed_lines, emitted.load());
+}
+
+}  // namespace
+}  // namespace policy
+}  // namespace auditdb

@@ -1,0 +1,159 @@
+#include "src/policy/redaction.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace policy {
+namespace {
+
+RedactionSet Marked(std::vector<std::string> specs) {
+  RedactionSet set;
+  set.AddAll(specs);
+  return set;
+}
+
+TEST(RedactionSetTest, BareEntryMatchesAnyTable) {
+  RedactionSet set = Marked({"disease"});
+  EXPECT_FALSE(set.empty());
+  EXPECT_TRUE(set.Matches("", "disease"));
+  EXPECT_TRUE(set.Matches("P-Health", "disease"));
+  EXPECT_TRUE(set.Matches("Other", "DISEASE"));  // case-insensitive
+  EXPECT_FALSE(set.Matches("", "ward"));
+}
+
+TEST(RedactionSetTest, QualifiedEntryMatchesItsTableAndBareUses) {
+  RedactionSet set = Marked({"P-Employ.salary"});
+  EXPECT_TRUE(set.Matches("P-Employ", "salary"));
+  EXPECT_TRUE(set.Matches("p-employ", "SALARY"));
+  // Unqualified uses of the column over-redact rather than leak.
+  EXPECT_TRUE(set.Matches("", "salary"));
+  EXPECT_FALSE(set.Matches("P-Health", "salary"));
+}
+
+TEST(RedactionSetTest, MergeFrom) {
+  RedactionSet a = Marked({"disease"});
+  a.MergeFrom(Marked({"T.salary"}));
+  EXPECT_TRUE(a.Matches("", "disease"));
+  EXPECT_TRUE(a.Matches("T", "salary"));
+}
+
+TEST(RedactSqlTest, EmptySetIsIdentity) {
+  RedactionSet none;
+  std::string sql = "SELECT name FROM T WHERE disease='diabetic'";
+  RedactResult out = RedactSql(sql, none);
+  EXPECT_EQ(out.text, sql);
+  EXPECT_EQ(out.redactions, 0u);
+}
+
+TEST(RedactSqlTest, EqualityLiteralRight) {
+  RedactResult out =
+      RedactSql("SELECT pid FROM P-Health WHERE disease='diabetic'",
+                Marked({"disease"}));
+  EXPECT_EQ(out.text,
+            "SELECT pid FROM P-Health WHERE disease='[REDACTED]'");
+  EXPECT_EQ(out.redactions, 1u);
+}
+
+TEST(RedactSqlTest, EqualityLiteralLeft) {
+  RedactResult out = RedactSql("SELECT pid FROM T WHERE 'diabetic'=disease",
+                               Marked({"disease"}));
+  EXPECT_EQ(out.text, "SELECT pid FROM T WHERE '[REDACTED]'=disease");
+  EXPECT_EQ(out.redactions, 1u);
+}
+
+TEST(RedactSqlTest, QualifiedColumnReference) {
+  RedactResult out = RedactSql(
+      "SELECT name FROM P-Personal, P-Health WHERE "
+      "P-Personal.pid = P-Health.pid AND P-Health.disease = 'flu'",
+      Marked({"P-Health.disease"}));
+  EXPECT_EQ(out.text,
+            "SELECT name FROM P-Personal, P-Health WHERE "
+            "P-Personal.pid = P-Health.pid AND P-Health.disease = "
+            "'[REDACTED]'");
+  EXPECT_EQ(out.redactions, 1u);
+}
+
+TEST(RedactSqlTest, UnmarkedColumnsKeepTheirLiterals) {
+  RedactResult out = RedactSql(
+      "SELECT pid FROM T WHERE ward='W3' AND disease='flu'",
+      Marked({"disease"}));
+  EXPECT_EQ(out.text,
+            "SELECT pid FROM T WHERE ward='W3' AND disease='[REDACTED]'");
+  EXPECT_EQ(out.redactions, 1u);
+}
+
+TEST(RedactSqlTest, NumericAndUnaryMinus) {
+  RedactResult out = RedactSql("SELECT pid FROM T WHERE salary > 120000",
+                               Marked({"salary"}));
+  EXPECT_EQ(out.text, "SELECT pid FROM T WHERE salary > '[REDACTED]'");
+
+  // The sign is part of the secret: -42 must not leave "-" behind.
+  RedactResult neg = RedactSql("SELECT pid FROM T WHERE salary < -42",
+                               Marked({"salary"}));
+  EXPECT_EQ(neg.text, "SELECT pid FROM T WHERE salary < '[REDACTED]'");
+  EXPECT_EQ(neg.redactions, 1u);
+}
+
+TEST(RedactSqlTest, LikeBetweenIn) {
+  EXPECT_EQ(RedactSql("SELECT a FROM T WHERE name LIKE 'Bo%'",
+                      Marked({"name"}))
+                .text,
+            "SELECT a FROM T WHERE name LIKE '[REDACTED]'");
+
+  RedactResult between =
+      RedactSql("SELECT a FROM T WHERE age BETWEEN 30 AND 40",
+                Marked({"age"}));
+  EXPECT_EQ(between.text,
+            "SELECT a FROM T WHERE age BETWEEN '[REDACTED]' AND "
+            "'[REDACTED]'");
+  EXPECT_EQ(between.redactions, 2u);
+
+  RedactResult in_list = RedactSql(
+      "SELECT a FROM T WHERE zipcode IN ('110001', '110002', '110003')",
+      Marked({"zipcode"}));
+  EXPECT_EQ(in_list.text,
+            "SELECT a FROM T WHERE zipcode IN ('[REDACTED]', '[REDACTED]', "
+            "'[REDACTED]')");
+  EXPECT_EQ(in_list.redactions, 3u);
+}
+
+TEST(RedactSqlTest, PreservesSurroundingBytes) {
+  // Odd spacing and case survive; only the literal span is spliced.
+  RedactResult out = RedactSql(
+      "select  Name from T where  Disease   =    'x'  and age>3",
+      Marked({"disease"}));
+  EXPECT_EQ(out.text,
+            "select  Name from T where  Disease   =    '[REDACTED]'  and "
+            "age>3");
+}
+
+TEST(RedactSqlTest, UnlexableInputFullyRedactsWhenMarked) {
+  // An unterminated string cannot be lexed; with marked columns the
+  // whole text is hidden, without them it passes through untouched.
+  std::string bad = "SELECT a FROM T WHERE disease='unterminated";
+  RedactResult out = RedactSql(bad, Marked({"disease"}));
+  EXPECT_EQ(out.text, kRedactedQueryToken);
+  EXPECT_EQ(out.redactions, 1u);
+
+  RedactionSet none;
+  EXPECT_EQ(RedactSql(bad, none).text, bad);
+}
+
+TEST(RedactSqlTest, RedactedOutputNeverContainsTheLiteral) {
+  RedactionSet set = Marked({"disease", "salary"});
+  const char* queries[] = {
+      "SELECT name, disease FROM P-Health WHERE disease='diabetic'",
+      "SELECT pid FROM P-Employ WHERE salary > 250000 AND employer='E1'",
+      "SELECT a FROM T WHERE disease IN ('diabetic','flu') OR salary=9",
+  };
+  for (const char* sql : queries) {
+    RedactResult out = RedactSql(sql, set);
+    EXPECT_EQ(out.text.find("diabetic"), std::string::npos) << out.text;
+    EXPECT_EQ(out.text.find("250000"), std::string::npos) << out.text;
+    EXPECT_GT(out.redactions, 0u) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace policy
+}  // namespace auditdb

@@ -1,0 +1,205 @@
+#include "src/policy/rule_config.h"
+
+#include <gtest/gtest.h>
+
+namespace auditdb {
+namespace policy {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+Result<PolicyConfig> Parse(const std::string& text) {
+  return ParsePolicyConfig(text, Ts(1000));
+}
+
+void ExpectParseError(const std::string& text, const std::string& fragment) {
+  auto parsed = Parse(text);
+  ASSERT_FALSE(parsed.ok()) << "expected failure for:\n" << text;
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find(fragment), std::string::npos)
+      << "error '" << parsed.status().message() << "' lacks '" << fragment
+      << "'";
+}
+
+TEST(RuleConfigTest, EmptyFileParsesToZeroRules) {
+  auto config = Parse("");
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  EXPECT_TRUE(config->rules.empty());
+
+  auto comments = Parse("# only comments\n\n   # and blanks\n");
+  ASSERT_TRUE(comments.ok());
+  EXPECT_TRUE(comments->rules.empty());
+}
+
+TEST(RuleConfigTest, FullGrammarRoundTrip) {
+  auto config = Parse(
+      "# watch clerk exports\n"
+      "[rule clerk-exports]\n"
+      "class        = select, error\n"
+      "user         = mallory, eve   # trailing comment\n"
+      "not-user     = admin\n"
+      "role         = clerk\n"
+      "not-role-purpose = (intern,-), (-,debug)\n"
+      "during       = 1/1/1970 .. 2/1/1970\n"
+      "database     = auditdb\n"
+      "table        = P-Health, P-Employ\n"
+      "remote       = 10.0., 127.0.0.1\n"
+      "detail       = static-screen\n"
+      "log-class    = export-watch\n"
+      "redact       = disease, P-Employ.salary\n"
+      "sink         = metrics\n"
+      "\n"
+      "[rule catch-all]\n"
+      "detail = log-only\n");
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  ASSERT_EQ(config->rules.size(), 2u);
+
+  const RuleConfig* rule = config->FindRule("clerk-exports");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->class_mask, QueryClassBit(QueryClass::kSelect) |
+                                  QueryClassBit(QueryClass::kError));
+  EXPECT_EQ(rule->filter.pos_users,
+            (std::vector<std::string>{"mallory", "eve"}));
+  EXPECT_EQ(rule->filter.neg_users, (std::vector<std::string>{"admin"}));
+  ASSERT_EQ(rule->filter.pos_role_purpose.size(), 1u);
+  EXPECT_EQ(rule->filter.pos_role_purpose[0].ToString(), "(clerk,-)");
+  ASSERT_EQ(rule->filter.neg_role_purpose.size(), 2u);
+  EXPECT_EQ(rule->filter.neg_role_purpose[0].ToString(), "(intern,-)");
+  EXPECT_EQ(rule->filter.neg_role_purpose[1].ToString(), "(-,debug)");
+  ASSERT_TRUE(rule->filter.during.has_value());
+  EXPECT_EQ(rule->filter.during->start.micros(), 0);
+  EXPECT_EQ(rule->databases, (std::vector<std::string>{"auditdb"}));
+  EXPECT_EQ(rule->tables,
+            (std::vector<std::string>{"P-Health", "P-Employ"}));
+  EXPECT_EQ(rule->remotes, (std::vector<std::string>{"10.0.", "127.0.0.1"}));
+  EXPECT_EQ(rule->detail, AuditDetail::kStaticScreen);
+  EXPECT_EQ(rule->log_class, "export-watch");
+  EXPECT_EQ(rule->redact,
+            (std::vector<std::string>{"disease", "P-Employ.salary"}));
+  EXPECT_EQ(rule->sinks, (std::vector<std::string>{"metrics"}));
+
+  EXPECT_NE(config->FindRule("catch-all"), nullptr);
+  EXPECT_EQ(config->FindRule("no-such-rule"), nullptr);
+}
+
+TEST(RuleConfigTest, Defaults) {
+  auto config = Parse("[rule bare]\nuser = alice\n");
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  const RuleConfig& rule = config->rules[0];
+  EXPECT_EQ(rule.class_mask, kAllClassesMask);
+  EXPECT_EQ(rule.detail, AuditDetail::kLogOnly);
+  EXPECT_EQ(rule.log_class, "audit");
+  EXPECT_TRUE(rule.redact.empty());
+  // No sink clause routes to the built-in metrics sink.
+  EXPECT_EQ(rule.sinks, (std::vector<std::string>{"metrics"}));
+  EXPECT_TRUE(rule.databases.empty());
+  EXPECT_TRUE(rule.tables.empty());
+  EXPECT_TRUE(rule.remotes.empty());
+}
+
+TEST(RuleConfigTest, RoleAndPurposeSugar) {
+  auto config = Parse(
+      "[rule sugar]\n"
+      "role = clerk, contractor\n"
+      "purpose = export\n"
+      "not-role = intern\n"
+      "not-purpose = debug\n");
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  const AccessFilter& filter = config->rules[0].filter;
+  ASSERT_EQ(filter.pos_role_purpose.size(), 3u);
+  EXPECT_EQ(filter.pos_role_purpose[0].ToString(), "(clerk,-)");
+  EXPECT_EQ(filter.pos_role_purpose[1].ToString(), "(contractor,-)");
+  EXPECT_EQ(filter.pos_role_purpose[2].ToString(), "(-,export)");
+  ASSERT_EQ(filter.neg_role_purpose.size(), 2u);
+  EXPECT_EQ(filter.neg_role_purpose[0].ToString(), "(intern,-)");
+  EXPECT_EQ(filter.neg_role_purpose[1].ToString(), "(-,debug)");
+}
+
+TEST(RuleConfigTest, ClassAliases) {
+  auto config = Parse(
+      "[rule a]\nclass = read\n"
+      "[rule b]\nclass = write\n"
+      "[rule c]\nclass = all\n");
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  EXPECT_EQ(config->rules[0].class_mask, QueryClassBit(QueryClass::kSelect));
+  EXPECT_EQ(config->rules[1].class_mask, QueryClassBit(QueryClass::kDml));
+  EXPECT_EQ(config->rules[2].class_mask, kAllClassesMask);
+}
+
+TEST(RuleConfigTest, DetailAliases) {
+  auto config = Parse(
+      "[rule a]\ndetail = none\n"
+      "[rule b]\ndetail = log\n"
+      "[rule c]\ndetail = static\n"
+      "[rule d]\ndetail = full\n");
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  EXPECT_EQ(config->rules[0].detail, AuditDetail::kNone);
+  EXPECT_EQ(config->rules[1].detail, AuditDetail::kLogOnly);
+  EXPECT_EQ(config->rules[2].detail, AuditDetail::kStaticScreen);
+  EXPECT_EQ(config->rules[3].detail, AuditDetail::kFullAudit);
+}
+
+TEST(RuleConfigTest, ErrorsCarryLineNumbers) {
+  auto parsed = Parse("[rule a]\nuser = alice\nbogus-key = 1\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(RuleConfigTest, AdversarialInputs) {
+  ExpectParseError("[rule a]\nnope = x\n", "unknown key");
+  ExpectParseError("[rule a]\n[rule a]\n", "duplicate rule name");
+  ExpectParseError("[rule a]\nuser = x\nuser = y\n", "duplicate key");
+  ExpectParseError("user = alice\n", "outside any [rule");
+  ExpectParseError("[rule a\nuser = x\n", "unterminated section header");
+  ExpectParseError("[rule ]\n", "needs a name");
+  ExpectParseError("[section a]\n", "must be '[rule NAME]'");
+  ExpectParseError("[rule a]\njust some text\n", "expected 'key = value'");
+  ExpectParseError("[rule a]\nuser =\n", "empty value");
+  ExpectParseError("[rule a]\nuser = a,,b\n", "empty element");
+  ExpectParseError("[rule a]\ndetail = verbose\n", "unknown detail");
+  ExpectParseError("[rule a]\nclass = select, truncate\n",
+                   "unknown query class");
+  ExpectParseError("[rule a]\nduring = 1/1/1970\n", "START .. END");
+  ExpectParseError("[rule a]\nduring = not-a-date .. 1/1/1970\n", "line 2");
+  ExpectParseError("[rule a]\nduring = 2/1/1970 .. 1/1/1970\n",
+                   "ends before it starts");
+  ExpectParseError("[rule a]\nrole-purpose = clerk\n", "expected '('");
+  ExpectParseError("[rule a]\nrole-purpose = (clerk\n", "unbalanced");
+  ExpectParseError("[rule a]\nrole-purpose = (a,b,c)\n",
+                   "exactly two elements");
+  ExpectParseError("[rule a]\nrole-purpose = (,b)\n", "empty side");
+  ExpectParseError("[rule a]\nlog-class = two words\n", "single bare token");
+  ExpectParseError("[rule a]\nlog-class = pipe|y\n", "single bare token");
+}
+
+TEST(RuleConfigTest, DuplicateKeyResetsPerSection) {
+  // The same key in two different sections is fine.
+  auto config = Parse("[rule a]\nuser = x\n[rule b]\nuser = y\n");
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  EXPECT_EQ(config->rules.size(), 2u);
+}
+
+TEST(RuleConfigTest, FiltersAreCompiled) {
+  // Parse() must hand back filters ready for the Decide hot path: with
+  // many users, membership checks go through the compiled hash set.
+  std::string users;
+  for (int i = 0; i < 100; ++i) {
+    users += (i ? ", u" : "u") + std::to_string(i);
+  }
+  auto config = Parse("[rule big]\nuser = " + users + "\n");
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  LoggedQuery probe;
+  probe.sql = "SELECT 1 FROM T";
+  probe.timestamp = Ts(100);
+  probe.user = "u99";
+  probe.role = "r";
+  probe.purpose = "p";
+  EXPECT_TRUE(config->rules[0].filter.Admits(probe));
+  probe.user = "u100";
+  EXPECT_FALSE(config->rules[0].filter.Admits(probe));
+}
+
+}  // namespace
+}  // namespace policy
+}  // namespace auditdb

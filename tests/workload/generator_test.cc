@@ -1,0 +1,123 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/policy/policy_engine.h"
+
+namespace auditdb {
+namespace workload {
+namespace {
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+QueryLog Generate(const WorkloadConfig& config) {
+  QueryLog log;
+  HospitalConfig hospital;
+  EXPECT_TRUE(GenerateWorkload(&log, config, hospital).ok());
+  return log;
+}
+
+TEST(WorkloadRuleHitTest, DisabledAxisIsDeterministic) {
+  WorkloadConfig config;
+  config.num_queries = 50;
+  config.start = Ts(100);
+  QueryLog a = Generate(config);
+  config.rule_hit_fraction = 0.0;  // explicit zero = same stream
+  QueryLog b = Generate(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].ToString(), b.entries()[i].ToString());
+    EXPECT_NE(a.entries()[i].role, config.rule_role);
+  }
+}
+
+TEST(WorkloadRuleHitTest, FractionControlsRuleTraffic) {
+  WorkloadConfig config;
+  config.num_queries = 200;
+  config.start = Ts(100);
+  config.rule_hit_fraction = 0.3;
+  QueryLog log = Generate(config);
+  ASSERT_EQ(log.size(), 200u);
+
+  size_t hits = 0;
+  for (const auto& entry : log.entries()) {
+    if (entry.role == config.rule_role) {
+      // Hit queries carry the whole rule-target triple.
+      EXPECT_EQ(entry.user, config.rule_user);
+      EXPECT_EQ(entry.purpose, config.rule_purpose);
+      ++hits;
+    }
+  }
+  // Loose binomial bounds: 200 draws at p=0.3.
+  EXPECT_GT(hits, 30u);
+  EXPECT_LT(hits, 90u);
+
+  config.rule_hit_fraction = 1.0;
+  QueryLog all = Generate(config);
+  for (const auto& entry : all.entries()) {
+    EXPECT_EQ(entry.role, config.rule_role);
+  }
+}
+
+TEST(WorkloadRuleHitTest, MatchingRuleTextDrivesTheEngine) {
+  WorkloadConfig config;
+  config.num_queries = 120;
+  config.start = Ts(100);
+  config.rule_hit_fraction = 0.25;
+  QueryLog log = Generate(config);
+
+  // The generated rules file parses and matches exactly the hit share.
+  policy::PolicyEngine engine;
+  ASSERT_TRUE(
+      engine
+          .LoadText(MatchingRuleText(config, "log-only", true), Ts(0))
+          .ok());
+  ASSERT_EQ(engine.rule_count(), 1u);
+
+  size_t matched = 0, hits = 0;
+  for (const auto& entry : log.entries()) {
+    policy::QueryContext ctx;
+    ctx.sql = entry.sql;
+    ctx.user = entry.user;
+    ctx.role = entry.role;
+    ctx.purpose = entry.purpose;
+    ctx.timestamp = entry.timestamp;
+    ctx.query_class = policy::ClassifySql(entry.sql, false);
+    ctx.tables = policy::ExtractTables(entry.sql);
+    auto decision = engine.Decide(ctx);
+    if (entry.role == config.rule_role) {
+      ++hits;
+      EXPECT_TRUE(decision.matched);
+      EXPECT_EQ(decision.rule->name, "workload-hits");
+    } else {
+      EXPECT_FALSE(decision.matched);
+    }
+    if (decision.matched) ++matched;
+  }
+  EXPECT_EQ(matched, hits);
+  EXPECT_GT(hits, 0u);
+  EXPECT_EQ(
+      engine.metrics()->counter("rule_hits.workload-hits")->value(), hits);
+
+  // The redacting variant marks the sensitive columns.
+  policy::PolicyEngine redacting;
+  ASSERT_TRUE(redacting
+                  .LoadText(MatchingRuleText(config, "log-only", true),
+                            Ts(0))
+                  .ok());
+  EXPECT_TRUE(redacting.HasDisplayRedactions());
+  std::string out = redacting.RedactForDisplay(
+      "SELECT pid FROM P-Health WHERE disease='diabetic'");
+  EXPECT_EQ(out.find("diabetic"), std::string::npos);
+
+  policy::PolicyEngine bare;
+  ASSERT_TRUE(
+      bare.LoadText(MatchingRuleText(config, "none", false), Ts(0)).ok());
+  EXPECT_FALSE(bare.HasDisplayRedactions());
+  EXPECT_EQ(bare.Decide({}).snapshot->config.rules[0].detail,
+            policy::AuditDetail::kNone);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace auditdb

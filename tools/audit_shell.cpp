@@ -31,7 +31,10 @@
 ///                                 SELECT and .load run remotely
 ///   .disconnect                   back to the in-process stores
 ///   .metrics                      remote server + service (+ index,
-///                                 push) metrics JSON
+///                                 push, policy) metrics JSON
+///   .policy                       just the remote "policy" metrics
+///                                 section (rule hits, redactions,
+///                                 suppressed logs, reload generation)
 ///   .subscribe <expr|#id>         stream verdict pushes for a standing
 ///                                 audit expression to the terminal
 ///                                 (an integer or #id attaches to an
@@ -60,6 +63,25 @@
 using namespace auditdb;
 
 namespace {
+
+/// Extracts the balanced-brace object value of a top-level `"key":{...}`
+/// from a JSON text; empty string when absent. Good enough for the
+/// metrics JSON we produce (no braces inside strings).
+std::string ExtractJsonObject(const std::string& json,
+                              const std::string& key) {
+  std::string needle = "\"" + key + "\":{";
+  size_t start = json.find(needle);
+  if (start == std::string::npos) return "";
+  size_t open = start + needle.size() - 1;
+  int depth = 0;
+  for (size_t i = open; i < json.size(); ++i) {
+    if (json[i] == '{') ++depth;
+    if (json[i] == '}' && --depth == 0) {
+      return json.substr(open, i - open + 1);
+    }
+  }
+  return "";
+}
 
 class Shell {
  public:
@@ -120,7 +142,7 @@ class Shell {
           ".workload N [seed]\n"
           ".audit [--jobs N] <expr>  .audit-static [--jobs N] <expr>\n"
           ".granules <expr>\n"
-          ".connect <host:port>  .disconnect  .metrics\n"
+          ".connect <host:port>  .disconnect  .metrics  .policy\n"
           ".subscribe <expr|#id>  .unsubscribe <sub-id>\n"
           "SELECT ...  runs a query and logs it\n"
           ".quit\n");
@@ -159,6 +181,21 @@ class Shell {
       auto metrics = remote_->MetricsJson();
       if (!metrics.ok()) return metrics.status();
       std::printf("%s\n", metrics->c_str());
+      return Status::Ok();
+    }
+    if (cmd == ".policy") {
+      // The server's "policy" metrics section: rule hit counts,
+      // redactions, suppressed logs, reload generation.
+      if (!remote_) return Status::InvalidArgument("not connected");
+      auto metrics = remote_->MetricsJson();
+      if (!metrics.ok()) return metrics.status();
+      std::string section = ExtractJsonObject(*metrics, "policy");
+      if (section.empty()) {
+        std::printf("no policy engine attached (start auditd with "
+                    "--audit-rules)\n");
+      } else {
+        std::printf("%s\n", section.c_str());
+      }
       return Status::Ok();
     }
     if (cmd == ".subscribe") {

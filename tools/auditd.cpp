@@ -44,6 +44,19 @@
 ///                            append survives kill -9), every_n[:N], never
 ///   --checkpoint-every N     snapshot after N WAL records (default 4096;
 ///                            0 = only on drain)
+///   --audit-rules FILE       policy rule config (docs/policy.md): every
+///                            ExecuteQuery is matched against the rules;
+///                            matching rules drive sink emission,
+///                            redaction, and audit detail. SIGHUP
+///                            re-reads the file and swaps the config
+///                            atomically; a broken file keeps the old
+///                            rules live.
+///   --audit-sink-file FILE   attach the "file" policy sink (AUDIT line
+///                            protocol, appended)
+///   --audit-sink-syslog FILE attach the "syslog" policy sink ("-" =
+///                            stderr)
+///   --db-name NAME           database name rule `database =` clauses
+///                            match (default auditdb)
 ///   --port-file FILE         write the bound port (for scripts that
 ///                            start auditd on an ephemeral port)
 ///   --quiet                  suppress the startup banner
@@ -51,7 +64,7 @@
 /// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
 /// requests finish and flush, a final checkpoint persists the stores
 /// (with --data-dir), then the daemon exits 0 and prints the final
-/// metrics JSON.
+/// metrics JSON. SIGHUP hot-reloads --audit-rules.
 
 #include <signal.h>
 
@@ -65,6 +78,7 @@
 #include "src/io/file.h"
 #include "src/io/store.h"
 #include "src/net/server.h"
+#include "src/policy/policy_engine.h"
 #include "src/workload/generator.h"
 #include "src/workload/hospital.h"
 
@@ -100,6 +114,10 @@ struct Flags {
   net::SlowSubscriberPolicy slow_subscriber_policy =
       net::SlowSubscriberPolicy::kDropOldest;
   size_t so_sndbuf = 0;
+  std::string audit_rules;
+  std::string audit_sink_file;
+  std::string audit_sink_syslog;
+  std::string db_name = "auditdb";
 };
 
 bool ParseSize(const char* text, size_t* out) {
@@ -203,6 +221,14 @@ int main(int argc, char** argv) {
       size_t n = 0;
       if (!ParseSize(value, &n)) return Usage(argv[0]);
       flags.checkpoint_every = n;
+    } else if (arg == "--audit-rules" && (value = next())) {
+      flags.audit_rules = value;
+    } else if (arg == "--audit-sink-file" && (value = next())) {
+      flags.audit_sink_file = value;
+    } else if (arg == "--audit-sink-syslog" && (value = next())) {
+      flags.audit_sink_syslog = value;
+    } else if (arg == "--db-name" && (value = next())) {
+      flags.db_name = value;
     } else if (arg == "--port-file" && (value = next())) {
       flags.port_file = value;
     } else {
@@ -210,12 +236,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Route SIGTERM/SIGINT to sigwait below; block them before any thread
-  // spawns so every pool worker inherits the mask.
+  // Route SIGTERM/SIGINT (drain) and SIGHUP (policy reload) to the
+  // sigwait loop below; block them before any thread spawns so every
+  // pool worker inherits the mask.
   sigset_t sigs;
   sigemptyset(&sigs);
   sigaddset(&sigs, SIGTERM);
   sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGHUP);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
   Database db;
@@ -317,6 +345,63 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Policy engine: attach sinks first (rules reference them by name),
+  // then load the rules file. Declared before the server so it outlives
+  // every handler thread.
+  std::unique_ptr<policy::PolicyEngine> engine;
+  if (!flags.audit_rules.empty()) {
+    policy::PolicyEngineOptions engine_options;
+    engine_options.database_name = flags.db_name;
+    engine = std::make_unique<policy::PolicyEngine>(engine_options);
+    if (!flags.audit_sink_file.empty()) {
+      auto sink = policy::FileSink::Open(env, flags.audit_sink_file);
+      if (!sink.ok()) {
+        std::fprintf(stderr, "--audit-sink-file: %s\n",
+                     sink.status().ToString().c_str());
+        return 1;
+      }
+      Status attached = engine->AttachSink(std::move(*sink));
+      if (!attached.ok()) {
+        std::fprintf(stderr, "--audit-sink-file: %s\n",
+                     attached.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!flags.audit_sink_syslog.empty()) {
+      auto sink = policy::SyslogLineSink::Open(env, flags.audit_sink_syslog);
+      if (!sink.ok()) {
+        std::fprintf(stderr, "--audit-sink-syslog: %s\n",
+                     sink.status().ToString().c_str());
+        return 1;
+      }
+      Status attached = engine->AttachSink(std::move(*sink));
+      if (!attached.ok()) {
+        std::fprintf(stderr, "--audit-sink-syslog: %s\n",
+                     attached.ToString().c_str());
+        return 1;
+      }
+    }
+    Status loaded =
+        engine->LoadFile(env, flags.audit_rules, Timestamp::Now());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--audit-rules: %s\n",
+                   loaded.ToString().c_str());
+      return 1;
+    }
+    // Everything rendered from the log (shell display, wire
+    // DetailedReport echoes) goes through the engine's union redaction
+    // set; the stored entries keep the unredacted text that drives
+    // audits.
+    log.SetRedactor([engine_ptr = engine.get()](const std::string& sql) {
+      return engine_ptr->RedactForDisplay(sql);
+    });
+  } else if (!flags.audit_sink_file.empty() ||
+             !flags.audit_sink_syslog.empty()) {
+    std::fprintf(stderr,
+                 "auditd: --audit-sink-* requires --audit-rules\n");
+    return 1;
+  }
+
   service::AuditServiceOptions service_options;
   service_options.pool.num_threads = flags.service_threads;
   service_options.decision_cache_enabled = flags.audit_index;
@@ -338,6 +423,7 @@ int main(int argc, char** argv) {
   server_options.slow_subscriber_policy = flags.slow_subscriber_policy;
   server_options.so_sndbuf = static_cast<int>(flags.so_sndbuf);
   server_options.durable_store = store.get();
+  server_options.policy = engine.get();
   net::AuditServer server(&audit_service, &db, &backlog, &log,
                           server_options);
   Status started = server.Start();
@@ -359,21 +445,55 @@ int main(int argc, char** argv) {
   if (!flags.quiet) {
     std::printf(
         "auditd listening on %s:%u (service threads=%zu, handlers=%zu, "
-        "admission=%s, log=%zu queries)\n",
+        "admission=%s, log=%zu queries",
         server.host().c_str(), server.port(),
         audit_service.num_threads(), flags.handler_threads,
         flags.admission == service::AdmissionPolicy::kReject ? "reject"
                                                              : "block",
         log.size());
+    if (engine != nullptr) {
+      std::printf(", policy rules=%zu", engine->rule_count());
+    }
+    std::printf(")\n");
     std::fflush(stdout);
   }
 
   int sig = 0;
-  sigwait(&sigs, &sig);
+  while (true) {
+    sigwait(&sigs, &sig);
+    if (sig != SIGHUP) break;
+    // SIGHUP: hot-reload the rules file. The swap is atomic — queries
+    // decided under the old config finish under it; a broken file
+    // keeps the old rules live (counted in policy.reload_failures).
+    if (engine == nullptr) {
+      std::fprintf(stderr,
+                   "auditd: SIGHUP but no --audit-rules; ignoring\n");
+      continue;
+    }
+    Status reloaded = engine->Reload(Timestamp::Now());
+    if (reloaded.ok()) {
+      std::fprintf(stderr,
+                   "auditd: reloaded %s (%zu rules, generation %llu)\n",
+                   engine->config_path().c_str(), engine->rule_count(),
+                   (unsigned long long)engine->generation());
+    } else {
+      std::fprintf(stderr,
+                   "auditd: reload of %s failed, keeping old rules: %s\n",
+                   engine->config_path().c_str(),
+                   reloaded.ToString().c_str());
+    }
+  }
   if (!flags.quiet) {
     std::fprintf(stderr, "auditd: signal %d, draining...\n", sig);
   }
   server.Shutdown();
+  if (engine != nullptr) {
+    Status flushed = engine->FlushSinks();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "auditd: sink flush failed: %s\n",
+                   flushed.ToString().c_str());
+    }
+  }
   // The drain finished every in-flight handler, so db/log are quiescent:
   // persist a final checkpoint and truncate the WAL before exiting.
   if (store != nullptr && !store->broken()) {

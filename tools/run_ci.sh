@@ -9,11 +9,16 @@
 # flush parked pushes), failing on any ASan report — the durability gate
 # (crash-fault-injection harness under ASan, then a live kill -9: stream
 # ExecuteQuery at an auditd with --data-dir, SIGKILL it mid-stream, and
-# prove every acked query recovers and re-audits on the same dir) — and
-# finally a Release (-O2) build that smoke-runs the scan and
-# expression-index benches plus the bench_net push-latency sweep and
-# checks their BENCH_scan.json / BENCH_index.json / BENCH_push.json
-# artifacts.
+# prove every acked query recovers and re-audits on the same dir) — the
+# policy gate (rule-config/redaction/sink/engine suites under ASan, then
+# a live auditd with --audit-rules: SIGHUP hot-reload smoke racing a
+# query stream, reload-to-broken keeping the old rules live, and a sink
+# file integrity check: one well-formed redacted record per acked
+# query, no marked literal leaked) — and finally a Release (-O2) build
+# that smoke-runs the scan and expression-index benches plus the
+# bench_net push-latency sweep and the bench_policy overhead acceptance
+# check (<5% at 0% rule-hit rate), checking their BENCH_scan.json /
+# BENCH_index.json / BENCH_push.json / BENCH_policy.json artifacts.
 #
 # Usage: tools/run_ci.sh [build-dir-prefix]
 #   Build trees land in <prefix>, <prefix>-tsan, <prefix>-asan and
@@ -25,25 +30,26 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== [1/6] build (${PREFIX}) =="
+echo "== [1/7] build (${PREFIX}) =="
 cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${PREFIX}" -j "${JOBS}"
 
-echo "== [2/6] ctest =="
+echo "== [2/7] ctest =="
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "== [3/6] service determinism + stress under ThreadSanitizer =="
+echo "== [3/7] service determinism + stress under ThreadSanitizer =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=thread
 # The TSan gate needs the concurrency suites: the service layer, the
-# subscription registry (publishers vs drainers vs churn), and the
-# end-to-end push fan-out (Subscribe/Unsubscribe racing Observe).
+# subscription registry (publishers vs drainers vs churn), the
+# end-to-end push fan-out (Subscribe/Unsubscribe racing Observe), and
+# the policy engine's Decide/Emit-vs-reload race.
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
-      --target service_test subscription_test net_test
+      --target service_test subscription_test net_test policy_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
-      -R 'SchedulerTest|OnlineConcurrentTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest|PushCodecTest|SubscriptionRegistryTest|SubscriptionConcurrentTest|PushSubscriptionTest'
+      -R 'SchedulerTest|OnlineConcurrentTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest|PushCodecTest|SubscriptionRegistryTest|SubscriptionConcurrentTest|PushSubscriptionTest|PolicyEngineConcurrentTest'
 
-echo "== [4/6] network layer under AddressSanitizer =="
+echo "== [4/7] network layer under AddressSanitizer =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
@@ -163,7 +169,96 @@ wait "${SOAK_PID}" || { echo "drain soak failed"; cat "${SOAK_LOG}"; exit 1; }
 grep -q 'SOAK_OK' "${SOAK_LOG}" || { cat "${SOAK_LOG}"; exit 1; }
 rm -f "${PORT_FILE}" "${AUDITD_LOG}" "${SOAK_LOG}"
 
-echo "== [5/6] durability gate under AddressSanitizer =="
+echo "== [5/7] policy gate under AddressSanitizer =="
+cmake --build "${PREFIX}-asan" -j "${JOBS}" \
+      --target policy_test workload_test net_test auditd durability_smoke
+# Rule parsing (incl. the adversarial-config cases), redaction, sink
+# line protocol, engine matching + hot reload, the rule-hit workload
+# axis, and the wire-level policy suite (sink records, redacted
+# DetailedReport with byte-identical verdicts, redacted push frames).
+ctest --test-dir "${PREFIX}-asan" --output-on-failure \
+      -R 'RuleConfigTest|RedactionSetTest|RedactSqlTest|ClassifySqlTest|ExtractTablesTest|SinkLineTest|FileSinkTest|SyslogLineSinkTest|MetricsSinkTest|PolicyEngineTest|PolicyEngineConcurrentTest|PolicyNetTest|WorkloadRuleHitTest'
+
+echo "-- live auditd policy smoke: rules, SIGHUP hot-reload, sinks --"
+RULES_FILE="$(mktemp)"
+SINK_FILE="$(mktemp)"
+DRIVE_LOG="$(mktemp)"
+write_rules() {  # $1 = log-class for the single watch rule
+  cat >"${RULES_FILE}" <<EOF
+[rule watch]
+user = smoke
+log-class = $1
+detail = static-screen
+redact = disease
+sink = file, metrics
+EOF
+}
+write_rules alpha
+start_auditd --fixture hospital:50:2008 \
+    --audit-rules "${RULES_FILE}" --audit-sink-file "${SINK_FILE}"
+
+# drive N: stream N watched ExecuteQuery round-trips, echo acked count.
+drive() {
+  "${PREFIX}-asan/tools/durability_smoke" drive "127.0.0.1:${PORT}" "$1" \
+      2>/dev/null | awk '/^acked/{print $2}'
+}
+
+# Phase 1: alpha rules.
+D1="$(drive 40)"
+[ "${D1}" = "40" ] || { echo "alpha drive acked ${D1}/40"; exit 1; }
+
+# Phase 2: five SIGHUP hot-reloads (alternating alpha/beta) racing a
+# background query stream — the swap must be atomic under live traffic.
+"${PREFIX}-asan/tools/durability_smoke" drive "127.0.0.1:${PORT}" 1000 \
+    >"${DRIVE_LOG}" 2>/dev/null &
+DRIVER_PID=$!
+for i in 1 2 3 4 5; do
+  if [ $((i % 2)) -eq 0 ]; then write_rules alpha; else write_rules beta; fi
+  kill -HUP "${AUDITD_PID}"
+  sleep 0.1
+done
+wait "${DRIVER_PID}" || { echo "background driver failed"; exit 1; }
+D2="$(awk '/^acked/{print $2}' "${DRIVE_LOG}")"
+[ "${D2}" = "1000" ] || { echo "reload-race drive acked ${D2}/1000"; exit 1; }
+
+# Phase 3: traffic after the last reload must carry the new log class.
+D3="$(drive 20)"
+[ "${D3}" = "20" ] || { echo "beta drive acked ${D3}/20"; exit 1; }
+
+# Phase 4: reload-to-broken keeps the old rules live (and the daemon up).
+echo "[rule broken" >"${RULES_FILE}"
+kill -HUP "${AUDITD_PID}"
+sleep 0.3
+kill -0 "${AUDITD_PID}" || { echo "auditd died on broken reload"; cat "${AUDITD_LOG}"; exit 1; }
+D4="$(drive 20)"
+[ "${D4}" = "20" ] || { echo "post-broken drive acked ${D4}/20"; exit 1; }
+
+drain_auditd
+grep -q 'auditd: reloaded' "${AUDITD_LOG}" || {
+  echo "auditd never reported a successful reload"; cat "${AUDITD_LOG}"; exit 1; }
+grep -q 'keeping old rules' "${AUDITD_LOG}" || {
+  echo "auditd did not survive the broken config"; cat "${AUDITD_LOG}"; exit 1; }
+
+# Sink file integrity: one well-formed record per acked query, both log
+# classes observed across the reloads, redaction applied, no leak of the
+# marked literal.
+TOTAL=$((D1 + D2 + D3 + D4))
+LINES="$(wc -l <"${SINK_FILE}")"
+[ "${LINES}" = "${TOTAL}" ] || {
+  echo "sink file has ${LINES} records, expected ${TOTAL}"; exit 1; }
+awk -F'|' '!/^AUDIT / || NF != 12 { bad++ }
+           END { exit (bad > 0) }' "${SINK_FILE}" || {
+  echo "sink file contains malformed records"; exit 1; }
+grep -q '|alpha|' "${SINK_FILE}" || { echo "no alpha-class records"; exit 1; }
+grep -q '|beta|' "${SINK_FILE}" || { echo "no beta-class records"; exit 1; }
+grep -q '\[REDACTED\]' "${SINK_FILE}" || {
+  echo "sink records are not redacted"; exit 1; }
+if grep -q 'diabetic' "${SINK_FILE}"; then
+  echo "sink file leaked the redacted literal"; exit 1
+fi
+rm -f "${RULES_FILE}" "${SINK_FILE}" "${DRIVE_LOG}" "${PORT_FILE}" "${AUDITD_LOG}"
+
+echo "== [6/7] durability gate under AddressSanitizer =="
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target io_test querylog_test net_test auditd durability_smoke
 # The crash-fault-injection harness: every injected IO failure and every
@@ -235,7 +330,7 @@ grep -q 'auditd: recovered snapshot' "${AUDITD_LOG}" || {
 rm -rf "${DATA_DIR}"
 rm -f "${PORT_FILE}" "${AUDITD_LOG}" "${ACKS_FILE}"
 
-echo "== [6/6] Release build + bench smokes =="
+echo "== [7/7] Release build + bench smokes =="
 cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_scan bench_index
 # A tiny sweep: one fused-filter shape in both scan modes, just enough to
@@ -268,5 +363,19 @@ cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_net
   echo "bench_net did not write BENCH_push.json"; exit 1; }
 grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_push.json" || {
   echo "BENCH_push.json is not benchmark JSON"; exit 1; }
+
+# The policy bench: rule-match throughput vs rule count + redaction
+# cost (emits BENCH_policy.json), then the overhead acceptance check —
+# a 64-rule engine at 0% hit rate must stay within 5% of an empty one
+# on the live ExecuteQuery path (paired same-server measurement).
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_policy
+( cd "${PREFIX}-release/bench" && \
+  ./bench_policy --benchmark_filter='BM_Decide(Miss|HitLast)/64' \
+                 --benchmark_min_time=0.05 )
+[ -s "${PREFIX}-release/bench/BENCH_policy.json" ] || {
+  echo "bench_policy did not write BENCH_policy.json"; exit 1; }
+grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_policy.json" || {
+  echo "BENCH_policy.json is not benchmark JSON"; exit 1; }
+( cd "${PREFIX}-release/bench" && ./bench_policy overhead 300 )
 
 echo "CI gate passed."
