@@ -53,7 +53,7 @@ void BM_SnapshotReconstruction(benchmark::State& state) {
     benchmark::DoNotOptimize(snapshot);
   }
   state.counters["events"] =
-      static_cast<double>(world->backlog.events().size());
+      static_cast<double>(world->backlog.event_count());
 }
 BENCHMARK(BM_SnapshotReconstruction)
     ->Arg(0)

@@ -9,10 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "bench/bench_util.h"
 #include "src/audit/audit_index.h"
 #include "src/audit/candidate.h"
 #include "src/expr/satisfiability.h"
+#include "src/sql/query_shape.h"
 
 namespace {
 
@@ -30,8 +33,8 @@ void BM_StaticFilter(benchmark::State& state) {
 
   // Pre-parse the log once: this phase benchmarks the filter itself.
   std::vector<sql::SelectStatement> statements;
-  for (const auto& entry : world->log.entries()) {
-    auto stmt = sql::ParseSelect(entry.sql);
+  for (size_t i = 0; i < world->log.size(); ++i) {
+    auto stmt = sql::ParseSelect(world->log.Entry(i).sql);
     if (!stmt.ok()) std::abort();
     statements.push_back(std::move(*stmt));
   }
@@ -76,15 +79,16 @@ void BM_StaticFilterCached(benchmark::State& state) {
   auto world = MakeWorld(/*patients=*/200, log_size, /*sensitive=*/0.4);
   auto expr = audit::ParseAudit(bench::CanonicalAudit(), bench::Ts(1000000));
   if (!expr.ok() || !expr->Qualify(world->db.catalog()).ok()) std::abort();
-  const std::string expr_key = expr->ToString();
+  const uint64_t expr_hash = std::hash<std::string>{}(expr->ToString());
 
   std::vector<sql::SelectStatement> statements;
-  std::vector<std::string> keys;
-  for (const auto& entry : world->log.entries()) {
+  std::vector<sql::QueryShape> keys;
+  for (size_t i = 0; i < world->log.size(); ++i) {
+    const auto& entry = world->log.Entry(i);
     auto stmt = sql::ParseSelect(entry.sql);
     if (!stmt.ok()) std::abort();
     statements.push_back(std::move(*stmt));
-    keys.push_back(audit::NormalizedSqlKey(entry.sql));
+    keys.push_back(sql::ComputeQueryShape(entry.sql));
   }
 
   audit::DecisionCacheOptions cache_options;
@@ -94,7 +98,7 @@ void BM_StaticFilterCached(benchmark::State& state) {
   for (auto _ : state) {
     kept = 0;
     for (size_t i = 0; i < statements.size(); ++i) {
-      auto candidate = cache.BatchCandidate(keys[i], expr_key, 0,
+      auto candidate = cache.BatchCandidate(keys[i], expr_hash, 0,
                                             statements[i], *expr,
                                             world->db.catalog(),
                                             audit::CandidateOptions{});

@@ -44,9 +44,9 @@ void BM_ObserveLatency(benchmark::State& state) {
     if (!online.AddExpression(*expr).ok()) std::abort();
   }
   size_t next = 0;
-  const auto& entries = world->log.entries();
+  const QueryLog& entries = world->log;
   for (auto _ : state) {
-    auto screenings = online.Observe(entries[next % entries.size()]);
+    auto screenings = online.Observe(entries.Entry(next % entries.size()));
     if (!screenings.ok()) std::abort();
     benchmark::DoNotOptimize(screenings);
     ++next;
@@ -70,7 +70,7 @@ void BM_ObserveWithChurn(benchmark::State& state) {
   if (!expr.ok() || !online.AddExpression(*expr).ok()) std::abort();
   size_t next = 0;
   int64_t t = 100000;
-  const auto& entries = world->log.entries();
+  const QueryLog& entries = world->log;
   for (auto _ : state) {
     if (churn) {
       auto status = world->db.UpdateColumn(
@@ -78,7 +78,7 @@ void BM_ObserveWithChurn(benchmark::State& state) {
           Value::String("W1"), Ts(t++));
       if (!status.ok()) std::abort();
     }
-    auto screenings = online.Observe(entries[next % entries.size()]);
+    auto screenings = online.Observe(entries.Entry(next % entries.size()));
     if (!screenings.ok()) std::abort();
     ++next;
   }
@@ -98,8 +98,8 @@ void BM_OnlineWholeLog(benchmark::State& state) {
   for (auto _ : state) {
     audit::OnlineAuditor online(&world->db);
     if (!online.AddExpression(*expr).ok()) std::abort();
-    for (const auto& entry : world->log.entries()) {
-      auto screenings = online.Observe(entry);
+    for (size_t i = 0; i < world->log.size(); ++i) {
+      auto screenings = online.Observe(world->log.Entry(i));
       if (!screenings.ok()) std::abort();
     }
   }

@@ -88,8 +88,8 @@ void BM_ParseGeneratedWorkload(benchmark::State& state) {
     std::abort();
   }
   for (auto _ : state) {
-    for (const auto& entry : log.entries()) {
-      auto stmt = sql::ParseSelect(entry.sql);
+    for (size_t i = 0; i < log.size(); ++i) {
+      auto stmt = sql::ParseSelect(log.Entry(i).sql);
       if (!stmt.ok()) std::abort();
       benchmark::DoNotOptimize(stmt);
     }

@@ -46,8 +46,8 @@ int main() {
       Ts(300), "carol", "analyst", "research");
 
   std::printf("query log:\n");
-  for (const auto& entry : log.entries()) {
-    std::printf("  %s\n", entry.ToString().c_str());
+  for (size_t i = 0; i < log.size(); ++i) {
+    std::printf("  %s\n", log.Entry(i).ToString().c_str());
   }
 
   // 3. A privacy complaint arrives: who saw disease data of patients in

@@ -79,24 +79,23 @@ std::vector<int> ExpressionIndex::Candidates(
 
 namespace {
 
-/// Composite cache keys. '\x1f' (unit separator) cannot appear in
-/// normalized SQL or canonical expression text, so the joins are
-/// injective.
-std::string ColumnsKey(const std::string& sql_key, bool outputs_only,
-                       uint64_t mutation) {
-  return sql_key + '\x1f' + (outputs_only ? "o" : "a") + '\x1f' +
-         std::to_string(mutation);
+/// Composite cache keys. Every component is a fixed-width hex/decimal
+/// rendering joined with '\x1f', so the concatenations are injective.
+std::string ColumnsKey(const sql::QueryShape& shape, bool outputs_only,
+                       uint64_t state_key) {
+  return shape.ToHex() + '\x1f' + (outputs_only ? "o" : "a") + '\x1f' +
+         std::to_string(state_key);
 }
 
-std::string DecisionKey(const std::string& sql_key,
-                        const std::string& expr_key, uint64_t mutation,
-                        const CandidateOptions& options) {
-  return sql_key + '\x1f' + expr_key + '\x1f' + std::to_string(mutation) +
-         '\x1f' + (options.use_satisfiability ? "s" : "-");
+std::string DecisionKey(const sql::QueryShape& shape, uint64_t expr_hash,
+                        uint64_t state_key, const CandidateOptions& options) {
+  return shape.ToHex() + '\x1f' + std::to_string(expr_hash) + '\x1f' +
+         std::to_string(state_key) + '\x1f' +
+         (options.use_satisfiability ? "s" : "-");
 }
 
-std::string ProfileKey(const std::string& sql_key, uint64_t mutation) {
-  return sql_key + '\x1f' + std::to_string(mutation);
+std::string ProfileKey(const sql::QueryShape& shape, uint64_t state_key) {
+  return shape.ToHex() + '\x1f' + std::to_string(state_key);
 }
 
 }  // namespace
@@ -105,9 +104,9 @@ DecisionCache::DecisionCache(DecisionCacheOptions options)
     : options_(options) {}
 
 Result<DecisionCache::ColumnsEntry> DecisionCache::AccessedColumns(
-    const std::string& sql_key, bool outputs_only, uint64_t mutation,
+    const sql::QueryShape& shape, bool outputs_only, uint64_t state_key,
     const sql::SelectStatement& stmt, const Catalog& catalog) {
-  std::string key = ColumnsKey(sql_key, outputs_only, mutation);
+  std::string key = ColumnsKey(shape, outputs_only, state_key);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = columns_.find(key);
@@ -134,14 +133,14 @@ Result<DecisionCache::ColumnsEntry> DecisionCache::AccessedColumns(
   return entry;
 }
 
-Result<bool> DecisionCache::BatchCandidate(const std::string& sql_key,
-                                           const std::string& expr_key,
-                                           uint64_t mutation,
+Result<bool> DecisionCache::BatchCandidate(const sql::QueryShape& shape,
+                                           uint64_t expr_hash,
+                                           uint64_t state_key,
                                            const sql::SelectStatement& stmt,
                                            const AuditExpression& expr,
                                            const Catalog& catalog,
                                            const CandidateOptions& options) {
-  std::string key = DecisionKey(sql_key, expr_key, mutation, options);
+  std::string key = DecisionKey(shape, expr_hash, state_key, options);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = decisions_.find(key);
@@ -170,8 +169,8 @@ Result<bool> DecisionCache::BatchCandidate(const std::string& sql_key,
 }
 
 std::shared_ptr<const AccessProfile> DecisionCache::LookupProfile(
-    const std::string& sql_key, uint64_t mutation) const {
-  std::string key = ProfileKey(sql_key, mutation);
+    const sql::QueryShape& shape, uint64_t state_key) const {
+  std::string key = ProfileKey(shape, state_key);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = profiles_.find(key);
   if (it == profiles_.end()) {
@@ -182,10 +181,10 @@ std::shared_ptr<const AccessProfile> DecisionCache::LookupProfile(
   return it->second;
 }
 
-void DecisionCache::StoreProfile(const std::string& sql_key,
-                                 uint64_t mutation,
+void DecisionCache::StoreProfile(const sql::QueryShape& shape,
+                                 uint64_t state_key,
                                  std::shared_ptr<const AccessProfile> profile) {
-  std::string key = ProfileKey(sql_key, mutation);
+  std::string key = ProfileKey(shape, state_key);
   std::lock_guard<std::mutex> lock(mutex_);
   if (profiles_.size() >= options_.max_profile_entries) profiles_.clear();
   profiles_.emplace(std::move(key), std::move(profile));
@@ -215,9 +214,9 @@ size_t DecisionCache::profile_entries() const {
 }
 
 Result<bool> CachedBatchCandidate(DecisionCache* cache,
-                                  const std::string& sql_key,
-                                  const std::string& expr_key,
-                                  uint64_t mutation,
+                                  const sql::QueryShape& shape,
+                                  uint64_t expr_hash,
+                                  uint64_t state_key,
                                   const sql::SelectStatement& stmt,
                                   const AuditExpression& expr,
                                   const Catalog& catalog,
@@ -225,7 +224,7 @@ Result<bool> CachedBatchCandidate(DecisionCache* cache,
   if (cache == nullptr) {
     return IsBatchCandidate(stmt, expr, catalog, options);
   }
-  return cache->BatchCandidate(sql_key, expr_key, mutation, stmt, expr,
+  return cache->BatchCandidate(shape, expr_hash, state_key, stmt, expr,
                                catalog, options);
 }
 

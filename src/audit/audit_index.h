@@ -14,6 +14,7 @@
 #include "src/audit/audit_expression.h"
 #include "src/audit/candidate.h"
 #include "src/engine/lineage.h"
+#include "src/sql/query_shape.h"
 
 namespace auditdb {
 namespace audit {
@@ -99,11 +100,21 @@ struct DecisionCacheOptions {
 };
 
 /// Memoizes the static per-query / per-(query, expression) decisions and
-/// the executed access profiles, keyed on (normalized SQL [, expression
-/// key], database mutation count). Thread-safe: screenings of distinct
-/// expressions share one cache across worker threads. Invalidate() is
-/// wired to the database's change listener; the mutation count in every
-/// key makes stale hits impossible even between listener firings.
+/// the executed access profiles, keyed on (query shape [, expression
+/// hash], state key). The state key is chosen by the caller for what the
+/// decision actually depends on:
+///   - purely static decisions (accessed columns, batch candidacy) read
+///     only schemas, so their key is the catalog epoch — row writes never
+///     evict them;
+///   - executed access profiles read table data, so their key is the
+///     EpochFingerprint of the version epochs of exactly the tables the
+///     query touches — a write to P-Employ cannot evict a P-Health
+///     profile.
+/// Thread-safe: screenings of distinct expressions share one cache across
+/// worker threads. Stale hits are impossible by construction (the state
+/// key is part of every entry's key), so nothing needs to invalidate the
+/// cache on writes; Invalidate() remains for tests and the wholesale-
+/// invalidation ablation.
 class DecisionCache {
  public:
   explicit DecisionCache(DecisionCacheOptions options = DecisionCacheOptions{});
@@ -120,31 +131,35 @@ class DecisionCache {
     /// copying it.
     std::shared_ptr<const std::set<ColumnRef>> columns;
   };
-  Result<ColumnsEntry> AccessedColumns(const std::string& sql_key,
-                                       bool outputs_only, uint64_t mutation,
+  Result<ColumnsEntry> AccessedColumns(const sql::QueryShape& shape,
+                                       bool outputs_only, uint64_t state_key,
                                        const sql::SelectStatement& stmt,
                                        const Catalog& catalog);
 
-  /// IsBatchCandidate memoized per (query, expression). `expr_key` must
-  /// identify the qualified expression (its canonical string); `options`
-  /// variations are folded into the key.
-  Result<bool> BatchCandidate(const std::string& sql_key,
-                              const std::string& expr_key, uint64_t mutation,
+  /// IsBatchCandidate memoized per (query shape, expression hash).
+  /// `expr_hash` must identify the qualified expression (a structural
+  /// hash of its canonical form); `options` variations are folded into
+  /// the key.
+  Result<bool> BatchCandidate(const sql::QueryShape& shape,
+                              uint64_t expr_hash, uint64_t state_key,
                               const sql::SelectStatement& stmt,
                               const AuditExpression& expr,
                               const Catalog& catalog,
                               const CandidateOptions& options);
 
-  /// Executed access profile of one query against the state at
-  /// `mutation`. Only successful executions are cached (failures are
-  /// deterministic and cheap relative to a successful execution).
-  /// Returns nullptr on miss; the caller computes and Store()s.
+  /// Executed access profile of one query against the data state
+  /// identified by `state_key`. Only successful executions are cached
+  /// (failures are deterministic and cheap relative to a successful
+  /// execution). Returns nullptr on miss; the caller computes and
+  /// Store()s.
   std::shared_ptr<const AccessProfile> LookupProfile(
-      const std::string& sql_key, uint64_t mutation) const;
-  void StoreProfile(const std::string& sql_key, uint64_t mutation,
+      const sql::QueryShape& shape, uint64_t state_key) const;
+  void StoreProfile(const sql::QueryShape& shape, uint64_t state_key,
                     std::shared_ptr<const AccessProfile> profile);
 
-  /// Drops every entry (change-listener hook).
+  /// Drops every entry. Not needed for correctness anymore (keys carry
+  /// their state); kept for tests and the ablation mode that emulates
+  /// the old wholesale change-listener invalidation.
   void Invalidate();
 
   AuditIndexStats* stats() { return &stats_; }
@@ -175,9 +190,9 @@ class DecisionCache {
 /// exactly IsBatchCandidate. The shared helper keeps the online and
 /// offline screeners byte-identical with and without memoization.
 Result<bool> CachedBatchCandidate(DecisionCache* cache,
-                                  const std::string& sql_key,
-                                  const std::string& expr_key,
-                                  uint64_t mutation,
+                                  const sql::QueryShape& shape,
+                                  uint64_t expr_hash,
+                                  uint64_t state_key,
                                   const sql::SelectStatement& stmt,
                                   const AuditExpression& expr,
                                   const Catalog& catalog,

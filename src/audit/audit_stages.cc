@@ -1,6 +1,7 @@
 #include "src/audit/audit_stages.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "src/audit/audit_index.h"
@@ -9,6 +10,19 @@
 namespace auditdb {
 namespace audit {
 
+namespace {
+
+/// Shape-level outcome of parse + static candidacy, shared by every log
+/// entry with that shape inside one screened range.
+struct ShapeScreen {
+  bool parse_failed = false;
+  bool error = false;
+  bool candidate = false;
+  std::shared_ptr<const sql::SelectStatement> stmt;
+};
+
+}  // namespace
+
 StaticScreenResult StaticScreenRange(const AuditExpression& expr,
                                      const QueryLog& log,
                                      const Catalog& catalog,
@@ -16,34 +30,53 @@ StaticScreenResult StaticScreenRange(const AuditExpression& expr,
                                      size_t begin, size_t end,
                                      const CandidateCacheContext& cache_ctx) {
   StaticScreenResult out;
-  const auto& entries = log.entries();
-  end = std::min(end, entries.size());
+  end = std::min(end, log.size());
+  std::unordered_map<sql::QueryShape, ShapeScreen, sql::QueryShapeHash> memo;
   for (size_t i = begin; i < end; ++i) {
-    const LoggedQuery& logged = entries[i];
+    const LoggedQuery& logged = log.Entry(i);
     QueryVerdict verdict;
     verdict.query_id = logged.id;
     verdict.admitted = expr.filter.Admits(logged);
     if (verdict.admitted) {
       ++out.num_admitted;
-      auto stmt = sql::ParseSelect(logged.sql);
-      if (!stmt.ok()) {
-        verdict.parse_failed = true;
-      } else {
-        auto candidate =
-            cache_ctx.cache == nullptr
-                ? IsBatchCandidate(*stmt, expr, catalog, options)
-                : cache_ctx.cache->BatchCandidate(
-                      NormalizedSqlKey(logged.sql), cache_ctx.expr_key,
-                      cache_ctx.mutation, *stmt, expr, catalog, options);
-        if (!candidate.ok()) {
-          // Unresolvable columns / unknown tables: the check proved
-          // nothing about this query. Record an error verdict, distinct
-          // from "statically cleared".
-          verdict.error = true;
-        } else if (*candidate) {
-          verdict.candidate = true;
-          out.candidates.push_back(ScreenedCandidate{i, std::move(*stmt)});
+      sql::QueryShape shape = logged.shape.zero()
+                                  ? sql::ComputeQueryShape(logged.sql)
+                                  : logged.shape;
+      ShapeScreen fresh;
+      ShapeScreen* screened = nullptr;
+      if (cache_ctx.shape_dedup) {
+        auto hit = memo.find(shape);
+        if (hit != memo.end()) screened = &hit->second;
+      }
+      if (screened == nullptr) {
+        auto stmt = sql::ParseSelect(logged.sql);
+        if (!stmt.ok()) {
+          fresh.parse_failed = true;
+        } else {
+          auto shared = std::make_shared<const sql::SelectStatement>(
+              std::move(*stmt));
+          auto candidate = CachedBatchCandidate(
+              cache_ctx.cache, shape, cache_ctx.expr_hash,
+              cache_ctx.state_key, *shared, expr, catalog, options);
+          if (!candidate.ok()) {
+            // Unresolvable columns / unknown tables: the check proved
+            // nothing about this query. Record an error verdict, distinct
+            // from "statically cleared".
+            fresh.error = true;
+          } else if (*candidate) {
+            fresh.candidate = true;
+            fresh.stmt = std::move(shared);
+          }
         }
+        screened = cache_ctx.shape_dedup
+                       ? &memo.emplace(shape, std::move(fresh)).first->second
+                       : &fresh;
+      }
+      verdict.parse_failed = screened->parse_failed;
+      verdict.error = screened->error;
+      if (screened->candidate) {
+        verdict.candidate = true;
+        out.candidates.push_back(ScreenedCandidate{i, screened->stmt});
       }
     }
     out.verdicts.push_back(verdict);

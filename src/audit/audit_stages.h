@@ -17,10 +17,12 @@ namespace audit {
 
 /// A query that survived the static phase within one log shard.
 struct ScreenedCandidate {
-  /// Index into QueryLog::entries() (global, not shard-relative), so
-  /// shard results merge back into log order.
+  /// Position in the QueryLog (global, not shard-relative), so shard
+  /// results merge back into log order.
   size_t log_index = 0;
-  sql::SelectStatement stmt;
+  /// Parsed statement; shared because structurally-identical log entries
+  /// (same shape) are parsed once and reference one immutable AST.
+  std::shared_ptr<const sql::SelectStatement> stmt;
 };
 
 /// Phases 1+2 over one contiguous log range.
@@ -34,14 +36,21 @@ struct StaticScreenResult {
 
 /// Decision-cache context for the static phase (audit_index.h). With
 /// `cache` null every candidacy check runs directly; otherwise checks are
-/// memoized under (normalized SQL, `expr_key`, `mutation`). Results are
+/// memoized under (query shape, `expr_hash`, `state_key`). Results are
 /// byte-identical either way (errors are cached too).
 struct CandidateCacheContext {
   DecisionCache* cache = nullptr;
-  /// Canonical text of the qualified expression being audited.
-  std::string expr_key;
-  /// Database mutation count the audit runs against.
-  uint64_t mutation = 0;
+  /// Structural hash of the qualified expression being audited.
+  uint64_t expr_hash = 0;
+  /// State key the static decisions are valid for (the catalog epoch of
+  /// the pinned view; the global mutation count in ablation mode).
+  uint64_t state_key = 0;
+  /// Parse + screen once per structural shape instead of once per log
+  /// entry (sound: shape-equal entries lex to identical token streams,
+  /// so they parse and screen identically; admission stays per-entry
+  /// because it reads the entry's user/role/purpose/time annotations).
+  /// Off reproduces the pre-shape behavior for ablation.
+  bool shape_dedup = true;
 };
 
 /// Runs limiting-parameter admission, SQL parsing, and static candidacy

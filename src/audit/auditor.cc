@@ -134,14 +134,32 @@ Result<AuditReport> Auditor::Audit(const std::string& audit_text,
   return Audit(*expr, options);
 }
 
+AuditPin Auditor::Pin() const {
+  AuditPin pin;
+  // Order matters for consistency under concurrent writers: capture the
+  // log and backlog prefixes *before* the database view, so every query/
+  // event inside the pin has its effects inside the pinned versions too
+  // (the view can only be newer, never older, than the prefixes).
+  pin.log_size = log_->size();
+  pin.backlog_events = backlog_->event_count();
+  pin.db = db_->Snapshot();
+  return pin;
+}
+
 Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
                                    const AuditOptions& options) const {
+  return AuditPinned(parsed, options, Pin());
+}
+
+Result<AuditReport> Auditor::AuditPinned(const AuditExpression& parsed,
+                                         const AuditOptions& options,
+                                         const AuditPin& pin) const {
   AuditExpression expr = parsed.Clone();
-  AUDITDB_RETURN_IF_ERROR(expr.Qualify(db_->catalog()));
+  AUDITDB_RETURN_IF_ERROR(expr.Qualify(pin.db.catalog()));
 
   AuditReport report;
   report.expression = expr.ToString();
-  report.num_logged = log_->size();
+  report.num_logged = pin.log_size;
 
   using Clock = std::chrono::steady_clock;
   auto seconds_since = [](Clock::time_point start) {
@@ -150,14 +168,20 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
   auto phase_start = Clock::now();
 
   // Phase 1+2: limiting parameters, then static candidacy (the same
-  // range helper the concurrent scheduler shards over).
+  // range helper the concurrent scheduler shards over). Static decisions
+  // read only schemas, so their cache key is the catalog epoch — row
+  // writes never evict them (the ablation flag restores the old
+  // evict-on-any-write keying).
   CandidateCacheContext cache_ctx;
   cache_ctx.cache = options.cache;
-  cache_ctx.expr_key = report.expression;
-  cache_ctx.mutation = db_->mutation_count();
+  cache_ctx.expr_hash = std::hash<std::string>{}(report.expression);
+  cache_ctx.state_key = options.cache_global_state_keys
+                            ? db_->mutation_count()
+                            : pin.db.catalog_epoch();
+  cache_ctx.shape_dedup = options.shape_dedup;
   StaticScreenResult screened =
-      StaticScreenRange(expr, *log_, db_->catalog(), options.candidate, 0,
-                        log_->size(), cache_ctx);
+      StaticScreenRange(expr, *log_, pin.db.catalog(), options.candidate, 0,
+                        pin.log_size, cache_ctx);
   report.verdicts = std::move(screened.verdicts);
   report.num_admitted = screened.num_admitted;
   report.num_candidates = screened.candidates.size();
@@ -169,12 +193,14 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
   if (options.static_only) {
     std::vector<const sql::SelectStatement*> stmts;
     stmts.reserve(candidates.size());
-    for (const auto& candidate : candidates) stmts.push_back(&candidate.stmt);
-    StaticOnlyBatchVerdict(expr, db_->catalog(), stmts, &report);
+    for (const auto& candidate : candidates) {
+      stmts.push_back(candidate.stmt.get());
+    }
+    StaticOnlyBatchVerdict(expr, pin.db.catalog(), stmts, &report);
     if (options.per_query_verdicts) {
       for (const auto& candidate : candidates) {
-        auto single = IsSingleCandidate(candidate.stmt, expr, db_->catalog(),
-                                        options.candidate);
+        auto single = IsSingleCandidate(*candidate.stmt, expr,
+                                        pin.db.catalog(), options.candidate);
         QueryVerdict& verdict = report.verdicts[candidate.log_index];
         // A failed check proves nothing — flag the error instead of
         // silently reporting the query as not suspicious.
@@ -188,9 +214,11 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
     return report;
   }
 
-  // Phase 3: target data view across DATA-INTERVAL versions.
+  // Phase 3: target data view across DATA-INTERVAL versions (reading
+  // only the pinned backlog prefix).
   phase_start = Clock::now();
-  auto view = ComputeTargetViewOverVersions(expr, *backlog_, options.exec);
+  auto view = ComputeTargetViewOverVersions(expr, *backlog_, options.exec,
+                                            pin.backlog_events);
   if (!view.ok()) return view.status();
   report.target_view_size = view->size();
 
@@ -206,18 +234,19 @@ Result<AuditReport> Auditor::Audit(const AuditExpression& parsed,
   std::vector<AccessProfile> profiles;
   std::vector<int64_t> profile_ids;
   for (const auto& candidate : candidates) {
-    const LoggedQuery& logged = log_->entries()[candidate.log_index];
-    size_t key = backlog_->EventCountAt(logged.timestamp);
+    const LoggedQuery& logged = log_->Entry(candidate.log_index);
+    size_t key = backlog_->EventCountAt(logged.timestamp, pin.backlog_events);
     auto it = snapshot_cache.find(key);
     if (it == snapshot_cache.end()) {
-      auto snapshot = backlog_->SnapshotAt(logged.timestamp);
+      auto snapshot =
+          backlog_->SnapshotAt(logged.timestamp, pin.backlog_events);
       if (!snapshot.ok()) return snapshot.status();
       it = snapshot_cache
                .emplace(key,
                         std::make_unique<Snapshot>(std::move(*snapshot)))
                .first;
     }
-    auto profile = ComputeAccessProfile(candidate.stmt, it->second->View(),
+    auto profile = ComputeAccessProfile(*candidate.stmt, it->second->View(),
                                         options.exec);
     if (!profile.ok()) {
       // Execution-time failure (e.g. type error): skip this query but

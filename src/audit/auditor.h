@@ -41,6 +41,27 @@ struct AuditOptions {
   /// the serving stack. Non-owning — must outlive the audit. Null runs
   /// every check directly; results are byte-identical either way.
   DecisionCache* cache = nullptr;
+  /// Parse + screen once per structural query shape instead of once per
+  /// log entry. Off reproduces the per-entry behavior (ablation; results
+  /// are byte-identical either way).
+  bool shape_dedup = true;
+  /// Ablation: key cached decisions on the global mutation count (the
+  /// pre-MVCC scheme, where any write evicts everything) instead of the
+  /// catalog epoch / per-table version fingerprints. Never changes
+  /// results, only hit rates; used by bench_mixed.
+  bool cache_global_state_keys = false;
+};
+
+/// One consistent cut across the three audit stores, captured at a single
+/// instant: the pinned database view plus the published prefixes of the
+/// query log and the backlog. An audit that runs entirely against a pin
+/// sees a frozen world — concurrent writes land in versions and log/
+/// backlog suffixes the audit never reads — so it needs no lock for its
+/// whole duration, only for the capture.
+struct AuditPin {
+  DatabaseView db;
+  size_t log_size = 0;
+  size_t backlog_events = 0;
 };
 
 /// Outcome for one logged query.
@@ -121,15 +142,29 @@ class Auditor {
   Auditor(const Database* db, const Backlog* backlog, const QueryLog* log)
       : db_(db), backlog_(backlog), log_(log) {}
 
+  /// Captures a consistent pin of the three stores (cheap: shares
+  /// storage, copies nothing). Safe to call concurrently with writers.
+  AuditPin Pin() const;
+
   /// Parses (anchored at `now`) and audits.
   Result<AuditReport> Audit(const std::string& audit_text, Timestamp now,
                             const AuditOptions& options = AuditOptions{})
       const;
 
-  /// Audits a parsed (not yet qualified) expression.
+  /// Audits a parsed (not yet qualified) expression against a pin
+  /// captured now.
   Result<AuditReport> Audit(const AuditExpression& expr,
                             const AuditOptions& options = AuditOptions{})
       const;
+
+  /// Audits against an existing pin. The whole pipeline — qualification,
+  /// static screen, target view, historical re-execution, suspicion —
+  /// reads only the pinned state, so it runs correctly concurrent with
+  /// writers and two audits over equal pins produce byte-identical
+  /// reports.
+  Result<AuditReport> AuditPinned(const AuditExpression& expr,
+                                  const AuditOptions& options,
+                                  const AuditPin& pin) const;
 
   /// Parallel entry point: shards the pipeline over `scheduler`'s worker
   /// pool and merges deterministically — the report's CanonicalString()

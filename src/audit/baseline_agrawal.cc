@@ -44,7 +44,9 @@ Result<AgrawalAuditor::Result_> AgrawalAuditor::Audit(
   AUDITDB_RETURN_IF_ERROR(expr.Qualify(db_->catalog()));
 
   Result_ result;
-  for (const auto& logged : log_->entries()) {
+  const size_t num_logged = log_->size();
+  for (size_t i = 0; i < num_logged; ++i) {
+    const auto& logged = log_->Entry(i);
     if (!expr.filter.Admits(logged)) continue;
     auto stmt = sql::ParseSelect(logged.sql);
     if (!stmt.ok()) continue;

@@ -21,7 +21,9 @@ Result<MotwaniAuditor::BatchResult> MotwaniAuditor::Audit(
   BatchResult result;
   std::set<ColumnRef> covered_by_sharing;
 
-  for (const auto& logged : log_->entries()) {
+  const size_t num_logged = log_->size();
+  for (size_t i = 0; i < num_logged; ++i) {
+    const auto& logged = log_->Entry(i);
     if (!expr.filter.Admits(logged)) continue;
     auto stmt = sql::ParseSelect(logged.sql);
     if (!stmt.ok()) continue;

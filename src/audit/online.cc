@@ -70,31 +70,26 @@ OnlineAuditor::OnlineAuditor(Database* db, OnlineAuditorOptions options)
     : db_(db),
       options_(std::move(options)),
       cache_(options_.cache != nullptr ? options_.cache
-                                       : std::make_shared<DecisionCache>()),
-      change_counter_(std::make_shared<uint64_t>(0)) {
-  // One listener serves both layers: the counter flags stale target
-  // views, and the cache drop keeps memoized decisions from surviving a
-  // mutation even transiently (the mutation count in every cache key
-  // already makes stale hits impossible; dropping just frees them).
-  db_->AddChangeListener(
-      [counter = change_counter_, cache = cache_](const ChangeEvent&) {
-        ++*counter;
-        cache->Invalidate();
-      });
+                                       : std::make_shared<DecisionCache>()) {
+  // No change listener: staleness is detected per expression by
+  // comparing the epoch fingerprint of its FROM tables, and cached
+  // decisions carry their state keys (catalog epoch / fingerprints), so
+  // stale hits are impossible without wholesale eviction.
 }
 
 Result<int> OnlineAuditor::AddExpression(const AuditExpression& expr) {
+  DatabaseView view = db_->Snapshot();
   auto entry = std::make_unique<Entry>();
   entry->id = next_id_++;
   entry->expr = expr.Clone();
-  AUDITDB_RETURN_IF_ERROR(entry->expr.Qualify(db_->catalog()));
+  AUDITDB_RETURN_IF_ERROR(entry->expr.Qualify(view.catalog()));
   if (!entry->expr.indispensable) {
     return Status::Unimplemented(
         "online auditing supports INDISPENSABLE = true expressions only "
         "(value-containment screening requires per-value state)");
   }
-  entry->expr_key = entry->expr.ToString();
-  AUDITDB_RETURN_IF_ERROR(RebuildEntryView(entry.get()));
+  entry->expr_hash = std::hash<std::string>{}(entry->expr.ToString());
+  AUDITDB_RETURN_IF_ERROR(RebuildEntryView(entry.get(), view));
   index_.Add(entry->id, entry->expr);
   entries_.push_back(std::move(entry));
   return entries_.back()->id;
@@ -112,13 +107,15 @@ Status OnlineAuditor::RemoveExpression(int id) {
                           std::to_string(id));
 }
 
-Status OnlineAuditor::RebuildEntryView(Entry* entry) {
+Status OnlineAuditor::RebuildEntryView(Entry* entry,
+                                       const DatabaseView& db_view) {
   // The standing expression watches the *current* data: the target view
-  // is rebuilt from the live state whenever the database has changed.
-  auto view = ComputeTargetView(entry->expr, db_->View(), Timestamp::Now());
+  // is rebuilt from the pinned state whenever one of its FROM tables has
+  // changed since the last build.
+  auto view = ComputeTargetView(entry->expr, db_view, Timestamp::Now());
   if (!view.ok()) return view.status();
   entry->view = std::move(*view);
-  entry->built_at_change = *change_counter_;
+  entry->built_fingerprint = db_view.EpochFingerprint(entry->expr.from);
 
   auto states =
       BuildOnlineSchemeStates(entry->expr, entry->view, entry->schemes);
@@ -194,8 +191,8 @@ Status OnlineAuditor::ObserveEntry(Entry* entry, const LoggedQuery& query,
   bool contributes = false;
   if (ctx.stmt != nullptr && entry->expr.filter.Admits(query)) {
     auto candidate = CachedBatchCandidate(
-        decision_cache(), ctx.sql_key, entry->expr_key, ctx.mutation,
-        *ctx.stmt, entry->expr, db_->catalog(), CandidateOptions{});
+        decision_cache(), ctx.shape, entry->expr_hash, ctx.catalog_epoch,
+        *ctx.stmt, entry->expr, ctx.view.catalog(), CandidateOptions{});
     // A failed candidacy check (unknown table or column) is an error,
     // not a cleared query: propagate it like the offline per-query
     // error verdicts instead of treating the query as non-suspicious.
@@ -203,8 +200,9 @@ Status OnlineAuditor::ObserveEntry(Entry* entry, const LoggedQuery& query,
     contributes = *candidate && ctx.profile != nullptr;
   }
   if (!contributes) return Status::Ok();
-  if (entry->built_at_change != *change_counter_) {
-    AUDITDB_RETURN_IF_ERROR(RebuildEntryView(entry));
+  if (entry->built_fingerprint !=
+      ctx.view.EpochFingerprint(entry->expr.from)) {
+    AUDITDB_RETURN_IF_ERROR(RebuildEntryView(entry, ctx.view));
   }
   // Accumulate attribute coverage and indispensable tids.
   for (auto& state : entry->schemes) {
@@ -240,16 +238,16 @@ std::vector<OnlineAuditor::Entry*> OnlineAuditor::EntriesToVisit(
   std::set<ColumnRef> local;
   std::shared_ptr<const std::set<ColumnRef>> shared;
   if (DecisionCache* cache = decision_cache()) {
-    auto columns = cache->AccessedColumns(ctx.sql_key, /*outputs_only=*/false,
-                                          ctx.mutation, *ctx.stmt,
-                                          db_->catalog());
+    auto columns = cache->AccessedColumns(ctx.shape, /*outputs_only=*/false,
+                                          ctx.catalog_epoch, *ctx.stmt,
+                                          ctx.view.catalog());
     if (columns.ok() && columns->status.ok()) {
       shared = columns->columns;
       accessed = shared.get();
     }
   } else {
-    auto computed =
-        StaticAccessedColumns(*ctx.stmt, db_->catalog(), /*outputs_only=*/false);
+    auto computed = StaticAccessedColumns(*ctx.stmt, ctx.view.catalog(),
+                                          /*outputs_only=*/false);
     if (computed.ok()) {
       local = std::move(*computed);
       accessed = &local;
@@ -283,11 +281,15 @@ std::vector<OnlineAuditor::Entry*> OnlineAuditor::EntriesToVisit(
 
 Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::ObserveImpl(
     const LoggedQuery& query, service::ThreadPool* pool) {
-  // Parse and execute once against the current state; reuse the profile
-  // for every standing expression.
+  // Pin one snapshot, then parse and execute once against it; reuse the
+  // profile for every standing expression. Executed profiles are keyed
+  // on the epoch fingerprint of the query's FROM tables, so they stay
+  // hot across writes to unrelated tables.
   ObserveContext ctx;
-  ctx.sql_key = NormalizedSqlKey(query.sql);
-  ctx.mutation = db_->mutation_count();
+  ctx.view = db_->Snapshot();
+  ctx.shape =
+      query.shape.zero() ? sql::ComputeQueryShape(query.sql) : query.shape;
+  ctx.catalog_epoch = ctx.view.catalog_epoch();
 
   auto stmt = sql::ParseSelect(query.sql);
   std::optional<AccessProfile> profile_local;
@@ -295,18 +297,19 @@ Result<std::vector<OnlineAuditor::Screening>> OnlineAuditor::ObserveImpl(
   if (stmt.ok()) {
     ctx.stmt = &*stmt;
     if (DecisionCache* cache = decision_cache()) {
-      profile_shared = cache->LookupProfile(ctx.sql_key, ctx.mutation);
+      uint64_t fingerprint = ctx.view.EpochFingerprint(stmt->from);
+      profile_shared = cache->LookupProfile(ctx.shape, fingerprint);
       if (profile_shared == nullptr) {
-        auto computed = ComputeAccessProfile(*stmt, db_->View());
+        auto computed = ComputeAccessProfile(*stmt, ctx.view);
         if (computed.ok()) {
           profile_shared =
               std::make_shared<const AccessProfile>(std::move(*computed));
-          cache->StoreProfile(ctx.sql_key, ctx.mutation, profile_shared);
+          cache->StoreProfile(ctx.shape, fingerprint, profile_shared);
         }
       }
       ctx.profile = profile_shared.get();
     } else {
-      auto computed = ComputeAccessProfile(*stmt, db_->View());
+      auto computed = ComputeAccessProfile(*stmt, ctx.view);
       if (computed.ok()) {
         profile_local = std::move(*computed);
         ctx.profile = &*profile_local;

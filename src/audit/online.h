@@ -12,6 +12,7 @@
 #include "src/audit/suspicion.h"
 #include "src/engine/lineage.h"
 #include "src/querylog/query_log.h"
+#include "src/sql/query_shape.h"
 #include "src/storage/database.h"
 
 namespace auditdb {
@@ -83,10 +84,11 @@ struct OnlineAuditorOptions {
 /// same database states).
 class OnlineAuditor {
  public:
-  /// `db` is the live database; queries are screened against its state at
-  /// observation time. The auditor registers a change listener to detect
-  /// staleness of its target views (and to drop the decision cache).
-  /// Must outlive the auditor.
+  /// `db` is the live database; each observation pins one snapshot of it
+  /// and screens against that. Staleness of the standing target views is
+  /// detected per expression via the epoch fingerprint of its FROM
+  /// tables — writes to unrelated tables neither rebuild views nor evict
+  /// cached decisions. `db` must outlive the auditor.
   explicit OnlineAuditor(Database* db,
                          OnlineAuditorOptions options = OnlineAuditorOptions{});
 
@@ -95,9 +97,9 @@ class OnlineAuditor {
 
   /// Registers a standing audit expression (not yet qualified is fine).
   /// The target view U is computed against the current database state at
-  /// registration time and is re-derived automatically whenever the
-  /// database changes underneath (cheap staleness check via the change
-  /// counter). Returns the expression's id.
+  /// registration time and is re-derived automatically whenever one of
+  /// its FROM tables changes underneath (cheap staleness check via the
+  /// tables' epoch fingerprint). Returns the expression's id.
   Result<int> AddExpression(const AuditExpression& expr);
 
   /// Deregisters a standing expression; its accumulated batch state is
@@ -169,28 +171,35 @@ class OnlineAuditor {
   struct Entry {
     int id = 0;
     AuditExpression expr;
-    /// Canonical text of the qualified expression: the decision-cache
-    /// key component identifying it across auditors sharing a cache.
-    std::string expr_key;
+    /// Structural hash of the qualified expression's canonical text: the
+    /// decision-cache key component identifying it across auditors
+    /// sharing a cache.
+    uint64_t expr_hash = 0;
     TargetView view;
     std::vector<OnlineSchemeState> schemes;
     /// Batch-accumulated indispensable tids per table.
     std::map<std::string, std::set<Tid>> batch_tids;
     bool fired = false;
-    /// Database change-counter value the view was built at.
-    uint64_t built_at_change = 0;
+    /// Epoch fingerprint of the expression's FROM tables the view was
+    /// built against; the view is stale iff the current fingerprint
+    /// differs.
+    uint64_t built_fingerprint = 0;
   };
 
-  /// Shared per-observation context: parse/execute once, reuse for every
-  /// visited entry.
+  /// Shared per-observation context: snapshot/parse/execute once, reuse
+  /// for every visited entry.
   struct ObserveContext {
     const sql::SelectStatement* stmt = nullptr;
     const AccessProfile* profile = nullptr;
-    std::string sql_key;
-    uint64_t mutation = 0;
+    sql::QueryShape shape;
+    /// Catalog epoch of `view` — the state key of schema-only decisions.
+    uint64_t catalog_epoch = 0;
+    /// The observation's pinned database view: every per-entry rebuild
+    /// and candidacy check reads this one consistent state.
+    DatabaseView view;
   };
 
-  Status RebuildEntryView(Entry* entry);
+  Status RebuildEntryView(Entry* entry, const DatabaseView& view);
   void RecomputeAccessCounts(Entry* entry);
   static Screening ScreeningOf(const Entry& entry);
   /// One expression's share of Observe: candidacy check + coverage
@@ -216,9 +225,6 @@ class OnlineAuditor {
   /// Never null (created when options.cache is); holds the stats even
   /// when memoization is disabled.
   std::shared_ptr<DecisionCache> cache_;
-  /// Bumped by the database trigger on every mutation; shared so the
-  /// listener stays valid even if the auditor is destroyed first.
-  std::shared_ptr<uint64_t> change_counter_;
   ExpressionIndex index_;
   std::vector<std::unique_ptr<Entry>> entries_;
   int next_id_ = 1;

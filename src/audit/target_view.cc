@@ -118,14 +118,16 @@ Result<TargetView> ComputeTargetView(const AuditExpression& expr,
 
 Result<TargetView> ComputeTargetViewOverVersions(const AuditExpression& expr,
                                                  const Backlog& backlog,
-                                                 const ExecOptions& options) {
+                                                 const ExecOptions& options,
+                                                 size_t event_limit) {
   TargetView merged;
   merged.tables = expr.from;
   merged.columns = ViewColumns(expr);
 
   FactSet seen;
-  for (Timestamp version : backlog.VersionTimestamps(expr.data_interval)) {
-    auto snapshot = backlog.SnapshotAt(version);
+  for (Timestamp version :
+       backlog.VersionTimestamps(expr.data_interval, event_limit)) {
+    auto snapshot = backlog.SnapshotAt(version, event_limit);
     if (!snapshot.ok()) return snapshot.status();
     auto view = ComputeTargetView(expr, snapshot->View(), version, options);
     if (!view.ok()) return view.status();

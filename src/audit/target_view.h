@@ -68,10 +68,13 @@ Result<TargetView> ComputeTargetView(const AuditExpression& expr,
 
 /// Computes U across every data version in `expr.data_interval`, as
 /// reconstructed from the backlog, and unions the facts (deduplicated by
-/// tids + values).
+/// tids + values). `event_limit` bounds the backlog prefix read (a pinned
+/// audit passes its captured event count so concurrent appends are
+/// invisible).
 Result<TargetView> ComputeTargetViewOverVersions(
     const AuditExpression& expr, const Backlog& backlog,
-    const ExecOptions& options = ExecOptions{});
+    const ExecOptions& options = ExecOptions{},
+    size_t event_limit = Backlog::kNoLimit);
 
 }  // namespace audit
 }  // namespace auditdb

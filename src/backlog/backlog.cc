@@ -7,32 +7,39 @@ namespace auditdb {
 void Backlog::Attach(Database* db) {
   db_ = db;
   db->AddChangeListener(
-      [this](const ChangeEvent& event) { events_.push_back(event); });
+      [this](const ChangeEvent& event) { events_.Append(event); });
 }
 
-std::vector<ChangeEvent> Backlog::EventsForTable(
-    const std::string& table) const {
+std::vector<ChangeEvent> Backlog::EventsForTable(const std::string& table,
+                                                 size_t limit) const {
+  size_t n = ClampLimit(limit);
   std::vector<ChangeEvent> out;
-  for (const auto& e : events_) {
+  for (size_t i = 0; i < n; ++i) {
+    const ChangeEvent& e = events_.At(i);
     if (e.table == table) out.push_back(e);
   }
   return out;
 }
 
-Result<Snapshot> Backlog::SnapshotAt(Timestamp t) const {
+Result<Snapshot> Backlog::SnapshotAt(Timestamp t, size_t limit) const {
   if (db_ == nullptr) {
     return Status::Internal("backlog not attached to a database");
   }
+  size_t n = ClampLimit(limit);
   Snapshot snapshot(t);
-  // Create every table the live database knows about (schemas are
-  // immutable once created, so the live catalog is authoritative).
-  for (const auto& name : db_->TableNames()) {
-    auto table = db_->GetTable(name);
-    if (!table.ok()) return table.status();
-    auto added = snapshot.AddTable((*table)->schema());
+  // Create every table the pinned live view knows about (schemas are
+  // immutable once created, so the live catalog is authoritative). Going
+  // through a pinned Snapshot() keeps this safe against concurrent
+  // writers.
+  DatabaseView live = db_->Snapshot();
+  for (const auto& name : live.TableNames()) {
+    auto version = live.GetTable(name);
+    if (!version.ok()) return version.status();
+    auto added = snapshot.AddTable((*version)->schema());
     if (!added.ok()) return added.status();
   }
-  for (const auto& event : events_) {
+  for (size_t i = 0; i < n; ++i) {
+    const ChangeEvent& event = events_.At(i);
     if (event.timestamp > t) continue;
     auto table = snapshot.GetTable(event.table);
     if (!table.ok()) return table.status();
@@ -54,24 +61,26 @@ Result<Snapshot> Backlog::SnapshotAt(Timestamp t) const {
   }
   // Mirror the live tables' secondary indexes (built in bulk after
   // replay), so historical audits get the same access paths.
-  for (const auto& name : db_->TableNames()) {
-    auto live = db_->GetTable(name);
-    if (!live.ok()) return live.status();
+  for (const auto& name : live.TableNames()) {
+    auto version = live.GetTable(name);
+    if (!version.ok()) return version.status();
     auto table = snapshot.GetTable(name);
     if (!table.ok()) return table.status();
-    for (const auto& column : (*live)->IndexedColumns()) {
+    for (const auto& column : (*version)->IndexedColumns()) {
       AUDITDB_RETURN_IF_ERROR((*table)->CreateIndex(column));
     }
   }
   return snapshot;
 }
 
-Result<Table> Backlog::MaterializeBacklogTable(
-    const std::string& table_name) const {
+Result<std::unique_ptr<Table>> Backlog::MaterializeBacklogTable(
+    const std::string& table_name, size_t limit) const {
   if (db_ == nullptr) {
     return Status::Internal("backlog not attached to a database");
   }
-  auto base = db_->GetTable(table_name);
+  size_t n = ClampLimit(limit);
+  DatabaseView live = db_->Snapshot();
+  auto base = live.GetTable(table_name);
   if (!base.ok()) return base.status();
 
   std::vector<Column> columns = {{"op", ValueType::kString},
@@ -80,8 +89,10 @@ Result<Table> Backlog::MaterializeBacklogTable(
   for (const auto& col : (*base)->schema().columns()) {
     columns.push_back(col);
   }
-  Table backlog_table(TableSchema("b-" + table_name, std::move(columns)));
-  for (const auto& event : events_) {
+  auto backlog_table = std::make_unique<Table>(
+      TableSchema("b-" + table_name, std::move(columns)));
+  for (size_t i = 0; i < n; ++i) {
+    const ChangeEvent& event = events_.At(i);
     if (event.table != table_name) continue;
     const char* op = event.op == ChangeEvent::Op::kInsert   ? "insert"
                      : event.op == ChangeEvent::Op::kUpdate ? "update"
@@ -89,27 +100,29 @@ Result<Table> Backlog::MaterializeBacklogTable(
     std::vector<Value> row = {Value::String(op), Value::Time(event.timestamp),
                               Value::Int(event.row.tid)};
     row.insert(row.end(), event.row.values.begin(), event.row.values.end());
-    auto inserted = backlog_table.Insert(std::move(row));
+    auto inserted = backlog_table->Insert(std::move(row));
     if (!inserted.ok()) return inserted.status();
   }
   return backlog_table;
 }
 
-size_t Backlog::EventCountAt(Timestamp t) const {
+size_t Backlog::EventCountAt(Timestamp t, size_t limit) const {
+  size_t n = ClampLimit(limit);
   size_t count = 0;
-  for (const auto& event : events_) {
-    if (event.timestamp <= t) ++count;
+  for (size_t i = 0; i < n; ++i) {
+    if (events_.At(i).timestamp <= t) ++count;
   }
   return count;
 }
 
-std::vector<Timestamp> Backlog::VersionTimestamps(
-    const TimeInterval& interval) const {
+std::vector<Timestamp> Backlog::VersionTimestamps(const TimeInterval& interval,
+                                                  size_t limit) const {
+  size_t n = ClampLimit(limit);
   std::vector<Timestamp> stamps;
   stamps.push_back(interval.start);
-  for (const auto& event : events_) {
-    if (event.timestamp > interval.start &&
-        event.timestamp <= interval.end) {
+  for (size_t i = 0; i < n; ++i) {
+    const ChangeEvent& event = events_.At(i);
+    if (event.timestamp > interval.start && event.timestamp <= interval.end) {
       stamps.push_back(event.timestamp);
     }
   }

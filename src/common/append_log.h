@@ -1,0 +1,98 @@
+#ifndef AUDITDB_COMMON_APPEND_LOG_H_
+#define AUDITDB_COMMON_APPEND_LOG_H_
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace auditdb {
+
+/// Append-only storage with wait-free concurrent reads below the published
+/// size. The MVCC read path needs the query log and the backlog to be
+/// readable by snapshot-pinned audits while the writer keeps appending —
+/// a std::vector cannot do that (growth reallocates under readers), so
+/// entries live in fixed-size chunks that never move once allocated:
+///
+///   - Append() publishes the new entry with a release store of `size_`;
+///     readers that observed size i are guaranteed entries [0, i) are
+///     fully constructed and will never change (acquire load pairs with
+///     the release store). Appends are serialized by an internal mutex
+///     (writers are rare and already serialized by the callers' write
+///     locks; the mutex just makes the container safe on its own).
+///   - At(i) for i < size() is two dependent loads and never blocks.
+///   - Entries are immutable once published; there is no erase.
+///
+/// The chunk directory is preallocated (kMaxChunks pointers, a few hundred
+/// KiB) so readers never chase a growing directory. Exceeding the capacity
+/// (kMaxChunks << kChunkBits entries — far beyond what fits in memory as
+/// actual entries) aborts rather than corrupting readers.
+template <typename T, size_t kChunkBits = 10, size_t kDirectoryBits = 16>
+class AppendOnlyLog {
+ public:
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxChunks = size_t{1} << kDirectoryBits;
+
+  AppendOnlyLog()
+      : chunks_(new std::atomic<Chunk*>[kMaxChunks]) {
+    for (size_t i = 0; i < kMaxChunks; ++i) {
+      chunks_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  AppendOnlyLog(const AppendOnlyLog&) = delete;
+  AppendOnlyLog& operator=(const AppendOnlyLog&) = delete;
+
+  ~AppendOnlyLog() {
+    for (size_t i = 0; i < kMaxChunks; ++i) {
+      delete chunks_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  /// Entries published so far. Everything below this index is immutable
+  /// and safe to read concurrently with appends.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Entry `i`; the caller must have observed size() > i.
+  const T& At(size_t i) const {
+    return chunks_[i >> kChunkBits].load(std::memory_order_acquire)
+        ->items[i & kChunkMask];
+  }
+
+  /// Appends and returns the entry's index.
+  size_t Append(T value) {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    size_t n = size_.load(std::memory_order_relaxed);
+    size_t c = n >> kChunkBits;
+    if (c >= kMaxChunks) {
+      std::fprintf(stderr, "AppendOnlyLog: capacity exceeded (%zu entries)\n",
+                   n);
+      std::abort();
+    }
+    Chunk* chunk = chunks_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Chunk();
+      chunks_[c].store(chunk, std::memory_order_release);
+    }
+    chunk->items[n & kChunkMask] = std::move(value);
+    size_.store(n + 1, std::memory_order_release);
+    return n;
+  }
+
+ private:
+  struct Chunk {
+    std::array<T, kChunkSize> items;
+  };
+
+  std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+  std::atomic<size_t> size_{0};
+  std::mutex append_mu_;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_COMMON_APPEND_LOG_H_

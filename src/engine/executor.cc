@@ -283,7 +283,7 @@ class ExecutionContext {
 
   Status PlanIndexPrefilter(size_t position) {
     const std::string& this_table = stmt_.from[position];
-    const Table& table = *tables_[position];
+    const TableVersion& table = *tables_[position];
     std::optional<std::vector<Tid>> best;
     for (const auto& sc : conjuncts_) {
       if (sc.ready_at != position) continue;
@@ -308,21 +308,21 @@ class ExecutionContext {
         case BinaryOp::kLt:
           tids = table.IndexLookupRange(
               col.column, std::nullopt,
-              Table::IndexBound{literal, /*strict=*/true});
+              IndexBound{literal, /*strict=*/true});
           break;
         case BinaryOp::kLe:
           tids = table.IndexLookupRange(
               col.column, std::nullopt,
-              Table::IndexBound{literal, /*strict=*/false});
+              IndexBound{literal, /*strict=*/false});
           break;
         case BinaryOp::kGt:
           tids = table.IndexLookupRange(
-              col.column, Table::IndexBound{literal, /*strict=*/true},
+              col.column, IndexBound{literal, /*strict=*/true},
               std::nullopt);
           break;
         case BinaryOp::kGe:
           tids = table.IndexLookupRange(
-              col.column, Table::IndexBound{literal, /*strict=*/false},
+              col.column, IndexBound{literal, /*strict=*/false},
               std::nullopt);
           break;
         default:
@@ -337,9 +337,9 @@ class ExecutionContext {
       std::vector<size_t> positions;
       positions.reserve(best->size());
       for (Tid tid : *best) {
-        auto row = table.Get(tid);
-        if (!row.ok()) continue;
-        positions.push_back(static_cast<size_t>(*row - table.rows().data()));
+        auto pos = table.GetPosition(tid);
+        if (!pos.ok()) continue;
+        positions.push_back(*pos);
       }
       prefilters_[position] = std::move(positions);
     }
@@ -406,7 +406,7 @@ class ExecutionContext {
       return Status::Ok();
     }
 
-    const Table& table = *tables_[position];
+    const TableVersion& table = *tables_[position];
     size_t offset = layout_.table_offsets()[position].second;
     const std::vector<ScanStage>& stages = stages_[position];
     bool any_local = false;
@@ -491,7 +491,7 @@ class ExecutionContext {
   ExecOptions options_;
   sql::SelectStatement stmt_;
 
-  std::vector<const Table*> tables_;
+  std::vector<const TableVersion*> tables_;
   std::vector<std::string> original_from_;
   std::vector<size_t> lineage_permutation_;
   RowLayout layout_;

@@ -63,7 +63,7 @@ TableFilter BuildTableFilter(
 }
 
 Result<size_t> EstimateFilteredCardinality(
-    const Table& table, const std::string& name,
+    const TableVersion& table, const std::string& name,
     const std::vector<const Expression*>& conjuncts, const ScanOptions& opts) {
   RowLayout single;
   single.AddTable(name, table.schema());

@@ -110,7 +110,7 @@ TableFilter BuildTableFilter(
 /// Shared by the executor's reorder planner and callers that want a
 /// standalone selectivity probe.
 Result<size_t> EstimateFilteredCardinality(
-    const Table& table, const std::string& name,
+    const TableVersion& table, const std::string& name,
     const std::vector<const Expression*>& conjuncts, const ScanOptions& opts);
 
 }  // namespace auditdb

@@ -1,0 +1,58 @@
+#include "src/expr/structural_hash.h"
+
+#include <functional>
+
+#include "src/common/hashing.h"
+
+namespace auditdb {
+
+namespace {
+
+// Per-node-kind salts keep e.g. a literal 0 distinguishable from an
+// absent subtree and a unary node from a binary one with one child.
+constexpr uint64_t kNullNode = 0x9ae16a3b2f90404fULL;
+constexpr uint64_t kLiteralNode = 0xc3a5c85c97cb3127ULL;
+constexpr uint64_t kColumnNode = 0xb492b66fbe98f273ULL;
+constexpr uint64_t kUnaryNode = 0x9ddfea08eb382d69ULL;
+constexpr uint64_t kBinaryNode = 0xa0761d6478bd642fULL;
+
+}  // namespace
+
+uint64_t HashValue(uint64_t seed, const Value& value) {
+  seed = HashCombine(seed, static_cast<uint64_t>(value.type()));
+  // Value::Hash() is consistent with operator==, which is exactly the
+  // equivalence literals need here.
+  return HashCombine(seed, value.Hash());
+}
+
+uint64_t HashExpression(uint64_t seed, const Expression* expr) {
+  if (expr == nullptr) return HashCombine(seed, kNullNode);
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      return HashValue(HashCombine(seed, kLiteralNode), expr->literal);
+    case ExprKind::kColumn: {
+      // Names only — the binder's slot is a positional artifact of one
+      // particular FROM list and must not affect the hash.
+      std::hash<std::string> h;
+      seed = HashCombine(seed, kColumnNode);
+      seed = HashCombine(seed, h(expr->column.table));
+      return HashCombine(seed, h(expr->column.column));
+    }
+    case ExprKind::kUnary:
+      seed = HashCombine(seed, kUnaryNode);
+      seed = HashCombine(seed, static_cast<uint64_t>(expr->uop));
+      return HashExpression(seed, expr->left.get());
+    case ExprKind::kBinary:
+      seed = HashCombine(seed, kBinaryNode);
+      seed = HashCombine(seed, static_cast<uint64_t>(expr->bop));
+      seed = HashExpression(seed, expr->left.get());
+      return HashExpression(seed, expr->right.get());
+  }
+  return seed;
+}
+
+uint64_t StructuralHash(const Expression& expr) {
+  return HashExpression(0x2b992ddfa23249d6ULL, &expr);
+}
+
+}  // namespace auditdb

@@ -1,0 +1,32 @@
+#ifndef AUDITDB_EXPR_STRUCTURAL_HASH_H_
+#define AUDITDB_EXPR_STRUCTURAL_HASH_H_
+
+#include <cstdint>
+
+#include "src/expr/expression.h"
+#include "src/types/value.h"
+
+namespace auditdb {
+
+/// Position-independent structural hashing of expression trees (after
+/// jank's hash_expression): the hash covers the *shape* of the tree —
+/// node kinds, operators, column names — and the literal values, but
+/// deliberately excludes anything tied to where the expression came from
+/// (binder slots, source offsets, surrounding whitespace). Two
+/// expressions parsed from differently-formatted text hash identically
+/// iff they are structurally equal, which is what lets the audit layers
+/// key caches and dedupe work on hashes instead of re-comparing trees.
+
+/// Folds `value` (type tag + content) into `seed`.
+uint64_t HashValue(uint64_t seed, const Value& value);
+
+/// Folds the tree rooted at `expr` into `seed`. Null-safe: a missing
+/// subtree (e.g. an absent WHERE clause) hashes as a distinct marker.
+uint64_t HashExpression(uint64_t seed, const Expression* expr);
+
+/// Whole-tree convenience with a fixed seed.
+uint64_t StructuralHash(const Expression& expr);
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_EXPR_STRUCTURAL_HASH_H_

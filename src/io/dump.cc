@@ -301,7 +301,9 @@ Status ReadDatabaseDump(std::istream& in, Database* db, Timestamp ts) {
 }
 
 Status WriteQueryLogDump(const QueryLog& log, std::ostream& out) {
-  for (const auto& entry : log.entries()) {
+  const size_t num_logged = log.size();
+  for (size_t i = 0; i < num_logged; ++i) {
+    const auto& entry = log.Entry(i);
     out << "QUERY " << entry.id << "|" << entry.timestamp.micros() << "|"
         << EscapeField(entry.user) << "|" << EscapeField(entry.role) << "|"
         << EscapeField(entry.purpose) << "|" << EscapeField(entry.sql)

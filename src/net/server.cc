@@ -114,9 +114,10 @@ struct AuditServer::Impl {
   uint64_t next_conn_id = 1;
 
   std::unique_ptr<service::ThreadPool> handlers;
-  /// Readers (audits, screening) share the stores; writers
-  /// (ExecuteQuery's log append, LoadDump) exclude them.
-  std::shared_mutex state_mutex;
+  /// Readers pin snapshots under a brief shared lock; writers
+  /// (ExecuteQuery's commit section, LoadDump) exclude them. Mutable so
+  /// const observers (metrics) can take the shared side.
+  mutable std::shared_mutex state_mutex;
 
   /// Push-subscription state (docs/wire_protocol.md "Alerting").
   /// The registry is internally synchronized; everything else here is
@@ -221,17 +222,12 @@ struct AuditServer::Impl {
     evicted_slow = metrics->counter("net.evicted_slow");
     admission_rejected = metrics->counter("net.admission_rejected");
     drain_cancelled = metrics->counter("net.drain_cancelled");
-    // Mutations (ExecuteQuery never mutates db, but LoadDump does) drop
-    // the service's memoized audit decisions. The shared_ptr capture
-    // keeps the listener safe past the service's lifetime; the mutation
-    // count in every cache key already rules out stale hits, so the
-    // listener only reclaims memory promptly.
-    if (service->decision_cache() != nullptr) {
-      db->AddChangeListener(
-          [cache = service->decision_cache()](const ChangeEvent&) {
-            cache->Invalidate();
-          });
-    }
+    // No cache-invalidation change listener: decision-cache entries are
+    // keyed on per-table version epochs (catalog epoch for schema-only
+    // decisions, FROM-table epoch fingerprints for executed profiles), so
+    // a write can never produce a stale hit — it simply changes the key.
+    // Wholesale eviction here would throw away exactly the cross-write
+    // hit rates the versioned keys exist to preserve.
   }
 
   ~Impl() {
@@ -745,7 +741,49 @@ struct AuditServer::Impl {
     if (options.policy != nullptr) {
       json += ",\"policy\":" + options.policy->MetricsJson();
     }
+    json += ",\"versions\":" + VersionsMetricsJson();
     return json + "}";
+  }
+
+  /// MVCC observability: per-table version/COW/columnar counters plus the
+  /// query log's structural shape-dedup ratio. Walking the live catalog
+  /// races LoadDump's CreateTable, so hold the shared state lock for the
+  /// walk (the per-table counters themselves are atomics).
+  std::string VersionsMetricsJson() const {
+    std::shared_lock<std::shared_mutex> lock(state_mutex);
+    std::string json = "{\"catalog_epoch\":" +
+                       std::to_string(db->catalog_epoch()) + ",\"tables\":{";
+    bool first = true;
+    for (const auto& name : db->TableNames()) {
+      auto table = db->GetTable(name);
+      if (!table.ok()) continue;
+      const TableStats& stats = (*table)->stats();
+      if (!first) json += ",";
+      first = false;
+      json += "\"" + name + "\":{\"epoch\":" +
+              std::to_string((*table)->epoch()) +
+              ",\"live_versions\":" +
+              std::to_string(stats.live_versions.load()) +
+              ",\"versions_published\":" +
+              std::to_string(stats.versions_published.load()) +
+              ",\"cow_rows\":" + std::to_string(stats.cow_rows.load()) +
+              ",\"cow_bytes\":" + std::to_string(stats.cow_bytes.load()) +
+              ",\"columnar_builds\":" +
+              std::to_string(stats.columnar_builds.load()) +
+              ",\"columnar_hits\":" +
+              std::to_string(stats.columnar_hits.load()) + "}";
+    }
+    const size_t entries = log->size();
+    const size_t shapes = log->distinct_shapes();
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.3f",
+                  shapes == 0 ? 1.0
+                              : static_cast<double>(entries) /
+                                    static_cast<double>(shapes));
+    json += "},\"log_entries\":" + std::to_string(entries) +
+            ",\"distinct_shapes\":" + std::to_string(shapes) +
+            ",\"shape_dedup_ratio\":" + ratio + "}";
+    return json;
   }
 
   /// Runs the automatic checkpoint cadence; call under the writer lock
@@ -910,9 +948,18 @@ Message AuditServer::Impl::HandleAudit(const Message& request,
   }
   audit::AuditOptions options;
   options.static_only = static_only;
-  std::shared_lock<std::shared_mutex> lock(state_mutex);
+  // Pin under a brief shared lock (so the capture is atomic against a
+  // concurrent dump load), then audit with no lock held at all: the run
+  // reads only the pinned immutable table versions and the wait-free
+  // log/backlog prefixes, so a long audit never blocks the execute
+  // path's writer section.
+  audit::AuditPin pin;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mutex);
+    pin = service->Pin();
+  }
   auto report =
-      service->Audit((*fields)[0], Timestamp(now_micros), options);
+      service->AuditPinned((*fields)[0], Timestamp(now_micros), pin, options);
   if (!report.ok()) return MakeErrorMessage(report.status());
   return MakeOk(EncodeFields(
       {report->CanonicalString(), report->DetailedReport(*log)}));
@@ -926,8 +973,15 @@ Message AuditServer::Impl::HandleScreenLibrary(const Message& request) {
     return MakeErrorMessage(Status::InvalidArgument(
         "screen request wants fields: now_micros|expr[|expr...]"));
   }
-  std::shared_lock<std::shared_mutex> lock(state_mutex);
-  audit::ExpressionLibrary library(&db->catalog());
+  // Same discipline as HandleAudit: lock only the pin capture; the whole
+  // library screens one consistent cut (the pinned view's catalog
+  // included) with no lock held.
+  audit::AuditPin pin;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mutex);
+    pin = service->Pin();
+  }
+  audit::ExpressionLibrary library(&pin.db.catalog());
   for (size_t i = 1; i < fields->size(); ++i) {
     auto expr = audit::ParseAudit((*fields)[i], Timestamp(now_micros));
     if (!expr.ok()) return MakeErrorMessage(expr.status());
@@ -936,7 +990,7 @@ Message AuditServer::Impl::HandleScreenLibrary(const Message& request) {
     // Expressions subsumed by an existing member simply don't add a new
     // member; their coverage is implied by the subsuming screening.
   }
-  auto screenings = service->ScreenLibrary(library);
+  auto screenings = service->ScreenLibraryPinned(library, pin);
   std::vector<std::string> out;
   out.reserve(screenings.size() * 4);
   for (const auto& screening : screenings) {
@@ -984,11 +1038,20 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request,
       ctx->tables = policy::ExtractTables(ctx->sql);
     }
   };
-  std::unique_lock<std::shared_mutex> lock(state_mutex);
-  auto result = ExecuteSql((*fields)[0], db->View());
+  // Execute against a pinned snapshot with no writer lock held — the
+  // expensive part of the handler (parse + execute) runs concurrently
+  // with other executes and with audits. The brief shared lock only
+  // makes the pin atomic against a concurrent dump load.
+  DatabaseView exec_view;
+  {
+    std::shared_lock<std::shared_mutex> read_lock(state_mutex);
+    exec_view = db->Snapshot();
+  }
+  auto result = ExecuteSql((*fields)[0], exec_view);
   if (!result.ok()) {
     // Rejected statements still face the policy (pgaudit's ERROR
     // class); they are never logged, so the record carries log_id 0.
+    // The policy engine is internally synchronized — no state lock.
     if (engine != nullptr) {
       policy::QueryContext ctx = make_ctx(/*execute_failed=*/true);
       auto decision = engine->Decide(ctx);
@@ -1014,6 +1077,11 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request,
         std::to_string(options.max_response_bytes) +
         "; query not logged"));
   }
+  // The writer critical section starts here and covers only the commit:
+  // WAL append (reads log->next_id()), in-memory log append, checkpoint
+  // cadence, and the observe/publish fan-out that must see exactly the
+  // log state this query committed. Execution stayed outside it.
+  std::unique_lock<std::shared_mutex> lock(state_mutex);
   // WAL-append *before* the in-memory append and the ack: an error
   // response means nothing was committed anywhere; an OK means the
   // entry is in memory and (under fsync=always) survives kill -9. A

@@ -10,21 +10,27 @@ std::string LoggedQuery::ToString() const {
 int64_t QueryLog::Append(std::string sql, Timestamp ts, std::string user,
                          std::string role, std::string purpose) {
   LoggedQuery entry;
-  entry.id = static_cast<int64_t>(entries_.size()) + 1;
   entry.sql = std::move(sql);
   entry.timestamp = ts;
   entry.user = std::move(user);
   entry.role = std::move(role);
   entry.purpose = std::move(purpose);
-  entries_.push_back(std::move(entry));
-  return entries_.back().id;
+  entry.shape = sql::ComputeQueryShape(entry.sql);
+  std::lock_guard<std::mutex> lock(shapes_mu_);
+  ++shape_counts_[entry.shape];
+  // Ids are dense from 1 in append order; assigning under the same
+  // lock keeps id == position + 1 even with concurrent appenders.
+  int64_t id = static_cast<int64_t>(entries_.size()) + 1;
+  entry.id = id;
+  entries_.Append(std::move(entry));
+  return id;
 }
 
 Result<const LoggedQuery*> QueryLog::Get(int64_t id) const {
   if (id < 1 || static_cast<size_t>(id) > entries_.size()) {
     return Status::NotFound("no logged query with id " + std::to_string(id));
   }
-  return &entries_[static_cast<size_t>(id - 1)];
+  return &entries_.At(static_cast<size_t>(id - 1));
 }
 
 std::string QueryLog::Render(const LoggedQuery& entry) const {
@@ -36,11 +42,18 @@ std::string QueryLog::Render(const LoggedQuery& entry) const {
 
 std::vector<const LoggedQuery*> QueryLog::InInterval(
     const TimeInterval& interval) const {
+  size_t n = entries_.size();
   std::vector<const LoggedQuery*> out;
-  for (const auto& entry : entries_) {
+  for (size_t i = 0; i < n; ++i) {
+    const LoggedQuery& entry = entries_.At(i);
     if (interval.Contains(entry.timestamp)) out.push_back(&entry);
   }
   return out;
+}
+
+size_t QueryLog::distinct_shapes() const {
+  std::lock_guard<std::mutex> lock(shapes_mu_);
+  return shape_counts_.size();
 }
 
 }  // namespace auditdb

@@ -3,11 +3,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/append_log.h"
 #include "src/common/status.h"
 #include "src/common/timestamp.h"
+#include "src/sql/query_shape.h"
 
 namespace auditdb {
 
@@ -23,6 +27,10 @@ struct LoggedQuery {
   std::string user;
   std::string role;
   std::string purpose;
+  /// Structural fingerprint of `sql`, computed once at append time.
+  /// Entries with equal shapes lex to the same token stream, so audits
+  /// parse/screen one representative per shape instead of every entry.
+  sql::QueryShape shape;
 
   std::string ToString() const;
 };
@@ -31,17 +39,26 @@ struct LoggedQuery {
 /// sensitive-value redaction). Must be pure and thread-safe.
 using SqlRedactor = std::function<std::string(const std::string& sql)>;
 
-/// Append-only query log.
+/// Append-only query log. Entries live in a chunked append-only store:
+/// a pinned audit captures size() once and reads entries [0, size)
+/// wait-free while the server keeps logging new queries.
 class QueryLog {
  public:
   QueryLog() = default;
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
 
-  /// Appends and assigns a log id; returns the id.
+  /// Appends and assigns a log id; returns the id. Computes the entry's
+  /// structural shape as part of the append (the only lex this text ever
+  /// gets on the audit path).
   int64_t Append(std::string sql, Timestamp ts, std::string user,
                  std::string role, std::string purpose);
 
-  const std::vector<LoggedQuery>& entries() const { return entries_; }
+  /// Entries published so far; entries below this index are immutable.
   size_t size() const { return entries_.size(); }
+
+  /// Entry `i` (0-based position, not id); requires observed size() > i.
+  const LoggedQuery& Entry(size_t i) const { return entries_.At(i); }
 
   /// The id the next Append will assign (ids are dense from 1), so a
   /// write-ahead log can frame the record before the in-memory append.
@@ -54,6 +71,11 @@ class QueryLog {
   /// clause of an audit expression).
   std::vector<const LoggedQuery*> InInterval(const TimeInterval& interval)
       const;
+
+  /// Number of distinct structural shapes among logged entries. The
+  /// dedup ratio (size() / distinct_shapes()) is how much of the backlog
+  /// the shape-incremental screen avoids re-processing.
+  size_t distinct_shapes() const;
 
   /// Installs the display redactor. The stored entries keep the
   /// unredacted text — audits must run over what actually executed —
@@ -73,7 +95,10 @@ class QueryLog {
   std::string Render(const LoggedQuery& entry) const;
 
  private:
-  std::vector<LoggedQuery> entries_;
+  AppendOnlyLog<LoggedQuery> entries_;
+  mutable std::mutex shapes_mu_;
+  std::unordered_map<sql::QueryShape, uint64_t, sql::QueryShapeHash>
+      shape_counts_;
   SqlRedactor redactor_;
 };
 

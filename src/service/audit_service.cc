@@ -43,5 +43,32 @@ std::vector<AuditScheduler::ExpressionScreening> AuditService::ScreenLibrary(
                                   WithCache(options));
 }
 
+audit::AuditPin AuditService::Pin() const {
+  audit::AuditPin pin;
+  // Capture order matters: log/backlog prefixes before the database
+  // snapshot, so every pinned log entry's writes are in the pinned view.
+  pin.log_size = log_->size();
+  pin.backlog_events = backlog_->event_count();
+  pin.db = db_->Snapshot();
+  return pin;
+}
+
+Result<audit::AuditReport> AuditService::AuditPinned(
+    const std::string& audit_text, Timestamp now, const audit::AuditPin& pin,
+    const audit::AuditOptions& options, std::vector<ShardFailure>* failures) {
+  auto expr = audit::ParseAudit(audit_text, now);
+  if (!expr.ok()) return expr.status();
+  return scheduler_.RunPinned(*db_, *backlog_, *log_, *expr, pin,
+                              WithCache(options), failures);
+}
+
+std::vector<AuditScheduler::ExpressionScreening>
+AuditService::ScreenLibraryPinned(const audit::ExpressionLibrary& library,
+                                  const audit::AuditPin& pin,
+                                  const audit::AuditOptions& options) {
+  return scheduler_.ScreenLibraryPinned(*db_, *backlog_, *log_, library, pin,
+                                        WithCache(options));
+}
+
 }  // namespace service
 }  // namespace auditdb

@@ -53,6 +53,28 @@ class AuditService {
       const audit::ExpressionLibrary& library,
       const audit::AuditOptions& options = audit::AuditOptions{});
 
+  /// Captures a consistent pin of the bound stores: log and backlog
+  /// prefix lengths plus a pinned snapshot of every table's current
+  /// version. Cheap (no copies); the caller decides what lock, if any,
+  /// makes the capture atomic against external state transitions.
+  audit::AuditPin Pin() const;
+
+  /// Audits against a caller-captured pin; the run never reads live
+  /// state, so it can proceed with no external lock held while writers
+  /// commit concurrently.
+  Result<audit::AuditReport> AuditPinned(const std::string& audit_text,
+                                         Timestamp now,
+                                         const audit::AuditPin& pin,
+                                         const audit::AuditOptions& options =
+                                             audit::AuditOptions{},
+                                         std::vector<ShardFailure>* failures =
+                                             nullptr);
+
+  /// ScreenLibrary against a caller-captured pin (see AuditPinned).
+  std::vector<AuditScheduler::ExpressionScreening> ScreenLibraryPinned(
+      const audit::ExpressionLibrary& library, const audit::AuditPin& pin,
+      const audit::AuditOptions& options = audit::AuditOptions{});
+
   size_t num_threads() const { return pool_.num_threads(); }
   const MetricsRegistry& metrics() const { return metrics_; }
   /// Counters, gauges and latency histograms of the pool and scheduler

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <map>
 #include <optional>
 #include <utility>
@@ -87,6 +88,21 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
                                         const AuditOptions& options,
                                         std::vector<ShardFailure>* failures)
     const {
+  // One consistent pin for the whole parallel run: every shard reads the
+  // pinned table versions and log/backlog prefixes, so concurrent
+  // writers never skew shard boundaries or results. Capture order
+  // matters (prefixes before the view) — see AuditPin.
+  audit::AuditPin pin;
+  pin.log_size = log.size();
+  pin.backlog_events = backlog.event_count();
+  pin.db = db.Snapshot();
+  return RunPinned(db, backlog, log, parsed, pin, options, failures);
+}
+
+Result<AuditReport> AuditScheduler::RunPinned(
+    const Database& db, const Backlog& backlog, const QueryLog& log,
+    const AuditExpression& parsed, const audit::AuditPin& pin,
+    const AuditOptions& options, std::vector<ShardFailure>* failures) const {
   runs_->Increment();
   if (failures != nullptr) failures->clear();
   auto record_failure = [this, failures](const char* stage, size_t shard,
@@ -98,25 +114,25 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
   };
 
   AuditExpression expr = parsed.Clone();
-  AUDITDB_RETURN_IF_ERROR(expr.Qualify(db.catalog()));
+
+  AUDITDB_RETURN_IF_ERROR(expr.Qualify(pin.db.catalog()));
 
   AuditReport report;
   report.expression = expr.ToString();
-  report.num_logged = log.size();
+  report.num_logged = pin.log_size;
 
   JobContext ctx = JobContext::WithDeadlineAfter(options_.job_deadline);
   ctx.cancel = options_.cancel;
 
   const size_t threads = std::max<size_t>(pool_->num_threads(), 1);
-  const auto& entries = log.entries();
 
   // --- Static stage: admission + parse + candidacy, one job per log
   // range; the target-view job (independent of the candidates) rides in
   // the same batch so it overlaps the screening.
   auto stage_start = Clock::now();
   auto static_ranges = Chunks(
-      log.size(),
-      EffectiveShard(log.size(), options_.static_shard_size, threads));
+      pin.log_size,
+      EffectiveShard(pin.log_size, options_.static_shard_size, threads));
   std::vector<StaticScreenResult> static_results(static_ranges.size());
   std::unique_ptr<Result<audit::TargetView>> view_result;
   double view_seconds = 0;
@@ -125,8 +141,11 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
   // internally synchronized, so shards share it safely.
   audit::CandidateCacheContext cache_ctx;
   cache_ctx.cache = options.cache;
-  cache_ctx.expr_key = report.expression;
-  cache_ctx.mutation = db.mutation_count();
+  cache_ctx.expr_hash = std::hash<std::string>{}(report.expression);
+  cache_ctx.state_key = options.cache_global_state_keys
+                            ? db.mutation_count()
+                            : pin.db.catalog_epoch();
+  cache_ctx.shape_dedup = options.shape_dedup;
 
   std::vector<std::function<Status()>> tasks;
   tasks.reserve(static_ranges.size() + 1);
@@ -134,8 +153,8 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
     auto [begin, end] = static_ranges[i];
     tasks.push_back([&, i, begin, end] {
       static_results[i] =
-          StaticScreenRange(expr, log, db.catalog(), options.candidate, begin,
-                            end, cache_ctx);
+          StaticScreenRange(expr, log, pin.db.catalog(), options.candidate,
+                            begin, end, cache_ctx);
       return Status::Ok();
     });
   }
@@ -143,8 +162,8 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
   if (!options.static_only) {
     tasks.push_back([&] {
       auto start = Clock::now();
-      auto view = audit::ComputeTargetViewOverVersions(expr, backlog,
-                                                       options.exec);
+      auto view = audit::ComputeTargetViewOverVersions(
+          expr, backlog, options.exec, pin.backlog_events);
       view_seconds = SecondsSince(start);
       Status status = view.ok() ? Status::Ok() : view.status();
       view_result =
@@ -165,7 +184,7 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
       for (size_t j = static_ranges[i].first; j < static_ranges[i].second;
            ++j) {
         QueryVerdict verdict;
-        verdict.query_id = entries[j].id;
+        verdict.query_id = log.Entry(j).id;
         report.verdicts.push_back(verdict);
       }
       continue;
@@ -185,8 +204,8 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
   if (options.static_only) {
     std::vector<const sql::SelectStatement*> stmts;
     stmts.reserve(candidates.size());
-    for (const auto& c : candidates) stmts.push_back(&c.stmt);
-    audit::StaticOnlyBatchVerdict(expr, db.catalog(), stmts, &report);
+    for (const auto& c : candidates) stmts.push_back(c.stmt.get());
+    audit::StaticOnlyBatchVerdict(expr, pin.db.catalog(), stmts, &report);
     if (options.per_query_verdicts) {
       auto chunks = Chunks(
           candidates.size(),
@@ -201,7 +220,8 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
           for (size_t c = begin; c < end; ++c) {
             AUDITDB_RETURN_IF_ERROR(ctx.Check());
             auto single = audit::IsSingleCandidate(
-                candidates[c].stmt, expr, db.catalog(), options.candidate);
+                *candidates[c].stmt, expr, pin.db.catalog(),
+                options.candidate);
             // A failed check proves nothing — flag the error instead of
             // silently reporting the query as not suspicious (identical
             // to the serial auditor's static-only path).
@@ -265,7 +285,8 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
         for (size_t c = begin; c < end; ++c) {
           AUDITDB_RETURN_IF_ERROR(ctx.Check());
           keys[c] = backlog.EventCountAt(
-              entries[candidates[c].log_index].timestamp);
+              log.Entry(candidates[c].log_index).timestamp,
+              pin.backlog_events);
         }
         return Status::Ok();
       });
@@ -288,7 +309,7 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
   for (size_t c = 0; c < candidates.size(); ++c) {
     if (dropped[c] != 0) continue;
     if (slot_of_key.emplace(keys[c], slot_time.size()).second) {
-      slot_time.push_back(entries[candidates[c].log_index].timestamp);
+      slot_time.push_back(log.Entry(candidates[c].log_index).timestamp);
     }
   }
   std::vector<std::unique_ptr<Snapshot>> snapshots(slot_time.size());
@@ -297,7 +318,7 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
     snapshot_tasks.reserve(slot_time.size());
     for (size_t s = 0; s < slot_time.size(); ++s) {
       snapshot_tasks.push_back([&, s] {
-        auto snapshot = backlog.SnapshotAt(slot_time[s]);
+        auto snapshot = backlog.SnapshotAt(slot_time[s], pin.backlog_events);
         if (!snapshot.ok()) return snapshot.status();
         snapshots[s] = std::make_unique<Snapshot>(std::move(*snapshot));
         return Status::Ok();
@@ -327,7 +348,7 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
           AUDITDB_RETURN_IF_ERROR(ctx.Check());
           if (dropped[c] != 0) continue;
           const Snapshot& snapshot = *snapshots[slot_of_key[keys[c]]];
-          auto profile = ComputeAccessProfile(candidates[c].stmt,
+          auto profile = ComputeAccessProfile(*candidates[c].stmt,
                                               snapshot.View(), options.exec);
           // Execution-time failure (e.g. type error): skip this query
           // but keep auditing the rest — same as the serial auditor.
@@ -354,7 +375,7 @@ Result<AuditReport> AuditScheduler::Run(const Database& db,
   for (size_t c = 0; c < candidates.size(); ++c) {
     if (!profile_slots[c].has_value()) continue;
     profiles.push_back(std::move(*profile_slots[c]));
-    profile_ids.push_back(entries[candidates[c].log_index].id);
+    profile_ids.push_back(log.Entry(candidates[c].log_index).id);
     ++report.num_executed;
   }
   report.exec_seconds = SecondsSince(stage_start);
@@ -430,11 +451,28 @@ std::vector<AuditScheduler::ExpressionScreening> AuditScheduler::ScreenLibrary(
     const Database& db, const Backlog& backlog, const QueryLog& log,
     const audit::ExpressionLibrary& library,
     const AuditOptions& options) const {
+  // One pin for the whole screen: every library expression audits the
+  // same consistent cut, and no shard blocks writers while it runs.
+  audit::Auditor pinner(&db, &backlog, &log);
+  return ScreenLibraryPinned(db, backlog, log, library, pinner.Pin(),
+                             options);
+}
+
+std::vector<AuditScheduler::ExpressionScreening>
+AuditScheduler::ScreenLibraryPinned(const Database& db,
+                                    const Backlog& backlog,
+                                    const QueryLog& log,
+                                    const audit::ExpressionLibrary& library,
+                                    const audit::AuditPin& pin,
+                                    const AuditOptions& options) const {
   JobContext ctx = JobContext::WithDeadlineAfter(options_.job_deadline);
   ctx.cancel = options_.cancel;
 
   auto ids = library.ids();
   std::vector<ExpressionScreening> out(ids.size());
+
+  audit::Auditor auditor(&db, &backlog, &log);
+
   std::vector<std::function<Status()>> tasks;
   tasks.reserve(ids.size());
   for (size_t i = 0; i < ids.size(); ++i) {
@@ -445,8 +483,7 @@ std::vector<AuditScheduler::ExpressionScreening> AuditScheduler::ScreenLibrary(
         out[i].status = Status::NotFound("expression evicted mid-screen");
         return out[i].status;
       }
-      audit::Auditor auditor(&db, &backlog, &log);
-      auto report = auditor.Audit(*expr, options);
+      auto report = auditor.AuditPinned(*expr, options, pin);
       if (!report.ok()) {
         out[i].status = report.status();
         return out[i].status;

@@ -83,6 +83,23 @@ class AuditScheduler {
                                  std::vector<ShardFailure>* failures =
                                      nullptr) const;
 
+  /// Run against a caller-captured pin instead of pinning at entry — for
+  /// callers that must make the pin capture atomic with respect to state
+  /// transitions the stores themselves don't order (e.g. the server pins
+  /// under a brief shared lock so a concurrent dump load stays atomic,
+  /// then audits with no lock held at all). `db` is only consulted for
+  /// the wholesale-invalidation ablation's global state key; all data is
+  /// read from `pin`.
+  Result<audit::AuditReport> RunPinned(const Database& db,
+                                       const Backlog& backlog,
+                                       const QueryLog& log,
+                                       const audit::AuditExpression& expr,
+                                       const audit::AuditPin& pin,
+                                       const audit::AuditOptions& options =
+                                           audit::AuditOptions{},
+                                       std::vector<ShardFailure>* failures =
+                                           nullptr) const;
+
   /// Outcome of screening one library member.
   struct ExpressionScreening {
     int expression_id = 0;
@@ -98,6 +115,12 @@ class AuditScheduler {
   std::vector<ExpressionScreening> ScreenLibrary(
       const Database& db, const Backlog& backlog, const QueryLog& log,
       const audit::ExpressionLibrary& library,
+      const audit::AuditOptions& options = audit::AuditOptions{}) const;
+
+  /// ScreenLibrary against a caller-captured pin (see RunPinned).
+  std::vector<ExpressionScreening> ScreenLibraryPinned(
+      const Database& db, const Backlog& backlog, const QueryLog& log,
+      const audit::ExpressionLibrary& library, const audit::AuditPin& pin,
       const audit::AuditOptions& options = audit::AuditOptions{}) const;
 
   ThreadPool* pool() const { return pool_; }

@@ -1,0 +1,92 @@
+#include "src/sql/query_shape.h"
+
+#include <cctype>
+#include <functional>
+
+#include "src/common/hashing.h"
+#include "src/expr/structural_hash.h"
+#include "src/sql/lexer.h"
+
+namespace auditdb {
+namespace sql {
+
+namespace {
+
+constexpr uint64_t kSeedHi = 0x517cc1b727220a95ULL;
+constexpr uint64_t kSeedLo = 0x2545f4914f6cdd1dULL;
+/// Salt for text that does not lex; keeps malformed entries in a hash
+/// universe disjoint from token-stream shapes.
+constexpr uint64_t kUnlexableSalt = 0x8f14e45fceea167aULL;
+
+std::string CollapseWhitespace(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QueryShape::ToHex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(hi >> (4 * i)) & 0xf];
+    out[31 - i] = digits[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+QueryShape ComputeQueryShape(const std::string& sql) {
+  QueryShape shape{kSeedHi, kSeedLo};
+  auto tokens = Lex(sql);
+  std::hash<std::string> text_hash;
+  if (!tokens.ok()) {
+    uint64_t collapsed = text_hash(CollapseWhitespace(sql));
+    shape.hi = HashCombine(HashCombine(shape.hi, kUnlexableSalt), collapsed);
+    shape.lo = HashCombine(HashCombine(shape.lo, collapsed), kUnlexableSalt);
+    return shape;
+  }
+  for (const Token& token : *tokens) {
+    if (token.kind == TokenKind::kEnd) break;
+    // Kind + spelling covers everything shape-relevant: identifiers and
+    // keywords by name, literals by their lexeme, operators by kind.
+    // Token offsets are deliberately not hashed — that is the whole
+    // point (position independence).
+    uint64_t kind = static_cast<uint64_t>(token.kind);
+    uint64_t text = text_hash(token.text);
+    shape.hi = HashCombine(HashCombine(shape.hi, kind), text);
+    shape.lo = HashCombine(HashCombine(shape.lo, text), kind + 0x9e3779b9ULL);
+  }
+  return shape;
+}
+
+uint64_t HashSelect(const SelectStatement& stmt) {
+  uint64_t h = 0x6c62272e07bb0142ULL;
+  h = HashCombine(h, stmt.select_star ? 1u : 2u);
+  std::hash<std::string> text_hash;
+  h = HashCombine(h, stmt.select_list.size());
+  for (const ColumnRef& ref : stmt.select_list) {
+    h = HashCombine(h, text_hash(ref.table));
+    h = HashCombine(h, text_hash(ref.column));
+  }
+  h = HashCombine(h, stmt.from.size());
+  for (const std::string& table : stmt.from) {
+    h = HashCombine(h, text_hash(table));
+  }
+  return HashExpression(h, stmt.where.get());
+}
+
+}  // namespace sql
+}  // namespace auditdb

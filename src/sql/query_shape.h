@@ -1,0 +1,62 @@
+#ifndef AUDITDB_SQL_QUERY_SHAPE_H_
+#define AUDITDB_SQL_QUERY_SHAPE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/sql/parser.h"
+
+namespace auditdb {
+namespace sql {
+
+/// 128-bit structural fingerprint of a SQL text: two independently-seeded
+/// hashes over the *token stream* (token kinds + spellings), so it is
+/// invariant under whitespace, line breaks and source position, but
+/// distinct across any token change — including a changed literal.
+///
+/// Queries with equal shapes lex to identical token streams and therefore
+/// parse to identical statements, which is what lets the audit layers
+/// parse and screen once per shape instead of once per logged entry. The
+/// width is chosen so an accidental collision (which would silently merge
+/// two different queries' verdicts) is out of reach for any realistic log.
+struct QueryShape {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool zero() const { return hi == 0 && lo == 0; }
+
+  bool operator==(const QueryShape& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const QueryShape& other) const { return !(*this == other); }
+  bool operator<(const QueryShape& other) const {
+    if (hi != other.hi) return hi < other.hi;
+    return lo < other.lo;
+  }
+
+  /// 32 hex chars, for cache keys and metrics.
+  std::string ToHex() const;
+};
+
+/// Keys unordered containers on shapes.
+struct QueryShapeHash {
+  size_t operator()(const QueryShape& shape) const {
+    return static_cast<size_t>(shape.hi ^ (shape.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Computes the shape of `sql`. Text that fails to lex still gets a
+/// (distinctly salted) shape over its whitespace-collapsed characters, so
+/// malformed entries dedupe too without ever colliding with a lexable
+/// query.
+QueryShape ComputeQueryShape(const std::string& sql);
+
+/// Structural hash of a parsed statement (AST level; ignores binder
+/// slots). Used where a statement exists without its source text.
+uint64_t HashSelect(const SelectStatement& stmt);
+
+}  // namespace sql
+}  // namespace auditdb
+
+#endif  // AUDITDB_SQL_QUERY_SHAPE_H_

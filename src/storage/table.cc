@@ -6,195 +6,104 @@ namespace auditdb {
 
 std::string TidToString(Tid tid) { return "t" + std::to_string(tid); }
 
-Status Table::CheckArity(const std::vector<Value>& values) const {
-  if (values.size() != schema_.num_columns()) {
-    return Status::InvalidArgument(
-        "row arity " + std::to_string(values.size()) + " does not match " +
-        schema_.name() + " schema arity " +
-        std::to_string(schema_.num_columns()));
+// ---------------------------------------------------------------------------
+// RowStore
+
+void RowStore::ChargeCopy(const Segment& segment) {
+  if (!stats_) return;
+  uint64_t bytes = 0;
+  for (const Row& row : segment.rows) {
+    bytes += sizeof(Row) + row.values.size() * sizeof(Value);
   }
-  return Status::Ok();
+  stats_->cow_rows.fetch_add(segment.rows.size(), std::memory_order_relaxed);
+  stats_->cow_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
-void Table::InvalidateColumnar() {
-  ++mutation_count_;
-  if (!columnar_) return;  // moved-from shell
-  std::lock_guard<std::mutex> lock(columnar_->mu);
-  columnar_->batch.reset();
-}
-
-std::shared_ptr<const Batch> Table::Columnar() const {
-  if (!columnar_) columnar_ = std::make_shared<ColumnarSlot>();
-  std::lock_guard<std::mutex> lock(columnar_->mu);
-  if (!columnar_->batch) {
-    auto batch = std::make_shared<Batch>();
-    batch->num_rows = rows_.size();
-    batch->tids.reserve(rows_.size());
-    for (const Row& row : rows_) batch->tids.push_back(row.tid);
-    batch->columns.reserve(schema_.num_columns());
-    for (size_t c = 0; c < schema_.num_columns(); ++c) {
-      batch->columns.push_back(ColumnVector::Gather(
-          rows_.size(),
-          [&](size_t i) -> const Value& { return rows_[i].values[c]; }));
-    }
-    columnar_->batch = std::move(batch);
+RowStore::Segment* RowStore::Owned(size_t index) {
+  std::shared_ptr<Segment>& slot = segments_[index];
+  // use_count() > 1 means a published TableVersion still shares this
+  // segment. Safe as a discriminator: mutators are serialized against
+  // version publishing by the Database writer lock, and a version that
+  // pinned the segment keeps the count above 1 for as long as it is alive
+  // (a concurrent reader-side release can at worst leave the count
+  // transiently high, causing a harmless extra copy).
+  if (slot.use_count() > 1) {
+    auto copy = std::make_shared<Segment>();
+    copy->rows.reserve(kSegmentRows);
+    copy->rows.insert(copy->rows.end(), slot->rows.begin(), slot->rows.end());
+    ChargeCopy(*copy);
+    slot = std::move(copy);
   }
-  return columnar_->batch;
+  return slot.get();
 }
 
-Result<Tid> Table::Insert(std::vector<Value> values) {
-  AUDITDB_RETURN_IF_ERROR(CheckArity(values));
-  Tid tid = next_tid_++;
-  index_[tid] = rows_.size();
-  rows_.push_back(Row{tid, std::move(values)});
-  IndexInsert(rows_.back());
-  InvalidateColumnar();
-  return tid;
-}
-
-Status Table::InsertWithTid(Tid tid, std::vector<Value> values) {
-  AUDITDB_RETURN_IF_ERROR(CheckArity(values));
-  if (index_.count(tid) > 0) {
-    return Status::AlreadyExists("tid " + TidToString(tid) +
-                                 " already present in " + schema_.name());
+void RowStore::PushBack(Row row) {
+  size_t seg_index = size_ >> kSegmentBits;
+  if (seg_index == segments_.size()) {
+    auto segment = std::make_shared<Segment>();
+    segment->rows.reserve(kSegmentRows);
+    segments_.push_back(std::move(segment));
   }
-  index_[tid] = rows_.size();
-  rows_.push_back(Row{tid, std::move(values)});
-  if (tid >= next_tid_) next_tid_ = tid + 1;
-  IndexInsert(rows_.back());
-  InvalidateColumnar();
-  return Status::Ok();
+  Owned(seg_index)->rows.push_back(std::move(row));
+  ++size_;
 }
 
-Status Table::Update(Tid tid, std::vector<Value> values) {
-  AUDITDB_RETURN_IF_ERROR(CheckArity(values));
-  auto it = index_.find(tid);
-  if (it == index_.end()) {
-    return Status::NotFound("no tid " + TidToString(tid) + " in " +
-                            schema_.name());
-  }
-  IndexRemove(rows_[it->second]);
-  rows_[it->second].values = std::move(values);
-  IndexInsert(rows_[it->second]);
-  InvalidateColumnar();
-  return Status::Ok();
+Row& RowStore::MutableAt(size_t pos) {
+  return Owned(pos >> kSegmentBits)->rows[pos & kSegmentMask];
 }
 
-Status Table::UpdateColumn(Tid tid, const std::string& column, Value value) {
-  auto col = schema_.FindColumn(column);
-  if (!col.has_value()) {
-    return Status::NotFound("no column '" + column + "' in " +
-                            schema_.name());
+void RowStore::EraseStable(size_t pos) {
+  for (size_t p = pos; p + 1 < size_; ++p) {
+    MutableAt(p) = std::move(MutableAt(p + 1));
   }
-  auto it = index_.find(tid);
-  if (it == index_.end()) {
-    return Status::NotFound("no tid " + TidToString(tid) + " in " +
-                            schema_.name());
-  }
-  IndexRemove(rows_[it->second]);
-  rows_[it->second].values[*col] = std::move(value);
-  IndexInsert(rows_[it->second]);
-  InvalidateColumnar();
-  return Status::Ok();
+  Segment* last = Owned((size_ - 1) >> kSegmentBits);
+  last->rows.pop_back();
+  --size_;
+  if (last->rows.empty()) segments_.pop_back();
 }
 
-Result<Row> Table::Delete(Tid tid) {
-  auto it = index_.find(tid);
-  if (it == index_.end()) {
-    return Status::NotFound("no tid " + TidToString(tid) + " in " +
-                            schema_.name());
-  }
-  size_t pos = it->second;
-  IndexRemove(rows_[pos]);
-  Row before = std::move(rows_[pos]);
-  // Stable removal: keeps insertion order deterministic (result sets and
-  // granule listings are order-sensitive in tests and paper artifacts).
-  rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(pos));
-  index_.erase(it);
-  for (auto& [t, p] : index_) {
-    if (p > pos) --p;
-  }
-  InvalidateColumnar();
-  return before;
-}
+// ---------------------------------------------------------------------------
+// Shared index-lookup machinery (Table and TableVersion expose identical
+// read paths over the same map structures).
 
-Result<const Row*> Table::Get(Tid tid) const {
-  auto it = index_.find(tid);
-  if (it == index_.end()) {
-    return Status::NotFound("no tid " + TidToString(tid) + " in " +
-                            schema_.name());
-  }
-  return &rows_[it->second];
-}
+namespace {
 
-void Table::ReserveTidsThrough(Tid tid) {
-  if (tid >= next_tid_) next_tid_ = tid + 1;
-}
-
-std::vector<std::string> Table::IndexedColumns() const {
-  std::vector<std::string> out;
-  out.reserve(secondary_.size());
-  for (const auto& [column, by_value] : secondary_) out.push_back(column);
-  return out;
-}
-
-Status Table::CreateIndex(const std::string& column) {
-  auto col = schema_.FindColumn(column);
-  if (!col.has_value()) {
-    return Status::NotFound("no column '" + column + "' in " +
-                            schema_.name());
-  }
-  if (secondary_.count(column) > 0) return Status::Ok();
-  auto& by_value = secondary_[column];
-  for (const auto& row : rows_) {
-    by_value[row.values[*col]].push_back(row.tid);
-  }
-  return Status::Ok();
-}
-
-void Table::IndexInsert(const Row& row) {
-  for (auto& [column, by_value] : secondary_) {
-    auto col = schema_.FindColumn(column);
-    if (col.has_value()) by_value[row.values[*col]].push_back(row.tid);
-  }
-}
-
-void Table::IndexRemove(const Row& row) {
-  for (auto& [column, by_value] : secondary_) {
-    auto col = schema_.FindColumn(column);
-    if (!col.has_value()) continue;
-    auto it = by_value.find(row.values[*col]);
-    if (it == by_value.end()) continue;
-    auto& tids = it->second;
-    tids.erase(std::remove(tids.begin(), tids.end(), row.tid), tids.end());
-    if (tids.empty()) by_value.erase(it);
-  }
-}
-
-std::vector<Tid> Table::InRowOrder(std::vector<Tid> tids) const {
-  std::sort(tids.begin(), tids.end(), [this](Tid a, Tid b) {
-    return index_.at(a) < index_.at(b);
-  });
+std::vector<Tid> InRowOrder(const TidIndex& index, std::vector<Tid> tids) {
+  std::sort(tids.begin(), tids.end(),
+            [&index](Tid a, Tid b) { return index.at(a) < index.at(b); });
   return tids;
 }
 
-Result<std::vector<Tid>> Table::IndexLookupEq(const std::string& column,
-                                              const Value& value) const {
-  auto it = secondary_.find(column);
-  if (it == secondary_.end()) {
-    return Status::NotFound("no index on " + schema_.name() + "." + column);
+std::vector<std::string> IndexedColumnNames(const SecondaryIndexes& secondary) {
+  std::vector<std::string> out;
+  out.reserve(secondary.size());
+  for (const auto& [column, by_value] : secondary) out.push_back(column);
+  return out;
+}
+
+Result<std::vector<Tid>> LookupEq(const SecondaryIndexes& secondary,
+                                  const TidIndex& index,
+                                  const std::string& table_name,
+                                  const std::string& column,
+                                  const Value& value) {
+  auto it = secondary.find(column);
+  if (it == secondary.end()) {
+    return Status::NotFound("no index on " + table_name + "." + column);
   }
   auto hit = it->second.find(value);
   if (hit == it->second.end()) return std::vector<Tid>{};
-  return InRowOrder(hit->second);
+  return InRowOrder(index, hit->second);
 }
 
-Result<std::vector<Tid>> Table::IndexLookupRange(
-    const std::string& column, const std::optional<IndexBound>& lower,
-    const std::optional<IndexBound>& upper) const {
-  auto it = secondary_.find(column);
-  if (it == secondary_.end()) {
-    return Status::NotFound("no index on " + schema_.name() + "." + column);
+Result<std::vector<Tid>> LookupRange(const SecondaryIndexes& secondary,
+                                     const TidIndex& index,
+                                     const std::string& table_name,
+                                     const std::string& column,
+                                     const std::optional<IndexBound>& lower,
+                                     const std::optional<IndexBound>& upper) {
+  auto it = secondary.find(column);
+  if (it == secondary.end()) {
+    return Status::NotFound("no index on " + table_name + "." + column);
   }
   const auto& by_value = it->second;
   auto begin = by_value.begin();
@@ -212,7 +121,307 @@ Result<std::vector<Tid>> Table::IndexLookupRange(
     }
     tids.insert(tids.end(), cursor->second.begin(), cursor->second.end());
   }
-  return InRowOrder(tids);
+  return InRowOrder(index, tids);
+}
+
+std::shared_ptr<const Batch> BuildColumnar(const TableSchema& schema,
+                                           const RowStore& rows) {
+  auto batch = std::make_shared<Batch>();
+  batch->num_rows = rows.size();
+  batch->tids.reserve(rows.size());
+  for (const Row& row : rows) batch->tids.push_back(row.tid);
+  batch->columns.reserve(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    batch->columns.push_back(ColumnVector::Gather(
+        rows.size(), [&](size_t i) -> const Value& { return rows[i].values[c]; }));
+  }
+  return batch;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Table (write side)
+
+Table::Table(TableSchema schema)
+    : schema_(std::make_shared<const TableSchema>(std::move(schema))),
+      index_(std::make_shared<TidIndex>()),
+      secondary_(std::make_shared<SecondaryIndexes>()),
+      stats_(std::make_shared<TableStats>()) {
+  rows_.SetStats(stats_);
+}
+
+Status Table::CheckArity(const std::vector<Value>& values) const {
+  if (values.size() != schema_->num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " does not match " +
+        schema_->name() + " schema arity " +
+        std::to_string(schema_->num_columns()));
+  }
+  return Status::Ok();
+}
+
+void Table::BeginWrite() {
+  // Retire the cached current version before touching storage: if no
+  // audit pinned it, this drops the version's shared handles and the
+  // mutation below can work in place instead of copying.
+  std::lock_guard<std::mutex> lock(version_mu_);
+  current_.reset();
+}
+
+void Table::BumpEpoch() {
+  // Release pairs with the acquire in epoch(): a reader that observed
+  // epoch E sees the storage effects of the first E mutations.
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+TidIndex* Table::OwnedIndex() {
+  if (index_.use_count() > 1) {
+    index_ = std::make_shared<TidIndex>(*index_);
+  }
+  return index_.get();
+}
+
+SecondaryIndexes* Table::OwnedSecondary() {
+  if (secondary_.use_count() > 1) {
+    secondary_ = std::make_shared<SecondaryIndexes>(*secondary_);
+  }
+  return secondary_.get();
+}
+
+std::shared_ptr<const TableVersion> Table::CurrentVersion() const {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  if (!current_) {
+    stats_->versions_published.fetch_add(1, std::memory_order_relaxed);
+    current_ = std::make_shared<const TableVersion>(
+        schema_, epoch_.load(std::memory_order_acquire), rows_, index_,
+        secondary_, stats_);
+  }
+  return current_;
+}
+
+std::shared_ptr<const Batch> Table::Columnar() const {
+  return CurrentVersion()->Columnar();
+}
+
+Result<Tid> Table::Insert(std::vector<Value> values) {
+  AUDITDB_RETURN_IF_ERROR(CheckArity(values));
+  BeginWrite();
+  Tid tid = next_tid_++;
+  (*OwnedIndex())[tid] = rows_.size();
+  rows_.PushBack(Row{tid, std::move(values)});
+  IndexInsert(rows_[rows_.size() - 1]);
+  BumpEpoch();
+  return tid;
+}
+
+Status Table::InsertWithTid(Tid tid, std::vector<Value> values) {
+  AUDITDB_RETURN_IF_ERROR(CheckArity(values));
+  if (index_->count(tid) > 0) {
+    return Status::AlreadyExists("tid " + TidToString(tid) +
+                                 " already present in " + schema_->name());
+  }
+  BeginWrite();
+  (*OwnedIndex())[tid] = rows_.size();
+  rows_.PushBack(Row{tid, std::move(values)});
+  if (tid >= next_tid_) next_tid_ = tid + 1;
+  IndexInsert(rows_[rows_.size() - 1]);
+  BumpEpoch();
+  return Status::Ok();
+}
+
+Status Table::Update(Tid tid, std::vector<Value> values) {
+  AUDITDB_RETURN_IF_ERROR(CheckArity(values));
+  auto it = index_->find(tid);
+  if (it == index_->end()) {
+    return Status::NotFound("no tid " + TidToString(tid) + " in " +
+                            schema_->name());
+  }
+  size_t pos = it->second;
+  BeginWrite();
+  IndexRemove(rows_[pos]);
+  rows_.MutableAt(pos).values = std::move(values);
+  IndexInsert(rows_[pos]);
+  BumpEpoch();
+  return Status::Ok();
+}
+
+Status Table::UpdateColumn(Tid tid, const std::string& column, Value value) {
+  auto col = schema_->FindColumn(column);
+  if (!col.has_value()) {
+    return Status::NotFound("no column '" + column + "' in " +
+                            schema_->name());
+  }
+  auto it = index_->find(tid);
+  if (it == index_->end()) {
+    return Status::NotFound("no tid " + TidToString(tid) + " in " +
+                            schema_->name());
+  }
+  size_t pos = it->second;
+  BeginWrite();
+  IndexRemove(rows_[pos]);
+  rows_.MutableAt(pos).values[*col] = std::move(value);
+  IndexInsert(rows_[pos]);
+  BumpEpoch();
+  return Status::Ok();
+}
+
+Result<Row> Table::Delete(Tid tid) {
+  auto it = index_->find(tid);
+  if (it == index_->end()) {
+    return Status::NotFound("no tid " + TidToString(tid) + " in " +
+                            schema_->name());
+  }
+  size_t pos = it->second;
+  BeginWrite();
+  IndexRemove(rows_[pos]);
+  Row before = std::move(rows_.MutableAt(pos));
+  // Stable removal: keeps insertion order deterministic (result sets and
+  // granule listings are order-sensitive in tests and paper artifacts).
+  rows_.EraseStable(pos);
+  TidIndex* index = OwnedIndex();
+  index->erase(tid);
+  for (auto& [t, p] : *index) {
+    if (p > pos) --p;
+  }
+  BumpEpoch();
+  return before;
+}
+
+Result<const Row*> Table::Get(Tid tid) const {
+  auto it = index_->find(tid);
+  if (it == index_->end()) {
+    return Status::NotFound("no tid " + TidToString(tid) + " in " +
+                            schema_->name());
+  }
+  return &rows_[it->second];
+}
+
+void Table::ReserveTidsThrough(Tid tid) {
+  if (tid >= next_tid_) next_tid_ = tid + 1;
+}
+
+std::vector<std::string> Table::IndexedColumns() const {
+  return IndexedColumnNames(*secondary_);
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  auto col = schema_->FindColumn(column);
+  if (!col.has_value()) {
+    return Status::NotFound("no column '" + column + "' in " +
+                            schema_->name());
+  }
+  if (secondary_->count(column) > 0) return Status::Ok();
+  // Retire the cached version so new snapshots see the index, but keep the
+  // epoch: building an access path changes no data, so epoch-keyed
+  // decisions stay valid.
+  BeginWrite();
+  auto& by_value = (*OwnedSecondary())[column];
+  for (const auto& row : rows_) {
+    by_value[row.values[*col]].push_back(row.tid);
+  }
+  return Status::Ok();
+}
+
+void Table::IndexInsert(const Row& row) {
+  if (secondary_->empty()) return;
+  for (auto& [column, by_value] : *OwnedSecondary()) {
+    auto col = schema_->FindColumn(column);
+    if (col.has_value()) by_value[row.values[*col]].push_back(row.tid);
+  }
+}
+
+void Table::IndexRemove(const Row& row) {
+  if (secondary_->empty()) return;
+  for (auto& [column, by_value] : *OwnedSecondary()) {
+    auto col = schema_->FindColumn(column);
+    if (!col.has_value()) continue;
+    auto it = by_value.find(row.values[*col]);
+    if (it == by_value.end()) continue;
+    auto& tids = it->second;
+    tids.erase(std::remove(tids.begin(), tids.end(), row.tid), tids.end());
+    if (tids.empty()) by_value.erase(it);
+  }
+}
+
+Result<std::vector<Tid>> Table::IndexLookupEq(const std::string& column,
+                                              const Value& value) const {
+  return LookupEq(*secondary_, *index_, schema_->name(), column, value);
+}
+
+Result<std::vector<Tid>> Table::IndexLookupRange(
+    const std::string& column, const std::optional<IndexBound>& lower,
+    const std::optional<IndexBound>& upper) const {
+  return LookupRange(*secondary_, *index_, schema_->name(), column, lower,
+                     upper);
+}
+
+// ---------------------------------------------------------------------------
+// TableVersion (read side)
+
+TableVersion::TableVersion(std::shared_ptr<const TableSchema> schema,
+                           uint64_t epoch, RowStore rows,
+                           std::shared_ptr<const TidIndex> index,
+                           std::shared_ptr<const SecondaryIndexes> secondary,
+                           std::shared_ptr<TableStats> stats)
+    : schema_(std::move(schema)),
+      epoch_(epoch),
+      rows_(std::move(rows)),
+      index_(std::move(index)),
+      secondary_(std::move(secondary)),
+      stats_(std::move(stats)) {
+  if (stats_) stats_->live_versions.fetch_add(1, std::memory_order_relaxed);
+}
+
+TableVersion::~TableVersion() {
+  if (stats_) stats_->live_versions.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Result<const Row*> TableVersion::Get(Tid tid) const {
+  auto it = index_->find(tid);
+  if (it == index_->end()) {
+    return Status::NotFound("no tid " + TidToString(tid) + " in " +
+                            schema_->name());
+  }
+  return &rows_[it->second];
+}
+
+Result<size_t> TableVersion::GetPosition(Tid tid) const {
+  auto it = index_->find(tid);
+  if (it == index_->end()) {
+    return Status::NotFound("no tid " + TidToString(tid) + " in " +
+                            schema_->name());
+  }
+  return it->second;
+}
+
+std::shared_ptr<const Batch> TableVersion::Columnar() const {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  if (!batch_) {
+    batch_ = BuildColumnar(*schema_, rows_);
+    if (stats_) {
+      stats_->columnar_builds.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (stats_) {
+    stats_->columnar_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return batch_;
+}
+
+std::vector<std::string> TableVersion::IndexedColumns() const {
+  return IndexedColumnNames(*secondary_);
+}
+
+Result<std::vector<Tid>> TableVersion::IndexLookupEq(
+    const std::string& column, const Value& value) const {
+  return LookupEq(*secondary_, *index_, schema_->name(), column, value);
+}
+
+Result<std::vector<Tid>> TableVersion::IndexLookupRange(
+    const std::string& column, const std::optional<IndexBound>& lower,
+    const std::optional<IndexBound>& upper) const {
+  return LookupRange(*secondary_, *index_, schema_->name(), column, lower,
+                     upper);
 }
 
 }  // namespace auditdb

@@ -1,10 +1,14 @@
 #ifndef AUDITDB_STORAGE_TABLE_H_
 #define AUDITDB_STORAGE_TABLE_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,23 +50,163 @@ struct ChangeEvent {
   Row row;
 };
 
-/// An in-memory heap table. Rows are kept in insertion order; lookups by
-/// tid go through a side index. Mutations produce ChangeEvents via the
-/// owning Database's trigger hook.
+/// Bound of an index range lookup (either end optional at the call site;
+/// bounds must be same-typed with the column).
+struct IndexBound {
+  Value value;
+  bool strict = false;
+};
+
+/// tid -> position in the row store.
+using TidIndex = std::map<Tid, size_t>;
+/// column name -> (value -> tids with that value).
+using SecondaryIndexes =
+    std::map<std::string, std::map<Value, std::vector<Tid>>>;
+
+/// Monotonic per-table counters of the MVCC machinery: how many versions
+/// are pinned right now, how much copy-on-write actually copied, and how
+/// the per-version columnar cache behaves. Shared between a Table and all
+/// of its published TableVersions (a version may outlive its table), and
+/// surfaced as the auditd "versions" metrics section.
+struct TableStats {
+  /// TableVersions currently alive (published and still referenced).
+  std::atomic<int64_t> live_versions{0};
+  /// Versions ever published (CurrentVersion() builds).
+  std::atomic<uint64_t> versions_published{0};
+  /// Rows copied because a mutation touched storage shared with a version.
+  std::atomic<uint64_t> cow_rows{0};
+  /// Estimated bytes those copies moved (row header + value slots).
+  std::atomic<uint64_t> cow_bytes{0};
+  /// Columnar builds (one per version that was actually scanned) and
+  /// reuses of an already-built per-version batch.
+  std::atomic<uint64_t> columnar_builds{0};
+  std::atomic<uint64_t> columnar_hits{0};
+};
+
+/// Segmented copy-on-write row storage. Rows live in fixed-size segments
+/// held by shared_ptr; publishing a version shares the segment vector, and
+/// a later mutation copies only the touched segment (plus, for stable
+/// deletes, the tail it shifts). Invariant: every segment except the last
+/// holds exactly kSegmentRows rows, so position p lives at
+/// segment[p >> kSegmentBits][p & kSegmentMask].
+///
+/// Read API mirrors std::vector<Row> (size / operator[] / iteration), so
+/// scan loops are unchanged; only .data() pointer arithmetic is gone.
+class RowStore {
+ public:
+  static constexpr size_t kSegmentBits = 10;
+  static constexpr size_t kSegmentRows = size_t{1} << kSegmentBits;
+  static constexpr size_t kSegmentMask = kSegmentRows - 1;
+
+  RowStore() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Row& operator[](size_t pos) const {
+    return segments_[pos >> kSegmentBits]->rows[pos & kSegmentMask];
+  }
+
+  /// Forward iteration in position order (segment-walking).
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Row;
+    using difference_type = ptrdiff_t;
+    using pointer = const Row*;
+    using reference = const Row&;
+
+    const_iterator() = default;
+    const_iterator(const RowStore* store, size_t pos)
+        : store_(store), pos_(pos) {}
+
+    const Row& operator*() const { return (*store_)[pos_]; }
+    const Row* operator->() const { return &(*store_)[pos_]; }
+    const_iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator out = *this;
+      ++pos_;
+      return out;
+    }
+    bool operator==(const const_iterator& other) const {
+      return pos_ == other.pos_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return pos_ != other.pos_;
+    }
+
+   private:
+    const RowStore* store_ = nullptr;
+    size_t pos_ = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+  /// --- Write side (Table only; externally serialized) ----------------
+
+  /// Appends a row, copying the last segment first if it is shared.
+  void PushBack(Row row);
+
+  /// Mutable row at `pos`, copying the containing segment first if shared.
+  Row& MutableAt(size_t pos);
+
+  /// Stable (order-preserving) erase: shifts everything after `pos` left
+  /// by one, copying every touched shared segment.
+  void EraseStable(size_t pos);
+
+  /// Accounting sink for COW copies (may be null).
+  void SetStats(std::shared_ptr<TableStats> stats) {
+    stats_ = std::move(stats);
+  }
+
+ private:
+  struct Segment {
+    std::vector<Row> rows;
+  };
+
+  /// Ensures segments_[index] is uniquely owned, copying (and charging
+  /// the copy to stats_) when a published version still shares it.
+  Segment* Owned(size_t index);
+  void ChargeCopy(const Segment& segment);
+
+  std::vector<std::shared_ptr<Segment>> segments_;
+  size_t size_ = 0;
+  std::shared_ptr<TableStats> stats_;
+};
+
+class TableVersion;
+
+/// An in-memory heap table: the *write side* of the MVCC pair. Rows are
+/// kept in insertion order inside copy-on-write segments; lookups by tid
+/// go through a side index. Mutations produce ChangeEvents via the owning
+/// Database's trigger hook and advance the table's epoch; readers pin an
+/// immutable TableVersion (CurrentVersion()) and are never blocked or
+/// invalidated by later writes.
+///
+/// Thread-safety contract: mutators and CurrentVersion() must be mutually
+/// excluded by the caller (the Database's internal writer lock does this);
+/// published TableVersions are immutable and safe to read from any thread.
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  explicit Table(TableSchema schema);
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
-  Table(Table&&) = default;
-  Table& operator=(Table&&) = default;
+  /// Not movable: readers hold shared state (versions, stats) handed out
+  /// by this object, and a moved-from table would strand them against a
+  /// hollow shell. Tables live behind unique_ptr everywhere.
+  Table(Table&&) = delete;
+  Table& operator=(Table&&) = delete;
 
-  const TableSchema& schema() const { return schema_; }
-  const std::string& name() const { return schema_.name(); }
+  const TableSchema& schema() const { return *schema_; }
+  const std::string& name() const { return schema_->name(); }
 
   /// Live rows in insertion order.
-  const std::vector<Row>& rows() const { return rows_; }
+  const RowStore& rows() const { return rows_; }
   size_t size() const { return rows_.size(); }
 
   /// Inserts with an auto-assigned tid; returns the tid.
@@ -84,25 +228,39 @@ class Table {
   /// Live row by tid, or NotFound.
   Result<const Row*> Get(Tid tid) const;
 
-  bool Contains(Tid tid) const { return index_.count(tid) > 0; }
+  bool Contains(Tid tid) const { return index_->count(tid) > 0; }
 
   /// Next tid the auto-assigner would use.
   Tid next_tid() const { return next_tid_; }
   /// Raises the auto-assign floor (after explicit-tid inserts).
   void ReserveTidsThrough(Tid tid);
 
+  /// --- MVCC versions -------------------------------------------------
+  /// The current immutable version: schema, rows, indexes and epoch,
+  /// sharing this table's storage (no copying at publish time; a later
+  /// mutation copies only what it touches). Published lazily and cached
+  /// until the next mutation, so back-to-back snapshots of a quiet table
+  /// pin the same version object (and its built-once columnar batch).
+  std::shared_ptr<const TableVersion> CurrentVersion() const;
+
+  /// Monotonic version counter: bumped by every mutation with
+  /// release ordering, so a reader that observed epoch E (acquire) sees
+  /// all storage effects of the first E mutations. This is the per-table
+  /// cache key the audit layers use in place of the old global mutation
+  /// count.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Legacy alias for epoch() (the pre-MVCC per-table staleness counter).
+  uint64_t mutation_count() const { return epoch(); }
+
   /// --- Columnar projection cache ------------------------------------
-  /// A columnar copy of the live rows for batch scans, built lazily on
-  /// first use and invalidated by every mutation. Concurrent readers are
-  /// safe (the build is mutex-guarded and the result is shared); the
-  /// returned batch stays valid after later mutations (readers keep
-  /// their shared_ptr; the table just stops handing it out). Live tables
-  /// and backlog snapshots share this path, so historical states scan
-  /// exactly like current ones.
+  /// The columnar batch of the current version (built once per version,
+  /// never invalidated — a new version simply has its own batch). Readers
+  /// keep their shared_ptr across later mutations.
   std::shared_ptr<const Batch> Columnar() const;
 
-  /// Bumped on every mutation; lets callers detect staleness cheaply.
-  uint64_t mutation_count() const { return mutation_count_; }
+  /// Version/COW counters shared with every published version.
+  const TableStats& stats() const { return *stats_; }
 
   /// --- Secondary indexes -------------------------------------------
   /// An ordered value index over one column, maintained across
@@ -114,7 +272,7 @@ class Table {
   /// Builds an index over `column` (idempotent).
   Status CreateIndex(const std::string& column);
   bool HasIndex(const std::string& column) const {
-    return secondary_.count(column) > 0;
+    return secondary_->count(column) > 0;
   }
   /// Names of indexed columns (snapshots mirror the live table's
   /// indexes so audits of historical states get the same access paths).
@@ -127,10 +285,6 @@ class Table {
 
   /// Tids whose `column` lies in the given range (either bound optional;
   /// bounds must be same-typed with the column), in insertion order.
-  struct IndexBound {
-    Value value;
-    bool strict = false;
-  };
   Result<std::vector<Tid>> IndexLookupRange(
       const std::string& column, const std::optional<IndexBound>& lower,
       const std::optional<IndexBound>& upper) const;
@@ -139,28 +293,87 @@ class Table {
   Status CheckArity(const std::vector<Value>& values) const;
   void IndexInsert(const Row& row);
   void IndexRemove(const Row& row);
-  /// Drops the cached columnar projection (called by every mutation).
-  void InvalidateColumnar();
-  /// Sorts tids into row (insertion) order so index-driven scans emit
-  /// rows in the same order as full scans.
-  std::vector<Tid> InRowOrder(std::vector<Tid> tids) const;
+  /// Retires the cached current version before a mutation touches
+  /// storage (lets an unpinned mutation work in place).
+  void BeginWrite();
+  /// Publishes the mutation by advancing the epoch (release).
+  void BumpEpoch();
+  /// Copy-on-write guards: make the tid / secondary index maps uniquely
+  /// owned before mutating them (published versions share them).
+  TidIndex* OwnedIndex();
+  SecondaryIndexes* OwnedSecondary();
 
-  TableSchema schema_;
-  std::vector<Row> rows_;
-  std::map<Tid, size_t> index_;  // tid -> position in rows_
-  /// column name -> (value -> tids with that value).
-  std::map<std::string, std::map<Value, std::vector<Tid>>> secondary_;
+  std::shared_ptr<const TableSchema> schema_;
+  RowStore rows_;
+  std::shared_ptr<TidIndex> index_;
+  std::shared_ptr<SecondaryIndexes> secondary_;
   Tid next_tid_ = 1;
 
-  /// Guarded lazily built columnar projection. Held behind a shared slot
-  /// so Table stays movable (the mutex lives in the slot, not the table).
-  struct ColumnarSlot {
-    std::mutex mu;
-    std::shared_ptr<const Batch> batch;
-  };
-  mutable std::shared_ptr<ColumnarSlot> columnar_ =
-      std::make_shared<ColumnarSlot>();
-  uint64_t mutation_count_ = 0;
+  std::shared_ptr<TableStats> stats_;
+  std::atomic<uint64_t> epoch_{0};
+  /// Cached current version; reset by every mutation, rebuilt on demand.
+  mutable std::mutex version_mu_;
+  mutable std::shared_ptr<const TableVersion> current_;
+};
+
+/// An immutable snapshot of one table: the *read side* of the MVCC pair.
+/// Shares the publishing table's row segments and index maps (cheap to
+/// pin), carries the epoch it was published at, and owns a build-once
+/// columnar batch — immutable data never invalidates, so the batch lives
+/// exactly as long as the version. All members are safe to use from any
+/// thread, concurrently with writes to the source table.
+class TableVersion {
+ public:
+  /// Published by Table::CurrentVersion(); not for direct construction.
+  TableVersion(std::shared_ptr<const TableSchema> schema, uint64_t epoch,
+               RowStore rows, std::shared_ptr<const TidIndex> index,
+               std::shared_ptr<const SecondaryIndexes> secondary,
+               std::shared_ptr<TableStats> stats);
+  ~TableVersion();
+
+  TableVersion(const TableVersion&) = delete;
+  TableVersion& operator=(const TableVersion&) = delete;
+
+  const TableSchema& schema() const { return *schema_; }
+  const std::string& name() const { return schema_->name(); }
+  uint64_t epoch() const { return epoch_; }
+
+  /// Rows in insertion order, as of this version.
+  const RowStore& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Row by tid, or NotFound.
+  Result<const Row*> Get(Tid tid) const;
+  bool Contains(Tid tid) const { return index_->count(tid) > 0; }
+  /// Position of `tid` in rows(), or NotFound (replaces the pointer
+  /// arithmetic scans used against contiguous storage).
+  Result<size_t> GetPosition(Tid tid) const;
+
+  /// Columnar projection of this version, built on first use and shared
+  /// by every scan of the version thereafter. Never invalidated: the
+  /// version is immutable.
+  std::shared_ptr<const Batch> Columnar() const;
+
+  bool HasIndex(const std::string& column) const {
+    return secondary_->count(column) > 0;
+  }
+  std::vector<std::string> IndexedColumns() const;
+  Result<std::vector<Tid>> IndexLookupEq(const std::string& column,
+                                         const Value& value) const;
+  Result<std::vector<Tid>> IndexLookupRange(
+      const std::string& column, const std::optional<IndexBound>& lower,
+      const std::optional<IndexBound>& upper) const;
+
+ private:
+  std::shared_ptr<const TableSchema> schema_;
+  uint64_t epoch_ = 0;
+  RowStore rows_;
+  std::shared_ptr<const TidIndex> index_;
+  std::shared_ptr<const SecondaryIndexes> secondary_;
+  std::shared_ptr<TableStats> stats_;
+
+  mutable std::mutex columnar_mu_;
+  mutable std::shared_ptr<const Batch> batch_;
 };
 
 }  // namespace auditdb

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "src/audit/audit_parser.h"
 #include "src/sql/parser.h"
+#include "src/sql/query_shape.h"
 #include "src/workload/hospital.h"
 
 namespace auditdb {
@@ -15,6 +18,11 @@ namespace audit {
 namespace {
 
 Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+/// Distinct deterministic cache keys from short tags.
+sql::QueryShape Shape(const std::string& tag) {
+  return sql::ComputeQueryShape(tag);
+}
 
 TEST(NormalizedSqlKeyTest, CollapsesWhitespaceAndTrims) {
   EXPECT_EQ(NormalizedSqlKey("SELECT  name\tFROM\n  P-Personal "),
@@ -106,13 +114,13 @@ TEST_F(AuditIndexTest, RemoveUnregistersAndReaddReplaces) {
 TEST_F(AuditIndexTest, AccessedColumnsMemoizesSuccesses) {
   DecisionCache cache;
   auto stmt = Select("SELECT disease FROM P-Health");
-  auto first = cache.AccessedColumns("k1", false, 0, stmt, db_.catalog());
+  auto first = cache.AccessedColumns(Shape("k1"), false, 0, stmt, db_.catalog());
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(first->status.ok());
   EXPECT_EQ(cache.stats()->cache_misses.load(), 1u);
   EXPECT_EQ(cache.stats()->cache_hits.load(), 0u);
 
-  auto second = cache.AccessedColumns("k1", false, 0, stmt, db_.catalog());
+  auto second = cache.AccessedColumns(Shape("k1"), false, 0, stmt, db_.catalog());
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(cache.stats()->cache_hits.load(), 1u);
   // The hit shares the miss's column set (same object, not a copy).
@@ -123,10 +131,10 @@ TEST_F(AuditIndexTest, AccessedColumnsMemoizesSuccesses) {
 TEST_F(AuditIndexTest, AccessedColumnsMemoizesErrorsByteForByte) {
   DecisionCache cache;
   auto stmt = Select("SELECT x FROM NoSuchTable");
-  auto first = cache.AccessedColumns("k1", false, 0, stmt, db_.catalog());
+  auto first = cache.AccessedColumns(Shape("k1"), false, 0, stmt, db_.catalog());
   ASSERT_TRUE(first.ok());
   EXPECT_FALSE(first->status.ok());
-  auto second = cache.AccessedColumns("k1", false, 0, stmt, db_.catalog());
+  auto second = cache.AccessedColumns(Shape("k1"), false, 0, stmt, db_.catalog());
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->status.ToString(), first->status.ToString());
   EXPECT_EQ(cache.stats()->cache_hits.load(), 1u);
@@ -136,9 +144,9 @@ TEST_F(AuditIndexTest, DistinctKeysDoNotCollide) {
   DecisionCache cache;
   auto stmt = Select("SELECT disease FROM P-Health");
   // Same SQL key, different outputs_only / mutation: three entries.
-  ASSERT_TRUE(cache.AccessedColumns("k", false, 0, stmt, db_.catalog()).ok());
-  ASSERT_TRUE(cache.AccessedColumns("k", true, 0, stmt, db_.catalog()).ok());
-  ASSERT_TRUE(cache.AccessedColumns("k", false, 1, stmt, db_.catalog()).ok());
+  ASSERT_TRUE(cache.AccessedColumns(Shape("k"), false, 0, stmt, db_.catalog()).ok());
+  ASSERT_TRUE(cache.AccessedColumns(Shape("k"), true, 0, stmt, db_.catalog()).ok());
+  ASSERT_TRUE(cache.AccessedColumns(Shape("k"), false, 1, stmt, db_.catalog()).ok());
   EXPECT_EQ(cache.column_entries(), 3u);
   EXPECT_EQ(cache.stats()->cache_misses.load(), 3u);
   EXPECT_EQ(cache.stats()->cache_hits.load(), 0u);
@@ -147,24 +155,24 @@ TEST_F(AuditIndexTest, DistinctKeysDoNotCollide) {
 TEST_F(AuditIndexTest, BatchCandidateMemoizesDecisionsAndErrors) {
   DecisionCache cache;
   auto expr = Qualified("AUDIT (disease) FROM P-Health");
-  std::string expr_key = expr.ToString();
+  uint64_t expr_hash = std::hash<std::string>{}(expr.ToString());
 
   auto touching = Select("SELECT disease FROM P-Health");
-  auto first = cache.BatchCandidate("q1", expr_key, 0, touching, expr,
+  auto first = cache.BatchCandidate(Shape("q1"), expr_hash, 0, touching, expr,
                                     db_.catalog(), CandidateOptions{});
   ASSERT_TRUE(first.ok());
   EXPECT_TRUE(*first);
-  auto again = cache.BatchCandidate("q1", expr_key, 0, touching, expr,
+  auto again = cache.BatchCandidate(Shape("q1"), expr_hash, 0, touching, expr,
                                     db_.catalog(), CandidateOptions{});
   ASSERT_TRUE(again.ok());
   EXPECT_TRUE(*again);
   EXPECT_EQ(cache.stats()->cache_hits.load(), 1u);
 
   auto broken = Select("SELECT x FROM NoSuchTable");
-  auto err = cache.BatchCandidate("q2", expr_key, 0, broken, expr,
+  auto err = cache.BatchCandidate(Shape("q2"), expr_hash, 0, broken, expr,
                                   db_.catalog(), CandidateOptions{});
   EXPECT_FALSE(err.ok());
-  auto err_again = cache.BatchCandidate("q2", expr_key, 0, broken, expr,
+  auto err_again = cache.BatchCandidate(Shape("q2"), expr_hash, 0, broken, expr,
                                         db_.catalog(), CandidateOptions{});
   EXPECT_FALSE(err_again.ok());
   EXPECT_EQ(err_again.status().ToString(), err.status().ToString());
@@ -174,16 +182,16 @@ TEST_F(AuditIndexTest, BatchCandidateMemoizesDecisionsAndErrors) {
 TEST_F(AuditIndexTest, CachedBatchCandidateMatchesDirectWithAndWithoutCache) {
   DecisionCache cache;
   auto expr = Qualified("AUDIT (disease) FROM P-Health");
-  std::string expr_key = expr.ToString();
+  uint64_t expr_hash = std::hash<std::string>{}(expr.ToString());
   for (const char* sql :
        {"SELECT disease FROM P-Health", "SELECT ward FROM P-Health",
         "SELECT x FROM NoSuchTable"}) {
     auto stmt = Select(sql);
     auto direct =
         IsBatchCandidate(stmt, expr, db_.catalog(), CandidateOptions{});
-    std::string key = NormalizedSqlKey(sql);
+    sql::QueryShape key = sql::ComputeQueryShape(sql);
     for (int round = 0; round < 2; ++round) {  // miss then hit
-      auto cached = CachedBatchCandidate(&cache, key, expr_key, 0, stmt,
+      auto cached = CachedBatchCandidate(&cache, key, expr_hash, 0, stmt,
                                          expr, db_.catalog(),
                                          CandidateOptions{});
       ASSERT_EQ(cached.ok(), direct.ok()) << sql;
@@ -193,7 +201,7 @@ TEST_F(AuditIndexTest, CachedBatchCandidateMatchesDirectWithAndWithoutCache) {
         EXPECT_EQ(cached.status().ToString(), direct.status().ToString());
       }
     }
-    auto uncached = CachedBatchCandidate(nullptr, key, expr_key, 0, stmt,
+    auto uncached = CachedBatchCandidate(nullptr, key, expr_hash, 0, stmt,
                                          expr, db_.catalog(),
                                          CandidateOptions{});
     ASSERT_EQ(uncached.ok(), direct.ok()) << sql;
@@ -203,16 +211,16 @@ TEST_F(AuditIndexTest, CachedBatchCandidateMatchesDirectWithAndWithoutCache) {
 
 TEST_F(AuditIndexTest, ProfileRoundTripAndInvalidate) {
   DecisionCache cache;
-  EXPECT_EQ(cache.LookupProfile("q", 0), nullptr);
+  EXPECT_EQ(cache.LookupProfile(Shape("q"), 0), nullptr);
   auto profile = std::make_shared<const AccessProfile>();
-  cache.StoreProfile("q", 0, profile);
-  EXPECT_EQ(cache.LookupProfile("q", 0).get(), profile.get());
+  cache.StoreProfile(Shape("q"), 0, profile);
+  EXPECT_EQ(cache.LookupProfile(Shape("q"), 0).get(), profile.get());
   // A different mutation count is a different state: miss.
-  EXPECT_EQ(cache.LookupProfile("q", 1), nullptr);
+  EXPECT_EQ(cache.LookupProfile(Shape("q"), 1), nullptr);
   EXPECT_EQ(cache.profile_entries(), 1u);
 
   cache.Invalidate();
-  EXPECT_EQ(cache.LookupProfile("q", 0), nullptr);
+  EXPECT_EQ(cache.LookupProfile(Shape("q"), 0), nullptr);
   EXPECT_EQ(cache.column_entries(), 0u);
   EXPECT_EQ(cache.decision_entries(), 0u);
   EXPECT_EQ(cache.profile_entries(), 0u);
@@ -225,7 +233,7 @@ TEST_F(AuditIndexTest, CapsDropSectionsWholesaleWithoutLosingCorrectness) {
   DecisionCache cache(options);
   auto stmt = Select("SELECT disease FROM P-Health");
   for (uint64_t m = 0; m < 5; ++m) {
-    auto entry = cache.AccessedColumns("k", false, m, stmt, db_.catalog());
+    auto entry = cache.AccessedColumns(Shape("k"), false, m, stmt, db_.catalog());
     ASSERT_TRUE(entry.ok());
     ASSERT_TRUE(entry->status.ok());
   }

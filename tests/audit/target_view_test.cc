@@ -129,7 +129,7 @@ TEST_F(TargetViewVersionsTest, AgrawalBacklogInterpretationViaBTable) {
   auto b_table = backlog_.MaterializeBacklogTable("P-Personal");
   ASSERT_TRUE(b_table.ok());
   DatabaseView view;
-  view.AddTable(&*b_table);
+  view.AddTable(b_table->get());
 
   auto expr = ParseAudit("AUDIT zipcode FROM b-P-Personal "
                          "WHERE name = 'Reku'",

@@ -43,10 +43,10 @@ TEST_F(BacklogTest, CapturesEventsInOrder) {
       db_.Update("T", *tid, {Value::Int(2), Value::String("x")}, Ts(20))
           .ok());
   ASSERT_TRUE(db_.Delete("T", *tid, Ts(30)).ok());
-  ASSERT_EQ(backlog_.events().size(), 3u);
-  EXPECT_EQ(backlog_.events()[0].op, ChangeEvent::Op::kInsert);
-  EXPECT_EQ(backlog_.events()[1].op, ChangeEvent::Op::kUpdate);
-  EXPECT_EQ(backlog_.events()[2].op, ChangeEvent::Op::kDelete);
+  ASSERT_EQ(backlog_.event_count(), 3u);
+  EXPECT_EQ(backlog_.EventAt(0).op, ChangeEvent::Op::kInsert);
+  EXPECT_EQ(backlog_.EventAt(1).op, ChangeEvent::Op::kUpdate);
+  EXPECT_EQ(backlog_.EventAt(2).op, ChangeEvent::Op::kDelete);
   EXPECT_EQ(backlog_.EventsForTable("T").size(), 3u);
   EXPECT_TRUE(backlog_.EventsForTable("U").empty());
 }
@@ -136,13 +136,13 @@ TEST_F(BacklogTest, MaterializedBacklogTableIsQueryable) {
 
   auto b_table = backlog_.MaterializeBacklogTable("T");
   ASSERT_TRUE(b_table.ok()) << b_table.status().ToString();
-  EXPECT_EQ(b_table->name(), "b-T");
-  ASSERT_EQ(b_table->size(), 3u);
+  EXPECT_EQ((*b_table)->name(), "b-T");
+  ASSERT_EQ((*b_table)->size(), 3u);
 
   // Query the backlog relation like any other table (the paper's
   // b-Patients idiom).
   DatabaseView view;
-  view.AddTable(&*b_table);
+  view.AddTable(b_table->get());
   auto updates = ExecuteSql("SELECT a, tid FROM b-T WHERE op = 'update'",
                             view);
   ASSERT_TRUE(updates.ok()) << updates.status().ToString();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/engine/executor.h"
 #include "src/sql/parser.h"
 #include "src/workload/hospital.h"
@@ -12,13 +14,14 @@ namespace {
 Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
 
 /// T(a INT, b STRING) with rows (10,"x"), (20,"y"), (30,"x"), (40,"z").
-Table MakeTable() {
-  Table table(TableSchema("T", {{"a", ValueType::kInt},
-                                {"b", ValueType::kString}}));
-  EXPECT_TRUE(table.Insert({Value::Int(10), Value::String("x")}).ok());
-  EXPECT_TRUE(table.Insert({Value::Int(20), Value::String("y")}).ok());
-  EXPECT_TRUE(table.Insert({Value::Int(30), Value::String("x")}).ok());
-  EXPECT_TRUE(table.Insert({Value::Int(40), Value::String("z")}).ok());
+std::unique_ptr<Table> MakeTable() {
+  auto table = std::make_unique<Table>(
+      TableSchema("T", {{"a", ValueType::kInt},
+                        {"b", ValueType::kString}}));
+  EXPECT_TRUE(table->Insert({Value::Int(10), Value::String("x")}).ok());
+  EXPECT_TRUE(table->Insert({Value::Int(20), Value::String("y")}).ok());
+  EXPECT_TRUE(table->Insert({Value::Int(30), Value::String("x")}).ok());
+  EXPECT_TRUE(table->Insert({Value::Int(40), Value::String("z")}).ok());
   return table;
 }
 
@@ -54,8 +57,8 @@ ScanStage LocalStage(const Expression& expr) {
 }
 
 TEST(TableScanTest, ColumnarProjectionMatchesRows) {
-  Table table = MakeTable();
-  auto batch = table.Columnar();
+  auto table = MakeTable();
+  auto batch = table->Columnar();
   ASSERT_EQ(batch->num_rows, 4u);
   ASSERT_EQ(batch->num_columns(), 2u);
   EXPECT_EQ(batch->tids, (std::vector<int64_t>{1, 2, 3, 4}));
@@ -64,12 +67,12 @@ TEST(TableScanTest, ColumnarProjectionMatchesRows) {
 }
 
 TEST(TableScanTest, BuildTableFilterStates) {
-  Table table = MakeTable();
+  auto table = MakeTable();
   ExprPtr expr = BoundPredicate("a < 30 AND b = 'x'");
   std::vector<ScanStage> stages;
   stages.push_back(LocalStage(*expr));
 
-  auto batch = table.Columnar();
+  auto batch = table->Columnar();
   ScanOptions opts;
   TableFilter filter = BuildTableFilter(*batch, stages, std::nullopt, opts);
   EXPECT_EQ(filter.num_stages(), 1u);
@@ -80,14 +83,14 @@ TEST(TableScanTest, BuildTableFilterStates) {
 }
 
 TEST(TableScanTest, LaterStagesOnlyCoverEarlierPassers) {
-  Table table = MakeTable();
+  auto table = MakeTable();
   ExprPtr first = BoundPredicate("a < 30");
   ExprPtr second = BoundPredicate("b = 'x'");
   std::vector<ScanStage> stages;
   stages.push_back(LocalStage(*first));
   stages.push_back(LocalStage(*second));
 
-  auto batch = table.Columnar();
+  auto batch = table->Columnar();
   TableFilter filter =
       BuildTableFilter(*batch, stages, std::nullopt, ScanOptions{});
   EXPECT_EQ(filter.passing(), (std::vector<uint32_t>{0}));
@@ -96,12 +99,12 @@ TEST(TableScanTest, LaterStagesOnlyCoverEarlierPassers) {
 }
 
 TEST(TableScanTest, ErrorsAreRecordedPerRow) {
-  Table table = MakeTable();
+  auto table = MakeTable();
   ExprPtr expr = BoundPredicate("a < 30 AND b + 1 > 0");
   std::vector<ScanStage> stages;
   stages.push_back(LocalStage(*expr));
 
-  auto batch = table.Columnar();
+  auto batch = table->Columnar();
   TableFilter filter =
       BuildTableFilter(*batch, stages, std::nullopt, ScanOptions{});
   EXPECT_TRUE(filter.has_errors());
@@ -114,12 +117,12 @@ TEST(TableScanTest, ErrorsAreRecordedPerRow) {
 }
 
 TEST(TableScanTest, SelectionLimitsTheFilter) {
-  Table table = MakeTable();
+  auto table = MakeTable();
   ExprPtr expr = BoundPredicate("b = 'x'");
   std::vector<ScanStage> stages;
   stages.push_back(LocalStage(*expr));
 
-  auto batch = table.Columnar();
+  auto batch = table->Columnar();
   std::vector<uint32_t> selection = {1, 2};
   TableFilter filter =
       BuildTableFilter(*batch, stages, selection, ScanOptions{});
@@ -127,12 +130,12 @@ TEST(TableScanTest, SelectionLimitsTheFilter) {
 }
 
 TEST(TableScanTest, RunChunkedMatchesSingleShot) {
-  Table table = MakeTable();
+  auto table = MakeTable();
   ExprPtr expr = BoundPredicate("a >= 20 AND b <> 'y'");
   auto program = PredicateProgram::Compile(*expr, 0, 2);
   ASSERT_TRUE(program.ok());
 
-  auto batch = table.Columnar();
+  auto batch = table->Columnar();
   std::vector<uint32_t> sel = {0, 1, 2, 3};
   auto whole = program->Run(*batch, sel);
   for (size_t chunk = 1; chunk <= 5; ++chunk) {
@@ -143,19 +146,21 @@ TEST(TableScanTest, RunChunkedMatchesSingleShot) {
 }
 
 TEST(TableScanTest, EstimateFilteredCardinality) {
-  Table table = MakeTable();
+  auto table = MakeTable();
   auto pred = sql::ParseExpression("T.a >= 20");
   ASSERT_TRUE(pred.ok());
   std::vector<const Expression*> conjuncts = {pred->get()};
 
   ScanOptions compiled;
-  auto n = EstimateFilteredCardinality(table, "T", conjuncts, compiled);
+  auto n = EstimateFilteredCardinality(*table->CurrentVersion(), "T",
+                                       conjuncts, compiled);
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, 3u);
 
   ScanOptions interpreted;
   interpreted.compiled = false;
-  auto m = EstimateFilteredCardinality(table, "T", conjuncts, interpreted);
+  auto m = EstimateFilteredCardinality(*table->CurrentVersion(), "T",
+                                       conjuncts, interpreted);
   ASSERT_TRUE(m.ok());
   EXPECT_EQ(*m, *n);
 }

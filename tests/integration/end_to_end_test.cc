@@ -40,7 +40,8 @@ TEST(WorkloadTest, GeneratedQueriesAllParse) {
   QueryLog log;
   ASSERT_TRUE(workload::GenerateWorkload(&log, config, hospital).ok());
   ASSERT_EQ(log.size(), 200u);
-  for (const auto& entry : log.entries()) {
+  for (size_t ei = 0; ei < log.size(); ++ei) {
+    const auto& entry = log.Entry(ei);
     auto stmt = sql::ParseSelect(entry.sql);
     EXPECT_TRUE(stmt.ok()) << entry.sql << " -> "
                            << stmt.status().ToString();
@@ -58,7 +59,8 @@ TEST(WorkloadTest, GeneratedQueriesAllExecute) {
   QueryLog log;
   ASSERT_TRUE(workload::GenerateWorkload(&log, config, hospital).ok());
   auto view = db.View();
-  for (const auto& entry : log.entries()) {
+  for (size_t ei = 0; ei < log.size(); ++ei) {
+    const auto& entry = log.Entry(ei);
     auto result = ExecuteSql(entry.sql, view);
     EXPECT_TRUE(result.ok()) << entry.sql << " -> "
                              << result.status().ToString();
@@ -72,7 +74,8 @@ TEST(WorkloadTest, AnnotationsDrawnFromPools) {
   config.start = Ts(100);
   QueryLog log;
   ASSERT_TRUE(workload::GenerateWorkload(&log, config, hospital).ok());
-  for (const auto& entry : log.entries()) {
+  for (size_t ei = 0; ei < log.size(); ++ei) {
+    const auto& entry = log.Entry(ei);
     EXPECT_NE(std::find(config.users.begin(), config.users.end(),
                         entry.user),
               config.users.end());
@@ -89,17 +92,17 @@ TEST(WorkloadTest, ChurnGeneratesCapturedVersions) {
   workload::HospitalConfig hospital;
   hospital.num_patients = 20;
   ASSERT_TRUE(workload::PopulateHospital(&db, hospital, Ts(1)).ok());
-  size_t base_events = backlog.events().size();
+  size_t base_events = backlog.event_count();
 
   workload::ChurnConfig churn;
   churn.num_updates = 50;
   churn.start = Ts(100);
   ASSERT_TRUE(workload::GenerateChurn(&db, churn, hospital).ok());
-  EXPECT_EQ(backlog.events().size(), base_events + 50);
+  EXPECT_EQ(backlog.event_count(), base_events + 50);
 
   // All churn events are updates within the configured window.
-  for (size_t i = base_events; i < backlog.events().size(); ++i) {
-    const auto& event = backlog.events()[i];
+  for (size_t i = base_events; i < backlog.event_count(); ++i) {
+    const auto& event = backlog.EventAt(i);
     EXPECT_EQ(event.op, ChangeEvent::Op::kUpdate);
     EXPECT_GE(event.timestamp, Ts(100));
   }

@@ -87,8 +87,8 @@ TEST(DatabaseDumpTest, LoadFiresTriggers) {
   Backlog backlog;
   backlog.Attach(&restored);
   ASSERT_TRUE(ReadDatabaseDump(dump, &restored, Ts(7)).ok());
-  EXPECT_EQ(backlog.events().size(), 12u);  // 4 rows x 3 tables
-  EXPECT_EQ(backlog.events()[0].timestamp, Ts(7));
+  EXPECT_EQ(backlog.event_count(), 12u);  // 4 rows x 3 tables
+  EXPECT_EQ(backlog.EventAt(0).timestamp, Ts(7));
 }
 
 TEST(DatabaseDumpTest, RejectsGarbage) {
@@ -132,10 +132,10 @@ TEST(QueryLogDumpTest, RoundTrips) {
   QueryLog restored;
   ASSERT_TRUE(ReadQueryLogDump(dump, &restored).ok());
   ASSERT_EQ(restored.size(), 2u);
-  EXPECT_EQ(restored.entries()[0].sql, "SELECT a FROM T WHERE s = 'x|y'");
-  EXPECT_EQ(restored.entries()[0].user, "alice");
-  EXPECT_EQ(restored.entries()[0].timestamp, Ts(10));
-  EXPECT_EQ(restored.entries()[1].purpose, "billing");
+  EXPECT_EQ(restored.Entry(0).sql, "SELECT a FROM T WHERE s = 'x|y'");
+  EXPECT_EQ(restored.Entry(0).user, "alice");
+  EXPECT_EQ(restored.Entry(0).timestamp, Ts(10));
+  EXPECT_EQ(restored.Entry(1).purpose, "billing");
 }
 
 // Strings chosen to break line-oriented, pipe-separated formats: field
@@ -234,10 +234,10 @@ TEST(QueryLogDumpTest, RoundTripsAdversarialEntries) {
   ASSERT_TRUE(ReadQueryLogDump(dump, &restored).ok());
   ASSERT_EQ(restored.size(), original.size());
   for (size_t i = 0; i < original.size(); ++i) {
-    EXPECT_EQ(restored.entries()[i].sql, original.entries()[i].sql) << i;
-    EXPECT_EQ(restored.entries()[i].user, original.entries()[i].user) << i;
-    EXPECT_EQ(restored.entries()[i].role, original.entries()[i].role) << i;
-    EXPECT_EQ(restored.entries()[i].purpose, original.entries()[i].purpose)
+    EXPECT_EQ(restored.Entry(i).sql, original.Entry(i).sql) << i;
+    EXPECT_EQ(restored.Entry(i).user, original.Entry(i).user) << i;
+    EXPECT_EQ(restored.Entry(i).role, original.Entry(i).role) << i;
+    EXPECT_EQ(restored.Entry(i).purpose, original.Entry(i).purpose)
         << i;
   }
 }
@@ -260,7 +260,7 @@ TEST(QueryLogDumpTest, ReadsCrlfTerminatedDumps) {
   QueryLog restored;
   ASSERT_TRUE(ReadQueryLogDump(crlf_dump, &restored).ok());
   ASSERT_EQ(restored.size(), 1u);
-  EXPECT_EQ(restored.entries()[0].sql, original.entries()[0].sql);
+  EXPECT_EQ(restored.Entry(0).sql, original.Entry(0).sql);
 }
 
 TEST(QueryLogDumpTest, RejectsWrongFieldCount) {

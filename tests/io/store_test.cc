@@ -98,7 +98,7 @@ void CheckRecovered(const std::string& dir,
         << context << ": acked appends were lost";
   }
   for (size_t i = 0; i < log.size(); ++i) {
-    const LoggedQuery& got = log.entries()[i];
+    const LoggedQuery& got = log.Entry(i);
     LoggedQuery want = MakeEntry(static_cast<int64_t>(i) + 1);
     ASSERT_EQ(got.id, want.id) << context;
     ASSERT_EQ(got.timestamp.micros(), want.timestamp.micros()) << context;
@@ -142,7 +142,7 @@ TEST(DurableStoreTest, FreshOpenCheckpointsPreloadedState) {
   EXPECT_EQ((*recovered)->recovery().snapshot_queries, 1u);
   EXPECT_EQ(db2.TableNames(), db.TableNames());
   ASSERT_EQ(log2.size(), 1u);
-  EXPECT_EQ(log2.entries()[0].sql, "SELECT 1");
+  EXPECT_EQ(log2.Entry(0).sql, "SELECT 1");
 }
 
 TEST(DurableStoreTest, RecoveryRefusesNonEmptyStores) {

@@ -100,11 +100,11 @@ TEST(DurableServerTest, AckedExecuteQueriesSurviveACrashWithoutCheckpoint) {
   Recover(dir, &db, &log);
   ASSERT_EQ(log.size(), 3u);
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(log.entries()[i].sql,
+    EXPECT_EQ(log.Entry(i).sql,
               "SELECT name FROM P-Personal WHERE pid = 'p" +
                   std::to_string(i) + "'");
-    EXPECT_EQ(log.entries()[i].user, "alice");
-    EXPECT_EQ(log.entries()[i].timestamp.micros(), Ts(100 + i).micros());
+    EXPECT_EQ(log.Entry(i).user, "alice");
+    EXPECT_EQ(log.Entry(i).timestamp.micros(), Ts(100 + i).micros());
   }
 
   // The recovered state is servable and auditable: bring a second
@@ -150,7 +150,7 @@ TEST(DurableServerTest, CorruptLoadDumpOverTheWireNeverReachesDisk) {
   // Only the acked ExecuteQuery survived; nothing from the corrupt
   // dumps reached the durable store.
   ASSERT_EQ(log.size(), 1u);
-  EXPECT_EQ(log.entries()[0].sql, "SELECT name FROM P-Personal");
+  EXPECT_EQ(log.Entry(0).sql, "SELECT name FROM P-Personal");
 }
 
 TEST(DurableServerTest, ValidLoadDumpIsCheckpointedImmediately) {
@@ -174,8 +174,8 @@ TEST(DurableServerTest, ValidLoadDumpIsCheckpointedImmediately) {
   QueryLog log;
   Recover(dir, &db, &log);
   ASSERT_EQ(log.size(), 1u);
-  EXPECT_EQ(log.entries()[0].user, "bob");
-  EXPECT_EQ(log.entries()[0].timestamp.micros(), 777);
+  EXPECT_EQ(log.Entry(0).user, "bob");
+  EXPECT_EQ(log.Entry(0).timestamp.micros(), 777);
 }
 
 // Once the WAL cannot be written, the server must refuse to ack rather

@@ -236,7 +236,7 @@ TEST(AuditServerTest, ExecuteQueryAppendsToServedLog) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_GT(result->num_rows, 0u);
   ASSERT_EQ(world.log.size(), before + 1);
-  const auto& entry = world.log.entries().back();
+  const auto& entry = world.log.Entry(world.log.size() - 1);
   EXPECT_EQ(entry.user, "mallory");
   EXPECT_EQ(entry.timestamp, Ts(900000));
 

@@ -115,7 +115,7 @@ Result<QueryResult> BruteForce(const sql::SelectStatement& stmt,
   QueryResult result;
   result.from = stmt.from;
   RowLayout layout;
-  std::vector<const Table*> tables;
+  std::vector<const TableVersion*> tables;
   for (const auto& name : stmt.from) {
     auto table = db.GetTable(name);
     if (!table.ok()) return table.status();

@@ -88,10 +88,10 @@ TEST_F(OnlineConcurrentTest, IndexedParallelObserveMatchesIndexOffSerial) {
   AddAll(&indexed);
 
   ThreadPool pool(PoolOptions(4));
-  const auto& entries = world_->log.entries();
+  const QueryLog& entries = world_->log;
   for (size_t i = 0; i < std::min<size_t>(entries.size(), 120); ++i) {
-    auto expected = serial.Observe(entries[i]);
-    auto actual = indexed.Observe(entries[i], &pool);
+    auto expected = serial.Observe(entries.Entry(i));
+    auto actual = indexed.Observe(entries.Entry(i), &pool);
     ASSERT_EQ(expected.ok(), actual.ok()) << "query " << i;
     if (!expected.ok()) continue;
     ASSERT_EQ(expected->size(), actual->size());
@@ -118,10 +118,10 @@ TEST_F(OnlineConcurrentTest, SharedCacheSurvivesConcurrentObserves) {
   AddAll(&monitor);
 
   ThreadPool pool(PoolOptions(8));
-  const auto& entries = world_->log.entries();
+  const QueryLog& entries = world_->log;
   for (int round = 0; round < 2; ++round) {
     for (size_t i = 0; i < std::min<size_t>(entries.size(), 60); ++i) {
-      auto s = monitor.Observe(entries[i], &pool);
+      auto s = monitor.Observe(entries.Entry(i), &pool);
       ASSERT_TRUE(s.ok()) << s.status().ToString();
     }
   }

@@ -258,10 +258,10 @@ TEST_F(SchedulerTest, OnlineMonitorParallelObserveMatchesSerial) {
   add_expressions(&serial);
   add_expressions(&parallel);
   ThreadPool pool(PoolOptions(4));
-  const auto& entries = world_->log.entries();
+  const QueryLog& entries = world_->log;
   for (size_t i = 0; i < std::min<size_t>(entries.size(), 50); ++i) {
-    auto serial_result = serial.Observe(entries[i]);
-    auto parallel_result = parallel.Observe(entries[i], &pool);
+    auto serial_result = serial.Observe(entries.Entry(i));
+    auto parallel_result = parallel.Observe(entries.Entry(i), &pool);
     ASSERT_EQ(serial_result.ok(), parallel_result.ok()) << i;
     if (!serial_result.ok()) continue;
     ASSERT_EQ(serial_result->size(), parallel_result->size());

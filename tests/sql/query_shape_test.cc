@@ -1,0 +1,109 @@
+#include "src/sql/query_shape.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace auditdb {
+namespace sql {
+namespace {
+
+TEST(QueryShapeTest, WhitespaceAndLayoutInvariant) {
+  QueryShape base =
+      ComputeQueryShape("SELECT name FROM P-Personal WHERE zipcode='145568'");
+  EXPECT_FALSE(base.zero());
+  // Any re-layout of the same token stream has the same shape.
+  const char* variants[] = {
+      "SELECT  name  FROM  P-Personal  WHERE  zipcode='145568'",
+      "SELECT name\nFROM P-Personal\nWHERE zipcode='145568'",
+      "   SELECT name FROM P-Personal WHERE zipcode='145568'   ",
+      "SELECT name FROM P-Personal\t\tWHERE zipcode='145568'",
+  };
+  for (const char* sql : variants) {
+    EXPECT_EQ(ComputeQueryShape(sql), base) << sql;
+  }
+}
+
+TEST(QueryShapeTest, LiteralsAndIdentifiersAreDistinct) {
+  QueryShape base =
+      ComputeQueryShape("SELECT name FROM P-Personal WHERE zipcode='145568'");
+  // A changed literal is a different shape: shape-keyed cache entries
+  // must stay literal-sensitive or verdicts would merge across queries.
+  EXPECT_NE(ComputeQueryShape(
+                "SELECT name FROM P-Personal WHERE zipcode='999999'"),
+            base);
+  // So are a changed column, table, and operator.
+  EXPECT_NE(ComputeQueryShape(
+                "SELECT age FROM P-Personal WHERE zipcode='145568'"),
+            base);
+  EXPECT_NE(ComputeQueryShape(
+                "SELECT name FROM P-Health WHERE zipcode='145568'"),
+            base);
+  EXPECT_NE(ComputeQueryShape(
+                "SELECT name FROM P-Personal WHERE zipcode<'145568'"),
+            base);
+}
+
+TEST(QueryShapeTest, PropertyRandomLayoutsNeverSplitAndEditsNeverMerge) {
+  // Deterministically seeded property sweep: re-spacing a query never
+  // changes its shape; changing one literal always does.
+  std::mt19937 rng(20080617);
+  const std::vector<std::string> tokens = {
+      "SELECT", "name", ",", "disease", "FROM", "P-Personal", ",",
+      "P-Health", "WHERE", "P-Personal.pid", "=", "P-Health.pid",
+      "AND", "zipcode", "=", "'Z'"};
+  auto render = [&](const std::string& literal, bool randomize) {
+    std::string sql;
+    for (const auto& token : tokens) {
+      std::string t = token == "'Z'" ? literal : token;
+      if (!sql.empty()) {
+        if (randomize) {
+          int pad = static_cast<int>(rng() % 3) + 1;
+          sql.append(static_cast<size_t>(pad), ' ');
+          if (rng() % 4 == 0) sql.back() = '\n';
+        } else {
+          sql += ' ';
+        }
+      }
+      sql += t;
+    }
+    return sql;
+  };
+
+  std::unordered_set<QueryShape, QueryShapeHash> distinct;
+  for (int literal = 0; literal < 20; ++literal) {
+    std::string lit = "'" + std::to_string(100000 + literal) + "'";
+    QueryShape canonical = ComputeQueryShape(render(lit, false));
+    for (int layout = 0; layout < 20; ++layout) {
+      EXPECT_EQ(ComputeQueryShape(render(lit, true)), canonical);
+    }
+    distinct.insert(canonical);
+  }
+  // Every literal produced its own shape class.
+  EXPECT_EQ(distinct.size(), 20u);
+}
+
+TEST(QueryShapeTest, UnlexableTextDedupesWithoutCollidingWithSql) {
+  QueryShape bad1 = ComputeQueryShape("SELECT !!! garbage ???");
+  QueryShape bad2 = ComputeQueryShape("SELECT   !!! garbage    ???");
+  QueryShape bad3 = ComputeQueryShape("SELECT !!! other ???");
+  EXPECT_FALSE(bad1.zero());
+  // Malformed entries still dedupe on collapsed text...
+  EXPECT_EQ(bad1, bad2);
+  EXPECT_NE(bad1, bad3);
+  // ...in a universe disjoint from well-formed queries.
+  EXPECT_NE(bad1, ComputeQueryShape("SELECT name FROM T"));
+}
+
+TEST(QueryShapeTest, HexRendersBothWords) {
+  QueryShape shape{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(shape.ToHex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(QueryShape{}.ToHex(), std::string(32, '0'));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace auditdb

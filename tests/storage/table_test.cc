@@ -147,14 +147,14 @@ TEST_F(IndexedTableTest, EqLookupInRowOrder) {
 TEST_F(IndexedTableTest, RangeLookup) {
   // a >= 2: rows 2, 3, 6, 7.
   auto hits = table_->IndexLookupRange(
-      "a", Table::IndexBound{Value::Int(2), false}, std::nullopt);
+      "a", IndexBound{Value::Int(2), false}, std::nullopt);
   ASSERT_TRUE(hits.ok());
   EXPECT_EQ(*hits,
             (std::vector<Tid>{tids_[2], tids_[3], tids_[6], tids_[7]}));
   // 1 < a < 3: rows 2, 6.
   hits = table_->IndexLookupRange("a",
-                                  Table::IndexBound{Value::Int(1), true},
-                                  Table::IndexBound{Value::Int(3), true});
+                                  IndexBound{Value::Int(1), true},
+                                  IndexBound{Value::Int(3), true});
   ASSERT_TRUE(hits.ok());
   EXPECT_EQ(*hits, (std::vector<Tid>{tids_[2], tids_[6]}));
   // Unbounded: everything.

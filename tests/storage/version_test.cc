@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <type_traits>
+
+#include "src/storage/database.h"
+#include "src/storage/table.h"
+
+namespace auditdb {
+namespace {
+
+// Regression for the moved-from-table hazard: readers hold shared state
+// handed out by a Table, so moving one would strand them against a
+// hollow shell. The type must stay pinned behind unique_ptr.
+static_assert(!std::is_move_constructible_v<Table>,
+              "Table must not be move-constructible");
+static_assert(!std::is_move_assignable_v<Table>,
+              "Table must not be move-assignable");
+static_assert(!std::is_copy_constructible_v<Table>,
+              "Table must not be copyable");
+
+TableSchema TwoColSchema() {
+  return TableSchema("T",
+                     {{"a", ValueType::kInt}, {"b", ValueType::kString}});
+}
+
+Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
+
+TEST(TableVersionTest, PinnedVersionIsImmutableUnderWrites) {
+  Table table(TwoColSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::String("x")}).ok());
+  ASSERT_TRUE(table.Insert({Value::Int(2), Value::String("y")}).ok());
+
+  auto version = table.CurrentVersion();
+  ASSERT_EQ(version->size(), 2u);
+
+  // Every mutation kind, against storage the version shares.
+  ASSERT_TRUE(table.Insert({Value::Int(3), Value::String("z")}).ok());
+  ASSERT_TRUE(
+      table.UpdateColumn(1, "b", Value::String("mutated")).ok());
+  ASSERT_TRUE(table.Delete(2).ok());
+
+  // The pin still reads the old world.
+  EXPECT_EQ(version->size(), 2u);
+  auto row = version->Get(1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)->values[1], Value::String("x"));
+  EXPECT_TRUE(version->Contains(2));
+  EXPECT_FALSE(version->Contains(3));
+
+  // The live table reads the new world.
+  EXPECT_EQ(table.size(), 2u);
+  auto live = table.Get(1);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ((*live)->values[1], Value::String("mutated"));
+  EXPECT_FALSE(table.Contains(2));
+  EXPECT_TRUE(table.Contains(3));
+}
+
+TEST(TableVersionTest, QuietTablePinsTheSameVersionObject) {
+  Table table(TwoColSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::String("x")}).ok());
+  auto a = table.CurrentVersion();
+  auto b = table.CurrentVersion();
+  EXPECT_EQ(a.get(), b.get());
+  ASSERT_TRUE(table.Insert({Value::Int(2), Value::String("y")}).ok());
+  auto c = table.CurrentVersion();
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(TableVersionTest, EpochAdvancesOncePerMutation) {
+  Table table(TwoColSchema());
+  const uint64_t e0 = table.epoch();
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::String("x")}).ok());
+  EXPECT_EQ(table.epoch(), e0 + 1);
+  ASSERT_TRUE(table.UpdateColumn(1, "a", Value::Int(9)).ok());
+  EXPECT_EQ(table.epoch(), e0 + 2);
+  ASSERT_TRUE(table.Delete(1).ok());
+  EXPECT_EQ(table.epoch(), e0 + 3);
+  // A failed mutation publishes nothing.
+  EXPECT_FALSE(table.Delete(1).ok());
+  EXPECT_EQ(table.epoch(), e0 + 3);
+  // The version carries the epoch it was published at.
+  EXPECT_EQ(table.CurrentVersion()->epoch(), e0 + 3);
+}
+
+TEST(TableVersionTest, CowChargesOnlyWhenStorageIsShared) {
+  Table table(TwoColSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::String("x")}).ok());
+  ASSERT_TRUE(table.UpdateColumn(1, "a", Value::Int(2)).ok());
+  // No version pinned across those writes: in-place, nothing copied.
+  EXPECT_EQ(table.stats().cow_rows.load(), 0u);
+
+  auto pinned = table.CurrentVersion();
+  ASSERT_TRUE(table.UpdateColumn(1, "a", Value::Int(3)).ok());
+  // The touched segment was shared with the pin, so it was copied.
+  EXPECT_GT(table.stats().cow_rows.load(), 0u);
+  auto row = pinned->Get(1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)->values[0], Value::Int(2));
+}
+
+TEST(TableVersionTest, ColumnarBatchIsBuiltOncePerVersion) {
+  Table table(TwoColSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::String("x")}).ok());
+  auto version = table.CurrentVersion();
+  auto batch1 = version->Columnar();
+  auto batch2 = version->Columnar();
+  EXPECT_EQ(batch1.get(), batch2.get());
+  EXPECT_EQ(table.stats().columnar_builds.load(), 1u);
+  EXPECT_GE(table.stats().columnar_hits.load(), 1u);
+
+  // A write publishes a new version with its own (lazily built) batch;
+  // the old batch stays valid for its pinners.
+  ASSERT_TRUE(table.Insert({Value::Int(2), Value::String("y")}).ok());
+  auto batch3 = table.Columnar();
+  EXPECT_NE(batch1.get(), batch3.get());
+  EXPECT_EQ(table.stats().columnar_builds.load(), 2u);
+  EXPECT_EQ(batch1->num_rows, 1u);
+  EXPECT_EQ(batch3->num_rows, 2u);
+}
+
+TEST(TableVersionTest, GetPositionResolvesTidsWithinTheVersion) {
+  Table table(TwoColSchema());
+  ASSERT_TRUE(table.InsertWithTid(11, {Value::Int(1), Value::String("x")})
+                  .ok());
+  ASSERT_TRUE(table.InsertWithTid(12, {Value::Int(2), Value::String("y")})
+                  .ok());
+  auto version = table.CurrentVersion();
+  auto pos = version->GetPosition(12);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, 1u);
+  EXPECT_EQ(version->rows()[*pos].tid, 12);
+  EXPECT_FALSE(version->GetPosition(99).ok());
+}
+
+TEST(TableVersionTest, LiveVersionAccountingTracksPins) {
+  Table table(TwoColSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::String("x")}).ok());
+  {
+    auto v1 = table.CurrentVersion();
+    ASSERT_TRUE(table.Insert({Value::Int(2), Value::String("y")}).ok());
+    auto v2 = table.CurrentVersion();
+    EXPECT_EQ(table.stats().live_versions.load(), 2);
+    EXPECT_EQ(table.stats().versions_published.load(), 2u);
+  }
+  // Pins released (the table's own cache may keep the newest alive).
+  EXPECT_LE(table.stats().live_versions.load(), 1);
+}
+
+TEST(DatabaseSnapshotTest, SnapshotIsAConsistentMultiTableCut) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema(
+                                 "A", {{"x", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateTable(TableSchema(
+                                 "B", {{"y", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("A", {Value::Int(1)}, Ts(1)).ok());
+
+  DatabaseView snap = db.Snapshot();
+  ASSERT_TRUE(db.Insert("A", {Value::Int(2)}, Ts(2)).ok());
+  ASSERT_TRUE(db.Insert("B", {Value::Int(3)}, Ts(2)).ok());
+
+  auto a = snap.GetTable("A");
+  auto b = snap.GetTable("B");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->size(), 1u);
+  EXPECT_EQ((*b)->size(), 0u);
+  // A fresh snapshot sees both writes.
+  DatabaseView now = db.Snapshot();
+  EXPECT_EQ((*now.GetTable("A"))->size(), 2u);
+  EXPECT_EQ((*now.GetTable("B"))->size(), 1u);
+}
+
+TEST(DatabaseSnapshotTest, EpochFingerprintIsPerTable) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema(
+                                 "A", {{"x", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateTable(TableSchema(
+                                 "B", {{"y", ValueType::kInt}}))
+                  .ok());
+  DatabaseView v1 = db.Snapshot();
+  ASSERT_TRUE(db.Insert("B", {Value::Int(1)}, Ts(1)).ok());
+  DatabaseView v2 = db.Snapshot();
+
+  // A write to B changes fingerprints that read B, not those that only
+  // read A — this is exactly what keeps caches hot across unrelated
+  // writes.
+  EXPECT_EQ(v1.EpochFingerprint({"A"}), v2.EpochFingerprint({"A"}));
+  EXPECT_NE(v1.EpochFingerprint({"B"}), v2.EpochFingerprint({"B"}));
+  EXPECT_NE(v1.EpochFingerprint({"A", "B"}),
+            v2.EpochFingerprint({"A", "B"}));
+  // Order-independent; absent tables hash as absent, not as epoch 0.
+  EXPECT_EQ(v1.EpochFingerprint({"A", "B"}),
+            v1.EpochFingerprint({"B", "A"}));
+  EXPECT_NE(v1.EpochFingerprint({"A", "missing"}),
+            v1.EpochFingerprint({"A"}));
+}
+
+TEST(DatabaseSnapshotTest, CatalogEpochTracksSchemaNotRows) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema(
+                                 "A", {{"x", ValueType::kInt}}))
+                  .ok());
+  const uint64_t schema_epoch = db.catalog_epoch();
+  ASSERT_TRUE(db.Insert("A", {Value::Int(1)}, Ts(1)).ok());
+  EXPECT_EQ(db.catalog_epoch(), schema_epoch);
+  ASSERT_TRUE(db.CreateTable(TableSchema(
+                                 "B", {{"y", ValueType::kInt}}))
+                  .ok());
+  EXPECT_GT(db.catalog_epoch(), schema_epoch);
+}
+
+}  // namespace
+}  // namespace auditdb

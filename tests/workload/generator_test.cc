@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/policy/policy_engine.h"
 
 namespace auditdb {
@@ -10,10 +12,10 @@ namespace {
 
 Timestamp Ts(int64_t s) { return Timestamp(s * 1000000); }
 
-QueryLog Generate(const WorkloadConfig& config) {
-  QueryLog log;
+std::unique_ptr<QueryLog> Generate(const WorkloadConfig& config) {
+  auto log = std::make_unique<QueryLog>();
   HospitalConfig hospital;
-  EXPECT_TRUE(GenerateWorkload(&log, config, hospital).ok());
+  EXPECT_TRUE(GenerateWorkload(log.get(), config, hospital).ok());
   return log;
 }
 
@@ -21,13 +23,13 @@ TEST(WorkloadRuleHitTest, DisabledAxisIsDeterministic) {
   WorkloadConfig config;
   config.num_queries = 50;
   config.start = Ts(100);
-  QueryLog a = Generate(config);
+  auto a = Generate(config);
   config.rule_hit_fraction = 0.0;  // explicit zero = same stream
-  QueryLog b = Generate(config);
-  ASSERT_EQ(a.size(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a.entries()[i].ToString(), b.entries()[i].ToString());
-    EXPECT_NE(a.entries()[i].role, config.rule_role);
+  auto b = Generate(config);
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->Entry(i).ToString(), b->Entry(i).ToString());
+    EXPECT_NE(a->Entry(i).role, config.rule_role);
   }
 }
 
@@ -36,11 +38,12 @@ TEST(WorkloadRuleHitTest, FractionControlsRuleTraffic) {
   config.num_queries = 200;
   config.start = Ts(100);
   config.rule_hit_fraction = 0.3;
-  QueryLog log = Generate(config);
-  ASSERT_EQ(log.size(), 200u);
+  auto log = Generate(config);
+  ASSERT_EQ(log->size(), 200u);
 
   size_t hits = 0;
-  for (const auto& entry : log.entries()) {
+  for (size_t ei = 0; ei < log->size(); ++ei) {
+    const auto& entry = log->Entry(ei);
     if (entry.role == config.rule_role) {
       // Hit queries carry the whole rule-target triple.
       EXPECT_EQ(entry.user, config.rule_user);
@@ -53,8 +56,9 @@ TEST(WorkloadRuleHitTest, FractionControlsRuleTraffic) {
   EXPECT_LT(hits, 90u);
 
   config.rule_hit_fraction = 1.0;
-  QueryLog all = Generate(config);
-  for (const auto& entry : all.entries()) {
+  auto all = Generate(config);
+  for (size_t ei = 0; ei < all->size(); ++ei) {
+    const auto& entry = all->Entry(ei);
     EXPECT_EQ(entry.role, config.rule_role);
   }
 }
@@ -64,7 +68,7 @@ TEST(WorkloadRuleHitTest, MatchingRuleTextDrivesTheEngine) {
   config.num_queries = 120;
   config.start = Ts(100);
   config.rule_hit_fraction = 0.25;
-  QueryLog log = Generate(config);
+  auto log = Generate(config);
 
   // The generated rules file parses and matches exactly the hit share.
   policy::PolicyEngine engine;
@@ -75,7 +79,8 @@ TEST(WorkloadRuleHitTest, MatchingRuleTextDrivesTheEngine) {
   ASSERT_EQ(engine.rule_count(), 1u);
 
   size_t matched = 0, hits = 0;
-  for (const auto& entry : log.entries()) {
+  for (size_t ei = 0; ei < log->size(); ++ei) {
+    const auto& entry = log->Entry(ei);
     policy::QueryContext ctx;
     ctx.sql = entry.sql;
     ctx.user = entry.user;

@@ -339,8 +339,8 @@ class Shell {
       return Status::Ok();
     }
     if (cmd == ".log") {
-      for (const auto& entry : log_.entries()) {
-        std::printf("%s\n", entry.ToString().c_str());
+      for (size_t i = 0; i < log_.size(); ++i) {
+        std::printf("%s\n", log_.Entry(i).ToString().c_str());
       }
       return Status::Ok();
     }

@@ -96,7 +96,7 @@ int Verify(const std::string& data_dir, int min_acked) {
   }
   // The log must be a dense, uncorrupted prefix: ids 1..N in order.
   for (size_t i = 0; i < log.size(); ++i) {
-    const LoggedQuery& entry = log.entries()[i];
+    const LoggedQuery& entry = log.Entry(i);
     if (entry.id != static_cast<int64_t>(i) + 1) {
       std::fprintf(stderr, "log entry %zu has id %lld (want %zu)\n", i,
                    static_cast<long long>(entry.id), i + 1);

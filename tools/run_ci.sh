@@ -16,9 +16,12 @@
 # file integrity check: one well-formed redacted record per acked
 # query, no marked literal leaked) — and finally a Release (-O2) build
 # that smoke-runs the scan and expression-index benches plus the
-# bench_net push-latency sweep and the bench_policy overhead acceptance
-# check (<5% at 0% rule-hit rate), checking their BENCH_scan.json /
-# BENCH_index.json / BENCH_push.json / BENCH_policy.json artifacts.
+# bench_net push-latency sweep, the bench_policy overhead acceptance
+# check (<5% at 0% rule-hit rate), and the bench_mixed MVCC sweep
+# (versioned caching must sustain hot hit rates AND write throughput
+# where the wholesale-invalidation ablation can only have one),
+# checking their BENCH_scan.json / BENCH_index.json / BENCH_push.json
+# / BENCH_policy.json / BENCH_mixed.json artifacts.
 #
 # Usage: tools/run_ci.sh [build-dir-prefix]
 #   Build trees land in <prefix>, <prefix>-tsan, <prefix>-asan and
@@ -41,13 +44,15 @@ echo "== [3/7] service determinism + stress under ThreadSanitizer =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=thread
 # The TSan gate needs the concurrency suites: the service layer, the
-# subscription registry (publishers vs drainers vs churn), the
-# end-to-end push fan-out (Subscribe/Unsubscribe racing Observe), and
-# the policy engine's Decide/Emit-vs-reload race.
+# MVCC read path (snapshot-pinned audits racing writers must stay
+# byte-identical to a quiesced serial run), the subscription registry
+# (publishers vs drainers vs churn), the end-to-end push fan-out
+# (Subscribe/Unsubscribe racing Observe), and the policy engine's
+# Decide/Emit-vs-reload race.
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
       --target service_test subscription_test net_test policy_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
-      -R 'SchedulerTest|OnlineConcurrentTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest|PushCodecTest|SubscriptionRegistryTest|SubscriptionConcurrentTest|PushSubscriptionTest|PolicyEngineConcurrentTest'
+      -R 'SchedulerTest|OnlineConcurrentTest|MvccConcurrentTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest|PushCodecTest|SubscriptionRegistryTest|SubscriptionConcurrentTest|PushSubscriptionTest|PolicyEngineConcurrentTest'
 
 echo "== [4/7] network layer under AddressSanitizer =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -377,5 +382,17 @@ cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_policy
 grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_policy.json" || {
   echo "BENCH_policy.json is not benchmark JSON"; exit 1; }
 ( cd "${PREFIX}-release/bench" && ./bench_policy overhead 300 )
+
+# The mixed read/write sweep: writer threads racing pinned audits in
+# the versioned (shipped) scheme vs the wholesale-invalidation
+# ablation. The bench itself enforces the acceptance: versioned must
+# sustain BOTH a hot decision cache and write throughput under every
+# write combo, and it always emits BENCH_mixed.json.
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_mixed
+( cd "${PREFIX}-release/bench" && ./bench_mixed 3 )
+[ -s "${PREFIX}-release/bench/BENCH_mixed.json" ] || {
+  echo "bench_mixed did not write BENCH_mixed.json"; exit 1; }
+grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_mixed.json" || {
+  echo "BENCH_mixed.json is not benchmark JSON"; exit 1; }
 
 echo "CI gate passed."
