@@ -18,8 +18,17 @@
 ///      count and queue depth, and writes the rows to BENCH_push.json
 ///      ({"benchmarks": [...]}, the shape CI artifact checks expect).
 ///
+///   5. replication overhead (docs/replication.md): an in-process
+///      primary plus F bootstrap-synced followers, sweeping
+///      followers {1,2} x ack policy {none,quorum,all}; measures
+///      ExecuteQuery commit latency (which under quorum/all includes
+///      the follower fsync+ack round trip), async catch-up time under
+///      ack=none, and checks every follower's audit verdict
+///      byte-identical to the primary's. Rows land in BENCH_repl.json.
+///
 /// Run: build/bench/bench_net [audits-per-client]
 ///      build/bench/bench_net push [queries-per-combo]   (sweep 4 only)
+///      build/bench/bench_net repl [writes-per-combo]    (sweep 5 only)
 
 #include <atomic>
 #include <chrono>
@@ -302,9 +311,216 @@ uint64_t RunPushSection(size_t queries) {
   return lost;
 }
 
+/// One empty replica node: bootstrap-syncs the primary's fixture over
+/// the REPLICATE stream (bench::MakeWorld always populates the hospital,
+/// so replicas build their stores by hand like a fresh auditd would).
+struct ReplicaNode {
+  Database db;
+  Backlog backlog;
+  QueryLog log;
+  std::unique_ptr<service::AuditService> service;
+  std::unique_ptr<net::AuditServer> server;
+
+  explicit ReplicaNode(const std::string& upstream) {
+    backlog.Attach(&db);
+    service = std::make_unique<service::AuditService>(&db, &backlog, &log);
+    net::AuditServerOptions options;
+    options.replicate_from = upstream;
+    options.repl_ack_timeout = std::chrono::milliseconds(10000);
+    options.replication = true;
+    server = std::make_unique<net::AuditServer>(service.get(), &db,
+                                                &backlog, &log, options);
+    if (!server->Start().ok()) std::abort();
+  }
+};
+
+/// One replication-sweep configuration: `followers` replicas behind one
+/// primary running ack policy `ack`, `writes` sequential ExecuteQuery
+/// commits. Commit latency is measured at the client; under
+/// quorum/all it includes the follower round trip by construction.
+struct ReplRow {
+  size_t followers = 0;
+  net::ReplAckPolicy ack = net::ReplAckPolicy::kNone;
+  uint64_t writes = 0;
+  double seconds = 0;
+  double catchup_ms = 0;  // end of writes -> last follower caught up
+  uint64_t errors = 0;
+  uint64_t mismatches = 0;  // follower verdict != primary verdict
+  service::Histogram latency;
+};
+
+void RunReplSweep(size_t followers, net::ReplAckPolicy ack, size_t writes,
+                  ReplRow* row) {
+  row->followers = followers;
+  row->ack = ack;
+  row->writes = writes;
+
+  auto world = bench::MakeWorld(kPatients, /*queries=*/0);
+  service::AuditServiceOptions service_options;
+  service_options.pool.num_threads = 4;
+  auto service = std::make_unique<service::AuditService>(
+      &world->db, &world->backlog, &world->log, service_options);
+  net::AuditServerOptions server_options;
+  server_options.repl_ack = ack;
+  server_options.repl_ack_timeout = std::chrono::milliseconds(10000);
+  server_options.replication = true;
+  auto server = std::make_unique<net::AuditServer>(
+      service.get(), &world->db, &world->backlog, &world->log,
+      server_options);
+  if (!server->Start().ok()) std::abort();
+  std::string upstream =
+      server->host() + ":" + std::to_string(server->port());
+
+  std::vector<std::unique_ptr<ReplicaNode>> replicas;
+  for (size_t f = 0; f < followers; ++f) {
+    replicas.push_back(std::make_unique<ReplicaNode>(upstream));
+  }
+  auto registered_by = Clock::now() + std::chrono::seconds(20);
+  while (server->follower_count() < followers &&
+         Clock::now() < registered_by) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (server->follower_count() < followers) std::abort();
+
+  net::AuditClient driver(server->host(), server->port());
+  auto start = Clock::now();
+  for (size_t i = 0; i < writes; ++i) {
+    auto t0 = Clock::now();
+    auto result = driver.ExecuteQuery(
+        "SELECT name FROM P-Personal WHERE pid = 'p" +
+            std::to_string(i % kPatients) + "'",
+        "bench", "driver", "load", Timestamp(2000000 + (int64_t)i));
+    row->latency.Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              t0)
+            .count()));
+    if (!result.ok()) ++row->errors;
+  }
+  auto writes_done = Clock::now();
+  row->seconds = std::chrono::duration<double>(writes_done - start).count();
+
+  // Under ack=none shipping is fire-and-forget: the catch-up gap is the
+  // quantity of interest. Under quorum/all it should be ~0 for the
+  // acked majority.
+  auto caught_up_by = writes_done + std::chrono::seconds(30);
+  for (auto& replica : replicas) {
+    while (replica->server->applied_log_id() <
+               static_cast<int64_t>(writes) &&
+           Clock::now() < caught_up_by) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  row->catchup_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - writes_done)
+          .count();
+
+  // The replication contract, checked end to end: every follower's
+  // audit verdict is byte-identical to the primary's.
+  auto on_primary = driver.Audit(bench::CanonicalAudit(), Ts(1000000));
+  if (!on_primary.ok()) {
+    ++row->errors;
+  } else {
+    for (auto& replica : replicas) {
+      net::AuditClient reader(replica->server->host(),
+                              replica->server->port());
+      auto on_replica = reader.Audit(bench::CanonicalAudit(), Ts(1000000));
+      if (!on_replica.ok() ||
+          on_replica->canonical != on_primary->canonical) {
+        ++row->mismatches;
+      }
+    }
+  }
+
+  for (auto& replica : replicas) replica->server->Shutdown();
+  server->Shutdown();
+}
+
+/// Writes the sweep rows as BENCH_repl.json — same {"benchmarks": [...]}
+/// shape as BENCH_push.json so the CI artifact checks apply unchanged.
+bool WriteReplJson(const std::deque<ReplRow>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ReplRow& row = rows[i];
+    double per_sec = row.seconds > 0
+                         ? static_cast<double>(row.writes) / row.seconds
+                         : 0.0;
+    std::fprintf(
+        out,
+        "    {\"name\": \"BM_ReplCommit/followers:%zu/ack:%s\", "
+        "\"followers\": %zu, \"ack\": \"%s\", \"writes\": %llu, "
+        "\"p50_us\": %llu, \"p99_us\": %llu, "
+        "\"writes_per_second\": %.0f, \"catchup_ms\": %.1f, "
+        "\"errors\": %llu, \"verdict_mismatches\": %llu}%s\n",
+        row.followers, net::ReplAckPolicyName(row.ack), row.followers,
+        net::ReplAckPolicyName(row.ack),
+        static_cast<unsigned long long>(row.writes),
+        static_cast<unsigned long long>(
+            row.latency.QuantileUpperBound(0.5)),
+        static_cast<unsigned long long>(
+            row.latency.QuantileUpperBound(0.99)),
+        per_sec, row.catchup_ms,
+        static_cast<unsigned long long>(row.errors),
+        static_cast<unsigned long long>(row.mismatches),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
+/// Sweep 5: replication overhead vs follower count and ack policy.
+/// Returns the number of rows with errors or verdict mismatches.
+uint64_t RunReplSection(size_t writes) {
+  std::printf("-- replication overhead (hospital fixture, %zu writes "
+              "per combo) --\n",
+              writes);
+  std::deque<ReplRow> rows;
+  uint64_t bad = 0;
+  for (size_t followers : {1, 2}) {
+    for (auto ack : {net::ReplAckPolicy::kNone, net::ReplAckPolicy::kQuorum,
+                     net::ReplAckPolicy::kAll}) {
+      rows.emplace_back();
+      ReplRow& row = rows.back();
+      RunReplSweep(followers, ack, writes, &row);
+      std::printf(
+          "repl x%zu followers ack=%-6s %8llu writes  %9.0f w/s  "
+          "p50 %6llu us  p99 %7llu us  catchup %6.1f ms  err %llu  "
+          "mismatch %llu\n",
+          row.followers, net::ReplAckPolicyName(row.ack),
+          static_cast<unsigned long long>(row.writes),
+          row.seconds > 0
+              ? static_cast<double>(row.writes) / row.seconds
+              : 0.0,
+          static_cast<unsigned long long>(
+              row.latency.QuantileUpperBound(0.5)),
+          static_cast<unsigned long long>(
+              row.latency.QuantileUpperBound(0.99)),
+          row.catchup_ms, static_cast<unsigned long long>(row.errors),
+          static_cast<unsigned long long>(row.mismatches));
+      if (row.errors != 0 || row.mismatches != 0) ++bad;
+    }
+  }
+  if (!WriteReplJson(rows, "BENCH_repl.json")) {
+    std::fprintf(stderr, "could not write BENCH_repl.json\n");
+    return bad + 1;
+  }
+  std::printf("wrote BENCH_repl.json (%zu rows)\n", rows.size());
+  return bad;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "repl") {
+    size_t writes =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200;
+    uint64_t bad = RunReplSection(writes);
+    std::printf("\nfollower verdicts byte-identical to the primary: %s\n",
+                bad == 0 ? "yes" : "NO (bug!)");
+    return bad == 0 ? 0 : 1;
+  }
   if (argc > 1 && std::string(argv[1]) == "push") {
     size_t queries =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200;

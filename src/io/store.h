@@ -117,6 +117,10 @@ class DurableStore {
   std::string MetricsJson() const;
 
   const std::string& dir() const { return dir_; }
+  Env* env() const { return env_; }
+  /// The policy the store was opened with; the replication apply path
+  /// reads it to decide whether fsync-before-ack needs an extra Sync().
+  const DurableStoreOptions& store_options() const { return options_; }
 
  private:
   DurableStore(Env* env, std::string dir, DurableStoreOptions options);

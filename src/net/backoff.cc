@@ -1,0 +1,43 @@
+#include "src/net/backoff.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace auditdb {
+namespace net {
+
+RetryBudget::RetryBudget(BackoffOptions options, int max_retries,
+                         Clock::time_point deadline, uint64_t seed)
+    : options_(options),
+      max_retries_(max_retries < 0 ? 0 : max_retries),
+      backoff_(options.initial_backoff),
+      deadline_(deadline),
+      jitter_state_(seed) {}
+
+std::optional<std::chrono::milliseconds> RetryBudget::NextDelay() {
+  if (retries_used_ >= max_retries_) return std::nullopt;
+  int64_t base = backoff_.count();
+  jitter_state_ =
+      jitter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  int64_t half = base / 2;
+  int64_t delay =
+      half + (half > 0
+                  ? static_cast<int64_t>((jitter_state_ >> 33) % (half + 1))
+                  : 0);
+  if (Clock::now() + std::chrono::milliseconds(delay) >= deadline_) {
+    return std::nullopt;  // the retry could not finish in budget
+  }
+  ++retries_used_;
+  backoff_ = std::min(backoff_ * 2, options_.max_backoff);
+  return std::chrono::milliseconds(delay);
+}
+
+bool RetryBudget::SleepBeforeRetry() {
+  auto delay = NextDelay();
+  if (!delay.has_value()) return false;
+  std::this_thread::sleep_for(*delay);
+  return true;
+}
+
+}  // namespace net
+}  // namespace auditdb

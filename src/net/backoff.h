@@ -1,0 +1,68 @@
+#ifndef AUDITDB_NET_BACKOFF_H_
+#define AUDITDB_NET_BACKOFF_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace auditdb {
+namespace net {
+
+/// Shared retry/backoff policy (docs/wire_protocol.md "Retries").
+///
+/// One RetryBudget covers one logical operation: every retryable failure
+/// — refused connect, torn transport, replica failover — draws from the
+/// same attempt counter and the same deadline, so wrapping one retry
+/// mechanism in another can never multiply the configured budget. The
+/// delay sequence is exponential with equal jitter: sleep in
+/// [base/2, base], doubling base up to `max_backoff`. A retry whose
+/// jittered delay would cross the deadline is not attempted at all —
+/// the budget fails fast instead of sleeping past it.
+
+struct BackoffOptions {
+  /// First retry waits ~this long (jittered to [initial/2, initial]).
+  std::chrono::milliseconds initial_backoff{10};
+  /// Doubling cap.
+  std::chrono::milliseconds max_backoff{500};
+};
+
+class RetryBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `max_retries` extra attempts after the first (so max_retries + 1
+  /// attempts total); `deadline` caps every attempt and sleep. `seed`
+  /// feeds the jitter LCG — pass per-client state so a burst of clients
+  /// hitting the same restarted server decorrelates.
+  RetryBudget(BackoffOptions options, int max_retries,
+              Clock::time_point deadline, uint64_t seed);
+
+  /// The next jittered delay, or nullopt when retries are exhausted or
+  /// the delay would cross the deadline. Consumes one retry and doubles
+  /// the base on success.
+  std::optional<std::chrono::milliseconds> NextDelay();
+
+  /// NextDelay() + sleep. False (without sleeping) when the budget is
+  /// exhausted — the caller should surface the last error.
+  bool SleepBeforeRetry();
+
+  int retries_used() const { return retries_used_; }
+  int retries_left() const { return max_retries_ - retries_used_; }
+  Clock::time_point deadline() const { return deadline_; }
+  /// The advanced jitter state, so a caller owning a long-lived seed can
+  /// carry decorrelation across budgets.
+  uint64_t jitter_state() const { return jitter_state_; }
+
+ private:
+  BackoffOptions options_;
+  int max_retries_;
+  int retries_used_ = 0;
+  std::chrono::milliseconds backoff_;
+  Clock::time_point deadline_;
+  uint64_t jitter_state_;
+};
+
+}  // namespace net
+}  // namespace auditdb
+
+#endif  // AUDITDB_NET_BACKOFF_H_

@@ -13,6 +13,8 @@
 #include <random>
 #include <thread>
 
+#include "src/net/replication.h"
+
 namespace auditdb {
 namespace net {
 
@@ -71,7 +73,64 @@ AuditClient::AuditClient(std::string host, uint16_t port,
       port_(port),
       options_(options),
       jitter_state_(std::random_device{}()),
-      reader_(options.max_frame_bytes) {}
+      reader_(options.max_frame_bytes) {
+  endpoints_.emplace_back(host_, port_);
+}
+
+AuditClient::AuditClient(std::vector<std::string> endpoints,
+                         AuditClientOptions options)
+    : options_(options),
+      jitter_state_(std::random_device{}()),
+      reader_(options.max_frame_bytes) {
+  for (const auto& endpoint : endpoints) {
+    auto parsed = ParseHostPort(endpoint);
+    if (parsed.ok()) {
+      endpoints_.push_back(std::move(*parsed));
+    } else {
+      // Kept so Connect() surfaces the bad address instead of silently
+      // shrinking the rotation.
+      endpoints_.emplace_back(endpoint, 0);
+    }
+  }
+  if (endpoints_.empty()) endpoints_.emplace_back("", 0);
+  ActivateEndpoint(0);
+}
+
+void AuditClient::ActivateEndpoint(size_t index) {
+  active_endpoint_ = index % endpoints_.size();
+  host_ = endpoints_[active_endpoint_].first;
+  port_ = endpoints_[active_endpoint_].second;
+}
+
+void AuditClient::RotateEndpoint() {
+  if (endpoints_.size() > 1) ActivateEndpoint(active_endpoint_ + 1);
+}
+
+void AuditClient::RepointTo(const std::string& address) {
+  auto parsed = ParseHostPort(address);
+  if (!parsed.ok()) return;
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i] == *parsed) {
+      ActivateEndpoint(i);
+      return;
+    }
+  }
+  endpoints_.push_back(std::move(*parsed));
+  ActivateEndpoint(endpoints_.size() - 1);
+}
+
+std::string AuditClient::endpoint() const {
+  return host_ + ":" + std::to_string(port_);
+}
+
+std::vector<std::string> AuditClient::endpoints() const {
+  std::vector<std::string> out;
+  out.reserve(endpoints_.size());
+  for (const auto& entry : endpoints_) {
+    out.push_back(entry.first + ":" + std::to_string(entry.second));
+  }
+  return out;
+}
 
 AuditClient::~AuditClient() { Close(); }
 
@@ -215,24 +274,6 @@ Result<Message> AuditClient::TryOnce(const Message& request,
   return response;
 }
 
-bool AuditClient::BackoffBeforeRetry(std::chrono::milliseconds* backoff,
-                                     Clock::time_point deadline) {
-  // Equal jitter: sleep in [backoff/2, backoff] so a burst of clients
-  // hitting the same restarted server decorrelates.
-  int64_t base = backoff->count();
-  jitter_state_ = jitter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
-  int64_t half = base / 2;
-  int64_t delay = half + (half > 0 ? static_cast<int64_t>(
-                                         (jitter_state_ >> 33) % (half + 1))
-                                   : 0);
-  if (Clock::now() + std::chrono::milliseconds(delay) >= deadline) {
-    return false;  // the retry could not finish in budget; fail now
-  }
-  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
-  *backoff = std::min(*backoff * 2, options_.retry_max_backoff);
-  return true;
-}
-
 Result<Message> AuditClient::RoundTrip(const Message& request) {
   if (receiver_running_.load()) {
     return StreamingRoundTrip(request);
@@ -242,21 +283,35 @@ Result<Message> AuditClient::RoundTrip(const Message& request) {
   const bool retryable = options_.retry_idempotent &&
                          IsIdempotentType(request.type) &&
                          options_.max_retries > 0;
-  // One deadline covers every attempt and backoff sleep: retries spend
-  // the request's budget, they do not extend it.
+  // One deadline and ONE RetryBudget cover every failure mode of this
+  // round trip — refused connects, torn transports, endpoint rotation —
+  // so wrapping one retry mechanism in another can never multiply the
+  // configured budget (retries spend the request's time budget, they do
+  // not extend it).
   const auto deadline = Clock::now() + options_.request_timeout;
-  std::chrono::milliseconds backoff = options_.retry_initial_backoff;
-  for (int attempt = 0;; ++attempt) {
+  RetryBudget budget(
+      BackoffOptions{options_.retry_initial_backoff,
+                     options_.retry_max_backoff},
+      retryable ? options_.max_retries : 0, deadline, jitter_state_);
+  // NOT_PRIMARY redirects are separate from the retry budget: the
+  // server rejected *before* any side effect, so following the carried
+  // address is safe even for writes, sleep-free, and bounded (one hop
+  // to the primary plus one more in case a promotion races it).
+  int redirects_left = options_.follow_not_primary ? 2 : 0;
+  while (true) {
     if (fd_ < 0) {
       Status connected = Connect();
       if (!connected.ok()) {
         // A refused/failed connect is always safe to retry (nothing was
-        // sent), still bounded by max_retries and the deadline.
-        if (retryable && attempt < options_.max_retries &&
+        // sent), still bounded by max_retries and the deadline; with a
+        // multi-endpoint config each retry tries the next node.
+        if (retryable &&
             connected.code() != StatusCode::kDeadlineExceeded &&
-            BackoffBeforeRetry(&backoff, deadline)) {
+            budget.SleepBeforeRetry()) {
+          RotateEndpoint();
           continue;
         }
+        jitter_state_ = budget.jitter_state();
         return connected;
       }
     }
@@ -266,18 +321,33 @@ Result<Message> AuditClient::RoundTrip(const Message& request) {
       Close();
       // Only transport failures on idempotent requests retry, never
       // timeouts (the server may still be working on it).
-      if (retryable && attempt < options_.max_retries &&
+      if (retryable &&
           transport_error.code() == StatusCode::kInternal &&
-          BackoffBeforeRetry(&backoff, deadline)) {
+          budget.SleepBeforeRetry()) {
+        RotateEndpoint();
         continue;
       }
+      jitter_state_ = budget.jitter_state();
       return response.status();
     }
+    jitter_state_ = budget.jitter_state();
     if (response->type == MessageType::kErrorResponse) {
       // Server-side error: the connection stays healthy and the carried
       // Status (e.g. ResourceExhausted from admission control) is the
       // result.
-      return DecodeErrorMessage(response->payload);
+      Status error = DecodeErrorMessage(response->payload);
+      if (IsNotPrimaryStatus(error) && redirects_left > 0) {
+        --redirects_left;
+        Close();
+        std::string primary = NotPrimaryAddress(error);
+        if (!primary.empty()) {
+          RepointTo(primary);
+        } else {
+          RotateEndpoint();
+        }
+        continue;
+      }
+      return error;
     }
     if (response->type != MessageType::kOkResponse) {
       Close();

@@ -12,10 +12,12 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/timestamp.h"
+#include "src/net/backoff.h"
 #include "src/net/subscription.h"
 #include "src/net/wire.h"
 
@@ -39,6 +41,11 @@ struct AuditClientOptions {
   /// never retry: the first attempt may have committed.
   bool retry_idempotent = true;
   int max_retries = 3;
+  /// Follow NOT_PRIMARY rejections to the primary address they carry
+  /// (safe even for writes: the replica rejects before any side
+  /// effect). Off = surface the rejection to the caller, which cluster
+  /// tools use to observe roles directly.
+  bool follow_not_primary = true;
   /// First retry waits ~this long (jittered to [base/2, base]); each
   /// further retry doubles it up to retry_max_backoff.
   std::chrono::milliseconds retry_initial_backoff{10};
@@ -72,6 +79,16 @@ class AuditClient {
  public:
   AuditClient(std::string host, uint16_t port,
               AuditClientOptions options = AuditClientOptions{});
+  /// Cluster-aware form: one or more "host:port" endpoints. Requests go
+  /// to the current endpoint; a refused connect or torn transport
+  /// rotates to the next one on each retry (all drawing from the single
+  /// per-request RetryBudget), and a NOT_PRIMARY rejection — which the
+  /// server issues *before* any side effect, so following it is safe
+  /// even for writes — redirects to the primary address it carries
+  /// (learned endpoints join the rotation). Reads are served by any
+  /// node; only mutations bounce to the primary.
+  explicit AuditClient(std::vector<std::string> endpoints,
+                       AuditClientOptions options = AuditClientOptions{});
   ~AuditClient();
 
   AuditClient(const AuditClient&) = delete;
@@ -83,6 +100,11 @@ class AuditClient {
   bool connected() const { return fd_ >= 0; }
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
+  /// The endpoint requests currently target, as "host:port".
+  std::string endpoint() const;
+  /// All endpoints in rotation order: the configured list plus any
+  /// primaries learned from NOT_PRIMARY redirects.
+  std::vector<std::string> endpoints() const;
 
   /// A remote audit outcome: the deterministic CanonicalString (the
   /// byte-identical-to-serial contract) plus the investigator-facing
@@ -171,10 +193,13 @@ class AuditClient {
       std::chrono::steady_clock::time_point deadline);
   Result<Message> TryOnce(const Message& request, Status* transport_error,
                           std::chrono::steady_clock::time_point deadline);
-  /// Sleeps the next jittered backoff and doubles it, or returns false
-  /// without sleeping when the delay would cross `deadline`.
-  bool BackoffBeforeRetry(std::chrono::milliseconds* backoff,
-                          std::chrono::steady_clock::time_point deadline);
+  /// Points host_/port_ at endpoints_[index].
+  void ActivateEndpoint(size_t index);
+  /// Advances to the next endpoint (no-op with a single one).
+  void RotateEndpoint();
+  /// Retargets at the "host:port" a NOT_PRIMARY rejection carried,
+  /// appending it to the rotation if it is new. Ignores garbage.
+  void RepointTo(const std::string& address);
 
   Result<Subscription> SubscribeInternal(const std::string& kind,
                                          const std::string& value,
@@ -197,6 +222,12 @@ class AuditClient {
   std::string host_;
   uint16_t port_;
   AuditClientOptions options_;
+  /// Endpoint rotation (host, port); active_endpoint_ indexes the one
+  /// host_/port_ mirror.
+  std::vector<std::pair<std::string, uint16_t>> endpoints_;
+  size_t active_endpoint_ = 0;
+  /// Jitter LCG state threaded through each request's RetryBudget so
+  /// backoff decorrelation carries across requests.
   uint64_t jitter_state_;
   int fd_ = -1;
   /// Persistent frame reader: push frames buffered behind a response

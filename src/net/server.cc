@@ -137,6 +137,23 @@ struct AuditServer::Impl {
   std::map<int, StandingExpr> standing;        // by OnlineAuditor id
   std::map<std::string, int> standing_by_key;  // canonical text -> id
 
+  /// Replication state (docs/replication.md). The hub is internally
+  /// synchronized: handlers Ship committed frames under the writer
+  /// lock, the loop drains them per follower connection, and acks are
+  /// applied inline on the loop thread. The session pointer and the
+  /// role flip are guarded by repl_mutex — PROMOTE must join the
+  /// session thread with no other lock held, because the session's
+  /// apply callbacks take the writer side of state_mutex.
+  ReplicationHub hub;
+  mutable std::mutex repl_mutex;
+  std::unique_ptr<ReplicaSession> replica;
+  std::atomic<bool> is_replica{false};
+  /// Counts LoadDumps applied; shipped in handshakes so a follower
+  /// that missed a dump load cannot silently catch up incrementally.
+  std::atomic<uint64_t> load_generation{0};
+  /// host:port other nodes reach this one at; fixed after Start().
+  std::string advertise;
+
   /// Loop → handler handoff for subscription cleanup: CloseConn (loop
   /// thread) must not take state_mutex, so expressions released by a
   /// closing connection park here until the next handler that already
@@ -193,7 +210,9 @@ struct AuditServer::Impl {
         metrics(metrics_in),
         subscriptions(SubscriptionLimits{options.max_subscriptions,
                                          options.push_queue_depth,
-                                         options.slow_subscriber_policy}) {
+                                         options.slow_subscriber_policy}),
+        hub(options.repl_max_buffered) {
+    LoadReplGeneration();
     handlers =
         std::make_unique<service::ThreadPool>(options.handlers, metrics);
     // The online monitor behind push subscriptions shares the service's
@@ -276,6 +295,9 @@ struct AuditServer::Impl {
       orphaned_exprs.insert(orphaned_exprs.end(), released.begin(),
                             released.end());
     }
+    // A closing follower leaves the replica table; ack waiters
+    // recompute their quorum over the survivors.
+    hub.DropConnection(conn_id);
   }
 
   void CloseAll() {
@@ -359,6 +381,7 @@ struct AuditServer::Impl {
     }
     size_t frames =
         subscriptions.DrainFrames(conn->id, kPushRefillBytes, &conn->out);
+    frames += hub.DrainFrames(conn->id, kPushRefillBytes, &conn->out);
     if (frames > 0) frames_sent->Increment(frames);
   }
 
@@ -487,6 +510,23 @@ struct AuditServer::Impl {
       frames_received->Increment();
       Message message = std::move(**next);
       conn->version = message.version;
+      // Replication acks are one-way frames applied inline on the loop
+      // thread: ExecuteQuery handlers block in WaitForAcks, so routing
+      // acks through the same handler pool could starve the very acks
+      // those handlers are waiting on.
+      if (message.type == MessageType::kReplicateAckRequest) {
+        auto ack_fields = DecodeFields(message.payload);
+        int64_t acked = 0;
+        if (!ack_fields.ok() || ack_fields->size() != 1 ||
+            !ParseInt64Field((*ack_fields)[0], &acked)) {
+          frame_errors->Increment();
+          PoisonConn(conn, Status::InvalidArgument(
+                               "malformed replication ack"));
+          return conns.count(fd) != 0;
+        }
+        hub.Ack(conn->id, acked);
+        continue;
+      }
       if (!IsRequestType(message.type)) {
         frame_errors->Increment();
         PoisonConn(conn, Status::InvalidArgument(
@@ -659,7 +699,10 @@ struct AuditServer::Impl {
           // A passive subscriber legitimately sends nothing for long
           // stretches; pushes are its liveness signal, and a dead peer
           // still surfaces through write errors or the write timeout.
-          !subscriptions.HasSubscriptions(conn->id)) {
+          // Followers are likewise quiet between writes — a partitioned
+          // one is evicted by the write timeout or queue overflow.
+          !subscriptions.HasSubscriptions(conn->id) &&
+          !hub.IsFollower(conn->id)) {
         idle.push_back(fd);
       }
     }
@@ -686,9 +729,11 @@ struct AuditServer::Impl {
   bool DrainComplete() {
     if (Clock::now() >= drain_deadline) return true;
     if (in_flight > 0) return false;
-    // Parked pushes count as undelivered responses: drain flushes them
-    // (or times out on a subscriber that stopped reading).
+    // Parked pushes and undelivered replication frames count as
+    // undelivered responses: drain flushes them (or times out on a
+    // peer that stopped reading).
     if (subscriptions.TotalPending() > 0) return false;
+    if (hub.TotalPending() > 0) return false;
     for (const auto& [fd, conn] : conns) {
       if (conn->busy || !conn->pending.empty() ||
           conn->out_offset < conn->out.size()) {
@@ -741,8 +786,205 @@ struct AuditServer::Impl {
     if (options.policy != nullptr) {
       json += ",\"policy\":" + options.policy->MetricsJson();
     }
+    json += ",\"replication\":" + ReplicationMetricsJson();
     json += ",\"versions\":" + VersionsMetricsJson();
     return json + "}";
+  }
+
+  bool ReplicationOn() const {
+    return options.replication || !options.replicate_from.empty() ||
+           is_replica.load() || hub.follower_count() > 0;
+  }
+
+  int64_t AppliedLogId() const {
+    std::shared_lock<std::shared_mutex> lock(state_mutex);
+    return static_cast<int64_t>(log->size());
+  }
+
+  std::string ReplicationMetricsJson() const {
+    std::string json = "{\"role\":\"";
+    json += is_replica.load() ? "replica" : "primary";
+    json += "\",\"ack_policy\":\"";
+    json += ReplAckPolicyName(options.repl_ack);
+    json += "\",\"advertise\":\"" + advertise + "\"";
+    json += ",\"applied_log_id\":" + std::to_string(AppliedLogId());
+    json += ",\"load_generation\":" +
+            std::to_string(load_generation.load());
+    json += ",\"hub\":" + hub.MetricsJson();
+    {
+      std::lock_guard<std::mutex> lock(repl_mutex);
+      if (replica != nullptr) {
+        json += ",\"session\":" + replica->MetricsJson();
+      }
+    }
+    return json + "}";
+  }
+
+  /// The `|role=...` tail appended to Health when replication is on —
+  /// enough for a supervisor to pick the most-caught-up follower
+  /// without parsing the metrics JSON.
+  std::string ReplicationHealthSuffix() const {
+    std::string suffix = std::string("|role=") +
+                         (is_replica.load() ? "replica" : "primary") +
+                         "|applied=" + std::to_string(AppliedLogId()) +
+                         "|last_shipped=" +
+                         std::to_string(hub.last_shipped()) +
+                         "|followers=" +
+                         std::to_string(hub.follower_count());
+    std::lock_guard<std::mutex> lock(repl_mutex);
+    if (replica != nullptr) {
+      suffix += "|upstream=" + replica->upstream() + "|connected=" +
+                (replica->connected() ? "1" : "0");
+    }
+    return suffix;
+  }
+
+  /// Ships one committed frame to every follower and queues the
+  /// outcome for the loop (the same handoff PublishScreenings uses).
+  /// Caller holds the writer lock, so ship order equals commit order.
+  void QueueShip(int64_t log_id, const std::string& frame) {
+    PublishOutcome outcome = hub.Ship(log_id, frame);
+    if (outcome.ready_conns.empty() && outcome.evict_conns.empty()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(push_mutex);
+      push_ready.insert(push_ready.end(), outcome.ready_conns.begin(),
+                        outcome.ready_conns.end());
+      push_evict.insert(push_evict.end(), outcome.evict_conns.begin(),
+                        outcome.evict_conns.end());
+    }
+    Wake();
+  }
+
+  /// The LoadDump generation survives restarts alongside the durable
+  /// store (REPLGEN file), so a restarted node handshakes with the
+  /// generation its on-disk state actually reflects.
+  void PersistReplGeneration(uint64_t gen) {
+    io::DurableStore* store = options.durable_store;
+    if (store == nullptr) return;
+    Status wrote =
+        io::AtomicWriteFile(store->env(), store->dir() + "/REPLGEN",
+                            std::to_string(gen) + "\n");
+    (void)wrote;  // best-effort: a miss degrades to a rejoin bootstrap
+  }
+
+  void LoadReplGeneration() {
+    io::DurableStore* store = options.durable_store;
+    if (store == nullptr) return;
+    auto data = store->env()->ReadFileToString(store->dir() + "/REPLGEN");
+    if (!data.ok()) return;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long gen = std::strtoull(data->c_str(), &end, 10);
+    if (errno == 0 && end != data->c_str()) load_generation.store(gen);
+  }
+
+  /// Builds the replica-side apply callbacks and starts the streaming
+  /// session against options.replicate_from.
+  void StartReplica() {
+    ReplicaApplier applier;
+    applier.apply_query = [this](const LoggedQuery& entry) -> Status {
+      std::unique_lock<std::shared_mutex> lock(state_mutex);
+      int64_t expect = log->next_id();
+      if (entry.id != expect) {
+        return Status::Internal(
+            "shipped record id " + std::to_string(entry.id) +
+            " does not extend the log at " + std::to_string(expect));
+      }
+      io::DurableStore* store = options.durable_store;
+      if (store != nullptr) {
+        AUDITDB_RETURN_IF_ERROR(store->AppendQuery(entry));
+        // fsync-before-ack: the ack promises the record survives
+        // kill -9 regardless of the configured fsync cadence.
+        if (store->store_options().fsync !=
+            querylog::FsyncPolicy::kAlways) {
+          AUDITDB_RETURN_IF_ERROR(store->Sync());
+        }
+      }
+      log->Append(entry.sql, entry.timestamp, entry.user, entry.role,
+                  entry.purpose);
+      MaybeCheckpoint();
+      // Replica subscribers get the same observe/push fan-out as on
+      // the primary; policy emission stays with the node that actually
+      // executed the query.
+      if (subscriptions.active() > 0) {
+        GcOrphans();
+        auto observed = online->Observe(entry, service->pool());
+        if (!observed.ok()) {
+          metrics->counter("net.push_observe_errors")->Increment();
+        }
+      }
+      return Status::Ok();
+    };
+    applier.apply_load = [this](const std::string& kind,
+                                const std::string& dump, uint64_t gen,
+                                int64_t stamp) -> Status {
+      std::unique_lock<std::shared_mutex> lock(state_mutex);
+      std::istringstream in(dump);
+      Status loaded;
+      if (kind == "db") {
+        loaded = io::ReadDatabaseDump(in, db, Timestamp(stamp));
+      } else if (kind == "log") {
+        loaded = io::ReadQueryLogDump(in, log);
+      } else {
+        loaded = Status::InvalidArgument(
+            "shipped load kind must be db|log, got: " + kind);
+      }
+      AUDITDB_RETURN_IF_ERROR(loaded);
+      load_generation.store(gen);
+      PersistReplGeneration(gen);
+      if (options.durable_store != nullptr) {
+        return options.durable_store->Checkpoint(*db, *log);
+      }
+      return Status::Ok();
+    };
+    applier.apply_bootstrap = [this](const std::string& db_dump,
+                                     const std::string& log_dump,
+                                     uint64_t gen,
+                                     int64_t stamp) -> Status {
+      std::unique_lock<std::shared_mutex> lock(state_mutex);
+      if (log->size() > 0 || !db->TableNames().empty()) {
+        return Status::InvalidArgument(
+            "bootstrap checkpoint offered to a non-empty replica; wipe "
+            "its data dir and restart");
+      }
+      std::istringstream db_in(db_dump);
+      AUDITDB_RETURN_IF_ERROR(
+          io::ReadDatabaseDump(db_in, db, Timestamp(stamp)));
+      std::istringstream log_in(log_dump);
+      AUDITDB_RETURN_IF_ERROR(io::ReadQueryLogDump(log_in, log));
+      load_generation.store(gen);
+      PersistReplGeneration(gen);
+      // A checkpoint makes the bootstrap durable before it is acked.
+      if (options.durable_store != nullptr) {
+        return options.durable_store->Checkpoint(*db, *log);
+      }
+      return Status::Ok();
+    };
+    applier.applied_log_id = [this]() -> int64_t {
+      return AppliedLogId();
+    };
+    applier.have_state = [this]() -> bool {
+      std::shared_lock<std::shared_mutex> lock(state_mutex);
+      return log->size() > 0 || !db->TableNames().empty();
+    };
+    applier.load_generation = [this]() -> uint64_t {
+      return load_generation.load();
+    };
+    is_replica.store(true);
+    std::lock_guard<std::mutex> lock(repl_mutex);
+    replica = std::make_unique<ReplicaSession>(options.replicate_from,
+                                               std::move(applier));
+    replica->Start();
+  }
+
+  /// The NOT_PRIMARY rejection every mutating endpoint returns on a
+  /// replica; carries the upstream so clients can fail over.
+  Message RejectNotPrimary() {
+    std::lock_guard<std::mutex> lock(repl_mutex);
+    return MakeErrorMessage(MakeNotPrimaryStatus(
+        replica != nullptr ? replica->upstream() : std::string()));
   }
 
   /// MVCC observability: per-table version/COW/columnar counters plus the
@@ -811,6 +1053,8 @@ struct AuditServer::Impl {
       bool observed_ok);
   Message HandleSubscribe(const Message& request, uint64_t conn_id);
   Message HandleUnsubscribe(const Message& request, uint64_t conn_id);
+  Message HandleReplicate(const Message& request, uint64_t conn_id);
+  Message HandlePromote(const Message& request);
 
   /// Collects standing expressions released by closed connections.
   /// Caller must hold the writer side of state_mutex.
@@ -902,18 +1146,27 @@ Message AuditServer::Impl::HandleRequest(const Message& request,
       // probe can see recovery results and a wedged store without
       // parsing the full metrics JSON.
       io::DurableStore* store = options.durable_store;
-      if (store == nullptr) return MakeOk("ok");
-      const io::RecoveryInfo& recovery = store->recovery();
-      return MakeOk(
-          std::string(store->broken() ? "wedged" : "ok") +
-          "|durable|wal_records=" + std::to_string(store->wal_records()) +
-          "|wal_bytes=" + std::to_string(store->wal_bytes()) +
-          "|recovered_records=" +
-          std::to_string(recovery.recovered_records) +
-          "|torn_tail_dropped=" +
-          std::to_string(recovery.torn_tail_dropped) +
-          "|last_checkpoint_seq=" +
-          std::to_string(store->last_checkpoint_seq()));
+      std::string payload;
+      if (store == nullptr) {
+        payload = "ok";
+      } else {
+        const io::RecoveryInfo& recovery = store->recovery();
+        payload =
+            std::string(store->broken() ? "wedged" : "ok") +
+            "|durable|wal_records=" +
+            std::to_string(store->wal_records()) +
+            "|wal_bytes=" + std::to_string(store->wal_bytes()) +
+            "|recovered_records=" +
+            std::to_string(recovery.recovered_records) +
+            "|torn_tail_dropped=" +
+            std::to_string(recovery.torn_tail_dropped) +
+            "|last_checkpoint_seq=" +
+            std::to_string(store->last_checkpoint_seq());
+      }
+      // Appended only when replication is configured, so probes of a
+      // standalone node keep their exact historical payload.
+      if (ReplicationOn()) payload += ReplicationHealthSuffix();
+      return MakeOk(payload);
     }
     case MessageType::kMetricsRequest:
       return MakeOk(CombinedMetricsJson());
@@ -931,6 +1184,10 @@ Message AuditServer::Impl::HandleRequest(const Message& request,
       return HandleSubscribe(request, conn_id);
     case MessageType::kUnsubscribeRequest:
       return HandleUnsubscribe(request, conn_id);
+    case MessageType::kReplicateRequest:
+      return HandleReplicate(request, conn_id);
+    case MessageType::kPromoteRequest:
+      return HandlePromote(request);
     default:
       return MakeErrorMessage(
           Status::InvalidArgument("not a request frame"));
@@ -1006,6 +1263,8 @@ Message AuditServer::Impl::HandleScreenLibrary(const Message& request) {
 
 Message AuditServer::Impl::HandleExecuteQuery(const Message& request,
                                               const std::string& peer) {
+  // A replica's log is the primary's log: local writes would fork it.
+  if (is_replica.load()) return RejectNotPrimary();
   auto fields = DecodeFields(request.payload);
   if (!fields.ok()) return MakeErrorMessage(fields.status());
   int64_t now_micros = 0;
@@ -1087,14 +1346,14 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request,
   // entry is in memory and (under fsync=always) survives kill -9. A
   // recovered-but-never-acked tail record is harmless — the durability
   // contract is acked ⊆ recovered.
+  LoggedQuery entry;
+  entry.id = log->next_id();
+  entry.sql = (*fields)[0];
+  entry.timestamp = Timestamp(now_micros);
+  entry.user = (*fields)[1];
+  entry.role = (*fields)[2];
+  entry.purpose = (*fields)[3];
   if (options.durable_store != nullptr) {
-    LoggedQuery entry;
-    entry.id = log->next_id();
-    entry.sql = (*fields)[0];
-    entry.timestamp = Timestamp(now_micros);
-    entry.user = (*fields)[1];
-    entry.role = (*fields)[2];
-    entry.purpose = (*fields)[3];
     Status appended = options.durable_store->AppendQuery(entry);
     if (!appended.ok()) return MakeErrorMessage(appended);
   }
@@ -1110,6 +1369,20 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request,
   int64_t id = log->Append((*fields)[0], Timestamp(now_micros),
                            (*fields)[1], (*fields)[2], (*fields)[3]);
   MaybeCheckpoint();
+  // Ship the committed record to followers while still inside the
+  // writer section: ship order equals commit order, and a follower
+  // registering concurrently builds its catch-up backlog under this
+  // same lock, so it sees each record exactly once.
+  bool shipped = false;
+  if (hub.follower_count() > 0) {
+    Message event{MessageType::kReplicateEvent,
+                  EncodeReplicateWal(querylog::EncodeWalRecord(
+                      querylog::WalRecordType::kQuery,
+                      querylog::EncodeQueryWalPayload(entry))),
+                  WireVersion::kV2};
+    QueueShip(id, EncodeFrame(event));
+    shipped = true;
+  }
   // Screen the freshly logged query against the standing expressions
   // and fan state changes out as pushes (the OnlineAuditor listener
   // publishes; the loop delivers). Skipped entirely when nobody is
@@ -1124,13 +1397,6 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request,
   bool observed_ok = false;
   if (subscriptions.active() > 0 || (full_audit && online->size() > 0)) {
     GcOrphans();
-    LoggedQuery entry;
-    entry.id = id;
-    entry.sql = (*fields)[0];
-    entry.timestamp = Timestamp(now_micros);
-    entry.user = (*fields)[1];
-    entry.role = (*fields)[2];
-    entry.purpose = (*fields)[3];
     auto observed = online->Observe(entry, service->pool());
     if (!observed.ok()) {
       metrics->counter("net.push_observe_errors")->Increment();
@@ -1145,6 +1411,17 @@ Message AuditServer::Impl::HandleExecuteQuery(const Message& request,
         decision, ctx, id, PolicyNote(decision, ctx, screenings,
                                       observed_ok));
     (void)emitted;  // counted in policy.sink_errors
+  }
+  // The ack wait happens with the writer lock released — followers
+  // apply and ack concurrently with the next writes, and a slow quorum
+  // only delays this one response, not the whole commit path.
+  lock.unlock();
+  if (shipped && options.repl_ack != ReplAckPolicy::kNone) {
+    Status acked =
+        hub.WaitForAcks(id, options.repl_ack, options.repl_ack_timeout);
+    // The write is committed locally either way; a timeout surfaces
+    // the under-replication instead of silently narrowing durability.
+    if (!acked.ok()) return MakeErrorMessage(acked);
   }
   return MakeOk(prefix + '|' + std::to_string(id));
 }
@@ -1294,6 +1571,8 @@ Message AuditServer::Impl::HandleUnsubscribe(const Message& request,
 }
 
 Message AuditServer::Impl::HandleLoadDump(const Message& request) {
+  // Dump loads mutate replicated state; only the primary takes them.
+  if (is_replica.load()) return RejectNotPrimary();
   auto fields = DecodeFields(request.payload);
   if (!fields.ok()) return MakeErrorMessage(fields.status());
   int64_t now_micros = 0;
@@ -1325,7 +1604,125 @@ Message AuditServer::Impl::HandleLoadDump(const Message& request) {
           persisted.message()));
     }
   }
+  // Every dump load opens a new replication generation: connected
+  // followers get the delta (stamped with this load's timestamp so
+  // restored rows agree byte-for-byte); a follower that missed it can
+  // no longer catch up from the query stream alone and re-handshakes
+  // into a bootstrap.
+  uint64_t gen = load_generation.fetch_add(1) + 1;
+  PersistReplGeneration(gen);
+  if (hub.follower_count() > 0) {
+    Message event{MessageType::kReplicateEvent,
+                  EncodeReplicateLoad((*fields)[0], (*fields)[1], gen,
+                                      now_micros),
+                  WireVersion::kV2};
+    QueueShip(0, EncodeFrame(event));
+  }
   return MakeOk("ok");
+}
+
+Message AuditServer::Impl::HandleReplicate(const Message& request,
+                                           uint64_t conn_id) {
+  if (request.version != WireVersion::kV2) {
+    return MakeErrorMessage(Status::InvalidArgument(
+        "replication requires protocol ADB2 (this connection speaks "
+        "ADB1)"));
+  }
+  // No chaining: a replica redirects would-be followers upstream.
+  if (is_replica.load()) return RejectNotPrimary();
+  auto handshake = DecodeReplicateHandshake(request.payload);
+  if (!handshake.ok()) return MakeErrorMessage(handshake.status());
+  // The backlog is built under the writer lock so it composes exactly
+  // with the live Ship stream: everything committed before this point
+  // is in the backlog, everything after arrives as a shipped frame.
+  std::unique_lock<std::shared_mutex> lock(state_mutex);
+  const int64_t size = static_cast<int64_t>(log->size());
+  const uint64_t gen = load_generation.load();
+  std::vector<std::string> backlog_frames;
+  int64_t acked_from = handshake->applied_log_id;
+  if (!handshake->have_state) {
+    // Empty replica: bootstrap with a full checkpoint manifest. It is
+    // registered as acked-through-0 — quorum cannot count it until it
+    // durably applies and acks for itself.
+    std::ostringstream db_out;
+    std::ostringstream log_out;
+    Status wrote = io::WriteDatabaseDump(*db, db_out);
+    if (wrote.ok()) wrote = io::WriteQueryLogDump(*log, log_out);
+    if (!wrote.ok()) return MakeErrorMessage(wrote);
+    Message event{MessageType::kReplicateEvent,
+                  EncodeReplicateCheckpoint(
+                      db_out.str(), log_out.str(), gen,
+                      options.bootstrap_stamp_micros),
+                  WireVersion::kV2};
+    backlog_frames.push_back(EncodeFrame(event));
+    acked_from = 0;
+  } else if (handshake->load_generation != gen ||
+             handshake->applied_log_id > size) {
+    // A non-empty follower whose history diverged — it missed a
+    // LoadDump generation, or applied past this primary's log (an old
+    // primary rejoining after failover). Incremental catch-up would
+    // skip state and a bootstrap would double-apply onto what it has;
+    // the operator restarts it with a fresh data dir.
+    return MakeErrorMessage(Status::InvalidArgument(
+        "replica state diverged: generation " +
+        std::to_string(handshake->load_generation) + " vs " +
+        std::to_string(gen) + ", applied " +
+        std::to_string(handshake->applied_log_id) + " vs log size " +
+        std::to_string(size) + "; wipe the replica's data dir"));
+  } else {
+    for (int64_t id = handshake->applied_log_id + 1; id <= size; ++id) {
+      const LoggedQuery& entry = log->Entry(static_cast<size_t>(id - 1));
+      Message event{MessageType::kReplicateEvent,
+                    EncodeReplicateWal(querylog::EncodeWalRecord(
+                        querylog::WalRecordType::kQuery,
+                        querylog::EncodeQueryWalPayload(entry))),
+                    WireVersion::kV2};
+      backlog_frames.push_back(EncodeFrame(event));
+    }
+  }
+  hub.RegisterFollower(conn_id, acked_from, std::move(backlog_frames));
+  // Kick the loop so it starts flushing the parked backlog.
+  {
+    std::lock_guard<std::mutex> push_lock(push_mutex);
+    push_ready.push_back(conn_id);
+  }
+  Wake();
+  return MakeOk(EncodeFields(
+      {advertise, std::to_string(size), std::to_string(gen)}));
+}
+
+Message AuditServer::Impl::HandlePromote(const Message& request) {
+  auto fields = DecodeFields(request.payload);
+  if (!fields.ok()) return MakeErrorMessage(fields.status());
+  if (fields->size() == 1 && (*fields)[0] == "primary") {
+    // Idempotent by design: a supervisor that lost the response can
+    // retry, and promoting a primary is a no-op.
+    std::unique_ptr<ReplicaSession> stopped;
+    {
+      std::lock_guard<std::mutex> repl_lock(repl_mutex);
+      stopped = std::move(replica);
+    }
+    // Join the session thread with no lock held: its apply callbacks
+    // take the writer side of state_mutex, so stopping it under any
+    // server lock could deadlock against an in-flight apply.
+    if (stopped != nullptr) stopped->Stop();
+    is_replica.store(false);
+    return MakeOk("primary");
+  }
+  if (fields->size() == 2 && (*fields)[0] == "follow") {
+    auto endpoint = ParseHostPort((*fields)[1]);
+    if (!endpoint.ok()) return MakeErrorMessage(endpoint.status());
+    std::lock_guard<std::mutex> repl_lock(repl_mutex);
+    if (!is_replica.load() || replica == nullptr) {
+      return MakeErrorMessage(Status::InvalidArgument(
+          "cannot demote a primary to a replica in place; restart it "
+          "with --replicate-from"));
+    }
+    replica->Repoint((*fields)[1]);
+    return MakeOk("following " + (*fields)[1]);
+  }
+  return MakeErrorMessage(Status::InvalidArgument(
+      "promote request wants fields: primary | follow|host:port"));
 }
 
 AuditServer::AuditServer(service::AuditService* service, Database* db,
@@ -1339,6 +1736,22 @@ AuditServer::AuditServer(service::AuditService* service, Database* db,
 AuditServer::~AuditServer() { Shutdown(); }
 
 bool AuditServer::running() const { return impl_->running.load(); }
+
+bool AuditServer::is_replica() const { return impl_->is_replica.load(); }
+
+std::string AuditServer::replication_upstream() const {
+  std::lock_guard<std::mutex> lock(impl_->repl_mutex);
+  return impl_->replica != nullptr ? impl_->replica->upstream()
+                                   : std::string();
+}
+
+size_t AuditServer::follower_count() const {
+  return impl_->hub.follower_count();
+}
+
+int64_t AuditServer::applied_log_id() const {
+  return impl_->AppliedLogId();
+}
 
 std::string AuditServer::MetricsJson() const {
   return impl_->CombinedMetricsJson();
@@ -1398,10 +1811,16 @@ Status AuditServer::Start() {
                   &wake_event) != 0) {
     return Status::Internal(std::string("epoll_ctl: ") + strerror(errno));
   }
+  impl.advertise = impl.options.advertise_address.empty()
+                       ? host_ + ":" + std::to_string(port_)
+                       : impl.options.advertise_address;
   impl.stop_requested.store(false);
   impl.draining = false;
   impl.running.store(true);
   loop_ = std::thread(&AuditServer::LoopThread, this);
+  // The streaming session starts after the loop so a replica already
+  // answers reads (and NOT_PRIMARY redirects) while it catches up.
+  if (!impl.options.replicate_from.empty()) impl.StartReplica();
   return Status::Ok();
 }
 
@@ -1451,6 +1870,14 @@ void AuditServer::LoopThread() {
 }
 
 void AuditServer::Shutdown() {
+  // Stop the replica stream first so no apply races the drain; the
+  // session is joined with no server lock held.
+  std::unique_ptr<ReplicaSession> session;
+  {
+    std::lock_guard<std::mutex> lock(impl_->repl_mutex);
+    session = std::move(impl_->replica);
+  }
+  if (session != nullptr) session->Stop();
   if (loop_.joinable()) {
     impl_->stop_requested.store(true);
     impl_->Wake();

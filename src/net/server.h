@@ -7,6 +7,7 @@
 #include <string>
 #include <thread>
 
+#include "src/net/replication.h"
 #include "src/net/subscription.h"
 #include "src/net/wire.h"
 #include "src/service/audit_service.h"
@@ -90,6 +91,35 @@ struct AuditServerOptions {
   /// swaps configs atomically; in-flight queries keep the snapshot they
   /// decided under. Must outlive the server.
   policy::PolicyEngine* policy = nullptr;
+
+  /// Replication (docs/replication.md). Empty = this node starts as a
+  /// primary (it accepts REPLICATE streams whether or not anything else
+  /// is set); "host:port" = start as a read-only replica streaming from
+  /// that primary. A replica rejects ExecuteQuery/LoadDump/REPLICATE
+  /// with NOT_PRIMARY carrying the primary's address, and a PROMOTE
+  /// frame turns it into a primary in place.
+  std::string replicate_from;
+  /// How many follower acks an ExecuteQuery waits for before its OK
+  /// (the primary's own durable append always happens first).
+  ReplAckPolicy repl_ack = ReplAckPolicy::kNone;
+  /// WaitForAcks budget; expiry responds DEADLINE_EXCEEDED ("committed
+  /// locally but under-replicated") rather than blocking the handler.
+  std::chrono::milliseconds repl_ack_timeout{2000};
+  /// Per-follower ship-queue cap; an overflowing follower is evicted
+  /// (bounded divergence) and re-syncs from its durable position.
+  size_t repl_max_buffered = 4096;
+  /// Address other nodes should use for this one ("host:port");
+  /// defaults to the bound host:port. Surfaces in the replication
+  /// metrics so a cluster supervisor can route around failures.
+  std::string advertise_address;
+  /// Row stamp for database dumps shipped to bootstrapping replicas
+  /// (the dump format has no per-row insert times). Must match the t0
+  /// the cluster loads fixtures / recovers with, or DATA-INTERVAL
+  /// audits diverge across nodes. auditd passes its fixture t0.
+  int64_t bootstrap_stamp_micros = 1000000;
+  /// Forces the Health payload / metrics to include the replication
+  /// section even before any follower registers.
+  bool replication = false;
 };
 
 /// The network front door of the audit service: an epoll event loop
@@ -140,8 +170,18 @@ class AuditServer {
   bool running() const;
 
   /// Graceful drain; blocks until the loop exits. Idempotent; also run
-  /// by the destructor.
+  /// by the destructor. A replica's streaming session stops first so no
+  /// apply races the drain.
   void Shutdown();
+
+  /// Replication role observers (tests and the cluster supervisor).
+  bool is_replica() const;
+  /// The upstream a replica streams from; empty on a primary.
+  std::string replication_upstream() const;
+  /// Registered followers (primary side).
+  size_t follower_count() const;
+  /// Log id this node has committed/applied through (its log size).
+  int64_t applied_log_id() const;
 
   const service::MetricsRegistry& metrics() const { return metrics_; }
   /// {"server": <net.* metrics>, "service": <audit-service metrics>}

@@ -57,12 +57,20 @@ const char* MessageTypeName(MessageType type) {
       return "subscribe";
     case MessageType::kUnsubscribeRequest:
       return "unsubscribe";
+    case MessageType::kReplicateRequest:
+      return "replicate";
+    case MessageType::kReplicateAckRequest:
+      return "replicate_ack";
+    case MessageType::kPromoteRequest:
+      return "promote";
     case MessageType::kOkResponse:
       return "ok";
     case MessageType::kErrorResponse:
       return "error";
     case MessageType::kPushEvent:
       return "push";
+    case MessageType::kReplicateEvent:
+      return "replicate_event";
   }
   return "unknown";
 }
@@ -78,9 +86,13 @@ bool IsKnownMessageType(uint8_t byte) {
     case MessageType::kLoadDumpRequest:
     case MessageType::kSubscribeRequest:
     case MessageType::kUnsubscribeRequest:
+    case MessageType::kReplicateRequest:
+    case MessageType::kReplicateAckRequest:
+    case MessageType::kPromoteRequest:
     case MessageType::kOkResponse:
     case MessageType::kErrorResponse:
     case MessageType::kPushEvent:
+    case MessageType::kReplicateEvent:
       return true;
   }
   return false;
@@ -90,7 +102,8 @@ bool IsRequestType(MessageType type) {
   return IsKnownMessageType(static_cast<uint8_t>(type)) &&
          type != MessageType::kOkResponse &&
          type != MessageType::kErrorResponse &&
-         type != MessageType::kPushEvent;
+         type != MessageType::kPushEvent &&
+         type != MessageType::kReplicateEvent;
 }
 
 bool IsIdempotentType(MessageType type) {
@@ -100,10 +113,17 @@ bool IsIdempotentType(MessageType type) {
     case MessageType::kAuditRequest:
     case MessageType::kAuditStaticRequest:
     case MessageType::kScreenLibraryRequest:
+    // Promote is state-changing but idempotent by design: promoting a
+    // node that is already primary (or repointing to the upstream it
+    // already follows) succeeds without further effect, so a failover
+    // supervisor can safely retry it over a fresh connection.
+    case MessageType::kPromoteRequest:
       return true;
     // Subscribe/Unsubscribe mutate per-connection server state; a blind
     // retry over a fresh connection could double-register or target a
-    // subscription id the new connection does not own.
+    // subscription id the new connection does not own. Replicate/
+    // ReplicateAck bind connection state too (the replica session owns
+    // its own reconnect protocol).
     default:
       return false;
   }
@@ -146,6 +166,28 @@ Message MakeErrorMessage(const Status& status) {
   return Message{
       MessageType::kErrorResponse,
       EncodeFields({StatusCodeName(status.code()), status.message()})};
+}
+
+namespace {
+constexpr char kNotPrimaryPrefix[] = "NOT_PRIMARY primary=";
+}  // namespace
+
+Status MakeNotPrimaryStatus(const std::string& primary_address) {
+  return Status::InvalidArgument(
+      kNotPrimaryPrefix +
+      (primary_address.empty() ? std::string("unknown") : primary_address));
+}
+
+bool IsNotPrimaryStatus(const Status& status) {
+  return status.code() == StatusCode::kInvalidArgument &&
+         status.message().rfind(kNotPrimaryPrefix, 0) == 0;
+}
+
+std::string NotPrimaryAddress(const Status& status) {
+  if (!IsNotPrimaryStatus(status)) return "";
+  std::string address =
+      status.message().substr(sizeof(kNotPrimaryPrefix) - 1);
+  return address == "unknown" ? "" : address;
 }
 
 Status DecodeErrorMessage(const std::string& payload) {

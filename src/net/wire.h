@@ -47,9 +47,23 @@ enum class MessageType : uint8_t {
   kLoadDumpRequest = 7,
   kSubscribeRequest = 8,    // v2 only
   kUnsubscribeRequest = 9,  // v2 only
+  /// v2 only; a follower opens the REPLICATE stream on its primary.
+  /// Payload: `applied_log_id|have_state|load_generation`.
+  kReplicateRequest = 10,
+  /// v2 only; one-way follower→primary ack (no response frame). Payload:
+  /// `applied_log_id` — every record at or below it is applied and
+  /// fsynced on the follower.
+  kReplicateAckRequest = 11,
+  /// v2 only; admin frame. Payload `primary` promotes a replica to
+  /// primary; `follow|host:port` repoints a replica at a new upstream.
+  kPromoteRequest = 12,
   kOkResponse = 0x40,
   kErrorResponse = 0x41,
   kPushEvent = 0x50,  // v2 only; server-initiated, carries no request id
+  /// v2 only; server-initiated replication event on a REPLICATE stream
+  /// (WAL record, bootstrap checkpoint, or load delta — see
+  /// src/net/replication.h).
+  kReplicateEvent = 0x51,
 };
 
 /// Endpoint name used in metrics and logs ("audit", "execute_query",
@@ -87,6 +101,15 @@ Result<std::vector<std::string>> DecodeFields(const std::string& payload);
 
 /// The error-response payload for `status` (code name + message).
 Message MakeErrorMessage(const Status& status);
+/// The NOT_PRIMARY rejection a replica answers writes with. The
+/// primary's address rides the message text (`NOT_PRIMARY
+/// primary=<host:port>`, or `primary=unknown` when the replica has no
+/// upstream) so a multi-endpoint client can follow the redirect.
+Status MakeNotPrimaryStatus(const std::string& primary_address);
+bool IsNotPrimaryStatus(const Status& status);
+/// The redirect address carried by a NOT_PRIMARY status; empty when
+/// unknown or when `status` is not NOT_PRIMARY.
+std::string NotPrimaryAddress(const Status& status);
 /// Reconstructs the Status carried by a kErrorResponse payload.
 Status DecodeErrorMessage(const std::string& payload);
 /// Inverse of StatusCodeName; kInternal for unknown names.

@@ -97,6 +97,31 @@ std::string EncodeWalRecord(WalRecordType type, std::string_view payload) {
   return out;
 }
 
+Result<bool> DecodeWalRecord(std::string_view data, WalRecordType* type,
+                             std::string* payload, size_t* consumed) {
+  if (data.size() < kWalHeaderBytes) return false;
+  uint32_t stored_crc = io::UnmaskCrc(GetFixed32(data.data()));
+  uint32_t payload_len = GetFixed32(data.data() + 4);
+  if (payload_len > kMaxWalPayloadBytes) {
+    return Status::ParseError("corrupt WAL record length " +
+                              std::to_string(payload_len));
+  }
+  if (data.size() - kWalHeaderBytes < payload_len) return false;
+  const char* body = data.data() + 8;  // type byte + payload
+  if (io::Crc32c(body, 1 + payload_len) != stored_crc) {
+    return Status::ParseError("WAL record CRC mismatch");
+  }
+  uint8_t type_byte = static_cast<uint8_t>(body[0]);
+  if (!IsKnownWalRecordType(type_byte)) {
+    return Status::ParseError("unknown WAL record type byte " +
+                              std::to_string(type_byte));
+  }
+  *type = static_cast<WalRecordType>(type_byte);
+  payload->assign(body + 1, payload_len);
+  *consumed = kWalHeaderBytes + payload_len;
+  return true;
+}
+
 std::string EncodeQueryWalPayload(const LoggedQuery& entry) {
   return std::to_string(entry.id) + "|" +
          std::to_string(entry.timestamp.micros()) + "|" +
@@ -223,6 +248,58 @@ Status TruncateWalToValidPrefix(io::Env* env, const std::string& path,
     return Status::Ok();
   }
   return env->TruncateFile(path, stats.valid_prefix_bytes);
+}
+
+WalCursor::WalCursor(io::Env* env, std::string path)
+    : env_(env), path_(std::move(path)) {}
+
+void WalCursor::Seek(const std::string& path, uint64_t offset) {
+  path_ = path;
+  offset_ = offset;
+}
+
+Result<bool> WalCursor::Poll(WalRecordType* type, std::string* payload) {
+  std::string framed;
+  return Poll(type, payload, &framed);
+}
+
+Result<bool> WalCursor::Poll(WalRecordType* type, std::string* payload,
+                             std::string* framed) {
+  if (!env_->FileExists(path_)) {
+    if (offset_ > 0) {
+      return Status::OutOfRange("WAL file vanished beneath the cursor: " +
+                                path_);
+    }
+    return false;
+  }
+  // Re-read each poll instead of holding the file open: the writer may
+  // append and TruncateWalToValidPrefix may shrink the tail between
+  // polls, and a stale descriptor would read through either.
+  AUDITDB_ASSIGN_OR_RETURN(std::string data, env_->ReadFileToString(path_));
+  if (data.size() < offset_) {
+    return Status::OutOfRange(
+        "WAL truncated beneath the cursor (file " +
+        std::to_string(data.size()) + " bytes, cursor at " +
+        std::to_string(offset_) + "): " + path_);
+  }
+  std::string_view tail(data.data() + offset_, data.size() - offset_);
+  WalRecordType decoded_type;
+  std::string decoded_payload;
+  size_t consumed = 0;
+  auto decoded =
+      DecodeWalRecord(tail, &decoded_type, &decoded_payload, &consumed);
+  if (!decoded.ok() || !*decoded) {
+    // Partial record, or a torn/corrupt tail a concurrent
+    // TruncateWalToValidPrefix may still repair — either way the valid
+    // prefix ends here for now.
+    return false;
+  }
+  *type = decoded_type;
+  *payload = std::move(decoded_payload);
+  framed->assign(tail.data(), consumed);
+  offset_ += consumed;
+  ++records_read_;
+  return true;
 }
 
 }  // namespace querylog

@@ -61,6 +61,15 @@ struct WalWriterOptions {
 /// Encodes one framed record (exposed for tests and the bench).
 std::string EncodeWalRecord(WalRecordType type, std::string_view payload);
 
+/// Validates and decodes the first framed record in `data` (the exact
+/// inverse of EncodeWalRecord — the replication stream ships raw framed
+/// bytes and the follower re-validates them with this).
+///   Ok(true)   one record decoded; *consumed bytes were used
+///   Ok(false)  `data` holds only a partial record — feed more
+///   error      CRC/type/length validation failed (corrupt record)
+Result<bool> DecodeWalRecord(std::string_view data, WalRecordType* type,
+                             std::string* payload, size_t* consumed);
+
 /// Renders / parses the kQuery payload (the dump QUERY line body).
 std::string EncodeQueryWalPayload(const LoggedQuery& entry);
 Result<LoggedQuery> DecodeQueryWalPayload(const std::string& payload);
@@ -120,6 +129,42 @@ Status ReplayWal(
 /// tail is clean or the file is missing.
 Status TruncateWalToValidPrefix(io::Env* env, const std::string& path,
                                 const WalReplayStats& stats);
+
+/// A tailing reader over a live WAL file: the shipping side of
+/// replication follows the writer record-by-record without ever holding
+/// the file open (each Poll re-reads from the cursor offset, so it can
+/// race both an appender and a TruncateWalToValidPrefix).
+///
+/// Poll() returns:
+///   Ok(true)   one CRC-valid record decoded; the cursor advanced
+///   Ok(false)  no complete valid record at the cursor yet (clean EOF,
+///              or a torn/corrupt tail that a concurrent truncate may
+///              still repair) — poll again later
+///   OutOfRange the file shrank below the cursor (truncated prefix or
+///              rotated WAL): the reader's position is gone and it must
+///              re-sync from a fresh position
+///   other      I/O failure
+class WalCursor {
+ public:
+  WalCursor(io::Env* env, std::string path);
+
+  Result<bool> Poll(WalRecordType* type, std::string* payload);
+  /// Same, but also hands back the raw framed bytes (what replication
+  /// ships).
+  Result<bool> Poll(WalRecordType* type, std::string* payload,
+                    std::string* framed);
+
+  uint64_t offset() const { return offset_; }
+  uint64_t records_read() const { return records_read_; }
+  /// Repositions (e.g. after re-sync onto a rotated WAL).
+  void Seek(const std::string& path, uint64_t offset);
+
+ private:
+  io::Env* env_;
+  std::string path_;
+  uint64_t offset_ = 0;
+  uint64_t records_read_ = 0;
+};
 
 }  // namespace querylog
 }  // namespace auditdb

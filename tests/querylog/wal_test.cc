@@ -283,6 +283,195 @@ TEST(WalTest, OversizedPayloadIsRefused) {
             StatusCode::kOutOfRange);
 }
 
+// The shipping side of replication tails the live WAL with a WalCursor
+// while recovery may concurrently truncate the torn tail. The cursor
+// must deliver every valid record exactly once, report a torn tail as
+// "poll again" (a truncate may still repair it), and detect a file that
+// shrank below its position as an unrecoverable loss of position.
+TEST(WalCursorTest, TailsALiveWriterRecordByRecord) {
+  Env* env = Env::Default();
+  std::string path = JoinPath(ScratchDir("cursor_tail"), "wal");
+  WalCursor cursor(env, path);
+  WalRecordType type;
+  std::string payload, framed;
+
+  // Nothing yet (missing file) — clean "poll again".
+  auto polled = cursor.Poll(&type, &payload);
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  EXPECT_FALSE(*polled);
+
+  auto writer = WalWriter::Open(env, path, WalWriterOptions{});
+  ASSERT_TRUE(writer.ok());
+  for (int64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE((*writer)
+                    ->Append(WalRecordType::kQuery,
+                             EncodeQueryWalPayload(MakeEntry(id)))
+                    .ok());
+    polled = cursor.Poll(&type, &payload, &framed);
+    ASSERT_TRUE(polled.ok());
+    ASSERT_TRUE(*polled);
+    EXPECT_EQ(type, WalRecordType::kQuery);
+    auto decoded = DecodeQueryWalPayload(payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->id, id);
+    // The framed bytes are what replication ships: re-decoding them
+    // must yield the identical record.
+    EXPECT_EQ(framed, EncodeWalRecord(WalRecordType::kQuery, payload));
+  }
+  EXPECT_EQ(cursor.records_read(), 5u);
+  // Caught up: clean EOF is "poll again", not an error.
+  polled = cursor.Poll(&type, &payload);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_FALSE(*polled);
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST(WalCursorTest, TruncateRaceRepairsATornTailUnderTheCursor) {
+  Env* env = Env::Default();
+  std::string path = JoinPath(ScratchDir("cursor_race"), "wal");
+  {
+    auto writer = WalWriter::Open(env, path, WalWriterOptions{});
+    ASSERT_TRUE(writer.ok());
+    for (int64_t id = 1; id <= 3; ++id) {
+      ASSERT_TRUE((*writer)
+                      ->Append(WalRecordType::kQuery,
+                               EncodeQueryWalPayload(MakeEntry(id)))
+                      .ok());
+    }
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  // Tear the last record mid-frame (a crash between write and sync).
+  auto size = env->GetFileSize(path);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(env->TruncateFile(path, *size - 5).ok());
+
+  WalCursor cursor(env, path);
+  WalRecordType type;
+  std::string payload;
+  for (int64_t id = 1; id <= 2; ++id) {
+    auto polled = cursor.Poll(&type, &payload);
+    ASSERT_TRUE(polled.ok());
+    ASSERT_TRUE(*polled);
+  }
+  // At the torn record: "poll again" — never an error, because recovery
+  // may still truncate the garbage out from under us.
+  auto torn = cursor.Poll(&type, &payload);
+  ASSERT_TRUE(torn.ok()) << torn.status().ToString();
+  EXPECT_FALSE(*torn);
+
+  // Recovery truncates to the valid prefix (exactly the cursor's
+  // position) and a writer appends a fresh record 3.
+  Replayed replayed = Replay(env, path);
+  ASSERT_TRUE(TruncateWalToValidPrefix(env, path, replayed.stats).ok());
+  EXPECT_EQ(cursor.offset(), replayed.stats.valid_prefix_bytes);
+  {
+    auto writer =
+        WalWriter::Open(env, path, WalWriterOptions{}, /*truncate=*/false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)
+                    ->Append(WalRecordType::kQuery,
+                             EncodeQueryWalPayload(MakeEntry(3)))
+                    .ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto repaired = cursor.Poll(&type, &payload);
+  ASSERT_TRUE(repaired.ok());
+  ASSERT_TRUE(*repaired);
+  auto decoded = DecodeQueryWalPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, 3);
+  EXPECT_EQ(cursor.records_read(), 3u);
+}
+
+TEST(WalCursorTest, FileShrunkBelowTheCursorDemandsAResync) {
+  Env* env = Env::Default();
+  std::string path = JoinPath(ScratchDir("cursor_shrunk"), "wal");
+  {
+    auto writer = WalWriter::Open(env, path, WalWriterOptions{});
+    ASSERT_TRUE(writer.ok());
+    for (int64_t id = 1; id <= 4; ++id) {
+      ASSERT_TRUE((*writer)
+                      ->Append(WalRecordType::kQuery,
+                               EncodeQueryWalPayload(MakeEntry(id)))
+                      .ok());
+    }
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  WalCursor cursor(env, path);
+  WalRecordType type;
+  std::string payload;
+  for (int64_t id = 1; id <= 4; ++id) {
+    auto polled = cursor.Poll(&type, &payload);
+    ASSERT_TRUE(polled.ok());
+    ASSERT_TRUE(*polled);
+  }
+  // A checkpoint rotated the WAL: the file restarts shorter than the
+  // cursor's offset. The reader's position is meaningless now.
+  {
+    auto writer = WalWriter::Open(env, path, WalWriterOptions{});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(WalRecordType::kCheckpoint, "2|4").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto shrunk = cursor.Poll(&type, &payload);
+  ASSERT_FALSE(shrunk.ok());
+  EXPECT_EQ(shrunk.status().code(), StatusCode::kOutOfRange);
+  // Seek re-syncs onto the rotated file from the top.
+  cursor.Seek(path, 0);
+  auto fresh = cursor.Poll(&type, &payload);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(*fresh);
+  EXPECT_EQ(type, WalRecordType::kCheckpoint);
+  EXPECT_EQ(payload, "2|4");
+}
+
+// A checkpoint record mid-stream (WAL reopened after recovery, or a
+// primary that checkpointed between shipped records) is a marker, not a
+// mutation: replay and the cursor both deliver it in order and keep
+// going — queries after it must not be lost.
+TEST(WalTest, CheckpointRecordMidStreamReplaysInOrder) {
+  Env* env = Env::Default();
+  std::string path = JoinPath(ScratchDir("ckpt_mid"), "wal");
+  auto writer = WalWriter::Open(env, path, WalWriterOptions{});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(WalRecordType::kCheckpoint, "1|0").ok());
+  ASSERT_TRUE((*writer)
+                  ->Append(WalRecordType::kQuery,
+                           EncodeQueryWalPayload(MakeEntry(1)))
+                  .ok());
+  // Mid-stream checkpoint marker.
+  ASSERT_TRUE((*writer)->Append(WalRecordType::kCheckpoint, "1|1").ok());
+  ASSERT_TRUE((*writer)
+                  ->Append(WalRecordType::kQuery,
+                           EncodeQueryWalPayload(MakeEntry(2)))
+                  .ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  Replayed replayed = Replay(env, path);
+  ASSERT_EQ(replayed.records.size(), 4u);
+  EXPECT_EQ(replayed.records[0].first, WalRecordType::kCheckpoint);
+  EXPECT_EQ(replayed.records[1].first, WalRecordType::kQuery);
+  EXPECT_EQ(replayed.records[2].first, WalRecordType::kCheckpoint);
+  EXPECT_EQ(replayed.records[2].second, "1|1");
+  EXPECT_EQ(replayed.records[3].first, WalRecordType::kQuery);
+  auto last = DecodeQueryWalPayload(replayed.records[3].second);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->id, 2);
+
+  WalCursor cursor(env, path);
+  WalRecordType type;
+  std::string payload;
+  std::vector<WalRecordType> seen;
+  while (true) {
+    auto polled = cursor.Poll(&type, &payload);
+    ASSERT_TRUE(polled.ok());
+    if (!*polled) break;
+    seen.push_back(type);
+  }
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[2], WalRecordType::kCheckpoint);
+}
+
 TEST(FsyncPolicyTest, ParseForms) {
   size_t every_n = 64;
   auto policy = ParseFsyncPolicy("always", &every_n);

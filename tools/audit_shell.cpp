@@ -31,10 +31,14 @@
 ///                                 SELECT and .load run remotely
 ///   .disconnect                   back to the in-process stores
 ///   .metrics                      remote server + service (+ index,
-///                                 push, policy) metrics JSON
+///                                 push, policy, replication) metrics
+///                                 JSON
 ///   .policy                       just the remote "policy" metrics
 ///                                 section (rule hits, redactions,
 ///                                 suppressed logs, reload generation)
+///   .replication                  just the remote "replication"
+///                                 section (role, shipped/applied WAL
+///                                 seqs, follower lag + ack latency)
 ///   .subscribe <expr|#id>         stream verdict pushes for a standing
 ///                                 audit expression to the terminal
 ///                                 (an integer or #id attaches to an
@@ -142,7 +146,8 @@ class Shell {
           ".workload N [seed]\n"
           ".audit [--jobs N] <expr>  .audit-static [--jobs N] <expr>\n"
           ".granules <expr>\n"
-          ".connect <host:port>  .disconnect  .metrics  .policy\n"
+          ".connect <host:port>  .disconnect  .metrics  .policy  "
+          ".replication\n"
           ".subscribe <expr|#id>  .unsubscribe <sub-id>\n"
           "SELECT ...  runs a query and logs it\n"
           ".quit\n");
@@ -193,6 +198,22 @@ class Shell {
       if (section.empty()) {
         std::printf("no policy engine attached (start auditd with "
                     "--audit-rules)\n");
+      } else {
+        std::printf("%s\n", section.c_str());
+      }
+      return Status::Ok();
+    }
+    if (cmd == ".replication") {
+      // The server's "replication" metrics section: role, shipped and
+      // applied WAL seqs, per-follower lag in records/bytes and ack
+      // latency (docs/replication.md).
+      if (!remote_) return Status::InvalidArgument("not connected");
+      auto metrics = remote_->MetricsJson();
+      if (!metrics.ok()) return metrics.status();
+      std::string section = ExtractJsonObject(*metrics, "replication");
+      if (section.empty()) {
+        std::printf("replication off (start auditd with --replicate-from "
+                    "or --repl-ack)\n");
       } else {
         std::printf("%s\n", section.c_str());
       }

@@ -57,6 +57,22 @@
 ///                            stderr)
 ///   --db-name NAME           database name rule `database =` clauses
 ///                            match (default auditdb)
+///   --replicate-from H:P     start as a read-only replica streaming the
+///                            primary at H:P (docs/replication.md):
+///                            rejects ExecuteQuery/LoadDump with
+///                            NOT_PRIMARY, applies the primary's WAL
+///                            stream through the recovery path, serves
+///                            reads. PROMOTE turns it into a primary.
+///   --repl-ack POLICY        follower acks an ExecuteQuery waits for
+///                            before its OK: none (default), quorum
+///                            (majority of primary+followers; promotion
+///                            then never loses an acked write), all
+///   --repl-ack-timeout-ms N  WaitForAcks budget (default 2000); expiry
+///                            answers DEADLINE_EXCEEDED — committed
+///                            locally but under-replicated
+///   --advertise H:P          address other nodes should use for this
+///                            one (NOT_PRIMARY redirects, metrics);
+///                            defaults to the bound host:port
 ///   --port-file FILE         write the bound port (for scripts that
 ///                            start auditd on an ephemeral port)
 ///   --quiet                  suppress the startup banner
@@ -118,6 +134,11 @@ struct Flags {
   std::string audit_sink_file;
   std::string audit_sink_syslog;
   std::string db_name = "auditdb";
+  std::string replicate_from;
+  net::ReplAckPolicy repl_ack = net::ReplAckPolicy::kNone;
+  int repl_ack_timeout_ms = 2000;
+  std::string advertise;
+  bool replication = false;  // any --repl* / --advertise flag given
 };
 
 bool ParseSize(const char* text, size_t* out) {
@@ -229,6 +250,22 @@ int main(int argc, char** argv) {
       flags.audit_sink_syslog = value;
     } else if (arg == "--db-name" && (value = next())) {
       flags.db_name = value;
+    } else if (arg == "--replicate-from" && (value = next())) {
+      if (!net::ParseHostPort(value).ok()) return Usage(argv[0]);
+      flags.replicate_from = value;
+      flags.replication = true;
+    } else if (arg == "--repl-ack" && (value = next())) {
+      auto policy = net::ParseReplAckPolicy(value);
+      if (!policy.ok()) return Usage(argv[0]);
+      flags.repl_ack = *policy;
+      flags.replication = true;
+    } else if (arg == "--repl-ack-timeout-ms" && (value = next())) {
+      flags.repl_ack_timeout_ms = std::atoi(value);
+      flags.replication = true;
+    } else if (arg == "--advertise" && (value = next())) {
+      if (!net::ParseHostPort(value).ok()) return Usage(argv[0]);
+      flags.advertise = value;
+      flags.replication = true;
     } else if (arg == "--port-file" && (value = next())) {
       flags.port_file = value;
     } else {
@@ -424,6 +461,16 @@ int main(int argc, char** argv) {
   server_options.so_sndbuf = static_cast<int>(flags.so_sndbuf);
   server_options.durable_store = store.get();
   server_options.policy = engine.get();
+  server_options.replicate_from = flags.replicate_from;
+  server_options.repl_ack = flags.repl_ack;
+  server_options.repl_ack_timeout =
+      std::chrono::milliseconds(flags.repl_ack_timeout_ms);
+  server_options.advertise_address = flags.advertise;
+  // Replicated dumps restore rows with the primary's stamp; ship the
+  // same t0 fixtures and recovery use so DATA-INTERVAL audits agree
+  // across the cluster.
+  server_options.bootstrap_stamp_micros = t0.micros();
+  server_options.replication = flags.replication;
   net::AuditServer server(&audit_service, &db, &backlog, &log,
                           server_options);
   Status started = server.Start();
@@ -453,6 +500,12 @@ int main(int argc, char** argv) {
         log.size());
     if (engine != nullptr) {
       std::printf(", policy rules=%zu", engine->rule_count());
+    }
+    if (!flags.replicate_from.empty()) {
+      std::printf(", replica of %s", flags.replicate_from.c_str());
+    } else if (flags.replication) {
+      std::printf(", repl-ack=%s",
+                  net::ReplAckPolicyName(flags.repl_ack));
     }
     std::printf(")\n");
     std::fflush(stdout);

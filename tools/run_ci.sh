@@ -14,14 +14,23 @@
 # a live auditd with --audit-rules: SIGHUP hot-reload smoke racing a
 # query stream, reload-to-broken keeping the old rules live, and a sink
 # file integrity check: one well-formed redacted record per acked
-# query, no marked literal leaked) — and finally a Release (-O2) build
+# query, no marked literal leaked) — the replication cluster gate
+# (replication codec/hub/cursor suites plus the in-process cluster
+# scenarios under ASan, then a live 3-node loopback cluster:
+# quorum-acked writes streaming while a replica is kill -9'd mid-stream
+# and rejoined on the same dir, a SIGSTOP partition with bounded
+# divergence and clean re-sync, follower verdicts diffed byte-for-byte
+# against each other and against an offline serial auditor over the
+# killed primary's quiesced dir, and a promote-on-primary-kill failover
+# that must lose no acked write) — and finally a Release (-O2) build
 # that smoke-runs the scan and expression-index benches plus the
 # bench_net push-latency sweep, the bench_policy overhead acceptance
 # check (<5% at 0% rule-hit rate), and the bench_mixed MVCC sweep
 # (versioned caching must sustain hot hit rates AND write throughput
 # where the wholesale-invalidation ablation can only have one),
 # checking their BENCH_scan.json / BENCH_index.json / BENCH_push.json
-# / BENCH_policy.json / BENCH_mixed.json artifacts.
+# / BENCH_policy.json / BENCH_mixed.json / BENCH_repl.json artifacts
+# (the last from the bench_net replication followers-x-ack sweep).
 #
 # Usage: tools/run_ci.sh [build-dir-prefix]
 #   Build trees land in <prefix>, <prefix>-tsan, <prefix>-asan and
@@ -33,14 +42,14 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== [1/7] build (${PREFIX}) =="
+echo "== [1/8] build (${PREFIX}) =="
 cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${PREFIX}" -j "${JOBS}"
 
-echo "== [2/7] ctest =="
+echo "== [2/8] ctest =="
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "== [3/7] service determinism + stress under ThreadSanitizer =="
+echo "== [3/8] service determinism + stress under ThreadSanitizer =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=thread
 # The TSan gate needs the concurrency suites: the service layer, the
@@ -54,7 +63,7 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
       -R 'SchedulerTest|OnlineConcurrentTest|MvccConcurrentTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest|PushCodecTest|SubscriptionRegistryTest|SubscriptionConcurrentTest|PushSubscriptionTest|PolicyEngineConcurrentTest'
 
-echo "== [4/7] network layer under AddressSanitizer =="
+echo "== [4/8] network layer under AddressSanitizer =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
@@ -174,7 +183,7 @@ wait "${SOAK_PID}" || { echo "drain soak failed"; cat "${SOAK_LOG}"; exit 1; }
 grep -q 'SOAK_OK' "${SOAK_LOG}" || { cat "${SOAK_LOG}"; exit 1; }
 rm -f "${PORT_FILE}" "${AUDITD_LOG}" "${SOAK_LOG}"
 
-echo "== [5/7] policy gate under AddressSanitizer =="
+echo "== [5/8] policy gate under AddressSanitizer =="
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target policy_test workload_test net_test auditd durability_smoke
 # Rule parsing (incl. the adversarial-config cases), redaction, sink
@@ -263,7 +272,7 @@ if grep -q 'diabetic' "${SINK_FILE}"; then
 fi
 rm -f "${RULES_FILE}" "${SINK_FILE}" "${DRIVE_LOG}" "${PORT_FILE}" "${AUDITD_LOG}"
 
-echo "== [6/7] durability gate under AddressSanitizer =="
+echo "== [6/8] durability gate under AddressSanitizer =="
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target io_test querylog_test net_test auditd durability_smoke
 # The crash-fault-injection harness: every injected IO failure and every
@@ -335,7 +344,151 @@ grep -q 'auditd: recovered snapshot' "${AUDITD_LOG}" || {
 rm -rf "${DATA_DIR}"
 rm -f "${PORT_FILE}" "${AUDITD_LOG}" "${ACKS_FILE}"
 
-echo "== [7/7] Release build + bench smokes =="
+echo "== [7/8] replication cluster gate under AddressSanitizer =="
+cmake --build "${PREFIX}-asan" -j "${JOBS}" \
+      --target net_test querylog_test cluster_test auditd audit_cluster \
+               durability_smoke
+# Replication unit suites (framing codecs, ship/ack hub, WAL shipping
+# cursor, retry budget) plus the in-process multi-node scenarios
+# (bootstrap, durable catch-up, NOT_PRIMARY redirects, promote, quorum).
+ctest --test-dir "${PREFIX}-asan" --output-on-failure \
+      -R 'RetryBudgetTest|ReplAckPolicyTest|ParseHostPortTest|NotPrimaryTest|ReplicateCodecTest|ReplicateHandshakeTest|ShipDecisionTest|ReplicationHubTest|WalCursorTest|ClusterTest'
+
+echo "-- 3-node cluster: kill -9 rejoin, partition re-sync, promote --"
+CLUSTER="${PREFIX}-asan/tools/audit_cluster"
+SMOKE="${PREFIX}-asan/tools/durability_smoke"
+CLUSTER_EXPR="DURING 1/1/1970 to 2/1/1970 DATA-INTERVAL 1/1/1970 to 2/1/1970 AUDIT (name, disease) FROM P-Personal, P-Health WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'"
+P_DIR="$(mktemp -d)"; A_DIR="$(mktemp -d)"; B_DIR="$(mktemp -d)"
+P_PID=""; A_PID=""; B_PID=""
+cluster_cleanup() {
+  for pid in "${P_PID}" "${A_PID}" "${B_PID}"; do
+    [ -n "${pid}" ] && kill -9 "${pid}" 2>/dev/null || true
+  done
+}
+trap cluster_cleanup EXIT
+
+# Starts one cluster node; exports <VAR>_PID / <VAR>_PORT / <VAR>_LOG.
+start_node() {
+  local var=$1; shift
+  local port_file; port_file="$(mktemp)"
+  local log_file; log_file="$(mktemp)"
+  "${PREFIX}-asan/tools/auditd" --port 0 --port-file "${port_file}" \
+      "$@" >"${log_file}" 2>&1 &
+  local pid=$!
+  for _ in $(seq 1 150); do
+    [ -s "${port_file}" ] && break
+    kill -0 "${pid}" 2>/dev/null || { cat "${log_file}"; exit 1; }
+    sleep 0.1
+  done
+  [ -s "${port_file}" ] || {
+    echo "cluster node never reported a port"; cat "${log_file}"; exit 1; }
+  eval "${var}_PID=${pid}"
+  eval "${var}_PORT=$(cat "${port_file}")"
+  eval "${var}_LOG=${log_file}"
+  rm -f "${port_file}"
+}
+
+# Primary: durable, fsync-per-ack, no background checkpoints (recovery
+# sees exactly the WAL the acks were fsynced to), quorum acks — over
+# {primary, 2 followers} a write needs 1 follower ack, so the cluster
+# keeps committing with either replica dead or partitioned.
+start_node P --data-dir "${P_DIR}" --fsync always --checkpoint-every 0 \
+    --fixture hospital:50:2008 --repl-ack quorum --repl-ack-timeout-ms 10000
+start_node A --data-dir "${A_DIR}" --replicate-from "127.0.0.1:${P_PORT}"
+start_node B --data-dir "${B_DIR}" --replicate-from "127.0.0.1:${P_PORT}"
+for _ in $(seq 1 100); do
+  "${CLUSTER}" status "127.0.0.1:${P_PORT}" | grep -q 'followers=2' && break
+  sleep 0.1
+done
+"${CLUSTER}" status "127.0.0.1:${P_PORT}" "127.0.0.1:${A_PORT}" \
+    "127.0.0.1:${B_PORT}"
+"${CLUSTER}" status "127.0.0.1:${P_PORT}" | grep -q 'followers=2' || {
+  echo "followers never registered"; cat "${A_LOG}" "${B_LOG}"; exit 1; }
+
+# Phase 1: stream quorum-acked writes and kill -9 replica B mid-stream.
+# Replica A alone sustains the quorum, so every write must still ack.
+DRIVE_LOG="$(mktemp)"
+"${SMOKE}" drive "127.0.0.1:${P_PORT}" 1500 >"${DRIVE_LOG}" 2>/dev/null &
+DRIVER_PID=$!
+sleep 0.3
+kill -9 "${B_PID}"
+wait "${DRIVER_PID}" || { echo "cluster driver failed"; exit 1; }
+ACKED1="$(awk '/^acked/{print $2}' "${DRIVE_LOG}")"
+[ "${ACKED1}" = "1500" ] || {
+  echo "quorum stream acked ${ACKED1}/1500 after replica kill"; exit 1; }
+
+# Rejoin B on its own dir: it recovers the durable prefix (torn tail
+# truncated by WAL recovery) and catches up over the stream.
+start_node B --data-dir "${B_DIR}" --replicate-from "127.0.0.1:${P_PORT}"
+"${CLUSTER}" wait-applied "127.0.0.1:${B_PORT}" "${ACKED1}" 30000 || {
+  echo "rejoined replica never caught up"; cat "${B_LOG}"; exit 1; }
+
+# Phase 2: partition replica A (SIGSTOP blackholes its stream without
+# dropping the TCP connection), keep committing on B's ack, then heal.
+# Divergence is bounded by the primary's per-follower backlog; on CONT
+# the buffered suffix drains and A re-syncs without a restart.
+kill -STOP "${A_PID}"
+: >"${DRIVE_LOG}"
+"${SMOKE}" drive "127.0.0.1:${P_PORT}" 100 >"${DRIVE_LOG}" 2>/dev/null
+ACKED2="$(awk '/^acked/{print $2}' "${DRIVE_LOG}")"
+[ "${ACKED2}" = "100" ] || {
+  echo "partitioned quorum acked ${ACKED2}/100"; exit 1; }
+TOTAL=$((ACKED1 + ACKED2))
+kill -CONT "${A_PID}"
+"${CLUSTER}" wait-applied "127.0.0.1:${A_PORT}" "${TOTAL}" 30000 || {
+  echo "partitioned replica never re-synced"; cat "${A_LOG}"; exit 1; }
+"${CLUSTER}" wait-applied "127.0.0.1:${B_PORT}" "${TOTAL}" 30000
+
+# The replication contract, byte for byte: all three live verdicts
+# identical, and identical to a quiesced serial auditor recovering the
+# primary's dir offline after the primary is kill -9'd.
+V_P="$(mktemp)"; V_A="$(mktemp)"; V_B="$(mktemp)"; V_OFF="$(mktemp)"
+"${CLUSTER}" verdict "127.0.0.1:${P_PORT}" "${CLUSTER_EXPR}" >"${V_P}"
+"${CLUSTER}" verdict "127.0.0.1:${A_PORT}" "${CLUSTER_EXPR}" >"${V_A}"
+"${CLUSTER}" verdict "127.0.0.1:${B_PORT}" "${CLUSTER_EXPR}" >"${V_B}"
+[ -s "${V_P}" ] || { echo "primary verdict is empty"; exit 1; }
+cmp "${V_P}" "${V_A}" || { echo "replica A verdict diverged"; exit 1; }
+cmp "${V_P}" "${V_B}" || { echo "replica B verdict diverged"; exit 1; }
+
+kill -9 "${P_PID}"; P_PID=""
+"${CLUSTER}" verdict-offline "${P_DIR}" "${CLUSTER_EXPR}" >"${V_OFF}"
+cmp "${V_P}" "${V_OFF}" || {
+  echo "offline serial verdict diverged from the cluster"; exit 1; }
+
+# Phase 3: failover. Both replicas hold the full acked prefix; the
+# supervisor promotes the most-caught-up one, which must already have
+# every acked write and then accept new ones extending the prefix.
+NEW_PRIMARY="$("${CLUSTER}" failover "127.0.0.1:${A_PORT}" \
+    "127.0.0.1:${B_PORT}")"
+[ -n "${NEW_PRIMARY}" ] || { echo "failover promoted nothing"; exit 1; }
+echo "promoted ${NEW_PRIMARY}"
+"${CLUSTER}" wait-applied "${NEW_PRIMARY}" "${TOTAL}" 5000 || {
+  echo "promoted node lost acked writes"; exit 1; }
+: >"${DRIVE_LOG}"
+"${SMOKE}" drive "${NEW_PRIMARY}" 20 >"${DRIVE_LOG}" 2>/dev/null
+ACKED3="$(awk '/^acked/{print $2}' "${DRIVE_LOG}")"
+[ "${ACKED3}" = "20" ] || {
+  echo "promoted primary acked ${ACKED3}/20"; exit 1; }
+"${CLUSTER}" wait-applied "${NEW_PRIMARY}" $((TOTAL + 20)) 10000
+"${CLUSTER}" status "${NEW_PRIMARY}" | grep -q 'primary' || {
+  echo "promoted node does not report primary"; exit 1; }
+
+# Both survivors must drain cleanly (exit 0, no ASan report) — including
+# the non-promoted replica still pointed at the dead primary.
+kill -TERM "${A_PID}" "${B_PID}"
+A_RC=0; wait "${A_PID}" || A_RC=$?
+B_RC=0; wait "${B_PID}" || B_RC=$?
+A_PID=""; B_PID=""
+trap - EXIT
+[ "${A_RC}" -eq 0 ] || {
+  echo "replica A drain exited ${A_RC}"; cat "${A_LOG}"; exit 1; }
+[ "${B_RC}" -eq 0 ] || {
+  echo "replica B drain exited ${B_RC}"; cat "${B_LOG}"; exit 1; }
+rm -rf "${P_DIR}" "${A_DIR}" "${B_DIR}"
+rm -f "${DRIVE_LOG}" "${V_P}" "${V_A}" "${V_B}" "${V_OFF}" \
+      "${P_LOG}" "${A_LOG}" "${B_LOG}"
+
+echo "== [8/8] Release build + bench smokes =="
 cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_scan bench_index
 # A tiny sweep: one fused-filter shape in both scan modes, just enough to
@@ -368,6 +521,16 @@ cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_net
   echo "bench_net did not write BENCH_push.json"; exit 1; }
 grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_push.json" || {
   echo "BENCH_push.json is not benchmark JSON"; exit 1; }
+
+# The replication sweep: followers x ack policy over an in-process
+# primary + bootstrap-synced followers, measuring commit latency and
+# the async catch-up gap. `repl` mode exits non-zero on any write
+# error or follower verdict mismatch, and always emits BENCH_repl.json.
+( cd "${PREFIX}-release/bench" && ./bench_net repl 40 )
+[ -s "${PREFIX}-release/bench/BENCH_repl.json" ] || {
+  echo "bench_net did not write BENCH_repl.json"; exit 1; }
+grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_repl.json" || {
+  echo "BENCH_repl.json is not benchmark JSON"; exit 1; }
 
 # The policy bench: rule-match throughput vs rule count + redaction
 # cost (emits BENCH_policy.json), then the overhead acceptance check —
