@@ -11,8 +11,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <numeric>
+#include <unordered_set>
+
 #include "bench/bench_util.h"
 #include "src/audit/granule.h"
+#include "src/common/tid_bitmap.h"
+#include "src/types/column_vector.h"
 
 namespace {
 
@@ -139,6 +144,192 @@ BENCHMARK(BM_SchemeEnumeration)
     ->Arg(4)
     ->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------------------
+// Experiment P3: the suspicion/candidacy tid-set kernels, hash sets vs
+// compressed bitmaps (SuspicionOptions::tid_bitmaps), at 1M and 10M tids.
+//
+// `dense` = consecutive tids (bulk loads; bitset chunks), sparse = stride-41
+// tids (selective predicates; array chunks). The three kernels mirror the
+// audit hot paths: building the per-table indispensable union (BatchIndex),
+// per-fact membership probes (kPerTable suspicion), and witness-overlap
+// tests (SharesIndispensableTuple / the kPerTable prescreen).
+// ---------------------------------------------------------------------------
+
+/// Synthetic indispensable-tid universe: `n` tids, consecutive or strided.
+std::vector<int64_t> MakeTids(size_t n, bool dense) {
+  std::vector<int64_t> tids(n);
+  if (dense) {
+    std::iota(tids.begin(), tids.end(), int64_t{1});
+  } else {
+    for (size_t i = 0; i < n; ++i) tids[i] = static_cast<int64_t>(i) * 41 + 1;
+  }
+  return tids;
+}
+
+// Args: {n, dense, bitmap}. Builds the batch-level union of 8 per-query
+// witness lists (n/8 tids each), as BatchIndex does on first use.
+void BM_IndispensableUnion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool dense = state.range(1) != 0;
+  const bool bitmap = state.range(2) != 0;
+  auto tids = MakeTids(n, dense);
+  const size_t per_query = n / 8;
+  for (auto _ : state) {
+    if (bitmap) {
+      TidBitmap u;
+      for (size_t q = 0; q < 8; ++q) {
+        TidBitmap one;
+        for (size_t i = q * per_query; i < (q + 1) * per_query; ++i) {
+          one.Add(tids[i]);
+        }
+        u.Or(one);
+      }
+      benchmark::DoNotOptimize(u.Cardinality());
+    } else {
+      std::unordered_set<int64_t> u;
+      for (size_t q = 0; q < 8; ++q) {
+        for (size_t i = q * per_query; i < (q + 1) * per_query; ++i) {
+          u.insert(tids[i]);
+        }
+      }
+      benchmark::DoNotOptimize(u.size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IndispensableUnion)
+    ->Args({1000000, 1, 0})
+    ->Args({1000000, 1, 1})
+    ->Args({1000000, 0, 0})
+    ->Args({1000000, 0, 1})
+    ->Args({10000000, 1, 0})
+    ->Args({10000000, 1, 1})
+    ->Args({10000000, 0, 0})
+    ->Args({10000000, 0, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Args: {n, dense, bitmap}. Per-fact membership probes against the union
+// (the kPerTable suspicion loop); half the probes hit, half miss.
+void BM_SuspicionMembership(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool dense = state.range(1) != 0;
+  const bool bitmap = state.range(2) != 0;
+  auto tids = MakeTids(n, dense);
+  TidBitmap bm;
+  std::unordered_set<int64_t> set;
+  for (int64_t t : tids) {
+    if (bitmap) {
+      bm.Add(t);
+    } else {
+      set.insert(t);
+    }
+  }
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      // Even i probes a member, odd i probes a gap/overshoot.
+      const int64_t probe = (i % 2 == 0) ? tids[i] : tids[i] + 1;
+      hits += bitmap ? bm.Contains(probe) : set.count(probe) > 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SuspicionMembership)
+    ->Args({1000000, 1, 0})
+    ->Args({1000000, 1, 1})
+    ->Args({10000000, 1, 0})
+    ->Args({10000000, 1, 1})
+    ->Args({10000000, 0, 0})
+    ->Args({10000000, 0, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Args: {n, dense, bitmap}. Witness-overlap test between a query's
+// lineage projection and the audit view's tids, overlapping only in the
+// last 1% — the SharesIndispensableTuple / prescreen kernel, worst case
+// (the scan must run deep before finding the intersection).
+void BM_WitnessIntersect(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool dense = state.range(1) != 0;
+  const bool bitmap = state.range(2) != 0;
+  auto tids = MakeTids(n, dense);
+  const size_t overlap_start = n - n / 100;
+  TidBitmap bm_a, bm_b;
+  std::unordered_set<int64_t> set_a;
+  std::vector<int64_t> vec_b;
+  for (size_t i = 0; i < n; ++i) {
+    // b holds the mirrored universe plus the shared 1% tail.
+    const int64_t other = -tids[i] - 1;
+    if (bitmap) {
+      bm_a.Add(tids[i]);
+      bm_b.Add(i < overlap_start ? other : tids[i]);
+    } else {
+      set_a.insert(tids[i]);
+      vec_b.push_back(i < overlap_start ? other : tids[i]);
+    }
+  }
+  for (auto _ : state) {
+    bool shares = false;
+    if (bitmap) {
+      shares = bm_a.Intersects(bm_b);
+    } else {
+      for (int64_t t : vec_b) {
+        if (set_a.count(t)) {
+          shares = true;
+          break;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(shares);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WitnessIntersect)
+    ->Args({1000000, 1, 0})
+    ->Args({1000000, 1, 1})
+    ->Args({10000000, 1, 0})
+    ->Args({10000000, 1, 1})
+    ->Args({10000000, 0, 0})
+    ->Args({10000000, 0, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Args: {rows, bitmap}. The granule validity screen (NULL filtering over
+// the target view's fact batch) at 10M rows, ~1% NULLs: the NonNullRows
+// index vector vs the compressed NonNullBitmap (append fast path).
+void BM_ValidityScreen(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const bool bitmap = state.range(1) != 0;
+  Batch batch;
+  batch.num_rows = rows;
+  Value scratch;
+  auto get = [&](size_t i) -> const Value& {
+    scratch = (i % 97 == 0) ? Value::Null()
+                            : Value::Int(static_cast<int64_t>(i));
+    return scratch;
+  };
+  batch.columns.push_back(ColumnVector::Gather(rows, get));
+  batch.columns.push_back(ColumnVector::Gather(rows, get));
+  const std::vector<size_t> cols = {0, 1};
+  for (auto _ : state) {
+    if (bitmap) {
+      auto valid = NonNullBitmap(batch, cols);
+      benchmark::DoNotOptimize(valid.Cardinality());
+    } else {
+      auto valid = NonNullRows(batch, cols);
+      benchmark::DoNotOptimize(valid.size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ValidityScreen)
+    ->Args({10000000, 0})
+    ->Args({10000000, 1})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+AUDITDB_BENCH_MAIN(granule);

@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "src/audit/subsumption.h"
 
 namespace {
 
@@ -87,6 +88,50 @@ BENCHMARK(BM_Notion)
     ->Args({2000, 3})
     ->Unit(benchmark::kMillisecond);
 
+// Args: {pairs, profiled}. Pairwise subsumption over a family of notion
+// expressions — the expression-library admission loop. The plain overload
+// rebuilds the FROM set and granule schemes per call; the profile-carrying
+// overload reads them precomputed (what ExpressionLibrary stores per
+// member).
+void BM_Subsumes(benchmark::State& state) {
+  const size_t pairs = static_cast<size_t>(state.range(0));
+  const bool profiled = state.range(1) != 0;
+
+  auto world = bench::MakeWorld(/*patients=*/50, /*queries=*/1);
+  auto base = audit::ParseAudit(bench::CanonicalAudit(), bench::Ts(1000000));
+  if (!base.ok() || !base->Qualify(world->db.catalog()).ok()) std::abort();
+  std::vector<audit::AuditExpression> family;
+  family.push_back(audit::MakePerfectPrivacy(*base));
+  family.push_back(audit::MakeWeakSyntactic(*base));
+  family.push_back(audit::MakeSemantic(*base));
+  family.push_back(audit::MakeThresholdNotion(*base, audit::Threshold::N(10)));
+  std::vector<audit::SubsumptionProfile> profiles;
+  for (const auto& e : family) {
+    profiles.push_back(audit::SubsumptionProfile::Of(e));
+  }
+
+  for (auto _ : state) {
+    size_t subsumed = 0;
+    for (size_t p = 0; p < pairs; ++p) {
+      const size_t i = p % family.size();
+      const size_t j = (p / family.size()) % family.size();
+      if (profiled) {
+        subsumed += audit::Subsumes(family[i], profiles[i], family[j],
+                                    profiles[j]);
+      } else {
+        subsumed += audit::Subsumes(family[i], family[j]);
+      }
+    }
+    benchmark::DoNotOptimize(subsumed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs));
+}
+BENCHMARK(BM_Subsumes)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+AUDITDB_BENCH_MAIN(notions);

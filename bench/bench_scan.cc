@@ -12,10 +12,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <numeric>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "src/engine/executor.h"
+#include "src/engine/table_scan.h"
+#include "src/sql/parser.h"
 
 namespace {
 
@@ -139,6 +142,103 @@ BENCHMARK(BM_AuditEndToEnd)
     ->Args({200, 500, 1})
     ->Args({1000, 2000, 0})
     ->Args({1000, 2000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Experiment S2: selection bitmaps at the scan/predicate boundary.
+//
+// The predicate machine can emit its narrowed row set either as a
+// selection vector (Run/RunChunked) or directly as a compressed row
+// bitmap (RunToBitmap/RunChunkedToBitmap). Decisions are identical; this
+// measures the representation cost at 10M rows, plus the
+// bitmap<->vector conversions the scan layer uses at chunk boundaries.
+// The Batch is built directly (no Database inserts) so the 10M arg
+// stays cheap to set up.
+// ---------------------------------------------------------------------------
+
+/// 10M-row single-table batch M(id INT, score INT), score = id % 100.
+Batch MakeScoreBatch(size_t rows) {
+  Batch batch;
+  batch.num_rows = rows;
+  Value scratch;
+  batch.columns.push_back(ColumnVector::Gather(rows, [&](size_t i) -> const Value& {
+    scratch = Value::Int(static_cast<int64_t>(i));
+    return scratch;
+  }));
+  batch.columns.push_back(ColumnVector::Gather(rows, [&](size_t i) -> const Value& {
+    scratch = Value::Int(static_cast<int64_t>(i % 100));
+    return scratch;
+  }));
+  return batch;
+}
+
+/// Compiles `score < K` against the two-column layout above.
+PredicateProgram CompileScorePredicate(int selectivity_pct) {
+  RowLayout layout;
+  layout.AddTable("M", TableSchema("M", {{"id", ValueType::kInt},
+                                         {"score", ValueType::kInt}}));
+  auto expr = sql::ParseExpression("M.score < " +
+                                   std::to_string(selectivity_pct));
+  if (!expr.ok()) std::abort();
+  if (!BindExpression(expr->get(), layout).ok()) std::abort();
+  auto program = PredicateProgram::Compile(**expr, 0, layout.width());
+  if (!program.ok()) std::abort();
+  return std::move(*program);
+}
+
+// Args: {rows, selectivity %, bitmap}. Full-batch predicate run emitting
+// a selection vector vs a selection bitmap, in 1024-row chunks.
+void BM_PredicateEmit(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const int selectivity = static_cast<int>(state.range(1));
+  const bool bitmap = state.range(2) != 0;
+  Batch batch = MakeScoreBatch(rows);
+  PredicateProgram program = CompileScorePredicate(selectivity);
+  std::vector<uint32_t> all_vec(rows);
+  std::iota(all_vec.begin(), all_vec.end(), 0u);
+  TidBitmap all_bm = SelectionToBitmap(all_vec);
+  for (auto _ : state) {
+    if (bitmap) {
+      auto out = RunChunkedToBitmap(program, batch, all_bm, 1024);
+      benchmark::DoNotOptimize(out.passed.Cardinality());
+    } else {
+      auto out = RunChunked(program, batch, all_vec, 1024);
+      benchmark::DoNotOptimize(out.passed.size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_PredicateEmit)
+    ->Args({1000000, 10, 0})
+    ->Args({1000000, 10, 1})
+    ->Args({10000000, 10, 0})
+    ->Args({10000000, 10, 1})
+    ->Args({10000000, 90, 0})
+    ->Args({10000000, 90, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Args: {rows, selectivity %}. The boundary conversions themselves:
+// selection vector -> bitmap -> selection vector at 10M rows.
+void BM_SelectionConvert(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t pct = static_cast<size_t>(state.range(1));
+  std::vector<uint32_t> sel;
+  sel.reserve(rows * pct / 100);
+  for (size_t i = 0; i < rows; ++i) {
+    if (i % 100 < pct) sel.push_back(static_cast<uint32_t>(i));
+  }
+  for (auto _ : state) {
+    TidBitmap bm = SelectionToBitmap(sel);
+    auto back = BitmapToSelection(bm);
+    benchmark::DoNotOptimize(back.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sel.size()));
+}
+BENCHMARK(BM_SelectionConvert)
+    ->Args({10000000, 10})
+    ->Args({10000000, 90})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

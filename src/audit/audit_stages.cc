@@ -121,12 +121,10 @@ void StaticOnlyBatchVerdict(const AuditExpression& expr,
   }
 }
 
-std::vector<int64_t> MinimizeBatch(const TargetView& view,
-                                   const std::vector<GranuleScheme>& schemes,
-                                   const AuditExpression& expr,
-                                   const std::vector<AccessProfile>& profiles,
-                                   const std::vector<int64_t>& profile_ids,
-                                   const SuspicionOptions& options) {
+Result<std::vector<int64_t>> MinimizeBatch(
+    const TargetView& view, const std::vector<GranuleScheme>& schemes,
+    const AuditExpression& expr, const std::vector<AccessProfile>& profiles,
+    const std::vector<int64_t>& profile_ids, const SuspicionOptions& options) {
   std::vector<size_t> kept;
   for (size_t i = 0; i < profiles.size(); ++i) kept.push_back(i);
   for (size_t i = 0; i < profiles.size(); ++i) {
@@ -138,7 +136,8 @@ std::vector<int64_t> MinimizeBatch(const TargetView& view,
     auto reduced_result = CheckBatchSuspicion(view, schemes, expr.threshold,
                                               expr.indispensable, reduced,
                                               options);
-    if (reduced_result.suspicious) {
+    if (!reduced_result.ok()) return reduced_result.status();
+    if (reduced_result->suspicious) {
       kept.erase(std::remove(kept.begin(), kept.end(), i), kept.end());
     }
   }
@@ -164,7 +163,26 @@ Result<bool> SharesIndispensableTuple(const QueryResult& query_result,
                                       const AuditExpression& expr,
                                       const std::vector<std::string>& common,
                                       const DatabaseView& state,
-                                      const ExecOptions& exec) {
+                                      const ExecOptions& exec,
+                                      bool tid_bitmaps) {
+  if (tid_bitmaps && common.size() == 1) {
+    // Single common table: both projections are plain tid sets, so the
+    // intersection test is one word-wide bitmap Intersects.
+    auto query_tids = query_result.ProjectLineageBitmap(common[0]);
+    if (!query_tids.ok()) return query_tids.status();
+    if (query_tids->Empty()) return false;
+
+    sql::SelectStatement audit_query;
+    audit_query.select_star = true;
+    audit_query.from = expr.from;
+    audit_query.where = expr.where ? expr.where->Clone() : nullptr;
+    auto audit_result = Execute(audit_query, state, exec);
+    if (!audit_result.ok()) return audit_result.status();
+    auto audit_tids = audit_result->ProjectLineageBitmap(common[0]);
+    if (!audit_tids.ok()) return audit_tids.status();
+    return query_tids->Intersects(*audit_tids);
+  }
+
   auto query_tuples = query_result.ProjectLineage(common);
   if (!query_tuples.ok()) return query_tuples.status();
   if (query_tuples->empty()) return false;

@@ -77,12 +77,11 @@ void StaticOnlyBatchVerdict(const AuditExpression& expr,
 
 /// Phase-5 greedy batch minimization: drops each profile (in id order) if
 /// the batch stays suspicious without it; returns the kept query ids.
-std::vector<int64_t> MinimizeBatch(const TargetView& view,
-                                   const std::vector<GranuleScheme>& schemes,
-                                   const AuditExpression& expr,
-                                   const std::vector<AccessProfile>& profiles,
-                                   const std::vector<int64_t>& profile_ids,
-                                   const SuspicionOptions& options);
+/// Propagates suspicion-check errors (e.g. unprojectable lineage).
+Result<std::vector<int64_t>> MinimizeBatch(
+    const TargetView& view, const std::vector<GranuleScheme>& schemes,
+    const AuditExpression& expr, const std::vector<AccessProfile>& profiles,
+    const std::vector<int64_t>& profile_ids, const SuspicionOptions& options);
 
 /// Tables common to the query's and the audit expression's FROM clauses,
 /// in the audit expression's order. Shared by the Agrawal and Motwani
@@ -94,11 +93,15 @@ std::vector<std::string> CommonTables(const sql::SelectStatement& query,
 /// tuple with the audit expression's target data over the `common`
 /// tables on `state`: both lineages are projected onto `common` and
 /// intersected. The core dynamic test of both baseline auditors.
+/// `tid_bitmaps` routes the single-common-table case through compressed
+/// tid bitmaps (word-wide Intersects instead of tuple-set probes); the
+/// answer and error statuses are identical either way.
 Result<bool> SharesIndispensableTuple(const QueryResult& query_result,
                                       const AuditExpression& expr,
                                       const std::vector<std::string>& common,
                                       const DatabaseView& state,
-                                      const ExecOptions& exec);
+                                      const ExecOptions& exec,
+                                      bool tid_bitmaps = true);
 
 }  // namespace audit
 }  // namespace auditdb

@@ -269,8 +269,9 @@ Result<AuditReport> Auditor::AuditPinned(const AuditExpression& parsed,
   auto batch_result = CheckBatchSuspicion(*view, schemes, expr.threshold,
                                           expr.indispensable, batch,
                                           options.suspicion);
-  report.batch_suspicious = batch_result.suspicious;
-  report.evidence = batch_result.Describe(*view, schemes);
+  if (!batch_result.ok()) return batch_result.status();
+  report.batch_suspicious = batch_result->suspicious;
+  report.evidence = batch_result->Describe(*view, schemes);
 
   if (options.per_query_verdicts) {
     std::unordered_map<int64_t, size_t> profile_by_id;
@@ -285,13 +286,16 @@ Result<AuditReport> Auditor::AuditPinned(const AuditExpression& parsed,
                                                expr.threshold,
                                                expr.indispensable, single,
                                                options.suspicion);
-      verdict.suspicious_alone = single_result.suspicious;
+      if (!single_result.ok()) return single_result.status();
+      verdict.suspicious_alone = single_result->suspicious;
     }
   }
 
   if (options.minimize_batch && report.batch_suspicious) {
-    report.minimal_batch = MinimizeBatch(*view, schemes, expr, profiles,
-                                         profile_ids, options.suspicion);
+    auto minimal = MinimizeBatch(*view, schemes, expr, profiles,
+                                 profile_ids, options.suspicion);
+    if (!minimal.ok()) return minimal.status();
+    report.minimal_batch = std::move(*minimal);
   }
   report.check_seconds = seconds_since(phase_start);
 

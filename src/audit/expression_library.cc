@@ -7,11 +7,13 @@ Result<ExpressionLibrary::AddOutcome> ExpressionLibrary::Add(
     const AuditExpression& expr) {
   auto candidate = std::make_unique<AuditExpression>(expr.Clone());
   AUDITDB_RETURN_IF_ERROR(candidate->Qualify(*catalog_));
+  SubsumptionProfile candidate_profile = SubsumptionProfile::Of(*candidate);
 
   AddOutcome outcome;
   // Covered by an existing member? Then it adds nothing.
   for (const auto& [id, member] : members_) {
-    if (Subsumes(*member, *candidate)) {
+    if (Subsumes(*member.expr, member.profile, *candidate,
+                 candidate_profile)) {
       outcome.added = false;
       outcome.id = id;
       return outcome;
@@ -19,7 +21,8 @@ Result<ExpressionLibrary::AddOutcome> ExpressionLibrary::Add(
   }
   // Evict members the newcomer covers.
   for (auto it = members_.begin(); it != members_.end();) {
-    if (Subsumes(*candidate, *it->second)) {
+    if (Subsumes(*candidate, candidate_profile, *it->second.expr,
+                 it->second.profile)) {
       outcome.evicted.push_back(it->first);
       it = members_.erase(it);
     } else {
@@ -28,13 +31,14 @@ Result<ExpressionLibrary::AddOutcome> ExpressionLibrary::Add(
   }
   outcome.added = true;
   outcome.id = next_id_++;
-  members_.emplace(outcome.id, std::move(candidate));
+  members_.emplace(outcome.id,
+                   Member{std::move(candidate), std::move(candidate_profile)});
   return outcome;
 }
 
 const AuditExpression* ExpressionLibrary::Get(int id) const {
   auto it = members_.find(id);
-  return it == members_.end() ? nullptr : it->second.get();
+  return it == members_.end() ? nullptr : it->second.expr.get();
 }
 
 std::vector<int> ExpressionLibrary::ids() const {

@@ -43,8 +43,15 @@ class ExpressionLibrary {
   size_t size() const { return members_.size(); }
 
  private:
+  struct Member {
+    std::unique_ptr<AuditExpression> expr;
+    /// Cached Subsumes inputs: computed once at admission, reused for
+    /// every later pairwise check against candidates.
+    SubsumptionProfile profile;
+  };
+
   const Catalog* catalog_;
-  std::map<int, std::unique_ptr<AuditExpression>> members_;
+  std::map<int, Member> members_;
   int next_id_ = 1;
 };
 

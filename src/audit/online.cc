@@ -141,7 +141,7 @@ void OnlineAuditor::RecomputeAccessCounts(Entry* entry) {
       for (size_t i = 0; i < state.tid_positions.size(); ++i) {
         auto it = entry->batch_tids.find(state.scheme.tid_tables[i]);
         if (it == entry->batch_tids.end() ||
-            it->second.count(fact.tids[state.tid_positions[i]]) == 0) {
+            !it->second.Contains(fact.tids[state.tid_positions[i]])) {
           accessed = false;
           break;
         }
@@ -211,8 +211,8 @@ Status OnlineAuditor::ObserveEntry(Entry* entry, const LoggedQuery& query,
     }
   }
   for (const auto& table : entry->expr.from) {
-    auto tids = ctx.profile->result.IndispensableTids(table);
-    entry->batch_tids[table].insert(tids.begin(), tids.end());
+    entry->batch_tids[table].Or(
+        ctx.profile->result.IndispensableTidBitmap(table));
   }
   RecomputeAccessCounts(entry);
   return Status::Ok();

@@ -177,8 +177,9 @@ class OnlineAuditor {
     uint64_t expr_hash = 0;
     TargetView view;
     std::vector<OnlineSchemeState> schemes;
-    /// Batch-accumulated indispensable tids per table.
-    std::map<std::string, std::set<Tid>> batch_tids;
+    /// Batch-accumulated indispensable tids per table, as compressed
+    /// bitmaps (unions are word-wide Ors as queries stream in).
+    std::map<std::string, TidBitmap> batch_tids;
     bool fired = false;
     /// Epoch fingerprint of the expression's FROM tables the view was
     /// built against; the view is stale iff the current fingerprint

@@ -81,12 +81,25 @@ bool FilterAdmitsAtLeast(const AccessFilter& outer,
   return true;
 }
 
+SubsumptionProfile SubsumptionProfile::Of(const AuditExpression& expr) {
+  SubsumptionProfile profile;
+  profile.from_set.insert(expr.from.begin(), expr.from.end());
+  profile.schemes = expr.attrs.EnumerateSchemes();
+  return profile;
+}
+
 bool Subsumes(const AuditExpression& stronger,
               const AuditExpression& weaker) {
+  return Subsumes(stronger, SubsumptionProfile::Of(stronger), weaker,
+                  SubsumptionProfile::Of(weaker));
+}
+
+bool Subsumes(const AuditExpression& stronger,
+              const SubsumptionProfile& stronger_profile,
+              const AuditExpression& weaker,
+              const SubsumptionProfile& weaker_profile) {
   // 1. Same FROM set.
-  std::set<std::string> from_s(stronger.from.begin(), stronger.from.end());
-  std::set<std::string> from_w(weaker.from.begin(), weaker.from.end());
-  if (from_s != from_w) return false;
+  if (stronger_profile.from_set != weaker_profile.from_set) return false;
 
   // 2. U containment, version by version.
   if (!ProvablyImplies(weaker.where.get(), stronger.where.get())) {
@@ -116,10 +129,9 @@ bool Subsumes(const AuditExpression& stronger,
 
   // 6. Scheme covering: accessing any weaker scheme must force some
   // stronger scheme.
-  auto strong_schemes = stronger.attrs.EnumerateSchemes();
-  for (const auto& weak_scheme : weaker.attrs.EnumerateSchemes()) {
+  for (const auto& weak_scheme : weaker_profile.schemes) {
     bool forced = false;
-    for (const auto& strong_scheme : strong_schemes) {
+    for (const auto& strong_scheme : stronger_profile.schemes) {
       if (std::includes(weak_scheme.begin(), weak_scheme.end(),
                         strong_scheme.begin(), strong_scheme.end())) {
         forced = true;

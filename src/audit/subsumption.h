@@ -1,10 +1,27 @@
 #ifndef AUDITDB_AUDIT_SUBSUMPTION_H_
 #define AUDITDB_AUDIT_SUBSUMPTION_H_
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "src/audit/audit_expression.h"
 
 namespace auditdb {
 namespace audit {
+
+/// Derived per-expression inputs of the Subsumes proof steps, hoisted out
+/// of the hot pairwise loop: the FROM table set (step 1) and the
+/// enumerated granule schemes (step 6) are pure functions of the
+/// expression, so libraries checking one candidate against N standing
+/// expressions precompute them once per expression instead of rebuilding
+/// them on every call.
+struct SubsumptionProfile {
+  std::set<std::string> from_set;
+  std::vector<std::set<ColumnRef>> schemes;
+
+  static SubsumptionProfile Of(const AuditExpression& expr);
+};
 
 /// Conservative subsumption test between audit expressions: true only
 /// when every batch suspicious under `weaker` is provably suspicious
@@ -28,6 +45,14 @@ namespace audit {
 /// Both expressions must be qualified. Returns false whenever a proof
 /// step fails — never a false positive.
 bool Subsumes(const AuditExpression& stronger, const AuditExpression& weaker);
+
+/// Profile-carrying overload: identical answer, but steps 1 and 6 read
+/// the precomputed profiles. `stronger_profile`/`weaker_profile` must be
+/// SubsumptionProfile::Of the respective expressions.
+bool Subsumes(const AuditExpression& stronger,
+              const SubsumptionProfile& stronger_profile,
+              const AuditExpression& weaker,
+              const SubsumptionProfile& weaker_profile);
 
 /// Whether `outer` admits every logged access `inner` admits
 /// (conservative; exposed for tests and expression-library tooling).

@@ -1,5 +1,6 @@
 #include "src/audit/suspicion.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -33,104 +34,114 @@ std::string SuspicionResult::Describe(
   return out;
 }
 
-namespace {
-
-/// Precomputed batch-level access state.
-class BatchIndex {
- public:
-  explicit BatchIndex(const std::vector<const AccessProfile*>& batch)
-      : batch_(batch) {}
-
-  /// Whether any query in the batch references `col`.
-  bool Accesses(const ColumnRef& col) const {
-    for (const auto* profile : batch_) {
-      if (profile->Accesses(col)) return true;
-    }
-    return false;
+bool BatchIndex::Accesses(const ColumnRef& col) const {
+  for (const auto* profile : batch_) {
+    if (profile->Accesses(col)) return true;
   }
+  return false;
+}
 
-  /// Union of per-query indispensable tids for `table` (cached). Pure
-  /// membership probes, so an unordered set suffices.
-  const std::unordered_set<Tid>& IndispensableTids(const std::string& table) {
-    auto it = tid_union_.find(table);
-    if (it != tid_union_.end()) return it->second;
-    std::unordered_set<Tid> tids;
-    for (const auto* profile : batch_) {
-      auto per_query = profile->result.IndispensableTids(table);
-      tids.insert(per_query.begin(), per_query.end());
-    }
-    return tid_union_.emplace(table, std::move(tids)).first->second;
+const std::unordered_set<Tid>& BatchIndex::IndispensableTids(
+    const std::string& table) {
+  auto it = tid_union_.find(table);
+  if (it != tid_union_.end()) return it->second;
+  std::unordered_set<Tid> tids;
+  for (const auto* profile : batch_) {
+    auto per_query = profile->result.IndispensableTids(table);
+    tids.insert(per_query.begin(), per_query.end());
   }
+  return tid_union_.emplace(table, std::move(tids)).first->second;
+}
 
-  /// Whether some single query's lineage contains the tid tuple `tids`
-  /// over `tables` (joint witness).
-  bool JointlyWitnessed(const std::vector<std::string>& tables,
-                        const std::vector<Tid>& tids) {
-    for (size_t q = 0; q < batch_.size(); ++q) {
-      auto key = std::make_pair(q, tables);
-      auto it = joint_.find(key);
-      if (it == joint_.end()) {
-        auto projected = batch_[q]->result.ProjectLineage(tables);
-        // A query not covering all tables has no joint witness.
-        std::unordered_set<std::vector<Tid>, VectorHash<Tid>> tuples;
-        if (projected.ok()) {
-          tuples.insert(projected->begin(), projected->end());
-        }
-        it = joint_.emplace(std::move(key), std::move(tuples)).first;
+const TidBitmap& BatchIndex::IndispensableTidBitmap(const std::string& table) {
+  auto it = tid_bitmap_union_.find(table);
+  if (it != tid_bitmap_union_.end()) return it->second;
+  TidBitmap tids;
+  for (const auto* profile : batch_) {
+    tids.Or(profile->result.IndispensableTidBitmap(table));
+  }
+  return tid_bitmap_union_.emplace(table, std::move(tids)).first->second;
+}
+
+bool BatchIndex::IndispensableContains(const std::string& table, Tid tid) {
+  if (options_.tid_bitmaps) {
+    return IndispensableTidBitmap(table).Contains(tid);
+  }
+  return IndispensableTids(table).count(tid) > 0;
+}
+
+Result<bool> BatchIndex::JointlyWitnessed(
+    const std::vector<std::string>& tables, const std::vector<Tid>& tids) {
+  for (size_t q = 0; q < batch_.size(); ++q) {
+    const auto& from = batch_[q]->result.from;
+    // A query whose FROM clause lacks one of the tables legitimately has
+    // no joint witness over them; skip it without touching the lineage.
+    bool covers = true;
+    for (const auto& t : tables) {
+      if (std::find(from.begin(), from.end(), t) == from.end()) {
+        covers = false;
+        break;
       }
-      if (it->second.count(tids) > 0) return true;
     }
-    return false;
-  }
+    if (!covers) continue;
 
-  /// Whether some query outputs `col` with `value` among its results.
-  bool OutputsValue(const ColumnRef& col, const Value& value) {
-    for (size_t q = 0; q < batch_.size(); ++q) {
-      if (!batch_[q]->Outputs(col)) continue;
-      auto key = std::make_pair(q, col);
-      auto it = values_.find(key);
-      if (it == values_.end()) {
-        auto column_values = batch_[q]->result.ColumnValues(col);
-        std::unordered_set<Value> values(column_values.begin(),
-                                         column_values.end());
-        it = values_.emplace(std::move(key), std::move(values)).first;
+    if (options_.tid_bitmaps && tables.size() == 1) {
+      auto key = std::make_pair(q, tables[0]);
+      auto it = joint_single_.find(key);
+      if (it == joint_single_.end()) {
+        auto projected = batch_[q]->result.ProjectLineageBitmap(tables[0]);
+        if (!projected.ok()) return projected.status();
+        it = joint_single_.emplace(std::move(key), std::move(*projected))
+                 .first;
       }
-      if (it->second.count(value) > 0) return true;
+      if (it->second.Contains(tids[0])) return true;
+      continue;
     }
-    return false;
-  }
 
-  bool OutputsColumn(const ColumnRef& col) const {
-    for (const auto* profile : batch_) {
-      if (profile->Outputs(col)) return true;
+    auto key = std::make_pair(q, tables);
+    auto it = joint_.find(key);
+    if (it == joint_.end()) {
+      auto projected = batch_[q]->result.ProjectLineage(tables);
+      if (!projected.ok()) return projected.status();
+      std::unordered_set<std::vector<Tid>, VectorHash<Tid>> tuples(
+          projected->begin(), projected->end());
+      it = joint_.emplace(std::move(key), std::move(tuples)).first;
     }
-    return false;
+    if (it->second.count(tids) > 0) return true;
   }
+  return false;
+}
 
- private:
-  const std::vector<const AccessProfile*>& batch_;
-  std::unordered_map<std::string, std::unordered_set<Tid>> tid_union_;
-  std::unordered_map<
-      std::pair<size_t, std::vector<std::string>>,
-      std::unordered_set<std::vector<Tid>, VectorHash<Tid>>,
-      PairHash<size_t, std::vector<std::string>, std::hash<size_t>,
-               VectorHash<std::string>>>
-      joint_;
-  std::unordered_map<std::pair<size_t, ColumnRef>, std::unordered_set<Value>,
-                     PairHash<size_t, ColumnRef, std::hash<size_t>,
-                              ColumnRefHash>>
-      values_;
-};
+bool BatchIndex::OutputsValue(const ColumnRef& col, const Value& value) {
+  for (size_t q = 0; q < batch_.size(); ++q) {
+    if (!batch_[q]->Outputs(col)) continue;
+    auto key = std::make_pair(q, col);
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      auto column_values = batch_[q]->result.ColumnValues(col);
+      std::unordered_set<Value> values(column_values.begin(),
+                                       column_values.end());
+      it = values_.emplace(std::move(key), std::move(values)).first;
+    }
+    if (it->second.count(value) > 0) return true;
+  }
+  return false;
+}
 
-}  // namespace
+bool BatchIndex::OutputsColumn(const ColumnRef& col) const {
+  for (const auto* profile : batch_) {
+    if (profile->Outputs(col)) return true;
+  }
+  return false;
+}
 
-SuspicionResult CheckBatchSuspicion(
+Result<SuspicionResult> CheckBatchSuspicion(
     const TargetView& view, const std::vector<GranuleScheme>& schemes,
     Threshold threshold, bool indispensable,
     const std::vector<const AccessProfile*>& batch,
     const SuspicionOptions& options) {
   SuspicionResult result;
-  BatchIndex index(batch);
+  BatchIndex index(batch, options);
   // Columnar projection of the view, shared by every scheme's validity
   // screen.
   Batch view_batch = view.ToBatch();
@@ -186,39 +197,69 @@ SuspicionResult CheckBatchSuspicion(
 
       // NULL cells disclose nothing: facts with a NULL scheme attribute
       // are outside this scheme. The batch screen yields the rest in
-      // fact order.
-      std::vector<size_t> valid_rows = NonNullRows(view_batch, attr_cols);
+      // fact order (the bitmap arm iterates rows ascending — identical).
+      std::vector<size_t> valid_rows;
+      if (options.tid_bitmaps) {
+        NonNullBitmap(view_batch, attr_cols).ForEach([&](int64_t row) {
+          valid_rows.push_back(static_cast<size_t>(row));
+        });
+      } else {
+        valid_rows = NonNullRows(view_batch, attr_cols);
+      }
       valid_count = valid_rows.size();
-      for (size_t f : valid_rows) {
-        const TargetView::Fact& fact = view.facts[f];
-        bool accessed = true;
-        if (indispensable) {
-          if (options.mode == IndispensabilityMode::kPerTable) {
-            for (size_t i = 0; i < tid_positions.size(); ++i) {
-              const auto& tids =
-                  index.IndispensableTids(scheme.tid_tables[i]);
-              if (tids.count(fact.tids[tid_positions[i]]) == 0) {
+
+      // Word-wide prescreen (bitmap arm, per-table mode): if the view's
+      // tids for some scheme table never intersect the batch's
+      // indispensable union, the per-fact probes below would reject every
+      // fact — skip them.
+      bool can_access = true;
+      if (indispensable && options.tid_bitmaps &&
+          options.mode == IndispensabilityMode::kPerTable &&
+          view.table_tids.size() == view.tables.size()) {
+        for (size_t i = 0; i < tid_positions.size(); ++i) {
+          if (!view.table_tids[tid_positions[i]].Intersects(
+                  index.IndispensableTidBitmap(scheme.tid_tables[i]))) {
+            can_access = false;
+            break;
+          }
+        }
+      }
+
+      if (can_access) {
+        for (size_t f : valid_rows) {
+          const TargetView::Fact& fact = view.facts[f];
+          bool accessed = true;
+          if (indispensable) {
+            if (options.mode == IndispensabilityMode::kPerTable) {
+              for (size_t i = 0; i < tid_positions.size(); ++i) {
+                if (!index.IndispensableContains(
+                        scheme.tid_tables[i],
+                        fact.tids[tid_positions[i]])) {
+                  accessed = false;
+                  break;
+                }
+              }
+            } else {
+              std::vector<Tid> tuple;
+              tuple.reserve(tid_positions.size());
+              for (size_t p : tid_positions) tuple.push_back(fact.tids[p]);
+              auto witnessed =
+                  index.JointlyWitnessed(scheme.tid_tables, tuple);
+              if (!witnessed.ok()) return witnessed.status();
+              accessed = *witnessed;
+            }
+          } else {
+            for (const auto& attr : scheme.attrs) {
+              auto idx = view.ColumnIndex(attr);
+              if (!idx.ok() ||
+                  !index.OutputsValue(attr, fact.values[*idx])) {
                 accessed = false;
                 break;
               }
             }
-          } else {
-            std::vector<Tid> tuple;
-            tuple.reserve(tid_positions.size());
-            for (size_t p : tid_positions) tuple.push_back(fact.tids[p]);
-            accessed = index.JointlyWitnessed(scheme.tid_tables, tuple);
           }
-        } else {
-          for (const auto& attr : scheme.attrs) {
-            auto idx = view.ColumnIndex(attr);
-            if (!idx.ok() ||
-                !index.OutputsValue(attr, fact.values[*idx])) {
-              accessed = false;
-              break;
-            }
-          }
+          if (accessed) access.accessed_facts.push_back(f);
         }
-        if (accessed) access.accessed_facts.push_back(f);
       }
     }
 

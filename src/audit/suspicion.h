@@ -2,9 +2,14 @@
 #define AUDITDB_AUDIT_SUSPICION_H_
 
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/audit/granule.h"
+#include "src/common/hashing.h"
+#include "src/common/tid_bitmap.h"
 #include "src/engine/lineage.h"
 
 namespace auditdb {
@@ -25,6 +30,11 @@ enum class IndispensabilityMode {
 
 struct SuspicionOptions {
   IndispensabilityMode mode = IndispensabilityMode::kPerTable;
+  /// Run indispensability bookkeeping over compressed tid bitmaps
+  /// (common/tid_bitmap.h) instead of hash sets. Verdicts are
+  /// byte-identical either way; off is the ablation baseline the
+  /// differential tests pin against.
+  bool tid_bitmaps = true;
 };
 
 /// Access outcome for one granule scheme.
@@ -50,6 +60,67 @@ struct SuspicionResult {
                        const std::vector<GranuleScheme>& schemes) const;
 };
 
+/// Precomputed batch-level access state: per-table indispensable-tid
+/// unions (hash sets or compressed bitmaps, per SuspicionOptions), joint
+/// lineage projections, and output-value sets, each cached on first use.
+/// Holds the profile pointer vector by value — the profiles themselves
+/// must outlive the index, but the vector argument may be a temporary.
+class BatchIndex {
+ public:
+  explicit BatchIndex(std::vector<const AccessProfile*> batch,
+                      const SuspicionOptions& options = SuspicionOptions{})
+      : batch_(std::move(batch)), options_(options) {}
+
+  /// Whether any query in the batch references `col`.
+  bool Accesses(const ColumnRef& col) const;
+
+  /// Union of per-query indispensable tids for `table` (cached), as a
+  /// hash set. The ablation-baseline representation.
+  const std::unordered_set<Tid>& IndispensableTids(const std::string& table);
+
+  /// The same union as a compressed bitmap: built with word-wide Or over
+  /// per-query bitmaps.
+  const TidBitmap& IndispensableTidBitmap(const std::string& table);
+
+  /// Membership probe against the union, dispatching on the configured
+  /// representation.
+  bool IndispensableContains(const std::string& table, Tid tid);
+
+  /// Whether some single query's lineage contains the tid tuple `tids`
+  /// over `tables` (joint witness). A query whose FROM clause lacks one
+  /// of the tables legitimately has no joint witness; any other lineage
+  /// projection failure (e.g. ragged lineage rows) is a real error and
+  /// propagates.
+  Result<bool> JointlyWitnessed(const std::vector<std::string>& tables,
+                                const std::vector<Tid>& tids);
+
+  /// Whether some query outputs `col` with `value` among its results.
+  bool OutputsValue(const ColumnRef& col, const Value& value);
+
+  bool OutputsColumn(const ColumnRef& col) const;
+
+ private:
+  std::vector<const AccessProfile*> batch_;
+  SuspicionOptions options_;
+  std::unordered_map<std::string, std::unordered_set<Tid>> tid_union_;
+  std::unordered_map<std::string, TidBitmap> tid_bitmap_union_;
+  std::unordered_map<
+      std::pair<size_t, std::vector<std::string>>,
+      std::unordered_set<std::vector<Tid>, VectorHash<Tid>>,
+      PairHash<size_t, std::vector<std::string>, std::hash<size_t>,
+               VectorHash<std::string>>>
+      joint_;
+  /// Single-table joint witnesses as per-query bitmaps (bitmap mode).
+  std::unordered_map<std::pair<size_t, std::string>, TidBitmap,
+                     PairHash<size_t, std::string, std::hash<size_t>,
+                              std::hash<std::string>>>
+      joint_single_;
+  std::unordered_map<std::pair<size_t, ColumnRef>, std::unordered_set<Value>,
+                     PairHash<size_t, ColumnRef, std::hash<size_t>,
+                              ColumnRefHash>>
+      values_;
+};
+
 /// Decides whether the batch of queries (given by their access profiles,
 /// each computed on the database state that query actually ran against)
 /// accesses any granule of the audit expression's granule set.
@@ -65,13 +136,14 @@ struct SuspicionResult {
 /// The scheme fires when at least `threshold` facts (ALL: every valid
 /// fact, and at least one) are accessed; the batch is suspicious when any
 /// scheme fires.
-SuspicionResult CheckBatchSuspicion(const TargetView& view,
-                                    const std::vector<GranuleScheme>& schemes,
-                                    Threshold threshold, bool indispensable,
-                                    const std::vector<const AccessProfile*>&
-                                        batch,
-                                    const SuspicionOptions& options =
-                                        SuspicionOptions{});
+///
+/// Errors (rather than silently under-reporting) when a query's lineage
+/// cannot be projected for a joint-witness check.
+Result<SuspicionResult> CheckBatchSuspicion(
+    const TargetView& view, const std::vector<GranuleScheme>& schemes,
+    Threshold threshold, bool indispensable,
+    const std::vector<const AccessProfile*>& batch,
+    const SuspicionOptions& options = SuspicionOptions{});
 
 /// --- Canonical suspicion notions expressed in the unified model ---
 /// Each takes a base audit expression (target data + limiting clauses)

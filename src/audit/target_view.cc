@@ -36,6 +36,15 @@ Result<size_t> TargetView::TableIndex(const std::string& table) const {
   return Status::NotFound("no table " + table + " in target view");
 }
 
+void TargetView::RebuildTidIndex() {
+  table_tids.assign(tables.size(), TidBitmap());
+  for (const Fact& fact : facts) {
+    for (size_t i = 0; i < fact.tids.size() && i < table_tids.size(); ++i) {
+      table_tids[i].Add(fact.tids[i]);
+    }
+  }
+}
+
 Batch TargetView::ToBatch() const {
   Batch batch;
   batch.num_rows = facts.size();
@@ -113,6 +122,7 @@ Result<TargetView> ComputeTargetView(const AuditExpression& expr,
     view.facts.push_back(TargetView::Fact{result->lineage[i],
                                           result->rows[i], version});
   }
+  view.RebuildTidIndex();
   return view;
 }
 
@@ -136,6 +146,7 @@ Result<TargetView> ComputeTargetViewOverVersions(const AuditExpression& expr,
       merged.facts.push_back(std::move(fact));
     }
   }
+  merged.RebuildTidIndex();
   return merged;
 }
 

@@ -36,8 +36,16 @@ struct TargetView {
   std::vector<ColumnRef> columns;
   /// Distinct facts, in first-observed order.
   std::vector<Fact> facts;
+  /// Compressed lineage index: table_tids[i] holds every tid appearing in
+  /// facts' position i (aligned with `tables`). Populated by the view
+  /// builders via RebuildTidIndex(); hand-assembled views may leave it
+  /// empty, in which case bitmap consumers fall back to the facts.
+  std::vector<TidBitmap> table_tids;
 
   size_t size() const { return facts.size(); }
+
+  /// Recomputes `table_tids` from `facts`. Call after mutating facts.
+  void RebuildTidIndex();
 
   /// Index of `col` in `columns`, or error.
   Result<size_t> ColumnIndex(const ColumnRef& col) const;

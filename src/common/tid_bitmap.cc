@@ -1,0 +1,421 @@
+#include "src/common/tid_bitmap.h"
+
+#include <algorithm>
+
+namespace auditdb {
+
+namespace {
+
+uint64_t Popcount(const std::vector<uint64_t>& words) {
+  uint64_t n = 0;
+  for (uint64_t w : words) n += static_cast<uint64_t>(std::popcount(w));
+  return n;
+}
+
+}  // namespace
+
+bool TidBitmap::Chunk::Probe(uint16_t low) const {
+  if (dense()) {
+    return (words[low >> 6] >> (low & 63)) & 1;
+  }
+  return std::binary_search(array.begin(), array.end(), low);
+}
+
+void TidBitmap::Densify(Chunk& chunk) {
+  chunk.words.assign(kWordsPerChunk, 0);
+  for (uint16_t low : chunk.array) {
+    chunk.words[low >> 6] |= 1ull << (low & 63);
+  }
+  chunk.array.clear();
+  chunk.array.shrink_to_fit();
+}
+
+void TidBitmap::SparsifyIfSmall(Chunk& chunk) {
+  if (!chunk.dense() || chunk.cardinality > kArrayMax) return;
+  std::vector<uint16_t> array;
+  array.reserve(chunk.cardinality);
+  for (uint32_t w = 0; w < kWordsPerChunk; ++w) {
+    uint64_t bits = chunk.words[w];
+    while (bits != 0) {
+      uint32_t b = static_cast<uint32_t>(std::countr_zero(bits));
+      array.push_back(static_cast<uint16_t>(w * 64 + b));
+      bits &= bits - 1;
+    }
+  }
+  chunk.array = std::move(array);
+  chunk.words.clear();
+  chunk.words.shrink_to_fit();
+}
+
+TidBitmap::Chunk* TidBitmap::FindChunk(uint64_t key) {
+  if (chunks_.empty()) return nullptr;
+  // Contiguous-key fast path: a bulk-loaded bitmap (the common dense
+  // case) has chunk i at key front+i, making lookup O(1) instead of a
+  // binary search whose probes scatter across the chunk array.
+  const uint64_t front = chunks_.front().key;
+  if (key >= front) {
+    const uint64_t offset = key - front;
+    if (offset < chunks_.size() && chunks_[offset].key == key) {
+      return &chunks_[offset];
+    }
+  }
+  auto it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const Chunk& c, uint64_t k) { return c.key < k; });
+  if (it == chunks_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+const TidBitmap::Chunk* TidBitmap::FindChunk(uint64_t key) const {
+  return const_cast<TidBitmap*>(this)->FindChunk(key);
+}
+
+void TidBitmap::RecomputeCardinality() {
+  cardinality_ = 0;
+  for (const Chunk& c : chunks_) cardinality_ += c.cardinality;
+}
+
+void TidBitmap::Add(int64_t tid) {
+  uint64_t u = Encode(tid);
+  uint64_t key = u >> kChunkBits;
+  uint16_t low = static_cast<uint16_t>(u & (kChunkSize - 1));
+
+  Chunk* chunk = nullptr;
+  if (!chunks_.empty() && chunks_.back().key == key) {
+    chunk = &chunks_.back();
+  } else if (chunks_.empty() || chunks_.back().key < key) {
+    // Ascending-insert fast path: new highest chunk.
+    chunks_.push_back(Chunk{key, {}, {}, 0});
+    chunk = &chunks_.back();
+  } else {
+    auto it = std::lower_bound(
+        chunks_.begin(), chunks_.end(), key,
+        [](const Chunk& c, uint64_t k) { return c.key < k; });
+    if (it == chunks_.end() || it->key != key) {
+      it = chunks_.insert(it, Chunk{key, {}, {}, 0});
+    }
+    chunk = &*it;
+  }
+
+  if (chunk->dense()) {
+    uint64_t& word = chunk->words[low >> 6];
+    uint64_t bit = 1ull << (low & 63);
+    if (word & bit) return;
+    word |= bit;
+  } else {
+    if (chunk->array.empty() || chunk->array.back() < low) {
+      chunk->array.push_back(low);
+    } else {
+      auto it = std::lower_bound(chunk->array.begin(), chunk->array.end(),
+                                 low);
+      if (it != chunk->array.end() && *it == low) return;
+      chunk->array.insert(it, low);
+    }
+  }
+  ++chunk->cardinality;
+  ++cardinality_;
+  if (!chunk->dense() && chunk->cardinality > kArrayMax) Densify(*chunk);
+}
+
+void TidBitmap::AddRange(int64_t begin, int64_t end) {
+  if (begin >= end) return;
+  const uint64_t u_first = Encode(begin);
+  const uint64_t u_last = Encode(end - 1);
+  const uint64_t key_first = u_first >> kChunkBits;
+  const uint64_t key_last = u_last >> kChunkBits;
+  if (!chunks_.empty() && key_first <= chunks_.back().key) {
+    // Overlaps existing chunks: take the per-tid path.
+    for (int64_t t = begin; t != end; ++t) Add(t);
+    return;
+  }
+  for (uint64_t key = key_first;; ++key) {
+    const uint32_t lo =
+        key == key_first
+            ? static_cast<uint32_t>(u_first & (kChunkSize - 1))
+            : 0;
+    const uint32_t hi =  // inclusive
+        key == key_last
+            ? static_cast<uint32_t>(u_last & (kChunkSize - 1))
+            : kChunkSize - 1;
+    const uint32_t count = hi - lo + 1;
+    chunks_.push_back(Chunk{key, {}, {}, count});
+    Chunk& c = chunks_.back();
+    if (count > kArrayMax) {
+      c.words.assign(kWordsPerChunk, 0);
+      const uint32_t w0 = lo >> 6;
+      const uint32_t w1 = hi >> 6;
+      for (uint32_t w = w0; w <= w1; ++w) {
+        uint64_t word = ~0ull;
+        if (w == w0) word &= ~0ull << (lo & 63);
+        if (w == w1) word &= ~0ull >> (63 - (hi & 63));
+        c.words[w] = word;
+      }
+    } else {
+      c.array.reserve(count);
+      for (uint32_t v = lo; v <= hi; ++v) {
+        c.array.push_back(static_cast<uint16_t>(v));
+      }
+    }
+    cardinality_ += count;
+    if (key == key_last) break;
+  }
+}
+
+bool TidBitmap::Contains(int64_t tid) const {
+  uint64_t u = Encode(tid);
+  const Chunk* chunk = FindChunk(u >> kChunkBits);
+  if (chunk == nullptr) return false;
+  return chunk->Probe(static_cast<uint16_t>(u & (kChunkSize - 1)));
+}
+
+void TidBitmap::Clear() {
+  chunks_.clear();
+  cardinality_ = 0;
+}
+
+void TidBitmap::OrInto(Chunk& dst, const Chunk& src) {
+  if (dst.dense()) {
+    if (src.dense()) {
+      for (uint32_t w = 0; w < kWordsPerChunk; ++w) {
+        dst.words[w] |= src.words[w];
+      }
+    } else {
+      for (uint16_t low : src.array) dst.words[low >> 6] |= 1ull << (low & 63);
+    }
+    dst.cardinality = static_cast<uint32_t>(Popcount(dst.words));
+    return;
+  }
+  if (src.dense()) {
+    std::vector<uint64_t> words = src.words;
+    for (uint16_t low : dst.array) words[low >> 6] |= 1ull << (low & 63);
+    dst.words = std::move(words);
+    dst.array.clear();
+    dst.array.shrink_to_fit();
+    dst.cardinality = static_cast<uint32_t>(Popcount(dst.words));
+    return;
+  }
+  std::vector<uint16_t> merged;
+  merged.reserve(dst.array.size() + src.array.size());
+  std::set_union(dst.array.begin(), dst.array.end(), src.array.begin(),
+                 src.array.end(), std::back_inserter(merged));
+  dst.array = std::move(merged);
+  dst.cardinality = static_cast<uint32_t>(dst.array.size());
+  if (dst.cardinality > kArrayMax) Densify(dst);
+}
+
+void TidBitmap::AndInto(Chunk& dst, const Chunk& src) {
+  if (dst.dense() && src.dense()) {
+    for (uint32_t w = 0; w < kWordsPerChunk; ++w) {
+      dst.words[w] &= src.words[w];
+    }
+    dst.cardinality = static_cast<uint32_t>(Popcount(dst.words));
+    SparsifyIfSmall(dst);
+    return;
+  }
+  if (dst.dense()) {
+    // src sparse: the result fits in an array (<= src size <= kArrayMax).
+    std::vector<uint16_t> kept;
+    for (uint16_t low : src.array) {
+      if ((dst.words[low >> 6] >> (low & 63)) & 1) kept.push_back(low);
+    }
+    dst.array = std::move(kept);
+    dst.words.clear();
+    dst.words.shrink_to_fit();
+    dst.cardinality = static_cast<uint32_t>(dst.array.size());
+    return;
+  }
+  std::vector<uint16_t> kept;
+  if (src.dense()) {
+    for (uint16_t low : dst.array) {
+      if ((src.words[low >> 6] >> (low & 63)) & 1) kept.push_back(low);
+    }
+  } else {
+    std::set_intersection(dst.array.begin(), dst.array.end(),
+                          src.array.begin(), src.array.end(),
+                          std::back_inserter(kept));
+  }
+  dst.array = std::move(kept);
+  dst.cardinality = static_cast<uint32_t>(dst.array.size());
+}
+
+void TidBitmap::AndNotInto(Chunk& dst, const Chunk& src) {
+  if (dst.dense() && src.dense()) {
+    for (uint32_t w = 0; w < kWordsPerChunk; ++w) {
+      dst.words[w] &= ~src.words[w];
+    }
+    dst.cardinality = static_cast<uint32_t>(Popcount(dst.words));
+    SparsifyIfSmall(dst);
+    return;
+  }
+  if (dst.dense()) {
+    for (uint16_t low : src.array) {
+      uint64_t& word = dst.words[low >> 6];
+      uint64_t bit = 1ull << (low & 63);
+      if (word & bit) {
+        word &= ~bit;
+        --dst.cardinality;
+      }
+    }
+    SparsifyIfSmall(dst);
+    return;
+  }
+  std::vector<uint16_t> kept;
+  if (src.dense()) {
+    for (uint16_t low : dst.array) {
+      if (((src.words[low >> 6] >> (low & 63)) & 1) == 0) kept.push_back(low);
+    }
+  } else {
+    std::set_difference(dst.array.begin(), dst.array.end(), src.array.begin(),
+                        src.array.end(), std::back_inserter(kept));
+  }
+  dst.array = std::move(kept);
+  dst.cardinality = static_cast<uint32_t>(dst.array.size());
+}
+
+bool TidBitmap::ChunksIntersect(const Chunk& a, const Chunk& b) {
+  if (a.dense() && b.dense()) {
+    for (uint32_t w = 0; w < kWordsPerChunk; ++w) {
+      if (a.words[w] & b.words[w]) return true;
+    }
+    return false;
+  }
+  if (a.dense() || b.dense()) {
+    const Chunk& sparse = a.dense() ? b : a;
+    const Chunk& dense = a.dense() ? a : b;
+    for (uint16_t low : sparse.array) {
+      if ((dense.words[low >> 6] >> (low & 63)) & 1) return true;
+    }
+    return false;
+  }
+  auto ai = a.array.begin();
+  auto bi = b.array.begin();
+  while (ai != a.array.end() && bi != b.array.end()) {
+    if (*ai == *bi) return true;
+    if (*ai < *bi) {
+      ++ai;
+    } else {
+      ++bi;
+    }
+  }
+  return false;
+}
+
+void TidBitmap::Or(const TidBitmap& other) {
+  if (&other == this || other.chunks_.empty()) return;
+  if (chunks_.empty()) {
+    chunks_ = other.chunks_;
+    cardinality_ = other.cardinality_;
+    return;
+  }
+  std::vector<Chunk> merged;
+  merged.reserve(chunks_.size() + other.chunks_.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < chunks_.size() && j < other.chunks_.size()) {
+    if (chunks_[i].key < other.chunks_[j].key) {
+      merged.push_back(std::move(chunks_[i++]));
+    } else if (chunks_[i].key > other.chunks_[j].key) {
+      merged.push_back(other.chunks_[j++]);
+    } else {
+      Chunk chunk = std::move(chunks_[i++]);
+      OrInto(chunk, other.chunks_[j++]);
+      merged.push_back(std::move(chunk));
+    }
+  }
+  while (i < chunks_.size()) merged.push_back(std::move(chunks_[i++]));
+  while (j < other.chunks_.size()) merged.push_back(other.chunks_[j++]);
+  chunks_ = std::move(merged);
+  RecomputeCardinality();
+}
+
+void TidBitmap::And(const TidBitmap& other) {
+  if (&other == this || chunks_.empty()) return;
+  std::vector<Chunk> kept;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < chunks_.size() && j < other.chunks_.size()) {
+    if (chunks_[i].key < other.chunks_[j].key) {
+      ++i;
+    } else if (chunks_[i].key > other.chunks_[j].key) {
+      ++j;
+    } else {
+      Chunk chunk = std::move(chunks_[i++]);
+      AndInto(chunk, other.chunks_[j++]);
+      if (chunk.cardinality > 0) kept.push_back(std::move(chunk));
+    }
+  }
+  chunks_ = std::move(kept);
+  RecomputeCardinality();
+}
+
+void TidBitmap::AndNot(const TidBitmap& other) {
+  if (&other == this) {
+    Clear();
+    return;
+  }
+  if (chunks_.empty() || other.chunks_.empty()) return;
+  std::vector<Chunk> kept;
+  kept.reserve(chunks_.size());
+  size_t j = 0;
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    while (j < other.chunks_.size() && other.chunks_[j].key < chunks_[i].key) {
+      ++j;
+    }
+    Chunk chunk = std::move(chunks_[i]);
+    if (j < other.chunks_.size() && other.chunks_[j].key == chunk.key) {
+      AndNotInto(chunk, other.chunks_[j]);
+    }
+    if (chunk.cardinality > 0) kept.push_back(std::move(chunk));
+  }
+  chunks_ = std::move(kept);
+  RecomputeCardinality();
+}
+
+bool TidBitmap::Intersects(const TidBitmap& other) const {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < chunks_.size() && j < other.chunks_.size()) {
+    if (chunks_[i].key < other.chunks_[j].key) {
+      ++i;
+    } else if (chunks_[i].key > other.chunks_[j].key) {
+      ++j;
+    } else {
+      if (ChunksIntersect(chunks_[i], other.chunks_[j])) return true;
+      ++i;
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::vector<int64_t> TidBitmap::ToVector() const {
+  std::vector<int64_t> out;
+  out.reserve(cardinality_);
+  ForEach([&](int64_t tid) { out.push_back(tid); });
+  return out;
+}
+
+size_t TidBitmap::SizeBytes() const {
+  size_t bytes = chunks_.capacity() * sizeof(Chunk);
+  for (const Chunk& c : chunks_) {
+    bytes += c.array.capacity() * sizeof(uint16_t);
+    bytes += c.words.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+bool TidBitmap::operator==(const TidBitmap& other) const {
+  if (cardinality_ != other.cardinality_) return false;
+  if (chunks_.size() != other.chunks_.size()) return false;
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    const Chunk& a = chunks_[i];
+    const Chunk& b = other.chunks_[i];
+    // Representation is canonical (dense iff cardinality > kArrayMax), so
+    // structural comparison is set comparison.
+    if (a.key != b.key || a.cardinality != b.cardinality) return false;
+    if (a.array != b.array || a.words != b.words) return false;
+  }
+  return true;
+}
+
+}  // namespace auditdb

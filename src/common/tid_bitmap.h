@@ -1,0 +1,132 @@
+#ifndef AUDITDB_COMMON_TID_BITMAP_H_
+#define AUDITDB_COMMON_TID_BITMAP_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace auditdb {
+
+/// Compressed set of tuple ids (roaring-style).
+///
+/// The 64-bit tid space is chunked on the high 48 bits; each chunk holds
+/// the low 16 bits of its members either as a sorted uint16 array (sparse,
+/// <= kArrayMax entries) or as a packed 1024-word bitset (dense). And/Or/
+/// AndNot/Intersects run word-wide on dense chunks and two-pointer on
+/// sparse ones, so set algebra over millions of tids touches cache lines,
+/// not hash buckets.
+///
+/// Tids are signed (`Tid` in storage/table.h is int64_t); internally each
+/// tid is mapped through a sign-bit flip so that ascending unsigned chunk
+/// order is ascending signed tid order. ForEach/ToVector therefore yield
+/// tids in ascending order — the same order a std::set<Tid> iterates —
+/// which keeps every rendering/merging surface byte-identical to the
+/// set-based code paths.
+///
+/// Representation is canonical: a chunk is dense iff its cardinality
+/// exceeds kArrayMax, so equal sets always compare equal structurally.
+class TidBitmap {
+ public:
+  TidBitmap() = default;
+
+  /// Inserts a tid (no-op if present). Ascending inserts hit an O(1)
+  /// append fast path.
+  void Add(int64_t tid);
+
+  /// Inserts every tid in [begin, end) — equivalent to Add in a loop, but
+  /// when the range lies entirely above the existing chunks (e.g. an
+  /// all-rows bitmap built from empty) whole chunks are materialized
+  /// word-at-a-time instead of bit-at-a-time.
+  void AddRange(int64_t begin, int64_t end);
+
+  bool Contains(int64_t tid) const;
+
+  /// Number of tids in the set.
+  uint64_t Cardinality() const { return cardinality_; }
+  bool Empty() const { return cardinality_ == 0; }
+  void Clear();
+
+  /// In-place set algebra: this := this OP other.
+  void Or(const TidBitmap& other);
+  void And(const TidBitmap& other);
+  void AndNot(const TidBitmap& other);
+
+  /// True iff the two sets share at least one tid. Early-exits on the
+  /// first overlapping word/value.
+  bool Intersects(const TidBitmap& other) const;
+
+  /// Calls fn(int64_t) for every tid in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Chunk& chunk : chunks_) {
+      uint64_t base = chunk.key << kChunkBits;
+      if (chunk.dense()) {
+        for (uint32_t w = 0; w < kWordsPerChunk; ++w) {
+          uint64_t bits = chunk.words[w];
+          while (bits != 0) {
+            uint32_t b = static_cast<uint32_t>(std::countr_zero(bits));
+            fn(Decode(base | (static_cast<uint64_t>(w) * 64 + b)));
+            bits &= bits - 1;
+          }
+        }
+      } else {
+        for (uint16_t low : chunk.array) fn(Decode(base | low));
+      }
+    }
+  }
+
+  /// All tids in ascending order.
+  std::vector<int64_t> ToVector() const;
+
+  /// Approximate heap footprint of the containers, for stats/benchmarks.
+  size_t SizeBytes() const;
+
+  bool operator==(const TidBitmap& other) const;
+  bool operator!=(const TidBitmap& other) const { return !(*this == other); }
+
+  /// Sparse chunks convert to packed bitsets above this cardinality
+  /// (4096 * 2 bytes == 1024 * 8 bytes: the representations cross over).
+  static constexpr uint32_t kArrayMax = 4096;
+
+ private:
+  static constexpr uint32_t kChunkBits = 16;
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+  static constexpr uint32_t kWordsPerChunk = kChunkSize / 64;
+
+  struct Chunk {
+    uint64_t key = 0;               // Encode(tid) >> 16
+    std::vector<uint16_t> array;    // sorted low-16s; empty when dense
+    std::vector<uint64_t> words;    // kWordsPerChunk words when dense
+    uint32_t cardinality = 0;
+
+    bool dense() const { return !words.empty(); }
+    bool Probe(uint16_t low) const;
+  };
+
+  /// Sign-flip so unsigned order of the encoding matches signed tid order.
+  static uint64_t Encode(int64_t tid) {
+    return static_cast<uint64_t>(tid) ^ (1ull << 63);
+  }
+  static int64_t Decode(uint64_t u) {
+    return static_cast<int64_t>(u ^ (1ull << 63));
+  }
+
+  static void Densify(Chunk& chunk);
+  static void SparsifyIfSmall(Chunk& chunk);
+  static void OrInto(Chunk& dst, const Chunk& src);
+  static void AndInto(Chunk& dst, const Chunk& src);
+  static void AndNotInto(Chunk& dst, const Chunk& src);
+  static bool ChunksIntersect(const Chunk& a, const Chunk& b);
+
+  Chunk* FindChunk(uint64_t key);
+  const Chunk* FindChunk(uint64_t key) const;
+  void RecomputeCardinality();
+
+  std::vector<Chunk> chunks_;  // ascending by key; no empty chunks
+  uint64_t cardinality_ = 0;
+};
+
+}  // namespace auditdb
+
+#endif  // AUDITDB_COMMON_TID_BITMAP_H_

@@ -514,7 +514,20 @@ std::set<Tid> QueryResult::IndispensableTids(const std::string& table) const {
   std::set<Tid> out;
   for (size_t j = 0; j < from.size(); ++j) {
     if (from[j] != table) continue;
-    for (const auto& tuple : lineage) out.insert(tuple[j]);
+    for (const auto& tuple : lineage) {
+      if (j < tuple.size()) out.insert(tuple[j]);
+    }
+  }
+  return out;
+}
+
+TidBitmap QueryResult::IndispensableTidBitmap(const std::string& table) const {
+  TidBitmap out;
+  for (size_t j = 0; j < from.size(); ++j) {
+    if (from[j] != table) continue;
+    for (const auto& tuple : lineage) {
+      if (j < tuple.size()) out.Add(tuple[j]);
+    }
   }
   return out;
 }
@@ -530,11 +543,39 @@ Result<std::set<std::vector<Tid>>> QueryResult::ProjectLineage(
     positions.push_back(static_cast<size_t>(it - from.begin()));
   }
   std::set<std::vector<Tid>> out;
-  for (const auto& tuple : lineage) {
+  for (size_t i = 0; i < lineage.size(); ++i) {
+    const auto& tuple = lineage[i];
+    if (tuple.size() != from.size()) {
+      return Status::Internal(
+          "ragged lineage row " + std::to_string(i) + ": " +
+          std::to_string(tuple.size()) + " entries for " +
+          std::to_string(from.size()) + " FROM tables");
+    }
     std::vector<Tid> projected;
     projected.reserve(positions.size());
     for (size_t p : positions) projected.push_back(tuple[p]);
     out.insert(std::move(projected));
+  }
+  return out;
+}
+
+Result<TidBitmap> QueryResult::ProjectLineageBitmap(
+    const std::string& table) const {
+  auto it = std::find(from.begin(), from.end(), table);
+  if (it == from.end()) {
+    return Status::NotFound("table not in query lineage: " + table);
+  }
+  size_t position = static_cast<size_t>(it - from.begin());
+  TidBitmap out;
+  for (size_t i = 0; i < lineage.size(); ++i) {
+    const auto& tuple = lineage[i];
+    if (tuple.size() != from.size()) {
+      return Status::Internal(
+          "ragged lineage row " + std::to_string(i) + ": " +
+          std::to_string(tuple.size()) + " entries for " +
+          std::to_string(from.size()) + " FROM tables");
+    }
+    out.Add(tuple[position]);
   }
   return out;
 }

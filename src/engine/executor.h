@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/tid_bitmap.h"
 #include "src/sql/parser.h"
 #include "src/storage/database.h"
 
@@ -54,10 +55,22 @@ struct QueryResult {
   /// table is not in FROM).
   std::set<Tid> IndispensableTids(const std::string& table) const;
 
+  /// Same witness set as IndispensableTids, as a compressed bitmap. The
+  /// bitmap iterates in ascending tid order, so consumers stay
+  /// byte-identical to the set-based path.
+  TidBitmap IndispensableTidBitmap(const std::string& table) const;
+
   /// Distinct lineage tuples projected onto `tables` (each must be in
   /// FROM), in the order given. Used for joint-indispensability checks.
+  /// Errors: NotFound if a table is not in FROM; Internal if a lineage row
+  /// is ragged (fewer entries than FROM tables).
   Result<std::set<std::vector<Tid>>> ProjectLineage(
       const std::vector<std::string>& tables) const;
+
+  /// Single-table ProjectLineage as a compressed bitmap, with the same
+  /// error behavior. The word-wide kernel behind joint-witness and
+  /// shared-tuple intersection tests.
+  Result<TidBitmap> ProjectLineageBitmap(const std::string& table) const;
 
   /// Values appearing in output column `col` (for value-containment access
   /// checks when INDISPENSABLE = false).

@@ -29,6 +29,43 @@ PredicateProgram::Outcome RunChunked(const PredicateProgram& program,
   return out;
 }
 
+TidBitmap SelectionToBitmap(const std::vector<uint32_t>& sel) {
+  TidBitmap out;
+  for (uint32_t r : sel) out.Add(static_cast<int64_t>(r));
+  return out;
+}
+
+std::vector<uint32_t> BitmapToSelection(const TidBitmap& bitmap) {
+  std::vector<uint32_t> out;
+  out.reserve(static_cast<size_t>(bitmap.Cardinality()));
+  bitmap.ForEach(
+      [&](int64_t row) { out.push_back(static_cast<uint32_t>(row)); });
+  return out;
+}
+
+PredicateProgram::BitmapOutcome RunChunkedToBitmap(
+    const PredicateProgram& program, const Batch& batch, const TidBitmap& sel,
+    size_t batch_size) {
+  PredicateProgram::BitmapOutcome out;
+  std::vector<uint32_t> chunk;
+  auto flush = [&] {
+    if (chunk.empty()) return;
+    auto o = program.RunToBitmap(batch, chunk);
+    // Chunks ascend, so the union is a cheap high-key append merge.
+    out.passed.Or(o.passed);
+    out.errors.insert(out.errors.end(),
+                      std::make_move_iterator(o.errors.begin()),
+                      std::make_move_iterator(o.errors.end()));
+    chunk.clear();
+  };
+  sel.ForEach([&](int64_t row) {
+    chunk.push_back(static_cast<uint32_t>(row));
+    if (batch_size != 0 && chunk.size() >= batch_size) flush();
+  });
+  flush();
+  return out;
+}
+
 TableFilter BuildTableFilter(
     const Batch& batch, const std::vector<ScanStage>& stages,
     const std::optional<std::vector<uint32_t>>& selection,
@@ -91,12 +128,12 @@ Result<size_t> EstimateFilteredCardinality(
     auto program = PredicateProgram::Compile(*conj, 0, single.width());
     if (program.ok()) {
       auto batch = table.Columnar();
-      std::vector<uint32_t> all(batch->num_rows);
-      std::iota(all.begin(), all.end(), 0u);
-      auto out = RunChunked(*program, *batch, all, opts.batch_size);
+      TidBitmap all;
+      all.AddRange(0, static_cast<int64_t>(batch->num_rows));
+      auto out = RunChunkedToBitmap(*program, *batch, all, opts.batch_size);
       // Errors count as fail (they are excluded from `passed`), matching
       // the interpreted estimate below.
-      return out.passed.size();
+      return static_cast<size_t>(out.passed.Cardinality());
     }
   }
 

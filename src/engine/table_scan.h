@@ -96,6 +96,23 @@ PredicateProgram::Outcome RunChunked(const PredicateProgram& program,
                                      const std::vector<uint32_t>& sel,
                                      size_t batch_size);
 
+/// Selection vector -> compressed row bitmap. `sel` must be ascending
+/// (as every selection in this layer is), so the conversion is one
+/// linear append pass.
+TidBitmap SelectionToBitmap(const std::vector<uint32_t>& sel);
+
+/// Compressed row bitmap -> ascending selection vector.
+std::vector<uint32_t> BitmapToSelection(const TidBitmap& bitmap);
+
+/// RunChunked over a bitmap selection: the bitmap is unpacked into
+/// selection-vector chunks of `batch_size` rows at each chunk boundary,
+/// the program runs per chunk, and passing rows are re-packed into the
+/// outcome bitmap. Decisions are identical to RunChunked over
+/// BitmapToSelection(sel).
+PredicateProgram::BitmapOutcome RunChunkedToBitmap(
+    const PredicateProgram& program, const Batch& batch, const TidBitmap& sel,
+    size_t batch_size);
+
 /// Precomputes the local stages of `stages` over `batch`, starting from
 /// `selection` (ascending row ids; all rows when absent) and narrowing
 /// after each local stage.

@@ -393,8 +393,9 @@ Result<AuditReport> AuditScheduler::RunPinned(
                                                  expr.threshold,
                                                  expr.indispensable, batch,
                                                  options.suspicion);
-  report.batch_suspicious = batch_result.suspicious;
-  report.evidence = batch_result.Describe(view, schemes);
+  if (!batch_result.ok()) return batch_result.status();
+  report.batch_suspicious = batch_result->suspicious;
+  report.evidence = batch_result->Describe(view, schemes);
 
   if (options.per_query_verdicts && !profiles.empty()) {
     std::map<int64_t, size_t> verdict_of_id;
@@ -415,7 +416,8 @@ Result<AuditReport> AuditScheduler::RunPinned(
           auto single_result = audit::CheckBatchSuspicion(
               view, schemes, expr.threshold, expr.indispensable, single,
               options.suspicion);
-          alone[p] = single_result.suspicious;
+          if (!single_result.ok()) return single_result.status();
+          alone[p] = single_result->suspicious;
         }
         return Status::Ok();
       });
@@ -438,8 +440,10 @@ Result<AuditReport> AuditScheduler::RunPinned(
   }
 
   if (options.minimize_batch && report.batch_suspicious) {
-    report.minimal_batch = audit::MinimizeBatch(
+    auto minimal = audit::MinimizeBatch(
         view, schemes, expr, profiles, profile_ids, options.suspicion);
+    if (!minimal.ok()) return minimal.status();
+    report.minimal_batch = std::move(*minimal);
   }
   report.check_seconds = SecondsSince(stage_start);
   check_stage_micros_->Observe(MicrosSince(stage_start));

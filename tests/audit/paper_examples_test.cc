@@ -237,10 +237,10 @@ TEST_F(PaperExamplesTest, IntroNotionMoreThanNPatients) {
   auto schemes = BuildSchemes(expr);
   EXPECT_FALSE(CheckBatchSuspicion(view, schemes, expr.threshold,
                                    expr.indispensable, {&one_patient})
-                   .suspicious);
+                   ->suspicious);
   EXPECT_TRUE(CheckBatchSuspicion(view, schemes, expr.threshold,
                                   expr.indispensable, {&both_patients})
-                  .suspicious);
+                  ->suspicious);
   // And batch-wise: two single-patient queries together cross N.
   auto other_patient = profile_for(
       "SELECT disease FROM P-Personal, P-Health "
@@ -248,7 +248,7 @@ TEST_F(PaperExamplesTest, IntroNotionMoreThanNPatients) {
   EXPECT_TRUE(CheckBatchSuspicion(view, schemes, expr.threshold,
                                   expr.indispensable,
                                   {&one_patient, &other_patient})
-                  .suspicious);
+                  ->suspicious);
 }
 
 // --- Fig. 4 granule count cross-check ---------------------------------

@@ -39,8 +39,11 @@ class SuspicionTest : public ::testing::Test {
                         const SuspicionOptions& options = SuspicionOptions{}) {
     auto view = ComputeTargetView(expr, db_.View(), Ts(1));
     EXPECT_TRUE(view.ok());
-    return CheckBatchSuspicion(*view, BuildSchemes(expr), expr.threshold,
-                               expr.indispensable, batch, options);
+    auto result = CheckBatchSuspicion(*view, BuildSchemes(expr),
+                                      expr.threshold, expr.indispensable,
+                                      batch, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(*result);
   }
 
   const std::string kSemanticAudit =
@@ -217,7 +220,7 @@ TEST_F(SuspicionTest, MakePerfectPrivacyFlagsAnyCellAccess) {
   auto result = CheckBatchSuspicion(*view, BuildSchemes(notion),
                                     notion.threshold, notion.indispensable,
                                     {&profile});
-  EXPECT_TRUE(result.suspicious);
+  EXPECT_TRUE(result->suspicious);
   // The same query is NOT semantically suspicious.
   EXPECT_FALSE(Check(base, {&profile}).suspicious);
 }
@@ -239,7 +242,7 @@ TEST_F(SuspicionTest, MakeWeakSyntacticIncludesWhereColumns) {
   auto result = CheckBatchSuspicion(*view, BuildSchemes(notion),
                                     notion.threshold, notion.indispensable,
                                     {&profile});
-  EXPECT_TRUE(result.suspicious);
+  EXPECT_TRUE(result->suspicious);
 }
 
 TEST_F(SuspicionTest, MakeSemanticFlattensToMandatory) {
@@ -273,13 +276,13 @@ TEST_F(SuspicionTest, MakeMandatoryOptionalNotion) {
       "WHERE P-Personal.pid = P-Health.pid AND zipcode='145568'");
   EXPECT_TRUE(CheckBatchSuspicion(*view, granule_schemes, notion.threshold,
                                   notion.indispensable, {&drugs})
-                  .suspicious);
+                  ->suspicious);
   // Names alone do not.
   auto names = Profile(
       "SELECT name FROM P-Personal WHERE zipcode='145568'");
   EXPECT_FALSE(CheckBatchSuspicion(*view, granule_schemes, notion.threshold,
                                    notion.indispensable, {&names})
-                   .suspicious);
+                   ->suspicious);
 }
 
 TEST_F(SuspicionTest, MakeThresholdNotion) {
@@ -287,6 +290,102 @@ TEST_F(SuspicionTest, MakeThresholdNotion) {
   auto notion = MakeThresholdNotion(base, Threshold::N(5));
   EXPECT_EQ(notion.threshold, Threshold::N(5));
   EXPECT_TRUE(notion.attrs.groups[0].mandatory);
+}
+
+// Regression: a ragged lineage row used to be swallowed by the joint-witness
+// cache as "no witness" (non-suspicious); it must surface as an error now,
+// through both the tuple-set arm and the bitmap arm.
+TEST_F(SuspicionTest, RaggedLineagePropagatesErrorInJointMode) {
+  auto expr = Parse(kSemanticAudit);
+  auto q3 = Profile(
+      "SELECT name, disease, address FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND zipcode='145568' "
+      "AND disease='diabetic'");
+  ASSERT_FALSE(q3.result.lineage.empty());
+  q3.result.lineage[0].pop_back();  // now shorter than FROM
+
+  auto view = ComputeTargetView(expr, db_.View(), Ts(1));
+  ASSERT_TRUE(view.ok());
+  for (bool bitmaps : {true, false}) {
+    SuspicionOptions joint;
+    joint.mode = IndispensabilityMode::kJointPerQuery;
+    joint.tid_bitmaps = bitmaps;
+    auto result = CheckBatchSuspicion(*view, BuildSchemes(expr),
+                                      expr.threshold, expr.indispensable,
+                                      {&q3}, joint);
+    EXPECT_FALSE(result.ok()) << "tid_bitmaps=" << bitmaps;
+  }
+}
+
+// A query whose FROM list does not cover the scheme's tables is a legitimate
+// "cannot witness jointly", not an error — only genuinely malformed lineage
+// should propagate a status.
+TEST_F(SuspicionTest, PartialFromCoverageIsNotAnError) {
+  auto expr = Parse(kSemanticAudit);
+  auto q1 = Profile(
+      "SELECT name, disease, address "
+      "FROM P-Personal, P-Health, P-Employ "
+      "WHERE P-Personal.pid=P-Health.pid AND P-Health.pid=P-Employ.pid "
+      "AND zipcode='145568' AND disease='diabetic' AND salary > 10000");
+  auto q2 = Profile("SELECT disease FROM P-Health WHERE disease='diabetic'");
+  for (bool bitmaps : {true, false}) {
+    SuspicionOptions joint;
+    joint.mode = IndispensabilityMode::kJointPerQuery;
+    joint.tid_bitmaps = bitmaps;
+    auto result = Check(expr, {&q1, &q2}, joint);
+    EXPECT_TRUE(result.suspicious) << "tid_bitmaps=" << bitmaps;
+  }
+}
+
+// Regression: BatchIndex used to hold a reference to the caller's vector; a
+// temporary argument left it dangling. It now holds the vector by value.
+TEST_F(SuspicionTest, BatchIndexOutlivesTemporaryBatchVector) {
+  auto profile = Profile(
+      "SELECT name, disease FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND disease='diabetic'");
+  BatchIndex index(std::vector<const AccessProfile*>{&profile});
+  // The temporary vector is dead here; every probe below reads batch_.
+  EXPECT_TRUE(index.Accesses(ColumnRef{"P-Health", "disease"}));
+  EXPECT_FALSE(index.IndispensableTids("P-Health").empty());
+  EXPECT_FALSE(index.IndispensableTidBitmap("P-Health").Empty());
+  EXPECT_TRUE(index.IndispensableContains(
+      "P-Health", *index.IndispensableTids("P-Health").begin()));
+}
+
+// Differential: the compressed-bitmap kernels must reproduce the set-based
+// suspicion verdicts and accessed-fact lists exactly, across modes.
+TEST_F(SuspicionTest, BitmapAblationMatchesSetPath) {
+  auto expr = Parse(kSemanticAudit);
+  auto q1 = Profile(
+      "SELECT name, address FROM P-Personal WHERE zipcode='145568'");
+  auto q2 = Profile("SELECT disease FROM P-Health WHERE disease='diabetic'");
+  auto q3 = Profile(
+      "SELECT name, disease, address FROM P-Personal, P-Health "
+      "WHERE P-Personal.pid=P-Health.pid AND zipcode='145568' "
+      "AND disease='diabetic'");
+  const std::vector<std::vector<const AccessProfile*>> batches = {
+      {&q1}, {&q2}, {&q1, &q2}, {&q3}, {&q1, &q2, &q3}};
+  for (auto mode : {IndispensabilityMode::kPerTable,
+                    IndispensabilityMode::kJointPerQuery}) {
+    for (const auto& batch : batches) {
+      SuspicionOptions on, off;
+      on.mode = off.mode = mode;
+      on.tid_bitmaps = true;
+      off.tid_bitmaps = false;
+      auto with = Check(expr, batch, on);
+      auto without = Check(expr, batch, off);
+      EXPECT_EQ(with.suspicious, without.suspicious);
+      ASSERT_EQ(with.per_scheme.size(), without.per_scheme.size());
+      for (size_t s = 0; s < with.per_scheme.size(); ++s) {
+        EXPECT_EQ(with.per_scheme[s].attrs_covered,
+                  without.per_scheme[s].attrs_covered);
+        EXPECT_EQ(with.per_scheme[s].accessed_facts,
+                  without.per_scheme[s].accessed_facts);
+        EXPECT_EQ(with.per_scheme[s].suspicious,
+                  without.per_scheme[s].suspicious);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,351 @@
+#include "src/common/tid_bitmap.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace auditdb {
+namespace {
+
+std::vector<int64_t> SetToVector(const std::set<int64_t>& s) {
+  return std::vector<int64_t>(s.begin(), s.end());
+}
+
+TidBitmap FromSet(const std::set<int64_t>& s) {
+  TidBitmap bm;
+  for (int64_t tid : s) bm.Add(tid);
+  return bm;
+}
+
+void ExpectSame(const TidBitmap& bm, const std::set<int64_t>& ref) {
+  ASSERT_EQ(bm.Cardinality(), ref.size());
+  EXPECT_EQ(bm.Empty(), ref.empty());
+  // Iteration order must be ascending tid order, exactly as std::set.
+  EXPECT_EQ(bm.ToVector(), SetToVector(ref));
+}
+
+TEST(TidBitmapTest, EmptyBitmap) {
+  TidBitmap bm;
+  EXPECT_TRUE(bm.Empty());
+  EXPECT_EQ(bm.Cardinality(), 0u);
+  EXPECT_FALSE(bm.Contains(0));
+  EXPECT_TRUE(bm.ToVector().empty());
+  EXPECT_EQ(bm, TidBitmap());
+}
+
+TEST(TidBitmapTest, AddContainsBasic) {
+  TidBitmap bm;
+  bm.Add(7);
+  bm.Add(100000);
+  bm.Add(7);  // duplicate
+  EXPECT_EQ(bm.Cardinality(), 2u);
+  EXPECT_TRUE(bm.Contains(7));
+  EXPECT_TRUE(bm.Contains(100000));
+  EXPECT_FALSE(bm.Contains(8));
+  EXPECT_EQ(bm.ToVector(), (std::vector<int64_t>{7, 100000}));
+}
+
+TEST(TidBitmapTest, NegativeAndExtremeTidsIterateInSignedOrder) {
+  std::set<int64_t> ref = {INT64_MIN, -65536, -1, 0, 1, 65535, 65536,
+                           INT64_MAX - 1, INT64_MAX};
+  TidBitmap bm;
+  // Insert in scrambled order; iteration must still be ascending signed.
+  for (int64_t tid : {int64_t{0}, INT64_MAX, int64_t{-1}, int64_t{65536},
+                      INT64_MIN, int64_t{65535}, int64_t{1},
+                      int64_t{-65536}, INT64_MAX - 1}) {
+    bm.Add(tid);
+  }
+  ExpectSame(bm, ref);
+  for (int64_t tid : ref) EXPECT_TRUE(bm.Contains(tid));
+  EXPECT_FALSE(bm.Contains(2));
+  EXPECT_FALSE(bm.Contains(INT64_MIN + 1));
+}
+
+TEST(TidBitmapTest, ChunkBoundaryValues) {
+  // Values straddling the 16-bit chunk boundary and the dense/sparse
+  // threshold neighborhood.
+  std::set<int64_t> ref;
+  for (int64_t base : {int64_t{0}, int64_t{65536}, int64_t{1} << 32}) {
+    for (int64_t d : {int64_t{-2}, int64_t{-1}, int64_t{0}, int64_t{1},
+                      int64_t{2}}) {
+      ref.insert(base + d);
+    }
+  }
+  TidBitmap bm = FromSet(ref);
+  ExpectSame(bm, ref);
+  for (int64_t tid : ref) EXPECT_TRUE(bm.Contains(tid));
+}
+
+TEST(TidBitmapTest, DenseConversionRoundTrip) {
+  // Fill one chunk past the array threshold so it converts to a bitset,
+  // then remove back below the threshold so it converts back.
+  std::set<int64_t> ref;
+  TidBitmap bm;
+  for (int64_t i = 0; i < 60000; i += 3) {
+    bm.Add(i);
+    ref.insert(i);
+  }
+  ASSERT_GT(bm.Cardinality(), TidBitmap::kArrayMax);
+  ExpectSame(bm, ref);
+
+  // Subtract most of it away again.
+  std::set<int64_t> remove;
+  for (int64_t i = 0; i < 60000; i += 3) {
+    if (i % 5 != 0) remove.insert(i);
+  }
+  bm.AndNot(FromSet(remove));
+  std::set<int64_t> expect;
+  std::set_difference(ref.begin(), ref.end(), remove.begin(), remove.end(),
+                      std::inserter(expect, expect.begin()));
+  ASSERT_LT(expect.size(), size_t{TidBitmap::kArrayMax});
+  ExpectSame(bm, expect);
+  // Canonical representation: equal to a freshly built bitmap of the
+  // same set even though this one went dense and back.
+  EXPECT_EQ(bm, FromSet(expect));
+}
+
+TEST(TidBitmapTest, AscendingAppendFastPathMatchesRandomOrder) {
+  std::mt19937_64 rng(7);
+  std::vector<int64_t> tids;
+  for (int i = 0; i < 20000; ++i) {
+    tids.push_back(static_cast<int64_t>(rng() % 1000000));
+  }
+  std::vector<int64_t> sorted = tids;
+  std::sort(sorted.begin(), sorted.end());
+  TidBitmap ascending;
+  for (int64_t t : sorted) ascending.Add(t);
+  TidBitmap shuffled;
+  for (int64_t t : tids) shuffled.Add(t);
+  EXPECT_EQ(ascending, shuffled);
+}
+
+TEST(TidBitmapTest, OrAndAndNotIntersectsBasic) {
+  std::set<int64_t> sa = {1, 2, 3, 100000, 200000};
+  std::set<int64_t> sb = {2, 4, 100000, 300000};
+  TidBitmap a = FromSet(sa);
+  TidBitmap b = FromSet(sb);
+
+  TidBitmap u = a;
+  u.Or(b);
+  EXPECT_EQ(u.ToVector(),
+            (std::vector<int64_t>{1, 2, 3, 4, 100000, 200000, 300000}));
+
+  TidBitmap i = a;
+  i.And(b);
+  EXPECT_EQ(i.ToVector(), (std::vector<int64_t>{2, 100000}));
+
+  TidBitmap d = a;
+  d.AndNot(b);
+  EXPECT_EQ(d.ToVector(), (std::vector<int64_t>{1, 3, 200000}));
+
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  TidBitmap disjoint = FromSet({5, 400000});
+  EXPECT_FALSE(a.Intersects(disjoint));
+  EXPECT_FALSE(disjoint.Intersects(a));
+  EXPECT_FALSE(a.Intersects(TidBitmap()));
+  EXPECT_FALSE(TidBitmap().Intersects(a));
+}
+
+TEST(TidBitmapTest, ClearResets) {
+  TidBitmap bm = FromSet({1, 2, 3});
+  bm.Clear();
+  EXPECT_TRUE(bm.Empty());
+  EXPECT_EQ(bm, TidBitmap());
+  bm.Add(9);
+  EXPECT_EQ(bm.ToVector(), (std::vector<int64_t>{9}));
+}
+
+TEST(TidBitmapTest, SizeBytesReflectsCompression) {
+  // A dense run of 65536 consecutive tids compresses to one 8KB bitset
+  // chunk — far below the 512KB+ a hash set of int64 would use.
+  TidBitmap bm;
+  for (int64_t i = 0; i < 65536; ++i) bm.Add(i);
+  EXPECT_EQ(bm.Cardinality(), 65536u);
+  EXPECT_LE(bm.SizeBytes(), size_t{16} * 1024);
+}
+
+TEST(TidBitmapTest, AddRangeMatchesLoopAdd) {
+  // Ranges crossing chunk boundaries, partial edge chunks, sub-kArrayMax
+  // counts (array form), negative spans, and overlap with existing
+  // chunks (the per-tid fallback) must all equal the Add loop — and be
+  // canonically equal (operator==), not just element-equal.
+  const std::vector<std::pair<int64_t, int64_t>> ranges = {
+      {0, 1},          {0, 100},        {60000, 70000},   {0, 200000},
+      {65536, 131072}, {65500, 65600},  {-70000, -60000}, {-100, 100},
+      {1000, 1000},    {131072, 131072 + 4096}};
+  for (const auto& [begin, end] : ranges) {
+    TidBitmap ranged;
+    ranged.AddRange(begin, end);
+    TidBitmap looped;
+    for (int64_t t = begin; t < end; ++t) looped.Add(t);
+    EXPECT_EQ(ranged, looped) << "[" << begin << ", " << end << ")";
+    EXPECT_EQ(ranged.Cardinality(),
+              static_cast<uint64_t>(end > begin ? end - begin : 0));
+  }
+  // Overlapping/backward AddRange onto an existing bitmap.
+  TidBitmap ranged;
+  ranged.AddRange(0, 100000);
+  ranged.AddRange(50000, 150000);
+  ranged.AddRange(-10, 10);
+  TidBitmap looped;
+  for (int64_t t = 0; t < 150000; ++t) looped.Add(t);
+  for (int64_t t = -10; t < 10; ++t) looped.Add(t);
+  EXPECT_EQ(ranged, looped);
+}
+
+// ---------------------------------------------------------------------------
+// Differential property suite: random universes x random op sequences,
+// bitmap vs reference std::set<Tid>.
+// ---------------------------------------------------------------------------
+
+/// Universe shapes exercising sparse chunks, dense chunks, and values
+/// packed around 16-bit chunk boundaries.
+enum class Universe { kSparse, kDense, kChunkBoundary, kMixedSign };
+
+std::set<int64_t> RandomUniverse(Universe shape, std::mt19937_64& rng) {
+  std::set<int64_t> out;
+  switch (shape) {
+    case Universe::kSparse: {
+      // Few values scattered over a huge range: every chunk is an array.
+      size_t n = 1 + rng() % 400;
+      for (size_t i = 0; i < n; ++i) {
+        out.insert(static_cast<int64_t>(rng() % (1ull << 40)));
+      }
+      break;
+    }
+    case Universe::kDense: {
+      // Thousands of values inside a couple of chunks: forces bitsets.
+      int64_t base = static_cast<int64_t>(rng() % 4) * 65536;
+      size_t n = 5000 + rng() % 8000;
+      for (size_t i = 0; i < n; ++i) {
+        out.insert(base + static_cast<int64_t>(rng() % 131072));
+      }
+      break;
+    }
+    case Universe::kChunkBoundary: {
+      // Values hugging multiples of 65536 — the adversarial pattern for
+      // chunk-key arithmetic.
+      size_t n = 1 + rng() % 200;
+      for (size_t i = 0; i < n; ++i) {
+        int64_t boundary = static_cast<int64_t>(rng() % 64) * 65536;
+        int64_t delta = static_cast<int64_t>(rng() % 5) - 2;
+        out.insert(boundary + delta);
+      }
+      break;
+    }
+    case Universe::kMixedSign: {
+      size_t n = 1 + rng() % 300;
+      for (size_t i = 0; i < n; ++i) {
+        int64_t v = static_cast<int64_t>(rng() % (1ull << 20)) - (1 << 19);
+        out.insert(v);
+      }
+      out.insert(INT64_MIN);
+      out.insert(INT64_MAX);
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(TidBitmapDifferentialTest, RandomOpSequencesMatchStdSet) {
+  std::mt19937_64 rng(20260809);
+  const Universe kShapes[] = {Universe::kSparse, Universe::kDense,
+                              Universe::kChunkBoundary, Universe::kMixedSign};
+  for (int trial = 0; trial < 40; ++trial) {
+    Universe shape = kShapes[trial % 4];
+    std::set<int64_t> ref = RandomUniverse(shape, rng);
+    TidBitmap bm = FromSet(ref);
+    ExpectSame(bm, ref);
+
+    for (int op = 0; op < 8; ++op) {
+      Universe other_shape = kShapes[rng() % 4];
+      std::set<int64_t> other_ref = RandomUniverse(other_shape, rng);
+      TidBitmap other = FromSet(other_ref);
+      switch (rng() % 4) {
+        case 0: {
+          bm.Or(other);
+          std::set<int64_t> merged = ref;
+          merged.insert(other_ref.begin(), other_ref.end());
+          ref = std::move(merged);
+          break;
+        }
+        case 1: {
+          bm.And(other);
+          std::set<int64_t> inter;
+          std::set_intersection(ref.begin(), ref.end(), other_ref.begin(),
+                                other_ref.end(),
+                                std::inserter(inter, inter.begin()));
+          ref = std::move(inter);
+          break;
+        }
+        case 2: {
+          bm.AndNot(other);
+          std::set<int64_t> diff;
+          std::set_difference(ref.begin(), ref.end(), other_ref.begin(),
+                              other_ref.end(),
+                              std::inserter(diff, diff.begin()));
+          ref = std::move(diff);
+          break;
+        }
+        case 3: {
+          bool expect = false;
+          for (int64_t t : other_ref) {
+            if (ref.count(t) > 0) {
+              expect = true;
+              break;
+            }
+          }
+          EXPECT_EQ(bm.Intersects(other), expect);
+          break;
+        }
+      }
+      ASSERT_NO_FATAL_FAILURE(ExpectSame(bm, ref))
+          << "trial " << trial << " op " << op;
+      // Canonical form: the mutated bitmap equals a rebuild from scratch.
+      ASSERT_EQ(bm, FromSet(ref)) << "trial " << trial << " op " << op;
+      // Membership spot checks on and off the set.
+      for (int probe = 0; probe < 16; ++probe) {
+        int64_t t = static_cast<int64_t>(rng() % (1ull << 41)) - (1ll << 20);
+        EXPECT_EQ(bm.Contains(t), ref.count(t) > 0);
+      }
+    }
+  }
+}
+
+TEST(TidBitmapDifferentialTest, SelfOperations) {
+  std::mt19937_64 rng(99);
+  std::set<int64_t> ref = RandomUniverse(Universe::kDense, rng);
+  TidBitmap bm = FromSet(ref);
+
+  TidBitmap self_or = bm;
+  self_or.Or(bm);
+  EXPECT_EQ(self_or, bm);
+
+  TidBitmap self_and = bm;
+  self_and.And(bm);
+  EXPECT_EQ(self_and, bm);
+
+  EXPECT_TRUE(bm.Intersects(bm));
+
+  TidBitmap self_diff = bm;
+  self_diff.AndNot(bm);
+  EXPECT_TRUE(self_diff.Empty());
+  EXPECT_EQ(self_diff, TidBitmap());
+
+  // True aliasing: operand IS the destination object.
+  TidBitmap aliased = bm;
+  aliased.Or(aliased);
+  EXPECT_EQ(aliased, bm);
+  aliased.And(aliased);
+  EXPECT_EQ(aliased, bm);
+  aliased.AndNot(aliased);
+  EXPECT_TRUE(aliased.Empty());
+}
+
+}  // namespace
+}  // namespace auditdb

@@ -371,10 +371,11 @@ TEST_P(SuspicionMonotonicity, AddingQueriesNeverClears) {
     batch.push_back(&profile);
     auto result = audit::CheckBatchSuspicion(
         *view, schemes, expr->threshold, expr->indispensable, batch);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
     if (was_suspicious) {
-      EXPECT_TRUE(result.suspicious) << "batch size " << batch.size();
+      EXPECT_TRUE(result->suspicious) << "batch size " << batch.size();
     }
-    was_suspicious = result.suspicious;
+    was_suspicious = result->suspicious;
   }
 }
 

@@ -6,7 +6,11 @@
 # round-trips against a loopback daemon, a SIGTERM graceful drain, and
 # three subscription soaks (lossless fan-out, slow-subscriber gap
 # shedding under tiny socket buffers, and a SIGTERM drain that must
-# flush parked pushes), failing on any ASan report — the durability gate
+# flush parked pushes), failing on any ASan report — the tid-bitmap
+# kernels plus the suspicion/granule bitmap differentials under
+# UndefinedBehaviorSanitizer (and the same suites re-run in the ASan
+# tree, where the BatchIndex lifetime regression is visible) — the
+# durability gate
 # (crash-fault-injection harness under ASan, then a live kill -9: stream
 # ExecuteQuery at an auditd with --data-dir, SIGKILL it mid-stream, and
 # prove every acked query recovers and re-audits on the same dir) — the
@@ -23,18 +27,21 @@
 # against each other and against an offline serial auditor over the
 # killed primary's quiesced dir, and a promote-on-primary-kill failover
 # that must lose no acked write) — and finally a Release (-O2) build
-# that smoke-runs the scan and expression-index benches plus the
+# that smoke-runs the scan and expression-index benches, the 10M-row
+# tid-bitmap kernel sweeps (bench_granule set-vs-bitmap, bench_scan
+# selection-bitmap emission), plus the
 # bench_net push-latency sweep, the bench_policy overhead acceptance
 # check (<5% at 0% rule-hit rate), and the bench_mixed MVCC sweep
 # (versioned caching must sustain hot hit rates AND write throughput
 # where the wholesale-invalidation ablation can only have one),
-# checking their BENCH_scan.json / BENCH_index.json / BENCH_push.json
+# checking their BENCH_scan.json / BENCH_granule.json /
+# BENCH_index.json / BENCH_push.json
 # / BENCH_policy.json / BENCH_mixed.json / BENCH_repl.json artifacts
 # (the last from the bench_net replication followers-x-ack sweep).
 #
 # Usage: tools/run_ci.sh [build-dir-prefix]
-#   Build trees land in <prefix>, <prefix>-tsan, <prefix>-asan and
-#   <prefix>-release (default: build-ci).
+#   Build trees land in <prefix>, <prefix>-tsan, <prefix>-asan,
+#   <prefix>-ubsan and <prefix>-release (default: build-ci).
 
 set -euo pipefail
 
@@ -42,14 +49,14 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== [1/8] build (${PREFIX}) =="
+echo "== [1/9] build (${PREFIX}) =="
 cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${PREFIX}" -j "${JOBS}"
 
-echo "== [2/8] ctest =="
+echo "== [2/9] ctest =="
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "== [3/8] service determinism + stress under ThreadSanitizer =="
+echo "== [3/9] service determinism + stress under ThreadSanitizer =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=thread
 # The TSan gate needs the concurrency suites: the service layer, the
@@ -59,20 +66,27 @@ cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 # (Subscribe/Unsubscribe racing Observe), and the policy engine's
 # Decide/Emit-vs-reload race.
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
-      --target service_test subscription_test net_test policy_test
+      --target service_test subscription_test net_test policy_test \
+               common_test
+# TidBitmap rides along: the scheduler suites audit with bitmaps on by
+# default, so the kernels also run under the parallel checkers above.
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
-      -R 'SchedulerTest|OnlineConcurrentTest|MvccConcurrentTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest|PushCodecTest|SubscriptionRegistryTest|SubscriptionConcurrentTest|PushSubscriptionTest|PolicyEngineConcurrentTest'
+      -R 'SchedulerTest|OnlineConcurrentTest|MvccConcurrentTest|ThreadPoolTest|RunBatchTest|BoundedQueueTest|CounterTest|GaugeTest|HistogramTest|MetricsRegistryTest|PushCodecTest|SubscriptionRegistryTest|SubscriptionConcurrentTest|PushSubscriptionTest|PolicyEngineConcurrentTest|TidBitmapTest|TidBitmapDifferentialTest'
 
-echo "== [4/8] network layer under AddressSanitizer =="
+echo "== [4/9] network layer under AddressSanitizer =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAUDITDB_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target net_test subscription_test auditd audit_client \
-               subscription_soak
+               subscription_soak common_test suspicion_test \
+               bitmap_ablation_test
 # ASan exits non-zero on any report; halt_on_error makes that immediate.
+# The tid-bitmap and suspicion suites ride along here: the BatchIndex
+# lifetime regression (dangling batch vector) is exactly the kind of bug
+# only this tree can see.
 export ASAN_OPTIONS="halt_on_error=1:abort_on_error=0:exitcode=99"
 ctest --test-dir "${PREFIX}-asan" --output-on-failure \
-      -R 'FrameCodecTest|FrameReaderTest|FieldCodecTest|ErrorCodecTest|TypePredicatesTest|AuditServerTest|PushCodecTest|SubscriptionRegistryTest|PushSubscriptionTest'
+      -R 'FrameCodecTest|FrameReaderTest|FieldCodecTest|ErrorCodecTest|TypePredicatesTest|AuditServerTest|PushCodecTest|SubscriptionRegistryTest|PushSubscriptionTest|TidBitmapTest|TidBitmapDifferentialTest|SuspicionTest|BitmapAblationTest'
 
 echo "-- auditd loopback smoke (ASan build) --"
 PORT_FILE="$(mktemp)"
@@ -183,7 +197,21 @@ wait "${SOAK_PID}" || { echo "drain soak failed"; cat "${SOAK_LOG}"; exit 1; }
 grep -q 'SOAK_OK' "${SOAK_LOG}" || { cat "${SOAK_LOG}"; exit 1; }
 rm -f "${PORT_FILE}" "${AUDITD_LOG}" "${SOAK_LOG}"
 
-echo "== [5/8] policy gate under AddressSanitizer =="
+echo "== [5/9] tid-bitmap kernels under UndefinedBehaviorSanitizer =="
+# The compressed-bitmap containers are the one place in the tree doing
+# dense bit manipulation (word shifts, countr_zero scans, sign-flip
+# encoding of INT64_MIN/MAX tids): run their unit + differential suites,
+# and the suspicion/granule ablation differentials that exercise them
+# end-to-end, with UB checking hot.
+cmake -B "${PREFIX}-ubsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DAUDITDB_SANITIZE=undefined
+cmake --build "${PREFIX}-ubsan" -j "${JOBS}" \
+      --target common_test suspicion_test bitmap_ablation_test
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "${PREFIX}-ubsan" --output-on-failure \
+      -R 'TidBitmapTest|TidBitmapDifferentialTest|SuspicionTest|BitmapAblationTest'
+
+echo "== [6/9] policy gate under AddressSanitizer =="
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target policy_test workload_test net_test auditd durability_smoke
 # Rule parsing (incl. the adversarial-config cases), redaction, sink
@@ -272,7 +300,7 @@ if grep -q 'diabetic' "${SINK_FILE}"; then
 fi
 rm -f "${RULES_FILE}" "${SINK_FILE}" "${DRIVE_LOG}" "${PORT_FILE}" "${AUDITD_LOG}"
 
-echo "== [6/8] durability gate under AddressSanitizer =="
+echo "== [7/9] durability gate under AddressSanitizer =="
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target io_test querylog_test net_test auditd durability_smoke
 # The crash-fault-injection harness: every injected IO failure and every
@@ -344,7 +372,7 @@ grep -q 'auditd: recovered snapshot' "${AUDITD_LOG}" || {
 rm -rf "${DATA_DIR}"
 rm -f "${PORT_FILE}" "${AUDITD_LOG}" "${ACKS_FILE}"
 
-echo "== [7/8] replication cluster gate under AddressSanitizer =="
+echo "== [8/9] replication cluster gate under AddressSanitizer =="
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target net_test querylog_test cluster_test auditd audit_cluster \
                durability_smoke
@@ -488,18 +516,33 @@ rm -rf "${P_DIR}" "${A_DIR}" "${B_DIR}"
 rm -f "${DRIVE_LOG}" "${V_P}" "${V_A}" "${V_B}" "${V_OFF}" \
       "${P_LOG}" "${A_LOG}" "${B_LOG}"
 
-echo "== [8/8] Release build + bench smokes =="
+echo "== [9/9] Release build + bench smokes =="
 cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_scan bench_index
-# A tiny sweep: one fused-filter shape in both scan modes, just enough to
-# prove the bench runs and emits its JSON artifact.
+cmake --build "${PREFIX}-release" -j "${JOBS}" \
+      --target bench_scan bench_index bench_granule
+# A tiny sweep: one fused-filter shape in both scan modes plus the
+# 10M-row selection-bitmap emission pair, just enough to prove the bench
+# runs at scale and emits its JSON artifact.
 ( cd "${PREFIX}-release/bench" && \
-  ./bench_scan --benchmark_filter='BM_Filter/10000/10/3' \
-               --benchmark_min_time=0.05 )
+  ./bench_scan \
+      --benchmark_filter='BM_Filter/10000/10/3|BM_PredicateEmit/10000000/10' \
+      --benchmark_min_time=0.05 )
 [ -s "${PREFIX}-release/bench/BENCH_scan.json" ] || {
   echo "bench_scan did not write BENCH_scan.json"; exit 1; }
 grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_scan.json" || {
   echo "BENCH_scan.json is not benchmark JSON"; exit 1; }
+
+# The tid-bitmap kernel sweep at 10M tids: the set-vs-bitmap union and
+# membership pairs (dense), proving the suspicion/candidacy kernels run
+# at the 10M scale and BENCH_granule.json lands.
+( cd "${PREFIX}-release/bench" && \
+  ./bench_granule \
+      --benchmark_filter='BM_IndispensableUnion/10000000/1|BM_SuspicionMembership/10000000/1|BM_WitnessIntersect/10000000/1' \
+      --benchmark_min_time=0.05 )
+[ -s "${PREFIX}-release/bench/BENCH_granule.json" ] || {
+  echo "bench_granule did not write BENCH_granule.json"; exit 1; }
+grep -q '"benchmarks"' "${PREFIX}-release/bench/BENCH_granule.json" || {
+  echo "BENCH_granule.json is not benchmark JSON"; exit 1; }
 
 # The expression-index bench: one index-on/off pair at 64 standing
 # expressions, proving the sweep runs and emits BENCH_index.json.
